@@ -1,0 +1,39 @@
+"""Shared infrastructure for the experiment-regeneration benchmarks.
+
+Each ``test_*`` module regenerates one table or figure from the paper
+(see DESIGN.md's experiment index): it runs the workload, prints a
+paper-vs-measured comparison, asserts the *shape* (who wins, rough
+factors, crossovers), and writes the rendered rows to
+``benchmarks/results/``.  Absolute numbers are not expected to match the
+authors' 48-core AMD testbed; shapes are.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+
+@pytest.fixture
+def record():
+    """Write a named experiment report and echo it to stdout."""
+
+    def _record(name: str, lines):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

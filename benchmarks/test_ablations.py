@@ -1,0 +1,158 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation flips one mechanism and verifies the phenomenon it is
+responsible for appears/disappears: scheduler policy, page placement,
+internal cutoffs, parallelism-interval presets, and graph reductions.
+"""
+
+from dataclasses import replace
+
+from conftest import once
+
+from repro.apps import fft, micro, sort, strassen
+from repro.core import build_grain_graph, reduce_graph
+from repro.metrics.parallelism import IntervalPreset, instantaneous_parallelism
+from repro.metrics.scatter import scatter
+from repro.metrics.work_deviation import work_deviation
+from repro.runtime import ICC, MIR, run_program
+from helpers import binary_tree
+
+
+def test_ablation_scheduler_policy(benchmark, record):
+    """Work stealing vs central queue on the same program."""
+
+    def experiment():
+        program = strassen.program_fixed(matrix=1024, sc=64)
+        ws = run_program(program, flavor=MIR, num_threads=48)
+        cq = run_program(
+            strassen.program_fixed(matrix=1024, sc=64),
+            flavor=MIR.with_scheduler("central"), num_threads=48,
+        )
+        return ws, cq
+
+    ws, cq = once(benchmark, experiment)
+    ws_scatter = scatter(build_grain_graph(ws.trace))
+    cq_scatter = scatter(build_grain_graph(cq.trace))
+    ws_off = len(ws_scatter.scattered(16.0))
+    cq_off = len(cq_scatter.scattered(16.0))
+    record(
+        "ablation_scheduler",
+        [
+            f"work stealing: makespan={ws.makespan_cycles} "
+            f"steals={ws.stats.steals} off-socket sibling groups={ws_off}",
+            f"central queue: makespan={cq.makespan_cycles} "
+            f"off-socket sibling groups={cq_off}",
+        ],
+    )
+    assert cq_off > ws_off
+    assert cq.makespan_cycles > ws.makespan_cycles
+
+
+def test_ablation_page_placement(benchmark, record):
+    """First-touch vs round-robin is the entire Sort-table mechanism."""
+
+    def experiment():
+        out = {}
+        for label, make in (("first-touch", sort.program),
+                            ("round-robin", sort.program_round_robin)):
+            multi = run_program(make(elements=1 << 20), flavor=MIR, num_threads=48)
+            single = run_program(make(elements=1 << 20), flavor=MIR, num_threads=1)
+            report = work_deviation(
+                build_grain_graph(multi.trace), build_grain_graph(single.trace)
+            )
+            out[label] = report.median()
+        return out
+
+    medians = once(benchmark, experiment)
+    record(
+        "ablation_pages",
+        [f"median work deviation: {label} = {value:.2f}"
+         for label, value in medians.items()],
+    )
+    assert medians["round-robin"] < medians["first-touch"]
+
+
+def test_ablation_internal_cutoff(benchmark, record):
+    """ICC with vs without its internal cutoff on the FFT task flood."""
+
+    def experiment():
+        with_cutoff = run_program(
+            fft.program(samples=1 << 15), flavor=ICC, num_threads=48
+        )
+        without = run_program(
+            fft.program(samples=1 << 15),
+            flavor=replace(ICC, throttle_per_thread=None, name="ICC-nocutoff"),
+            num_threads=48,
+        )
+        return with_cutoff, without
+
+    with_cutoff, without = once(benchmark, experiment)
+    record(
+        "ablation_internal_cutoff",
+        [
+            f"ICC with cutoff: makespan={with_cutoff.makespan_cycles} "
+            f"inlined={with_cutoff.stats.tasks_inlined}",
+            f"ICC without:     makespan={without.makespan_cycles} inlined=0",
+        ],
+    )
+    assert with_cutoff.stats.tasks_inlined > 0
+    assert without.stats.tasks_inlined == 0
+    assert with_cutoff.makespan_cycles < without.makespan_cycles
+
+
+def test_ablation_parallelism_interval(benchmark, record):
+    """Interval presets trade accuracy for post-processing cost; the
+    optimistic flavor upper-bounds the conservative one."""
+
+    def experiment():
+        from repro.machine import CacheConfig, CostParams, Machine, MachineConfig
+        from repro.machine.topology import small_smp
+
+        machine = Machine(MachineConfig(
+            topology=small_smp(4), cache=CacheConfig(), cost=CostParams()
+        ))
+        result = run_program(
+            binary_tree(7, leaf_cycles=3000), machine=machine, num_threads=4
+        )
+        return build_grain_graph(result.trace)
+
+    graph = once(benchmark, experiment)
+    lines = []
+    for preset in IntervalPreset:
+        optimistic = instantaneous_parallelism(graph, interval=preset)
+        conservative = instantaneous_parallelism(
+            graph, interval=preset, optimistic=False
+        )
+        lines.append(
+            f"{preset.value:22} interval={optimistic.interval_cycles:>7} "
+            f"mean(opt)={optimistic.mean:5.2f} "
+            f"mean(cons)={conservative.mean:5.2f}"
+        )
+        assert optimistic.mean >= conservative.mean
+        assert conservative.peak <= 4
+    record("ablation_parallelism_interval", lines)
+
+
+def test_ablation_reductions(benchmark, record):
+    """Reductions shrink render size while conserving grain weight."""
+
+    def experiment():
+        result = run_program(
+            fft.program(samples=1 << 13), flavor=MIR, num_threads=48
+        )
+        return build_grain_graph(result.trace)
+
+    graph = once(benchmark, experiment)
+    lines = []
+    for flags in ((True, False, False), (True, True, False), (True, True, True)):
+        reduced, report = reduce_graph(
+            graph, fragments=flags[0], forks=flags[1], bookkeeping=flags[2]
+        )
+        lines.append(
+            f"fragments={flags[0]} forks={flags[1]} bookkeeping={flags[2]}: "
+            f"{report.nodes_before} -> {report.nodes_after} nodes "
+            f"({100 * report.node_ratio:.0f}%)"
+        )
+    record("ablation_reductions", lines)
+    reduced, report = reduce_graph(graph)
+    assert report.node_ratio < 0.7

@@ -1,0 +1,69 @@
+"""Figure 1: speedups before/after optimization on GCC, ICC, and MIR.
+
+Paper claims (Sec. 2, 4.3): every program improves on every runtime after
+the grain-graph-guided optimization; for the originals, 376.kdtree and
+FFT perform poorly on GCC and MIR while ICC is rescued by its internal
+cutoff; Strassen and Sort are poor on all three.
+"""
+
+from conftest import once
+
+from repro.apps import fft, kdtree, sort, sparselu, strassen
+from repro.workflow import format_speedup_table, speedup_table
+
+PAIRS = [
+    ("376.kdtree", lambda: kdtree.program(tree_size=4000),
+     lambda: kdtree.program_fixed(tree_size=4000)),
+    ("sort", lambda: sort.program(elements=1 << 20),
+     lambda: sort.program_round_robin(elements=1 << 20)),
+    ("359.botsspar", lambda: sparselu.program(nb=20, block=64),
+     lambda: sparselu.program_interchanged(nb=20, block=64)),
+    ("fft", lambda: fft.program(samples=1 << 16),
+     lambda: fft.program_optimized(samples=1 << 16, cutoff_depth=4)),
+    ("strassen", lambda: strassen.program(matrix=1024, sc=64),
+     lambda: strassen.program_fixed(matrix=1024, sc=64)),
+]
+
+
+def test_fig01_speedups(benchmark, record):
+    def experiment():
+        table = {}
+        for name, make_orig, make_opt in PAIRS:
+            table[name] = {
+                "orig": speedup_table([make_orig()]),
+                "opt": speedup_table([make_opt()]),
+            }
+        return table
+
+    table = once(benchmark, experiment)
+
+    lines = ["speedup over single-core ICC execution, 48 cores", ""]
+    for name, variants in table.items():
+        for variant, rows in variants.items():
+            lines.append(format_speedup_table(rows))
+            lines.append("")
+        orig = {r.flavor: r.speedup for r in variants["orig"]}
+        opt = {r.flavor: r.speedup for r in variants["opt"]}
+        lines.append(
+            f"{name}: improvement factors "
+            + "  ".join(
+                f"{fl}={opt[fl] / orig[fl]:.1f}x" for fl in ("GCC", "ICC", "MIR")
+            )
+        )
+        lines.append("")
+
+        # Shape assertions: optimization helps on every runtime system.
+        for flavor in ("GCC", "ICC", "MIR"):
+            assert opt[flavor] > orig[flavor], (name, flavor)
+
+    # Task-flood originals: ICC's internal cutoff beats GCC and MIR.
+    kdtree_orig = {r.flavor: r.speedup for r in table["376.kdtree"]["orig"]}
+    assert kdtree_orig["ICC"] > kdtree_orig["GCC"]
+    fft_orig = {r.flavor: r.speedup for r in table["fft"]["orig"]}
+    assert fft_orig["ICC"] > fft_orig["GCC"]
+    assert fft_orig["ICC"] > fft_orig["MIR"]
+    # Sort scales poorly on all runtime systems (Sec. 4.3.1).
+    sort_orig = {r.flavor: r.speedup for r in table["sort"]["orig"]}
+    assert all(v < 10 for v in sort_orig.values())
+
+    record("fig01_speedups", lines)

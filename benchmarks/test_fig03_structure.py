@@ -1,0 +1,67 @@
+"""Figure 3: grain-graph structure and reductions on the toy programs.
+
+(a/c) the foo/bar/baz task program; (b/g) a 20-iteration loop in chunks
+of 4 on two threads; (d/e/h) fragment, fork, and book-keeping reductions.
+"""
+
+from conftest import RESULTS_DIR, once
+
+from repro.apps import micro
+from repro.core import NodeKind, build_grain_graph, reduce_graph, validate_graph
+from repro.core.svg import render_svg
+from repro.runtime import MIR, run_program
+
+
+def test_fig03_structure(benchmark, record):
+    def experiment():
+        task_run = run_program(micro.fig3a(), flavor=MIR, num_threads=2)
+        loop_run = run_program(micro.fig3b(), flavor=MIR, num_threads=2)
+        return build_grain_graph(task_run.trace), build_grain_graph(loop_run.trace)
+
+    task_graph, loop_graph = once(benchmark, experiment)
+    validate_graph(task_graph)
+    validate_graph(loop_graph)
+
+    task_reduced, task_report = reduce_graph(task_graph)
+    loop_reduced, loop_report = reduce_graph(loop_graph)
+    validate_graph(task_reduced)
+    validate_graph(loop_reduced)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    render_svg(task_graph, RESULTS_DIR / "fig03c_tasks.svg", title="Fig 3c")
+    render_svg(task_reduced, RESULTS_DIR / "fig03e_reduced.svg", title="Fig 3d-e")
+    render_svg(loop_graph, RESULTS_DIR / "fig03g_loop.svg", title="Fig 3g")
+    render_svg(loop_reduced, RESULTS_DIR / "fig03h_reduced.svg", title="Fig 3h")
+
+    chunk_ranges = sorted(
+        n.iter_range for n in loop_graph.nodes.values()
+        if n.kind is NodeKind.CHUNK
+    )
+    record(
+        "fig03_structure",
+        [
+            "task program (foo creates bar, baz):",
+            f"  grains={task_graph.num_grains} "
+            f"fragments={task_graph.node_count(NodeKind.FRAGMENT)} "
+            f"forks={task_graph.node_count(NodeKind.FORK)} "
+            f"joins={task_graph.node_count(NodeKind.JOIN)}",
+            f"  reduction {task_report.nodes_before} -> {task_report.nodes_after} nodes",
+            "loop program (20 iters, chunk 4, 2 threads):",
+            f"  chunks={chunk_ranges}",
+            f"  bookkeeping={loop_graph.node_count(NodeKind.BOOKKEEPING)}",
+            f"  reduction {loop_report.nodes_before} -> {loop_report.nodes_after} nodes",
+            "artifacts: fig03*.svg",
+        ],
+    )
+
+    # Paper structure: 5 chunks of size 4, per-thread book-keeping chains.
+    assert chunk_ranges == [(0, 4), (4, 8), (8, 12), (12, 16), (16, 20)]
+    assert task_graph.num_grains == 4
+    # foo's two forks combine into one in the reduced graph (Fig. 3e).
+    grouped_forks = [
+        n for n in task_reduced.nodes.values()
+        if n.kind is NodeKind.FORK and n.is_group
+    ]
+    assert len(grouped_forks) == 1
+    # Book-keeping grouped per thread (Fig. 3h).
+    assert loop_reduced.node_count(NodeKind.BOOKKEEPING) == 2

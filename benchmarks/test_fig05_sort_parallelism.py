@@ -1,0 +1,67 @@
+"""Figure 5: Sort's non-uniform parallelism and the cutoff dilemma.
+
+(a) With the best cutoffs (815-grain graph in the paper) instantaneous
+parallelism repeatedly dips below the 48 available cores in a waxing and
+waning pattern — load imbalance incurable by scheduling.
+(b) Lowering the cutoffs (18373 grains, 48% with low parallel benefit)
+raises parallelism but the grains become too small to pay off.
+"""
+
+import numpy as np
+
+from conftest import once
+
+from repro.apps import sort
+from repro.core import build_grain_graph
+from repro.metrics import instantaneous_parallelism
+from repro.metrics.parallel_benefit import low_benefit_fraction
+from repro.runtime import MIR, run_program
+
+PAPER = {"best_grains": 815, "low_grains": 18373, "low_benefit_pct": 48}
+
+
+def test_fig05_sort_parallelism(benchmark, record):
+    def experiment():
+        best = run_program(
+            sort.program(elements=1_572_864), flavor=MIR, num_threads=48
+        )
+        low = run_program(
+            sort.program_low_cutoff(elements=1_572_864, factor=10),
+            flavor=MIR, num_threads=48,
+        )
+        return build_grain_graph(best.trace), build_grain_graph(low.trace)
+
+    best_graph, low_graph = once(benchmark, experiment)
+
+    profile = instantaneous_parallelism(best_graph, optimistic=False)
+    starved = profile.fraction_below(48)
+    # The waxing/waning pattern: count dips below 48 over coarse windows.
+    windows = np.array_split(profile.timeline, 24)
+    means = [float(w.mean()) for w in windows if w.size]
+    dips = sum(
+        1 for prev, cur in zip(means, means[1:]) if prev >= cur + 2
+    )
+
+    low_fraction = low_benefit_fraction(low_graph)
+
+    record(
+        "fig05_sort_parallelism",
+        [
+            f"(a) best cutoffs: paper {PAPER['best_grains']} grains, "
+            f"measured {best_graph.num_grains}",
+            f"    fraction of time below 48 cores: {starved:.2f}",
+            f"    parallelism over time (24 windows): "
+            + " ".join(f"{m:.0f}" for m in means),
+            f"    waning transitions: {dips}",
+            f"(b) lowered cutoffs: paper {PAPER['low_grains']} grains with "
+            f"{PAPER['low_benefit_pct']}% low parallel benefit",
+            f"    measured {low_graph.num_grains} grains with "
+            f"{100 * low_fraction:.0f}% low parallel benefit",
+        ],
+    )
+
+    assert 400 <= best_graph.num_grains <= 1600  # paper: 815
+    assert starved > 0.3  # parallelism below cores at many points
+    assert dips >= 3  # waxing and waning
+    assert low_graph.num_grains > 8 * best_graph.num_grains  # paper: ~23x
+    assert low_fraction > 0.25  # paper: 48%

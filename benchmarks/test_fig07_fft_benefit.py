@@ -1,0 +1,56 @@
+"""Figure 7: FFT parallel benefit grouped by source definition.
+
+Paper: in the original, grains of ``fft.c:4680`` (fft_aux) have a high
+prevalence of poor parallel benefit and contribute most heavily to total
+work; after the cutoffs, grains show good parallel benefit and "not all
+grains are created in the optimized program due to cutoffs".
+"""
+
+from conftest import once
+
+from repro.apps import fft
+from repro.core import build_grain_graph
+from repro.metrics.summary import format_definition_table, per_definition_summary
+from repro.runtime import MIR, run_program
+
+
+def test_fig07_fft_benefit_by_definition(benchmark, record):
+    def experiment():
+        orig = run_program(
+            fft.program(samples=1 << 16), flavor=MIR, num_threads=48
+        )
+        opt = run_program(
+            fft.program_optimized(samples=1 << 16, cutoff_depth=4),
+            flavor=MIR, num_threads=48,
+        )
+        return build_grain_graph(orig.trace), build_grain_graph(opt.trace)
+
+    orig_graph, opt_graph = once(benchmark, experiment)
+    orig_rows = per_definition_summary(orig_graph)
+    opt_rows = per_definition_summary(opt_graph)
+
+    record(
+        "fig07_fft_benefit",
+        [
+            "original:",
+            format_definition_table(orig_rows),
+            "",
+            "optimized (two depth cutoffs):",
+            format_definition_table(opt_rows),
+        ],
+    )
+
+    orig_by_def = {r.definition: r for r in orig_rows}
+    opt_by_def = {r.definition: r for r in opt_rows}
+    aux = "fft.c:4680(fft_aux)"
+
+    # fft_aux is the first optimization candidate: heavy work share with
+    # prevalent low benefit in the original.
+    assert orig_by_def[aux].work_share > 0.3
+    assert orig_by_def[aux].low_benefit_fraction > 0.3
+    # The optimized program's grains show good parallel benefit.
+    total_low_orig = sum(r.low_benefit_count for r in orig_rows)
+    total_low_opt = sum(r.low_benefit_count for r in opt_rows)
+    assert total_low_opt < total_low_orig / 4
+    # Not all grains are created in the optimized program.
+    assert opt_graph.num_grains < orig_graph.num_grains / 4

@@ -1,0 +1,84 @@
+"""Figures 9-10 and Table 1: Freqmine's FPGF loop.
+
+Fig. 9: the evaluation graph has 6985 grains; the large magenta FPGF
+grains give load balance 35.5; most grains are small with poor benefit.
+Fig. 10: the second FPGF instance has 1292 chunks of disproportionate
+size; load balance 35.5 on 48 cores improves to 1.06 on 7.
+Table 1: speedups 6.58-7.2; 48-core and 7-core execution times within a
+few percent; the bin-packer says 7 cores suffice.
+"""
+
+from conftest import once
+
+from repro.apps import freqmine
+from repro.binpack import minimum_cores_for_graph
+from repro.core import build_grain_graph
+from repro.core.grains import GrainKind
+from repro.metrics.load_balance import load_balance
+from repro.metrics.parallel_benefit import low_benefit_fraction
+from repro.runtime import GCC, ICC, MIR, run_program
+
+FPGF2 = 3  # loop ids: scan=0, build=1, FPGF instances 2/3/4
+PAPER = {
+    "grains": 6985, "chunks": 1292, "lb48": 35.5, "lb7": 1.06,
+    "speedups": {"ICC": 6.58, "GCC": 6.68, "MIR": 7.2},
+    "min_cores": 7,
+}
+
+
+def test_fig09_fig10_tab1_freqmine(benchmark, record):
+    def experiment():
+        table = {}
+        for flavor in (ICC, GCC, MIR):
+            full = run_program(freqmine.program(), flavor=flavor, num_threads=48)
+            single = run_program(freqmine.program(), flavor=flavor, num_threads=1)
+            seven = run_program(
+                freqmine.program_seven_cores(), flavor=flavor, num_threads=48
+            )
+            table[flavor.name] = (full, single, seven)
+        return table
+
+    table = once(benchmark, experiment)
+    mir_run = table["MIR"][0]
+    graph = build_grain_graph(mir_run.trace)
+    chunks2 = [
+        g for g in graph.grains.values()
+        if g.kind is GrainKind.CHUNK and g.loop_id == FPGF2
+    ]
+    lb48 = load_balance(graph, loop_id=FPGF2)
+    g7 = build_grain_graph(
+        run_program(freqmine.program(), flavor=MIR, num_threads=7).trace
+    )
+    lb7 = load_balance(g7, loop_id=FPGF2)
+    packing = minimum_cores_for_graph(graph, loop_id=FPGF2)
+    low_pb = low_benefit_fraction(graph)
+
+    lines = [
+        f"Fig 9: paper {PAPER['grains']} grains; measured {graph.num_grains}",
+        f"       low-parallel-benefit grains: {100 * low_pb:.0f}%",
+        f"Fig 10: paper {PAPER['chunks']} chunks; measured {len(chunks2)}",
+        f"        LB@48: paper {PAPER['lb48']}, measured {lb48.value:.1f}",
+        f"        LB@7:  paper {PAPER['lb7']}, measured {lb7.value:.2f}",
+        f"bin-packing minimum cores: paper {PAPER['min_cores']}, "
+        f"measured {packing.num_bins}",
+        "",
+        f"{'RTS':5} {'paper speedup':>13} {'ours':>6} {'7-core/48-core time':>20}",
+    ]
+    for name, (full, single, seven) in table.items():
+        speedup = single.makespan_cycles / full.makespan_cycles
+        ratio = seven.makespan_cycles / full.makespan_cycles
+        lines.append(
+            f"{name:5} {PAPER['speedups'][name]:>13.2f} {speedup:>6.2f} "
+            f"{ratio:>19.3f}"
+        )
+        # Table 1 shapes: ~7x ceiling; 7 cores keep the makespan.
+        assert 5.0 < speedup < 11.0
+        assert ratio < 1.12
+    record("fig09_fig10_tab1_freqmine", lines)
+
+    assert graph.num_grains == PAPER["grains"]  # exact by construction
+    assert len(chunks2) == PAPER["chunks"]
+    assert 25 < lb48.value < 50  # paper: 35.5
+    assert lb7.value < 1.3  # paper: 1.06
+    assert packing.num_bins == PAPER["min_cores"]
+    assert low_pb > 0.4  # most grains small, poor benefit

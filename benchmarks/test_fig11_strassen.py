@@ -1,0 +1,91 @@
+"""Figure 11: Strassen's hard-coded cutoff and scheduler scatter.
+
+(a) With the hard-coded cutoff the graph has 58 grains regardless of SC.
+(b) Fixed: 2801 grains for the 2048 input with SC=128; poor MHU surfaces.
+(c/d) Work stealing keeps sibling grains near each other; a central
+queue scatters them off-socket and costs performance (paper: 48-core
+speedup drops to 10 from ~20).
+"""
+
+from conftest import once
+
+from repro.analysis.problems import ProblemKind, detect_problems
+from repro.apps import strassen
+from repro.core import build_grain_graph
+from repro.metrics import MetricSet
+from repro.metrics.memory import memory_report
+from repro.metrics.scatter import scatter
+from repro.runtime import MIR, run_program
+
+PAPER = {"orig_grains": 58, "fixed_grains": 2801}
+
+
+def scattered_fraction(graph):
+    result = scatter(graph)
+    threshold = 16.0  # same-socket distance: beyond = off-socket
+    return len(result.scattered(threshold)) / max(1, len(result.per_grain))
+
+
+def test_fig11_strassen(benchmark, record):
+    def experiment():
+        orig = run_program(
+            strassen.program(matrix=2048, sc=128), flavor=MIR, num_threads=48
+        )
+        fixed = run_program(
+            strassen.program_fixed(matrix=2048, sc=128),
+            flavor=MIR, num_threads=48,
+        )
+        # Scheduler ablation at a scale where the leaves' working sets
+        # still fit the LLCs — the regime where sibling locality (and so
+        # scatter) matters, as on the paper's testbed.
+        ws_small = run_program(
+            strassen.program_fixed(matrix=1024, sc=64),
+            flavor=MIR, num_threads=48,
+        )
+        central = run_program(
+            strassen.program_fixed(matrix=1024, sc=64),
+            flavor=MIR.with_scheduler("central"), num_threads=48,
+        )
+        return orig, fixed, ws_small, central
+
+    orig, fixed, ws_small, central = once(benchmark, experiment)
+    orig_graph = build_grain_graph(orig.trace)
+    fixed_graph = build_grain_graph(fixed.trace)
+    ws_graph = build_grain_graph(ws_small.trace)
+    central_graph = build_grain_graph(central.trace)
+
+    # SC invariance of the buggy original.
+    other_sc = run_program(
+        strassen.program(matrix=2048, sc=32), flavor=MIR, num_threads=48
+    )
+    sc_invariant = other_sc.stats.tasks_created == orig.stats.tasks_created
+
+    mhu = memory_report(fixed_graph).poor_mhu_fraction(2.0)
+    ws_scatter = scattered_fraction(ws_graph)
+    cq_scatter = scattered_fraction(central_graph)
+
+    record(
+        "fig11_strassen",
+        [
+            f"(a) original: paper {PAPER['orig_grains']} grains, measured "
+            f"{orig_graph.num_grains}; SC has no effect: {sc_invariant}",
+            f"(b) fixed: paper {PAPER['fixed_grains']} grains, measured "
+            f"{fixed_graph.num_grains}; poor-MHU grains {100 * mhu:.0f}%",
+            f"    makespan orig -> fixed: {orig.makespan_cycles} -> "
+            f"{fixed.makespan_cycles} "
+            f"({orig.makespan_cycles / fixed.makespan_cycles:.2f}x)",
+            f"(c) work stealing: {100 * ws_scatter:.0f}% grains scattered "
+            f"off-socket",
+            f"(d) central queue: {100 * cq_scatter:.0f}% grains scattered; "
+            f"makespan {central.makespan_cycles} "
+            f"({central.makespan_cycles / ws_small.makespan_cycles:.2f}x of WS)",
+        ],
+    )
+
+    assert orig_graph.num_grains == PAPER["orig_grains"]  # exact
+    assert abs(fixed_graph.num_grains - PAPER["fixed_grains"]) <= 2
+    assert sc_invariant
+    assert fixed.makespan_cycles < orig.makespan_cycles
+    assert mhu > 0.4  # poor MHU comes to the fore
+    assert cq_scatter > ws_scatter  # central queue scatters siblings
+    assert central.makespan_cycles > ws_small.makespan_cycles

@@ -1,0 +1,92 @@
+"""Sec. 4.3.6: the other-benchmarks round-up.
+
+Paper claims, per program:
+- Blackscholes: >65% of chunks with poor MHU, ~33% low benefit.
+- 367.imagick: the five loops missing omp_throttle have poor benefit.
+- 372.smithwa: mergeAlignment/verifyData blocks imbalanced with poor MHU
+  and benefit (verifyData invisible to timings, visible to the graph).
+- NQueens, 358.botsalgn: scale linearly, all metrics good.
+- Fibonacci: cutoffs control leaf-grain size (teaching example).
+- UTS: poor parallel benefit for most grains.
+- Bodytrack: all loops except CalcWeights suffer poor benefit/low MHU.
+"""
+
+from conftest import once
+
+from repro.apps import others
+from repro.core import build_grain_graph
+from repro.metrics.memory import memory_report
+from repro.metrics.parallel_benefit import low_benefit_fraction
+from repro.metrics.summary import per_definition_summary
+from repro.runtime import MIR, run_program
+
+
+def study(program, threads=48):
+    result = run_program(program, flavor=MIR, num_threads=threads)
+    single = run_program(program, flavor=MIR, num_threads=1)
+    graph = build_grain_graph(result.trace)
+    return {
+        "speedup": single.makespan_cycles / result.makespan_cycles,
+        "graph": graph,
+        "low_pb": low_benefit_fraction(graph),
+        "poor_mhu": memory_report(graph).poor_mhu_fraction(2.0),
+    }
+
+
+def test_sec436_other_benchmarks(benchmark, record):
+    def experiment():
+        return {
+            "blackscholes": study(others.blackscholes(options=20_000)),
+            "imagick": study(others.imagick(rows=480)),
+            "smithwa": study(others.smithwa(size=20)),
+            "nqueens": study(others.nqueens(n=10, cutoff=2)),
+            "botsalgn": study(others.botsalgn(sequences=192)),
+            "fib": study(others.fib(n=26, cutoff=10)),
+            "uts": study(others.uts(expected_nodes=3000)),
+            "bodytrack": study(others.bodytrack()),
+        }
+
+    results = once(benchmark, experiment)
+
+    lines = [
+        f"{'program':14} {'speedup':>8} {'lowPB%':>7} {'poorMHU%':>9} "
+        f"{'grains':>7}"
+    ]
+    for name, r in results.items():
+        lines.append(
+            f"{name:14} {r['speedup']:>8.1f} {100 * r['low_pb']:>6.0f}% "
+            f"{100 * r['poor_mhu']:>8.0f}% {r['graph'].num_grains:>7}"
+        )
+
+    # Blackscholes: poor MHU on most chunks.
+    assert results["blackscholes"]["poor_mhu"] > 0.5
+    # Imagick: unthrottled loops show low benefit, throttled do not.
+    rows = {
+        r.definition: r
+        for r in per_definition_summary(results["imagick"]["graph"])
+    }
+    assert rows["magick_shear.c:1694(XShearImage)"].low_benefit_fraction > 0.5
+    assert rows["magick_resize.c:2215(HorizontalFilter)"].low_benefit_fraction < 0.2
+    # Smithwa: the whole-program graph shows verifyData's imbalance.
+    sw_rows = {
+        r.definition: r
+        for r in per_definition_summary(results["smithwa"]["graph"])
+    }
+    assert any("verifyData" in d for d in sw_rows)
+    # NQueens / botsalgn: good scaling, clean metrics.
+    assert results["nqueens"]["speedup"] > 8
+    assert results["nqueens"]["low_pb"] < 0.3
+    assert results["botsalgn"]["speedup"] > 20
+    assert results["botsalgn"]["low_pb"] < 0.1
+    # UTS: poor benefit for most grains.
+    assert results["uts"]["low_pb"] > 0.5
+    # Bodytrack: CalcWeights is the exception.
+    bt_rows = {
+        r.definition: r
+        for r in per_definition_summary(results["bodytrack"]["graph"])
+    }
+    weights = bt_rows["ParticleFilterOMP.h:64(ParticleFilterOMP::CalcWeights)"]
+    filters = bt_rows["FlexImageFilter.h:114(FlexFilterRowVOMP)"]
+    assert weights.low_benefit_fraction < filters.low_benefit_fraction
+
+    record("sec436_other_benchmarks", lines)

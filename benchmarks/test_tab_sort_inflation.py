@@ -1,0 +1,75 @@
+"""The Sec. 4.3.1 Sort table: affected grains before/after round-robin
+page distribution.
+
+Paper:  work inflation 68.54% -> 37.08%; poor MHU 56.05% -> 30.11%, and
+"performance improved on all runtime systems".
+"""
+
+from conftest import once
+
+from repro.apps import sort
+from repro.core import build_grain_graph
+from repro.metrics.memory import memory_report
+from repro.metrics.work_deviation import work_deviation
+from repro.runtime import GCC, ICC, MIR, run_program
+
+PAPER = {
+    "inflation_before": 68.54, "inflation_after": 37.08,
+    "mhu_before": 56.05, "mhu_after": 30.11,
+}
+
+
+def measure(make):
+    multi = run_program(make(elements=1 << 21), flavor=MIR, num_threads=48)
+    single = run_program(make(elements=1 << 21), flavor=MIR, num_threads=1)
+    g_multi = build_grain_graph(multi.trace)
+    g_single = build_grain_graph(single.trace)
+    deviation = work_deviation(g_multi, g_single)
+    memory = memory_report(g_multi)
+    return (
+        100 * deviation.inflated_fraction(2.0),
+        100 * memory.poor_mhu_fraction(2.0),
+        multi.makespan_cycles,
+    )
+
+
+def test_tab_sort_inflation(benchmark, record):
+    def experiment():
+        return measure(sort.program), measure(sort.program_round_robin)
+
+    (infl_before, mhu_before, span_before), (
+        infl_after, mhu_after, span_after,
+    ) = once(benchmark, experiment)
+
+    # All-runtime improvement check.
+    improvements = []
+    for flavor in (GCC, ICC, MIR):
+        ft = run_program(sort.program(elements=1 << 20), flavor=flavor,
+                         num_threads=48)
+        rr = run_program(sort.program_round_robin(elements=1 << 20),
+                         flavor=flavor, num_threads=48)
+        improvements.append((flavor.name, ft.makespan_cycles / rr.makespan_cycles))
+
+    record(
+        "tab_sort_inflation",
+        [
+            f"{'problem':36} {'paper before':>12} {'paper after':>12} "
+            f"{'ours before':>12} {'ours after':>11}",
+            f"{'Work Inflation':36} {PAPER['inflation_before']:>11.2f}% "
+            f"{PAPER['inflation_after']:>11.2f}% {infl_before:>11.1f}% "
+            f"{infl_after:>10.1f}%",
+            f"{'Poor Memory Hierarchy Utilization':36} "
+            f"{PAPER['mhu_before']:>11.2f}% {PAPER['mhu_after']:>11.2f}% "
+            f"{mhu_before:>11.1f}% {mhu_after:>10.1f}%",
+            "",
+            "round-robin improvement per runtime system: "
+            + "  ".join(f"{name}={x:.2f}x" for name, x in improvements),
+        ],
+    )
+
+    # Shapes: round-robin reduces both problems and helps all runtimes.
+    assert infl_after < infl_before
+    assert mhu_after <= mhu_before + 1.0
+    assert infl_before > 10  # the problem is wide-spread before the fix
+    assert span_after < span_before
+    assert all(x > 1.0 for _, x in improvements)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Compare runtime systems on a task flood (the Fig. 1 methodology).
+
+Runs BOTS FFT (no cutoff — a flood of tiny tasks) and the optimized
+version on the GCC, ICC, and MIR flavors; prints the speedup table and
+explains each system's behavior.
+
+    python examples/compare_runtimes.py
+"""
+
+from repro.apps import fft
+from repro.runtime import GCC, ICC, MIR, run_program
+from repro.workflow import format_speedup_table, speedup_table
+
+
+def main() -> None:
+    samples = 1 << 15
+    print(f"FFT, {samples} samples, 48 cores "
+          f"(speedup over single-core ICC, the paper's baseline)\n")
+    rows = speedup_table(
+        [
+            fft.program(samples=samples),
+            fft.program_optimized(samples=samples, cutoff_depth=4),
+        ]
+    )
+    print(format_speedup_table(rows))
+
+    print("\nwhy each system behaves the way it does on the original:")
+    for flavor in (GCC, ICC, MIR):
+        result = run_program(
+            fft.program(samples=samples), flavor=flavor, num_threads=48
+        )
+        print(
+            f"  {flavor.name}: scheduler={flavor.scheduler:12} "
+            f"tasks={result.stats.tasks_created:>6} "
+            f"inlined={result.stats.tasks_inlined:>6} "
+            f"steals={result.stats.steals:>5}"
+        )
+    print(
+        "\nGCC's central queue convoys under the flood; MIR defers every\n"
+        "task and pays full creation cost; ICC's queue-size internal\n"
+        "cutoff executes most tasks undeferred — 'ICC performed well\n"
+        "without optimizations' (Sec. 4.3.3).  After the depth cutoffs,\n"
+        "grains are large enough that all three systems do well."
+    )
+
+
+if __name__ == "__main__":
+    main()

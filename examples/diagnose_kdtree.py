@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The Sec. 2 walkthrough: diagnosing 376.kdtree's broken cutoff.
+
+Profiles the original program, shows how the grain graph exposes the
+runaway recursion (existing tools only show balanced load), applies the
+paper's fix, and compares speedups on all three runtime flavors.
+
+    python examples/diagnose_kdtree.py
+"""
+
+from repro.apps import kdtree
+from repro.workflow import (
+    format_speedup_table,
+    profile_program,
+    speedup_table,
+)
+
+TREE = 2000
+
+
+def main() -> None:
+    print("== step 1: profile the original (cutoff=2) ==")
+    study = profile_program(kdtree.program(tree_size=TREE, cutoff=2))
+    depths = [g.depth for g in study.graph.grains.values()]
+    print(f"grains: {study.graph.num_grains}; max task depth: {max(depths)}")
+    print(f"existing-tools view: busy-time imbalance only "
+          f"{study.timeline.imbalance():.2f} — looks balanced, no lead")
+    print(f"grain-graph view: recursion reaches depth {max(depths)} "
+          f"despite cutoff 2 -> the cutoff has no effect")
+    for advice in study.advice:
+        print(f"ADVICE: {advice}")
+
+    print("\n== step 2: confirm — the cutoff value changes nothing ==")
+    for cutoff in (2, 8):
+        other = profile_program(
+            kdtree.program(tree_size=TREE, cutoff=cutoff),
+            reference_threads=None,
+        )
+        print(f"cutoff={cutoff}: {other.graph.num_grains} grains")
+
+    print("\n== step 3: apply the paper's fix (increment depth; separate "
+          "sweep cutoff) ==")
+    fixed = profile_program(
+        kdtree.program_fixed(tree_size=TREE, cutoff=6, sweep_cutoff=8),
+        reference_threads=None,
+    )
+    print(f"grains: {fixed.graph.num_grains} "
+          f"(task flood gone), makespan "
+          f"{study.makespan_cycles} -> {fixed.makespan_cycles} cycles")
+
+    print("\n== step 4: the Fig. 1 comparison ==")
+    rows = speedup_table(
+        [
+            kdtree.program(tree_size=TREE, cutoff=2),
+            kdtree.program_fixed(tree_size=TREE, cutoff=6, sweep_cutoff=8),
+        ]
+    )
+    print(format_speedup_table(rows))
+    print("\nthe optimization is portable: every runtime system improves, "
+          "and ICC's internal cutoff explains why it coped with the "
+          "original.")
+
+
+if __name__ == "__main__":
+    main()

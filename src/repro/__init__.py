@@ -1,0 +1,32 @@
+"""Grain graphs: OpenMP performance analysis made easy — reproduction.
+
+Reproduces Muddukrishna, Jonsson, Podobas & Brorsson, PPoPP 2016, on a
+deterministic simulated OpenMP runtime (see DESIGN.md).  The typical entry
+point is :mod:`repro.workflow`::
+
+    from repro.workflow import profile_program
+    from repro.apps import sort
+
+    study = profile_program(sort.program(elements=1 << 18))
+    print(study.report.summary())
+
+Subpackages
+-----------
+- ``repro.machine`` — simulated NUMA machine (topology, caches, memory,
+  contention, cost model).
+- ``repro.runtime`` — simulated OpenMP 3.0 runtime (tasks, parallel for,
+  schedulers, GCC/ICC/MIR flavors, discrete-event engine).
+- ``repro.profiler`` — OMPT-like grain events and traces.
+- ``repro.core`` — the grain graph itself: construction, validation,
+  reductions, GraphML/SVG export.
+- ``repro.metrics`` — derived metrics (parallel benefit, load balance,
+  work deviation, instantaneous parallelism, scatter, MHU, critical path).
+- ``repro.analysis`` — problem thresholds, highlighting views, reports.
+- ``repro.binpack`` — minimum-cores bin packing (the Gecode stand-in).
+- ``repro.apps`` — the paper's benchmark programs re-expressed for the
+  simulated runtime, bugs included.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,36 @@
+"""Problem highlighting and reporting (Sec. 3.3 and the Sec. 4 workflow).
+
+"Derived metric values that are likely to be problematic are highlighted
+... and also made available in a summary form."  This package holds the
+default thresholds, the problem detectors producing source-linked
+:class:`Problem` records, the per-problem color-encoded views (one problem
+per view, non-problematic elements dimmed), the textual report, an
+optimization advisor, and — for contrast with "existing visualizations" —
+a thread-timeline view in the style the paper's Fig. 4 critiques.
+"""
+
+from .thresholds import Thresholds
+from .problems import Problem, ProblemKind, detect_problems, ProblemReport
+from .views import View, make_view, heat_color, dim_color, VIEW_KINDS
+from .report import AnalysisReport, analyze
+from .advisor import Advice, advise
+from .timeline import thread_timeline, ThreadTimeline
+
+__all__ = [
+    "Thresholds",
+    "Problem",
+    "ProblemKind",
+    "detect_problems",
+    "ProblemReport",
+    "View",
+    "make_view",
+    "heat_color",
+    "dim_color",
+    "VIEW_KINDS",
+    "AnalysisReport",
+    "analyze",
+    "Advice",
+    "advise",
+    "thread_timeline",
+    "ThreadTimeline",
+]

@@ -1,0 +1,175 @@
+"""Optimization advisor: turn problem patterns into actionable advice.
+
+The paper's walkthroughs follow recognizable recipes — low parallel
+benefit concentrated in a definition → add a cutoff (FFT); widespread work
+inflation plus first-touch pages → distribute pages round-robin (Sort);
+bad load balance with chunk grains of wildly uneven size → minimize cores
+instead (Freqmine); a shallow graph despite a cutoff parameter → suspect a
+broken cutoff (376.kdtree, Strassen).  The advisor encodes those recipes
+so average programmers get the paper's guidance automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.grains import GrainKind
+from .problems import ProblemKind
+from .report import AnalysisReport
+
+
+@dataclass(frozen=True)
+class Advice:
+    title: str
+    detail: str
+    definition: str = ""  # source definition to act on, when known
+
+    def __str__(self) -> str:
+        target = f" [{self.definition}]" if self.definition else ""
+        return f"{self.title}{target}: {self.detail}"
+
+
+def advise(report: AnalysisReport) -> list[Advice]:
+    """Derive advice from an analysis report (ordered by expected value)."""
+    out: list[Advice] = []
+    graph = report.graph
+    problems = report.problems
+    task_grains = [
+        g for g in graph.grains.values() if g.kind is GrainKind.TASK
+    ]
+    chunk_grains = [
+        g for g in graph.grains.values() if g.kind is GrainKind.CHUNK
+    ]
+
+    # 1. Low parallel benefit concentrated in heavy definitions -> cutoffs.
+    for row in report.definitions:
+        if row.definition == "<root>":
+            continue
+        if row.low_benefit_fraction > 0.5 and row.work_share > 0.10:
+            if row.kind == GrainKind.TASK.value:
+                out.append(
+                    Advice(
+                        title="add a cutoff",
+                        definition=row.definition,
+                        detail=(
+                            f"{100 * row.low_benefit_fraction:.0f}% of its "
+                            f"{row.count} grains have parallel benefit below "
+                            "threshold; prevent creation of too-small tasks "
+                            "(e.g. a recursion-depth cutoff) so grains are "
+                            "big enough to amortize parallelization cost"
+                        ),
+                    )
+                )
+            else:
+                out.append(
+                    Advice(
+                        title="increase chunk size",
+                        definition=row.definition,
+                        detail=(
+                            "most chunks are too small to amortize "
+                            "book-keeping; but verify load balance first — "
+                            "bigger chunks worsen imbalanced loops"
+                        ),
+                    )
+                )
+
+    # 2. Work inflation widespread -> page distribution.
+    inflated = problems.affected_fraction(ProblemKind.WORK_INFLATION)
+    if inflated > 0.25:
+        out.append(
+            Advice(
+                title="distribute memory pages round-robin",
+                detail=(
+                    f"{100 * inflated:.0f}% of grains show work inflation; "
+                    "cache misses and remote-memory contention are the main "
+                    "sources — spread pages across NUMA nodes, or apply "
+                    "locality-aware scheduling / data distribution"
+                ),
+            )
+        )
+
+    # 3. Low instantaneous parallelism on many grains -> structural limit.
+    low_par = problems.affected_fraction(
+        ProblemKind.LOW_INSTANTANEOUS_PARALLELISM
+    )
+    if low_par > 0.3 and task_grains:
+        out.append(
+            Advice(
+                title="program exposes insufficient parallelism",
+                detail=(
+                    f"{100 * low_par:.0f}% of grains run at parallelism below "
+                    "the core count; lowering cutoffs increases parallelism "
+                    "but check parallel benefit — if both degrade, the "
+                    "imbalance is incurable by scheduling (Sort, Sec. 4.3.1)"
+                ),
+            )
+        )
+
+    # 4. Chunk load imbalance with uneven grains -> core minimization.
+    lb = report.metrics.load_balance
+    if lb.value > 4.0 and chunk_grains:
+        out.append(
+            Advice(
+                title="minimize cores for the imbalanced loop",
+                detail=(
+                    f"load balance {lb.value:.1f} is dominated by grain "
+                    f"{lb.longest_grain}; if chunk sizes cannot be evened "
+                    "out, compute the minimum cores preserving the makespan "
+                    "with repro.binpack and set num_threads accordingly "
+                    "(Freqmine, Sec. 4.3.4)"
+                ),
+            )
+        )
+
+    # 5. Shallow recursion despite many identical definitions -> suspect
+    # broken cutoff (the kdtree/Strassen signature is the opposite: a huge
+    # flat flood of tasks from one definition).
+    if task_grains:
+        max_depth = max(g.depth for g in task_grains)
+        n = len(task_grains)
+        if n > 500 and max_depth > 14:
+            out.append(
+                Advice(
+                    title="check cutoff effectiveness",
+                    detail=(
+                        f"{n} tasks recurse to depth {max_depth}; if a cutoff "
+                        "parameter should bound this, verify the depth is "
+                        "actually incremented on recursive calls "
+                        "(376.kdtree, Sec. 2) and that no hard-coded value "
+                        "overrides it (Strassen, Sec. 4.3.5)"
+                    ),
+                )
+            )
+
+    # 6. High scatter -> scheduler choice.
+    scattered = problems.affected_fraction(ProblemKind.HIGH_SCATTER)
+    if scattered > 0.25:
+        out.append(
+            Advice(
+                title="use a work-stealing scheduler",
+                detail=(
+                    f"{100 * scattered:.0f}% of grains execute far from "
+                    "their siblings; central-queue scheduling scatters "
+                    "siblings across sockets (Strassen, Fig. 11d)"
+                ),
+            )
+        )
+
+    # 7. Poor MHU widespread even with work stealing -> algorithmic.
+    poor_mhu = problems.affected_fraction(
+        ProblemKind.POOR_MEMORY_HIERARCHY_UTILIZATION
+    )
+    if poor_mhu > 0.5:
+        out.append(
+            Advice(
+                title="algorithmic locality work needed",
+                detail=(
+                    f"{100 * poor_mhu:.0f}% of grains underuse the memory "
+                    "hierarchy; critical-path-only optimization will not "
+                    "suffice — consider blocked algorithms, access-pattern "
+                    "fixes (loop interchange) or locality-aware scheduling "
+                    "(FFT Fig. 8, 359.botsspar Sec. 4.3.2)"
+                ),
+            )
+        )
+    return out

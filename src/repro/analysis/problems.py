@@ -1,0 +1,171 @@
+"""Problem detection: metric values crossing thresholds become
+source-linked :class:`Problem` records.
+
+"Performance crippling conditions such as low parallelism, work-inflation,
+and poor parallelization benefit are derived at the grain level and
+depicted directly on the grain graph with precise links that connect
+problem areas to source code."
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+from ..metrics.facade import MetricSet
+from ..metrics.scatter import topology_from_meta
+from .thresholds import Thresholds
+
+
+class ProblemKind(enum.Enum):
+    LOW_PARALLEL_BENEFIT = "low_parallel_benefit"
+    POOR_MEMORY_HIERARCHY_UTILIZATION = "poor_memory_hierarchy_utilization"
+    WORK_INFLATION = "work_inflation"
+    LOW_INSTANTANEOUS_PARALLELISM = "low_instantaneous_parallelism"
+    HIGH_SCATTER = "high_scatter"
+    LOAD_IMBALANCE = "load_imbalance"
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One problematic grain (or the whole graph, for load imbalance)."""
+
+    kind: ProblemKind
+    gid: str  # empty for graph-level problems
+    value: float
+    threshold: float
+    definition: str = ""
+    loc: str = ""
+
+    @property
+    def severity(self) -> float:
+        """How far past the threshold, normalized to [0, 1]; drives the
+        red-to-yellow highlight gradients."""
+        if self.threshold == 0:
+            return 1.0
+        if self.kind in (
+            ProblemKind.LOW_PARALLEL_BENEFIT,
+            ProblemKind.POOR_MEMORY_HIERARCHY_UTILIZATION,
+            ProblemKind.LOW_INSTANTANEOUS_PARALLELISM,
+        ):
+            # Below-threshold problems: 0 at the threshold, 1 at zero.
+            return min(1.0, max(0.0, 1.0 - self.value / self.threshold))
+        # Above-threshold problems: saturate at 4x the threshold.
+        excess = (self.value - self.threshold) / (3.0 * self.threshold)
+        return min(1.0, max(0.0, excess))
+
+
+@dataclass
+class ProblemReport:
+    problems: list[Problem] = field(default_factory=list)
+    by_kind: dict[ProblemKind, list[Problem]] = field(default_factory=dict)
+    total_grains: int = 0
+
+    def add(self, problem: Problem) -> None:
+        self.problems.append(problem)
+        self.by_kind.setdefault(problem.kind, []).append(problem)
+
+    def count(self, kind: ProblemKind) -> int:
+        return len(self.by_kind.get(kind, []))
+
+    def affected_fraction(self, kind: ProblemKind) -> float:
+        """Fraction of grains affected (the Sort table's "Affected grains
+        (%)" statistic)."""
+        if not self.total_grains:
+            return 0.0
+        gids = {p.gid for p in self.by_kind.get(kind, []) if p.gid}
+        return len(gids) / self.total_grains
+
+    def grains_with(self, kind: ProblemKind) -> set[str]:
+        return {p.gid for p in self.by_kind.get(kind, []) if p.gid}
+
+
+def detect_problems(
+    metrics: MetricSet, thresholds: Thresholds | None = None
+) -> ProblemReport:
+    """Run every detector over a computed metric set."""
+    thresholds = thresholds or Thresholds()
+    graph = metrics.graph
+    meta = graph.meta
+    num_threads = meta.num_threads if meta else 1
+    topo = topology_from_meta(meta) if meta else None
+    scatter_threshold = thresholds.resolve_scatter(
+        topo.same_socket_distance if topo else 16.0
+    )
+    parallelism_threshold = thresholds.resolve_parallelism(num_threads)
+
+    report = ProblemReport(total_grains=len(graph.grains))
+    for gid, gm in metrics.per_grain.items():
+        grain = graph.grains[gid]
+        if gm.parallel_benefit < thresholds.parallel_benefit:
+            report.add(
+                Problem(
+                    kind=ProblemKind.LOW_PARALLEL_BENEFIT,
+                    gid=gid,
+                    value=gm.parallel_benefit,
+                    threshold=thresholds.parallel_benefit,
+                    definition=grain.definition,
+                    loc=grain.loc,
+                )
+            )
+        mhu = gm.memory_hierarchy_utilization
+        if math.isfinite(mhu) and mhu < thresholds.memory_hierarchy_utilization:
+            report.add(
+                Problem(
+                    kind=ProblemKind.POOR_MEMORY_HIERARCHY_UTILIZATION,
+                    gid=gid,
+                    value=mhu,
+                    threshold=thresholds.memory_hierarchy_utilization,
+                    definition=grain.definition,
+                    loc=grain.loc,
+                )
+            )
+        if (
+            gm.work_deviation is not None
+            and gm.work_deviation > thresholds.work_deviation
+        ):
+            report.add(
+                Problem(
+                    kind=ProblemKind.WORK_INFLATION,
+                    gid=gid,
+                    value=gm.work_deviation,
+                    threshold=thresholds.work_deviation,
+                    definition=grain.definition,
+                    loc=grain.loc,
+                )
+            )
+        if gm.instantaneous_parallelism < parallelism_threshold:
+            report.add(
+                Problem(
+                    kind=ProblemKind.LOW_INSTANTANEOUS_PARALLELISM,
+                    gid=gid,
+                    value=float(gm.instantaneous_parallelism),
+                    threshold=float(parallelism_threshold),
+                    definition=grain.definition,
+                    loc=grain.loc,
+                )
+            )
+        if gm.scatter > scatter_threshold:
+            report.add(
+                Problem(
+                    kind=ProblemKind.HIGH_SCATTER,
+                    gid=gid,
+                    value=gm.scatter,
+                    threshold=scatter_threshold,
+                    definition=grain.definition,
+                    loc=grain.loc,
+                )
+            )
+    if metrics.load_balance.value > thresholds.load_balance + 1e-9:
+        report.add(
+            Problem(
+                kind=ProblemKind.LOAD_IMBALANCE,
+                gid="",
+                value=metrics.load_balance.value,
+                threshold=thresholds.load_balance,
+                definition=metrics.load_balance.longest_grain,
+            )
+        )
+    return report

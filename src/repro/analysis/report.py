@@ -1,0 +1,105 @@
+"""Top-level analysis report: metrics + problems + per-definition table.
+
+:func:`analyze` is the summary-form output of Sec. 3.3; each experiment's
+benchmark prints one of these next to the paper's claimed numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+from ..metrics.facade import MetricSet
+from ..metrics.parallelism import IntervalPreset
+from ..metrics.summary import (
+    DefinitionSummary,
+    format_definition_table,
+    per_definition_summary,
+)
+from .problems import ProblemKind, ProblemReport, detect_problems
+from .thresholds import Thresholds
+
+
+@dataclass
+class AnalysisReport:
+    metrics: MetricSet
+    problems: ProblemReport
+    thresholds: Thresholds
+    definitions: list[DefinitionSummary] = field(default_factory=list)
+
+    @property
+    def graph(self) -> GrainGraph:
+        return self.metrics.graph
+
+    def affected_percent(self, kind: ProblemKind) -> float:
+        return 100.0 * self.problems.affected_fraction(kind)
+
+    def summary(self) -> str:
+        """Human-readable digest of the whole analysis."""
+        graph = self.graph
+        meta = graph.meta
+        lines = []
+        if meta:
+            lines.append(
+                f"program={meta.program} input={meta.input_summary} "
+                f"flavor={meta.flavor} threads={meta.num_threads}"
+            )
+            lines.append(
+                f"makespan: {meta.makespan_cycles} cycles "
+                f"({meta.makespan_cycles / meta.frequency_hz:.4f} s)"
+            )
+        lines.append(graph.summary())
+        lb = self.metrics.load_balance
+        lines.append(
+            f"load balance: {lb.value:.2f} "
+            f"(longest grain {lb.longest_grain}, {lb.num_chains} chains)"
+        )
+        par = self.metrics.parallelism
+        lines.append(
+            f"instantaneous parallelism: peak={par.peak} mean={par.mean:.1f} "
+            f"interval={par.interval_cycles} cycles"
+        )
+        cp = self.metrics.critical_path
+        lines.append(f"critical path: {cp.length_cycles} cycles, "
+                     f"{len(cp.node_ids)} nodes")
+        lines.append("problems:")
+        for kind in ProblemKind:
+            count = self.problems.count(kind)
+            if count:
+                lines.append(
+                    f"  {kind.value}: {count} findings, "
+                    f"{self.affected_percent(kind):.2f}% of grains affected"
+                )
+        if not self.problems.problems:
+            lines.append("  none — all metrics indicate good behavior")
+        lines.append("")
+        lines.append(format_definition_table(self.definitions[:12]))
+        return "\n".join(lines)
+
+
+def analyze(
+    graph: GrainGraph,
+    reference: GrainGraph | None = None,
+    thresholds: Thresholds | None = None,
+    interval: int | IntervalPreset = IntervalPreset.MEDIAN_GRAIN_LENGTH,
+    optimistic: bool = True,
+) -> AnalysisReport:
+    """Compute metrics, detect problems, and summarize per definition."""
+    thresholds = thresholds or Thresholds()
+    metrics = MetricSet.compute(
+        graph, reference=reference, interval=interval, optimistic=optimistic
+    )
+    problems = detect_problems(metrics, thresholds)
+    definitions = per_definition_summary(
+        graph,
+        benefit_threshold=thresholds.parallel_benefit,
+        mhu_threshold=thresholds.memory_hierarchy_utilization,
+        deviation=metrics.deviation.deviation if metrics.deviation else None,
+        deviation_threshold=thresholds.work_deviation,
+    )
+    return AnalysisReport(
+        metrics=metrics,
+        problems=problems,
+        thresholds=thresholds,
+        definitions=definitions,
+    )

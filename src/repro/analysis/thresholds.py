@@ -1,0 +1,46 @@
+"""Default problem thresholds (Sec. 3.3).
+
+"We highlight memory hierarchy utilization less than two, parallel
+benefit below one, load balance greater than one, work deviation greater
+than two, instantaneous parallelism less than the number of cores used to
+execute the program, and scatter farther than the number of cores in a
+CPU socket as likely problems."
+
+"Problem thresholds have sensible defaults ... and can be refined by
+programmers" (Sec. 4.2) — e.g. the 359.botsspar walkthrough lowers the
+work-deviation threshold from 2 to 1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Problem thresholds; ``None`` core-dependent entries are resolved
+    against the run's trace metadata at detection time."""
+
+    memory_hierarchy_utilization: float = 2.0  # problem when below
+    parallel_benefit: float = 1.0  # problem when below
+    load_balance: float = 1.0  # problem when above
+    work_deviation: float = 2.0  # problem when above
+    instantaneous_parallelism: int | None = None  # below; None = cores used
+    scatter: float | None = None  # above; None = socket size / distance
+
+    def refined(self, **overrides) -> "Thresholds":
+        """A copy with some thresholds replaced (the programmer-refinement
+        path of Sec. 4.2)."""
+        return replace(self, **overrides)
+
+    def resolve_parallelism(self, num_threads: int) -> int:
+        if self.instantaneous_parallelism is not None:
+            return self.instantaneous_parallelism
+        return num_threads
+
+    def resolve_scatter(self, same_socket_distance: float) -> float:
+        """Scatter is problematic beyond one socket: with the NUMA-distance
+        convention that is any median above the same-socket table entry."""
+        if self.scatter is not None:
+            return self.scatter
+        return same_socket_distance

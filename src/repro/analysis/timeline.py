@@ -1,0 +1,81 @@
+"""Thread-timeline view — what "existing visualizations" show (Fig. 4).
+
+The paper's Fig. 4 critique: tools like VTune show per-core busy/runtime
+fractions and load imbalance but "nothing links the load imbalance to the
+culprit tasks".  This module reproduces that aggregate view from the same
+trace, so every experiment can print the existing-tools picture next to
+the grain-graph picture and demonstrate the information gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiler.trace import Trace
+from ..profiler.events import ChunkEvent, FragmentEvent
+
+
+@dataclass
+class ThreadTimeline:
+    """Per-core aggregate statistics (the existing-tools view)."""
+
+    makespan: int
+    busy_cycles: dict[int, int] = field(default_factory=dict)
+    runtime_cycles: dict[int, int] = field(default_factory=dict)  # overhead/idle
+    spans: dict[int, list[tuple[int, int]]] = field(default_factory=dict)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.busy_cycles)
+
+    def busy_fraction(self, core: int) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return self.busy_cycles.get(core, 0) / self.makespan
+
+    def imbalance(self) -> float:
+        """Max over mean busy time — the only signal this view offers."""
+        values = [v for v in self.busy_cycles.values()]
+        if not values or sum(values) == 0:
+            return 1.0
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean else 1.0
+
+    def summary(self) -> str:
+        lines = [
+            f"thread timeline: {self.num_cores} cores, makespan "
+            f"{self.makespan} cycles, busy-time imbalance "
+            f"{self.imbalance():.2f}"
+        ]
+        for core in sorted(self.busy_cycles):
+            frac = self.busy_fraction(core)
+            bar = "#" * int(round(40 * frac))
+            lines.append(f"  core {core:3d} |{bar:<40}| {100 * frac:5.1f}% busy")
+        lines.append(
+            "  (no per-task information: load imbalance is visible but "
+            "nothing links it to culprit grains)"
+        )
+        return "\n".join(lines)
+
+
+def thread_timeline(trace: Trace) -> ThreadTimeline:
+    """Aggregate the trace the way a thread-timeline tool would."""
+    makespan = trace.meta.makespan_cycles
+    cores = range(trace.meta.num_threads)
+    timeline = ThreadTimeline(makespan=makespan)
+    for core in cores:
+        timeline.busy_cycles[core] = 0
+        timeline.runtime_cycles[core] = 0
+        timeline.spans[core] = []
+    for event in trace.events:
+        if isinstance(event, (FragmentEvent, ChunkEvent)):
+            span = event.end - event.start
+            timeline.busy_cycles[event.core] = (
+                timeline.busy_cycles.get(event.core, 0) + span
+            )
+            timeline.spans.setdefault(event.core, []).append(
+                (event.start, event.end)
+            )
+    for core in timeline.busy_cycles:
+        timeline.runtime_cycles[core] = makespan - timeline.busy_cycles[core]
+    return timeline

@@ -1,0 +1,162 @@
+"""Color-encoded views: one problem or property per view (Sec. 4.2).
+
+"The grain graph has multiple views with colors encoding a single problem
+or property per view.  Problematic grains, i.e., those that have crossed
+thresholds, are highlighted and other elements are dimmed in views where
+grain colors encode problems."
+
+Gradients follow the paper's figures: problems use a red-to-yellow linear
+gradient over severity (red = worst); the scatter view uses a
+violet-to-red rainbow gradient keyed to the executing core (Fig. 11c/d);
+the definition view assigns a categorical color per source definition
+(Fig. 6a, 9a, 11a).  Colors are plain ``#rrggbb`` strings consumed by the
+SVG and GraphML exporters.
+"""
+
+from __future__ import annotations
+
+import colorsys
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+from ..metrics.facade import MetricSet
+from .problems import ProblemKind, ProblemReport
+
+DIM = "#d9d9d9"
+DEFAULT = "#9ecae1"
+CRITICAL = "#d62728"
+
+VIEW_KINDS = (
+    "parallel_benefit",
+    "memory_hierarchy_utilization",
+    "work_inflation",
+    "instantaneous_parallelism",
+    "scatter",
+    "definition",
+    "critical_path",
+)
+
+_PROBLEM_OF_VIEW = {
+    "parallel_benefit": ProblemKind.LOW_PARALLEL_BENEFIT,
+    "memory_hierarchy_utilization": ProblemKind.POOR_MEMORY_HIERARCHY_UTILIZATION,
+    "work_inflation": ProblemKind.WORK_INFLATION,
+    "instantaneous_parallelism": ProblemKind.LOW_INSTANTANEOUS_PARALLELISM,
+    "scatter": ProblemKind.HIGH_SCATTER,
+}
+
+
+def heat_color(severity: float) -> str:
+    """Red-to-yellow linear gradient; severity in [0, 1], 1 = red."""
+    severity = min(1.0, max(0.0, severity))
+    # Hue from 60 (yellow) down to 0 (red).
+    hue = (1.0 - severity) * 60.0 / 360.0
+    r, g, b = colorsys.hsv_to_rgb(hue, 0.95, 0.95)
+    return f"#{int(r * 255):02x}{int(g * 255):02x}{int(b * 255):02x}"
+
+
+def rainbow_color(fraction: float) -> str:
+    """Violet-to-red gradient (the scatter view's core encoding)."""
+    fraction = min(1.0, max(0.0, fraction))
+    hue = (0.75 * (1.0 - fraction)) % 1.0  # violet (0.75) -> red (0.0)
+    r, g, b = colorsys.hsv_to_rgb(hue, 0.85, 0.9)
+    return f"#{int(r * 255):02x}{int(g * 255):02x}{int(b * 255):02x}"
+
+
+def categorical_color(index: int) -> str:
+    """Well-separated categorical palette (definition views)."""
+    palette = (
+        "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd",
+        "#8c564b", "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+        "#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5",
+    )
+    return palette[index % len(palette)]
+
+
+def dim_color() -> str:
+    return DIM
+
+
+@dataclass
+class View:
+    """Grain id -> fill color for one view, plus legend info."""
+
+    kind: str
+    colors: dict[str, str] = field(default_factory=dict)
+    legend: dict[str, str] = field(default_factory=dict)
+    highlighted: set[str] = field(default_factory=set)
+
+    def color_of(self, gid: str) -> str:
+        return self.colors.get(gid, DIM)
+
+
+def make_view(
+    metrics: MetricSet,
+    problems: ProblemReport,
+    kind: str,
+) -> View:
+    """Build a view: problem views highlight offending grains with a
+    severity heat gradient and dim the rest; the definition view colors
+    all grains categorically; the critical-path view marks CP grains."""
+    if kind not in VIEW_KINDS:
+        raise ValueError(f"unknown view {kind!r}; options: {VIEW_KINDS}")
+    graph = metrics.graph
+    view = View(kind=kind)
+
+    if kind == "definition":
+        definitions = sorted({g.definition for g in graph.grains.values()})
+        color_of_def = {
+            definition: categorical_color(i)
+            for i, definition in enumerate(definitions)
+        }
+        for gid, grain in graph.grains.items():
+            view.colors[gid] = color_of_def[grain.definition]
+        view.legend = color_of_def
+        view.highlighted = set(graph.grains)
+        return view
+
+    if kind == "critical_path":
+        on_path = metrics.critical_path.grain_ids(graph)
+        for gid in graph.grains:
+            if gid in on_path:
+                view.colors[gid] = CRITICAL
+                view.highlighted.add(gid)
+            else:
+                view.colors[gid] = DIM
+        view.legend = {"on critical path": CRITICAL, "off path": DIM}
+        return view
+
+    if kind == "scatter":
+        # Scatter highlights use the executing core encoded on a rainbow
+        # gradient (Fig. 11c/d); non-problematic grains are dimmed.
+        num_cores = max(1, (graph.meta.num_cores_total if graph.meta else 1))
+        offenders = problems.grains_with(ProblemKind.HIGH_SCATTER)
+        for gid, grain in graph.grains.items():
+            if gid in offenders:
+                view.colors[gid] = rainbow_color(
+                    grain.primary_core / max(1, num_cores - 1)
+                )
+                view.highlighted.add(gid)
+            else:
+                view.colors[gid] = DIM
+        view.legend = {"core 0": rainbow_color(0.0), f"core {num_cores - 1}": rainbow_color(1.0)}
+        return view
+
+    problem_kind = _PROBLEM_OF_VIEW[kind]
+    severity_of: dict[str, float] = {}
+    for problem in problems.by_kind.get(problem_kind, []):
+        if problem.gid:
+            severity_of[problem.gid] = max(
+                severity_of.get(problem.gid, 0.0), problem.severity
+            )
+    for gid in graph.grains:
+        if gid in severity_of:
+            view.colors[gid] = heat_color(severity_of[gid])
+            view.highlighted.add(gid)
+        else:
+            view.colors[gid] = DIM
+    view.legend = {
+        "worst": heat_color(1.0),
+        "at threshold": heat_color(0.0),
+        "no problem": DIM,
+    }
+    return view

@@ -1,0 +1,36 @@
+"""The paper's benchmark programs, re-expressed for the simulated runtime.
+
+Each module provides ``program(...)`` factories returning
+:class:`repro.runtime.Program` objects, in original (bugs included) and
+optimized variants exactly as analysed in Sec. 2 and Sec. 4:
+
+- :mod:`.kdtree` — SPEC 376.kdtree; the sweep recursion forgets to
+  increment its depth, so the cutoff never fires (Sec. 2 / Fig. 2).
+- :mod:`.sort` — BOTS Sort; non-uniform waxing/waning parallelism and
+  NUMA work inflation fixed by round-robin pages (Sec. 4.3.1 / Fig. 5).
+- :mod:`.sparselu` — SPEC 359.botsspar; two interleaved phases and
+  widespread work inflation from the cache-unfriendly ``bmod`` loop
+  (Sec. 4.3.2 / Fig. 6).
+- :mod:`.fft` — BOTS FFT; too-small grains fixed by depth cutoffs, then
+  poor memory-hierarchy utilization remains (Sec. 4.3.3 / Figs. 7-8).
+- :mod:`.freqmine` — Parsec Freqmine; the skewed FPGF loop, incurable
+  imbalance, core minimization (Sec. 4.3.4 / Figs. 9-10, Table 1).
+- :mod:`.strassen` — BOTS Strassen; a hard-coded cutoff overrides the
+  submatrix-size parameter (Sec. 4.3.5 / Fig. 11).
+- :mod:`.others` — the Sec. 4.3.6 round-up: Blackscholes, 367.imagick,
+  372.smithwa, NQueens, 358.botsalgn, Fibonacci, UTS, Bodytrack.
+- :mod:`.micro` — the Fig. 3 illustration programs used by tests.
+"""
+
+from . import kdtree, sort, sparselu, fft, freqmine, strassen, others, micro
+
+__all__ = [
+    "kdtree",
+    "sort",
+    "sparselu",
+    "fft",
+    "freqmine",
+    "strassen",
+    "others",
+    "micro",
+]

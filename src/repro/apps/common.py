@@ -1,0 +1,62 @@
+"""Shared helpers for the benchmark applications.
+
+Applications describe computation with :class:`WorkRequest` cost models
+calibrated per algorithm (documented in each module); structure — which
+tasks are created, when they synchronize, which loops run — follows the
+original C sources.  The deterministic generator here replaces the
+benchmarks' input files and ``rand()`` seeds.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class DeterministicRandom:
+    """A tiny, fully deterministic LCG (Numerical Recipes constants).
+
+    Substitutes the benchmarks' libc ``rand()`` so inputs are identical on
+    every run and platform without carrying data files.
+    """
+
+    _A = 1664525
+    _C = 1013904223
+    _M = 2**32
+
+    def __init__(self, seed: int = 20160312) -> None:  # PPoPP'16 dates
+        self._state = seed % self._M
+
+    def next_u32(self) -> int:
+        self._state = (self._A * self._state + self._C) % self._M
+        return self._state
+
+    def uniform(self) -> float:
+        """Float in [0, 1)."""
+        return self.next_u32() / self._M
+
+    def randint(self, lo: int, hi: int) -> int:
+        """Integer in [lo, hi]."""
+        if hi < lo:
+            raise ValueError("empty range")
+        return lo + self.next_u32() % (hi - lo + 1)
+
+    def shuffle(self, items: list) -> None:
+        for i in range(len(items) - 1, 0, -1):
+            j = self.next_u32() % (i + 1)
+            items[i], items[j] = items[j], items[i]
+
+
+def flops_cycles(flops: float, flops_per_cycle: float = 2.0) -> int:
+    """Convert a flop estimate to compute cycles (superscalar factor 2)."""
+    return max(1, int(flops / flops_per_cycle))
+
+
+def nlogn_cycles(n: int, per_element: float = 4.0) -> int:
+    """Cost of an O(n log n) phase over ``n`` elements."""
+    if n <= 1:
+        return max(1, int(per_element))
+    return max(1, int(per_element * n * math.log2(n)))
+
+
+def linear_cycles(n: int, per_element: float = 2.0) -> int:
+    return max(1, int(per_element * n))

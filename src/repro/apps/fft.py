@@ -1,0 +1,184 @@
+"""FFT from BOTS (Sec. 4.3.3, Figs. 1, 7, 8).
+
+Recursive Cooley-Tukey 1-D DFT over complex samples.  "Many tasks are
+created even for small inputs since several tasks are created for each
+divide": each divide spawns four sub-transforms plus recursive
+twiddle-generation tasks (``fft_twiddle_gen`` splits its range in halves,
+as in BOTS), and the original program has *no* cutoff, so "most grains
+are too small to provide parallel benefit".
+
+The paper's optimization adds two recursion-depth cutoffs (found via the
+graph's structural feedback, the heaviest candidate being the
+``fft_aux`` call at ``fft.c:4680``); grains then show good parallel
+benefit on every runtime, but "a majority of grains have poor memory
+hierarchy utilization" remains (Fig. 8) because the butterfly access
+pattern strides through the array — algorithmic change territory.
+
+Source definitions carry the paper's Fig. 7 labels (``fft.c:4680``,
+``fft.c:3522``, ``fft.c:2329``, ``fft.c:1511``).
+
+Cost calibration: leaves cost ~6 n log2 n cycles, twiddle/combine passes
+~3 n cycles, over 16-byte complex elements with stride pattern 0.6 —
+enough misses that most grains sit below the MHU threshold of 2 (the
+Fig. 8 signal) without the stalls swallowing the parallelism win of the
+cutoff fix.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common import SourceLocation
+from ..machine.cost import Access, WorkRequest
+from ..machine.memory import Placement, RoundRobin
+from ..runtime.actions import Alloc, Spawn, TaskWait, Work
+from ..runtime.api import Program
+from .common import linear_cycles, nlogn_cycles
+
+LOC_FFT_AUX = SourceLocation("fft.c", 4680, "fft_aux")
+LOC_TWIDDLE = SourceLocation("fft.c", 3522, "fft_twiddle_gen")
+LOC_UNSHUFFLE = SourceLocation("fft.c", 2329, "fft_unshuffle")
+LOC_BASE = SourceLocation("fft.c", 1511, "fft_base")
+
+_ELEM = 16  # complex doubles
+_PATTERN = 0.6  # strided butterflies
+
+
+def _leaf_request(region_id: int, n: int) -> WorkRequest:
+    return WorkRequest(
+        cycles=nlogn_cycles(n, per_element=6.0),
+        accesses=(Access(region_id, n * _ELEM, pattern=_PATTERN),),
+    )
+
+
+def _twiddle_request(region_id: int, n: int) -> WorkRequest:
+    return WorkRequest(
+        cycles=linear_cycles(n, per_element=3.0),
+        accesses=(Access(region_id, n * _ELEM, pattern=_PATTERN),),
+    )
+
+
+def program(
+    samples: int = 1 << 16,
+    base: int = 32,
+    cutoff_depth: int | None = None,
+    placement: Placement | None = None,
+    name: str = "fft",
+) -> Program:
+    """BOTS FFT.  ``cutoff_depth=None`` is the original (no cutoff);
+    setting it enables the paper's optimization — below that divide depth
+    sub-transforms and twiddle ranges run serially inside one grain."""
+    if samples < 4 or samples & (samples - 1):
+        raise ValueError("samples must be a power of two >= 4")
+    placement = placement or RoundRobin()
+    # Serial-leaf size implied by the cutoff; twiddle recursion stops at
+    # the same granularity ("the same cutoff could be used in several
+    # places").
+    serial_n = (
+        max(base, samples >> (2 * cutoff_depth))
+        if cutoff_depth is not None
+        else base
+    )
+
+    def twiddle_leaf(region_id: int, n: int):
+        def body():
+            yield Work(_twiddle_request(region_id, n))
+
+        return body
+
+    def twiddle_gen(region_id: int, n: int):
+        """Twiddle generation over ``n`` samples, one task per
+        ``serial_n`` range (BOTS splits recursively; the flat split
+        produces the same leaf grains with fewer zero-work parents)."""
+
+        def body():
+            if n <= serial_n:
+                yield Work(_twiddle_request(region_id, n))
+                return
+            remaining = n
+            while remaining > 0:
+                piece = min(serial_n, remaining)
+                yield Spawn(twiddle_leaf(region_id, piece), loc=LOC_TWIDDLE)
+                remaining -= piece
+            # Range-splitting bookkeeping happens in this grain.
+            yield Work(_twiddle_request(region_id, max(1, n // 16)))
+            yield TaskWait()
+
+        return body
+
+    def serial_subtree(region_id: int, n: int):
+        """A whole sub-transform in one grain (below the cutoff)."""
+
+        def body():
+            yield Work(_leaf_request(region_id, n))
+
+        return body
+
+    def fft_aux(region_id: int, n: int, depth: int):
+        def body():
+            if n <= base:
+                yield Work(_leaf_request(region_id, n))
+                return
+            quarter = n // 4
+            # Decompose/bit-reversal copy pass before dividing.
+            yield Work(_twiddle_request(region_id, n // 8))
+            for _ in range(4):
+                if cutoff_depth is not None and depth + 1 >= cutoff_depth:
+                    yield Spawn(
+                        serial_subtree(region_id, quarter), loc=LOC_FFT_AUX
+                    )
+                else:
+                    yield Spawn(
+                        fft_aux(region_id, quarter, depth + 1), loc=LOC_FFT_AUX
+                    )
+            yield TaskWait()
+            # The combine/twiddle pass runs after the sub-transforms, as
+            # two recursive task trees over each half of the range.
+            yield Spawn(twiddle_gen(region_id, n // 2), loc=LOC_TWIDDLE)
+            yield Spawn(twiddle_gen(region_id, n // 2), loc=LOC_TWIDDLE)
+            yield TaskWait()
+            yield Work(WorkRequest(cycles=200))  # glue
+
+        return body
+
+    def unshuffle_task(region_id: int, n: int):
+        def body():
+            yield Work(
+                WorkRequest(
+                    cycles=linear_cycles(n, per_element=1.2),
+                    accesses=(Access(region_id, n * _ELEM, pattern=_PATTERN),),
+                )
+            )
+
+        return body
+
+    def main():
+        data = yield Alloc("samples", samples * _ELEM, placement)
+        rid = data.region_id
+        # Bit-reversal unshuffle passes (tasked in BOTS).
+        pieces = min(64, max(1, samples // max(serial_n, 1)))
+        for _ in range(pieces):
+            yield Spawn(unshuffle_task(rid, samples // pieces), loc=LOC_UNSHUFFLE)
+        yield TaskWait()
+        yield Spawn(fft_aux(rid, samples, 0), loc=LOC_FFT_AUX)
+        yield TaskWait()
+
+    return Program(
+        name=name,
+        body=main,
+        input_summary=f"n={samples} base={base} cutoff_depth={cutoff_depth}",
+    )
+
+
+def program_optimized(
+    samples: int = 1 << 16, cutoff_depth: int = 4, base: int = 32
+) -> Program:
+    """The paper's fix: recursion-depth cutoffs ("The same cutoff could be
+    used in several places which allowed us to reduce the number of
+    cutoffs to two")."""
+    return program(
+        samples=samples,
+        base=base,
+        cutoff_depth=cutoff_depth,
+        name="fft-optimized",
+    )

@@ -1,0 +1,205 @@
+"""376.kdtree from SPEC OMP 2012 (Sec. 2, Figs. 1-2).
+
+The program builds a k-d tree over random points and then, in parallel,
+(a) *sweeps* the tree with one task per node and (b) spawns a *search*
+task per point to find neighbors within a radius.  A ``cutoff`` parameter
+should stop task creation below a recursion depth, but
+``kdnode::sweeptree()`` "has a recursive call where the depth is not
+incremented", so the cutoff never fires and the reference input creates
+1,488,595 tasks of mostly trivial size.
+
+Variants:
+
+- :func:`program` — the original, bug included.
+- :func:`program_fixed` — the paper's fix: the depth is incremented on
+  recursive calls and the sweep gets its own, separate cutoff ("We
+  increase the value of the original cutoff from 2 to 8 and use 10 as the
+  sweep cutoff").
+
+The k-d tree is built for real (median splits over deterministic points),
+so the task tree has the genuine shape; per-task costs are analytic:
+sweeping a node is a handful of comparisons, searching is
+O(log n + neighbors) node visits.
+
+Cost calibration: a sweep visit is ~60 cycles and a neighbor search
+~(140 log2 n + 30 k) cycles, touching the tree region.  With the paper's
+small input (tree size 200, radius 10, cutoff 2) the buggy program yields
+~740 grains — Fig. 2's count — because every one of the 2n-1 tree nodes
+and every point becomes a task.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..common import SourceLocation
+from ..machine.cost import Access, WorkRequest
+from ..runtime.actions import Alloc, Spawn, TaskWait, Work
+from ..runtime.api import Program
+from .common import DeterministicRandom
+
+LOC_SWEEP = SourceLocation("kdtree.cpp", 402, "kdnode::sweeptree")
+LOC_SEARCH = SourceLocation("kdtree.cpp", 517, "kdnode::searchradius")
+LOC_MAIN = SourceLocation("kdtree.cpp", 88, "main")
+
+_POINT_BYTES = 24  # 3 doubles
+
+
+@dataclass
+class _KDNode:
+    point: tuple[float, float, float]
+    left: "_KDNode | None" = None
+    right: "_KDNode | None" = None
+    size: int = 1  # nodes in this subtree
+
+
+def build_tree(n: int, seed: int = 7) -> _KDNode | None:
+    """A real k-d tree over ``n`` deterministic points (median splits)."""
+    rng = DeterministicRandom(seed)
+    points = [
+        (rng.uniform() * 100, rng.uniform() * 100, rng.uniform() * 100)
+        for _ in range(n)
+    ]
+
+    def build(items: list, axis: int) -> _KDNode | None:
+        if not items:
+            return None
+        items.sort(key=lambda p: p[axis])
+        mid = len(items) // 2
+        node = _KDNode(point=items[mid])
+        node.left = build(items[:mid], (axis + 1) % 3)
+        node.right = build(items[mid + 1 :], (axis + 1) % 3)
+        node.size = (
+            1
+            + (node.left.size if node.left else 0)
+            + (node.right.size if node.right else 0)
+        )
+        return node
+
+    return build(points, 0)
+
+
+def _sweep_cost(region_id: int) -> WorkRequest:
+    """Visiting one tree node during the sweep: a few comparisons."""
+    return WorkRequest(
+        cycles=60,
+        accesses=(Access(region_id, 2 * _POINT_BYTES, pattern=0.6),),
+    )
+
+
+def _search_cost(region_id: int, tree_size: int, radius: float) -> WorkRequest:
+    """One radius search: ~log2(n) descent plus neighbor scanning."""
+    log_n = max(1.0, math.log2(max(2, tree_size)))
+    expected_neighbors = min(tree_size, max(1, int(radius * 0.8)))
+    visits = int(60 * log_n + 15 * expected_neighbors)
+    return WorkRequest(
+        cycles=visits,
+        accesses=(
+            Access(
+                region_id,
+                (int(log_n) + expected_neighbors) * _POINT_BYTES,
+                pattern=0.5,  # pointer chasing through the tree
+            ),
+        ),
+    )
+
+
+def _make_program(
+    name: str,
+    tree_size: int,
+    radius: float,
+    cutoff: int,
+    fixed: bool,
+    sweep_cutoff: int,
+) -> Program:
+    root = build_tree(tree_size)
+
+    def serial_subtree_request(node: _KDNode, region_id: int) -> WorkRequest:
+        """Sweeping a whole subtree — visits plus per-point searches —
+        inside one grain (what happens below an effective cutoff)."""
+        log_n = max(1.0, math.log2(max(2, tree_size)))
+        neighbors = min(tree_size, max(1, int(radius * 0.8)))
+        per_point = int(60 + 60 * log_n + 15 * neighbors)
+        return WorkRequest(
+            cycles=per_point * node.size,
+            accesses=(
+                Access(
+                    region_id,
+                    node.size * (int(log_n) + neighbors) * _POINT_BYTES,
+                    pattern=0.5,
+                ),
+            ),
+        )
+
+    def search(region_id: int):
+        """One find-neighbors task for a single point."""
+
+        def body():
+            yield Work(_search_cost(region_id, tree_size, radius))
+
+        return body
+
+    def sweep(node: _KDNode, depth: int, region_id: int):
+        """One sweep task: visit the node, spawn the point's search task,
+        recurse.  In the original, the recursive Spawn passes ``depth``
+        unchanged — the SPEC bug that defeats the cutoff; the fix passes
+        ``depth + 1`` and checks the dedicated sweep cutoff."""
+
+        def body():
+            yield Work(_sweep_cost(region_id))
+            yield Spawn(search(region_id), loc=LOC_SEARCH)
+            limit = sweep_cutoff if fixed else cutoff
+            for child in (node.left, node.right):
+                if child is None:
+                    continue
+                child_depth = depth + 1 if fixed else depth  # <-- the bug
+                if child_depth < limit:
+                    yield Spawn(
+                        sweep(child, child_depth, region_id), loc=LOC_SWEEP
+                    )
+                else:
+                    # Below the cutoff the whole subtree (sweep visits and
+                    # its points' searches) runs serially in this grain.
+                    yield Work(serial_subtree_request(child, region_id))
+            # Fire-and-forget, as in the original: synchronization happens
+            # at the end of the parallel region.
+
+        return body
+
+    def main():
+        region = yield Alloc("kdtree", tree_size * 3 * _POINT_BYTES)
+        if root is not None:
+            yield Spawn(sweep(root, 0, region.region_id), loc=LOC_SWEEP)
+        yield TaskWait()
+
+    return Program(
+        name=name,
+        body=main,
+        input_summary=(
+            f"tree={tree_size} radius={radius} cutoff={cutoff}"
+            + (f" sweep_cutoff={sweep_cutoff}" if fixed else "")
+        ),
+    )
+
+
+def program(
+    tree_size: int = 200, radius: float = 10.0, cutoff: int = 2
+) -> Program:
+    """The original 376.kdtree with the missing depth increment."""
+    return _make_program(
+        "376.kdtree", tree_size, radius, cutoff, fixed=False, sweep_cutoff=0
+    )
+
+
+def program_fixed(
+    tree_size: int = 200,
+    radius: float = 10.0,
+    cutoff: int = 8,
+    sweep_cutoff: int = 10,
+) -> Program:
+    """The paper's fix: incremented depth plus a separate sweep cutoff."""
+    return _make_program(
+        "376.kdtree-fixed", tree_size, radius, cutoff,
+        fixed=True, sweep_cutoff=sweep_cutoff,
+    )

@@ -1,0 +1,102 @@
+"""Micro programs: the Fig. 3 illustrations and test fixtures.
+
+- :func:`fig3a` — "Task foo creates tasks bar and baz, performs
+  computation in-between and synchronizes with the children tasks."
+- :func:`fig3b` — "Iteration space is divided into 5 chunks of size 4 and
+  distributed evenly on two threads."
+- :func:`fire_and_forget` — a sweep-style tree without taskwaits,
+  synchronizing at the region barrier.
+- :func:`serial_only` — a program with no parallel constructs at all.
+"""
+
+from __future__ import annotations
+
+from ..common import SourceLocation
+from ..machine.cost import WorkRequest
+from ..runtime.actions import ParallelFor, Spawn, TaskWait, Work
+from ..runtime.api import Program
+from ..runtime.loops import LoopSpec, Schedule
+
+LOC_FOO = SourceLocation("fig3.c", 2, "foo")
+LOC_BAR = SourceLocation("fig3.c", 4, "bar")
+LOC_BAZ = SourceLocation("fig3.c", 7, "baz")
+LOC_LOOP = SourceLocation("fig3.c", 20, "loop")
+LOC_SWEEP = SourceLocation("micro.c", 40, "sweep")
+
+
+def _leaf(cycles: int):
+    def body():
+        yield Work(WorkRequest(cycles=cycles))
+
+    return body
+
+
+def fig3a(
+    bar_cycles: int = 3000, baz_cycles: int = 2000, between: int = 500
+) -> Program:
+    """The Fig. 3a task program."""
+
+    def foo():
+        yield Work(WorkRequest(cycles=1000))
+        yield Spawn(_leaf(bar_cycles), loc=LOC_BAR, label="bar")
+        yield Work(WorkRequest(cycles=between))
+        yield Spawn(_leaf(baz_cycles), loc=LOC_BAZ, label="baz")
+        yield Work(WorkRequest(cycles=between))
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=200))
+
+    def main():
+        yield Spawn(foo, loc=LOC_FOO, label="foo")
+        yield TaskWait()
+
+    return Program("fig3a", main, input_summary="foo/bar/baz")
+
+
+def fig3b(
+    iterations: int = 20, chunk: int = 4, threads: int = 2,
+    iter_cycles: int = 250,
+) -> Program:
+    """The Fig. 3b loop program: 5 chunks of 4 on two threads."""
+
+    def main():
+        yield ParallelFor(
+            LoopSpec(
+                iterations=iterations,
+                chunk_size=chunk,
+                num_threads=threads,
+                body=lambda i: WorkRequest(cycles=iter_cycles),
+                schedule=Schedule.STATIC,
+                loc=LOC_LOOP,
+            )
+        )
+
+    return Program(
+        "fig3b", main, input_summary=f"n={iterations} chunk={chunk} T={threads}"
+    )
+
+
+def fire_and_forget(depth: int = 5, work: int = 300) -> Program:
+    """A binary sweep without taskwaits (region-barrier sync)."""
+
+    def sweep(level: int):
+        def body():
+            yield Work(WorkRequest(cycles=work))
+            if level < depth:
+                yield Spawn(sweep(level + 1), loc=LOC_SWEEP)
+                yield Spawn(sweep(level + 1), loc=LOC_SWEEP)
+
+        return body
+
+    def main():
+        yield Spawn(sweep(0), loc=LOC_SWEEP)
+
+    return Program("fire_and_forget", main, input_summary=f"depth={depth}")
+
+
+def serial_only(cycles: int = 10_000) -> Program:
+    """No parallel constructs: one root grain."""
+
+    def main():
+        yield Work(WorkRequest(cycles=cycles))
+
+    return Program("serial_only", main, input_summary=f"cycles={cycles}")

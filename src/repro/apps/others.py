@@ -1,0 +1,467 @@
+"""The Sec. 4.3.6 round-up benchmarks.
+
+Grouped as in the paper by 48-core speedup with MIR:
+
+Speedup over 30: Blackscholes (poor-MHU/low-benefit chunks),
+367.imagick (five loops missing ``omp_throttle``), 372.smithwa
+(imbalanced parallel blocks), NQueens and 358.botsalgn (linear scaling,
+all metrics good), Fibonacci (teaching example: depth cutoffs control
+leaf grain size).
+
+Speedup under 20: UTS (poor parallel benefit across millions of tiny
+grains), Bodytrack (small chunks, low MHU, serial sections), Floorplan
+(non-deterministic pruning — represented by a seed parameter changing the
+graph shape, mirroring its thread-count-dependent shape).
+"""
+
+from __future__ import annotations
+
+from ..common import SourceLocation
+from ..machine.cost import Access, WorkRequest
+from ..machine.memory import FirstTouch, RoundRobin
+from ..runtime.actions import Alloc, ParallelFor, Spawn, TaskWait, Work
+from ..runtime.api import Program
+from ..runtime.loops import LoopSpec, Schedule
+from .common import DeterministicRandom, linear_cycles
+
+# ---------------------------------------------------------------------------
+# Fibonacci
+# ---------------------------------------------------------------------------
+LOC_FIB = SourceLocation("fib.c", 33, "fib")
+
+
+def fib_serial(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+def _fib_leaf_cycles(n: int) -> int:
+    """Serial recursive fib(n) costs ~phi^n call frames, ~12 cycles each."""
+    return max(8, int(12 * (1.618 ** min(n, 30))))
+
+
+def fib(n: int = 30, cutoff: int = 12) -> Program:
+    """Task-parallel Fibonacci with a depth cutoff — the paper's teaching
+    example: "the grain graph immediately demonstrates how depth cutoffs
+    control recursion depth and amount of computation performed by leaf
+    grains"."""
+
+    def task(m: int, depth: int):
+        def body():
+            if m < 2 or depth >= cutoff:
+                yield Work(WorkRequest(cycles=_fib_leaf_cycles(m)))
+                return
+            yield Spawn(task(m - 1, depth + 1), loc=LOC_FIB)
+            yield Spawn(task(m - 2, depth + 1), loc=LOC_FIB)
+            yield TaskWait()
+            yield Work(WorkRequest(cycles=12))
+
+        return body
+
+    def main():
+        yield Spawn(task(n, 0), loc=LOC_FIB)
+        yield TaskWait()
+
+    return Program("fib", main, input_summary=f"n={n} cutoff={cutoff}")
+
+
+# ---------------------------------------------------------------------------
+# NQueens — real board propagation, one task per safe placement.
+# ---------------------------------------------------------------------------
+LOC_NQUEENS = SourceLocation("nqueens.c", 28, "nqueens")
+
+
+def nqueens(n: int = 10, cutoff: int = 4) -> Program:
+    """BOTS NQueens (manual cutoff version): scales linearly and "all
+    metrics indicate good behavior"."""
+
+    def safe(board: tuple[int, ...], col: int) -> bool:
+        row = len(board)
+        return all(
+            placed != col and abs(placed - col) != row - placed_row
+            for placed_row, placed in enumerate(board)
+        )
+
+    def count_serial(board: tuple[int, ...]) -> int:
+        if len(board) == n:
+            return 1
+        return sum(
+            count_serial(board + (col,))
+            for col in range(n)
+            if safe(board, col)
+        )
+
+    def subtree_cycles(board: tuple[int, ...]) -> int:
+        """Cost of exploring a subtree serially: ~35 cycles per node; the
+        node count comes from the real solver."""
+        nodes = _count_nodes(board)
+        return max(20, 35 * nodes)
+
+    def _count_nodes(board: tuple[int, ...]) -> int:
+        if len(board) == n:
+            return 1
+        total = 1
+        for col in range(n):
+            if safe(board, col):
+                total += _count_nodes(board + (col,))
+        return total
+
+    def task(board: tuple[int, ...]):
+        def body():
+            if len(board) >= cutoff or len(board) == n:
+                yield Work(WorkRequest(cycles=subtree_cycles(board)))
+                return
+            spawned = False
+            for col in range(n):
+                if safe(board, col):
+                    yield Spawn(task(board + (col,)), loc=LOC_NQUEENS)
+                    spawned = True
+            yield Work(WorkRequest(cycles=40))
+            if spawned:
+                yield TaskWait()
+
+        return body
+
+    def main():
+        yield Spawn(task(()), loc=LOC_NQUEENS)
+        yield TaskWait()
+
+    return Program("nqueens", main, input_summary=f"n={n} cutoff={cutoff}")
+
+
+# ---------------------------------------------------------------------------
+# UTS — unbalanced tree search; geometric branching from a per-node hash.
+# ---------------------------------------------------------------------------
+LOC_UTS = SourceLocation("uts.c", 134, "parTreeSearch")
+
+
+def uts(
+    expected_nodes: int = 4000, branch: int = 2, decay: float = 0.96,
+    max_depth: int = 48, seed: int = 42,
+) -> Program:
+    """UTS "suffers from poor parallel benefit for most of the 4 million
+    grains" — tiny tasks, one per tree node, highly imbalanced subtrees.
+
+    The tree shape is a pure function of (node id, depth, seed) — the
+    per-node hash of real UTS — so it is identical on every run and
+    thread count (schedule-independent grain identities hold).
+    ``expected_nodes`` scales the subcritical branching process;
+    ``max_depth`` is a hard cap like UTS's own depth bound.
+    """
+    # Galton-Watson sizing: mean children branch * decay^depth; the scale
+    # knob shifts the supercritical region's width.
+    import math
+
+    scale = max(0.5, math.log2(max(2, expected_nodes)) / 11.0)
+
+    def num_children(node_id: int, depth: int) -> int:
+        if depth >= max_depth:
+            return 0
+        rng = DeterministicRandom(seed * 2654435761 + node_id * 40503 + depth)
+        p = min(1.0, scale * decay ** depth)
+        return sum(1 for _ in range(branch) if rng.uniform() < p)
+
+    def task(node_id: int, depth: int):
+        def body():
+            yield Work(WorkRequest(cycles=180))  # the per-node "hash"
+            for child in range(num_children(node_id, depth)):
+                child_id = node_id * (branch + 1) + child + 1
+                yield Spawn(task(child_id, depth + 1), loc=LOC_UTS)
+            # fire-and-forget, as in UTS: sync at the region barrier
+
+        return body
+
+    def main():
+        yield Spawn(task(0, 0), loc=LOC_UTS)
+
+    return Program(
+        "uts", main,
+        input_summary=f"expected~{expected_nodes} b={branch} d={decay}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Blackscholes — one parallel for-loop over options.
+# ---------------------------------------------------------------------------
+LOC_BLACKSCHOLES = SourceLocation("blackscholes.c", 370, "bs_thread")
+
+
+def blackscholes(options: int = 40_000, chunk: int = 64) -> Program:
+    """"Over 65% of chunks of the sole parallel for-loop ... have poor
+    memory hierarchy utilization.  Around 33% of the chunks also have low
+    parallel benefit": a streaming option-pricing loop whose working set
+    (first-touch on the master node) never fits in cache."""
+
+    def main():
+        data = yield Alloc("options", options * 256, FirstTouch(0))
+        rid = data.region_id
+
+        def body(i: int) -> WorkRequest:
+            return WorkRequest(
+                cycles=420,
+                accesses=(Access(rid, 256, pattern=0.5),),
+            )
+
+        yield ParallelFor(
+            LoopSpec(
+                iterations=options,
+                body=body,
+                schedule=Schedule.STATIC,
+                chunk_size=chunk,
+                loc=LOC_BLACKSCHOLES,
+            )
+        )
+
+    return Program(
+        "blackscholes", main, input_summary=f"options={options} chunk={chunk}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# 358.botsalgn — protein alignment: big uniform tasks, linear scaling.
+# ---------------------------------------------------------------------------
+LOC_ALIGN = SourceLocation("alignment.c", 560, "align")
+
+
+def botsalgn(sequences: int = 200) -> Program:
+    """358.botsalgn: one alignment task per sequence pair batch, all large
+    and uniform — "scale[s] linearly and all metrics indicate good
+    behavior"."""
+
+    def task(size: int, rid: int):
+        def body():
+            yield Work(
+                WorkRequest(
+                    cycles=linear_cycles(size, per_element=900.0),
+                    accesses=(Access(rid, size * 128, pattern=0.85),),
+                )
+            )
+
+        return body
+
+    def main():
+        data = yield Alloc("sequences", sequences * 4096, RoundRobin())
+        for i in range(sequences):
+            yield Spawn(task(64, data.region_id), loc=LOC_ALIGN)
+        yield TaskWait()
+
+    return Program("358.botsalgn", main, input_summary=f"prot.{sequences}.aa")
+
+
+# ---------------------------------------------------------------------------
+# 372.smithwa — imbalanced parallel blocks.
+# ---------------------------------------------------------------------------
+LOC_MERGE_ALIGN = SourceLocation("mergeAlignment.c", 160, "mergeAlignment")
+LOC_VERIFY = SourceLocation("verifyData.c", 46, "verifyData")
+
+
+def smithwa(size: int = 34) -> Program:
+    """372.smithwa: the ``mergeAlignment.c:160`` and ``verifyData.c:46``
+    blocks "suffer from load imbalance, low memory hierarchy utilization
+    and poor parallel benefit"; verifyData's imbalance hides from timings
+    because the timed region excludes it — the grain graph shows it since
+    "the graph represents the whole program"."""
+    n = size * 40
+
+    def main():
+        data = yield Alloc("matrix", n * n * 2, FirstTouch(0))
+        rid = data.region_id
+
+        def merge_body(i: int) -> WorkRequest:
+            skew = 1 + (7 if i % 37 == 0 else 0)  # few heavy rows
+            return WorkRequest(
+                cycles=300 * skew,
+                accesses=(Access(rid, 1024 * skew, pattern=0.4),),
+            )
+
+        def verify_body(i: int) -> WorkRequest:
+            # Strongly imbalanced triangular sweep.
+            return WorkRequest(
+                cycles=40 + 3 * i,
+                accesses=(Access(rid, 256 + i, pattern=0.45),),
+            )
+
+        yield ParallelFor(
+            LoopSpec(iterations=n, body=merge_body, schedule=Schedule.STATIC,
+                     chunk_size=8, loc=LOC_MERGE_ALIGN)
+        )
+        yield ParallelFor(
+            LoopSpec(iterations=n, body=verify_body, schedule=Schedule.STATIC,
+                     loc=LOC_VERIFY)
+        )
+
+    return Program("372.smithwa", main, input_summary=f"input {size}")
+
+
+# ---------------------------------------------------------------------------
+# 367.imagick — filter chain; some loops miss omp_throttle.
+# ---------------------------------------------------------------------------
+_IMAGICK_THROTTLED = (
+    SourceLocation("magick_resize.c", 2215, "HorizontalFilter"),
+    SourceLocation("magick_effect.c", 1440, "ConvolveImage"),
+)
+_IMAGICK_UNTHROTTLED = (
+    SourceLocation("magick_shear.c", 1694, "XShearImage"),
+    SourceLocation("magick_decorate.c", 406, "FrameImage"),
+    SourceLocation("magick_enhance.c", 3554, "NegateImage"),
+    SourceLocation("magick_shear.c", 1474, "YShearImage"),
+    SourceLocation("magick_transform.c", 650, "FlopImage"),
+)
+
+
+def imagick(rows: int = 960) -> Program:
+    """367.imagick: loops carrying the conditional ``omp_throttle``
+    macros chunk sensibly; the five loops that miss it run row-per-chunk
+    with poor parallel benefit — "Our method points out these
+    inconsistencies"."""
+
+    def main():
+        image = yield Alloc("image", rows * 1280 * 8, RoundRobin())
+        rid = image.region_id
+        for loc in _IMAGICK_THROTTLED:
+            def heavy(i: int, rid=rid) -> WorkRequest:
+                return WorkRequest(
+                    cycles=120_000,
+                    accesses=(Access(rid, 1280 * 8 * 16, pattern=0.7),),
+                )
+            yield ParallelFor(
+                LoopSpec(iterations=rows // 16, body=heavy,
+                         schedule=Schedule.STATIC, loc=loc)
+            )
+        for loc in _IMAGICK_UNTHROTTLED:
+            def light(i: int, rid=rid) -> WorkRequest:
+                return WorkRequest(
+                    cycles=220,
+                    accesses=(Access(rid, 1280, pattern=0.6),),
+                )
+            yield ParallelFor(
+                LoopSpec(iterations=rows, body=light,
+                         schedule=Schedule.DYNAMIC, chunk_size=1, loc=loc)
+            )
+
+    return Program(
+        "367.imagick", main,
+        input_summary="-shear 31 -resize 1280x960 ... -edge 100",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bodytrack — small chunks in every function except CalcWeights.
+# ---------------------------------------------------------------------------
+LOC_CALC_WEIGHTS = SourceLocation(
+    "ParticleFilterOMP.h", 64, "ParticleFilterOMP::CalcWeights"
+)
+LOC_FILTER_ROW = SourceLocation("FlexImageFilter.h", 114, "FlexFilterRowVOMP")
+LOC_FILTER_COL = SourceLocation("FlexImageFilter.h", 153, "FlexFilterColumnVOMP")
+
+
+def bodytrack(particles: int = 4000, rows: int = 480) -> Program:
+    """Bodytrack: "chunks of parallel for-loops in all functions except
+    ParticleFilterOMP::CalcWeights() suffer from poor parallel benefit and
+    low memory hierarchy utilization.  Loop fusion might improve the
+    scaling ... loops in FlexFilterRowVOMP() and FlexFilterColumnVOMP()"
+    — plus serial sections between the loops."""
+
+    def main():
+        frame = yield Alloc("frame", rows * 640 * 4, FirstTouch(0))
+        rid = frame.region_id
+
+        def weights(i: int) -> WorkRequest:
+            return WorkRequest(
+                cycles=45_000, accesses=(Access(rid, 8192, pattern=0.8),)
+            )
+
+        def filter_row(i: int) -> WorkRequest:
+            return WorkRequest(
+                cycles=260, accesses=(Access(rid, 640 * 4, pattern=0.4),)
+            )
+
+        for _ in range(2):  # two frames
+            yield ParallelFor(
+                LoopSpec(iterations=rows, body=filter_row,
+                         schedule=Schedule.DYNAMIC, chunk_size=1,
+                         loc=LOC_FILTER_ROW)
+            )
+            yield ParallelFor(
+                LoopSpec(iterations=rows, body=filter_row,
+                         schedule=Schedule.DYNAMIC, chunk_size=1,
+                         loc=LOC_FILTER_COL)
+            )
+            yield Work(WorkRequest(cycles=350_000))  # serial section
+            yield ParallelFor(
+                LoopSpec(iterations=particles // 100, body=weights,
+                         schedule=Schedule.DYNAMIC, loc=LOC_CALC_WEIGHTS)
+            )
+
+    return Program(
+        "bodytrack", main, input_summary=f"particles={particles} rows={rows}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Floorplan — branch-and-bound with execution-order-dependent pruning.
+# ---------------------------------------------------------------------------
+LOC_FLOORPLAN = SourceLocation("floorplan.c", 219, "add_cell")
+
+
+def floorplan(cells: int = 8, cutoff: int = 4, seed: int = 5) -> Program:
+    """BOTS Floorplan: "a branch-and-bound optimal solution search that
+    has non-deterministic behavior built-in due to pruning of the search
+    space.  This behavior is reflected by the grain graph since the shape
+    of the graph changes for different thread counts."
+
+    Tasks explore cell placements and prune against a shared incumbent
+    bound; which subtrees are pruned depends on the order tasks run, so
+    the task tree (and hence the grain graph) legitimately differs across
+    thread counts — while any single configuration stays deterministic.
+    """
+    rng = DeterministicRandom(seed)
+    areas = [rng.randint(2, 9) for _ in range(cells)]
+    # Initial incumbent: every cell in its worst orientation.
+    best = [sum(areas) + cells]  # shared, tightened during the run
+
+    def lower_bound(level: int, used: int) -> int:
+        """Optimistic completion: every remaining cell at its bare area."""
+        return used + sum(areas[level:])
+
+    def explore(level: int, used: int):
+        def body():
+            yield Work(WorkRequest(cycles=260))
+            if lower_bound(level, used) >= best[0]:
+                return  # pruned: no children spawned
+            for orientation in range(2):
+                grown = used + areas[level] + orientation
+                if lower_bound(level + 1, grown) >= best[0]:
+                    continue
+                if level + 1 < cutoff:
+                    yield Spawn(explore(level + 1, grown), loc=LOC_FLOORPLAN)
+                else:
+                    # Serial exploration below the cutoff; it finds a
+                    # completion of this partial placement and tightens
+                    # the shared incumbent, which prunes siblings that
+                    # run *later in execution order* — so the task tree
+                    # depends on the schedule, as the paper observes.
+                    yield Work(
+                        WorkRequest(cycles=90 * (cells - level) ** 2)
+                    )
+                    completion = (
+                        grown
+                        + sum(areas[level + 1:])
+                        + (cells - level - 1) // 2
+                    )
+                    if completion < best[0]:
+                        best[0] = completion
+            yield TaskWait()
+
+        return body
+
+    def main():
+        best[0] = sum(areas) + cells  # reset per run
+        yield Spawn(explore(0, 0), loc=LOC_FLOORPLAN)
+        yield TaskWait()
+
+    return Program(
+        "floorplan", main, input_summary=f"cells={cells} cutoff={cutoff}"
+    )

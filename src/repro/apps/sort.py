@@ -1,0 +1,170 @@
+"""Sort from BOTS (Sec. 4.3.1, Figs. 1, 4, 5).
+
+"Sort is a recursive fork-join task-based program from BOTS that sorts an
+array using divide-and-conquer in three phases.  The first phase uses
+parallel merge-sort, the second phase uses sequential quick sort, and the
+third uses sequential insertion sort.  Phase shifts occur when the size
+of the divided array reaches thresholds specified by cutoffs."
+
+Structure follows BOTS cilksort: ``sort(n)`` splits into four quarters,
+spawns four recursive sorts, taskwaits, then merges pairs with two
+parallel ``cilkmerge`` tasks followed by a final merge; ``cilkmerge``
+itself recurses with binary splits down to a merge cutoff.  Leaves below
+``quick_cutoff`` run quicksort (with insertion sort below
+``insertion_cutoff`` folded into the same grain, as in BOTS).
+
+The paper's findings this program reproduces:
+
+- non-uniform, waxing-and-waning parallelism: the merge tree near the
+  root exposes fewer, larger grains, so instantaneous parallelism dips
+  below the 48 cores repeatedly (Fig. 5a);
+- lowering the cutoffs raises parallelism but creates grains too small to
+  pay for themselves — ~48% with low parallel benefit (Fig. 5b);
+- work inflation from first-touch page placement (all pages on the
+  master's node), reduced by round-robin distribution: the Sec. 4.3.1
+  table's 68.54% -> 37.08% inflated and 56.05% -> 30.11% poor-MHU moves.
+
+Cost calibration: quicksort leaves cost ~7 n log2 n cycles and stream
+their subarray (8-byte elements); merges cost ~3.5 n cycles and stream
+both inputs and the output.  Sizes are in elements; the evaluation input
+of the paper is 16M elements (scaled down by default here).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..common import SourceLocation
+from ..machine.cost import Access, WorkRequest
+from ..machine.memory import Placement, FirstTouch, RoundRobin
+from ..runtime.actions import Alloc, Spawn, TaskWait, Work
+from ..runtime.api import Program
+from .common import nlogn_cycles, linear_cycles
+
+LOC_SORT = SourceLocation("sort.c", 329, "cilksort_par")
+LOC_MERGE = SourceLocation("sort.c", 219, "cilkmerge_par")
+LOC_QUICK = SourceLocation("sort.c", 128, "seqquick")
+LOC_MAIN = SourceLocation("sort.c", 401, "sort_par")
+
+_ELEM = 8  # 8-byte keys, as in BOTS
+
+
+def _quick_request(region_id: int, n: int) -> WorkRequest:
+    return WorkRequest(
+        cycles=nlogn_cycles(n, per_element=7.0),
+        accesses=(Access(region_id, 3 * n * _ELEM, pattern=0.55),),
+    )
+
+
+def _merge_request(region_id: int, tmp_id: int, n: int) -> WorkRequest:
+    return WorkRequest(
+        cycles=linear_cycles(n, per_element=3.5),
+        accesses=(
+            Access(region_id, n * _ELEM, pattern=0.7),
+            Access(tmp_id, n * _ELEM, pattern=0.7),
+        ),
+    )
+
+
+def program(
+    elements: int = 1 << 20,
+    quick_cutoff: int = 1 << 14,
+    merge_cutoff: int = 1 << 14,
+    placement: Placement | None = None,
+    name: str = "sort",
+) -> Program:
+    """BOTS Sort.  ``placement`` switches the array's page policy:
+    ``None``/:class:`FirstTouch` is the original; :class:`RoundRobin` is
+    the paper's optimization."""
+    if elements < 4:
+        raise ValueError("need at least 4 elements")
+    placement = placement or FirstTouch(0)
+
+    def cilkmerge(region_id: int, tmp_id: int, n: int):
+        """Merge ``n`` elements; binary split above the merge cutoff."""
+
+        def body():
+            if n <= merge_cutoff:
+                yield Work(_merge_request(region_id, tmp_id, n))
+                return
+            half = n // 2
+            yield Spawn(cilkmerge(region_id, tmp_id, half), loc=LOC_MERGE)
+            yield Spawn(cilkmerge(region_id, tmp_id, n - half), loc=LOC_MERGE)
+            yield TaskWait()
+            # Binary-search split of the merge ranges.
+            yield Work(
+                WorkRequest(cycles=int(20 * math.log2(max(2, n))))
+            )
+
+        return body
+
+    def cilksort(region_id: int, tmp_id: int, n: int):
+        def body():
+            if n <= quick_cutoff:
+                # Phases two and three: sequential quicksort finishing
+                # with insertion sort, one grain.
+                yield Work(_quick_request(region_id, n))
+                return
+            quarter = n // 4
+            sizes = [quarter, quarter, quarter, n - 3 * quarter]
+            for size in sizes:
+                yield Spawn(cilksort(region_id, tmp_id, size), loc=LOC_SORT)
+            yield TaskWait()
+            # Merge quarters pairwise in parallel, then the halves.
+            yield Spawn(
+                cilkmerge(region_id, tmp_id, sizes[0] + sizes[1]),
+                loc=LOC_MERGE,
+            )
+            yield Spawn(
+                cilkmerge(region_id, tmp_id, sizes[2] + sizes[3]),
+                loc=LOC_MERGE,
+            )
+            yield TaskWait()
+            yield Work(_merge_request(region_id, tmp_id, n))
+
+        return body
+
+    def main():
+        array = yield Alloc("array", elements * _ELEM, placement)
+        tmp = yield Alloc("tmp", elements * _ELEM, placement)
+        yield Spawn(
+            cilksort(array.region_id, tmp.region_id, elements), loc=LOC_MAIN
+        )
+        yield TaskWait()
+
+    return Program(
+        name=name,
+        body=main,
+        input_summary=(
+            f"n={elements} quick_cutoff={quick_cutoff} "
+            f"merge_cutoff={merge_cutoff} pages={placement.describe()}"
+        ),
+    )
+
+
+def program_round_robin(
+    elements: int = 1 << 20,
+    quick_cutoff: int = 1 << 14,
+    merge_cutoff: int = 1 << 14,
+) -> Program:
+    """The paper's optimization: round-robin page distribution."""
+    return program(
+        elements=elements,
+        quick_cutoff=quick_cutoff,
+        merge_cutoff=merge_cutoff,
+        placement=RoundRobin(),
+        name="sort-roundrobin",
+    )
+
+
+def program_low_cutoff(
+    elements: int = 1 << 20, factor: int = 32
+) -> Program:
+    """The Fig. 5b experiment: cutoffs lowered by ``factor`` to raise
+    instantaneous parallelism — grains become too small to be worth it."""
+    return program(
+        elements=elements,
+        quick_cutoff=max(4, (1 << 14) // factor),
+        merge_cutoff=max(4, (1 << 14) // factor),
+        name="sort-lowcutoff",
+    )

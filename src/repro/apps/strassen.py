@@ -1,0 +1,162 @@
+"""Strassen from BOTS (Sec. 4.3.5, Figs. 1, 11).
+
+Recursive Strassen matrix multiplication: each level decomposes the
+matrices and spawns seven sub-multiplications; the submatrix-size cutoff
+``SC`` should bound the recursion.  The paper found "a hard-coded cutoff
+that overrides SC and limits the exposed parallelism in the functions for
+matrix decomposition": no matter the input or SC, tasks are only created
+for the top two levels — the graph stays shallow with 58 grains for the
+2048x2048 input (7 + 49 tasks + main + root) and "the cutoff has no
+effect".
+
+Variants:
+
+- :func:`program` — the original: tasks for two levels only (the
+  hard-coded bound), each depth-2 task multiplying its whole submatrix
+  serially.
+- :func:`program_fixed` — the fix ("performance improves without cutoff
+  ... since that provides sufficient parallelism"): recursion spawns
+  tasks all the way to SC-sized leaves; for 2048 with SC=128 that is
+  7 + 49 + 343 + 2401 = 2800 tasks, the 2801-grain graph of Fig. 11b.
+
+After the fix, poor memory hierarchy utilization surfaces (leaf
+multiplications use the naive triple loop, pattern 0.35); the catalog of
+further fixes (blocked leaf multiply, Morton-ordered placement) is
+exposed through :func:`program_fixed`'s ``leaf_pattern`` knob.
+
+Scheduler scatter (Fig. 11c/d) is an engine-level ablation: run the same
+program under ``flavor.with_scheduler("central")``.
+
+Costs: multiplying an n x n submatrix serially via Strassen costs
+~n^2.807; additions cost ~n^2; grains touch their 8-byte-double
+submatrices.  Matrices are interleaved across NUMA nodes (BOTS allocates
+them up front; the paper's runs do not report page-placement problems for
+Strassen), which keeps memory-controller contention from masking the
+parallelism contrast the cutoff bug causes.
+"""
+
+from __future__ import annotations
+
+from ..common import SourceLocation
+from ..machine.cost import Access, WorkRequest
+from ..machine.memory import Placement, RoundRobin
+from ..runtime.actions import Alloc, Spawn, TaskWait, Work
+from ..runtime.api import Program
+from .common import flops_cycles
+
+LOC_MULT = SourceLocation("strassen.c", 614, "OptimizedStrassenMultiply")
+LOC_MAIN = SourceLocation("strassen.c", 1222, "strassen_main_par")
+
+_ELEM = 8
+_HARDCODED_LEVELS = 2  # the bug: decomposition stops spawning here
+_STRASSEN_EXP = 2.807
+
+
+def _serial_multiply_cycles(n: int) -> int:
+    return flops_cycles(3.0 * (n ** _STRASSEN_EXP))
+
+
+def _mult_request(region_id: int, n: int, pattern: float) -> WorkRequest:
+    # The naive (unblocked) leaf multiply re-streams its operands: the
+    # column operand is re-read once per ~32 rows, which is what the
+    # paper's catalogued fixes (blocked multiply, Morton ordering) would
+    # remove.  This is the traffic behind Fig. 11b's poor MHU.
+    reread = max(1, n // 32)
+    return WorkRequest(
+        cycles=_serial_multiply_cycles(n),
+        accesses=(
+            Access(region_id, 3 * n * n * _ELEM * reread, pattern=pattern),
+        ),
+    )
+
+
+def _add_request(region_id: int, n: int) -> WorkRequest:
+    return WorkRequest(
+        cycles=flops_cycles(2.0 * n * n),
+        accesses=(Access(region_id, 2 * n * n * _ELEM, pattern=0.9),),
+    )
+
+
+def _make_program(
+    name: str,
+    matrix: int,
+    sc: int,
+    honor_sc: bool,
+    leaf_pattern: float,
+    placement: Placement | None,
+) -> Program:
+    if matrix < 2 or matrix & (matrix - 1):
+        raise ValueError("matrix size must be a power of two >= 2")
+    placement = placement or RoundRobin()
+
+    def multiply(region_id: int, branch_regions, n: int, level: int):
+        """One Strassen multiplication task.  The seven level-1 branches
+        work on disjoint quadrant combinations, so each owns a region:
+        this is what makes sibling *scatter* expensive — a branch's tasks
+        reuse their region's cache footprint when kept together and cold-
+        miss it when a central queue sprays them across sockets."""
+
+        def body():
+            spawn_more = (n > sc) if honor_sc else (level < _HARDCODED_LEVELS)
+            if n <= sc or not spawn_more:
+                # Multiply the whole submatrix serially in this grain
+                # (naive triple loop at the true leaves: poor pattern).
+                yield Work(_mult_request(region_id, n, leaf_pattern))
+                return
+            # Decomposition additions happen in the parent grain.
+            yield Work(_add_request(region_id, n // 2))
+            for k in range(7):
+                child_region = (
+                    branch_regions[k] if branch_regions else region_id
+                )
+                yield Spawn(
+                    multiply(child_region, None, n // 2, level + 1),
+                    loc=LOC_MULT,
+                )
+            yield TaskWait()
+            # Recombination additions.
+            yield Work(_add_request(region_id, n // 2))
+
+        return body
+
+    def main():
+        region = yield Alloc(
+            "matrices", 3 * matrix * matrix * _ELEM, placement
+        )
+        branch_regions = []
+        for k in range(7):
+            branch = yield Alloc(
+                f"branch{k}", 3 * (matrix // 2) ** 2 * _ELEM, placement
+            )
+            branch_regions.append(branch.region_id)
+        yield Spawn(
+            multiply(region.region_id, branch_regions, matrix, 0),
+            loc=LOC_MAIN,
+        )
+        yield TaskWait()
+
+    return Program(
+        name=name,
+        body=main,
+        input_summary=f"matrix={matrix} SC={sc} honor_sc={honor_sc}",
+    )
+
+
+def program(matrix: int = 2048, sc: int = 128) -> Program:
+    """The original: the hard-coded two-level bound overrides SC."""
+    return _make_program(
+        "strassen", matrix, sc, honor_sc=False, leaf_pattern=0.35,
+        placement=None,
+    )
+
+
+def program_fixed(
+    matrix: int = 2048, sc: int = 128, leaf_pattern: float = 0.35
+) -> Program:
+    """The fix: recursion honors SC, exposing full parallelism.
+    ``leaf_pattern`` > 0.35 models the catalogued follow-up fixes
+    (blocked leaf multiplication / Morton ordering)."""
+    return _make_program(
+        "strassen-fixed", matrix, sc, honor_sc=True,
+        leaf_pattern=leaf_pattern, placement=None,
+    )

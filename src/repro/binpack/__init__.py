@@ -1,0 +1,23 @@
+"""Minimum-cores bin packing (the Gecode stand-in of Sec. 4.3.4).
+
+"We used a straight-forward bin-packer implemented in Gecode to compute
+the minimum number of cores necessary to retain the same makespan — 7
+cores."  :func:`minimum_cores` answers the same question for a set of
+grain durations and a makespan bound.
+"""
+
+from .packing import (
+    first_fit_decreasing,
+    pack_feasible,
+    minimum_cores,
+    minimum_cores_for_graph,
+    PackingResult,
+)
+
+__all__ = [
+    "first_fit_decreasing",
+    "pack_feasible",
+    "minimum_cores",
+    "minimum_cores_for_graph",
+    "PackingResult",
+]

@@ -1,0 +1,151 @@
+"""Command-line interface: ``grain-graphs``.
+
+Subcommands::
+
+    grain-graphs list
+        Show the available benchmark programs and variants.
+
+    grain-graphs analyze PROGRAM [--flavor MIR] [--threads 48]
+                 [--graphml out.graphml] [--svg out.svg] [--view KIND]
+        Run a program, print the grain-graph analysis report and advice,
+        and optionally export the graph.
+
+    grain-graphs speedups PROGRAM [PROGRAM ...] [--threads 48]
+        The Fig. 1 table for the named programs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .analysis.views import VIEW_KINDS, make_view
+from .apps import fft, freqmine, kdtree, micro, others, sort, sparselu, strassen
+from .core.reductions import reduce_graph
+from .runtime.api import Program
+from .runtime.flavors import flavor_by_name
+from .workflow import format_speedup_table, profile_program, speedup_table
+
+PROGRAMS: dict[str, Callable[[], Program]] = {
+    "kdtree": kdtree.program,
+    "kdtree-fixed": kdtree.program_fixed,
+    "sort": sort.program,
+    "sort-roundrobin": sort.program_round_robin,
+    "sort-lowcutoff": sort.program_low_cutoff,
+    "botsspar": sparselu.program,
+    "botsspar-interchanged": sparselu.program_interchanged,
+    "fft": fft.program,
+    "fft-optimized": fft.program_optimized,
+    "strassen": strassen.program,
+    "strassen-fixed": strassen.program_fixed,
+    "freqmine": freqmine.program,
+    "freqmine-7core": freqmine.program_seven_cores,
+    "fib": others.fib,
+    "floorplan": others.floorplan,
+    "nqueens": others.nqueens,
+    "uts": others.uts,
+    "blackscholes": others.blackscholes,
+    "botsalgn": others.botsalgn,
+    "smithwa": others.smithwa,
+    "imagick": others.imagick,
+    "bodytrack": others.bodytrack,
+    "fig3a": micro.fig3a,
+    "fig3b": micro.fig3b,
+}
+
+
+def _resolve(name: str) -> Program:
+    try:
+        return PROGRAMS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown program {name!r}; run `grain-graphs list`"
+        ) from None
+
+
+def cmd_list(_args) -> int:
+    print("available programs (default inputs; see repro.apps for knobs):")
+    for name in sorted(PROGRAMS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    program = _resolve(args.program)
+    study = profile_program(
+        program,
+        flavor=flavor_by_name(args.flavor),
+        num_threads=args.threads,
+        reference_threads=None if args.no_reference else 1,
+    )
+    print(study.report.summary())
+    print()
+    for advice in study.advice:
+        print(f"ADVICE: {advice}")
+    if args.graphml or args.svg:
+        view = make_view(
+            study.report.metrics, study.report.problems, args.view
+        )
+        if args.graphml:
+            from .core.graphml import write_graphml
+
+            path = write_graphml(
+                study.graph, args.graphml, view=view,
+                critical_nodes=study.report.metrics.critical_path.nodes,
+            )
+            print(f"wrote {path}")
+        if args.svg:
+            from .core.svg import render_svg
+
+            reduced, _ = reduce_graph(study.graph)
+            path = render_svg(
+                reduced, args.svg, view=view,
+                title=f"{program.name} — {args.view} view",
+            )
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_speedups(args) -> int:
+    programs = [_resolve(name) for name in args.programs]
+    rows = speedup_table(programs, num_threads=args.threads)
+    print(format_speedup_table(rows))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="grain-graphs",
+        description="Grain graphs: OpenMP performance analysis made easy "
+        "(PPoPP'16 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark programs").set_defaults(
+        fn=cmd_list
+    )
+
+    analyze = sub.add_parser("analyze", help="profile and analyze a program")
+    analyze.add_argument("program")
+    analyze.add_argument("--flavor", default="MIR", help="MIR | ICC | GCC")
+    analyze.add_argument("--threads", type=int, default=48)
+    analyze.add_argument("--no-reference", action="store_true",
+                         help="skip the 1-core work-deviation run")
+    analyze.add_argument("--graphml", help="write a yEd GraphML file")
+    analyze.add_argument("--svg", help="write a reduced-graph SVG")
+    analyze.add_argument("--view", default="parallel_benefit",
+                         choices=VIEW_KINDS)
+    analyze.set_defaults(fn=cmd_analyze)
+
+    speedups = sub.add_parser("speedups", help="Fig. 1 style speedup table")
+    speedups.add_argument("programs", nargs="+")
+    speedups.add_argument("--threads", type=int, default=48)
+    speedups.set_defaults(fn=cmd_speedups)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Shared value types used across the library."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A source-code location, the anchor for the paper's "precise links
+    that connect problem areas to source code".
+
+    Applications in :mod:`repro.apps` carry the pseudo-locations of the
+    original C benchmarks (e.g. ``sparselu.c:246(bmod)``) so analyses read
+    like the paper's.
+    """
+
+    file: str
+    line: int
+    func: str = ""
+
+    def __str__(self) -> str:
+        if self.func:
+            return f"{self.file}:{self.line}({self.func})"
+        return f"{self.file}:{self.line}"
+
+    @classmethod
+    def parse(cls, text: str) -> "SourceLocation":
+        """Inverse of ``str()``: ``file.c:123(func)`` or ``file.c:123``."""
+        func = ""
+        if text.endswith(")") and "(" in text:
+            text, _, func = text[:-1].partition("(")
+        file, _, line = text.rpartition(":")
+        if not file:
+            raise ValueError(f"not a source location: {text!r}")
+        return cls(file=file, line=int(line), func=func)
+
+
+UNKNOWN_LOCATION = SourceLocation(file="<unknown>", line=0)

@@ -1,0 +1,42 @@
+"""The grain graph: construction, validation, reduction, export.
+
+This package implements Sec. 3.1 of the paper: a DAG with five node types
+(fragment, fork, join, book-keeping, chunk) and three control-flow edge
+types (creation, synchronization/join, continuation), built from a
+profiler trace; structural reductions (fragment reduction, fork reduction,
+per-thread book-keeping grouping); and exporters (GraphML for yEd-class
+viewers, Graphviz dot, and a native SVG renderer with problem-highlight
+views).
+"""
+
+from .nodes import NodeKind, EdgeKind, GGNode, GGEdge, GrainGraph
+from .ids import task_gid, chunk_gid, loop_key
+from .grains import Grain, GrainKind
+from .builder import build_grain_graph
+from .validate import validate_graph, StructureError
+from .reductions import reduce_graph, ReductionReport
+from .compare import compare_graphs, GraphComparison
+from .zoom import zoom_time_window, zoom_subtree, collapse_subtree
+
+__all__ = [
+    "NodeKind",
+    "EdgeKind",
+    "GGNode",
+    "GGEdge",
+    "GrainGraph",
+    "task_gid",
+    "chunk_gid",
+    "loop_key",
+    "Grain",
+    "GrainKind",
+    "build_grain_graph",
+    "validate_graph",
+    "StructureError",
+    "reduce_graph",
+    "ReductionReport",
+    "compare_graphs",
+    "GraphComparison",
+    "zoom_time_window",
+    "zoom_subtree",
+    "collapse_subtree",
+]

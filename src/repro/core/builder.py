@@ -1,0 +1,334 @@
+"""Trace -> grain graph construction (Sec. 3.1).
+
+The builder replays the trace's per-task event subsequences (the profiler
+emits each task's fragments and runtime events in execution order) and
+materializes:
+
+- one fragment node per :class:`FragmentEvent`, sequentially linked within
+  the task context,
+- one fork node per task creation, with its single creation edge to the
+  child's first fragment and a continuation edge to the parent's next
+  fragment,
+- one join node per taskwait (and per implicit end-of-region barrier),
+  receiving a join edge from the last fragment of every task the sync
+  point consumed (``synced_tids``), so fire-and-forget descendants attach
+  to the barrier that actually synchronized them,
+- per parallel-for instance: a team fork, per-thread chains of
+  book-keeping and chunk nodes, and the loop's join (barrier) node.
+
+It simultaneously fills the grain table (:class:`~repro.core.grains.
+Grain`) with intervals, counters, creation costs, and the parent's
+per-sibling synchronization share used by the parallel-benefit metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..profiler.events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    FragmentEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+)
+from ..profiler.trace import Trace
+from .grains import Grain, GrainKind
+from .ids import chunk_gid, loop_key, task_gid
+from .nodes import EdgeKind, GrainGraph, NodeKind
+
+
+@dataclass
+class _LoopData:
+    begin: LoopBeginEvent
+    end: LoopEndEvent | None = None
+    # Per team-relative thread, the bookkeeping/chunk events in order.
+    per_thread: dict[int, list] = field(default_factory=dict)
+    chunks: list[ChunkEvent] = field(default_factory=list)
+
+
+def build_grain_graph(trace: Trace) -> GrainGraph:
+    """Construct the grain graph (with grain table) from a trace."""
+    graph = GrainGraph(meta=trace.meta)
+
+    # ------------------------------------------------------------------
+    # Pass 1: bucket events.
+    # ------------------------------------------------------------------
+    streams: dict[int, list] = {}  # per-task ordered runtime events
+    creates: dict[int, TaskCreateEvent] = {}
+    loops: dict[int, _LoopData] = {}
+    for event in trace.events:
+        if isinstance(event, FragmentEvent):
+            streams.setdefault(event.tid, []).append(event)
+        elif isinstance(event, TaskCreateEvent):
+            creates[event.tid] = event
+            if event.parent_tid is not None:
+                streams.setdefault(event.parent_tid, []).append(event)
+        elif isinstance(event, (TaskwaitBeginEvent, TaskwaitEndEvent)):
+            streams.setdefault(event.tid, []).append(event)
+        elif isinstance(event, TaskCompleteEvent):
+            pass  # completion time == last fragment end
+        elif isinstance(event, LoopBeginEvent):
+            loops[event.loop_id] = _LoopData(begin=event)
+            # Loops execute in root context; attach to the root stream.
+            streams.setdefault(0, []).append(event)
+        elif isinstance(event, BookkeepingEvent):
+            loops[event.loop_id].per_thread.setdefault(event.thread, []).append(event)
+        elif isinstance(event, ChunkEvent):
+            loops[event.loop_id].per_thread.setdefault(event.thread, []).append(event)
+            loops[event.loop_id].chunks.append(event)
+        elif isinstance(event, LoopEndEvent):
+            loops[event.loop_id].end = event
+
+    # ------------------------------------------------------------------
+    # Pass 2: pre-create all task grains (a parent's taskwait assigns sync
+    # shares to child grains, and children have larger tids).
+    # ------------------------------------------------------------------
+    grains = graph.grains
+    gid_of_tid: dict[int, str] = {}
+    for tid in sorted(creates):
+        create = creates[tid]
+        gid = task_gid(create.path)
+        gid_of_tid[tid] = gid
+        parent_gid = (
+            gid_of_tid[create.parent_tid]
+            if create.parent_tid is not None
+            else None
+        )
+        grains[gid] = Grain(
+            gid=gid,
+            kind=GrainKind.TASK,
+            definition=create.definition,
+            loc=create.loc,
+            label=create.label,
+            depth=create.depth,
+            sibling_group=parent_gid or "",
+            created_at=create.time,
+            creation_cycles=create.creation_cycles,
+            inlined=create.inlined,
+            tid=tid,
+            parent_gid=parent_gid,
+        )
+
+    # ------------------------------------------------------------------
+    # Pass 3: per-task structure.
+    # ------------------------------------------------------------------
+    first_frag: dict[int, int] = {}  # tid -> first fragment node id
+    last_frag: dict[int, int] = {}  # tid -> last fragment node id
+    pending_creation: list[tuple[int, int]] = []  # (fork node, child tid)
+    pending_join: list[tuple[int, int]] = []  # (child tid, join node)
+    sync_points: list[tuple[int, int, tuple[int, ...]]] = []  # begin, end, tids
+
+    for tid in sorted(streams):
+        create = creates[tid]
+        gid = gid_of_tid[tid]
+        grain = grains[gid]
+        prev: int | None = None  # previous structural node in this context
+        open_wait: TaskwaitBeginEvent | None = None
+        for event in streams[tid]:
+            if isinstance(event, FragmentEvent):
+                node = graph.new_node(
+                    NodeKind.FRAGMENT,
+                    start=event.start,
+                    end=event.end,
+                    core=event.core,
+                    counters=event.counters,
+                    grain_id=gid,
+                    tid=tid,
+                    frag_seq=event.seq,
+                    definition=create.definition,
+                    loc=create.loc,
+                )
+                grain.intervals.append((event.start, event.end, event.core))
+                grain.counters += event.counters
+                grain.node_ids.append(node.node_id)
+                if tid not in first_frag:
+                    first_frag[tid] = node.node_id
+                last_frag[tid] = node.node_id
+                if prev is not None:
+                    graph.add_edge(prev, node.node_id, EdgeKind.CONTINUATION)
+                prev = node.node_id
+            elif isinstance(event, TaskCreateEvent):
+                fork = graph.new_node(
+                    NodeKind.FORK,
+                    start=event.time,
+                    end=event.time + event.creation_cycles,
+                    core=event.core,
+                    tid=tid,
+                    definition=event.definition,
+                    loc=event.loc,
+                )
+                if prev is not None:
+                    graph.add_edge(prev, fork.node_id, EdgeKind.CONTINUATION)
+                pending_creation.append((fork.node_id, event.tid))
+                prev = fork.node_id
+            elif isinstance(event, TaskwaitBeginEvent):
+                open_wait = event
+            elif isinstance(event, TaskwaitEndEvent):
+                begin_time = open_wait.time if open_wait else event.time
+                implicit = open_wait.implicit if open_wait else False
+                join = graph.new_node(
+                    NodeKind.JOIN,
+                    start=begin_time,
+                    end=event.time,
+                    core=event.core,
+                    tid=tid,
+                    implicit=implicit,
+                )
+                if prev is not None:
+                    graph.add_edge(prev, join.node_id, EdgeKind.CONTINUATION)
+                sync_points.append((begin_time, event.time, event.synced_tids))
+                for child_tid in event.synced_tids:
+                    pending_join.append((child_tid, join.node_id))
+                open_wait = None
+                prev = join.node_id
+            elif isinstance(event, LoopBeginEvent):
+                prev = _build_loop(
+                    graph, loops[event.loop_id], prev, grains
+                )
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unexpected event in task stream: {event!r}")
+
+    # Children are created strictly after their parent's first fragment and
+    # complete before their sync point, so tid order guarantees both maps
+    # are complete here.  A task with zero fragments cannot exist (every
+    # task records at least one, possibly zero-length, fragment).
+    for fork_node, child_tid in pending_creation:
+        graph.add_edge(fork_node, first_frag[child_tid], EdgeKind.CREATION)
+    for child_tid, join_node in pending_join:
+        graph.add_edge(last_frag[child_tid], join_node, EdgeKind.JOIN)
+
+    # Sync shares: the parent's *overhead* at each sync point, i.e. the
+    # wait span minus the portion overlapped by still-running children.
+    # Productive waiting (children computing) is not parallelization cost
+    # — executing the children serially would take that time too; only
+    # suspension/re-dispatch latency counts, matching the metric's role
+    # of guiding inlining and cutoff decisions (Sec. 3.2).
+    for begin, end, synced in sync_points:
+        if not synced:
+            continue
+        last_child_end = max(
+            grains[gid_of_tid[tid]].last_end for tid in synced
+        )
+        overlap = max(0, min(last_child_end, end) - begin)
+        overhead = max(0, (end - begin) - overlap)
+        share = overhead / len(synced)
+        for tid in synced:
+            grains[gid_of_tid[tid]].sync_share_cycles = share
+
+    graph.root_node_id = first_frag.get(0)
+    return graph
+
+
+def _build_loop(
+    graph: GrainGraph,
+    data: _LoopData,
+    prev: int | None,
+    grains: dict[str, Grain],
+) -> int:
+    """Materialize one loop instance; returns the loop's join node id."""
+    begin = data.begin
+    if data.end is None:
+        raise ValueError(f"loop {begin.loop_id} has no end event")
+    lkey = loop_key(begin.starting_thread, begin.loop_seq)
+    fork = graph.new_node(
+        NodeKind.FORK,
+        start=begin.time,
+        end=begin.time,
+        core=begin.starting_thread,
+        loop_id=begin.loop_id,
+        definition=begin.definition,
+        loc=begin.loc,
+        team_fork=True,
+    )
+    if prev is not None:
+        graph.add_edge(prev, fork.node_id, EdgeKind.CONTINUATION)
+    join = graph.new_node(
+        NodeKind.JOIN,
+        start=data.end.time,
+        end=data.end.time,
+        core=begin.starting_thread,
+        loop_id=begin.loop_id,
+    )
+
+    n_chunks = len(data.chunks)
+    max_chunk_end = max((c.end for c in data.chunks), default=begin.time)
+    barrier_span = data.end.time - max_chunk_end
+    sync_share = barrier_span / n_chunks if n_chunks else 0.0
+
+    for thread in sorted(data.per_thread):
+        events = data.per_thread[thread]
+        chain_prev: int | None = None
+        last_bk: BookkeepingEvent | None = None
+        for event in events:
+            if isinstance(event, BookkeepingEvent):
+                node = graph.new_node(
+                    NodeKind.BOOKKEEPING,
+                    start=event.start,
+                    end=event.end,
+                    core=event.core,
+                    loop_id=event.loop_id,
+                    thread=thread,
+                    definition=begin.definition,
+                    loc=begin.loc,
+                )
+                if chain_prev is None:
+                    graph.add_edge(fork.node_id, node.node_id, EdgeKind.CREATION)
+                else:
+                    graph.add_edge(chain_prev, node.node_id, EdgeKind.CONTINUATION)
+                chain_prev = node.node_id
+                last_bk = event
+            else:  # ChunkEvent
+                gid = chunk_gid(
+                    begin.starting_thread,
+                    begin.loop_seq,
+                    event.iter_start,
+                    event.iter_end,
+                )
+                node = graph.new_node(
+                    NodeKind.CHUNK,
+                    start=event.start,
+                    end=event.end,
+                    core=event.core,
+                    counters=event.counters,
+                    grain_id=gid,
+                    loop_id=event.loop_id,
+                    thread=thread,
+                    iter_range=(event.iter_start, event.iter_end),
+                    definition=begin.definition,
+                    loc=begin.loc,
+                )
+                if chain_prev is None:  # pragma: no cover - defensive
+                    raise AssertionError("chunk before any bookkeeping node")
+                graph.add_edge(chain_prev, node.node_id, EdgeKind.CONTINUATION)
+                chain_prev = node.node_id
+                bk_cost = (last_bk.end - last_bk.start) if last_bk else 0
+                grain = Grain(
+                    gid=gid,
+                    kind=GrainKind.CHUNK,
+                    definition=begin.definition,
+                    loc=begin.loc,
+                    label=begin.label,
+                    depth=1,
+                    sibling_group=lkey,
+                    created_at=event.start,
+                    creation_cycles=bk_cost,
+                    sync_share_cycles=sync_share,
+                    loop_id=event.loop_id,
+                    chunk_seq=event.chunk_seq,
+                    iter_range=(event.iter_start, event.iter_end),
+                    thread=thread,
+                )
+                grain.intervals.append((event.start, event.end, event.core))
+                grain.counters += event.counters
+                grain.node_ids.append(node.node_id)
+                grains[gid] = grain
+        if chain_prev is not None:
+            graph.add_edge(chain_prev, join.node_id, EdgeKind.CONTINUATION)
+        else:  # thread never produced a bookkeeping event
+            graph.add_edge(fork.node_id, join.node_id, EdgeKind.CREATION)
+    return join.node_id

@@ -1,0 +1,107 @@
+"""Comparing grain graphs by schedule-independent identity.
+
+"Unique identification of grains is necessary for comparing graphs"
+(Sec. 3.1) — this module is that comparison: join two runs' grain tables
+(different thread counts, flavors, or program versions) and report
+matched grains with their execution-time ratios, plus grains that exist
+only on one side (e.g. tasks a cutoff fix no longer creates, Fig. 7's
+"not all grains are created in the optimized program").
+
+Work deviation (:mod:`repro.metrics.work_deviation`) is the 1-core
+special case of this join.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from .grains import Grain
+from .nodes import GrainGraph
+
+
+@dataclass
+class GrainDelta:
+    gid: str
+    definition: str
+    exec_a: int
+    exec_b: int
+
+    @property
+    def ratio(self) -> float:
+        """Execution time in B per cycle in A (1.0 = unchanged)."""
+        if self.exec_a == 0:
+            return float("inf") if self.exec_b else 1.0
+        return self.exec_b / self.exec_a
+
+
+@dataclass
+class GraphComparison:
+    matched: dict[str, GrainDelta] = field(default_factory=dict)
+    only_in_a: set[str] = field(default_factory=set)
+    only_in_b: set[str] = field(default_factory=set)
+
+    @property
+    def match_fraction(self) -> float:
+        total = len(self.matched) + len(self.only_in_a) + len(self.only_in_b)
+        return len(self.matched) / total if total else 1.0
+
+    def median_ratio(self) -> float:
+        ratios = [
+            d.ratio for d in self.matched.values()
+            if d.exec_a > 0 and d.exec_b > 0
+        ]
+        return statistics.median(ratios) if ratios else 1.0
+
+    def regressions(self, threshold: float = 1.5) -> list[GrainDelta]:
+        """Matched grains whose execution time grew past ``threshold``,
+        worst first."""
+        out = [
+            d for d in self.matched.values()
+            if d.exec_a > 0 and d.ratio > threshold
+        ]
+        return sorted(out, key=lambda d: -d.ratio)
+
+    def improvements(self, threshold: float = 1.5) -> list[GrainDelta]:
+        """Matched grains that got faster by ``threshold`` or more."""
+        out = [
+            d for d in self.matched.values()
+            if d.exec_b > 0 and d.exec_a / max(1, d.exec_b) > threshold
+        ]
+        return sorted(out, key=lambda d: d.ratio)
+
+    def summary(self) -> str:
+        lines = [
+            f"matched {len(self.matched)} grains "
+            f"({100 * self.match_fraction:.1f}%), "
+            f"only-in-A {len(self.only_in_a)}, "
+            f"only-in-B {len(self.only_in_b)}",
+            f"median exec ratio (B/A): {self.median_ratio():.3f}",
+        ]
+        regressions = self.regressions()
+        if regressions:
+            lines.append("largest regressions:")
+            for delta in regressions[:5]:
+                lines.append(
+                    f"  {delta.gid} [{delta.definition}] "
+                    f"{delta.exec_a} -> {delta.exec_b} ({delta.ratio:.2f}x)"
+                )
+        return "\n".join(lines)
+
+
+def compare_graphs(a: GrainGraph, b: GrainGraph) -> GraphComparison:
+    """Join two graphs' grain tables by grain id."""
+    comparison = GraphComparison()
+    for gid, grain_a in a.grains.items():
+        grain_b = b.grains.get(gid)
+        if grain_b is None:
+            comparison.only_in_a.add(gid)
+            continue
+        comparison.matched[gid] = GrainDelta(
+            gid=gid,
+            definition=grain_a.definition,
+            exec_a=grain_a.exec_time,
+            exec_b=grain_b.exec_time,
+        )
+    comparison.only_in_b = set(b.grains) - set(a.grains)
+    return comparison

@@ -1,0 +1,49 @@
+"""Graphviz dot export (a second off-the-shelf-viewer format)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .nodes import EdgeKind, GrainGraph, NodeKind
+
+_SHAPES = {
+    NodeKind.FRAGMENT: "box",
+    NodeKind.CHUNK: "box",
+    NodeKind.FORK: "circle",
+    NodeKind.JOIN: "doublecircle",
+    NodeKind.BOOKKEEPING: "diamond",
+}
+
+_EDGE_COLORS = {
+    EdgeKind.CREATION: "forestgreen",
+    EdgeKind.JOIN: "darkorange",
+    EdgeKind.CONTINUATION: "black",
+}
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def write_dot(graph: GrainGraph, path: str | Path, view=None) -> Path:
+    """Write a Graphviz representation; returns the path."""
+    path = Path(path)
+    lines = ["digraph grain_graph {", "  rankdir=TB;", "  node [fontsize=9];"]
+    for nid in sorted(graph.nodes):
+        node = graph.nodes[nid]
+        label = f"{node.grain_id or node.kind.value} {node.duration}cyc"
+        attrs = [
+            f"shape={_SHAPES[node.kind]}",
+            f"label={_quote(label)}",
+        ]
+        if view is not None and node.grain_id:
+            attrs.append(f'style=filled, fillcolor={_quote(view.color_of(node.grain_id))}')
+        lines.append(f"  n{nid} [{', '.join(attrs)}];")
+    for edge in graph.edges:
+        lines.append(
+            f"  n{edge.src} -> n{edge.dst} "
+            f"[color={_EDGE_COLORS[edge.kind]}];"
+        )
+    lines.append("}")
+    path.write_text("\n".join(lines))
+    return path

@@ -1,0 +1,116 @@
+"""Grain records: the unit all derived metrics work on.
+
+"A grain denotes the computation performed by a task or a parallel
+for-loop chunk instance."  A task grain aggregates all its fragments; a
+chunk grain is one chunk.  The builder fills one :class:`Grain` per
+instance with everything Sec. 3.2's metrics consume:
+
+- execution intervals (for instantaneous parallelism and makespan),
+- aggregated counters (for memory-hierarchy utilization and miss ratios),
+- parallelization cost components (creation/book-keeping cost plus the
+  parent's per-sibling synchronization share, for parallel benefit),
+- the executing cores (for scatter) and the sibling group identity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..machine.counters import CounterSet
+
+
+class GrainKind(enum.Enum):
+    TASK = "task"
+    CHUNK = "chunk"
+
+
+@dataclass
+class Grain:
+    """One grain instance with its measured properties."""
+
+    gid: str
+    kind: GrainKind
+    definition: str = ""
+    loc: str = ""
+    label: str = ""
+    depth: int = 0
+    sibling_group: str = ""  # parent task gid, or loop key for chunks
+
+    created_at: int = 0
+    creation_cycles: int = 0  # task creation / chunk book-keeping cost
+    sync_share_cycles: float = 0.0  # parent sync time / siblings synced
+    inlined: bool = False
+
+    intervals: list[tuple[int, int, int]] = field(default_factory=list)
+    counters: CounterSet = field(default_factory=CounterSet)
+    node_ids: list[int] = field(default_factory=list)
+
+    # Filled for task grains.
+    tid: Optional[int] = None
+    parent_gid: Optional[str] = None
+    # Filled for chunk grains.
+    loop_id: Optional[int] = None
+    chunk_seq: Optional[int] = None
+    iter_range: Optional[tuple[int, int]] = None
+    thread: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def exec_time(self) -> int:
+        """Total execution cycles of the grain (all fragment spans)."""
+        return sum(end - start for start, end, _ in self.intervals)
+
+    @property
+    def first_start(self) -> int:
+        return min(start for start, _, _ in self.intervals) if self.intervals else 0
+
+    @property
+    def last_end(self) -> int:
+        return max(end for _, end, _ in self.intervals) if self.intervals else 0
+
+    @property
+    def cores(self) -> tuple[int, ...]:
+        """Distinct cores that executed this grain, in first-use order."""
+        seen: list[int] = []
+        for _, _, core in sorted(self.intervals):
+            if core not in seen:
+                seen.append(core)
+        return tuple(seen)
+
+    @property
+    def primary_core(self) -> int:
+        """Core that executed the most cycles of this grain."""
+        if not self.intervals:
+            return 0
+        per_core: dict[int, int] = {}
+        for start, end, core in self.intervals:
+            per_core[core] = per_core.get(core, 0) + (end - start)
+        return max(sorted(per_core), key=lambda c: per_core[c])
+
+    @property
+    def parallelization_cost(self) -> float:
+        """Creation (or book-keeping) cost plus the parent's average
+        per-sibling synchronization time — the denominator of parallel
+        benefit (Sec. 3.2)."""
+        return self.creation_cycles + self.sync_share_cycles
+
+    @property
+    def memory_hierarchy_utilization(self) -> float:
+        return self.counters.memory_hierarchy_utilization
+
+    @property
+    def n_fragments(self) -> int:
+        return len(self.intervals)
+
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Whether any execution interval intersects [lo, hi)."""
+        return any(start < hi and end > lo for start, end, _ in self.intervals)
+
+    def describe(self) -> str:
+        return (
+            f"{self.gid} [{self.kind.value}] def={self.definition} "
+            f"exec={self.exec_time} frags={self.n_fragments} "
+            f"cores={self.cores}"
+        )

@@ -1,0 +1,171 @@
+"""GraphML export, yEd-flavoured.
+
+"The grain graph is stored as a GRAPHML file that is viewable on
+off-the-shelf, large-scale graph viewers such as yEd and Cytoscape"
+(Sec. 4.2).  We write plain GraphML ``<data>`` attributes (Cytoscape and
+networkx read those) plus the yWorks ``<y:ShapeNode>`` extension carrying
+geometry and fill colors so yEd renders the paper's visual encoding:
+rectangles for grains with length scaled to execution time, small circles
+for forks/joins, diamonds for book-keeping nodes, fill colors from the
+active view, and red borders on the critical path.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+from xml.sax.saxutils import escape, quoteattr
+
+from .layout import Layout, layered_layout
+from .nodes import EdgeKind, GrainGraph, NodeKind
+
+_NODE_SHAPES = {
+    NodeKind.FRAGMENT: "rectangle",
+    NodeKind.CHUNK: "rectangle",
+    NodeKind.FORK: "ellipse",
+    NodeKind.JOIN: "ellipse",
+    NodeKind.BOOKKEEPING: "diamond",
+}
+
+_DEFAULT_FILL = {
+    NodeKind.FRAGMENT: "#9ecae1",
+    NodeKind.CHUNK: "#74c476",
+    NodeKind.FORK: "#2ca02c",
+    NodeKind.JOIN: "#ff7f0e",
+    NodeKind.BOOKKEEPING: "#17becf",
+}
+
+_EDGE_COLORS = {
+    EdgeKind.CREATION: "#2ca02c",
+    EdgeKind.JOIN: "#ff7f0e",
+    EdgeKind.CONTINUATION: "#000000",
+}
+
+_KEYS = (
+    ("d_kind", "node", "kind", "string"),
+    ("d_start", "node", "start", "long"),
+    ("d_end", "node", "end", "long"),
+    ("d_duration", "node", "duration", "long"),
+    ("d_core", "node", "core", "int"),
+    ("d_grain", "node", "grain_id", "string"),
+    ("d_definition", "node", "definition", "string"),
+    ("d_loc", "node", "loc", "string"),
+    ("d_members", "node", "members", "int"),
+    ("d_ekind", "edge", "kind", "string"),
+    ("d_critical", "edge", "critical", "boolean"),
+)
+
+
+def _node_size(duration: int, scale: float) -> float:
+    """Rectangle length linearly scaled to execution time, clamped so huge
+    graphs stay viewable (min 12, max 360 pixels)."""
+    return max(12.0, min(360.0, duration * scale))
+
+
+def write_graphml(
+    graph: GrainGraph,
+    path: str | Path,
+    view=None,
+    critical_nodes: set[int] | None = None,
+    layout: Layout | None = None,
+) -> Path:
+    """Write the graph; returns the path.
+
+    ``view`` is an optional :class:`repro.analysis.views.View` providing
+    grain fill colors; ``critical_nodes`` get red borders.
+    """
+    path = Path(path)
+    layout = layout or layered_layout(graph)
+    critical_nodes = critical_nodes or set()
+
+    durations = [n.duration for n in graph.grain_nodes()]
+    max_duration = max(durations, default=1) or 1
+    scale = 360.0 / max_duration
+
+    parts: list[str] = []
+    parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+    parts.append(
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns" '
+        'xmlns:y="http://www.yworks.com/xml/graphml" '
+        'xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" '
+        'xsi:schemaLocation="http://graphml.graphdrawing.org/xmlns '
+        'http://www.yworks.com/xml/schema/graphml/1.1/ygraphml.xsd">'
+    )
+    for key_id, domain, name, type_ in _KEYS:
+        parts.append(
+            f'<key id="{key_id}" for="{domain}" attr.name="{name}" '
+            f'attr.type="{type_}"/>'
+        )
+    parts.append('<key id="d_ygeom" for="node" yfiles.type="nodegraphics"/>')
+    parts.append('<graph id="grain-graph" edgedefault="directed">')
+
+    for nid in sorted(graph.nodes):
+        node = graph.nodes[nid]
+        fill = _DEFAULT_FILL[node.kind]
+        if view is not None and node.grain_id:
+            fill = view.color_of(node.grain_id)
+        border = "#d62728" if nid in critical_nodes else "#333333"
+        border_width = 3.0 if nid in critical_nodes else 1.0
+        x, y = layout.positions[nid]
+        height = _node_size(node.duration, scale)
+        width = 30.0 if node.kind in (NodeKind.FRAGMENT, NodeKind.CHUNK) else 16.0
+        if node.kind not in (NodeKind.FRAGMENT, NodeKind.CHUNK):
+            height = 16.0
+        label = node.grain_id or node.kind.value
+        parts.append(f'<node id="n{nid}">')
+        parts.append(f'<data key="d_kind">{node.kind.value}</data>')
+        if node.start is not None:
+            parts.append(f'<data key="d_start">{node.start}</data>')
+        if node.end is not None:
+            parts.append(f'<data key="d_end">{node.end}</data>')
+        parts.append(f'<data key="d_duration">{node.duration}</data>')
+        if node.core is not None:
+            parts.append(f'<data key="d_core">{node.core}</data>')
+        if node.grain_id:
+            parts.append(
+                f'<data key="d_grain">{escape(node.grain_id)}</data>'
+            )
+        if node.definition:
+            parts.append(
+                f'<data key="d_definition">{escape(node.definition)}</data>'
+            )
+        if node.loc:
+            parts.append(f'<data key="d_loc">{escape(node.loc)}</data>')
+        if node.members:
+            parts.append(f'<data key="d_members">{len(node.members)}</data>')
+        parts.append('<data key="d_ygeom"><y:ShapeNode>')
+        parts.append(
+            f'<y:Geometry x="{60.0 * x:.1f}" y="{90.0 * y:.1f}" '
+            f'width="{width:.1f}" height="{height:.1f}"/>'
+        )
+        parts.append(f'<y:Fill color="{fill}" transparent="false"/>')
+        parts.append(
+            f'<y:BorderStyle color="{border}" type="line" '
+            f'width="{border_width:.1f}"/>'
+        )
+        parts.append(
+            f'<y:NodeLabel visible="false">{escape(label)}</y:NodeLabel>'
+        )
+        parts.append(
+            f'<y:Shape type="{_NODE_SHAPES[node.kind]}"/>'
+        )
+        parts.append("</y:ShapeNode></data>")
+        parts.append("</node>")
+
+    critical_edges = set()
+    for index, edge in enumerate(graph.edges):
+        is_critical = edge.src in critical_nodes and edge.dst in critical_nodes
+        parts.append(
+            f'<edge id="e{index}" source="n{edge.src}" target="n{edge.dst}">'
+        )
+        parts.append(f'<data key="d_ekind">{edge.kind.value}</data>')
+        parts.append(
+            f'<data key="d_critical">{"true" if is_critical else "false"}</data>'
+        )
+        parts.append("</edge>")
+        if is_critical:
+            critical_edges.add(index)
+
+    parts.append("</graph></graphml>")
+    path.write_text("\n".join(parts))
+    return path

@@ -1,0 +1,50 @@
+"""Schedule-independent grain identities (Sec. 3.1).
+
+"Grains corresponding to tasks are identified using path enumeration which
+relies on the static nature of the graph for task-based programs. ... We
+identify chunks through the thread that started the loop, a sequence
+counter, and the iteration range."
+"""
+
+from __future__ import annotations
+
+
+def task_gid(path: tuple[int, ...]) -> str:
+    """Grain id of a task instance from its creation path."""
+    return "t:" + "/".join(str(i) for i in path)
+
+
+def parse_task_gid(gid: str) -> tuple[int, ...]:
+    if not gid.startswith("t:"):
+        raise ValueError(f"not a task grain id: {gid!r}")
+    return tuple(int(part) for part in gid[2:].split("/"))
+
+
+def loop_key(starting_thread: int, loop_seq: int) -> str:
+    """Identity of one loop instance: starting thread + per-thread sequence
+    counter ("The starting thread is constant in programs without nested
+    parallelism")."""
+    return f"L:{starting_thread}:{loop_seq}"
+
+
+def chunk_gid(
+    starting_thread: int, loop_seq: int, iter_start: int, iter_end: int
+) -> str:
+    """Grain id of one chunk instance: loop identity + iteration range."""
+    return f"c:{starting_thread}:{loop_seq}:{iter_start}-{iter_end}"
+
+
+def parse_chunk_gid(gid: str) -> tuple[int, int, int, int]:
+    if not gid.startswith("c:"):
+        raise ValueError(f"not a chunk grain id: {gid!r}")
+    thread, seq, span = gid[2:].split(":")
+    lo, hi = span.split("-")
+    return int(thread), int(seq), int(lo), int(hi)
+
+
+def is_task_gid(gid: str) -> bool:
+    return gid.startswith("t:")
+
+
+def is_chunk_gid(gid: str) -> bool:
+    return gid.startswith("c:")

@@ -1,0 +1,109 @@
+"""Hierarchical layout for grain graphs.
+
+Reproduces the drawing conventions of Sec. 3.1: "Edges never cross to
+ensure child fragments appear local to the parent and fragments of a task
+are aligned in sequence — essential features to convey recursive task
+creation", and "After reductions, nodes are laid out symmetrically for
+space-efficiency."
+
+The layout builds a spanning tree over each node's *primary* incoming
+edge (continuation preferred over creation, creation over join), places
+leaves on consecutive x slots in DFS order — children are visited from
+their creating fork, which keeps them local to the parent — and centers
+every interior node over its children.  Vertical position is the node's
+longest-path depth, so fragments of a task stack in sequence.  The result
+is planar for pure fork/join structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .nodes import EdgeKind, GrainGraph
+
+_EDGE_PREFERENCE = {
+    EdgeKind.CONTINUATION: 0,
+    EdgeKind.CREATION: 1,
+    EdgeKind.JOIN: 2,
+}
+
+
+@dataclass(frozen=True)
+class Layout:
+    positions: dict[int, tuple[float, float]]
+    width: float
+    height: float
+
+    def position(self, node_id: int) -> tuple[float, float]:
+        return self.positions[node_id]
+
+
+def layered_layout(graph: GrainGraph) -> Layout:
+    """Compute unit-grid positions for every node."""
+    if not graph.nodes:
+        return Layout(positions={}, width=0.0, height=0.0)
+    order = graph.topological_order()
+
+    # Depth: longest path from any source (keeps sequences stacked).
+    depth: dict[int, int] = {}
+    for nid in order:
+        preds = graph.predecessors(nid)
+        depth[nid] = (
+            max(depth[src] for src, _ in preds) + 1 if preds else 0
+        )
+
+    # Spanning tree: each node hangs off its most-preferred predecessor.
+    tree_children: dict[int, list[int]] = {nid: [] for nid in graph.nodes}
+    roots: list[int] = []
+    for nid in order:
+        preds = graph.predecessors(nid)
+        if not preds:
+            roots.append(nid)
+            continue
+        parent = min(
+            preds, key=lambda edge: (_EDGE_PREFERENCE[edge[1]], edge[0])
+        )[0]
+        tree_children[parent].append(nid)
+
+    # DFS leaf slotting; interior nodes centered over children.
+    x: dict[int, float] = {}
+    next_slot = 0.0
+
+    def place(nid: int) -> float:
+        nonlocal next_slot
+        children = tree_children[nid]
+        if not children:
+            x[nid] = next_slot
+            next_slot += 1.0
+            return x[nid]
+        child_positions = [place(child) for child in children]
+        x[nid] = sum(child_positions) / len(child_positions)
+        return x[nid]
+
+    for root in roots:
+        place(root)
+        next_slot += 0.5  # gap between disjoint components
+
+    positions = {nid: (x[nid], float(depth[nid])) for nid in graph.nodes}
+    width = max(px for px, _ in positions.values()) + 1.0
+    height = max(py for _, py in positions.values()) + 1.0
+    return Layout(positions=positions, width=width, height=height)
+
+
+def crossing_count(graph: GrainGraph, layout: Layout) -> int:
+    """Count pairwise edge crossings between adjacent layers (a quality
+    measure used by the layout tests; fork/join trees should be planar)."""
+    by_layer: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for edge in graph.edges:
+        x1, y1 = layout.positions[edge.src]
+        x2, y2 = layout.positions[edge.dst]
+        if y2 - y1 == 1:
+            by_layer.setdefault((int(y1), int(y2)), []).append((x1, x2))
+    crossings = 0
+    for segments in by_layer.values():
+        for i in range(len(segments)):
+            for j in range(i + 1, len(segments)):
+                (a1, a2), (b1, b2) = segments[i], segments[j]
+                if (a1 - b1) * (a2 - b2) < 0:
+                    crossings += 1
+    return crossings

@@ -1,0 +1,223 @@
+"""Grain-graph node/edge types and the graph container.
+
+The grain graph is "a directed acyclic graph (DAG) that captures the order
+of creation and synchronization between grains" with five node types and
+three control-flow edge types (Sec. 3.1).  The container here is a thin,
+allocation-friendly structure (graphs reach hundreds of thousands of nodes
+for the paper's programs); :meth:`GrainGraph.to_networkx` bridges to
+networkx for generic algorithms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..machine.counters import CounterSet
+
+
+class NodeKind(enum.Enum):
+    FRAGMENT = "fragment"  # task execution between runtime events
+    FORK = "fork"  # task creation (green)
+    JOIN = "join"  # task / chunk synchronization (orange)
+    BOOKKEEPING = "bookkeeping"  # chunk dispatch by a team thread (turquoise)
+    CHUNK = "chunk"  # execution of a chunk's iterations (green rectangle)
+
+
+class EdgeKind(enum.Enum):
+    CREATION = "creation"  # fork -> first fragment of child (green)
+    JOIN = "join"  # last fragment of child -> join node (orange)
+    CONTINUATION = "continuation"  # within-context sequencing (black)
+
+
+# Grain node kinds: nodes that carry application computation and belong to
+# a grain (a task instance or a chunk instance).
+GRAIN_NODE_KINDS = frozenset({NodeKind.FRAGMENT, NodeKind.CHUNK})
+
+
+@dataclass
+class GGNode:
+    """One grain-graph node.
+
+    ``start``/``end`` are virtual-cycle timestamps (``None`` for grouped
+    nodes whose members are disjoint in time).  ``grain_id`` links grain
+    nodes to their :class:`~repro.core.grains.Grain`; for grouped nodes
+    ``members`` lists the absorbed node ids and weights are aggregated.
+    """
+
+    node_id: int
+    kind: NodeKind
+    start: Optional[int] = None
+    end: Optional[int] = None
+    core: Optional[int] = None
+    counters: Optional[CounterSet] = None
+    grain_id: Optional[str] = None
+    tid: Optional[int] = None
+    frag_seq: Optional[int] = None
+    loop_id: Optional[int] = None
+    thread: Optional[int] = None  # team-relative thread (loop nodes)
+    iter_range: Optional[tuple[int, int]] = None
+    definition: str = ""
+    loc: str = ""
+    label: str = ""
+    team_fork: bool = False  # parallel-region fork (may have arity > 1)
+    implicit: bool = False  # implicit end-of-region barrier join
+    members: tuple[int, ...] = ()  # node ids grouped into this node
+    duration_override: Optional[int] = None  # aggregate weight of a group
+
+    @property
+    def duration(self) -> int:
+        if self.duration_override is not None:
+            return self.duration_override
+        if self.start is None or self.end is None:
+            return 0
+        return self.end - self.start
+
+    @property
+    def is_grain_node(self) -> bool:
+        return self.kind in GRAIN_NODE_KINDS
+
+    @property
+    def is_group(self) -> bool:
+        return bool(self.members)
+
+
+@dataclass(frozen=True)
+class GGEdge:
+    src: int
+    dst: int
+    kind: EdgeKind
+
+
+class GrainGraph:
+    """The grain graph plus its grain table.
+
+    ``grains`` maps grain id -> :class:`~repro.core.grains.Grain`; the
+    builder fills it.  ``meta`` carries the trace metadata the graph was
+    built from (machine size, thread count, ...), which the metrics need
+    for thresholds such as "instantaneous parallelism < number of cores".
+    """
+
+    def __init__(self, meta=None) -> None:
+        self.meta = meta
+        self.nodes: dict[int, GGNode] = {}
+        self.edges: list[GGEdge] = []
+        self._succ: dict[int, list[tuple[int, EdgeKind]]] = {}
+        self._pred: dict[int, list[tuple[int, EdgeKind]]] = {}
+        self._next_id = 0
+        self.grains: dict[str, "Grain"] = {}  # type: ignore[name-defined]
+        self.root_node_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def new_node(self, kind: NodeKind, **attrs) -> GGNode:
+        node = GGNode(node_id=self._next_id, kind=kind, **attrs)
+        self._next_id += 1
+        self.nodes[node.node_id] = node
+        self._succ[node.node_id] = []
+        self._pred[node.node_id] = []
+        return node
+
+    def add_edge(self, src: int, dst: int, kind: EdgeKind) -> None:
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"edge endpoints missing: {src} -> {dst}")
+        self.edges.append(GGEdge(src, dst, kind))
+        self._succ[src].append((dst, kind))
+        self._pred[dst].append((src, kind))
+
+    def remove_nodes(self, node_ids: set[int]) -> None:
+        """Drop nodes and incident edges (used by reductions)."""
+        for nid in node_ids:
+            self.nodes.pop(nid, None)
+            self._succ.pop(nid, None)
+            self._pred.pop(nid, None)
+        self.edges = [
+            e for e in self.edges
+            if e.src not in node_ids and e.dst not in node_ids
+        ]
+        for adj in (self._succ, self._pred):
+            for nid, lst in adj.items():
+                adj[nid] = [(other, k) for other, k in lst if other not in node_ids]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def successors(self, nid: int) -> list[tuple[int, EdgeKind]]:
+        return self._succ[nid]
+
+    def predecessors(self, nid: int) -> list[tuple[int, EdgeKind]]:
+        return self._pred[nid]
+
+    def out_degree(self, nid: int) -> int:
+        return len(self._succ[nid])
+
+    def in_degree(self, nid: int) -> int:
+        return len(self._pred[nid])
+
+    def node_count(self, kind: NodeKind | None = None) -> int:
+        if kind is None:
+            return len(self.nodes)
+        return sum(1 for n in self.nodes.values() if n.kind is kind)
+
+    def edge_count(self, kind: EdgeKind | None = None) -> int:
+        if kind is None:
+            return len(self.edges)
+        return sum(1 for e in self.edges if e.kind is kind)
+
+    def grain_nodes(self) -> Iterator[GGNode]:
+        for node in self.nodes.values():
+            if node.is_grain_node:
+                yield node
+
+    @property
+    def num_grains(self) -> int:
+        return len(self.grains)
+
+    # ------------------------------------------------------------------
+    # Algorithms
+    # ------------------------------------------------------------------
+    def topological_order(self) -> list[int]:
+        """Kahn's algorithm; raises on cycles (the graph must be a DAG)."""
+        indeg = {nid: len(self._pred[nid]) for nid in self.nodes}
+        stack = sorted((nid for nid, d in indeg.items() if d == 0), reverse=True)
+        order: list[int] = []
+        while stack:
+            nid = stack.pop()
+            order.append(nid)
+            for succ, _ in self._succ[nid]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    stack.append(succ)
+        if len(order) != len(self.nodes):
+            raise ValueError("grain graph contains a cycle")
+        return order
+
+    def to_networkx(self):
+        """A networkx.DiGraph with node/edge attributes (for generic graph
+        algorithms and interoperability tests)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        for nid, node in self.nodes.items():
+            g.add_node(
+                nid,
+                kind=node.kind.value,
+                start=node.start,
+                end=node.end,
+                duration=node.duration,
+                core=node.core,
+                grain_id=node.grain_id,
+                definition=node.definition,
+            )
+        for edge in self.edges:
+            g.add_edge(edge.src, edge.dst, kind=edge.kind.value)
+        return g
+
+    def summary(self) -> str:
+        parts = [f"{self.node_count(k)} {k.value}" for k in NodeKind]
+        return (
+            f"GrainGraph: {len(self.nodes)} nodes ({', '.join(parts)}), "
+            f"{len(self.edges)} edges, {len(self.grains)} grains"
+        )

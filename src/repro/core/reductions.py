@@ -1,0 +1,211 @@
+"""Graph reductions (Fig. 3d-e, h): grouping nodes to speed up rendering.
+
+"We apply reductions to the graph structure by grouping nodes to speedup
+rendering times.  Grouped nodes retain weights of individual member nodes
+and also aggregate them.  We group all book-keeping nodes per thread.
+Additionally, chunks are depicted as siblings since they are executable in
+parallel by definition."
+
+Three reductions, each optional:
+
+- **Fragment reduction** — all fragments of a task instance collapse into
+  one grain node whose weight is the grain's execution time (Fig. 3d).
+- **Fork reduction** — consecutive fork nodes of the same parent whose
+  children synchronize at the same join collapse into one fork (Fig. 3e).
+- **Book-keeping grouping** — all book-keeping nodes of one loop and team
+  thread collapse into one node; the thread's chunks hang off it as
+  siblings (Fig. 3h).
+
+Collapsing a task's fragments folds its pre/post-fork execution into one
+node, so the fragment<->fork/join back-and-forth edges would form two-node
+cycles; following the paper's drawings, the direction pointing *into* the
+fork/join is kept and the return edge dropped, which preserves acyclicity.
+Grouped nodes list their ``members`` and carry aggregated duration and
+counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.counters import CounterSet
+from .nodes import EdgeKind, GGNode, GrainGraph, NodeKind
+
+_KIND_PRIORITY = {EdgeKind.CREATION: 0, EdgeKind.JOIN: 1, EdgeKind.CONTINUATION: 2}
+
+
+@dataclass(frozen=True)
+class ReductionReport:
+    nodes_before: int
+    nodes_after: int
+    edges_before: int
+    edges_after: int
+
+    @property
+    def node_ratio(self) -> float:
+        return self.nodes_after / self.nodes_before if self.nodes_before else 1.0
+
+
+def reduce_graph(
+    graph: GrainGraph,
+    fragments: bool = True,
+    forks: bool = True,
+    bookkeeping: bool = True,
+) -> tuple[GrainGraph, ReductionReport]:
+    """Return a reduced copy of ``graph`` (grain table shared) plus a
+    report of the size change."""
+    nodes_before = len(graph.nodes)
+    edges_before = len(graph.edges)
+
+    partition: dict[int, tuple] = {}
+    for nid, node in graph.nodes.items():
+        if fragments and node.kind is NodeKind.FRAGMENT and node.grain_id:
+            partition[nid] = ("task", node.grain_id)
+        elif bookkeeping and node.kind is NodeKind.BOOKKEEPING:
+            partition[nid] = ("bk", node.loop_id, node.thread)
+        else:
+            partition[nid] = ("solo", nid)
+    reduced = _contract(graph, partition)
+
+    if forks:
+        fork_partition = _fork_partition(reduced)
+        reduced = _contract(reduced, fork_partition)
+
+    report = ReductionReport(
+        nodes_before=nodes_before,
+        nodes_after=len(reduced.nodes),
+        edges_before=edges_before,
+        edges_after=len(reduced.edges),
+    )
+    return reduced, report
+
+
+def _fork_partition(graph: GrainGraph) -> dict[int, tuple]:
+    """Group forks sharing a parent node whose children all sync at the
+    same join ("fork reduction combines fork nodes before every join")."""
+    partition: dict[int, tuple] = {}
+    for nid, node in graph.nodes.items():
+        if node.kind is not NodeKind.FORK or node.team_fork:
+            partition[nid] = ("solo", nid)
+            continue
+        parents = sorted(
+            src for src, kind in graph.predecessors(nid)
+            if kind is EdgeKind.CONTINUATION
+        )
+        parent = parents[0] if parents else -1
+        # The join the fork's child synchronizes at.
+        join = -1
+        for child, kind in graph.successors(nid):
+            if kind is not EdgeKind.CREATION:
+                continue
+            for dst, dst_kind in graph.successors(child):
+                if (
+                    dst_kind is EdgeKind.JOIN
+                    or graph.nodes[dst].kind is NodeKind.JOIN
+                ):
+                    join = dst
+                    break
+        partition[nid] = ("fork", parent, join)
+    return partition
+
+
+def _contract(graph: GrainGraph, partition: dict[int, tuple]) -> GrainGraph:
+    """Build the quotient graph over ``partition`` (old id -> group key)."""
+    out = GrainGraph(meta=graph.meta)
+    out.grains = graph.grains
+
+    # Deterministic group order: by smallest member id.
+    members_of: dict[tuple, list[int]] = {}
+    for nid in sorted(graph.nodes):
+        members_of.setdefault(partition[nid], []).append(nid)
+    group_order = sorted(members_of, key=lambda key: members_of[key][0])
+
+    new_id: dict[tuple, int] = {}
+    for key in group_order:
+        members = members_of[key]
+        first = graph.nodes[members[0]]
+        if len(members) == 1 and not first.is_group:
+            node = out.new_node(
+                first.kind,
+                start=first.start,
+                end=first.end,
+                core=first.core,
+                counters=first.counters,
+                grain_id=first.grain_id,
+                tid=first.tid,
+                frag_seq=first.frag_seq,
+                loop_id=first.loop_id,
+                thread=first.thread,
+                iter_range=first.iter_range,
+                definition=first.definition,
+                loc=first.loc,
+                label=first.label,
+                team_fork=first.team_fork,
+                implicit=first.implicit,
+            )
+        else:
+            total = 0
+            counters = CounterSet()
+            member_ids: list[int] = []
+            for mid in members:
+                member = graph.nodes[mid]
+                total += member.duration
+                if member.counters is not None:
+                    counters += member.counters
+                member_ids.extend(member.members or (mid,))
+            node = out.new_node(
+                first.kind,
+                start=min(m for m in (graph.nodes[i].start for i in members) if m is not None),
+                end=max(m for m in (graph.nodes[i].end for i in members) if m is not None),
+                core=first.core,
+                counters=counters,
+                grain_id=first.grain_id if len({graph.nodes[i].grain_id for i in members}) == 1 else None,
+                tid=first.tid,
+                loop_id=first.loop_id,
+                thread=first.thread,
+                definition=first.definition,
+                loc=first.loc,
+                label=first.label,
+                team_fork=first.team_fork,
+                implicit=first.implicit,
+                members=tuple(member_ids),
+                duration_override=total,
+            )
+        new_id[key] = node.node_id
+
+    # Map edges, drop intra-group edges, dedupe, resolve cycles created by
+    # the contraction.  Continuation edges are same-context by definition,
+    # so a continuation from a fork/join back into a *grouped* fragment is
+    # the "return to the parent context" direction — the paper's drawings
+    # keep only the into-the-fork/join direction; dropping the return edge
+    # preserves acyclicity (this also covers loop-join -> implicit-task).
+    best: dict[tuple[int, int], EdgeKind] = {}
+    for edge in graph.edges:
+        src = new_id[partition[edge.src]]
+        dst = new_id[partition[edge.dst]]
+        if src == dst:
+            continue
+        if (
+            edge.kind is EdgeKind.CONTINUATION
+            and graph.nodes[edge.src].kind in (NodeKind.FORK, NodeKind.JOIN)
+            and out.nodes[dst].kind is NodeKind.FRAGMENT
+            and out.nodes[dst].is_group
+        ):
+            continue
+        key = (src, dst)
+        if key not in best or _KIND_PRIORITY[edge.kind] < _KIND_PRIORITY[best[key]]:
+            best[key] = edge.kind
+    for (src, dst), kind in sorted(best.items()):
+        if (dst, src) in best:
+            # Remaining two-node cycles are book-keeping-group <-> chunk
+            # pairs: keep the dispatch direction (group -> chunk; chunks
+            # hang off the grouped node as siblings, Fig. 3h).
+            if src > dst:
+                continue
+        out.add_edge(src, dst, kind)
+    out.root_node_id = (
+        new_id[partition[graph.root_node_id]]
+        if graph.root_node_id is not None
+        else None
+    )
+    return out

@@ -1,0 +1,127 @@
+"""Native SVG rendering of grain graphs with problem-highlight views.
+
+Implements the paper's visual encoding without an external viewer:
+grains are rectangles whose height is linearly scaled to execution time,
+forks are green dots, joins orange dots, book-keeping nodes turquoise
+diamonds; creation edges green, join edges orange, continuations black;
+critical-path elements get red borders; a view dims non-problematic
+grains and colors offenders with the severity gradient.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from .layout import Layout, layered_layout
+from .nodes import EdgeKind, GrainGraph, NodeKind
+
+_EDGE_COLORS = {
+    EdgeKind.CREATION: "#2ca02c",
+    EdgeKind.JOIN: "#ff7f0e",
+    EdgeKind.CONTINUATION: "#555555",
+}
+
+_X_STEP = 46.0
+_Y_STEP = 78.0
+_MARGIN = 40.0
+
+
+def render_svg(
+    graph: GrainGraph,
+    path: str | Path,
+    view=None,
+    critical_nodes: set[int] | None = None,
+    layout: Layout | None = None,
+    title: str = "",
+) -> Path:
+    """Render the graph to an SVG file; returns the path."""
+    path = Path(path)
+    layout = layout or layered_layout(graph)
+    critical_nodes = critical_nodes or set()
+
+    durations = [n.duration for n in graph.grain_nodes()]
+    max_duration = max(durations, default=1) or 1
+    # Grain rectangle height: linear in execution time, 6..56 px.
+    def grain_height(duration: int) -> float:
+        return 6.0 + 50.0 * duration / max_duration
+
+    width = layout.width * _X_STEP + 2 * _MARGIN
+    height = layout.height * _Y_STEP + 2 * _MARGIN + 30
+
+    def pos(nid: int) -> tuple[float, float]:
+        x, y = layout.positions[nid]
+        return _MARGIN + x * _X_STEP, _MARGIN + 30 + y * _Y_STEP
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN}" y="22" font-size="14" '
+            f'font-family="sans-serif">{escape(title)}</text>'
+        )
+
+    for edge in graph.edges:
+        x1, y1 = pos(edge.src)
+        x2, y2 = pos(edge.dst)
+        critical = edge.src in critical_nodes and edge.dst in critical_nodes
+        color = "#d62728" if critical else _EDGE_COLORS[edge.kind]
+        stroke = 2.2 if critical else 1.0
+        parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" y2="{y2:.1f}" '
+            f'stroke="{color}" stroke-width="{stroke}"/>'
+        )
+
+    for nid in sorted(graph.nodes):
+        node = graph.nodes[nid]
+        x, y = pos(nid)
+        border = "#d62728" if nid in critical_nodes else "#333333"
+        border_width = 2.5 if nid in critical_nodes else 0.8
+        tooltip = escape(
+            f"{node.grain_id or node.kind.value} dur={node.duration} "
+            f"core={node.core} def={node.definition} loc={node.loc}"
+        )
+        if node.kind in (NodeKind.FRAGMENT, NodeKind.CHUNK):
+            fill = "#9ecae1" if node.kind is NodeKind.FRAGMENT else "#74c476"
+            if view is not None and node.grain_id:
+                fill = view.color_of(node.grain_id)
+            h = grain_height(node.duration)
+            parts.append(
+                f'<rect x="{x - 9:.1f}" y="{y - h / 2:.1f}" width="18" '
+                f'height="{h:.1f}" fill="{fill}" stroke="{border}" '
+                f'stroke-width="{border_width}"><title>{tooltip}</title></rect>'
+            )
+        elif node.kind is NodeKind.BOOKKEEPING:
+            parts.append(
+                f'<path d="M {x:.1f} {y - 7:.1f} L {x + 7:.1f} {y:.1f} '
+                f'L {x:.1f} {y + 7:.1f} L {x - 7:.1f} {y:.1f} Z" '
+                f'fill="#17becf" stroke="{border}" '
+                f'stroke-width="{border_width}"><title>{tooltip}</title></path>'
+            )
+        else:
+            fill = "#2ca02c" if node.kind is NodeKind.FORK else "#ff7f0e"
+            parts.append(
+                f'<circle cx="{x:.1f}" cy="{y:.1f}" r="5.5" fill="{fill}" '
+                f'stroke="{border}" stroke-width="{border_width}">'
+                f"<title>{tooltip}</title></circle>"
+            )
+
+    if view is not None and view.legend:
+        ly = height - 14
+        lx = _MARGIN
+        for name, color in list(view.legend.items())[:6]:
+            parts.append(
+                f'<rect x="{lx:.0f}" y="{ly - 10:.0f}" width="12" height="12" '
+                f'fill="{color}" stroke="#333"/>'
+            )
+            parts.append(
+                f'<text x="{lx + 16:.0f}" y="{ly:.0f}" font-size="11" '
+                f'font-family="sans-serif">{escape(str(name)[:28])}</text>'
+            )
+            lx += 20 + 7 * min(28, len(str(name)))
+    parts.append("</svg>")
+    path.write_text("\n".join(parts))
+    return path

@@ -1,0 +1,176 @@
+"""Zoombox and summary-node collapsing.
+
+Two navigation tools the paper describes:
+
+- the **zoombox** (Fig. 2's inset): extract the subgraph for a region of
+  interest — a time window, a task subtree, or a set of grains — as a
+  standalone :class:`GrainGraph` that the exporters render directly;
+- **summary nodes** (the conclusion's scalability experiment: "collapsing
+  collections of nodes and replacing them with a single summary node"):
+  collapse an entire task subtree into one node that retains the
+  aggregate weight and member count.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..machine.counters import CounterSet
+from .grains import GrainKind
+from .ids import parse_task_gid, task_gid
+from .nodes import EdgeKind, GrainGraph, NodeKind
+
+
+def _subgraph(graph: GrainGraph, keep: set[int]) -> GrainGraph:
+    """Copy the induced subgraph on ``keep`` (grain table filtered)."""
+    out = GrainGraph(meta=graph.meta)
+    mapping: dict[int, int] = {}
+    for nid in sorted(keep):
+        node = graph.nodes[nid]
+        clone = out.new_node(
+            node.kind,
+            start=node.start, end=node.end, core=node.core,
+            counters=node.counters, grain_id=node.grain_id, tid=node.tid,
+            frag_seq=node.frag_seq, loop_id=node.loop_id, thread=node.thread,
+            iter_range=node.iter_range, definition=node.definition,
+            loc=node.loc, label=node.label, team_fork=node.team_fork,
+            implicit=node.implicit, members=node.members,
+            duration_override=node.duration_override,
+        )
+        mapping[nid] = clone.node_id
+    for edge in graph.edges:
+        if edge.src in keep and edge.dst in keep:
+            out.add_edge(mapping[edge.src], mapping[edge.dst], edge.kind)
+    kept_gids = {
+        node.grain_id for node in out.nodes.values() if node.grain_id
+    }
+    out.grains = {gid: graph.grains[gid] for gid in kept_gids}
+    return out
+
+
+def zoom_time_window(graph: GrainGraph, start: int, end: int) -> GrainGraph:
+    """The subgraph of nodes whose span intersects [start, end)."""
+    if end <= start:
+        raise ValueError("empty time window")
+    keep = {
+        nid
+        for nid, node in graph.nodes.items()
+        if node.start is not None
+        and node.end is not None
+        and node.start < end
+        and node.end > start
+    }
+    return _subgraph(graph, keep)
+
+
+def zoom_subtree(graph: GrainGraph, root_gid: str) -> GrainGraph:
+    """The subgraph of a task grain and all its descendants (plus their
+    forks and joins) — Fig. 2's region-of-interest inset."""
+    prefix = parse_task_gid(root_gid)
+    member_gids = {
+        gid
+        for gid in graph.grains
+        if gid.startswith("t:") and parse_task_gid(gid)[: len(prefix)] == prefix
+    }
+    if not member_gids:
+        raise ValueError(f"no grains under {root_gid!r}")
+    member_tids = {
+        graph.grains[gid].tid for gid in member_gids
+    }
+    keep = {
+        nid
+        for nid, node in graph.nodes.items()
+        if (node.grain_id in member_gids)
+        or (node.tid in member_tids and node.kind in (NodeKind.FORK, NodeKind.JOIN))
+    }
+    return _subgraph(graph, keep)
+
+
+def collapse_subtree(graph: GrainGraph, root_gid: str) -> GrainGraph:
+    """Replace a task subtree with one summary node.
+
+    The summary node is a grouped fragment carrying the subtree's total
+    execution time, aggregated counters, and the member node ids; edges
+    from outside the subtree re-attach to it.  This is the conclusion's
+    rendering-scalability device.
+    """
+    prefix = parse_task_gid(root_gid)
+    member_gids = {
+        gid
+        for gid in graph.grains
+        if gid.startswith("t:") and parse_task_gid(gid)[: len(prefix)] == prefix
+    }
+    if not member_gids:
+        raise ValueError(f"no grains under {root_gid!r}")
+    member_tids = {graph.grains[gid].tid for gid in member_gids}
+    collapsed = {
+        nid
+        for nid, node in graph.nodes.items()
+        if node.grain_id in member_gids or node.tid in member_tids
+    }
+
+    out = GrainGraph(meta=graph.meta)
+    mapping: dict[int, int] = {}
+    total = 0
+    counters = CounterSet()
+    spans = []
+    for nid in sorted(graph.nodes):
+        node = graph.nodes[nid]
+        if nid in collapsed:
+            if node.is_grain_node:
+                total += node.duration
+                if node.counters is not None:
+                    counters += node.counters
+            if node.start is not None and node.end is not None:
+                spans.append((node.start, node.end))
+            continue
+        clone = out.new_node(
+            node.kind,
+            start=node.start, end=node.end, core=node.core,
+            counters=node.counters, grain_id=node.grain_id, tid=node.tid,
+            frag_seq=node.frag_seq, loop_id=node.loop_id, thread=node.thread,
+            iter_range=node.iter_range, definition=node.definition,
+            loc=node.loc, label=node.label, team_fork=node.team_fork,
+            implicit=node.implicit, members=node.members,
+            duration_override=node.duration_override,
+        )
+        mapping[nid] = clone.node_id
+    summary = out.new_node(
+        NodeKind.FRAGMENT,
+        start=min(s for s, _ in spans) if spans else None,
+        end=max(e for _, e in spans) if spans else None,
+        counters=counters,
+        grain_id=root_gid,
+        definition=f"<summary of {len(member_gids)} grains>",
+        members=tuple(sorted(collapsed)),
+        duration_override=total,
+    )
+
+    seen: set[tuple[int, int, EdgeKind]] = set()
+    for edge in graph.edges:
+        src_in, dst_in = edge.src in collapsed, edge.dst in collapsed
+        if src_in and dst_in:
+            continue
+        src = summary.node_id if src_in else mapping[edge.src]
+        dst = summary.node_id if dst_in else mapping[edge.dst]
+        key = (src, dst, edge.kind)
+        if key in seen or src == dst:
+            continue
+        seen.add(key)
+        out.add_edge(src, dst, edge.kind)
+
+    out.grains = {
+        gid: grain for gid, grain in graph.grains.items()
+        if gid not in member_gids
+    }
+    # A synthetic grain record for the summary, so metrics and views can
+    # still address it.
+    from .grains import Grain
+
+    record = Grain(gid=root_gid, kind=GrainKind.TASK,
+                   definition=summary.definition)
+    record.intervals = [(summary.start or 0, (summary.start or 0) + total, 0)]
+    record.node_ids = [summary.node_id]
+    record.counters = counters
+    out.grains[root_gid] = record
+    return out

@@ -1,0 +1,55 @@
+"""Simulated shared-memory NUMA machine.
+
+This package is the hardware substrate of the reproduction.  The paper
+profiled real OpenMP programs on a 48-core AMD Opteron 6172 system; here a
+parametric machine model stands in for that testbed (see DESIGN.md,
+"Substitutions").  The model provides
+
+- a socket/core/NUMA topology with a distance table (:mod:`.topology`),
+- memory regions with page-placement policies (:mod:`.memory`),
+- a working-set cache model: private caches plus per-socket LLC
+  (:mod:`.caches`),
+- per-node memory-controller contention (:mod:`.contention`),
+- an analytic cost model turning a work descriptor into execution cycles
+  and PAPI-like counter values (:mod:`.cost`, :mod:`.counters`).
+
+Everything is deterministic: all durations are integer cycles and no wall
+clock or RNG state leaks into results.
+"""
+
+from .topology import MachineTopology, opteron6172, small_smp
+from .memory import (
+    MemoryMap,
+    MemoryRegion,
+    Placement,
+    FirstTouch,
+    RoundRobin,
+    NodePinned,
+)
+from .caches import CacheModel, CacheConfig
+from .contention import ContentionModel
+from .counters import CounterSet
+from .cost import CostParams, Access, WorkRequest, CostModel
+from .machine import Machine, MachineConfig
+
+__all__ = [
+    "MachineTopology",
+    "opteron6172",
+    "small_smp",
+    "MemoryMap",
+    "MemoryRegion",
+    "Placement",
+    "FirstTouch",
+    "RoundRobin",
+    "NodePinned",
+    "CacheModel",
+    "CacheConfig",
+    "ContentionModel",
+    "CounterSet",
+    "CostParams",
+    "Access",
+    "WorkRequest",
+    "CostModel",
+    "Machine",
+    "MachineConfig",
+]

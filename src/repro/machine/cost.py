@@ -1,0 +1,163 @@
+"""Analytic cost model: work descriptor -> cycles + counters.
+
+A work segment declares pure compute cycles plus a list of region accesses.
+The model charges stall cycles for lines missing the private cache:
+
+- lines hitting the socket LLC pay ``llc_hit_cycles`` each,
+- lines going to memory pay ``local_mem_cycles`` scaled by the NUMA
+  distance between the requesting core's node and the page's node and by
+  the contention multiplier of the servicing node,
+- total miss latency is divided by ``mlp`` (memory-level parallelism) since
+  real cores overlap outstanding misses.
+
+The result feeds the PAPI-like :class:`~repro.machine.counters.CounterSet`
+recorded per grain.  All outputs are integers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .caches import CacheModel, LINE_SIZE
+from .contention import ContentionModel
+from .counters import CounterSet
+from .memory import MemoryMap
+from .topology import MachineTopology, LOCAL_DISTANCE
+
+
+@dataclass(frozen=True)
+class Access:
+    """One region access inside a work segment.
+
+    ``pattern`` in ``(0, 1]`` models access friendliness: 1.0 streams with
+    full reuse; lower values (e.g. the column-major inner loop of the
+    original ``bmod`` in 359.botsspar) forfeit that fraction of cache hits.
+    """
+
+    region_id: int
+    nbytes: int
+    pattern: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError("access size must be non-negative")
+        if not 0.0 < self.pattern <= 1.0:
+            raise ValueError("pattern must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class WorkRequest:
+    """A unit of application computation handed to the machine."""
+
+    cycles: int
+    accesses: tuple[Access, ...] = ()
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError("compute cycles must be non-negative")
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Latency parameters (cycles), loosely Opteron-class."""
+
+    llc_hit_cycles: int = 40
+    local_mem_cycles: int = 160
+    mlp: float = 4.0  # overlapped outstanding misses
+
+    def __post_init__(self) -> None:
+        if self.mlp <= 0:
+            raise ValueError("mlp must be positive")
+
+
+@dataclass
+class CostOutcome:
+    """Duration and counters for one work segment, plus the per-node
+    traffic weights the engine registers with the contention model."""
+
+    duration: int
+    counters: CounterSet
+    node_weights: list[float] = field(default_factory=list)
+
+
+class CostModel:
+    """Evaluates :class:`WorkRequest` objects against the machine state."""
+
+    def __init__(
+        self,
+        topology: MachineTopology,
+        caches: CacheModel,
+        memory: MemoryMap,
+        contention: ContentionModel,
+        params: CostParams | None = None,
+    ) -> None:
+        self.topology = topology
+        self.caches = caches
+        self.memory = memory
+        self.contention = contention
+        self.params = params or CostParams()
+
+    def node_weights(self, accesses: Sequence[Access]) -> list[float]:
+        """Per-node fractions of this segment's memory traffic.
+
+        Used by the engine for contention registration; weights are based
+        on page placement (not on cache outcomes) so that registration and
+        withdrawal are symmetric.
+        """
+        weights = [0.0] * self.topology.num_nodes
+        total = sum(a.nbytes for a in accesses)
+        if total == 0:
+            return weights
+        for access in accesses:
+            fractions = self.memory.node_fractions(access.region_id)
+            share = access.nbytes / total
+            for node, fraction in enumerate(fractions):
+                weights[node] += share * fraction
+        return weights
+
+    def charge(self, core: int, work: WorkRequest) -> CostOutcome:
+        """Run the model for a segment executing on ``core`` *now*.
+
+        Mutates cache state (the accessed bytes become resident) and reads
+        the current contention load, but does not register demand — the
+        engine does that with the returned ``node_weights``.
+        """
+        params = self.params
+        my_node = self.topology.node_of_core(core)
+        counters = CounterSet(compute_cycles=work.cycles)
+        stall = 0.0
+        for access in work.accesses:
+            if access.nbytes == 0:
+                continue
+            lines = -(-access.nbytes // LINE_SIZE)
+            counters.accesses += lines
+            result = self.caches.access(
+                core, access.region_id, access.nbytes, access.pattern
+            )
+            counters.l1_misses += result.llc_hit_lines + result.memory_lines
+            counters.llc_misses += result.memory_lines
+            stall += result.llc_hit_lines * params.llc_hit_cycles
+            if result.memory_lines:
+                fractions = self.memory.node_fractions(access.region_id)
+                for node, fraction in enumerate(fractions):
+                    if fraction == 0.0:
+                        continue
+                    node_lines = result.memory_lines * fraction
+                    distance = self.topology.node_distance(my_node, node)
+                    latency = (
+                        params.local_mem_cycles
+                        * (distance / LOCAL_DISTANCE)
+                        * self.contention.multiplier(node)
+                    )
+                    stall += node_lines * latency
+                    if node != my_node:
+                        counters.remote_lines += int(node_lines)
+        counters.stall_cycles = int(stall / params.mlp)
+        counters.cycles = work.cycles + counters.stall_cycles
+        return CostOutcome(
+            duration=counters.cycles,
+            counters=counters,
+            node_weights=self.node_weights(work.accesses),
+        )

@@ -1,0 +1,74 @@
+"""PAPI-like hardware counter values.
+
+The MIR profiler reads hardware performance counters through PAPI at grain
+events to measure "grain execution time and memory behavior statistics such
+as L1 cache misses and memory stall cycles" (Sec. 4.2).  This module is the
+simulated counterpart: a small value type accumulated per fragment/chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class CounterSet:
+    """Counter deltas for one measured span.
+
+    ``cycles`` is total elapsed cycles; ``compute_cycles`` the retired-work
+    portion and ``stall_cycles`` the memory-stall portion (so ``cycles ==
+    compute_cycles + stall_cycles`` for work spans).  Miss counters are in
+    cache lines; ``remote_lines`` counts lines serviced by a remote NUMA
+    node.
+    """
+
+    cycles: int = 0
+    compute_cycles: int = 0
+    stall_cycles: int = 0
+    l1_misses: int = 0
+    llc_misses: int = 0
+    remote_lines: int = 0
+    accesses: int = 0
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        return CounterSet(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "CounterSet") -> "CounterSet":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "CounterSet":
+        return CounterSet(**self.to_dict())
+
+    def to_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, int]) -> "CounterSet":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @property
+    def memory_hierarchy_utilization(self) -> float:
+        """Computation cycles per stalled cycle (Sec. 3.2).
+
+        The paper flags utilization below two as a likely problem.  A span
+        with zero stalls has unbounded utilization; we return ``inf`` so
+        threshold comparisons behave naturally.
+        """
+        if self.stall_cycles == 0:
+            return float("inf")
+        return self.compute_cycles / self.stall_cycles
+
+    @property
+    def miss_ratio(self) -> float:
+        """L1 misses per access (0 when nothing was accessed)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.l1_misses / self.accesses

@@ -1,0 +1,75 @@
+"""The :class:`Machine` facade bundling topology, caches, memory, and cost.
+
+One :class:`Machine` instance represents one program run's hardware state;
+the runtime engine owns it.  ``Machine.fresh()`` clones the configuration
+with cold caches and empty memory map, which the workflow layer uses to run
+the same program at different thread counts (e.g. the 1-core reference run
+for work deviation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .caches import CacheConfig, CacheModel
+from .contention import ContentionModel
+from .cost import CostModel, CostParams
+from .memory import MemoryMap, Placement, MemoryRegion
+from .topology import MachineTopology, opteron6172
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to (re)build identical machine state."""
+
+    topology: MachineTopology
+    cache: CacheConfig
+    cost: CostParams
+    contention_alpha: float = 0.06
+
+    @classmethod
+    def paper_testbed(cls) -> "MachineConfig":
+        """The 48-core Opteron configuration used throughout the paper."""
+        return cls(topology=opteron6172(), cache=CacheConfig(), cost=CostParams())
+
+
+class Machine:
+    """Mutable hardware state for one simulated run."""
+
+    def __init__(self, config: MachineConfig | None = None) -> None:
+        self.config = config or MachineConfig.paper_testbed()
+        self.used = False  # set once an engine adopts this machine
+        self.topology = self.config.topology
+        self.caches = CacheModel(self.topology, self.config.cache)
+        self.memory = MemoryMap(self.topology.num_nodes)
+        self.contention = ContentionModel(
+            self.topology.num_nodes, alpha=self.config.contention_alpha
+        )
+        self.cost = CostModel(
+            self.topology, self.caches, self.memory, self.contention, self.config.cost
+        )
+
+    @classmethod
+    def paper_testbed(cls) -> "Machine":
+        return cls(MachineConfig.paper_testbed())
+
+    def fresh(self) -> "Machine":
+        """A new machine with the same configuration and cold state."""
+        return Machine(self.config)
+
+    def allocate(
+        self, name: str, size_bytes: int, placement: Placement | None = None
+    ) -> MemoryRegion:
+        """Allocate a named memory region (see :mod:`repro.machine.memory`)."""
+        return self.memory.allocate(name, size_bytes, placement)
+
+    @property
+    def num_cores(self) -> int:
+        return self.topology.num_cores
+
+    def seconds(self, cycles: int) -> float:
+        """Convert virtual cycles to seconds at the nominal frequency."""
+        return cycles / self.topology.frequency_hz
+
+    def describe(self) -> str:
+        return self.topology.describe()

@@ -1,0 +1,154 @@
+"""Memory regions and NUMA page placement.
+
+Applications allocate named *regions* (arrays, matrices, trees).  Each
+region is split into pages; a :class:`Placement` policy maps pages to NUMA
+nodes.  The cost model asks, for an access from a given core, what fraction
+of the touched lines live on each node — that is all the analytic model
+needs, so no per-page bookkeeping happens on the access path.
+
+The Sort analysis in the paper (Sec. 4.3.1) reduces work inflation "with
+round-robin memory page distribution to different NUMA nodes"; the
+:class:`FirstTouch` vs :class:`RoundRobin` policies reproduce exactly that
+experiment knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+PAGE_SIZE = 4096
+
+
+class Placement:
+    """Base class for page-placement policies."""
+
+    def node_fractions(self, region: "MemoryRegion", num_nodes: int) -> list[float]:
+        """Fraction of the region's pages living on each NUMA node."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FirstTouch(Placement):
+    """All pages land on the node of the core that first touches them.
+
+    OpenMP programs typically initialise data from the master thread, so
+    under first-touch the whole region ends up on the master's node — the
+    root cause of the work inflation the paper observes in Sort and
+    359.botsspar.  ``touch_node`` is resolved when the region is allocated.
+    """
+
+    touch_node: int = 0
+
+    def node_fractions(self, region: "MemoryRegion", num_nodes: int) -> list[float]:
+        fractions = [0.0] * num_nodes
+        fractions[self.touch_node % num_nodes] = 1.0
+        return fractions
+
+    def describe(self) -> str:
+        return f"first-touch(node={self.touch_node})"
+
+
+@dataclass(frozen=True)
+class RoundRobin(Placement):
+    """Pages are interleaved round-robin across all NUMA nodes (the
+    ``numactl --interleave`` / MIR data-distribution fix from the paper)."""
+
+    def node_fractions(self, region: "MemoryRegion", num_nodes: int) -> list[float]:
+        pages = region.num_pages
+        base = pages // num_nodes
+        extra = pages % num_nodes
+        return [
+            (base + (1 if node < extra else 0)) / pages for node in range(num_nodes)
+        ]
+
+
+@dataclass(frozen=True)
+class NodePinned(Placement):
+    """The whole region is bound to one node (``numactl --membind``)."""
+
+    node: int = 0
+
+    def node_fractions(self, region: "MemoryRegion", num_nodes: int) -> list[float]:
+        fractions = [0.0] * num_nodes
+        fractions[self.node % num_nodes] = 1.0
+        return fractions
+
+    def describe(self) -> str:
+        return f"pinned(node={self.node})"
+
+
+@dataclass(frozen=True)
+class MemoryRegion:
+    """A named allocation visible to the cost model.
+
+    Regions are identified by integer ids handed out by :class:`MemoryMap`;
+    application code refers to them through those ids in work descriptors.
+    """
+
+    region_id: int
+    name: str
+    size_bytes: int
+    placement: Placement
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("region size must be positive")
+
+    @property
+    def num_pages(self) -> int:
+        return max(1, -(-self.size_bytes // PAGE_SIZE))
+
+
+class MemoryMap:
+    """Registry of all regions allocated by a program run."""
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("need at least one NUMA node")
+        self.num_nodes = num_nodes
+        self._regions: Dict[int, MemoryRegion] = {}
+        self._fractions: Dict[int, list[float]] = {}
+        self._next_id = 0
+
+    def allocate(
+        self, name: str, size_bytes: int, placement: Placement | None = None
+    ) -> MemoryRegion:
+        """Create a region and resolve its page placement immediately."""
+        placement = placement if placement is not None else FirstTouch(0)
+        region = MemoryRegion(self._next_id, name, size_bytes, placement)
+        self._next_id += 1
+        self._regions[region.region_id] = region
+        fractions = placement.node_fractions(region, self.num_nodes)
+        total = sum(fractions)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(
+                f"placement {placement.describe()} fractions sum to {total}"
+            )
+        self._fractions[region.region_id] = fractions
+        return region
+
+    def region(self, region_id: int) -> MemoryRegion:
+        return self._regions[region_id]
+
+    def __contains__(self, region_id: int) -> bool:
+        return region_id in self._regions
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[MemoryRegion]:
+        return iter(self._regions.values())
+
+    def node_fractions(self, region_id: int) -> list[float]:
+        """Fraction of the region's pages on each node (resolved at
+        allocation time, constant afterwards)."""
+        return self._fractions[region_id]
+
+    def home_node(self, region_id: int) -> int:
+        """The node holding the plurality of the region's pages."""
+        fractions = self._fractions[region_id]
+        return max(range(len(fractions)), key=lambda n: (fractions[n], -n))

@@ -1,0 +1,172 @@
+"""Machine topology: sockets, cores, NUMA nodes and the distance table.
+
+The paper's test machine is a 48-core, four-socket AMD Opteron 6172 with
+frequency scaling disabled.  The scatter metric (Sec. 3.2) measures the
+median pairwise distance between cores executing sibling grains, where
+"distances are obtained from the NUMA distance table or by subtracting core
+identifiers in some topologies"; the scatter *problem threshold* is
+"farther than the number of cores in a CPU socket" (Sec. 3.3), i.e.
+off-socket on the authors' machine.  Both distance conventions are
+supported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# Conventional ACPI SLIT values: local distance is 10, remote distances are
+# expressed relative to it.
+LOCAL_DISTANCE = 10
+
+
+@dataclass(frozen=True)
+class MachineTopology:
+    """An immutable description of the simulated machine.
+
+    Parameters
+    ----------
+    sockets:
+        Number of CPU sockets (packages).
+    cores_per_socket:
+        Cores in each socket.  Core ids are dense: socket ``s`` owns cores
+        ``[s * cores_per_socket, (s + 1) * cores_per_socket)``.
+    nodes_per_socket:
+        NUMA nodes per socket (the Opteron 6172 has two dies per package).
+    same_socket_distance / cross_socket_distance:
+        NUMA distance-table entries for remote nodes sharing / not sharing
+        a socket; the local entry is always :data:`LOCAL_DISTANCE`.
+    frequency_hz:
+        Nominal core frequency, used only to convert cycles to seconds in
+        reports.
+    """
+
+    sockets: int = 4
+    cores_per_socket: int = 12
+    nodes_per_socket: int = 2
+    same_socket_distance: int = 16
+    cross_socket_distance: int = 22
+    frequency_hz: int = 2_100_000_000
+    name: str = "generic-numa"
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise ValueError("need at least one socket")
+        if self.cores_per_socket < 1:
+            raise ValueError("need at least one core per socket")
+        if self.nodes_per_socket < 1:
+            raise ValueError("need at least one NUMA node per socket")
+        if self.cores_per_socket % self.nodes_per_socket != 0:
+            raise ValueError(
+                "cores_per_socket must be divisible by nodes_per_socket"
+            )
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def num_nodes(self) -> int:
+        return self.sockets * self.nodes_per_socket
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.cores_per_socket // self.nodes_per_socket
+
+    # ------------------------------------------------------------------
+    # Placement lookups
+    # ------------------------------------------------------------------
+    def socket_of_core(self, core: int) -> int:
+        self._check_core(core)
+        return core // self.cores_per_socket
+
+    def node_of_core(self, core: int) -> int:
+        self._check_core(core)
+        return core // self.cores_per_node
+
+    def socket_of_node(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.nodes_per_socket
+
+    def cores_of_node(self, node: int) -> range:
+        self._check_node(node)
+        lo = node * self.cores_per_node
+        return range(lo, lo + self.cores_per_node)
+
+    def cores_of_socket(self, socket: int) -> range:
+        if not 0 <= socket < self.sockets:
+            raise ValueError(f"socket {socket} out of range")
+        lo = socket * self.cores_per_socket
+        return range(lo, lo + self.cores_per_socket)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def node_distance(self, a: int, b: int) -> int:
+        """NUMA distance-table entry between two nodes (SLIT convention)."""
+        self._check_node(a)
+        self._check_node(b)
+        if a == b:
+            return LOCAL_DISTANCE
+        if self.socket_of_node(a) == self.socket_of_node(b):
+            return self.same_socket_distance
+        return self.cross_socket_distance
+
+    def core_distance(self, a: int, b: int) -> int:
+        """Distance between two *cores* via the NUMA distance table."""
+        return self.node_distance(self.node_of_core(a), self.node_of_core(b))
+
+    def core_id_distance(self, a: int, b: int) -> int:
+        """Distance by subtracting core identifiers (the paper's alternate
+        convention for topologies where ids encode locality)."""
+        self._check_core(a)
+        self._check_core(b)
+        return abs(a - b)
+
+    def distance_matrix(self) -> list[list[int]]:
+        """The full node-to-node distance table as nested lists."""
+        n = self.num_nodes
+        return [[self.node_distance(i, j) for j in range(n)] for i in range(n)]
+
+    # ------------------------------------------------------------------
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range [0, {self.num_cores})")
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_cores} cores, {self.sockets} sockets x "
+            f"{self.cores_per_socket} cores, {self.num_nodes} NUMA nodes "
+            f"({self.cores_per_node} cores/node), {self.frequency_hz / 1e9:.1f} GHz"
+        )
+
+
+def opteron6172() -> MachineTopology:
+    """The paper's 48-core test machine: four 2.1 GHz AMD Opteron 6172
+    packages, each with two six-core dies (NUMA nodes)."""
+    return MachineTopology(
+        sockets=4,
+        cores_per_socket=12,
+        nodes_per_socket=2,
+        same_socket_distance=16,
+        cross_socket_distance=22,
+        frequency_hz=2_100_000_000,
+        name="amd-opteron-6172",
+    )
+
+
+def small_smp(cores: int = 4) -> MachineTopology:
+    """A small single-socket, single-node machine for unit tests."""
+    return MachineTopology(
+        sockets=1,
+        cores_per_socket=cores,
+        nodes_per_socket=1,
+        name=f"smp-{cores}",
+    )

@@ -1,0 +1,51 @@
+"""Derived metrics (Sec. 3.2).
+
+Each metric lives in its own module; :mod:`.facade` bundles them into one
+:class:`MetricSet` computed per grain:
+
+- critical path (:mod:`.critical_path`),
+- parallel benefit (:mod:`.parallel_benefit`),
+- load balance (:mod:`.load_balance`),
+- work deviation / inflation (:mod:`.work_deviation`),
+- instantaneous parallelism (:mod:`.parallelism`),
+- scatter (:mod:`.scatter`),
+- memory-hierarchy utilization and miss ratios (:mod:`.memory`),
+- per-source-definition summaries (:mod:`.summary`).
+"""
+
+from .critical_path import critical_path, CriticalPath
+from .parallel_benefit import parallel_benefit, parallel_benefit_all
+from .load_balance import load_balance, chains, LoadBalance
+from .work_deviation import work_deviation, WorkDeviationReport
+from .parallelism import (
+    instantaneous_parallelism,
+    ParallelismProfile,
+    IntervalPreset,
+)
+from .scatter import scatter, topology_from_meta
+from .memory import memory_report, MemoryReport
+from .summary import per_definition_summary, DefinitionSummary
+from .facade import MetricSet, GrainMetrics
+
+__all__ = [
+    "critical_path",
+    "CriticalPath",
+    "parallel_benefit",
+    "parallel_benefit_all",
+    "load_balance",
+    "chains",
+    "LoadBalance",
+    "work_deviation",
+    "WorkDeviationReport",
+    "instantaneous_parallelism",
+    "ParallelismProfile",
+    "IntervalPreset",
+    "scatter",
+    "topology_from_meta",
+    "memory_report",
+    "MemoryReport",
+    "per_definition_summary",
+    "DefinitionSummary",
+    "MetricSet",
+    "GrainMetrics",
+]

@@ -1,0 +1,84 @@
+"""Critical path of the grain graph.
+
+"Both edges and node borders are colored red if they are on the critical
+path of the grain graph" (Sec. 3.1).  The critical path is the heaviest
+path through the DAG with node weights equal to node durations (fragments,
+chunks, forks, book-keeping; join nodes contribute their wait span).  It
+is "an important filter for selecting first-optimization candidates"
+(Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+
+
+@dataclass
+class CriticalPath:
+    """The heaviest node-weighted path."""
+
+    node_ids: list[int]
+    length_cycles: int
+    edge_set: set[tuple[int, int]] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if not self.edge_set:
+            self.edge_set = set(zip(self.node_ids, self.node_ids[1:]))
+
+    @property
+    def nodes(self) -> set[int]:
+        return set(self.node_ids)
+
+    def grain_ids(self, graph: GrainGraph) -> set[str]:
+        """Grains with at least one node on the critical path."""
+        on_path = self.nodes
+        return {
+            node.grain_id
+            for node in graph.nodes.values()
+            if node.node_id in on_path and node.grain_id
+        }
+
+
+def critical_path(graph: GrainGraph) -> CriticalPath:
+    """Longest (duration-weighted) path via topological dynamic program.
+
+    Join nodes carry zero path weight: their span is *waiting*, which
+    overlaps the execution of the children arriving at the join, so
+    counting it would double-book time and let the path exceed the
+    makespan.  Forks (creation cost), book-keeping, fragments and chunks
+    carry their durations, hence the invariant ``length <= makespan``.
+    """
+    from ..core.nodes import NodeKind
+
+    order = graph.topological_order()
+    best: dict[int, int] = {}
+    pred: dict[int, int | None] = {}
+    for nid in order:
+        node = graph.nodes[nid]
+        weight = 0 if node.kind is NodeKind.JOIN else node.duration
+        incoming = graph.predecessors(nid)
+        if incoming:
+            # max over predecessors, ties broken by smallest node id for
+            # determinism.
+            best_src, best_val = None, -1
+            for src, _ in incoming:
+                val = best[src]
+                if val > best_val or (val == best_val and (best_src is None or src < best_src)):
+                    best_src, best_val = src, val
+            best[nid] = best_val + weight
+            pred[nid] = best_src
+        else:
+            best[nid] = weight
+            pred[nid] = None
+    if not best:
+        return CriticalPath(node_ids=[], length_cycles=0)
+    end = max(sorted(best), key=lambda nid: best[nid])
+    path: list[int] = []
+    cursor: int | None = end
+    while cursor is not None:
+        path.append(cursor)
+        cursor = pred[cursor]
+    path.reverse()
+    return CriticalPath(node_ids=path, length_cycles=best[end])

@@ -1,0 +1,98 @@
+"""One-call metric computation over a grain graph.
+
+:func:`MetricSet.compute` evaluates every Sec. 3.2 metric and returns a
+per-grain :class:`GrainMetrics` table plus the graph-level results
+(critical path, load balance, parallelism profile).  A single-core
+reference graph enables work deviation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.nodes import GrainGraph
+from .critical_path import CriticalPath, critical_path
+from .load_balance import LoadBalance, load_balance
+from .memory import MemoryReport, memory_report
+from .parallel_benefit import parallel_benefit_all
+from .parallelism import (
+    IntervalPreset,
+    ParallelismProfile,
+    instantaneous_parallelism,
+)
+from .scatter import ScatterResult, scatter
+from .work_deviation import WorkDeviationReport, work_deviation
+
+
+@dataclass
+class GrainMetrics:
+    """All derived metrics for one grain (``None`` = not computable)."""
+
+    gid: str
+    exec_time: int
+    parallel_benefit: float
+    memory_hierarchy_utilization: float
+    instantaneous_parallelism: int
+    scatter: float
+    work_deviation: Optional[float] = None
+    on_critical_path: bool = False
+
+
+@dataclass
+class MetricSet:
+    """Graph-level metric results plus the per-grain table."""
+
+    graph: GrainGraph
+    critical_path: CriticalPath
+    load_balance: LoadBalance
+    parallelism: ParallelismProfile
+    memory: MemoryReport
+    scatter: ScatterResult
+    benefit: dict[str, float]
+    deviation: Optional[WorkDeviationReport] = None
+    per_grain: dict[str, GrainMetrics] = field(default_factory=dict)
+
+    @classmethod
+    def compute(
+        cls,
+        graph: GrainGraph,
+        reference: GrainGraph | None = None,
+        interval: int | IntervalPreset = IntervalPreset.MEDIAN_GRAIN_LENGTH,
+        optimistic: bool = True,
+    ) -> "MetricSet":
+        cp = critical_path(graph)
+        lb = load_balance(graph)
+        profile = instantaneous_parallelism(
+            graph, interval=interval, optimistic=optimistic
+        )
+        mem = memory_report(graph)
+        sc = scatter(graph)
+        benefit = parallel_benefit_all(graph)
+        deviation = work_deviation(graph, reference) if reference else None
+        cp_grains = cp.grain_ids(graph)
+        per_grain = {}
+        for gid, grain in graph.grains.items():
+            per_grain[gid] = GrainMetrics(
+                gid=gid,
+                exec_time=grain.exec_time,
+                parallel_benefit=benefit[gid],
+                memory_hierarchy_utilization=mem.mhu[gid],
+                instantaneous_parallelism=profile.per_grain.get(gid, 1),
+                scatter=sc.per_grain.get(gid, 0.0),
+                work_deviation=(
+                    deviation.deviation.get(gid) if deviation else None
+                ),
+                on_critical_path=gid in cp_grains,
+            )
+        return cls(
+            graph=graph,
+            critical_path=cp,
+            load_balance=lb,
+            parallelism=profile,
+            memory=mem,
+            scatter=sc,
+            benefit=benefit,
+            deviation=deviation,
+            per_grain=per_grain,
+        )

@@ -1,0 +1,51 @@
+"""Memory-hierarchy metrics (Sec. 3.2).
+
+Memory hierarchy utilization is "a ratio of processor cycles spent
+performing computation to stalled cycles waiting for data"; Sec. 3.3
+flags utilization below two as a likely problem.  Cache miss ratios are
+also surfaced, matching the "standard metrics" the paper annotates the
+graph with.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+
+
+@dataclass
+class MemoryReport:
+    mhu: dict[str, float] = field(default_factory=dict)
+    miss_ratio: dict[str, float] = field(default_factory=dict)
+    remote_fraction: dict[str, float] = field(default_factory=dict)
+
+    def poor_mhu(self, threshold: float = 2.0) -> dict[str, float]:
+        return {g: v for g, v in self.mhu.items() if v < threshold}
+
+    def poor_mhu_fraction(self, threshold: float = 2.0) -> float:
+        if not self.mhu:
+            return 0.0
+        return len(self.poor_mhu(threshold)) / len(self.mhu)
+
+    def median_mhu(self) -> float:
+        finite = [v for v in self.mhu.values() if math.isfinite(v)]
+        if not finite:
+            return float("inf")
+        return statistics.median(finite)
+
+
+def memory_report(graph: GrainGraph) -> MemoryReport:
+    """Per-grain memory behaviour from the aggregated counters."""
+    report = MemoryReport()
+    for gid, grain in graph.grains.items():
+        counters = grain.counters
+        report.mhu[gid] = counters.memory_hierarchy_utilization
+        report.miss_ratio[gid] = counters.miss_ratio
+        if counters.llc_misses > 0:
+            report.remote_fraction[gid] = counters.remote_lines / counters.llc_misses
+        else:
+            report.remote_fraction[gid] = 0.0
+    return report

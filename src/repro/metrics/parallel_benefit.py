@@ -1,0 +1,43 @@
+"""Parallel benefit (Sec. 3.2).
+
+"Parallel benefit is a grain's execution time divided by the
+parallelization costs borne by the grain's parent.  The metric aids
+inlining and cutoff decisions by quantifying whether parallelization is
+beneficial so grains with low parallel benefit should be executed
+serially to reduce overhead.  Parallelization cost of a grain is the sum
+of its creation time and average time spent by the grain's parent in
+synchronizing with all siblings.  Parallelization cost for chunks uses
+book-keeping cost instead of child creation time."
+
+Values below 1.0 mean the grain cost more to parallelize than it computed
+(Sec. 3.3 flags benefit < 1 as a likely problem).  The root grain has no
+parallelization cost; its benefit is infinite by convention.
+"""
+
+from __future__ import annotations
+
+from ..core.grains import Grain
+from ..core.nodes import GrainGraph
+
+
+def parallel_benefit(grain: Grain) -> float:
+    """Execution time over parallelization cost for one grain."""
+    cost = grain.parallelization_cost
+    if cost <= 0:
+        return float("inf")
+    return grain.exec_time / cost
+
+
+def parallel_benefit_all(graph: GrainGraph) -> dict[str, float]:
+    """Parallel benefit for every grain in the graph."""
+    return {gid: parallel_benefit(g) for gid, g in graph.grains.items()}
+
+
+def low_benefit_fraction(graph: GrainGraph, threshold: float = 1.0) -> float:
+    """Fraction of grains whose benefit is below ``threshold`` (the
+    "48% with low parallel benefit" style statistic of Fig. 5b)."""
+    values = parallel_benefit_all(graph)
+    if not values:
+        return 0.0
+    low = sum(1 for v in values.values() if v < threshold)
+    return low / len(values)

@@ -1,0 +1,155 @@
+"""Instantaneous parallelism (Sec. 3.2).
+
+"Instantaneous parallelism is parallelism exposed by the program at
+different times during execution.  Low instantaneous parallelism means
+cores idle because no work is available. ... The metric is calculated by
+counting the number of grains whose execution overlaps with intervals of
+program execution time.  Interval size is a balance between accuracy and
+post-processing time.  We provide the minimum grain length, the smallest
+difference between when a grain starts and another grain ends, and the
+median grain length as default choices.  The metric comes in two flavors:
+optimistic includes all grains with any overlap of the interval, and
+conservative only includes grains with full overlap.  Instantaneous
+parallelism of a grain is the smallest instantaneous parallelism among
+all its overlapping time intervals."
+"""
+
+from __future__ import annotations
+
+import enum
+import statistics
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.nodes import GrainGraph
+
+
+class IntervalPreset(enum.Enum):
+    MIN_GRAIN_LENGTH = "min_grain_length"
+    SMALLEST_GAP = "smallest_gap"  # smallest start-vs-end difference
+    MEDIAN_GRAIN_LENGTH = "median_grain_length"
+
+
+@dataclass
+class ParallelismProfile:
+    """The parallelism timeline plus per-grain minima."""
+
+    interval_cycles: int
+    timeline: np.ndarray  # parallelism per interval (int array)
+    per_grain: dict[str, int] = field(default_factory=dict)
+    optimistic: bool = True
+
+    @property
+    def peak(self) -> int:
+        return int(self.timeline.max()) if self.timeline.size else 0
+
+    @property
+    def mean(self) -> float:
+        return float(self.timeline.mean()) if self.timeline.size else 0.0
+
+    def fraction_below(self, cores: int) -> float:
+        """Fraction of program time intervals whose parallelism is below
+        ``cores`` — the "less than the number of cores available" signal
+        of the Sort analysis (Fig. 5a)."""
+        if not self.timeline.size:
+            return 0.0
+        return float((self.timeline < cores).mean())
+
+    def grains_below(self, cores: int) -> dict[str, int]:
+        return {g: p for g, p in self.per_grain.items() if p < cores}
+
+
+def _interval_size(graph: GrainGraph, preset: IntervalPreset) -> int:
+    spans = [
+        end - start
+        for grain in graph.grains.values()
+        for start, end, _ in grain.intervals
+        if end > start
+    ]
+    if not spans:
+        return 1
+    if preset is IntervalPreset.MIN_GRAIN_LENGTH:
+        return max(1, min(spans))
+    if preset is IntervalPreset.MEDIAN_GRAIN_LENGTH:
+        return max(1, int(statistics.median(spans)))
+    # SMALLEST_GAP: smallest positive difference between any grain start
+    # and any grain end.
+    starts = sorted(
+        {s for grain in graph.grains.values() for s, _, _ in grain.intervals}
+    )
+    ends = sorted(
+        {e for grain in graph.grains.values() for _, e, _ in grain.intervals}
+    )
+    best: int | None = None
+    j = 0
+    for start in starts:
+        while j < len(ends) and ends[j] <= start:
+            j += 1
+        if j < len(ends):
+            gap = ends[j] - start
+            if gap > 0 and (best is None or gap < best):
+                best = gap
+    return max(1, best or 1)
+
+
+def instantaneous_parallelism(
+    graph: GrainGraph,
+    interval: int | IntervalPreset = IntervalPreset.MEDIAN_GRAIN_LENGTH,
+    optimistic: bool = True,
+) -> ParallelismProfile:
+    """Compute the parallelism timeline and each grain's minimum.
+
+    ``interval`` is a cycle count or one of the paper's presets.
+    """
+    if isinstance(interval, IntervalPreset):
+        delta = _interval_size(graph, interval)
+    else:
+        delta = int(interval)
+        if delta < 1:
+            raise ValueError("interval must be at least one cycle")
+
+    makespan = max(
+        (grain.last_end for grain in graph.grains.values() if grain.intervals),
+        default=0,
+    )
+    n_cells = max(1, -(-makespan // delta))
+    diff = np.zeros(n_cells + 1, dtype=np.int64)
+
+    # Cell index ranges per grain interval.
+    cell_ranges: dict[str, list[tuple[int, int]]] = {}
+    for gid, grain in graph.grains.items():
+        ranges = []
+        for start, end, _ in grain.intervals:
+            if end <= start:
+                continue
+            if optimistic:
+                lo = start // delta
+                hi = -(-end // delta)  # ceil: any overlap counts
+            else:
+                lo = -(-start // delta)  # ceil: only fully covered cells
+                hi = end // delta
+                if hi <= lo:
+                    continue
+            diff[lo] += 1
+            diff[hi] -= 1
+            ranges.append((lo, hi))
+        cell_ranges[gid] = ranges
+    timeline = np.cumsum(diff[:-1])
+
+    per_grain: dict[str, int] = {}
+    for gid, ranges in cell_ranges.items():
+        if not ranges:
+            # Grain contributed to no interval (conservative flavor with a
+            # grain shorter than the interval): parallelism one (itself).
+            per_grain[gid] = 1
+            continue
+        per_grain[gid] = int(
+            min(timeline[lo:hi].min() for lo, hi in ranges)
+        )
+    return ParallelismProfile(
+        interval_cycles=delta,
+        timeline=timeline,
+        per_grain=per_grain,
+        optimistic=optimistic,
+    )

@@ -1,0 +1,89 @@
+"""Scatter (Sec. 3.2).
+
+"Scatter is the median pair-wise distance in the system topology between
+cores executing sibling grains.  Distances are obtained from the NUMA
+distance table or by subtracting core identifiers in some topologies.
+High scatter between grains that share data can lead to poor memory
+hierarchy utilization."
+
+Sibling groups are tasks created by the same parent, or chunks of the
+same loop instance.  Every grain in a group is assigned the group's
+median pairwise distance.  Sec. 3.3 flags scatter "farther than the
+number of cores in a CPU socket" — the Strassen analysis (Fig. 11c/d)
+reads this as off-socket execution (more than 12 cores apart on the
+authors' machine), so the core-id convention compares against
+``cores_per_socket`` and the NUMA convention against the same-socket
+distance-table entry.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+from ..core.nodes import GrainGraph
+from ..machine.topology import MachineTopology
+
+
+def topology_from_meta(meta) -> MachineTopology:
+    """Reconstruct the machine topology recorded in trace metadata."""
+    sockets = max(1, meta.num_cores_total // max(1, meta.cores_per_socket))
+    nodes_per_socket = max(1, meta.num_numa_nodes // sockets)
+    return MachineTopology(
+        sockets=sockets,
+        cores_per_socket=meta.cores_per_socket or meta.num_cores_total or 1,
+        nodes_per_socket=nodes_per_socket,
+        frequency_hz=meta.frequency_hz,
+        name=meta.machine or "from-meta",
+    )
+
+
+@dataclass(frozen=True)
+class ScatterResult:
+    per_grain: dict[str, float]
+    per_group: dict[str, float]
+
+    def scattered(self, threshold: float) -> dict[str, float]:
+        return {g: s for g, s in self.per_grain.items() if s > threshold}
+
+
+def scatter(
+    graph: GrainGraph,
+    topology: MachineTopology | None = None,
+    convention: str = "numa",
+) -> ScatterResult:
+    """Median pairwise core distance per sibling group.
+
+    ``convention`` is ``"numa"`` (distance table) or ``"core_id"``
+    (subtracting core identifiers).
+    """
+    if topology is None:
+        topology = topology_from_meta(graph.meta)
+    if convention == "numa":
+        dist = topology.core_distance
+    elif convention == "core_id":
+        dist = topology.core_id_distance
+    else:
+        raise ValueError(f"unknown distance convention {convention!r}")
+
+    groups: dict[str, list[str]] = {}
+    for gid, grain in graph.grains.items():
+        if grain.sibling_group:
+            groups.setdefault(grain.sibling_group, []).append(gid)
+
+    per_group: dict[str, float] = {}
+    per_grain: dict[str, float] = {}
+    for group, members in groups.items():
+        cores = [graph.grains[gid].primary_core for gid in sorted(members)]
+        if len(cores) < 2:
+            per_group[group] = 0.0
+        else:
+            pairwise = [
+                dist(cores[i], cores[j])
+                for i in range(len(cores))
+                for j in range(i + 1, len(cores))
+            ]
+            per_group[group] = float(statistics.median(pairwise))
+        for gid in members:
+            per_grain[gid] = per_group[group]
+    return ScatterResult(per_grain=per_grain, per_group=per_group)

@@ -1,0 +1,64 @@
+"""Work deviation / work inflation (Sec. 3.2).
+
+"Work deviation is the change in execution time between single core and
+multicore grain execution.  Work deviation is beneficial when it is less
+than one and problematic when it is greater than one. ... We compute work
+deviation per grain and refer to problematic work deviation as work
+inflation."
+
+The join relies on schedule-independent grain identity: task grains match
+across runs by creation path.  Chunk grains only match when the loop team
+sizes agree ("for for-loop based programs the shape of the graph is
+dependent on the number of threads used during profiling"), so unmatched
+chunks are skipped and counted.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+
+
+@dataclass
+class WorkDeviationReport:
+    """Per-grain deviation of a multicore run against a 1-core reference."""
+
+    deviation: dict[str, float] = field(default_factory=dict)
+    unmatched: int = 0
+
+    def inflated(self, threshold: float = 2.0) -> dict[str, float]:
+        """Grains whose deviation exceeds ``threshold`` (work inflation).
+
+        The paper's default problem threshold is 2; the 359.botsspar
+        analysis "gradually lowers the work deviation problem threshold
+        from 2 to 1.2" to expose wide-spread inflation.
+        """
+        return {g: d for g, d in self.deviation.items() if d > threshold}
+
+    def inflated_fraction(self, threshold: float = 2.0) -> float:
+        if not self.deviation:
+            return 0.0
+        return len(self.inflated(threshold)) / len(self.deviation)
+
+    def median(self) -> float:
+        if not self.deviation:
+            return 1.0
+        return statistics.median(self.deviation.values())
+
+
+def work_deviation(
+    multicore: GrainGraph, single_core: GrainGraph
+) -> WorkDeviationReport:
+    """Join the two runs' grain tables by grain id and compute per-grain
+    deviation = multicore execution time / single-core execution time."""
+    report = WorkDeviationReport()
+    reference = single_core.grains
+    for gid, grain in multicore.grains.items():
+        ref = reference.get(gid)
+        if ref is None or ref.exec_time == 0:
+            report.unmatched += 1
+            continue
+        report.deviation[gid] = grain.exec_time / ref.exec_time
+    return report

@@ -1,0 +1,47 @@
+"""MIR-profiler stand-in: OMPT-like grain events and traces.
+
+The paper's MIR profiler "collects raw performance information with low
+overhead from hardware performance counters during grain events notified by
+the MIR runtime system ... based on a superset of the OMPT interface [16]
+that includes parallel for-loop chunk events and affinity information"
+(Sec. 4.2).  This package defines those event records (:mod:`.events`),
+the per-run :class:`~repro.profiler.trace.Trace` container with JSONL
+round-tripping (:mod:`.trace`), and the :class:`~repro.profiler.recorder.
+Recorder` the engine notifies (:mod:`.recorder`).
+
+Grain-graph construction consumes only the :class:`Trace`; any profiler
+producing the same records could feed it — "the grain graph visualization
+works irrespective of the profiling method".
+"""
+
+from .events import (
+    TaskCreateEvent,
+    FragmentEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+    TaskCompleteEvent,
+    LoopBeginEvent,
+    BookkeepingEvent,
+    ChunkEvent,
+    LoopEndEvent,
+    Event,
+)
+from .trace import Trace, TraceMetadata
+from .recorder import Recorder, ProfilerConfig
+
+__all__ = [
+    "TaskCreateEvent",
+    "FragmentEvent",
+    "TaskwaitBeginEvent",
+    "TaskwaitEndEvent",
+    "TaskCompleteEvent",
+    "LoopBeginEvent",
+    "BookkeepingEvent",
+    "ChunkEvent",
+    "LoopEndEvent",
+    "Event",
+    "Trace",
+    "TraceMetadata",
+    "Recorder",
+    "ProfilerConfig",
+]

@@ -1,0 +1,311 @@
+"""OMPT-like event records.
+
+Each record is a frozen dataclass with a ``kind`` tag and dict round-trip
+for JSONL serialization.  Times are virtual cycles; ``core`` is the
+executing core id (the affinity information of the paper's superset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Optional
+
+from ..machine.counters import CounterSet
+
+
+@dataclass(frozen=True)
+class TaskCreateEvent:
+    """A task instance came into existence (root included, with
+    ``parent_tid is None`` and zero creation cost)."""
+
+    kind = "task_create"
+    tid: int
+    path: tuple[int, ...]
+    parent_tid: Optional[int]
+    time: int
+    core: int
+    creation_cycles: int
+    depth: int
+    loc: str = ""
+    definition: str = ""
+    label: str = ""
+    inlined: bool = False
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        d["path"] = list(self.path)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TaskCreateEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        d["path"] = tuple(d["path"])
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class FragmentEvent:
+    """Execution of one task fragment: the span between two runtime events
+    within a task, on a single core, with its counter deltas."""
+
+    kind = "fragment"
+    tid: int
+    seq: int
+    start: int
+    end: int
+    core: int
+    counters: CounterSet = field(default_factory=CounterSet)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "tid": self.tid,
+            "seq": self.seq,
+            "start": self.start,
+            "end": self.end,
+            "core": self.core,
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FragmentEvent":
+        return cls(
+            tid=d["tid"],
+            seq=d["seq"],
+            start=d["start"],
+            end=d["end"],
+            core=d["core"],
+            counters=CounterSet.from_dict(d["counters"]),
+        )
+
+
+@dataclass(frozen=True)
+class TaskwaitBeginEvent:
+    """``implicit=True`` marks the end-of-parallel-region barrier that
+    synchronizes fire-and-forget descendants with the root task."""
+
+    kind = "taskwait_begin"
+    tid: int
+    time: int
+    core: int
+    implicit: bool = False
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TaskwaitBeginEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class TaskwaitEndEvent:
+    """``synced_tids`` lists the task ids whose completion this sync point
+    consumed — the exact membership of the graph's join node."""
+
+    kind = "taskwait_end"
+    tid: int
+    time: int
+    core: int
+    synced_tids: tuple[int, ...] = ()
+
+    @property
+    def children_synced(self) -> int:
+        return len(self.synced_tids)
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        d["synced_tids"] = list(self.synced_tids)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TaskwaitEndEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        d["synced_tids"] = tuple(d.get("synced_tids", ()))
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class TaskCompleteEvent:
+    kind = "task_complete"
+    tid: int
+    time: int
+    core: int
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TaskCompleteEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class LoopBeginEvent:
+    """A parallel for-loop instance started.
+
+    ``loop_id`` is the dense runtime id; the schedule-independent chunk
+    identity of Sec. 3.1 combines ``starting_thread`` + ``loop_seq`` (a
+    per-starting-thread sequence counter) + each chunk's iteration range.
+    """
+
+    kind = "loop_begin"
+    loop_id: int
+    loop_seq: int
+    starting_thread: int
+    time: int
+    iterations: int
+    schedule: str
+    chunk_size: Optional[int]
+    team: int
+    loc: str = ""
+    definition: str = ""
+    label: str = ""
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LoopBeginEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class BookkeepingEvent:
+    """One chunk-dispatch attempt by a team thread ("computation performed
+    by threads to divide the iteration space and assign iterations to
+    themselves in chunks")."""
+
+    kind = "bookkeeping"
+    loop_id: int
+    thread: int  # team-relative thread id
+    core: int
+    start: int
+    end: int
+    got_chunk: bool
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "BookkeepingEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class ChunkEvent:
+    """Execution of one chunk grain: iterations [iter_start, iter_end)."""
+
+    kind = "chunk"
+    loop_id: int
+    chunk_seq: int  # dispatch order within the loop
+    thread: int  # team-relative thread id
+    iter_start: int
+    iter_end: int
+    start: int
+    end: int
+    core: int
+    counters: CounterSet = field(default_factory=CounterSet)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "loop_id": self.loop_id,
+            "chunk_seq": self.chunk_seq,
+            "thread": self.thread,
+            "iter_start": self.iter_start,
+            "iter_end": self.iter_end,
+            "start": self.start,
+            "end": self.end,
+            "core": self.core,
+            "counters": self.counters.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ChunkEvent":
+        return cls(
+            loop_id=d["loop_id"],
+            chunk_seq=d["chunk_seq"],
+            thread=d["thread"],
+            iter_start=d["iter_start"],
+            iter_end=d["iter_end"],
+            start=d["start"],
+            end=d["end"],
+            core=d["core"],
+            counters=CounterSet.from_dict(d["counters"]),
+        )
+
+
+@dataclass(frozen=True)
+class LoopEndEvent:
+    kind = "loop_end"
+    loop_id: int
+    time: int
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["kind"] = self.kind
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LoopEndEvent":
+        d = dict(d)
+        d.pop("kind", None)
+        return cls(**d)
+
+
+Event = (
+    TaskCreateEvent
+    | FragmentEvent
+    | TaskwaitBeginEvent
+    | TaskwaitEndEvent
+    | TaskCompleteEvent
+    | LoopBeginEvent
+    | BookkeepingEvent
+    | ChunkEvent
+    | LoopEndEvent
+)
+
+EVENT_CLASSES = {
+    cls.kind: cls
+    for cls in (
+        TaskCreateEvent,
+        FragmentEvent,
+        TaskwaitBeginEvent,
+        TaskwaitEndEvent,
+        TaskCompleteEvent,
+        LoopBeginEvent,
+        BookkeepingEvent,
+        ChunkEvent,
+        LoopEndEvent,
+    )
+}
+
+
+def event_from_dict(d: dict) -> Event:
+    """Reconstruct any event from its dict form (JSONL loading)."""
+    try:
+        cls = EVENT_CLASSES[d["kind"]]
+    except KeyError:
+        raise ValueError(f"unknown event kind {d.get('kind')!r}") from None
+    return cls.from_dict(d)

@@ -1,0 +1,194 @@
+"""The per-run trace: metadata plus every grain event, with JSONL I/O."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, asdict
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    Event,
+    FragmentEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+    event_from_dict,
+)
+
+
+@dataclass
+class TraceMetadata:
+    """Run provenance recorded alongside the events."""
+
+    program: str = ""
+    input_summary: str = ""
+    flavor: str = ""
+    num_threads: int = 1
+    machine: str = ""
+    frequency_hz: int = 2_100_000_000
+    makespan_cycles: int = 0
+    num_cores_total: int = 0
+    cores_per_socket: int = 0
+    num_numa_nodes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TraceMetadata":
+        return cls(**d)
+
+
+class Trace:
+    """All events of one profiled run, in emission order.
+
+    Index properties (``task_creates``, ``fragments_by_task``, ...) are
+    built lazily and cached; appending events after reading an index is a
+    programming error and raises.
+    """
+
+    def __init__(self, meta: TraceMetadata | None = None) -> None:
+        self.meta = meta or TraceMetadata()
+        self.events: list[Event] = []
+        self._frozen = False
+        self._index: dict | None = None
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def append(self, event: Event) -> None:
+        if self._frozen:
+            raise RuntimeError("trace already indexed; cannot append")
+        self.events.append(event)
+
+    def extend(self, events: Iterable[Event]) -> None:
+        for event in events:
+            self.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    # ------------------------------------------------------------------
+    # Indexed access
+    # ------------------------------------------------------------------
+    def _ensure_index(self) -> dict:
+        if self._index is None:
+            self._frozen = True
+            index = {
+                "task_creates": {},
+                "fragments": {},
+                "taskwait_begins": {},
+                "taskwait_ends": {},
+                "completes": {},
+                "loops": {},
+                "chunks": {},
+                "bookkeeping": {},
+                "loop_ends": {},
+            }
+            for event in self.events:
+                if isinstance(event, TaskCreateEvent):
+                    index["task_creates"][event.tid] = event
+                elif isinstance(event, FragmentEvent):
+                    index["fragments"].setdefault(event.tid, []).append(event)
+                elif isinstance(event, TaskwaitBeginEvent):
+                    index["taskwait_begins"].setdefault(event.tid, []).append(event)
+                elif isinstance(event, TaskwaitEndEvent):
+                    index["taskwait_ends"].setdefault(event.tid, []).append(event)
+                elif isinstance(event, TaskCompleteEvent):
+                    index["completes"][event.tid] = event
+                elif isinstance(event, LoopBeginEvent):
+                    index["loops"][event.loop_id] = event
+                elif isinstance(event, ChunkEvent):
+                    index["chunks"].setdefault(event.loop_id, []).append(event)
+                elif isinstance(event, BookkeepingEvent):
+                    index["bookkeeping"].setdefault(event.loop_id, []).append(event)
+                elif isinstance(event, LoopEndEvent):
+                    index["loop_ends"][event.loop_id] = event
+            self._index = index
+        return self._index
+
+    @property
+    def task_creates(self) -> dict[int, TaskCreateEvent]:
+        return self._ensure_index()["task_creates"]
+
+    @property
+    def fragments_by_task(self) -> dict[int, list[FragmentEvent]]:
+        return self._ensure_index()["fragments"]
+
+    @property
+    def taskwait_begins(self) -> dict[int, list[TaskwaitBeginEvent]]:
+        return self._ensure_index()["taskwait_begins"]
+
+    @property
+    def taskwait_ends(self) -> dict[int, list[TaskwaitEndEvent]]:
+        return self._ensure_index()["taskwait_ends"]
+
+    @property
+    def completes(self) -> dict[int, TaskCompleteEvent]:
+        return self._ensure_index()["completes"]
+
+    @property
+    def loops(self) -> dict[int, LoopBeginEvent]:
+        return self._ensure_index()["loops"]
+
+    @property
+    def chunks_by_loop(self) -> dict[int, list[ChunkEvent]]:
+        return self._ensure_index()["chunks"]
+
+    @property
+    def bookkeeping_by_loop(self) -> dict[int, list[BookkeepingEvent]]:
+        return self._ensure_index()["bookkeeping"]
+
+    @property
+    def loop_ends(self) -> dict[int, LoopEndEvent]:
+        return self._ensure_index()["loop_ends"]
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_creates)
+
+    @property
+    def num_chunks(self) -> int:
+        return sum(len(chunks) for chunks in self.chunks_by_loop.values())
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, path: str | Path) -> None:
+        """Write metadata (first line) then one event per line."""
+        path = Path(path)
+        with path.open("w") as fh:
+            fh.write(json.dumps({"kind": "meta", **self.meta.to_dict()}) + "\n")
+            for event in self.events:
+                fh.write(json.dumps(event.to_dict()) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "Trace":
+        path = Path(path)
+        trace: Trace | None = None
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                d = json.loads(line)
+                if d.get("kind") == "meta":
+                    d.pop("kind")
+                    trace = cls(TraceMetadata.from_dict(d))
+                else:
+                    if trace is None:
+                        trace = cls()
+                    trace.append(event_from_dict(d))
+        if trace is None:
+            raise ValueError(f"empty trace file: {path}")
+        return trace

@@ -1,0 +1,45 @@
+"""Simulated OpenMP 3.0 runtime system.
+
+The substitute for the GCC/ICC/MIR runtimes of the paper (see DESIGN.md).
+Programs are written against :mod:`.api`: task bodies are Python generators
+that *yield* runtime actions (:mod:`.actions`) — work segments, task
+spawns, taskwaits, parallel for-loops, allocations.  A deterministic
+discrete-event engine (:mod:`.engine`) executes them on a simulated
+:class:`~repro.machine.Machine`, scheduling tasks with a work-stealing or
+central-queue scheduler (:mod:`.sched`) under a runtime *flavor*
+(:mod:`.flavors`) that sets overheads and internal-cutoff policies
+matching the systems the paper compares.
+
+Nested parallelism (a parallel for inside a task that is not the implicit
+task, or nested parallel regions) is unsupported, mirroring the paper's
+profiler which excluded 352.nab for the same reason.
+"""
+
+from .actions import Work, Spawn, TaskWait, ParallelFor, Alloc
+from .task import TaskInstance, TaskHandle
+from .loops import LoopSpec, Schedule
+from .flavors import RuntimeFlavor, MIR, GCC, ICC, FLAVORS, flavor_by_name
+from .engine import Engine, RunResult
+from .api import Program, run_program
+
+__all__ = [
+    "Work",
+    "Spawn",
+    "TaskWait",
+    "ParallelFor",
+    "Alloc",
+    "TaskInstance",
+    "TaskHandle",
+    "LoopSpec",
+    "Schedule",
+    "RuntimeFlavor",
+    "MIR",
+    "GCC",
+    "ICC",
+    "FLAVORS",
+    "flavor_by_name",
+    "Engine",
+    "RunResult",
+    "Program",
+    "run_program",
+]

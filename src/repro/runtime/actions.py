@@ -1,0 +1,95 @@
+"""Actions a task body may yield to the runtime.
+
+Every interaction between application code and the runtime is a yielded
+action, which makes each one an observable OMPT-like event boundary — the
+exact granularity the MIR profiler instruments in the paper.  Between two
+yields the task executes one *fragment* of one grain.
+
+Usage sketch::
+
+    def fib(n, depth, out):
+        def body():
+            if depth >= CUTOFF or n < 2:
+                yield Work(WorkRequest(cycles=serial_cost(n)))
+                out.value = fib_serial(n)
+                return
+            a, b = Holder(), Holder()
+            yield Spawn(fib(n - 1, depth + 1, a), loc=LOC_FIB)
+            yield Spawn(fib(n - 2, depth + 1, b), loc=LOC_FIB)
+            yield TaskWait()
+            yield Work(WorkRequest(cycles=ADD_COST))
+            out.value = a.value + b.value
+        return body
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..common import SourceLocation, UNKNOWN_LOCATION
+from ..machine.cost import WorkRequest
+from ..machine.memory import Placement
+from .loops import LoopSpec
+
+# A task body is a zero-argument callable returning a generator of actions.
+BodyFactory = Callable[[], Generator]
+
+
+@dataclass(frozen=True)
+class Work:
+    """Execute application computation described by ``request``."""
+
+    request: WorkRequest
+
+
+@dataclass(frozen=True)
+class Spawn:
+    """Create a child task (``#pragma omp task``).
+
+    ``yield Spawn(...)`` evaluates to a :class:`~repro.runtime.task.TaskHandle`.
+
+    ``if_clause=False`` corresponds to ``if(0)``: the child is undeferred
+    and executes immediately in the parent's context (still a grain).
+    ``definition`` groups instances of the same task construct for
+    per-definition summaries (defaults to ``str(loc)``).
+    """
+
+    body: BodyFactory
+    loc: SourceLocation = UNKNOWN_LOCATION
+    label: str = ""
+    definition: str = ""
+    if_clause: bool = True
+
+    def definition_key(self) -> str:
+        return self.definition or str(self.loc)
+
+
+@dataclass(frozen=True)
+class TaskWait:
+    """Synchronize with all children spawned so far (``#pragma omp taskwait``)."""
+
+
+@dataclass(frozen=True)
+class ParallelFor:
+    """Run a parallel for-loop (``#pragma omp parallel for``).
+
+    Only the implicit (root) task may issue this, and only while no other
+    tasks are in flight — nested parallelism is unsupported, as in the
+    paper's profiler.
+    """
+
+    loop: LoopSpec
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """Allocate a memory region; ``yield Alloc(...)`` evaluates to the
+    :class:`~repro.machine.memory.MemoryRegion`."""
+
+    name: str
+    size_bytes: int
+    placement: Optional[Placement] = None
+
+
+Action = Work | Spawn | TaskWait | ParallelFor | Alloc

@@ -1,0 +1,69 @@
+"""User-facing entry point for running simulated OpenMP programs.
+
+A :class:`Program` is a named root-task body; :func:`run_program` executes
+it under a runtime flavor on a machine at a thread count and returns the
+:class:`~repro.runtime.engine.RunResult` with the profiler trace.
+
+Example::
+
+    from repro.runtime import Program, run_program, MIR
+    from repro.runtime.actions import Work
+    from repro.machine.cost import WorkRequest
+
+    def main():
+        yield Work(WorkRequest(cycles=1000))
+
+    result = run_program(Program("hello", main), flavor=MIR, num_threads=4)
+    print(result.makespan_cycles)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from ..machine import Machine, MachineConfig
+from ..profiler.recorder import ProfilerConfig
+from .engine import Engine, RunResult
+from .flavors import MIR, RuntimeFlavor
+
+
+@dataclass(frozen=True)
+class Program:
+    """A runnable simulated OpenMP program.
+
+    ``body`` is a zero-argument callable returning the root-task generator
+    (the implicit task of the parallel region).  ``input_summary`` is
+    recorded in trace metadata for provenance.
+    """
+
+    name: str
+    body: Callable[[], Generator]
+    input_summary: str = ""
+
+
+def run_program(
+    program: Program,
+    flavor: RuntimeFlavor = MIR,
+    num_threads: int = 1,
+    machine: Machine | None = None,
+    profiler: ProfilerConfig | None = None,
+) -> RunResult:
+    """Execute ``program`` and return its run result with trace.
+
+    A fresh machine (cold caches, empty memory map) is built per run unless
+    one is supplied; supplying a used machine is rejected to prevent
+    accidental state leakage between runs.
+    """
+    if machine is None:
+        machine = Machine.paper_testbed()
+    elif machine.used:
+        raise ValueError(
+            "machine already hosted a run (caches/contention state is "
+            "warm); pass machine.fresh() or None"
+        )
+    machine.used = True
+    engine = Engine(machine, flavor, num_threads, profiler)
+    return engine.run(
+        program.body, program_name=program.name, input_summary=program.input_summary
+    )

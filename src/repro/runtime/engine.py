@@ -1,0 +1,684 @@
+"""Deterministic discrete-event execution engine.
+
+The engine plays the role of the OpenMP runtime + operating system + CPU:
+it drives task generators on simulated workers (one per core), advances an
+integer virtual clock through a single event heap, charges flavor-specific
+runtime overheads, evaluates work segments against the machine's cost
+model, and notifies the profiler recorder at every OMPT-like boundary.
+
+Determinism: the heap orders events by ``(time, sequence)``; sequence
+numbers are allocated in scheduling order, so identical programs produce
+identical traces — the property that lets work deviation join runs at
+different thread counts by grain identity.
+
+Execution model highlights (rationale in DESIGN.md):
+
+- **Deferred spawn**: child enqueued on the creating worker's queue; a
+  sleeping worker near the creator is woken.
+- **Undeferred (inlined) spawn** — internal cutoffs or ``if(0)``: the
+  parent blocks on that specific child and the child starts immediately on
+  the same worker (work-first execution); when the child completes, the
+  parent is re-enqueued at the completing worker's queue front, so it
+  typically resumes right away on that worker.  The child remains a fully
+  observable grain, which is why "the graph structure is robust under
+  runtime system optimizations such as task inlining" holds here too.
+- **Taskwait**: the task suspends if direct children are outstanding; the
+  worker moves on to other work.  The completion of the last child
+  re-enqueues the parent on the completing worker.
+- **Parallel for**: only the root (implicit) task may issue one, with no
+  tasks in flight — nested parallelism is unsupported exactly like the
+  paper's profiler.  Team threads alternate book-keeping and chunk
+  execution until the dispatcher runs dry, then join a barrier.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..machine import Machine
+from ..profiler.events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+    FragmentEvent,
+)
+from ..profiler.recorder import Recorder, ProfilerConfig
+from ..profiler.trace import Trace, TraceMetadata
+from .actions import Alloc, ParallelFor, Spawn, TaskWait, Work
+from .flavors import RuntimeFlavor
+from .loops import ChunkDispatcher, LoopSpec, Schedule
+from .sched import make_scheduler
+from .sched.base import PopKind
+from .task import ROOT_PATH, TaskInstance, TaskState
+
+from ..machine.counters import CounterSet
+
+
+class NestedParallelismError(RuntimeError):
+    """Raised for constructs the profiler does not support (Sec. 4.1)."""
+
+
+class DeadlockError(RuntimeError):
+    """The event heap drained before the root task completed."""
+
+
+@dataclass
+class RunStats:
+    tasks_created: int = 0
+    tasks_inlined: int = 0
+    steals: int = 0
+    local_pops: int = 0
+    chunks_executed: int = 0
+    loops_executed: int = 0
+    events_emitted: int = 0
+    fragments: int = 0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated program run."""
+
+    trace: Trace
+    makespan_cycles: int
+    stats: RunStats
+    flavor: str
+    num_threads: int
+    machine: Machine
+
+    @property
+    def makespan_seconds(self) -> float:
+        return self.machine.seconds(self.makespan_cycles)
+
+
+class _Worker:
+    __slots__ = ("wid", "sleeping", "current")
+
+    def __init__(self, wid: int) -> None:
+        self.wid = wid
+        self.sleeping = True
+        self.current: Optional[TaskInstance] = None
+
+
+class _LoopExec:
+    """State of one in-flight parallel for-loop."""
+
+    __slots__ = (
+        "loop_id",
+        "spec",
+        "dispatcher",
+        "team_workers",
+        "remaining",
+        "chunk_seq",
+        "issuing_task",
+        "issuing_worker",
+        "lock_free_at",  # dynamic/guided chunk counter serialization
+    )
+
+    def __init__(
+        self,
+        loop_id: int,
+        spec: LoopSpec,
+        dispatcher: ChunkDispatcher,
+        team_workers: list[int],
+        issuing_task: TaskInstance,
+        issuing_worker: int,
+    ) -> None:
+        self.loop_id = loop_id
+        self.spec = spec
+        self.dispatcher = dispatcher
+        self.team_workers = team_workers
+        self.remaining = len(team_workers)
+        self.chunk_seq = 0
+        self.issuing_task = issuing_task
+        self.issuing_worker = issuing_worker
+        self.lock_free_at = 0
+
+
+class Engine:
+    """One engine instance executes one program run."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        flavor: RuntimeFlavor,
+        num_threads: int,
+        profiler: ProfilerConfig | None = None,
+    ) -> None:
+        if num_threads < 1:
+            raise ValueError("num_threads must be at least 1")
+        if num_threads > machine.num_cores:
+            raise ValueError(
+                f"num_threads {num_threads} exceeds machine cores "
+                f"{machine.num_cores}"
+            )
+        self.machine = machine
+        self.flavor = flavor
+        self.num_threads = num_threads
+        self.scheduler = make_scheduler(flavor.scheduler, num_threads)
+        self.recorder = Recorder(profiler)
+        self.workers = [_Worker(w) for w in range(num_threads)]
+        self._heap: list[tuple[int, int, Callable[[int], None]]] = []
+        self._seq = 0
+        self._next_tid = 0
+        self._next_loop_id = 0
+        self._loop_seq_by_thread: dict[int, int] = {}
+        self._sleeping: set[int] = set(range(num_threads))
+        self._root: Optional[TaskInstance] = None
+        self._queue_lock_free_at = 0  # central-queue lock (convoy model)
+        self._makespan: Optional[int] = None
+        self.stats = RunStats()
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        body_factory: Callable,
+        program_name: str = "",
+        input_summary: str = "",
+    ) -> RunResult:
+        if self._ran:
+            raise RuntimeError("an Engine instance runs exactly one program")
+        self._ran = True
+        root = self._make_task(
+            parent=None, generator=body_factory(), created_at=0, core=0,
+            creation_cycles=0, loc="<root>", definition="<root>", label="root",
+            inlined=False,
+        )
+        self._root = root
+        self._emit(
+            TaskCreateEvent(
+                tid=root.tid, path=root.path, parent_tid=None, time=0, core=0,
+                creation_cycles=0, depth=0, loc=root.loc, definition=root.definition,
+                label=root.label, inlined=False,
+            )
+        )
+        self._sleeping.discard(0)
+        self.workers[0].sleeping = False
+        self._at(0, lambda t: self._begin_task(self.workers[0], root, t))
+        while self._heap:
+            time, _, fn = heapq.heappop(self._heap)
+            fn(time)
+        if self._makespan is None:
+            raise DeadlockError(self._deadlock_report())
+        meta = TraceMetadata(
+            program=program_name,
+            input_summary=input_summary,
+            flavor=self.flavor.name,
+            num_threads=self.num_threads,
+            machine=self.machine.topology.name,
+            frequency_hz=self.machine.topology.frequency_hz,
+            makespan_cycles=self._makespan,
+            num_cores_total=self.machine.num_cores,
+            cores_per_socket=self.machine.topology.cores_per_socket,
+            num_numa_nodes=self.machine.topology.num_nodes,
+        )
+        self.stats.events_emitted = self.recorder.events_recorded
+        trace = self.recorder.finalize(meta)
+        return RunResult(
+            trace=trace,
+            makespan_cycles=self._makespan,
+            stats=self.stats,
+            flavor=self.flavor.name,
+            num_threads=self.num_threads,
+            machine=self.machine,
+        )
+
+    # ------------------------------------------------------------------
+    # Event-heap plumbing
+    # ------------------------------------------------------------------
+    def _at(self, time: int, fn: Callable[[int], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, fn))
+
+    def _queue_lock_cycles(self, now: int) -> int:
+        """Serialize an enqueue/dequeue through the central-queue lock.
+
+        Returns the wait-plus-hold cycles charged to the operation.  With
+        the heap processing events in time order, ``_queue_lock_free_at``
+        advances monotonically, so the convoy is deterministic: under a
+        task flood the lock saturates and per-op cost grows with the
+        number of contending workers — libgomp's collapse.
+        """
+        hold = self.flavor.queue_lock_hold_cycles
+        if hold == 0:
+            return 0
+        start = max(now, self._queue_lock_free_at)
+        self._queue_lock_free_at = start + hold
+        return (start - now) + hold
+
+    def _emit(self, event) -> int:
+        return self.recorder.emit(event)
+
+    # ------------------------------------------------------------------
+    # Task lifecycle
+    # ------------------------------------------------------------------
+    def _make_task(self, parent, generator, created_at, core, creation_cycles,
+                   loc, definition, label, inlined) -> TaskInstance:
+        tid = self._next_tid
+        self._next_tid += 1
+        path = ROOT_PATH if parent is None else parent.child_path()
+        task = TaskInstance(
+            tid=tid, path=path, parent=parent, generator=generator,
+            loc=loc, label=label, definition=definition,
+            created_at=created_at, created_by_core=core,
+            creation_cycles=creation_cycles, inlined=inlined,
+        )
+        self.stats.tasks_created += 1
+        return task
+
+    def _begin_fragment(self, task: TaskInstance, time: int) -> None:
+        task.frag_start = time
+        task.frag_counters = CounterSet()
+
+    def _end_fragment(self, worker: _Worker, task: TaskInstance, time: int) -> int:
+        """Record the open fragment; returns profiling overhead cycles."""
+        if task.frag_start is None:
+            return 0
+        event = FragmentEvent(
+            tid=task.tid,
+            seq=task.next_fragment_seq(),
+            start=task.frag_start,
+            end=time,
+            core=worker.wid,
+            counters=task.frag_counters,
+        )
+        task.frag_start = None
+        task.frag_counters = None
+        self.stats.fragments += 1
+        return self._emit(event)
+
+    def _begin_task(self, worker: _Worker, task: TaskInstance, time: int) -> None:
+        worker.current = task
+        worker.sleeping = False
+        task.last_worker = worker.wid
+        if task.state is TaskState.READY and task.resume_reason == "taskwait":
+            synced = tuple(task.to_sync)
+            task.to_sync.clear()
+            self._emit(
+                TaskwaitEndEvent(
+                    tid=task.tid, time=time, core=worker.wid,
+                    synced_tids=synced,
+                )
+            )
+        task.state = TaskState.RUNNING
+        task.resume_reason = ""
+        self._begin_fragment(task, time)
+        self._drive(worker, task, time)
+
+    def _drive(self, worker: _Worker, task: TaskInstance, time: int) -> None:
+        """Advance the task's generator until it blocks or yields time."""
+        while True:
+            try:
+                value, task.pending_value = task.pending_value, None
+                action = task.generator.send(value)
+            except StopIteration:
+                self._task_done(worker, task, time)
+                return
+            if isinstance(action, Work):
+                self._do_work(worker, task, time, action)
+                return
+            if isinstance(action, Spawn):
+                self._do_spawn(worker, task, time, action)
+                return
+            if isinstance(action, TaskWait):
+                self._do_taskwait(worker, task, time)
+                return
+            if isinstance(action, ParallelFor):
+                self._do_parallel_for(worker, task, time, action)
+                return
+            if isinstance(action, Alloc):
+                region = self.machine.allocate(
+                    action.name, action.size_bytes, action.placement
+                )
+                task.pending_value = region
+                continue
+            raise TypeError(f"task yielded non-action {action!r}")
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def _do_work(self, worker: _Worker, task: TaskInstance, time: int, action: Work):
+        outcome = self.machine.cost.charge(worker.wid, action.request)
+        self.machine.contention.register(outcome.node_weights)
+        task.frag_counters += outcome.counters
+
+        def _done(t2: int, weights=outcome.node_weights):
+            self.machine.contention.withdraw(weights)
+            self._drive(worker, task, t2)
+
+        self._at(time + outcome.duration, _done)
+
+    def _do_spawn(self, worker: _Worker, task: TaskInstance, time: int, action: Spawn):
+        overhead = self._end_fragment(worker, task, time)
+        inline = (not action.if_clause) or self.flavor.should_inline(
+            self.scheduler.queue_length(worker.wid),
+            self.scheduler.total_pending(),
+            self.num_threads,
+        )
+        if inline:
+            cost = self.flavor.inline_create_cycles
+            self.stats.tasks_inlined += 1
+        else:
+            cost = self.flavor.task_create_cycles
+            cost += self.flavor.queue_contention_cycles * (self.num_threads - 1)
+        child = self._make_task(
+            parent=task, generator=action.body(), created_at=time,
+            core=worker.wid, creation_cycles=cost, loc=str(action.loc),
+            definition=action.definition_key(), label=action.label,
+            inlined=inline,
+        )
+        task.children_spawned += 1
+        task.outstanding += 1
+        task.live_children.add(child)
+        cost += self._emit(
+            TaskCreateEvent(
+                tid=child.tid, path=child.path, parent_tid=task.tid, time=time,
+                core=worker.wid, creation_cycles=cost, depth=child.depth,
+                loc=child.loc, definition=child.definition, label=child.label,
+                inlined=inline,
+            )
+        ) + overhead
+        task.pending_value = child.handle
+        if inline:
+            task.state = TaskState.BLOCKED_INLINE
+            child.inline_parent = task
+            worker.current = None
+            self._at(time + cost, lambda t2: self._begin_task(worker, child, t2))
+        else:
+
+            def _pushed(t3: int) -> None:
+                self.scheduler.push(child, worker.wid)
+                self._wake_one(worker.wid, t3)
+                self._begin_fragment(task, t3)
+                self._drive(worker, task, t3)
+
+            def _enqueued(t2: int) -> None:
+                lock = self._queue_lock_cycles(t2)
+                if lock:
+                    self._at(t2 + lock, _pushed)
+                else:
+                    _pushed(t2)
+
+            self._at(time + cost, _enqueued)
+
+    def _do_taskwait(self, worker: _Worker, task: TaskInstance, time: int) -> None:
+        overhead = self._end_fragment(worker, task, time)
+        overhead += self._emit(
+            TaskwaitBeginEvent(tid=task.tid, time=time, core=worker.wid)
+        )
+        cost = self.flavor.taskwait_cycles + overhead
+
+        def _check(t2: int) -> None:
+            if task.outstanding == 0:
+                synced = tuple(task.to_sync)
+                task.to_sync.clear()
+                self._emit(
+                    TaskwaitEndEvent(
+                        tid=task.tid, time=t2, core=worker.wid,
+                        synced_tids=synced,
+                    )
+                )
+                self._begin_fragment(task, t2)
+                self._drive(worker, task, t2)
+            else:
+                task.state = TaskState.WAITING
+                worker.current = None
+                self._find_work(worker, t2)
+
+        self._at(time + cost, _check)
+
+    def _task_done(self, worker: _Worker, task: TaskInstance, time: int) -> None:
+        if task.is_root and task.outstanding > 0 and not task.in_implicit_barrier:
+            # End-of-parallel-region barrier: the root waits for every
+            # remaining descendant (fire-and-forget tasks sync here).
+            task.in_implicit_barrier = True
+            overhead = self._end_fragment(worker, task, time)
+            overhead += self._emit(
+                TaskwaitBeginEvent(
+                    tid=task.tid, time=time, core=worker.wid, implicit=True
+                )
+            )
+            task.state = TaskState.WAITING
+            worker.current = None
+            self._find_work(worker, time + self.flavor.taskwait_cycles + overhead)
+            return
+        self._end_fragment(worker, task, time)
+        self._emit(TaskCompleteEvent(tid=task.tid, time=time, core=worker.wid))
+        task.state = TaskState.COMPLETED
+        sync_parent = task.sync_parent
+        if task.outstanding > 0:
+            # Fire-and-forget: re-parent live children (and any completed
+            # but unconsumed ones) to our own sync ancestor.
+            assert sync_parent is not None
+            for child in task.live_children:
+                child.sync_parent = sync_parent
+                sync_parent.live_children.add(child)
+            sync_parent.outstanding += len(task.live_children)
+            sync_parent.to_sync.extend(task.to_sync)
+            task.live_children.clear()
+            task.to_sync.clear()
+        if sync_parent is not None:
+            sync_parent.outstanding -= 1
+            sync_parent.live_children.discard(task)
+            sync_parent.to_sync.append(task.tid)
+            if task.inline_parent is not None:
+                # Parent was blocked behind this undeferred child; resume
+                # it directly on this worker — an undeferred task's end is
+                # a function return, not a scheduling event.
+                parent = task.inline_parent
+                parent.state = TaskState.READY
+                parent.resume_reason = "inline"
+                worker.current = None
+                self._at(
+                    time + self.flavor.task_finish_cycles,
+                    lambda t2: self._begin_task(worker, parent, t2),
+                )
+                return
+            if (
+                sync_parent.state is TaskState.WAITING
+                and sync_parent.outstanding == 0
+            ):
+                sync_parent.state = TaskState.READY
+                sync_parent.resume_reason = "taskwait"
+                self.scheduler.push(sync_parent, worker.wid)
+        else:
+            self._makespan = time
+        worker.current = None
+        self._at(
+            time + self.flavor.task_finish_cycles,
+            lambda t2: self._find_work(worker, t2),
+        )
+
+    # ------------------------------------------------------------------
+    # Work finding / waking
+    # ------------------------------------------------------------------
+    def _find_work(self, worker: _Worker, time: int) -> None:
+        lock = self._queue_lock_cycles(time)  # even empty checks take it
+        result = self.scheduler.pop(worker.wid)
+        if result is None:
+            worker.sleeping = True
+            self._sleeping.add(worker.wid)
+            return
+        task = result.task
+        if result.kind is PopKind.STEAL:
+            cost = lock + self.flavor.steal_cycles
+            self.stats.steals += 1
+        else:
+            cost = lock + self.flavor.dispatch_cycles
+            cost += self.flavor.queue_contention_cycles * (self.num_threads - 1)
+            self.stats.local_pops += 1
+        if task.state is TaskState.READY:
+            cost += self.flavor.resume_cycles
+        self._at(time + cost, lambda t2: self._begin_task(worker, task, t2))
+
+    def _wake_one(self, pusher: int, time: int) -> None:
+        """Wake the sleeping worker nearest to ``pusher`` (NUMA distance,
+        then core-id distance, then id — fully deterministic)."""
+        if not self._sleeping:
+            return
+        topo = self.machine.topology
+        best = min(
+            self._sleeping,
+            key=lambda wid: (
+                topo.core_distance(pusher, wid),
+                abs(wid - pusher),
+                wid,
+            ),
+        )
+        self._sleeping.discard(best)
+        self.workers[best].sleeping = False
+        self._at(
+            time + self.flavor.wake_latency_cycles,
+            lambda t2: self._find_work(self.workers[best], t2),
+        )
+
+    # ------------------------------------------------------------------
+    # Parallel for-loops
+    # ------------------------------------------------------------------
+    def _do_parallel_for(
+        self, worker: _Worker, task: TaskInstance, time: int, action: ParallelFor
+    ) -> None:
+        if not task.is_root:
+            raise NestedParallelismError(
+                "parallel for-loops inside explicit tasks are nested "
+                "parallelism, which the profiler does not support "
+                "(the paper likewise omits 352.nab)"
+            )
+        if self.scheduler.total_pending() or task.outstanding:
+            raise NestedParallelismError(
+                "parallel for-loops cannot start while tasks are in flight"
+            )
+        spec = action.loop
+        team = min(self.num_threads, spec.num_threads or self.num_threads)
+        if len(self._sleeping) < team - 1:
+            # Team members may still be draining their task-finish or
+            # failed-steal transitions; with no tasks in flight they all
+            # reach sleep within a bounded number of events, so retry.
+            self._at(
+                time + self.flavor.wake_latency_cycles,
+                lambda t2: self._do_parallel_for(worker, task, t2, action),
+            )
+            return
+        self._end_fragment(worker, task, time)
+        loop_id = self._next_loop_id
+        self._next_loop_id += 1
+        seq = self._loop_seq_by_thread.get(worker.wid, 0)
+        self._loop_seq_by_thread[worker.wid] = seq + 1
+        self._emit(
+            LoopBeginEvent(
+                loop_id=loop_id, loop_seq=seq, starting_thread=worker.wid,
+                time=time, iterations=spec.iterations,
+                schedule=spec.schedule.value, chunk_size=spec.chunk_size,
+                team=team, loc=str(spec.loc),
+                definition=spec.definition_key(), label=spec.label,
+            )
+        )
+        # Team = issuing worker + the lowest-id sleeping workers.
+        others = sorted(self._sleeping)[: team - 1]
+        for wid in others:
+            self._sleeping.discard(wid)
+            self.workers[wid].sleeping = False
+        team_workers = [worker.wid] + others
+        dispatcher = ChunkDispatcher.create(spec, team)
+        le = _LoopExec(loop_id, spec, dispatcher, team_workers, task, worker.wid)
+        task.state = TaskState.IN_LOOP
+        worker.current = None
+        self.stats.loops_executed += 1
+        for thread, wid in enumerate(team_workers):
+            delay = 0 if wid == worker.wid else self.flavor.wake_latency_cycles
+            self._at(
+                time + delay,
+                lambda t2, wid=wid, thread=thread: self._loop_step(
+                    le, wid, thread, t2
+                ),
+            )
+        le.lock_free_at = time
+
+    def _loop_step(self, le: _LoopExec, wid: int, thread: int, time: int) -> None:
+        """One book-keeping span followed by a chunk (or barrier arrival)."""
+        spec = le.spec
+        if spec.schedule is Schedule.STATIC:
+            # Static chunk assignment needs no shared state.
+            cost = self.flavor.static_dispatch_cycles
+        else:
+            # Dynamic/guided chunks come from a shared counter: grabs
+            # serialize through its cache line.  With a large team and
+            # tiny chunks the counter saturates — the "high
+            # synchronization cost for most cores" existing tools show
+            # for Freqmine's FPGF loop (Sec. 4.3.4).
+            hold = self.flavor.dynamic_dispatch_cycles
+            start = max(time, le.lock_free_at)
+            le.lock_free_at = start + hold
+            cost = (start - time) + hold
+
+        def _dispatched(t2: int) -> None:
+            chunk = le.dispatcher.next_chunk(thread)
+            overhead = self._emit(
+                BookkeepingEvent(
+                    loop_id=le.loop_id, thread=thread, core=wid,
+                    start=time, end=t2, got_chunk=chunk is not None,
+                )
+            )
+            if chunk is None:
+                le.remaining -= 1
+                if le.remaining == 0:
+                    self._at(
+                        t2 + self.flavor.barrier_cycles + overhead,
+                        lambda t3: self._loop_finish(le, t3),
+                    )
+                return
+            start_it, end_it = chunk
+            request = spec.merged_request(start_it, end_it)
+            outcome = self.machine.cost.charge(wid, request)
+            self.machine.contention.register(outcome.node_weights)
+            chunk_seq = le.chunk_seq
+            le.chunk_seq += 1
+            self.stats.chunks_executed += 1
+
+            def _chunk_done(t3: int, weights=outcome.node_weights) -> None:
+                self.machine.contention.withdraw(weights)
+                oh = self._emit(
+                    ChunkEvent(
+                        loop_id=le.loop_id, chunk_seq=chunk_seq, thread=thread,
+                        iter_start=start_it, iter_end=end_it,
+                        start=t2 + overhead, end=t3, core=wid,
+                        counters=outcome.counters,
+                    )
+                )
+                self._loop_step(le, wid, thread, t3 + oh)
+
+            self._at(t2 + overhead + outcome.duration, _chunk_done)
+
+        self._at(time + cost, _dispatched)
+
+    def _loop_finish(self, le: _LoopExec, time: int) -> None:
+        self._emit(LoopEndEvent(loop_id=le.loop_id, time=time))
+        for wid in le.team_workers:
+            if wid != le.issuing_worker:
+                self._find_work(self.workers[wid], time)
+        task = le.issuing_task
+        task.state = TaskState.RUNNING
+        issuing = self.workers[le.issuing_worker]
+        issuing.current = task
+        self._begin_fragment(task, time)
+        self._drive(issuing, task, time)
+
+    # ------------------------------------------------------------------
+    def _deadlock_report(self) -> str:
+        lines = ["event heap drained before the root task completed;"]
+        for worker in self.workers:
+            lines.append(
+                f"  worker {worker.wid}: sleeping={worker.sleeping} "
+                f"current={worker.current!r}"
+            )
+        lines.append(f"  scheduler pending: {self.scheduler.total_pending()}")
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Parallel for-loop specifications and chunk dispatch.
+
+OpenMP distributes loop iterations to threads in *chunks*; the time a
+thread spends obtaining its next chunk is *book-keeping* (turquoise nodes
+in Fig. 3g of the paper).  This module implements the three classic
+schedules.  The paper's methodology converts ``schedule(static)`` loops to
+``schedule(runtime)`` with ``OMP_SCHEDULE=static`` so chunks are dispatched
+from inside the runtime and thus observable — our dispatchers are always
+inside the runtime, so every chunk is observable by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..common import SourceLocation, UNKNOWN_LOCATION
+from ..machine.cost import Access, WorkRequest
+
+
+class Schedule(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One ``parallel for`` construct.
+
+    ``body(i)`` returns the :class:`WorkRequest` of iteration ``i``; the
+    runtime executes each chunk as a single measured segment whose request
+    merges its iterations.  ``num_threads`` caps the team (the Freqmine fix
+    in Sec. 4.3.4 sets it to 7).
+    """
+
+    iterations: int
+    body: Callable[[int], WorkRequest]
+    schedule: Schedule = Schedule.STATIC
+    chunk_size: Optional[int] = None
+    num_threads: Optional[int] = None
+    loc: SourceLocation = UNKNOWN_LOCATION
+    label: str = ""
+    definition: str = ""
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise ValueError("iteration count must be non-negative")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk size must be at least 1")
+        if self.num_threads is not None and self.num_threads < 1:
+            raise ValueError("num_threads must be at least 1")
+
+    def definition_key(self) -> str:
+        return self.definition or str(self.loc)
+
+    def merged_request(self, start: int, end: int) -> WorkRequest:
+        """Aggregate the work of iterations ``[start, end)`` into one
+        request: cycles add up; accesses merge per (region, pattern)."""
+        cycles = 0
+        merged: dict[tuple[int, float], int] = {}
+        for i in range(start, end):
+            request = self.body(i)
+            cycles += request.cycles
+            for access in request.accesses:
+                key = (access.region_id, access.pattern)
+                merged[key] = merged.get(key, 0) + access.nbytes
+        accesses = tuple(
+            Access(region_id=rid, nbytes=nbytes, pattern=pattern)
+            for (rid, pattern), nbytes in sorted(merged.items())
+        )
+        return WorkRequest(cycles=cycles, accesses=accesses, label=self.label)
+
+
+class ChunkDispatcher:
+    """Hands out chunks to team threads; one instance per loop execution."""
+
+    def __init__(self, spec: LoopSpec, team_size: int) -> None:
+        if team_size < 1:
+            raise ValueError("team must have at least one thread")
+        self.spec = spec
+        self.team_size = team_size
+
+    def next_chunk(self, thread: int) -> Optional[tuple[int, int]]:
+        """The next ``[start, end)`` chunk for team-relative ``thread``,
+        or None when the thread's share of the iteration space is done."""
+        raise NotImplementedError
+
+    @staticmethod
+    def create(spec: LoopSpec, team_size: int) -> "ChunkDispatcher":
+        if spec.schedule is Schedule.STATIC:
+            return StaticDispatcher(spec, team_size)
+        if spec.schedule is Schedule.DYNAMIC:
+            return DynamicDispatcher(spec, team_size)
+        if spec.schedule is Schedule.GUIDED:
+            return GuidedDispatcher(spec, team_size)
+        raise ValueError(f"unknown schedule {spec.schedule}")
+
+
+class StaticDispatcher(ChunkDispatcher):
+    """``schedule(static[, chunk])``.
+
+    With a chunk size, chunk ``k`` goes to thread ``k % team``; without
+    one, the space splits into one contiguous block per thread.
+    """
+
+    def __init__(self, spec: LoopSpec, team_size: int) -> None:
+        super().__init__(spec, team_size)
+        self._queues: list[list[tuple[int, int]]] = [[] for _ in range(team_size)]
+        n = spec.iterations
+        if spec.chunk_size is not None:
+            c = spec.chunk_size
+            k = 0
+            for start in range(0, n, c):
+                self._queues[k % team_size].append((start, min(start + c, n)))
+                k += 1
+        else:
+            base, extra = divmod(n, team_size)
+            start = 0
+            for thread in range(team_size):
+                size = base + (1 if thread < extra else 0)
+                if size:
+                    self._queues[thread].append((start, start + size))
+                start += size
+        for queue in self._queues:
+            queue.reverse()  # pop() yields chunks in ascending order
+
+    def next_chunk(self, thread: int) -> Optional[tuple[int, int]]:
+        queue = self._queues[thread]
+        return queue.pop() if queue else None
+
+
+class DynamicDispatcher(ChunkDispatcher):
+    """``schedule(dynamic[, chunk])``: a shared counter; default chunk 1."""
+
+    def __init__(self, spec: LoopSpec, team_size: int) -> None:
+        super().__init__(spec, team_size)
+        self._next = 0
+        self._chunk = spec.chunk_size or 1
+
+    def next_chunk(self, thread: int) -> Optional[tuple[int, int]]:
+        if self._next >= self.spec.iterations:
+            return None
+        start = self._next
+        self._next = min(start + self._chunk, self.spec.iterations)
+        return (start, self._next)
+
+
+class GuidedDispatcher(ChunkDispatcher):
+    """``schedule(guided[, chunk])``: exponentially decreasing chunks,
+    ``max(chunk, ceil(remaining / (2 * team)))`` per grab."""
+
+    def __init__(self, spec: LoopSpec, team_size: int) -> None:
+        super().__init__(spec, team_size)
+        self._next = 0
+        self._min_chunk = spec.chunk_size or 1
+
+    def next_chunk(self, thread: int) -> Optional[tuple[int, int]]:
+        n = self.spec.iterations
+        if self._next >= n:
+            return None
+        remaining = n - self._next
+        size = max(self._min_chunk, -(-remaining // (2 * self.team_size)))
+        start = self._next
+        self._next = min(start + size, n)
+        return (start, self._next)

@@ -1,0 +1,31 @@
+"""Task schedulers.
+
+Two policies from the paper:
+
+- :class:`WorkStealingScheduler` — per-worker deques in the style of
+  Chase & Lev [8]: owners push and pop at the front (newest first, keeping
+  children local to their creator), thieves steal from the back (oldest
+  first).  This is MIR's and ICC's policy.
+- :class:`CentralQueueScheduler` — one shared FIFO, GCC-libgomp style;
+  Sec. 4.3.5 shows it scattering Strassen's sibling tasks across sockets.
+"""
+
+from .base import Scheduler, PopResult
+from .workstealing import WorkStealingScheduler
+from .centralqueue import CentralQueueScheduler
+
+__all__ = [
+    "Scheduler",
+    "PopResult",
+    "WorkStealingScheduler",
+    "CentralQueueScheduler",
+]
+
+
+def make_scheduler(kind: str, num_workers: int) -> Scheduler:
+    """Factory used by runtime flavors."""
+    if kind == "workstealing":
+        return WorkStealingScheduler(num_workers)
+    if kind == "central":
+        return CentralQueueScheduler(num_workers)
+    raise ValueError(f"unknown scheduler kind {kind!r}")

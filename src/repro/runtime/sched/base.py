@@ -1,0 +1,60 @@
+"""Scheduler interface shared by the policies."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..task import TaskInstance
+
+
+class PopKind(enum.Enum):
+    LOCAL = "local"  # from the worker's own queue (or head of central queue)
+    STEAL = "steal"  # taken from another worker's queue
+
+
+@dataclass(frozen=True)
+class PopResult:
+    """A dequeued task plus how it was obtained (steals cost more and are
+    recorded so scatter analyses can reason about migration)."""
+
+    task: TaskInstance
+    kind: PopKind
+    victim: Optional[int] = None  # worker the task was stolen from
+
+
+class Scheduler:
+    """Abstract task scheduler.
+
+    The engine is single-threaded, so implementations need no locking;
+    *determinism* is the correctness property: identical push/pop sequences
+    must yield identical results.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker")
+        self.num_workers = num_workers
+
+    def push(self, task: TaskInstance, worker: int) -> None:
+        """Enqueue a task made ready by ``worker``."""
+        raise NotImplementedError
+
+    def pop(self, worker: int) -> Optional[PopResult]:
+        """Obtain work for ``worker``: own/shared queue first, then steal."""
+        raise NotImplementedError
+
+    def queue_length(self, worker: int) -> int:
+        """Tasks currently queued for ``worker`` (ICC's internal cutoff
+        inspects this)."""
+        raise NotImplementedError
+
+    def total_pending(self) -> int:
+        """Tasks queued anywhere (GCC's 64 x nthreads throttle inspects
+        this)."""
+        raise NotImplementedError
+
+    @property
+    def kind_name(self) -> str:
+        raise NotImplementedError

@@ -1,0 +1,40 @@
+"""Central shared-queue scheduler (GCC libgomp style).
+
+One FIFO serves every worker.  Whichever worker happens to poll next takes
+the oldest task, so consecutive siblings land on whichever cores are free —
+typically far apart — which is exactly the scatter pathology Fig. 11d shows
+for Strassen under "a central queue-based task scheduler".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from ..task import TaskInstance
+from .base import PopKind, PopResult, Scheduler
+
+
+class CentralQueueScheduler(Scheduler):
+    def __init__(self, num_workers: int) -> None:
+        super().__init__(num_workers)
+        self._queue: deque[TaskInstance] = deque()
+
+    @property
+    def kind_name(self) -> str:
+        return "central"
+
+    def push(self, task: TaskInstance, worker: int) -> None:
+        self._queue.append(task)
+
+    def pop(self, worker: int) -> Optional[PopResult]:
+        if not self._queue:
+            return None
+        return PopResult(self._queue.popleft(), PopKind.LOCAL)
+
+    def queue_length(self, worker: int) -> int:
+        # The shared queue is everyone's queue.
+        return len(self._queue)
+
+    def total_pending(self) -> int:
+        return len(self._queue)

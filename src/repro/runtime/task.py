@@ -1,0 +1,156 @@
+"""Task instances and schedule-independent identification.
+
+Grains corresponding to tasks are "identified using path enumeration which
+relies on the static nature of the graph for task-based programs"
+(Sec. 3.1): a task's path is its parent's path extended with its creation
+index.  For a deterministic program and fixed input the path is identical
+across machine sizes and schedules, which is what allows per-grain *work
+deviation* to join a 1-core run against a 48-core run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..common import SourceLocation, UNKNOWN_LOCATION
+
+TaskPath = tuple[int, ...]
+
+ROOT_PATH: TaskPath = (0,)
+
+
+class TaskState(enum.Enum):
+    CREATED = "created"  # enqueued, never run
+    RUNNING = "running"  # generator being driven on a worker
+    WAITING = "waiting"  # suspended in taskwait
+    BLOCKED_INLINE = "blocked_inline"  # parked behind an undeferred child
+    IN_LOOP = "in_loop"  # suspended while its parallel for-loop executes
+    READY = "ready"  # unblocked, re-enqueued, awaiting dispatch
+    COMPLETED = "completed"
+
+
+class TaskInstance:
+    """One dynamic task (the implicit task included).
+
+    ``tid`` is a dense runtime id (creation order); ``path`` the
+    schedule-independent id.  ``outstanding`` counts direct children not
+    yet completed — OpenMP ``taskwait`` waits for direct children only.
+    """
+
+    __slots__ = (
+        "tid",
+        "path",
+        "parent",
+        "depth",
+        "generator",
+        "state",
+        "loc",
+        "label",
+        "definition",
+        "created_at",
+        "created_by_core",
+        "creation_cycles",
+        "inlined",
+        "outstanding",
+        "children_spawned",
+        "fragment_seq",
+        "last_worker",
+        "handle",
+        # Engine bookkeeping.
+        "pending_value",  # value the next generator.send() delivers
+        "inline_parent",  # parent blocked on this undeferred child
+        "resume_reason",  # "taskwait" | "inline" when state is READY
+        "frag_start",  # open fragment start time (None when no fragment)
+        "frag_counters",  # open fragment CounterSet
+        # Synchronization accounting.  A task that ends with outstanding
+        # children (fire-and-forget) re-parents them to its own
+        # sync_parent; orphans ultimately sync at the root's implicit
+        # end-of-region barrier, as in OpenMP.
+        "sync_parent",  # live ancestor whose sync point will consume us
+        "live_children",  # direct (or adopted) children not yet completed
+        "to_sync",  # tids completed but not yet consumed by a sync point
+        "in_implicit_barrier",  # root only: generator exhausted, waiting
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        path: TaskPath,
+        parent: Optional["TaskInstance"],
+        generator: Generator,
+        loc: SourceLocation | str = UNKNOWN_LOCATION,
+        label: str = "",
+        definition: str = "",
+        created_at: int = 0,
+        created_by_core: int = 0,
+        creation_cycles: int = 0,
+        inlined: bool = False,
+    ) -> None:
+        self.tid = tid
+        self.path = path
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self.generator = generator
+        self.state = TaskState.CREATED
+        self.loc = loc
+        self.label = label
+        self.definition = definition or str(loc)
+        self.created_at = created_at
+        self.created_by_core = created_by_core
+        self.creation_cycles = creation_cycles
+        self.inlined = inlined
+        self.outstanding = 0
+        self.children_spawned = 0
+        self.fragment_seq = 0
+        self.last_worker = created_by_core
+        self.handle = TaskHandle(self)
+        self.pending_value = None
+        self.inline_parent: Optional["TaskInstance"] = None
+        self.resume_reason = ""
+        self.frag_start: Optional[int] = None
+        self.frag_counters = None
+        self.sync_parent: Optional["TaskInstance"] = parent
+        self.live_children: set["TaskInstance"] = set()
+        self.to_sync: list[int] = []
+        self.in_implicit_barrier = False
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    def child_path(self) -> TaskPath:
+        """Path for the next child (call before incrementing the count)."""
+        return self.path + (self.children_spawned,)
+
+    def next_fragment_seq(self) -> int:
+        seq = self.fragment_seq
+        self.fragment_seq += 1
+        return seq
+
+    def path_str(self) -> str:
+        return "/".join(str(i) for i in self.path)
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskInstance(tid={self.tid}, path={self.path_str()}, "
+            f"state={self.state.value}, def={self.definition!r})"
+        )
+
+
+@dataclass
+class TaskHandle:
+    """What ``yield Spawn(...)`` evaluates to in the parent body.
+
+    ``result`` may be set by the child body through its own handle or a
+    shared holder; the runtime never touches it (tasks communicate through
+    shared memory in OpenMP).
+    """
+
+    task: TaskInstance
+    result: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return self.task.state is TaskState.COMPLETED

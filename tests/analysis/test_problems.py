@@ -1,0 +1,128 @@
+"""Tests for thresholds and problem detection (Sec. 3.3)."""
+
+import pytest
+
+from helpers import LOC, binary_tree, leaf, run_and_graph, small_machine
+
+from repro.analysis.problems import ProblemKind, detect_problems
+from repro.analysis.thresholds import Thresholds
+from repro.metrics.facade import MetricSet
+from repro.runtime.actions import Spawn, TaskWait
+from repro.runtime.api import Program
+
+
+class TestThresholds:
+    def test_paper_defaults(self):
+        t = Thresholds()
+        assert t.memory_hierarchy_utilization == 2.0
+        assert t.parallel_benefit == 1.0
+        assert t.load_balance == 1.0
+        assert t.work_deviation == 2.0
+        assert t.instantaneous_parallelism is None  # cores used
+        assert t.scatter is None  # socket size
+
+    def test_refined_copy(self):
+        t = Thresholds().refined(work_deviation=1.2)
+        assert t.work_deviation == 1.2
+        assert Thresholds().work_deviation == 2.0
+
+    def test_core_dependent_resolution(self):
+        t = Thresholds()
+        assert t.resolve_parallelism(48) == 48
+        assert t.refined(instantaneous_parallelism=8).resolve_parallelism(48) == 8
+        assert t.resolve_scatter(16.0) == 16.0
+        assert t.refined(scatter=5.0).resolve_scatter(16.0) == 5.0
+
+
+class TestDetection:
+    def test_tiny_grains_flagged_low_benefit(self):
+        def main():
+            for _ in range(4):
+                yield Spawn(leaf(30), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("tiny", main), machine=small_machine(4), threads=4
+        )
+        report = detect_problems(MetricSet.compute(graph))
+        assert report.count(ProblemKind.LOW_PARALLEL_BENEFIT) >= 4
+
+    def test_healthy_program_mostly_clean(self):
+        def main():
+            for _ in range(8):
+                yield Spawn(leaf(500_000), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("healthy", main), machine=small_machine(4), threads=4
+        )
+        report = detect_problems(MetricSet.compute(graph))
+        assert report.count(ProblemKind.LOW_PARALLEL_BENEFIT) == 0
+        assert report.count(ProblemKind.WORK_INFLATION) == 0
+
+    def test_low_parallelism_flagged(self):
+        def main():
+            yield Spawn(leaf(100_000), loc=LOC)  # single task, 4 cores
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("serialish", main), machine=small_machine(4), threads=4
+        )
+        report = detect_problems(MetricSet.compute(graph))
+        assert report.count(ProblemKind.LOW_INSTANTANEOUS_PARALLELISM) > 0
+
+    def test_affected_fraction(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=50), machine=small_machine(4), threads=4
+        )
+        report = detect_problems(MetricSet.compute(graph))
+        fraction = report.affected_fraction(ProblemKind.LOW_PARALLEL_BENEFIT)
+        assert 0.0 < fraction <= 1.0
+        assert report.total_grains == graph.num_grains
+
+    def test_problems_carry_source_links(self):
+        _, graph = run_and_graph(
+            binary_tree(3, leaf_cycles=10), machine=small_machine(2), threads=2
+        )
+        report = detect_problems(MetricSet.compute(graph))
+        flagged = report.by_kind.get(ProblemKind.LOW_PARALLEL_BENEFIT, [])
+        assert flagged
+        assert all(p.loc or p.definition for p in flagged)
+
+    def test_severity_normalized(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=10), machine=small_machine(2), threads=2
+        )
+        report = detect_problems(MetricSet.compute(graph))
+        for problem in report.problems:
+            assert 0.0 <= problem.severity <= 1.0
+
+    def test_threshold_refinement_changes_counts(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=600), machine=small_machine(2), threads=2
+        )
+        metrics = MetricSet.compute(graph)
+        strict = detect_problems(
+            metrics, Thresholds().refined(parallel_benefit=10.0)
+        )
+        loose = detect_problems(
+            metrics, Thresholds().refined(parallel_benefit=0.001)
+        )
+        assert strict.count(ProblemKind.LOW_PARALLEL_BENEFIT) > loose.count(
+            ProblemKind.LOW_PARALLEL_BENEFIT
+        )
+
+    def test_load_imbalance_is_graph_level(self):
+        def skew():
+            def main():
+                yield Spawn(leaf(100_000), loc=LOC)
+                yield Spawn(leaf(100), loc=LOC)
+                yield TaskWait()
+
+            return Program("skew", main)
+
+        _, graph = run_and_graph(skew(), machine=small_machine(2), threads=2)
+        report = detect_problems(MetricSet.compute(graph))
+        imbalance = report.by_kind.get(ProblemKind.LOAD_IMBALANCE, [])
+        assert len(imbalance) == 1
+        assert imbalance[0].gid == ""  # whole-graph problem

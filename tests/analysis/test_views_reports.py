@@ -1,0 +1,170 @@
+"""Tests for highlight views, reports, advisor, and timeline contrast."""
+
+from helpers import binary_tree, loop_program, run_and_graph, small_machine
+
+from repro.analysis.advisor import advise
+from repro.analysis.problems import ProblemKind, detect_problems
+from repro.analysis.report import analyze
+from repro.analysis.timeline import thread_timeline
+from repro.analysis.views import (
+    VIEW_KINDS,
+    categorical_color,
+    dim_color,
+    heat_color,
+    make_view,
+    rainbow_color,
+)
+from repro.metrics.facade import MetricSet
+from repro.runtime.api import run_program
+
+
+class TestColors:
+    def test_heat_gradient_endpoints(self):
+        assert heat_color(1.0).startswith("#f")  # red-ish
+        worst = heat_color(1.0)
+        mild = heat_color(0.0)
+        assert worst != mild
+
+    def test_heat_clamps(self):
+        assert heat_color(-1.0) == heat_color(0.0)
+        assert heat_color(2.0) == heat_color(1.0)
+
+    def test_rainbow_distinct_ends(self):
+        assert rainbow_color(0.0) != rainbow_color(1.0)
+
+    def test_categorical_cycles(self):
+        colors = {categorical_color(i) for i in range(15)}
+        assert len(colors) == 15
+        assert categorical_color(0) == categorical_color(15)
+
+    def test_all_colors_are_hex(self):
+        for c in (heat_color(0.5), rainbow_color(0.5), categorical_color(3), dim_color()):
+            assert c.startswith("#") and len(c) == 7
+
+
+class TestViews:
+    def setup_method(self):
+        _, self.graph = run_and_graph(
+            binary_tree(4, leaf_cycles=100), machine=small_machine(2), threads=2
+        )
+        self.metrics = MetricSet.compute(self.graph)
+        self.problems = detect_problems(self.metrics)
+
+    def test_every_view_kind_builds(self):
+        for kind in VIEW_KINDS:
+            view = make_view(self.metrics, self.problems, kind)
+            assert set(view.colors) == set(self.graph.grains)
+
+    def test_problem_view_dims_non_problematic(self):
+        view = make_view(self.metrics, self.problems, "parallel_benefit")
+        flagged = self.problems.grains_with(ProblemKind.LOW_PARALLEL_BENEFIT)
+        for gid, color in view.colors.items():
+            if gid in flagged:
+                assert color != dim_color()
+            else:
+                assert color == dim_color()
+        assert view.highlighted == flagged
+
+    def test_definition_view_colors_everything(self):
+        view = make_view(self.metrics, self.problems, "definition")
+        assert dim_color() not in view.colors.values()
+        assert view.legend  # definition -> color map
+
+    def test_critical_path_view(self):
+        view = make_view(self.metrics, self.problems, "critical_path")
+        assert view.highlighted == self.metrics.critical_path.grain_ids(self.graph)
+
+    def test_unknown_view_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_view(self.metrics, self.problems, "sparkles")
+
+
+class TestReportAndAdvisor:
+    def test_summary_mentions_key_metrics(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=100), machine=small_machine(2), threads=2
+        )
+        report = analyze(graph)
+        text = report.summary()
+        assert "load balance" in text
+        assert "instantaneous parallelism" in text
+        assert "critical path" in text
+
+    def test_clean_program_reports_good_behavior(self):
+        from helpers import LOC, leaf
+        from repro.runtime.actions import Spawn, TaskWait
+        from repro.runtime.api import Program
+
+        def main():
+            for _ in range(16):
+                yield Spawn(leaf(800_000), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("clean", main), machine=small_machine(4), threads=4
+        )
+        report = analyze(graph)
+        advice = advise(report)
+        # Big uniform grains: no cutoff advice.
+        assert not any("cutoff" in a.title for a in advice)
+
+    def test_flooded_program_gets_cutoff_advice(self):
+        _, graph = run_and_graph(
+            binary_tree(7, leaf_cycles=20), machine=small_machine(4), threads=4
+        )
+        advice = advise(analyze(graph))
+        assert any("cutoff" in a.title for a in advice)
+
+    def test_imbalanced_loop_gets_binpack_advice(self):
+        def skewed(i):
+            return 200_000 if i in (3, 40) else 300
+
+        from repro.runtime.loops import Schedule
+
+        _, graph = run_and_graph(
+            loop_program(iterations=64, chunk=1, threads=4,
+                         schedule=Schedule.DYNAMIC, cycles_of=skewed),
+            machine=small_machine(4),
+            threads=4,
+        )
+        advice = advise(analyze(graph))
+        assert any("minimize cores" in a.title for a in advice)
+
+
+class TestTimelineContrast:
+    def test_per_core_busy_fractions(self):
+        result = run_program(
+            binary_tree(5, leaf_cycles=2000),
+            machine=small_machine(4),
+            num_threads=4,
+        )
+        timeline = thread_timeline(result.trace)
+        assert timeline.num_cores == 4
+        for core in range(4):
+            assert 0.0 <= timeline.busy_fraction(core) <= 1.0
+
+    def test_imbalance_signal_only(self):
+        """The Fig. 4 point: the timeline view offers imbalance and
+        nothing linking it to grains."""
+        result = run_program(
+            binary_tree(5), machine=small_machine(4), num_threads=4
+        )
+        timeline = thread_timeline(result.trace)
+        assert timeline.imbalance() >= 1.0
+        text = timeline.summary()
+        assert "no per-task information" in text
+
+    def test_busy_cycles_match_fragment_sums(self):
+        result = run_program(
+            binary_tree(4, leaf_cycles=1000),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        timeline = thread_timeline(result.trace)
+        total = sum(timeline.busy_cycles.values())
+        expected = sum(
+            e.end - e.start for e in result.trace if e.kind == "fragment"
+        )
+        assert total == expected

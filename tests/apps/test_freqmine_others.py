@@ -1,0 +1,135 @@
+"""Tests for Freqmine (Sec. 4.3.4) and the Sec. 4.3.6 round-up apps."""
+
+from repro.apps import freqmine, others
+from repro.binpack import minimum_cores_for_graph
+from repro.core.builder import build_grain_graph
+from repro.core.grains import GrainKind
+from repro.metrics.load_balance import load_balance
+from repro.metrics.parallel_benefit import low_benefit_fraction
+from repro.runtime.api import run_program
+from repro.runtime.flavors import MIR
+
+FPGF2_LOOP_ID = 3  # scan=0, build=1, fpgf instances = 2, 3, 4
+
+
+def run(program, threads=48):
+    return run_program(program, flavor=MIR, num_threads=threads)
+
+
+class TestFreqmine:
+    def test_fig9_grain_count(self):
+        """Fig. 9: the graph contains 6985 grains."""
+        result = run(freqmine.program())
+        graph = build_grain_graph(result.trace)
+        assert graph.num_grains == 6985
+
+    def test_fpgf_has_1292_chunks(self):
+        """Fig. 10: the second FPGF instance contains 1292 chunks."""
+        result = run(freqmine.program())
+        graph = build_grain_graph(result.trace)
+        chunks = [
+            g for g in graph.grains.values()
+            if g.kind is GrainKind.CHUNK and g.loop_id == FPGF2_LOOP_ID
+        ]
+        assert len(chunks) == 1292
+
+    def test_load_balance_bad_on_48_good_on_7(self):
+        """Fig. 10: LB ~35.5 on 48 cores improves to ~1.06 on 7."""
+        g48 = build_grain_graph(run(freqmine.program()).trace)
+        lb48 = load_balance(g48, loop_id=FPGF2_LOOP_ID)
+        g7 = build_grain_graph(run(freqmine.program(), threads=7).trace)
+        lb7 = load_balance(g7, loop_id=FPGF2_LOOP_ID)
+        assert lb48.value > 20
+        assert lb7.value < 1.5
+
+    def test_seven_cores_suffice(self):
+        """Table 1: the num_threads=7 fix keeps the makespan."""
+        full = run(freqmine.program())
+        seven = run(freqmine.program_seven_cores())
+        assert seven.makespan_cycles < full.makespan_cycles * 1.12
+
+    def test_binpack_finds_seven(self):
+        graph = build_grain_graph(run(freqmine.program()).trace)
+        result = minimum_cores_for_graph(graph, loop_id=FPGF2_LOOP_ID)
+        assert result.num_bins == 7
+
+    def test_large_iterations_irregularly_placed(self):
+        costs = [freqmine.fpgf_iteration_cycles(i) for i in range(1292)]
+        large = [i for i, c in enumerate(costs) if c > 20 * freqmine.SMALL_CYCLES]
+        assert len(large) >= 8
+        gaps = [b - a for a, b in zip(large, large[1:])]
+        assert len(set(gaps)) > 3  # not evenly spaced
+        assert large[0] > 10 and large[-1] < 1285  # spread across the range
+
+    def test_most_grains_small_poor_benefit(self):
+        """Fig. 9b: most grains are small with poor parallel benefit."""
+        graph = build_grain_graph(run(freqmine.program()).trace)
+        assert low_benefit_fraction(graph) > 0.4
+
+
+class TestOthers:
+    def test_nqueens_scales_and_is_clean(self):
+        result = run(others.nqueens(n=10, cutoff=2), threads=16)
+        single = run(others.nqueens(n=10, cutoff=2), threads=1)
+        assert single.makespan_cycles / result.makespan_cycles > 4
+        graph = build_grain_graph(result.trace)
+        assert low_benefit_fraction(graph) < 0.3
+
+    def test_fib_cutoff_controls_leaf_work(self):
+        shallow = run(others.fib(n=16, cutoff=4), threads=8)
+        deep = run(others.fib(n=16, cutoff=8), threads=8)
+        assert deep.stats.tasks_created > shallow.stats.tasks_created
+
+    def test_uts_has_poor_parallel_benefit(self):
+        result = run(others.uts(expected_nodes=800), threads=16)
+        graph = build_grain_graph(result.trace)
+        assert low_benefit_fraction(graph) > 0.5
+
+    def test_uts_tree_is_imbalanced(self):
+        result = run(others.uts(expected_nodes=800), threads=16)
+        graph = build_grain_graph(result.trace)
+        depths = [g.depth for g in graph.grains.values()]
+        assert max(depths) > 5
+
+    def test_blackscholes_poor_mhu_chunks(self):
+        from repro.metrics.memory import memory_report
+
+        result = run(others.blackscholes(options=8000, chunk=64))
+        graph = build_grain_graph(result.trace)
+        report = memory_report(graph)
+        assert report.poor_mhu_fraction(2.0) > 0.5
+
+    def test_botsalgn_all_metrics_good(self):
+        result = run(others.botsalgn(sequences=96))
+        graph = build_grain_graph(result.trace)
+        assert low_benefit_fraction(graph) < 0.1
+
+    def test_smithwa_runs_both_blocks(self):
+        result = run(others.smithwa(size=10))
+        graph = build_grain_graph(result.trace)
+        definitions = {g.definition for g in graph.grains.values()}
+        assert any("mergeAlignment" in d for d in definitions)
+        assert any("verifyData" in d for d in definitions)
+
+    def test_imagick_unthrottled_loops_low_benefit(self):
+        from repro.metrics.summary import per_definition_summary
+
+        result = run(others.imagick(rows=240))
+        graph = build_grain_graph(result.trace)
+        rows = {r.definition: r for r in per_definition_summary(graph)}
+        shear = rows["magick_shear.c:1694(XShearImage)"]
+        resize = rows["magick_resize.c:2215(HorizontalFilter)"]
+        assert shear.low_benefit_fraction > resize.low_benefit_fraction
+
+    def test_bodytrack_calc_weights_is_the_exception(self):
+        from repro.metrics.summary import per_definition_summary
+
+        result = run(others.bodytrack(particles=1000, rows=120))
+        graph = build_grain_graph(result.trace)
+        rows = {r.definition: r for r in per_definition_summary(graph)}
+        weights = rows["ParticleFilterOMP.h:64(ParticleFilterOMP::CalcWeights)"]
+        filters = rows["FlexImageFilter.h:114(FlexFilterRowVOMP)"]
+        assert weights.low_benefit_fraction < filters.low_benefit_fraction
+
+    def test_fib_serial_helper(self):
+        assert others.fib_serial(10) == 55

@@ -1,0 +1,109 @@
+"""Tests for the Sort and FFT reproductions (Secs. 4.3.1, 4.3.3)."""
+
+from repro.apps import fft, sort
+from repro.core.builder import build_grain_graph
+from repro.metrics.parallel_benefit import low_benefit_fraction
+from repro.metrics.parallelism import instantaneous_parallelism
+from repro.metrics.work_deviation import work_deviation
+from repro.runtime.api import run_program
+from repro.runtime.flavors import MIR
+
+
+def run(program, threads=48):
+    return run_program(program, flavor=MIR, num_threads=threads)
+
+
+class TestSort:
+    def test_three_phase_structure(self):
+        result = run(sort.program(elements=1 << 16, quick_cutoff=1 << 13))
+        graph = build_grain_graph(result.trace)
+        definitions = {g.definition for g in graph.grains.values()}
+        assert "sort.c:329(cilksort_par)" in definitions
+        assert "sort.c:219(cilkmerge_par)" in definitions
+
+    def test_lower_cutoff_creates_many_more_grains(self):
+        """Fig. 5b: lowering the cutoff massively increases grain count."""
+        best = run(sort.program(elements=1 << 17))
+        low = run(sort.program_low_cutoff(elements=1 << 17, factor=16))
+        assert low.stats.tasks_created > 8 * best.stats.tasks_created
+
+    def test_lower_cutoff_low_benefit(self):
+        """Fig. 5b: the extra grains have low parallel benefit."""
+        low = run(sort.program_low_cutoff(elements=1 << 16, factor=128))
+        graph = build_grain_graph(low.trace)
+        assert low_benefit_fraction(graph) > 0.3
+
+    def test_parallelism_wanes_in_merge_phase(self):
+        """Fig. 5a: instantaneous parallelism dips below the core count."""
+        result = run(sort.program(elements=1 << 18, quick_cutoff=1 << 13))
+        graph = build_grain_graph(result.trace)
+        profile = instantaneous_parallelism(graph, optimistic=False)
+        assert profile.fraction_below(48) > 0.3
+
+    def test_round_robin_reduces_inflation(self):
+        """The Sec. 4.3.1 table: round-robin pages cut work inflation."""
+        def measure(make):
+            multi = run(make(elements=1 << 18))
+            single = run_program(make(elements=1 << 18), flavor=MIR, num_threads=1)
+            return work_deviation(
+                build_grain_graph(multi.trace), build_grain_graph(single.trace)
+            ).inflated_fraction(1.5)
+
+        assert measure(sort.program_round_robin) < measure(sort.program)
+
+    def test_round_robin_improves_makespan(self):
+        ft = run(sort.program(elements=1 << 18))
+        rr = run(sort.program_round_robin(elements=1 << 18))
+        assert rr.makespan_cycles < ft.makespan_cycles
+
+
+class TestFFT:
+    def test_original_floods_tasks(self):
+        """"Many tasks are created even for small inputs"."""
+        result = run(fft.program(samples=1 << 12))
+        assert result.stats.tasks_created > 300
+
+    def test_cutoff_reduces_tasks(self):
+        orig = run(fft.program(samples=1 << 14))
+        opt = run(fft.program_optimized(samples=1 << 14, cutoff_depth=3))
+        assert opt.stats.tasks_created < orig.stats.tasks_created / 4
+
+    def test_original_has_low_parallel_benefit(self):
+        """Fig. 7 left: several grains with low benefit."""
+        result = run(fft.program(samples=1 << 13))
+        graph = build_grain_graph(result.trace)
+        assert low_benefit_fraction(graph) > 0.3
+
+    def test_optimized_has_good_parallel_benefit(self):
+        """Fig. 7 right: grains show good benefit after optimization."""
+        result = run(fft.program_optimized(samples=1 << 16, cutoff_depth=3))
+        graph = build_grain_graph(result.trace)
+        assert low_benefit_fraction(graph) < 0.25
+
+    def test_poor_mhu_remains_after_optimization(self):
+        """Fig. 8: a majority of grains still underuse the hierarchy."""
+        from repro.metrics.memory import memory_report
+
+        result = run(fft.program_optimized(samples=1 << 16, cutoff_depth=3))
+        graph = build_grain_graph(result.trace)
+        report = memory_report(graph)
+        assert report.poor_mhu_fraction(2.0) > 0.5
+
+    def test_fig7_definitions_present(self):
+        result = run(fft.program(samples=1 << 12))
+        graph = build_grain_graph(result.trace)
+        definitions = {g.definition for g in graph.grains.values()}
+        assert "fft.c:4680(fft_aux)" in definitions
+        assert "fft.c:3522(fft_twiddle_gen)" in definitions
+        assert "fft.c:2329(fft_unshuffle)" in definitions
+
+    def test_optimization_improves_makespan(self):
+        orig = run(fft.program(samples=1 << 14))
+        opt = run(fft.program_optimized(samples=1 << 14, cutoff_depth=3))
+        assert opt.makespan_cycles < orig.makespan_cycles
+
+    def test_power_of_two_required(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            fft.program(samples=1000)

@@ -1,0 +1,5 @@
+import sys
+from pathlib import Path
+
+# Make tests/helpers.py importable as `helpers` from nested test dirs.
+sys.path.insert(0, str(Path(__file__).parent))

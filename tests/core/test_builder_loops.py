@@ -1,0 +1,128 @@
+"""Tests for grain-graph construction from loop traces (Fig. 3g/h)."""
+
+from helpers import loop_program, run_and_graph, small_machine
+
+from repro.apps import micro
+from repro.core.ids import chunk_gid
+from repro.core.nodes import EdgeKind, NodeKind
+from repro.core.validate import validate_graph
+
+
+class TestFig3bStructure:
+    """20 iterations, chunk 4, two threads -> 5 chunks (Fig. 3b/g)."""
+
+    def setup_method(self):
+        _, self.graph = run_and_graph(
+            micro.fig3b(), threads=2, machine=small_machine(2)
+        )
+
+    def test_validates(self):
+        validate_graph(self.graph)
+
+    def test_five_chunks(self):
+        assert self.graph.node_count(NodeKind.CHUNK) == 5
+
+    def test_chunk_iteration_ranges(self):
+        ranges = sorted(
+            n.iter_range
+            for n in self.graph.nodes.values()
+            if n.kind is NodeKind.CHUNK
+        )
+        assert ranges == [(0, 4), (4, 8), (8, 12), (12, 16), (16, 20)]
+
+    def test_bookkeeping_per_thread(self):
+        """Thread 0 dispatches 3 chunks + final empty = 4 book-keeping
+        nodes; thread 1 dispatches 2 + final = 3."""
+        by_thread = {}
+        for node in self.graph.nodes.values():
+            if node.kind is NodeKind.BOOKKEEPING:
+                by_thread.setdefault(node.thread, []).append(node)
+        assert len(by_thread[0]) == 4
+        assert len(by_thread[1]) == 3
+
+    def test_chunks_always_continue_to_bookkeeping(self):
+        for node in self.graph.nodes.values():
+            if node.kind is NodeKind.CHUNK:
+                successors = self.graph.successors(node.node_id)
+                assert len(successors) == 1
+                assert (
+                    self.graph.nodes[successors[0][0]].kind
+                    is NodeKind.BOOKKEEPING
+                )
+
+    def test_single_loop_join(self):
+        joins = [
+            n for n in self.graph.nodes.values()
+            if n.kind is NodeKind.JOIN and n.loop_id is not None
+        ]
+        assert len(joins) == 1
+
+    def test_team_fork_feeds_both_threads(self):
+        forks = [
+            n for n in self.graph.nodes.values()
+            if n.kind is NodeKind.FORK and n.team_fork
+        ]
+        assert len(forks) == 1
+        creations = [
+            dst
+            for dst, kind in self.graph.successors(forks[0].node_id)
+            if kind is EdgeKind.CREATION
+        ]
+        assert len(creations) == 2  # one chain per team thread
+
+    def test_chunk_grain_ids(self):
+        expected = {chunk_gid(0, 0, s, s + 4) for s in range(0, 20, 4)}
+        chunk_grains = {
+            gid for gid, g in self.graph.grains.items() if gid.startswith("c:")
+        }
+        assert chunk_grains == expected
+
+    def test_chunk_grain_properties(self):
+        grain = self.graph.grains[chunk_gid(0, 0, 0, 4)]
+        assert grain.exec_time == 4 * 250
+        assert grain.creation_cycles > 0  # book-keeping cost
+        assert grain.sibling_group == "L:0:0"
+        assert grain.iter_range == (0, 4)
+
+
+class TestMultipleLoops:
+    def test_loop_seq_distinguishes_instances(self):
+        from repro.machine.cost import WorkRequest
+        from repro.runtime.actions import ParallelFor
+        from repro.runtime.api import Program
+        from repro.runtime.loops import LoopSpec
+
+        def main():
+            for _ in range(2):
+                yield ParallelFor(
+                    LoopSpec(
+                        iterations=4,
+                        chunk_size=2,
+                        body=lambda i: WorkRequest(cycles=100),
+                        num_threads=2,
+                    )
+                )
+
+        _, graph = run_and_graph(
+            Program("two_loops", main), threads=2, machine=small_machine(2)
+        )
+        validate_graph(graph)
+        keys = {g.sibling_group for g in graph.grains.values() if g.loop_id is not None}
+        assert keys == {"L:0:0", "L:0:1"}
+
+    def test_loops_embedded_in_root_context(self):
+        _, graph = run_and_graph(
+            micro.fig3b(), threads=2, machine=small_machine(2)
+        )
+        root = graph.grains["t:0"]
+        # Root has a fragment before and after the loop.
+        assert root.n_fragments == 2
+
+    def test_empty_iteration_space(self):
+        _, graph = run_and_graph(
+            loop_program(iterations=0, chunk=None, threads=2),
+            threads=2,
+            machine=small_machine(2),
+        )
+        validate_graph(graph)
+        assert graph.node_count(NodeKind.CHUNK) == 0

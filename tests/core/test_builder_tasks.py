@@ -1,0 +1,163 @@
+"""Tests for grain-graph construction from task traces (Sec. 3.1)."""
+
+from helpers import LOC, binary_tree, run_and_graph, small_machine
+
+from repro.apps import micro
+from repro.core.nodes import EdgeKind, NodeKind
+from repro.core.validate import validate_graph
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program
+
+
+class TestFig3aStructure:
+    """The paper's Fig. 3a/3c example: foo creates bar and baz."""
+
+    def setup_method(self):
+        _, self.graph = run_and_graph(
+            micro.fig3a(), threads=2, machine=small_machine(2)
+        )
+
+    def test_validates(self):
+        validate_graph(self.graph)
+
+    def test_grain_count(self):
+        # root, foo, bar, baz
+        assert self.graph.num_grains == 4
+
+    def test_foo_has_four_fragments(self):
+        """foo: [work][fork bar][work][fork baz][work][join][work] ->
+        fragments split at the two forks and the join."""
+        foo = self.graph.grains["t:0/0"]
+        assert foo.n_fragments == 4
+
+    def test_fork_count(self):
+        # main forks foo; foo forks bar and baz.
+        assert self.graph.node_count(NodeKind.FORK) == 3
+
+    def test_join_count(self):
+        # foo's taskwait and main's taskwait.
+        assert self.graph.node_count(NodeKind.JOIN) == 2
+
+    def test_creation_edges_target_first_fragments(self):
+        for edge in self.graph.edges:
+            if edge.kind is EdgeKind.CREATION:
+                dst = self.graph.nodes[edge.dst]
+                assert dst.kind is NodeKind.FRAGMENT
+                assert dst.frag_seq == 0
+
+    def test_join_edges_from_last_fragments(self):
+        for edge in self.graph.edges:
+            if edge.kind is EdgeKind.JOIN:
+                src = self.graph.nodes[edge.src]
+                grain = self.graph.grains[src.grain_id]
+                assert src.frag_seq == grain.n_fragments - 1
+
+    def test_children_sync_at_parents_join(self):
+        joins = [
+            n for n in self.graph.nodes.values() if n.kind is NodeKind.JOIN
+        ]
+        foo_join = next(n for n in joins if n.tid == 1)
+        incoming_grains = {
+            self.graph.nodes[src].grain_id
+            for src, kind in self.graph.predecessors(foo_join.node_id)
+            if kind is EdgeKind.JOIN
+        }
+        assert incoming_grains == {"t:0/0/0", "t:0/0/1"}  # bar and baz
+
+    def test_is_dag(self):
+        order = self.graph.topological_order()
+        assert len(order) == len(self.graph.nodes)
+
+
+class TestGrainProperties:
+    def test_exec_time_sums_fragments(self):
+        _, graph = run_and_graph(
+            micro.fig3a(bar_cycles=3000, baz_cycles=2000),
+            threads=2,
+            machine=small_machine(2),
+        )
+        assert graph.grains["t:0/0/0"].exec_time == 3000  # bar
+        assert graph.grains["t:0/0/1"].exec_time == 2000  # baz
+
+    def test_creation_cycles_recorded(self):
+        _, graph = run_and_graph(
+            micro.fig3a(), threads=2, machine=small_machine(2)
+        )
+        for gid in ("t:0/0", "t:0/0/0", "t:0/0/1"):
+            assert graph.grains[gid].creation_cycles > 0
+
+    def test_sync_share_divides_wait_among_siblings(self):
+        _, graph = run_and_graph(
+            micro.fig3a(), threads=1, machine=small_machine(2)
+        )
+        bar = graph.grains["t:0/0/0"]
+        baz = graph.grains["t:0/0/1"]
+        assert bar.sync_share_cycles == baz.sync_share_cycles
+        assert bar.sync_share_cycles >= 0
+
+    def test_sibling_group_is_parent(self):
+        _, graph = run_and_graph(
+            micro.fig3a(), threads=2, machine=small_machine(2)
+        )
+        assert graph.grains["t:0/0/0"].sibling_group == "t:0/0"
+        assert graph.grains["t:0/0/1"].sibling_group == "t:0/0"
+
+    def test_depth_recorded(self):
+        _, graph = run_and_graph(
+            binary_tree(4), threads=2, machine=small_machine(2)
+        )
+        assert max(g.depth for g in graph.grains.values()) == 5  # root task + 4
+
+
+class TestFireAndForget:
+    def test_orphans_join_the_implicit_barrier(self):
+        _, graph = run_and_graph(
+            micro.fire_and_forget(depth=3), threads=2, machine=small_machine(2)
+        )
+        validate_graph(graph)
+        implicit = [
+            n
+            for n in graph.nodes.values()
+            if n.kind is NodeKind.JOIN and n.implicit
+        ]
+        assert len(implicit) == 1
+        join_sources = {
+            graph.nodes[src].grain_id
+            for src, kind in graph.predecessors(implicit[0].node_id)
+            if kind is EdgeKind.JOIN
+        }
+        # All 2^4 - 1 sweep tasks sync at the barrier.
+        assert len(join_sources) == 15
+
+    def test_every_non_root_grain_has_a_join_edge(self):
+        _, graph = run_and_graph(
+            micro.fire_and_forget(depth=4), threads=3, machine=small_machine(3)
+        )
+        joined = {
+            graph.nodes[e.src].grain_id
+            for e in graph.edges
+            if e.kind is EdgeKind.JOIN
+        }
+        non_root = {gid for gid in graph.grains if gid != "t:0"}
+        assert joined == non_root
+
+
+class TestScale:
+    def test_binary_tree_counts(self):
+        _, graph = run_and_graph(
+            binary_tree(6), threads=4, machine=small_machine(4)
+        )
+        validate_graph(graph)
+        # 2^7 - 1 tree tasks + root = 128 grains.
+        assert graph.num_grains == 128
+        assert graph.node_count(NodeKind.FORK) == 127
+
+    def test_intervals_within_makespan(self):
+        result, graph = run_and_graph(
+            binary_tree(5), threads=4, machine=small_machine(4)
+        )
+        for grain in graph.grains.values():
+            for start, end, core in grain.intervals:
+                assert 0 <= start <= end <= result.makespan_cycles
+                assert 0 <= core < 4

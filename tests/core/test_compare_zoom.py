@@ -1,0 +1,173 @@
+"""Tests for graph comparison, the zoombox, and summary-node collapsing."""
+
+import pytest
+
+from helpers import binary_tree, run_and_graph, small_machine
+
+from repro.apps import micro, others
+from repro.core.compare import compare_graphs
+from repro.core.nodes import NodeKind
+from repro.core.validate import validate_graph
+from repro.core.zoom import collapse_subtree, zoom_subtree, zoom_time_window
+
+
+class TestCompare:
+    def test_identical_runs_match_fully(self):
+        program = binary_tree(4)
+        _, a = run_and_graph(program, machine=small_machine(2), threads=2)
+        _, b = run_and_graph(program, machine=small_machine(2), threads=2)
+        comparison = compare_graphs(a, b)
+        assert comparison.match_fraction == 1.0
+        assert comparison.median_ratio() == pytest.approx(1.0)
+        assert not comparison.regressions(1.01)
+
+    def test_different_thread_counts_match_by_identity(self):
+        program = binary_tree(4, leaf_cycles=1000)
+        _, a = run_and_graph(program, machine=small_machine(4), threads=1)
+        _, b = run_and_graph(program, machine=small_machine(4), threads=4)
+        comparison = compare_graphs(a, b)
+        assert comparison.match_fraction == 1.0
+
+    def test_cutoff_change_shows_up_as_only_in_a(self):
+        """Fig. 7's 'not all grains are created in the optimized
+        program': the deeper-cutoff run has grains the other lacks."""
+        _, deep = run_and_graph(
+            others.fib(n=12, cutoff=8), machine=small_machine(2), threads=2
+        )
+        _, shallow = run_and_graph(
+            others.fib(n=12, cutoff=4), machine=small_machine(2), threads=2
+        )
+        comparison = compare_graphs(deep, shallow)
+        assert comparison.only_in_a  # grains the cutoff removed
+        assert not comparison.only_in_b
+        assert comparison.match_fraction < 1.0
+
+    def test_regressions_ranked_worst_first(self):
+        program = binary_tree(3, leaf_cycles=1000)
+        _, a = run_and_graph(program, machine=small_machine(2), threads=2)
+        _, b = run_and_graph(program, machine=small_machine(2), threads=2)
+        # Inflate one grain artificially.
+        grain = b.grains["t:0/0/0"]
+        grain.intervals = [(s, s + 2 * (e - s), c) for s, e, c in grain.intervals]
+        comparison = compare_graphs(a, b)
+        regressions = comparison.regressions(1.5)
+        assert regressions and regressions[0].gid == "t:0/0/0"
+
+    def test_summary_text(self):
+        program = binary_tree(3)
+        _, a = run_and_graph(program, machine=small_machine(2), threads=2)
+        _, b = run_and_graph(program, machine=small_machine(2), threads=2)
+        text = compare_graphs(a, b).summary()
+        assert "matched" in text
+
+
+class TestZoom:
+    def setup_method(self):
+        _, self.graph = run_and_graph(
+            binary_tree(4, leaf_cycles=500), machine=small_machine(2), threads=2
+        )
+
+    def test_subtree_zoom_keeps_descendants_only(self):
+        inset = zoom_subtree(self.graph, "t:0/0/0")
+        assert set(inset.grains) == {
+            gid for gid in self.graph.grains if gid.startswith("t:0/0/0")
+        }
+        assert len(inset.nodes) < len(self.graph.nodes)
+
+    def test_subtree_zoom_is_renderable(self, tmp_path):
+        from repro.core.svg import render_svg
+
+        inset = zoom_subtree(self.graph, "t:0/0/0")
+        render_svg(inset, tmp_path / "inset.svg", title="zoombox")
+
+    def test_time_window_zoom(self):
+        makespan = max(g.last_end for g in self.graph.grains.values())
+        inset = zoom_time_window(self.graph, 0, makespan // 4)
+        assert 0 < len(inset.nodes) < len(self.graph.nodes)
+        for node in inset.nodes.values():
+            if node.start is not None:
+                assert node.start < makespan // 4
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            zoom_time_window(self.graph, 10, 10)
+
+    def test_unknown_subtree_rejected(self):
+        with pytest.raises(ValueError):
+            zoom_subtree(self.graph, "t:9/9")
+
+
+class TestCollapse:
+    def test_subtree_becomes_one_summary_node(self):
+        _, graph = run_and_graph(
+            binary_tree(5, leaf_cycles=500), machine=small_machine(2), threads=2
+        )
+        before_exec = sum(
+            g.exec_time for gid, g in graph.grains.items()
+            if gid.startswith("t:0/0/0")
+        )
+        collapsed = collapse_subtree(graph, "t:0/0/0")
+        summary = collapsed.grains["t:0/0/0"]
+        assert summary.exec_time == before_exec
+        assert "<summary of" in summary.definition
+        assert len(collapsed.nodes) < len(graph.nodes)
+
+    def test_collapsed_graph_is_acyclic_and_connected_to_rest(self):
+        _, graph = run_and_graph(
+            binary_tree(5), machine=small_machine(2), threads=2
+        )
+        collapsed = collapse_subtree(graph, "t:0/0/0")
+        collapsed.topological_order()  # raises on cycles
+        summary_node = next(
+            n for n in collapsed.nodes.values()
+            if n.grain_id == "t:0/0/0" and n.is_group
+        )
+        assert collapsed.in_degree(summary_node.node_id) >= 1
+        assert collapsed.out_degree(summary_node.node_id) >= 1
+
+    def test_other_grains_untouched(self):
+        _, graph = run_and_graph(
+            binary_tree(4), machine=small_machine(2), threads=2
+        )
+        collapsed = collapse_subtree(graph, "t:0/0/0")
+        assert "t:0/0/1" in collapsed.grains
+        assert collapsed.grains["t:0/0/1"].exec_time == graph.grains[
+            "t:0/0/1"
+        ].exec_time
+
+
+class TestFloorplan:
+    def test_deterministic_per_thread_count(self):
+        from repro.runtime import MIR, run_program
+
+        for threads in (1, 4):
+            a = run_program(
+                others.floorplan(cells=10, cutoff=5),
+                flavor=MIR, num_threads=threads,
+            )
+            b = run_program(
+                others.floorplan(cells=10, cutoff=5),
+                flavor=MIR, num_threads=threads,
+            )
+            assert a.stats.tasks_created == b.stats.tasks_created
+
+    def test_shape_can_change_with_thread_count(self):
+        """The paper: Floorplan's graph shape changes for different
+        thread counts because pruning depends on execution order."""
+        from repro.runtime import MIR, run_program
+
+        counts = {
+            threads: run_program(
+                others.floorplan(cells=12, cutoff=6),
+                flavor=MIR, num_threads=threads,
+            ).stats.tasks_created
+            for threads in (1, 48)
+        }
+        assert counts[1] != counts[48]
+
+    def test_graph_builds_and_validates(self):
+        _, graph = run_and_graph(
+            others.floorplan(cells=10, cutoff=5),
+            machine=small_machine(4), threads=4,
+        )
+        validate_graph(graph)

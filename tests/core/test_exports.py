@@ -1,0 +1,121 @@
+"""Tests for layout, GraphML, dot, and SVG exports."""
+
+import xml.dom.minidom
+
+import networkx as nx
+
+from helpers import binary_tree, run_and_graph, small_machine
+
+from repro.apps import micro
+from repro.core.dot import write_dot
+from repro.core.graphml import write_graphml
+from repro.core.layout import crossing_count, layered_layout
+from repro.core.reductions import reduce_graph
+from repro.core.svg import render_svg
+
+
+class TestLayout:
+    def test_every_node_positioned(self):
+        _, graph = run_and_graph(binary_tree(4), machine=small_machine(2), threads=2)
+        layout = layered_layout(graph)
+        assert set(layout.positions) == set(graph.nodes)
+
+    def test_edges_point_downward(self):
+        """Depth layering: every edge goes to a strictly deeper layer."""
+        _, graph = run_and_graph(binary_tree(4), machine=small_machine(2), threads=2)
+        layout = layered_layout(graph)
+        for edge in graph.edges:
+            assert layout.positions[edge.dst][1] > layout.positions[edge.src][1]
+
+    def test_fork_join_tree_is_planar(self):
+        """"Edges never cross" for pure fork/join structures."""
+        _, graph = run_and_graph(binary_tree(5), machine=small_machine(2), threads=2)
+        layout = layered_layout(graph)
+        assert crossing_count(graph, layout) == 0
+
+    def test_fig3a_planar(self):
+        _, graph = run_and_graph(micro.fig3a(), machine=small_machine(2), threads=2)
+        assert crossing_count(graph, layered_layout(graph)) == 0
+
+    def test_empty_graph(self):
+        from repro.core.nodes import GrainGraph
+
+        layout = layered_layout(GrainGraph())
+        assert layout.positions == {}
+
+
+class TestGraphML:
+    def test_networkx_reads_output(self, tmp_path):
+        _, graph = run_and_graph(binary_tree(3), machine=small_machine(2), threads=2)
+        path = write_graphml(graph, tmp_path / "g.graphml")
+        loaded = nx.read_graphml(path)
+        assert loaded.number_of_nodes() == len(graph.nodes)
+        assert loaded.number_of_edges() == len(graph.edges)
+
+    def test_node_attributes_present(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3a(), machine=small_machine(2), threads=2)
+        loaded = nx.read_graphml(write_graphml(graph, tmp_path / "g.graphml"))
+        kinds = {data["kind"] for _, data in loaded.nodes(data=True)}
+        assert {"fragment", "fork", "join"} <= kinds
+        grain_ids = {
+            data.get("grain_id")
+            for _, data in loaded.nodes(data=True)
+            if data.get("grain_id")
+        }
+        assert "t:0/0" in grain_ids
+
+    def test_edge_kinds_preserved(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3a(), machine=small_machine(2), threads=2)
+        loaded = nx.read_graphml(write_graphml(graph, tmp_path / "g.graphml"))
+        kinds = {data["kind"] for _, _, data in loaded.edges(data=True)}
+        assert kinds == {"creation", "join", "continuation"}
+
+    def test_yed_shape_extension_present(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3b(), machine=small_machine(2), threads=2)
+        text = write_graphml(graph, tmp_path / "g.graphml").read_text()
+        assert "y:ShapeNode" in text
+        assert "y:Geometry" in text
+        assert 'type="diamond"' in text  # book-keeping nodes
+
+    def test_loop_graph_roundtrip(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3b(), machine=small_machine(2), threads=2)
+        loaded = nx.read_graphml(write_graphml(graph, tmp_path / "g.graphml"))
+        chunk_nodes = [
+            n for n, d in loaded.nodes(data=True) if d["kind"] == "chunk"
+        ]
+        assert len(chunk_nodes) == 5
+
+
+class TestDotAndSvg:
+    def test_dot_output_parses_structurally(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3a(), machine=small_machine(2), threads=2)
+        text = write_dot(graph, tmp_path / "g.dot").read_text()
+        assert text.startswith("digraph")
+        assert text.count("->") == len(graph.edges)
+
+    def test_svg_is_valid_xml(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3a(), machine=small_machine(2), threads=2)
+        path = render_svg(graph, tmp_path / "g.svg", title="fig3a")
+        doc = xml.dom.minidom.parse(str(path))
+        assert doc.documentElement.tagName == "svg"
+
+    def test_svg_contains_grain_rectangles(self, tmp_path):
+        _, graph = run_and_graph(micro.fig3b(), machine=small_machine(2), threads=2)
+        text = render_svg(graph, tmp_path / "g.svg").read_text()
+        assert text.count("<rect") >= 6  # background + chunks + fragments
+
+    def test_svg_renders_reduced_graph(self, tmp_path):
+        _, graph = run_and_graph(binary_tree(4), machine=small_machine(2), threads=2)
+        reduced, _ = reduce_graph(graph)
+        path = render_svg(reduced, tmp_path / "r.svg")
+        xml.dom.minidom.parse(str(path))
+
+    def test_critical_path_highlight(self, tmp_path):
+        from repro.metrics import critical_path
+
+        _, graph = run_and_graph(micro.fig3a(), machine=small_machine(2), threads=2)
+        cp = critical_path(graph)
+        text = render_svg(
+            graph, tmp_path / "g.svg", critical_nodes=cp.nodes
+        ).read_text()
+        assert "#d62728" in text  # the critical red

@@ -1,0 +1,140 @@
+"""Tests for Grain record properties and the GrainGraph container."""
+
+import pytest
+
+from repro.core.grains import Grain, GrainKind
+from repro.core.nodes import EdgeKind, GrainGraph, NodeKind
+from repro.machine.counters import CounterSet
+
+
+def grain(intervals):
+    g = Grain(gid="t:0/1", kind=GrainKind.TASK)
+    g.intervals = intervals
+    return g
+
+
+class TestGrainProperties:
+    def test_exec_time_sums_intervals(self):
+        g = grain([(0, 10, 0), (20, 25, 1)])
+        assert g.exec_time == 15
+
+    def test_first_start_last_end(self):
+        g = grain([(20, 25, 1), (0, 10, 0)])
+        assert g.first_start == 0
+        assert g.last_end == 25
+
+    def test_cores_in_first_use_order(self):
+        g = grain([(20, 25, 1), (0, 10, 3), (30, 31, 3)])
+        assert g.cores == (3, 1)
+
+    def test_primary_core_by_cycles(self):
+        g = grain([(0, 100, 2), (100, 101, 5)])
+        assert g.primary_core == 2
+
+    def test_overlaps(self):
+        g = grain([(10, 20, 0)])
+        assert g.overlaps(15, 30)
+        assert g.overlaps(0, 11)
+        assert not g.overlaps(20, 30)  # half-open interval
+        assert not g.overlaps(0, 10)
+
+    def test_empty_grain_defaults(self):
+        g = grain([])
+        assert g.exec_time == 0
+        assert g.first_start == 0
+        assert g.primary_core == 0
+
+    def test_parallelization_cost(self):
+        g = grain([(0, 10, 0)])
+        g.creation_cycles = 100
+        g.sync_share_cycles = 50.0
+        assert g.parallelization_cost == 150.0
+
+    def test_describe_mentions_gid(self):
+        assert "t:0/1" in grain([(0, 5, 0)]).describe()
+
+
+class TestGrainGraphContainer:
+    def test_node_ids_dense(self):
+        g = GrainGraph()
+        a = g.new_node(NodeKind.FORK)
+        b = g.new_node(NodeKind.JOIN)
+        assert (a.node_id, b.node_id) == (0, 1)
+
+    def test_edge_endpoints_validated(self):
+        g = GrainGraph()
+        g.new_node(NodeKind.FORK)
+        with pytest.raises(KeyError):
+            g.add_edge(0, 99, EdgeKind.CREATION)
+
+    def test_adjacency(self):
+        g = GrainGraph()
+        a = g.new_node(NodeKind.FRAGMENT, grain_id="t:0")
+        b = g.new_node(NodeKind.FORK)
+        g.add_edge(a.node_id, b.node_id, EdgeKind.CONTINUATION)
+        assert g.successors(a.node_id) == [(b.node_id, EdgeKind.CONTINUATION)]
+        assert g.predecessors(b.node_id) == [(a.node_id, EdgeKind.CONTINUATION)]
+        assert g.out_degree(a.node_id) == 1
+        assert g.in_degree(a.node_id) == 0
+
+    def test_counts_by_kind(self):
+        g = GrainGraph()
+        g.new_node(NodeKind.FRAGMENT)
+        g.new_node(NodeKind.FRAGMENT)
+        g.new_node(NodeKind.JOIN)
+        assert g.node_count() == 3
+        assert g.node_count(NodeKind.FRAGMENT) == 2
+        assert g.node_count(NodeKind.CHUNK) == 0
+
+    def test_remove_nodes(self):
+        g = GrainGraph()
+        a = g.new_node(NodeKind.FRAGMENT)
+        b = g.new_node(NodeKind.FORK)
+        c = g.new_node(NodeKind.FRAGMENT)
+        g.add_edge(a.node_id, b.node_id, EdgeKind.CONTINUATION)
+        g.add_edge(b.node_id, c.node_id, EdgeKind.CREATION)
+        g.remove_nodes({b.node_id})
+        assert b.node_id not in g.nodes
+        assert g.edge_count() == 0
+        assert g.successors(a.node_id) == []
+
+    def test_topological_order_respects_edges(self):
+        g = GrainGraph()
+        nodes = [g.new_node(NodeKind.FRAGMENT) for _ in range(4)]
+        g.add_edge(0, 2, EdgeKind.CONTINUATION)
+        g.add_edge(1, 2, EdgeKind.CONTINUATION)
+        g.add_edge(2, 3, EdgeKind.CONTINUATION)
+        order = g.topological_order()
+        assert order.index(2) > order.index(0)
+        assert order.index(3) > order.index(2)
+
+    def test_cycle_detection(self):
+        g = GrainGraph()
+        g.new_node(NodeKind.FRAGMENT)
+        g.new_node(NodeKind.FRAGMENT)
+        g.add_edge(0, 1, EdgeKind.CONTINUATION)
+        g.add_edge(1, 0, EdgeKind.CONTINUATION)
+        with pytest.raises(ValueError):
+            g.topological_order()
+
+    def test_group_node_duration_override(self):
+        g = GrainGraph()
+        node = g.new_node(
+            NodeKind.FRAGMENT, start=0, end=10,
+            members=(1, 2, 3), duration_override=123,
+        )
+        assert node.duration == 123
+        assert node.is_group
+
+    def test_span_duration(self):
+        g = GrainGraph()
+        node = g.new_node(NodeKind.FRAGMENT, start=5, end=25)
+        assert node.duration == 20
+        empty = g.new_node(NodeKind.FORK)
+        assert empty.duration == 0
+
+    def test_summary_string(self):
+        g = GrainGraph()
+        g.new_node(NodeKind.FRAGMENT)
+        text = g.summary()
+        assert "1 fragment" in text

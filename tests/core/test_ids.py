@@ -1,0 +1,59 @@
+"""Tests for schedule-independent grain identities."""
+
+import pytest
+
+from repro.core.ids import (
+    chunk_gid,
+    is_chunk_gid,
+    is_task_gid,
+    loop_key,
+    parse_chunk_gid,
+    parse_task_gid,
+    task_gid,
+)
+
+
+class TestTaskIds:
+    def test_root_path(self):
+        assert task_gid((0,)) == "t:0"
+
+    def test_nested_path(self):
+        assert task_gid((0, 3, 1)) == "t:0/3/1"
+
+    def test_roundtrip(self):
+        for path in [(0,), (0, 1), (0, 5, 2, 7)]:
+            assert parse_task_gid(task_gid(path)) == path
+
+    def test_parse_rejects_chunk_id(self):
+        with pytest.raises(ValueError):
+            parse_task_gid("c:0:1:2-3")
+
+    def test_predicates(self):
+        assert is_task_gid("t:0/1")
+        assert not is_task_gid("c:0:0:0-4")
+
+
+class TestChunkIds:
+    def test_format_includes_all_parts(self):
+        gid = chunk_gid(3, 2, 10, 20)
+        assert gid == "c:3:2:10-20"
+
+    def test_roundtrip(self):
+        assert parse_chunk_gid(chunk_gid(1, 0, 4, 8)) == (1, 0, 4, 8)
+
+    def test_loop_key(self):
+        assert loop_key(0, 2) == "L:0:2"
+
+    def test_predicates(self):
+        assert is_chunk_gid("c:0:0:0-4")
+        assert not is_chunk_gid("t:0")
+
+    def test_parse_rejects_task_id(self):
+        with pytest.raises(ValueError):
+            parse_chunk_gid("t:0/1")
+
+    def test_distinct_ranges_distinct_ids(self):
+        a = chunk_gid(0, 0, 0, 4)
+        b = chunk_gid(0, 0, 4, 8)
+        c = chunk_gid(0, 1, 0, 4)  # same range, next loop instance
+        assert len({a, b, c}) == 3

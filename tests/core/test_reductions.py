@@ -1,0 +1,178 @@
+"""Tests for graph reductions (Fig. 3d-e, h)."""
+
+from helpers import binary_tree, run_and_graph, small_machine
+
+from repro.apps import micro
+from repro.core.nodes import EdgeKind, NodeKind
+from repro.core.reductions import reduce_graph
+from repro.core.validate import validate_graph
+from repro.machine.counters import CounterSet
+
+
+class TestFragmentReduction:
+    def test_one_node_per_task_grain(self):
+        _, graph = run_and_graph(
+            micro.fig3a(), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph, forks=False, bookkeeping=False)
+        fragments = [
+            n for n in reduced.nodes.values() if n.kind is NodeKind.FRAGMENT
+        ]
+        assert len(fragments) == graph.num_grains
+
+    def test_group_aggregates_duration(self):
+        """Grouped nodes retain weights of members and aggregate them."""
+        _, graph = run_and_graph(
+            micro.fig3a(), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph, forks=False, bookkeeping=False)
+        foo_node = next(
+            n for n in reduced.nodes.values() if n.grain_id == "t:0/0"
+        )
+        assert foo_node.duration == graph.grains["t:0/0"].exec_time
+        assert len(foo_node.members) == graph.grains["t:0/0"].n_fragments
+
+    def test_counters_aggregate(self):
+        _, graph = run_and_graph(
+            binary_tree(3), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        total_before = CounterSet()
+        for node in graph.grain_nodes():
+            if node.counters:
+                total_before += node.counters
+        total_after = CounterSet()
+        for node in reduced.nodes.values():
+            if node.kind is NodeKind.FRAGMENT and node.counters:
+                total_after += node.counters
+        assert total_after.cycles == total_before.cycles
+
+    def test_reduced_graph_is_dag(self):
+        _, graph = run_and_graph(
+            binary_tree(5), threads=4, machine=small_machine(4)
+        )
+        reduced, _ = reduce_graph(graph)
+        validate_graph(reduced)
+
+
+class TestForkReduction:
+    def test_sibling_forks_combine(self):
+        """Fig. 3e: foo's two forks (bar, baz) become one fork node."""
+        _, graph = run_and_graph(
+            micro.fig3a(), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        foo_forks = [
+            n
+            for n in reduced.nodes.values()
+            if n.kind is NodeKind.FORK and n.is_group
+        ]
+        assert len(foo_forks) == 1
+        creations = [
+            kind
+            for _, kind in reduced.successors(foo_forks[0].node_id)
+            if kind is EdgeKind.CREATION
+        ]
+        assert len(creations) == 2
+
+    def test_forks_to_different_joins_stay_separate(self):
+        """Tasks synced at different taskwaits keep distinct fork groups."""
+        from repro.machine.cost import WorkRequest
+        from repro.runtime.actions import Spawn, TaskWait, Work
+        from repro.runtime.api import Program
+        from helpers import LOC, leaf
+
+        def main():
+            yield Spawn(leaf(100), loc=LOC)
+            yield TaskWait()
+            yield Spawn(leaf(100), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("two_waits", main), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        forks = [n for n in reduced.nodes.values() if n.kind is NodeKind.FORK]
+        assert len(forks) == 2
+
+
+class TestBookkeepingGrouping:
+    def test_one_group_per_thread(self):
+        """Fig. 3h: all book-keeping nodes group per thread."""
+        _, graph = run_and_graph(
+            micro.fig3b(), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        groups = [
+            n for n in reduced.nodes.values() if n.kind is NodeKind.BOOKKEEPING
+        ]
+        assert len(groups) == 2
+        assert all(g.is_group for g in groups)
+
+    def test_chunks_hang_as_siblings(self):
+        _, graph = run_and_graph(
+            micro.fig3b(), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        for node in reduced.nodes.values():
+            if node.kind is NodeKind.BOOKKEEPING:
+                chunk_children = [
+                    dst
+                    for dst, _ in reduced.successors(node.node_id)
+                    if reduced.nodes[dst].kind is NodeKind.CHUNK
+                ]
+                # Thread 0 dispatched 3 chunks, thread 1 dispatched 2.
+                assert len(chunk_children) in (2, 3)
+
+    def test_chunk_count_preserved(self):
+        _, graph = run_and_graph(
+            micro.fig3b(), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        assert reduced.node_count(NodeKind.CHUNK) == 5
+
+    def test_group_duration_sums_bookkeeping(self):
+        _, graph = run_and_graph(
+            micro.fig3b(), threads=2, machine=small_machine(2)
+        )
+        total = sum(
+            n.duration
+            for n in graph.nodes.values()
+            if n.kind is NodeKind.BOOKKEEPING
+        )
+        reduced, _ = reduce_graph(graph)
+        total_reduced = sum(
+            n.duration
+            for n in reduced.nodes.values()
+            if n.kind is NodeKind.BOOKKEEPING
+        )
+        assert total_reduced == total
+
+
+class TestReport:
+    def test_reduction_shrinks_graph(self):
+        _, graph = run_and_graph(
+            binary_tree(6), threads=4, machine=small_machine(4)
+        )
+        reduced, report = reduce_graph(graph)
+        assert report.nodes_after < report.nodes_before
+        assert report.node_ratio < 0.8
+        assert report.nodes_before == len(graph.nodes)
+        assert report.nodes_after == len(reduced.nodes)
+
+    def test_grain_table_shared(self):
+        _, graph = run_and_graph(
+            binary_tree(4), threads=2, machine=small_machine(2)
+        )
+        reduced, _ = reduce_graph(graph)
+        assert reduced.grains is graph.grains
+
+    def test_disabled_reductions_keep_graph(self):
+        _, graph = run_and_graph(
+            binary_tree(4), threads=2, machine=small_machine(2)
+        )
+        same, report = reduce_graph(
+            graph, fragments=False, forks=False, bookkeeping=False
+        )
+        assert report.nodes_after == report.nodes_before
+        assert report.edges_after == report.edges_before

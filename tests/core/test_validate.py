@@ -1,0 +1,120 @@
+"""Tests for the structural validator: it must reject malformed graphs."""
+
+import pytest
+
+from helpers import binary_tree, run_and_graph, small_machine
+
+from repro.core.nodes import EdgeKind, GrainGraph, NodeKind
+from repro.core.validate import StructureError, validate_graph
+
+
+def tiny_valid_graph():
+    g = GrainGraph()
+    f0 = g.new_node(NodeKind.FRAGMENT, start=0, end=10, grain_id="t:0", tid=0)
+    fork = g.new_node(NodeKind.FORK, start=10, end=12, tid=0)
+    child = g.new_node(
+        NodeKind.FRAGMENT, start=12, end=30, grain_id="t:0/0", tid=1, frag_seq=0
+    )
+    f1 = g.new_node(NodeKind.FRAGMENT, start=12, end=14, grain_id="t:0", tid=0)
+    join = g.new_node(NodeKind.JOIN, start=14, end=31, tid=0)
+    f2 = g.new_node(NodeKind.FRAGMENT, start=31, end=35, grain_id="t:0", tid=0)
+    g.add_edge(f0.node_id, fork.node_id, EdgeKind.CONTINUATION)
+    g.add_edge(fork.node_id, child.node_id, EdgeKind.CREATION)
+    g.add_edge(fork.node_id, f1.node_id, EdgeKind.CONTINUATION)
+    g.add_edge(f1.node_id, join.node_id, EdgeKind.CONTINUATION)
+    g.add_edge(child.node_id, join.node_id, EdgeKind.JOIN)
+    g.add_edge(join.node_id, f2.node_id, EdgeKind.CONTINUATION)
+    from repro.core.grains import Grain, GrainKind
+
+    for gid, tid in (("t:0", 0), ("t:0/0", 1)):
+        grain = Grain(gid=gid, kind=GrainKind.TASK, tid=tid)
+        g.grains[gid] = grain
+    g.grains["t:0"].intervals = [(0, 10, 0), (12, 14, 0), (31, 35, 0)]
+    g.grains["t:0/0"].intervals = [(12, 30, 1)]
+    return g
+
+
+class TestAccepts:
+    def test_handcrafted_graph_passes(self):
+        validate_graph(tiny_valid_graph())
+
+    def test_real_graph_passes(self):
+        _, graph = run_and_graph(binary_tree(4), machine=small_machine(2), threads=2)
+        validate_graph(graph)
+
+
+class TestRejects:
+    def test_cycle_detected(self):
+        g = tiny_valid_graph()
+        # Add a back edge to create a cycle.
+        g.add_edge(5, 0, EdgeKind.CONTINUATION)
+        with pytest.raises(StructureError, match="cycle"):
+            validate_graph(g)
+
+    def test_fork_with_two_creations(self):
+        g = tiny_valid_graph()
+        extra = g.new_node(
+            NodeKind.FRAGMENT, start=12, end=13, grain_id="t:0/0", tid=1, frag_seq=1
+        )
+        g.add_edge(1, extra.node_id, EdgeKind.CREATION)
+        with pytest.raises(StructureError, match="creation edges"):
+            validate_graph(g)
+
+    def test_fork_without_creation(self):
+        g = GrainGraph()
+        f = g.new_node(NodeKind.FRAGMENT, start=0, end=1, grain_id="t:0", tid=0)
+        fork = g.new_node(NodeKind.FORK, tid=0)
+        g.add_edge(f.node_id, fork.node_id, EdgeKind.CONTINUATION)
+        from repro.core.grains import Grain, GrainKind
+
+        g.grains["t:0"] = Grain(gid="t:0", kind=GrainKind.TASK)
+        with pytest.raises(StructureError):
+            validate_graph(g)
+
+    def test_join_needs_incoming(self):
+        g = tiny_valid_graph()
+        g.new_node(NodeKind.JOIN, tid=0)  # dangling join
+        with pytest.raises(StructureError, match="join"):
+            validate_graph(g)
+
+    def test_continuation_across_contexts(self):
+        g = tiny_valid_graph()
+        g.add_edge(3, 2, EdgeKind.CONTINUATION)  # t:0 fragment -> t:0/0
+        with pytest.raises(StructureError):
+            validate_graph(g)
+
+    def test_join_edge_from_fork_rejected(self):
+        g = tiny_valid_graph()
+        g.add_edge(1, 4, EdgeKind.JOIN)
+        with pytest.raises(StructureError, match="join edge"):
+            validate_graph(g)
+
+    def test_chunk_must_continue_to_bookkeeping(self):
+        g = GrainGraph()
+        fork = g.new_node(NodeKind.FORK, team_fork=True, loop_id=0)
+        bk = g.new_node(NodeKind.BOOKKEEPING, start=0, end=1, loop_id=0, thread=0)
+        chunk = g.new_node(
+            NodeKind.CHUNK, start=1, end=5, grain_id="c:0:0:0-1",
+            loop_id=0, thread=0,
+        )
+        join = g.new_node(NodeKind.JOIN, loop_id=0)
+        g.add_edge(fork.node_id, bk.node_id, EdgeKind.CREATION)
+        g.add_edge(bk.node_id, chunk.node_id, EdgeKind.CONTINUATION)
+        g.add_edge(chunk.node_id, join.node_id, EdgeKind.CONTINUATION)  # wrong
+        from repro.core.grains import Grain, GrainKind
+
+        g.grains["c:0:0:0-1"] = Grain(gid="c:0:0:0-1", kind=GrainKind.CHUNK)
+        with pytest.raises(StructureError, match="book-keeping"):
+            validate_graph(g)
+
+    def test_overlapping_grain_intervals(self):
+        g = tiny_valid_graph()
+        g.grains["t:0"].intervals = [(0, 10, 0), (5, 14, 0)]
+        with pytest.raises(StructureError, match="overlap"):
+            validate_graph(g)
+
+    def test_grain_node_without_record(self):
+        g = tiny_valid_graph()
+        del g.grains["t:0/0"]
+        with pytest.raises(StructureError, match="grain"):
+            validate_graph(g)

@@ -1,0 +1,96 @@
+"""Shared test helpers: tiny programs and run shortcuts."""
+
+from __future__ import annotations
+
+from repro.common import SourceLocation
+from repro.core.builder import build_grain_graph
+from repro.machine import Machine, MachineConfig, CacheConfig, CostParams
+from repro.machine.cost import Access, WorkRequest
+from repro.machine.topology import MachineTopology, small_smp
+from repro.runtime.actions import Alloc, ParallelFor, Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.runtime.flavors import MIR
+from repro.runtime.loops import LoopSpec, Schedule
+
+LOC = SourceLocation("test.c", 1, "t")
+
+
+def small_machine(cores: int = 4) -> Machine:
+    """A small single-socket machine for fast unit tests."""
+    return Machine(
+        MachineConfig(
+            topology=small_smp(cores), cache=CacheConfig(), cost=CostParams()
+        )
+    )
+
+
+def leaf(cycles: int = 1000, accesses=()):
+    def body():
+        yield Work(WorkRequest(cycles=cycles, accesses=tuple(accesses)))
+
+    return body
+
+
+def spawn_n_and_wait(n: int, cycles: int = 1000) -> Program:
+    """Root spawns ``n`` leaves and taskwaits."""
+
+    def main():
+        for _ in range(n):
+            yield Spawn(leaf(cycles), loc=LOC)
+        yield TaskWait()
+
+    return Program("spawn_n", main)
+
+
+def binary_tree(depth: int, leaf_cycles: int = 500) -> Program:
+    """Balanced binary task tree with taskwaits at every level."""
+
+    def node(level: int):
+        def body():
+            if level == 0:
+                yield Work(WorkRequest(cycles=leaf_cycles))
+                return
+            yield Spawn(node(level - 1), loc=LOC)
+            yield Spawn(node(level - 1), loc=LOC)
+            yield TaskWait()
+            yield Work(WorkRequest(cycles=50))
+
+        return body
+
+    def main():
+        yield Spawn(node(depth), loc=LOC)
+        yield TaskWait()
+
+    return Program("binary_tree", main)
+
+
+def loop_program(
+    iterations: int = 20,
+    chunk: int | None = 4,
+    threads: int | None = 2,
+    schedule: Schedule = Schedule.STATIC,
+    cycles_of=None,
+) -> Program:
+    cycles_of = cycles_of or (lambda i: 200)
+
+    def main():
+        yield ParallelFor(
+            LoopSpec(
+                iterations=iterations,
+                chunk_size=chunk,
+                num_threads=threads,
+                schedule=schedule,
+                body=lambda i: WorkRequest(cycles=cycles_of(i)),
+                loc=SourceLocation("test.c", 20, "loop"),
+            )
+        )
+
+    return Program("loop", main)
+
+
+def run_and_graph(program: Program, flavor=MIR, threads: int = 4, machine=None):
+    """Run a program and return (result, grain graph)."""
+    result = run_program(
+        program, flavor=flavor, num_threads=threads, machine=machine
+    )
+    return result, build_grain_graph(result.trace)

@@ -1,0 +1,104 @@
+"""Tests for the working-set cache model."""
+
+import pytest
+
+from repro.machine.caches import LINE_SIZE, CacheConfig, CacheModel
+from repro.machine.topology import opteron6172, small_smp
+
+
+def make_model(private=1024, llc=4096, cores=2):
+    return CacheModel(
+        small_smp(cores), CacheConfig(private_bytes=private, llc_bytes=llc)
+    )
+
+
+class TestBasicBehaviour:
+    def test_cold_access_misses_to_memory(self):
+        model = make_model()
+        result = model.access(0, region_id=1, nbytes=512)
+        assert result.private_hit_lines == 0
+        assert result.llc_hit_lines == 0
+        assert result.memory_lines == -(-512 // LINE_SIZE)
+
+    def test_repeated_access_hits_private(self):
+        model = make_model()
+        model.access(0, 1, 512)
+        result = model.access(0, 1, 512)
+        assert result.private_hit_lines == -(-512 // LINE_SIZE)
+        assert result.memory_lines == 0
+
+    def test_zero_bytes_is_noop(self):
+        model = make_model()
+        result = model.access(0, 1, 0)
+        assert result.total_lines == 0
+
+    def test_pattern_scales_hits(self):
+        model = make_model()
+        model.access(0, 1, 512)
+        result = model.access(0, 1, 512, pattern=0.5)
+        # Half the potential private hits are forfeited.
+        assert result.private_hit_lines == -(-256 // LINE_SIZE)
+        assert result.total_lines >= result.private_hit_lines
+
+    def test_invalid_pattern_rejected(self):
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.access(0, 1, 64, pattern=0.0)
+        with pytest.raises(ValueError):
+            model.access(0, 1, 64, pattern=1.5)
+
+
+class TestCapacityAndEviction:
+    def test_oversized_access_capped_at_capacity(self):
+        model = make_model(private=1024, llc=2048)
+        model.access(0, 1, 4096)
+        assert model.private_resident(0, 1) == 1024
+
+    def test_lru_eviction(self):
+        model = make_model(private=1024, llc=8192)
+        model.access(0, 1, 600)
+        model.access(0, 2, 600)  # evicts region 1 (600 + 600 > 1024)
+        assert model.private_resident(0, 1) == 0
+        assert model.private_resident(0, 2) == 600
+
+    def test_mru_region_survives(self):
+        model = make_model(private=1024, llc=8192)
+        model.access(0, 1, 400)
+        model.access(0, 2, 400)
+        model.access(0, 1, 400)  # touch region 1 again -> MRU
+        model.access(0, 3, 400)  # evicts LRU region 2
+        assert model.private_resident(0, 2) == 0
+        assert model.private_resident(0, 1) == 400
+
+
+class TestSharedLLC:
+    def test_llc_shared_within_socket(self):
+        topo = opteron6172()
+        model = CacheModel(topo, CacheConfig(private_bytes=128, llc_bytes=1 << 20))
+        model.access(0, 1, 4096)  # core 0 warms socket 0's LLC
+        result = model.access(1, 1, 4096)  # same socket
+        assert result.llc_hit_lines > 0
+        assert result.memory_lines == 0
+
+    def test_llc_not_shared_across_sockets(self):
+        topo = opteron6172()
+        model = CacheModel(topo, CacheConfig(private_bytes=128, llc_bytes=1 << 20))
+        model.access(0, 1, 4096)
+        result = model.access(12, 1, 4096)  # core on socket 1
+        assert result.llc_hit_lines == 0
+        assert result.memory_lines > 0
+
+    def test_flush_clears_everything(self):
+        model = make_model()
+        model.access(0, 1, 512)
+        model.flush()
+        result = model.access(0, 1, 512)
+        assert result.private_hit_lines == 0
+
+
+class TestPrivacy:
+    def test_private_cache_is_per_core(self):
+        model = make_model(private=1024, llc=64)  # tiny LLC
+        model.access(0, 1, 512)
+        result = model.access(1, 1, 512)
+        assert result.private_hit_lines == 0

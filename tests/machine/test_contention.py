@@ -1,0 +1,88 @@
+"""Tests for the memory-controller contention model."""
+
+import pytest
+
+from repro.machine.contention import ContentionModel
+
+
+class TestRegistration:
+    def test_register_withdraw_roundtrip(self):
+        model = ContentionModel(num_nodes=2, alpha=0.1)
+        model.register([1.0, 0.0])
+        assert model.load(0) == pytest.approx(1.0)
+        model.withdraw([1.0, 0.0])
+        assert model.load(0) == pytest.approx(0.0)
+
+    def test_weights_accumulate(self):
+        model = ContentionModel(num_nodes=2, alpha=0.1)
+        model.register([0.5, 0.5])
+        model.register([0.5, 0.5])
+        assert model.load(0) == pytest.approx(1.0)
+
+    def test_over_withdraw_raises(self):
+        model = ContentionModel(num_nodes=1, alpha=0.1)
+        model.register([0.5])
+        with pytest.raises(RuntimeError):
+            model.withdraw([1.0])
+
+
+class TestMultiplier:
+    def test_single_requester_no_penalty(self):
+        model = ContentionModel(num_nodes=1, alpha=0.1)
+        model.register([1.0])
+        assert model.multiplier(0) == 1.0
+
+    def test_linear_growth(self):
+        model = ContentionModel(num_nodes=1, alpha=0.1)
+        for _ in range(5):
+            model.register([1.0])
+        assert model.multiplier(0) == pytest.approx(1.0 + 0.1 * 4)
+
+    def test_idle_node_multiplier_is_one(self):
+        model = ContentionModel(num_nodes=2, alpha=0.5)
+        assert model.multiplier(1) == 1.0
+
+    def test_alpha_zero_disables_contention(self):
+        model = ContentionModel(num_nodes=1, alpha=0.0)
+        for _ in range(100):
+            model.register([1.0])
+        assert model.multiplier(0) == 1.0
+
+    def test_spreading_weights_lowers_multiplier(self):
+        """The round-robin effect: the same total demand spread over all
+        nodes yields a far lower per-node multiplier than concentrated on
+        one node (the Sort optimization's mechanism)."""
+        concentrated = ContentionModel(num_nodes=8, alpha=0.06)
+        spread = ContentionModel(num_nodes=8, alpha=0.06)
+        for _ in range(48):
+            concentrated.register([1.0] + [0.0] * 7)
+            spread.register([1 / 8] * 8)
+        assert concentrated.multiplier(0) == pytest.approx(1 + 0.06 * 47)
+        assert spread.multiplier(0) == pytest.approx(1 + 0.06 * 5, abs=1e-6)
+        assert spread.multiplier(0) < concentrated.multiplier(0) / 2
+
+
+class TestValidation:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionModel(num_nodes=1, alpha=-0.1)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            ContentionModel(num_nodes=0)
+
+    def test_reset(self):
+        model = ContentionModel(num_nodes=2, alpha=0.1)
+        model.register([1.0, 1.0])
+        model.reset()
+        assert model.load(0) == 0.0
+        assert model.load(1) == 0.0
+
+    def test_float_drift_never_goes_negative(self):
+        model = ContentionModel(num_nodes=1, alpha=0.1)
+        for _ in range(1000):
+            model.register([1 / 3])
+        for _ in range(1000):
+            model.withdraw([1 / 3])
+        assert model.load(0) >= 0.0
+        assert model.multiplier(0) == 1.0

@@ -1,0 +1,134 @@
+"""Tests for the analytic cost model."""
+
+import pytest
+
+from repro.machine import Machine, MachineConfig, CacheConfig, CostParams
+from repro.machine.caches import LINE_SIZE
+from repro.machine.cost import Access, WorkRequest
+from repro.machine.memory import FirstTouch, RoundRobin
+from repro.machine.topology import opteron6172, small_smp
+
+
+def paper_machine():
+    return Machine.paper_testbed()
+
+
+class TestPureCompute:
+    def test_no_accesses_means_no_stalls(self):
+        machine = paper_machine()
+        outcome = machine.cost.charge(0, WorkRequest(cycles=1000))
+        assert outcome.duration == 1000
+        assert outcome.counters.stall_cycles == 0
+        assert outcome.counters.compute_cycles == 1000
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            WorkRequest(cycles=-1)
+
+    def test_access_validation(self):
+        with pytest.raises(ValueError):
+            Access(region_id=0, nbytes=-1)
+        with pytest.raises(ValueError):
+            Access(region_id=0, nbytes=64, pattern=0.0)
+
+
+class TestMemoryCosts:
+    def test_local_access_cheaper_than_remote(self):
+        machine = paper_machine()
+        local = machine.allocate("local", 1 << 20, FirstTouch(0))
+        remote = machine.allocate("remote", 1 << 20, FirstTouch(7))
+        req_local = WorkRequest(
+            cycles=100, accesses=(Access(local.region_id, 1 << 16),)
+        )
+        req_remote = WorkRequest(
+            cycles=100, accesses=(Access(remote.region_id, 1 << 16),)
+        )
+        # Core 0 lives on node 0; the remote region is on node 7.
+        cost_local = machine.cost.charge(0, req_local).duration
+        machine2 = machine.fresh()
+        machine2.allocate("local", 1 << 20, FirstTouch(0))
+        remote2 = machine2.allocate("remote", 1 << 20, FirstTouch(7))
+        cost_remote = machine2.cost.charge(
+            0, WorkRequest(cycles=100, accesses=(Access(remote2.region_id, 1 << 16),))
+        ).duration
+        assert cost_remote > cost_local
+
+    def test_warm_cache_eliminates_stalls(self):
+        machine = paper_machine()
+        region = machine.allocate("r", 1 << 16, FirstTouch(0))
+        req = WorkRequest(cycles=100, accesses=(Access(region.region_id, 4096),))
+        cold = machine.cost.charge(0, req)
+        warm = machine.cost.charge(0, req)
+        assert warm.counters.stall_cycles < cold.counters.stall_cycles
+
+    def test_counters_track_lines(self):
+        machine = paper_machine()
+        region = machine.allocate("r", 1 << 20, FirstTouch(0))
+        nbytes = 64 * 100
+        outcome = machine.cost.charge(
+            0, WorkRequest(cycles=10, accesses=(Access(region.region_id, nbytes),))
+        )
+        assert outcome.counters.accesses == nbytes // LINE_SIZE
+        assert outcome.counters.llc_misses == nbytes // LINE_SIZE  # all cold
+
+    def test_remote_lines_counted_for_remote_region(self):
+        machine = paper_machine()
+        region = machine.allocate("r", 1 << 20, FirstTouch(5))
+        outcome = machine.cost.charge(
+            0, WorkRequest(cycles=10, accesses=(Access(region.region_id, 6400),))
+        )
+        assert outcome.counters.remote_lines > 0
+
+    def test_duration_is_cycles_plus_stalls(self):
+        machine = paper_machine()
+        region = machine.allocate("r", 1 << 20, FirstTouch(0))
+        outcome = machine.cost.charge(
+            0, WorkRequest(cycles=500, accesses=(Access(region.region_id, 1 << 14),))
+        )
+        assert outcome.duration == 500 + outcome.counters.stall_cycles
+        assert outcome.counters.cycles == outcome.duration
+
+
+class TestContentionCoupling:
+    def test_contended_node_raises_cost(self):
+        machine = paper_machine()
+        region = machine.allocate("r", 1 << 24, FirstTouch(0))
+        req = WorkRequest(
+            cycles=100, accesses=(Access(region.region_id, 1 << 18, pattern=0.3),)
+        )
+        baseline = machine.cost.charge(12, req).duration
+        # Load node 0 heavily, then re-charge from a core with cold cache.
+        machine.contention.register([10.0] + [0.0] * 7)
+        machine.caches.flush()
+        contended = machine.cost.charge(24, req).duration
+        assert contended > baseline
+
+    def test_node_weights_follow_placement(self):
+        machine = paper_machine()
+        rr = machine.allocate("rr", 1 << 20, RoundRobin())
+        weights = machine.cost.node_weights([Access(rr.region_id, 4096)])
+        assert len(weights) == 8
+        assert sum(weights) == pytest.approx(1.0)
+        assert max(weights) - min(weights) < 0.01
+
+    def test_node_weights_empty_for_pure_compute(self):
+        machine = paper_machine()
+        assert machine.cost.node_weights([]) == [0.0] * 8
+
+
+class TestParams:
+    def test_mlp_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CostParams(mlp=0)
+
+    def test_machine_fresh_resets_state(self):
+        machine = paper_machine()
+        machine.allocate("r", 1024)
+        machine.contention.register([1.0] + [0.0] * 7)
+        fresh = machine.fresh()
+        assert len(fresh.memory) == 0
+        assert fresh.contention.load(0) == 0.0
+
+    def test_seconds_conversion(self):
+        machine = paper_machine()
+        assert machine.seconds(2_100_000_000) == pytest.approx(1.0)

@@ -1,0 +1,61 @@
+"""Tests for PAPI-like counter sets."""
+
+import math
+
+from repro.machine.counters import CounterSet
+
+
+class TestArithmetic:
+    def test_add_creates_new(self):
+        a = CounterSet(cycles=10, stall_cycles=4)
+        b = CounterSet(cycles=5, stall_cycles=1)
+        c = a + b
+        assert c.cycles == 15
+        assert c.stall_cycles == 5
+        assert a.cycles == 10  # unchanged
+
+    def test_iadd_mutates(self):
+        a = CounterSet(cycles=10)
+        a += CounterSet(cycles=3, l1_misses=2)
+        assert a.cycles == 13
+        assert a.l1_misses == 2
+
+    def test_copy_is_independent(self):
+        a = CounterSet(cycles=7)
+        b = a.copy()
+        b.cycles = 0
+        assert a.cycles == 7
+
+
+class TestSerialization:
+    def test_dict_roundtrip(self):
+        a = CounterSet(
+            cycles=100, compute_cycles=60, stall_cycles=40,
+            l1_misses=5, llc_misses=2, remote_lines=1, accesses=20,
+        )
+        assert CounterSet.from_dict(a.to_dict()) == a
+
+    def test_from_dict_ignores_unknown_keys(self):
+        c = CounterSet.from_dict({"cycles": 5, "bogus": 1})
+        assert c.cycles == 5
+
+
+class TestDerived:
+    def test_mhu_ratio(self):
+        c = CounterSet(compute_cycles=100, stall_cycles=50)
+        assert c.memory_hierarchy_utilization == 2.0
+
+    def test_mhu_without_stalls_is_infinite(self):
+        c = CounterSet(compute_cycles=100, stall_cycles=0)
+        assert math.isinf(c.memory_hierarchy_utilization)
+
+    def test_mhu_below_paper_threshold_detectable(self):
+        c = CounterSet(compute_cycles=10, stall_cycles=20)
+        assert c.memory_hierarchy_utilization < 2.0
+
+    def test_miss_ratio(self):
+        c = CounterSet(l1_misses=5, accesses=20)
+        assert c.miss_ratio == 0.25
+
+    def test_miss_ratio_no_accesses(self):
+        assert CounterSet().miss_ratio == 0.0

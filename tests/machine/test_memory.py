@@ -1,0 +1,111 @@
+"""Tests for memory regions and page placement."""
+
+import pytest
+
+from repro.machine.memory import (
+    PAGE_SIZE,
+    FirstTouch,
+    MemoryMap,
+    MemoryRegion,
+    NodePinned,
+    Placement,
+    RoundRobin,
+)
+
+
+class TestRegions:
+    def test_region_pages_round_up(self):
+        region = MemoryRegion(0, "r", PAGE_SIZE + 1, FirstTouch(0))
+        assert region.num_pages == 2
+
+    def test_tiny_region_has_one_page(self):
+        region = MemoryRegion(0, "r", 10, FirstTouch(0))
+        assert region.num_pages == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(0, "r", 0, FirstTouch(0))
+
+
+class TestFirstTouch:
+    def test_all_pages_on_touch_node(self):
+        mm = MemoryMap(num_nodes=4)
+        region = mm.allocate("a", 1 << 20, FirstTouch(2))
+        fractions = mm.node_fractions(region.region_id)
+        assert fractions == [0.0, 0.0, 1.0, 0.0]
+
+    def test_default_placement_is_first_touch_node0(self):
+        mm = MemoryMap(num_nodes=4)
+        region = mm.allocate("a", 1 << 20)
+        assert mm.node_fractions(region.region_id)[0] == 1.0
+
+    def test_home_node(self):
+        mm = MemoryMap(num_nodes=4)
+        region = mm.allocate("a", 1 << 20, FirstTouch(3))
+        assert mm.home_node(region.region_id) == 3
+
+
+class TestRoundRobin:
+    def test_even_split(self):
+        mm = MemoryMap(num_nodes=4)
+        region = mm.allocate("a", 8 * PAGE_SIZE, RoundRobin())
+        assert mm.node_fractions(region.region_id) == [0.25] * 4
+
+    def test_uneven_split_gives_extra_to_low_nodes(self):
+        mm = MemoryMap(num_nodes=4)
+        region = mm.allocate("a", 5 * PAGE_SIZE, RoundRobin())
+        fractions = mm.node_fractions(region.region_id)
+        assert fractions[0] == pytest.approx(2 / 5)
+        assert fractions[1] == pytest.approx(1 / 5)
+
+    def test_fractions_sum_to_one(self):
+        mm = MemoryMap(num_nodes=8)
+        region = mm.allocate("a", 1234567, RoundRobin())
+        assert sum(mm.node_fractions(region.region_id)) == pytest.approx(1.0)
+
+
+class TestNodePinned:
+    def test_pinned_node(self):
+        mm = MemoryMap(num_nodes=4)
+        region = mm.allocate("a", 1 << 16, NodePinned(1))
+        assert mm.node_fractions(region.region_id) == [0.0, 1.0, 0.0, 0.0]
+
+    def test_describe(self):
+        assert "pinned" in NodePinned(1).describe()
+        assert "first-touch" in FirstTouch(0).describe()
+        assert RoundRobin().describe() == "RoundRobin"
+
+
+class TestMemoryMap:
+    def test_ids_are_dense(self):
+        mm = MemoryMap(num_nodes=2)
+        a = mm.allocate("a", 100)
+        b = mm.allocate("b", 100)
+        assert (a.region_id, b.region_id) == (0, 1)
+
+    def test_contains_and_len(self):
+        mm = MemoryMap(num_nodes=2)
+        a = mm.allocate("a", 100)
+        assert a.region_id in mm
+        assert 99 not in mm
+        assert len(mm) == 1
+
+    def test_iteration_yields_regions(self):
+        mm = MemoryMap(num_nodes=2)
+        mm.allocate("a", 100)
+        mm.allocate("b", 200)
+        assert [r.name for r in mm] == ["a", "b"]
+
+    def test_region_lookup(self):
+        mm = MemoryMap(num_nodes=2)
+        a = mm.allocate("a", 100)
+        assert mm.region(a.region_id).name == "a"
+
+    def test_bad_placement_fractions_rejected(self):
+        class Broken(Placement):
+            def node_fractions(self, region, num_nodes):
+                return [0.5] * num_nodes  # sums to > 1
+
+        mm = MemoryMap(num_nodes=4)
+        with pytest.raises(ValueError):
+            mm.allocate("x", 100, Broken())

@@ -1,0 +1,111 @@
+"""Tests for the machine topology and NUMA distance table."""
+
+import pytest
+
+from repro.machine.topology import (
+    LOCAL_DISTANCE,
+    MachineTopology,
+    opteron6172,
+    small_smp,
+)
+
+
+class TestOpteron6172:
+    def test_paper_machine_has_48_cores(self):
+        topo = opteron6172()
+        assert topo.num_cores == 48
+        assert topo.sockets == 4
+        assert topo.cores_per_socket == 12
+
+    def test_two_numa_nodes_per_socket(self):
+        topo = opteron6172()
+        assert topo.num_nodes == 8
+        assert topo.cores_per_node == 6
+
+    def test_nominal_frequency(self):
+        assert opteron6172().frequency_hz == 2_100_000_000
+
+
+class TestPlacementLookups:
+    def setup_method(self):
+        self.topo = opteron6172()
+
+    def test_socket_of_core_boundaries(self):
+        assert self.topo.socket_of_core(0) == 0
+        assert self.topo.socket_of_core(11) == 0
+        assert self.topo.socket_of_core(12) == 1
+        assert self.topo.socket_of_core(47) == 3
+
+    def test_node_of_core(self):
+        assert self.topo.node_of_core(0) == 0
+        assert self.topo.node_of_core(5) == 0
+        assert self.topo.node_of_core(6) == 1
+        assert self.topo.node_of_core(47) == 7
+
+    def test_cores_of_node_partition_all_cores(self):
+        seen = []
+        for node in range(self.topo.num_nodes):
+            seen.extend(self.topo.cores_of_node(node))
+        assert sorted(seen) == list(range(48))
+
+    def test_cores_of_socket(self):
+        assert list(self.topo.cores_of_socket(1)) == list(range(12, 24))
+
+    def test_out_of_range_core_raises(self):
+        with pytest.raises(ValueError):
+            self.topo.socket_of_core(48)
+        with pytest.raises(ValueError):
+            self.topo.node_of_core(-1)
+
+
+class TestDistances:
+    def setup_method(self):
+        self.topo = opteron6172()
+
+    def test_local_distance(self):
+        assert self.topo.node_distance(3, 3) == LOCAL_DISTANCE
+
+    def test_same_socket_distance(self):
+        # Nodes 0 and 1 share socket 0.
+        assert self.topo.node_distance(0, 1) == self.topo.same_socket_distance
+
+    def test_cross_socket_distance(self):
+        assert self.topo.node_distance(0, 7) == self.topo.cross_socket_distance
+
+    def test_distance_symmetry(self):
+        for a in range(self.topo.num_nodes):
+            for b in range(self.topo.num_nodes):
+                assert self.topo.node_distance(a, b) == self.topo.node_distance(b, a)
+
+    def test_core_distance_uses_node_table(self):
+        assert self.topo.core_distance(0, 5) == LOCAL_DISTANCE  # same node
+        assert self.topo.core_distance(0, 6) == self.topo.same_socket_distance
+        assert self.topo.core_distance(0, 47) == self.topo.cross_socket_distance
+
+    def test_core_id_distance_convention(self):
+        assert self.topo.core_id_distance(3, 10) == 7
+        assert self.topo.core_id_distance(10, 3) == 7
+
+    def test_distance_matrix_shape_and_diagonal(self):
+        matrix = self.topo.distance_matrix()
+        assert len(matrix) == 8
+        assert all(matrix[i][i] == LOCAL_DISTANCE for i in range(8))
+
+
+class TestValidation:
+    def test_rejects_indivisible_nodes(self):
+        with pytest.raises(ValueError):
+            MachineTopology(sockets=1, cores_per_socket=5, nodes_per_socket=2)
+
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(ValueError):
+            MachineTopology(sockets=0)
+
+    def test_small_smp_single_node(self):
+        topo = small_smp(4)
+        assert topo.num_cores == 4
+        assert topo.num_nodes == 1
+        assert topo.core_distance(0, 3) == LOCAL_DISTANCE
+
+    def test_describe_mentions_cores(self):
+        assert "48 cores" in opteron6172().describe()

@@ -1,0 +1,72 @@
+"""Tests for the critical-path metric."""
+
+from helpers import LOC, binary_tree, leaf, run_and_graph, small_machine
+
+from repro.machine.cost import WorkRequest
+from repro.metrics.critical_path import critical_path
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program
+
+
+class TestCriticalPath:
+    def test_never_exceeds_makespan(self):
+        result, graph = run_and_graph(
+            binary_tree(5), machine=small_machine(4), threads=4
+        )
+        cp = critical_path(graph)
+        assert 0 < cp.length_cycles <= result.makespan_cycles
+
+    def test_serial_program_cp_equals_makespan_work(self):
+        def main():
+            yield Work(WorkRequest(cycles=5000))
+
+        result, graph = run_and_graph(
+            Program("serial", main), machine=small_machine(2), threads=1
+        )
+        cp = critical_path(graph)
+        assert cp.length_cycles == 5000
+
+    def test_path_follows_longest_child(self):
+        def main():
+            yield Spawn(leaf(100), loc=LOC)
+            yield Spawn(leaf(90_000), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("skew", main), machine=small_machine(2), threads=2
+        )
+        cp = critical_path(graph)
+        assert "t:0/1" in cp.grain_ids(graph)  # the heavy child
+        assert cp.length_cycles >= 90_000
+
+    def test_path_is_connected(self):
+        _, graph = run_and_graph(
+            binary_tree(4), machine=small_machine(2), threads=2
+        )
+        cp = critical_path(graph)
+        succs = {
+            nid: {dst for dst, _ in graph.successors(nid)}
+            for nid in graph.nodes
+        }
+        for a, b in zip(cp.node_ids, cp.node_ids[1:]):
+            assert b in succs[a]
+
+    def test_edge_set_matches_path(self):
+        _, graph = run_and_graph(
+            binary_tree(3), machine=small_machine(2), threads=2
+        )
+        cp = critical_path(graph)
+        assert len(cp.edge_set) == len(cp.node_ids) - 1
+
+    def test_deterministic(self):
+        _, graph = run_and_graph(
+            binary_tree(4), machine=small_machine(2), threads=2
+        )
+        assert critical_path(graph).node_ids == critical_path(graph).node_ids
+
+    def test_empty_graph(self):
+        from repro.core.nodes import GrainGraph
+
+        cp = critical_path(GrainGraph())
+        assert cp.length_cycles == 0
+        assert cp.node_ids == []

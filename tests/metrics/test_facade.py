@@ -1,0 +1,54 @@
+"""Tests for the one-call MetricSet facade."""
+
+import math
+
+from helpers import binary_tree, run_and_graph, small_machine
+
+from repro.metrics.facade import MetricSet
+
+
+class TestMetricSet:
+    def setup_method(self):
+        program = binary_tree(4, leaf_cycles=2000)
+        _, self.graph = run_and_graph(
+            program, machine=small_machine(4), threads=4
+        )
+        _, self.reference = run_and_graph(
+            program, machine=small_machine(4), threads=1
+        )
+        self.metrics = MetricSet.compute(self.graph, reference=self.reference)
+
+    def test_per_grain_complete(self):
+        assert set(self.metrics.per_grain) == set(self.graph.grains)
+
+    def test_all_fields_populated(self):
+        gm = self.metrics.per_grain["t:0/0"]
+        assert gm.exec_time > 0
+        assert gm.parallel_benefit > 0
+        assert gm.instantaneous_parallelism >= 1
+        assert gm.scatter >= 0.0
+        assert gm.work_deviation is not None
+
+    def test_critical_path_grains_marked(self):
+        on_path = [g for g in self.metrics.per_grain.values() if g.on_critical_path]
+        assert on_path
+
+    def test_without_reference_no_deviation(self):
+        metrics = MetricSet.compute(self.graph)
+        assert metrics.deviation is None
+        assert all(
+            g.work_deviation is None for g in metrics.per_grain.values()
+        )
+
+    def test_benefit_matches_standalone(self):
+        from repro.metrics.parallel_benefit import parallel_benefit_all
+
+        standalone = parallel_benefit_all(self.graph)
+        for gid, gm in self.metrics.per_grain.items():
+            if math.isfinite(standalone[gid]):
+                assert gm.parallel_benefit == standalone[gid]
+
+    def test_graph_level_results_present(self):
+        assert self.metrics.load_balance.value >= 0
+        assert self.metrics.parallelism.peak >= 1
+        assert self.metrics.critical_path.length_cycles > 0

@@ -1,0 +1,124 @@
+"""Tests for the load-balance metric (Sec. 3.2, Fig. 3g)."""
+
+import pytest
+
+from helpers import loop_program, run_and_graph, small_machine
+
+from repro.metrics.load_balance import chains, load_balance
+from repro.runtime.loops import Schedule
+
+
+class TestChains:
+    def test_loop_chains_are_per_thread(self):
+        _, graph = run_and_graph(
+            loop_program(iterations=20, chunk=4, threads=2),
+            machine=small_machine(2),
+            threads=2,
+        )
+        loop_chains = chains(graph, loop_id=0)
+        assert len(loop_chains) == 2
+        # Fig. 3b split: thread 0 runs 3 chunks, thread 1 runs 2.
+        assert sorted(len(c) for c in loop_chains) == [2, 3]
+
+    def test_chains_ordered_by_time(self):
+        _, graph = run_and_graph(
+            loop_program(iterations=12, chunk=2, threads=2),
+            machine=small_machine(2),
+            threads=2,
+        )
+        for chain in chains(graph, loop_id=0):
+            starts = [g.first_start for g in chain]
+            assert starts == sorted(starts)
+
+    def test_task_grains_are_singleton_chains(self):
+        from helpers import binary_tree
+
+        _, graph = run_and_graph(
+            binary_tree(3), machine=small_machine(2), threads=2
+        )
+        assert all(len(c) == 1 for c in chains(graph))
+
+
+class TestLoadBalance:
+    def test_uniform_loop_is_balanced(self):
+        _, graph = run_and_graph(
+            loop_program(iterations=40, chunk=1, threads=4,
+                         cycles_of=lambda i: 1000),
+            machine=small_machine(4),
+            threads=4,
+        )
+        lb = load_balance(graph, loop_id=0)
+        assert lb.value == pytest.approx(0.1, abs=0.05)  # one grain vs chains
+        assert lb.num_chains == 4
+
+    def test_fig3g_definition(self):
+        """LB = longest grain / median chain length, computed by hand for
+        a 2-thread loop with one heavy chunk."""
+        heavy = {0}
+
+        def cost(i):
+            return 50_000 if i in heavy else 1000
+
+        _, graph = run_and_graph(
+            loop_program(iterations=8, chunk=1, threads=2,
+                         schedule=Schedule.DYNAMIC, cycles_of=cost),
+            machine=small_machine(2),
+            threads=2,
+        )
+        lb = load_balance(graph, loop_id=0)
+        chain_sums = sorted(lb.chain_lengths)
+        expected_median = (chain_sums[0] + chain_sums[1]) / 2
+        assert lb.median_chain_cycles == pytest.approx(expected_median)
+        assert lb.longest_grain_cycles == 50_000
+        assert lb.value == pytest.approx(50_000 / expected_median)
+
+    def test_skew_raises_load_balance(self):
+        def skewed(i):
+            return 100_000 if i == 7 else 500
+
+        _, graph = run_and_graph(
+            loop_program(iterations=64, chunk=1, threads=4,
+                         schedule=Schedule.DYNAMIC, cycles_of=skewed),
+            machine=small_machine(4),
+            threads=4,
+        )
+        lb = load_balance(graph, loop_id=0)
+        assert lb.value > 4.0
+        assert not lb.balanced
+
+    def test_fewer_threads_improve_balance(self):
+        """The Freqmine effect (Fig. 10): the same skewed loop is balanced
+        on fewer cores because every chain absorbs more small work."""
+        def skewed(i):
+            return 60_000 if i in (5, 33) else 800
+
+        def run(threads):
+            _, graph = run_and_graph(
+                loop_program(iterations=128, chunk=1, threads=threads,
+                             schedule=Schedule.DYNAMIC, cycles_of=skewed),
+                machine=small_machine(8),
+                threads=8,
+            )
+            return load_balance(graph, loop_id=0).value
+
+        assert run(2) < run(8) / 2
+
+    def test_empty_graph(self):
+        from repro.core.nodes import GrainGraph
+
+        lb = load_balance(GrainGraph())
+        assert lb.value == 1.0
+        assert lb.num_chains == 0
+
+    def test_longest_grain_identified(self):
+        def skewed(i):
+            return 70_000 if i == 3 else 100
+
+        _, graph = run_and_graph(
+            loop_program(iterations=16, chunk=1, threads=2,
+                         schedule=Schedule.DYNAMIC, cycles_of=skewed),
+            machine=small_machine(2),
+            threads=2,
+        )
+        lb = load_balance(graph, loop_id=0)
+        assert "3-4" in lb.longest_grain  # iteration range [3, 4)

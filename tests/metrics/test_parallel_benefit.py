@@ -1,0 +1,83 @@
+"""Tests for the parallel-benefit metric (Sec. 3.2)."""
+
+import math
+
+from helpers import LOC, leaf, run_and_graph, small_machine
+
+from repro.core.grains import Grain, GrainKind
+from repro.metrics.parallel_benefit import (
+    low_benefit_fraction,
+    parallel_benefit,
+    parallel_benefit_all,
+)
+from repro.runtime.actions import Spawn, TaskWait
+from repro.runtime.api import Program
+
+
+def grain_with(exec_time, creation, sync):
+    g = Grain(gid="t:0/0", kind=GrainKind.TASK,
+              creation_cycles=creation, sync_share_cycles=sync)
+    g.intervals = [(0, exec_time, 0)]
+    return g
+
+
+class TestFormula:
+    def test_execution_over_cost(self):
+        g = grain_with(exec_time=1000, creation=400, sync=100)
+        assert parallel_benefit(g) == 2.0
+
+    def test_below_one_flags_wasteful_grain(self):
+        g = grain_with(exec_time=100, creation=400, sync=100)
+        assert parallel_benefit(g) < 1.0
+
+    def test_zero_cost_is_infinite(self):
+        g = grain_with(exec_time=100, creation=0, sync=0)
+        assert math.isinf(parallel_benefit(g))
+
+    def test_cost_includes_both_components(self):
+        """Parallelization cost = creation + parent's per-sibling sync."""
+        g = grain_with(exec_time=900, creation=200, sync=100)
+        assert g.parallelization_cost == 300
+        assert parallel_benefit(g) == 3.0
+
+
+class TestOnRealPrograms:
+    def test_big_grains_have_high_benefit(self):
+        def main():
+            for _ in range(4):
+                yield Spawn(leaf(200_000), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("big", main), machine=small_machine(4), threads=4
+        )
+        values = parallel_benefit_all(graph)
+        children = {g: v for g, v in values.items() if g.count("/") == 1}
+        assert all(v > 10 for v in children.values())
+
+    def test_tiny_grains_have_low_benefit(self):
+        def main():
+            for _ in range(4):
+                yield Spawn(leaf(50), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("tiny", main), machine=small_machine(4), threads=4
+        )
+        fraction = low_benefit_fraction(graph, threshold=1.0)
+        assert fraction >= 0.5  # most grains below threshold
+
+    def test_root_grain_infinite_benefit(self):
+        def main():
+            yield Spawn(leaf(100), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("r", main), machine=small_machine(2), threads=2
+        )
+        assert math.isinf(parallel_benefit_all(graph)["t:0"])
+
+    def test_empty_graph_fraction(self):
+        from repro.core.nodes import GrainGraph
+
+        assert low_benefit_fraction(GrainGraph()) == 0.0

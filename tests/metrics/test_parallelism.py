@@ -1,0 +1,127 @@
+"""Tests for instantaneous parallelism (Sec. 3.2)."""
+
+import pytest
+
+from helpers import LOC, binary_tree, leaf, run_and_graph, small_machine
+
+from repro.metrics.parallelism import (
+    IntervalPreset,
+    instantaneous_parallelism,
+)
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program
+from repro.machine.cost import WorkRequest
+
+
+class TestTimeline:
+    def test_serial_program_parallelism_one(self):
+        def main():
+            yield Work(WorkRequest(cycles=10_000))
+
+        _, graph = run_and_graph(
+            Program("serial", main), machine=small_machine(2), threads=1
+        )
+        profile = instantaneous_parallelism(graph, interval=100)
+        assert profile.peak == 1
+        assert profile.mean == pytest.approx(1.0)
+
+    def test_parallel_section_detected(self):
+        def main():
+            for _ in range(4):
+                yield Spawn(leaf(100_000), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("par4", main), machine=small_machine(4), threads=4
+        )
+        profile = instantaneous_parallelism(graph, interval=1000)
+        assert profile.peak >= 4
+
+    def test_conservative_never_exceeds_cores(self):
+        _, graph = run_and_graph(
+            binary_tree(6, leaf_cycles=3000), machine=small_machine(4), threads=4
+        )
+        profile = instantaneous_parallelism(
+            graph, interval=500, optimistic=False
+        )
+        assert profile.peak <= 4
+
+    def test_optimistic_at_least_conservative(self):
+        _, graph = run_and_graph(
+            binary_tree(5, leaf_cycles=2000), machine=small_machine(4), threads=4
+        )
+        optimistic = instantaneous_parallelism(graph, interval=700)
+        conservative = instantaneous_parallelism(
+            graph, interval=700, optimistic=False
+        )
+        assert optimistic.mean >= conservative.mean
+
+    def test_fraction_below(self):
+        def main():
+            yield Spawn(leaf(50_000), loc=LOC)  # serial tail
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("tail", main), machine=small_machine(4), threads=4
+        )
+        profile = instantaneous_parallelism(graph, interval=500)
+        assert profile.fraction_below(4) > 0.9
+
+
+class TestPerGrain:
+    def test_grain_minimum_reported(self):
+        def main():
+            yield Spawn(leaf(100_000), loc=LOC)  # long, alone at the end
+            yield Spawn(leaf(1000), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("mix", main), machine=small_machine(2), threads=2
+        )
+        profile = instantaneous_parallelism(graph, interval=500)
+        # The long grain runs alone for most of its life.
+        assert profile.per_grain["t:0/0"] == 1
+
+    def test_all_grains_have_entries(self):
+        _, graph = run_and_graph(
+            binary_tree(4), machine=small_machine(2), threads=2
+        )
+        profile = instantaneous_parallelism(graph)
+        assert set(profile.per_grain) == set(graph.grains)
+
+    def test_grains_below_filter(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=4000), machine=small_machine(4), threads=4
+        )
+        profile = instantaneous_parallelism(graph, interval=200)
+        below = profile.grains_below(4)
+        assert all(profile.per_grain[g] < 4 for g in below)
+
+
+class TestIntervalPresets:
+    def test_presets_resolve(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=1234), machine=small_machine(2), threads=2
+        )
+        for preset in IntervalPreset:
+            profile = instantaneous_parallelism(graph, interval=preset)
+            assert profile.interval_cycles >= 1
+
+    def test_min_grain_preset_smaller_than_median(self):
+        _, graph = run_and_graph(
+            binary_tree(4, leaf_cycles=9000), machine=small_machine(2), threads=2
+        )
+        small = instantaneous_parallelism(
+            graph, interval=IntervalPreset.MIN_GRAIN_LENGTH
+        )
+        median = instantaneous_parallelism(
+            graph, interval=IntervalPreset.MEDIAN_GRAIN_LENGTH
+        )
+        assert small.interval_cycles <= median.interval_cycles
+
+    def test_invalid_interval_rejected(self):
+        _, graph = run_and_graph(
+            binary_tree(2), machine=small_machine(2), threads=2
+        )
+        with pytest.raises(ValueError):
+            instantaneous_parallelism(graph, interval=0)

@@ -1,0 +1,94 @@
+"""Tests for the scatter metric (Sec. 3.2, Fig. 11c/d)."""
+
+import pytest
+
+from repro.core.grains import Grain, GrainKind
+from repro.core.nodes import GrainGraph
+from repro.machine.topology import opteron6172
+from repro.metrics.scatter import scatter, topology_from_meta
+from repro.profiler.trace import TraceMetadata
+
+
+def graph_with_siblings(cores):
+    """A graph whose sibling grains executed on the given cores."""
+    graph = GrainGraph(
+        meta=TraceMetadata(
+            num_threads=48, num_cores_total=48, cores_per_socket=12,
+            num_numa_nodes=8, machine="amd-opteron-6172",
+        )
+    )
+    parent = Grain(gid="t:0", kind=GrainKind.TASK)
+    parent.intervals = [(0, 10, 0)]
+    graph.grains["t:0"] = parent
+    for i, core in enumerate(cores):
+        g = Grain(
+            gid=f"t:0/{i}", kind=GrainKind.TASK, sibling_group="t:0",
+            parent_gid="t:0",
+        )
+        g.intervals = [(0, 100, core)]
+        graph.grains[g.gid] = g
+    return graph
+
+
+class TestScatterValues:
+    def test_same_node_siblings_have_local_scatter(self):
+        graph = graph_with_siblings([0, 1, 2, 3])  # all node 0
+        result = scatter(graph)
+        assert result.per_group["t:0"] == 10  # LOCAL_DISTANCE
+
+    def test_cross_socket_siblings_scatter_high(self):
+        graph = graph_with_siblings([0, 12, 24, 36])  # one per socket
+        result = scatter(graph)
+        assert result.per_group["t:0"] == 22  # cross-socket entry
+
+    def test_median_is_robust_to_one_outlier(self):
+        # Five siblings close together, one far away.
+        graph = graph_with_siblings([0, 1, 2, 3, 4, 47])
+        result = scatter(graph)
+        assert result.per_group["t:0"] == 10
+
+    def test_single_grain_group_scatter_zero(self):
+        graph = graph_with_siblings([5])
+        assert scatter(graph).per_group["t:0"] == 0.0
+
+    def test_per_grain_inherits_group_value(self):
+        graph = graph_with_siblings([0, 24])
+        result = scatter(graph)
+        assert result.per_grain["t:0/0"] == result.per_group["t:0"]
+        assert result.per_grain["t:0/1"] == result.per_group["t:0"]
+
+    def test_core_id_convention(self):
+        graph = graph_with_siblings([0, 10])
+        result = scatter(graph, convention="core_id")
+        assert result.per_group["t:0"] == 10.0  # |0 - 10|
+
+    def test_unknown_convention_rejected(self):
+        graph = graph_with_siblings([0, 1])
+        with pytest.raises(ValueError):
+            scatter(graph, convention="chebyshev")
+
+    def test_scattered_filter_uses_threshold(self):
+        graph = graph_with_siblings([0, 24, 47])
+        result = scatter(graph)
+        topo = opteron6172()
+        flagged = result.scattered(topo.same_socket_distance)
+        assert set(flagged) == {"t:0/0", "t:0/1", "t:0/2"}
+
+
+class TestTopologyFromMeta:
+    def test_reconstruction_matches_paper_machine(self):
+        meta = TraceMetadata(
+            num_cores_total=48, cores_per_socket=12, num_numa_nodes=8,
+        )
+        topo = topology_from_meta(meta)
+        assert topo.num_cores == 48
+        assert topo.sockets == 4
+        assert topo.num_nodes == 8
+
+    def test_small_machine_reconstruction(self):
+        meta = TraceMetadata(
+            num_cores_total=4, cores_per_socket=4, num_numa_nodes=1,
+        )
+        topo = topology_from_meta(meta)
+        assert topo.num_cores == 4
+        assert topo.num_nodes == 1

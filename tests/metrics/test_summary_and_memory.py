@@ -1,0 +1,137 @@
+"""Tests for per-definition summaries and memory metrics."""
+
+import math
+
+from helpers import LOC, run_and_graph, small_machine
+
+from repro.common import SourceLocation
+from repro.machine.cost import Access, WorkRequest
+from repro.machine.memory import FirstTouch
+from repro.metrics.memory import memory_report
+from repro.metrics.summary import (
+    format_definition_table,
+    per_definition_summary,
+)
+from repro.runtime.actions import Alloc, Spawn, TaskWait, Work
+from repro.runtime.api import Program
+
+LOC_A = SourceLocation("app.c", 10, "alpha")
+LOC_B = SourceLocation("app.c", 20, "beta")
+
+
+def two_definition_program():
+    def alpha():
+        yield Work(WorkRequest(cycles=10_000))
+
+    def beta():
+        yield Work(WorkRequest(cycles=50))
+
+    def main():
+        for _ in range(3):
+            yield Spawn(alpha, loc=LOC_A)
+        for _ in range(5):
+            yield Spawn(beta, loc=LOC_B)
+        yield TaskWait()
+
+    return Program("two_defs", main)
+
+
+class TestDefinitionSummary:
+    def test_counts_per_definition(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        rows = {r.definition: r for r in per_definition_summary(graph)}
+        assert rows["app.c:10(alpha)"].count == 3
+        assert rows["app.c:20(beta)"].count == 5
+
+    def test_ordered_by_work_share(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        rows = per_definition_summary(graph)
+        assert rows[0].definition == "app.c:10(alpha)"
+        assert rows[0].work_share > 0.9
+
+    def test_low_benefit_concentrated_in_tiny_definition(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        rows = {r.definition: r for r in per_definition_summary(graph)}
+        assert rows["app.c:20(beta)"].low_benefit_fraction == 1.0
+        assert rows["app.c:10(alpha)"].low_benefit_fraction == 0.0
+
+    def test_work_shares_sum_to_one(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        assert sum(r.work_share for r in per_definition_summary(graph)) == 1.0
+
+    def test_table_formatting(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        text = format_definition_table(per_definition_summary(graph))
+        assert "alpha" in text
+        assert "definition" in text.splitlines()[0]
+
+    def test_inflation_column(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        deviation = {gid: 3.0 for gid in graph.grains}
+        rows = per_definition_summary(graph, deviation=deviation)
+        assert all(r.inflated_count == r.count for r in rows)
+
+
+class TestMemoryReport:
+    def test_compute_only_grains_have_infinite_mhu(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        report = memory_report(graph)
+        assert all(math.isinf(v) for v in report.mhu.values())
+        assert report.poor_mhu_fraction() == 0.0
+
+    def test_memory_bound_grains_flagged(self):
+        def hog(rid):
+            def body():
+                yield Work(
+                    WorkRequest(
+                        cycles=100,
+                        accesses=(Access(rid, 1 << 18, pattern=0.3),),
+                    )
+                )
+
+            return body
+
+        def main():
+            region = yield Alloc("r", 1 << 24, FirstTouch(0))
+            for _ in range(4):
+                yield Spawn(hog(region.region_id), loc=LOC)
+            yield TaskWait()
+
+        _, graph = run_and_graph(
+            Program("hogs", main), machine=None, threads=8
+        )
+        report = memory_report(graph)
+        flagged = report.poor_mhu(2.0)
+        assert len(flagged) == 4
+        assert all(v < 2.0 for v in flagged.values())
+
+    def test_miss_ratio_populated(self):
+        def main():
+            region = yield Alloc("r", 1 << 20, FirstTouch(0))
+            yield Work(
+                WorkRequest(cycles=10, accesses=(Access(region.region_id, 4096),))
+            )
+
+        _, graph = run_and_graph(Program("m", main), machine=None, threads=1)
+        report = memory_report(graph)
+        assert report.miss_ratio["t:0"] > 0.0
+
+    def test_median_mhu_finite_only(self):
+        _, graph = run_and_graph(
+            two_definition_program(), machine=small_machine(2), threads=2
+        )
+        assert math.isinf(memory_report(graph).median_mhu())

@@ -1,0 +1,95 @@
+"""Tests for work deviation / inflation (Sec. 3.2)."""
+
+import pytest
+
+from helpers import binary_tree, run_and_graph, small_machine
+
+from repro.core.builder import build_grain_graph
+from repro.machine import Machine
+from repro.machine.cost import Access, WorkRequest
+from repro.machine.memory import FirstTouch
+from repro.metrics.work_deviation import work_deviation
+from repro.runtime.actions import Alloc, Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.common import SourceLocation
+
+LOC = SourceLocation("dev.c", 1, "t")
+
+
+def memory_hungry_program(n=16):
+    """Tasks hammering one first-touch region: inflates under concurrency."""
+
+    def child(rid):
+        def body():
+            yield Work(
+                WorkRequest(
+                    cycles=2_000,
+                    accesses=(Access(rid, 1 << 17, pattern=0.3),),
+                )
+            )
+
+        return body
+
+    def main():
+        region = yield Alloc("hot", 1 << 26, FirstTouch(0))
+        for _ in range(n):
+            yield Spawn(child(region.region_id), loc=LOC)
+        yield TaskWait()
+
+    return Program("hungry", main)
+
+
+class TestJoin:
+    def test_compute_only_grains_have_deviation_one(self):
+        program = binary_tree(4, leaf_cycles=1000)
+        multi, g_multi = run_and_graph(program, machine=small_machine(4), threads=4)
+        single, g_single = run_and_graph(program, machine=small_machine(4), threads=1)
+        report = work_deviation(g_multi, g_single)
+        assert report.deviation  # non-empty
+        for gid, value in report.deviation.items():
+            assert value == pytest.approx(1.0)
+
+    def test_root_with_zero_exec_skipped(self):
+        program = binary_tree(2)
+        _, g_multi = run_and_graph(program, machine=small_machine(2), threads=2)
+        _, g_single = run_and_graph(program, machine=small_machine(2), threads=1)
+        report = work_deviation(g_multi, g_single)
+        assert "t:0" not in report.deviation
+        assert report.unmatched >= 1
+
+    def test_join_is_by_grain_identity(self):
+        program = binary_tree(3)
+        _, g_multi = run_and_graph(program, machine=small_machine(4), threads=4)
+        _, g_single = run_and_graph(program, machine=small_machine(4), threads=1)
+        report = work_deviation(g_multi, g_single)
+        assert set(report.deviation) <= set(g_single.grains)
+
+
+class TestInflation:
+    def test_contended_memory_inflates(self):
+        """Work inflation appears under concurrency on one NUMA node."""
+        program = memory_hungry_program(24)
+        multi = run_program(program, machine=Machine.paper_testbed(), num_threads=24)
+        single = run_program(program, machine=Machine.paper_testbed(), num_threads=1)
+        report = work_deviation(
+            build_grain_graph(multi.trace), build_grain_graph(single.trace)
+        )
+        assert report.median() > 1.1
+        assert report.inflated_fraction(1.2) > 0.5
+
+    def test_threshold_refinement(self):
+        """The botsspar move: lowering the threshold exposes more."""
+        program = memory_hungry_program(24)
+        multi = run_program(program, machine=Machine.paper_testbed(), num_threads=24)
+        single = run_program(program, machine=Machine.paper_testbed(), num_threads=1)
+        report = work_deviation(
+            build_grain_graph(multi.trace), build_grain_graph(single.trace)
+        )
+        assert len(report.inflated(1.2)) >= len(report.inflated(2.0))
+
+    def test_empty_report(self):
+        from repro.core.nodes import GrainGraph
+
+        report = work_deviation(GrainGraph(), GrainGraph())
+        assert report.median() == 1.0
+        assert report.inflated_fraction() == 0.0

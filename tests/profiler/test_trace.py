@@ -1,0 +1,132 @@
+"""Tests for trace recording, indexing, and JSONL round trips."""
+
+import pytest
+
+from helpers import binary_tree, loop_program, small_machine
+
+from repro.machine.counters import CounterSet
+from repro.profiler.events import (
+    ChunkEvent,
+    FragmentEvent,
+    TaskCreateEvent,
+    event_from_dict,
+)
+from repro.profiler.trace import Trace, TraceMetadata
+from repro.runtime.api import run_program
+
+
+def sample_trace():
+    result = run_program(
+        binary_tree(depth=3, leaf_cycles=100),
+        machine=small_machine(2),
+        num_threads=2,
+    )
+    return result.trace
+
+
+class TestIndexing:
+    def test_task_creates_indexed_by_tid(self):
+        trace = sample_trace()
+        assert set(trace.task_creates) == set(range(trace.num_tasks))
+
+    def test_fragments_ordered_by_seq(self):
+        trace = sample_trace()
+        for tid, fragments in trace.fragments_by_task.items():
+            seqs = [f.seq for f in fragments]
+            assert seqs == sorted(seqs)
+            assert seqs[0] == 0
+
+    def test_every_task_has_a_completion(self):
+        trace = sample_trace()
+        assert set(trace.completes) == set(trace.task_creates)
+
+    def test_append_after_index_rejected(self):
+        trace = sample_trace()
+        _ = trace.task_creates
+        with pytest.raises(RuntimeError):
+            trace.append(
+                TaskCreateEvent(
+                    tid=99, path=(0, 99), parent_tid=0, time=0, core=0,
+                    creation_cycles=0, depth=1,
+                )
+            )
+
+    def test_loop_indices(self):
+        result = run_program(
+            loop_program(iterations=8, chunk=2, threads=2),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        trace = result.trace
+        assert len(trace.loops) == 1
+        assert trace.num_chunks == 4
+        (loop_id,) = trace.loops
+        assert loop_id in trace.loop_ends
+        assert len(trace.bookkeeping_by_loop[loop_id]) >= 4
+
+
+class TestJsonlRoundTrip:
+    def test_events_survive_roundtrip(self, tmp_path):
+        trace = sample_trace()
+        path = tmp_path / "trace.jsonl"
+        trace.dump_jsonl(path)
+        loaded = Trace.load_jsonl(path)
+        assert len(loaded) == len(trace)
+        assert [e.to_dict() for e in loaded] == [e.to_dict() for e in trace]
+
+    def test_metadata_survives(self, tmp_path):
+        trace = sample_trace()
+        trace.meta.program = "binary_tree"
+        trace.meta.extra = {"note": "x"}
+        path = tmp_path / "trace.jsonl"
+        trace.dump_jsonl(path)
+        loaded = Trace.load_jsonl(path)
+        assert loaded.meta.program == "binary_tree"
+        assert loaded.meta.num_threads == trace.meta.num_threads
+        assert loaded.meta.extra == {"note": "x"}
+
+    def test_loop_trace_roundtrip(self, tmp_path):
+        result = run_program(
+            loop_program(iterations=8, chunk=2, threads=2),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        path = tmp_path / "loop.jsonl"
+        result.trace.dump_jsonl(path)
+        loaded = Trace.load_jsonl(path)
+        assert loaded.num_chunks == result.trace.num_chunks
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            Trace.load_jsonl(path)
+
+
+class TestEventSerialization:
+    def test_fragment_counters_roundtrip(self):
+        event = FragmentEvent(
+            tid=1, seq=0, start=10, end=20, core=3,
+            counters=CounterSet(cycles=10, stall_cycles=4, l1_misses=2),
+        )
+        back = event_from_dict(event.to_dict())
+        assert back == event
+
+    def test_chunk_roundtrip(self):
+        event = ChunkEvent(
+            loop_id=1, chunk_seq=2, thread=0, iter_start=4, iter_end=8,
+            start=100, end=200, core=1, counters=CounterSet(cycles=100),
+        )
+        assert event_from_dict(event.to_dict()) == event
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            event_from_dict({"kind": "mystery"})
+
+    def test_taskwait_end_synced_tids_tuple(self):
+        from repro.profiler.events import TaskwaitEndEvent
+
+        event = TaskwaitEndEvent(tid=0, time=5, core=0, synced_tids=(1, 2))
+        back = event_from_dict(event.to_dict())
+        assert back.synced_tids == (1, 2)
+        assert back.children_synced == 2

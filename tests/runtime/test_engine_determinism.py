@@ -1,0 +1,92 @@
+"""Engine tests: determinism and schedule-independent identity."""
+
+from helpers import binary_tree, loop_program, small_machine, spawn_n_and_wait
+
+from repro.runtime.api import run_program
+from repro.runtime.flavors import GCC, ICC, MIR
+
+
+def trace_dump(result):
+    return [e.to_dict() for e in result.trace]
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        program = binary_tree(depth=5, leaf_cycles=321)
+        a = run_program(program, machine=small_machine(4), num_threads=4)
+        b = run_program(program, machine=small_machine(4), num_threads=4)
+        assert trace_dump(a) == trace_dump(b)
+        assert a.makespan_cycles == b.makespan_cycles
+
+    def test_loops_deterministic(self):
+        program = loop_program(iterations=50, chunk=3, threads=4)
+        a = run_program(program, machine=small_machine(4), num_threads=4)
+        b = run_program(program, machine=small_machine(4), num_threads=4)
+        assert trace_dump(a) == trace_dump(b)
+
+    def test_all_flavors_deterministic(self):
+        program = spawn_n_and_wait(20, cycles=500)
+        for flavor in (MIR, ICC, GCC):
+            a = run_program(
+                program, flavor=flavor, machine=small_machine(3), num_threads=3
+            )
+            b = run_program(
+                program, flavor=flavor, machine=small_machine(3), num_threads=3
+            )
+            assert trace_dump(a) == trace_dump(b), flavor.name
+
+
+class TestScheduleIndependentIdentity:
+    def test_task_paths_stable_across_thread_counts(self):
+        """The property work deviation relies on: same program, different
+        machine size -> identical task grain paths."""
+        program = binary_tree(depth=5, leaf_cycles=100)
+        paths = []
+        for threads in (1, 2, 4):
+            result = run_program(
+                program, machine=small_machine(4), num_threads=threads
+            )
+            paths.append(
+                sorted(
+                    tuple(e.path)
+                    for e in result.trace
+                    if e.kind == "task_create"
+                )
+            )
+        assert paths[0] == paths[1] == paths[2]
+
+    def test_task_paths_stable_across_flavors(self):
+        program = binary_tree(depth=4)
+        reference = None
+        for flavor in (MIR, ICC, GCC):
+            result = run_program(
+                program, flavor=flavor, machine=small_machine(4), num_threads=4
+            )
+            paths = sorted(
+                tuple(e.path) for e in result.trace if e.kind == "task_create"
+            )
+            if reference is None:
+                reference = paths
+            assert paths == reference, flavor.name
+
+    def test_paths_unique(self):
+        program = binary_tree(depth=6)
+        result = run_program(program, machine=small_machine(4), num_threads=4)
+        paths = [tuple(e.path) for e in result.trace if e.kind == "task_create"]
+        assert len(paths) == len(set(paths))
+
+    def test_chunk_identity_stable_for_fixed_team(self):
+        program = loop_program(iterations=40, chunk=5, threads=2)
+        ids = []
+        for _ in range(2):
+            result = run_program(
+                program, machine=small_machine(2), num_threads=2
+            )
+            ids.append(
+                sorted(
+                    (e.iter_start, e.iter_end)
+                    for e in result.trace
+                    if e.kind == "chunk"
+                )
+            )
+        assert ids[0] == ids[1]

@@ -1,0 +1,125 @@
+"""Engine tests: undeferred (inlined) task execution and internal cutoffs."""
+
+from dataclasses import replace
+
+from helpers import LOC, small_machine, spawn_n_and_wait
+
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.runtime.flavors import GCC, ICC, MIR
+
+
+def if0_program(n=3):
+    """Children spawned with if(0): always undeferred."""
+
+    def child(i):
+        def body():
+            yield Work(WorkRequest(cycles=100 * (i + 1)))
+
+        return body
+
+    def main():
+        for i in range(n):
+            yield Spawn(child(i), loc=LOC, if_clause=False)
+        yield TaskWait()
+
+    return Program("if0", main)
+
+
+class TestIfClause:
+    def test_if0_children_are_inlined(self):
+        result = run_program(if0_program(3), machine=small_machine(2), num_threads=2)
+        assert result.stats.tasks_inlined == 3
+
+    def test_inlined_children_are_still_grains(self):
+        """The graph structure is robust under runtime inlining."""
+        from repro.core.builder import build_grain_graph
+
+        result = run_program(if0_program(3), machine=small_machine(2), num_threads=2)
+        graph = build_grain_graph(result.trace)
+        assert graph.num_grains == 4  # root + the three inlined children
+        creates = [e for e in result.trace if e.kind == "task_create"]
+        assert sum(1 for c in creates if c.inlined) == 3
+
+    def test_inline_execution_is_serialized(self):
+        """An undeferred child runs to completion before the parent
+        continues: total time is the sum."""
+        result = run_program(if0_program(3), machine=small_machine(4), num_threads=4)
+        assert result.makespan_cycles >= 100 + 200 + 300
+
+    def test_inline_children_sync_normally(self):
+        result = run_program(if0_program(2), machine=small_machine(2), num_threads=2)
+        synced = [
+            tid
+            for e in result.trace
+            if e.kind == "taskwait_end"
+            for tid in e.synced_tids
+        ]
+        assert sorted(synced) == [1, 2]
+
+    def test_inlined_child_can_spawn_deferred_grandchildren(self):
+        def grandchild():
+            yield Work(WorkRequest(cycles=50))
+
+        def child():
+            yield Spawn(grandchild, loc=LOC)  # deferred (MIR never inlines)
+            yield TaskWait()
+
+        def main():
+            yield Spawn(child, loc=LOC, if_clause=False)
+            yield TaskWait()
+
+        result = run_program(
+            Program("nested_inline", main), machine=small_machine(2), num_threads=2
+        )
+        assert result.stats.tasks_created == 3
+        assert result.stats.tasks_inlined == 1
+
+
+class TestInternalCutoffs:
+    def test_mir_defers_everything(self):
+        result = run_program(
+            spawn_n_and_wait(50, cycles=100),
+            flavor=MIR,
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        assert result.stats.tasks_inlined == 0
+
+    def test_icc_pool_cutoff_inlines_floods(self):
+        # 2 threads -> inline once 2 * throttle tasks are pending.
+        result = run_program(
+            spawn_n_and_wait(100, cycles=100),
+            flavor=ICC,
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        assert result.stats.tasks_inlined > 0
+
+    def test_gcc_throttle_is_laxer_than_icc(self):
+        kwargs = dict(machine=small_machine(2), num_threads=2)
+        icc = run_program(
+            spawn_n_and_wait(200, cycles=100), flavor=ICC,
+            machine=small_machine(2), num_threads=2,
+        )
+        gcc = run_program(
+            spawn_n_and_wait(200, cycles=100), flavor=GCC,
+            machine=small_machine(2), num_threads=2,
+        )
+        assert icc.stats.tasks_inlined > gcc.stats.tasks_inlined
+
+    def test_inlining_reduces_makespan_for_tiny_tasks(self):
+        """The whole point of an internal cutoff: floods of tiny tasks run
+        faster undeferred."""
+        never = replace(ICC, throttle_per_thread=None, name="ICC-off")
+        machine = small_machine(2)
+        with_cutoff = run_program(
+            spawn_n_and_wait(300, cycles=50), flavor=ICC,
+            machine=machine, num_threads=2,
+        )
+        without = run_program(
+            spawn_n_and_wait(300, cycles=50), flavor=never,
+            machine=machine.fresh(), num_threads=2,
+        )
+        assert with_cutoff.makespan_cycles < without.makespan_cycles

@@ -1,0 +1,172 @@
+"""Engine tests: parallel for-loop execution."""
+
+import pytest
+
+from helpers import LOC, loop_program, small_machine
+
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import ParallelFor, Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.runtime.engine import NestedParallelismError
+from repro.runtime.flavors import MIR
+from repro.runtime.loops import LoopSpec, Schedule
+
+
+class TestLoopExecution:
+    def test_all_chunks_executed(self):
+        result = run_program(
+            loop_program(iterations=20, chunk=4, threads=2),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        chunks = [e for e in result.trace if e.kind == "chunk"]
+        assert len(chunks) == 5
+        iters = sorted(
+            i for c in chunks for i in range(c.iter_start, c.iter_end)
+        )
+        assert iters == list(range(20))
+
+    def test_loop_speedup(self):
+        program = loop_program(
+            iterations=64, chunk=1, threads=None, cycles_of=lambda i: 20_000
+        )
+        t1 = run_program(
+            program, machine=small_machine(4), num_threads=1
+        ).makespan_cycles
+        t4 = run_program(
+            program, machine=small_machine(4), num_threads=4
+        ).makespan_cycles
+        assert t4 < t1 / 2.5
+
+    def test_empty_loop_completes(self):
+        result = run_program(
+            loop_program(iterations=0, chunk=None, threads=2),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        assert result.stats.chunks_executed == 0
+        assert result.trace.loop_ends  # loop still begins and ends
+
+    def test_num_threads_caps_team(self):
+        result = run_program(
+            loop_program(iterations=12, chunk=1, threads=2),
+            machine=small_machine(4),
+            num_threads=4,
+        )
+        chunks = [e for e in result.trace if e.kind == "chunk"]
+        assert {c.thread for c in chunks} <= {0, 1}
+
+    def test_bookkeeping_precedes_every_chunk(self):
+        result = run_program(
+            loop_program(iterations=6, chunk=2, threads=2),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        per_thread = {}
+        for event in result.trace:
+            if event.kind in ("bookkeeping", "chunk"):
+                per_thread.setdefault(event.thread, []).append(event.kind)
+        for kinds in per_thread.values():
+            # Alternating bookkeeping/chunk, ending with the final empty
+            # bookkeeping that leads to the barrier.
+            assert kinds[0] == "bookkeeping"
+            assert kinds[-1] == "bookkeeping"
+            for i in range(len(kinds) - 1):
+                assert kinds[i] != kinds[i + 1]
+
+    def test_final_bookkeeping_has_no_chunk(self):
+        result = run_program(
+            loop_program(iterations=4, chunk=2, threads=2),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        bookkeeping = [e for e in result.trace if e.kind == "bookkeeping"]
+        empty = [b for b in bookkeeping if not b.got_chunk]
+        assert len(empty) == 2  # one per team thread
+
+    def test_multiple_loop_instances_get_sequence_numbers(self):
+        def main():
+            for _ in range(3):
+                yield ParallelFor(
+                    LoopSpec(
+                        iterations=4,
+                        body=lambda i: WorkRequest(cycles=100),
+                        num_threads=2,
+                    )
+                )
+
+        result = run_program(
+            Program("loops", main), machine=small_machine(2), num_threads=2
+        )
+        begins = [e for e in result.trace if e.kind == "loop_begin"]
+        assert [b.loop_seq for b in begins] == [0, 1, 2]
+        assert len({b.loop_id for b in begins}) == 3
+
+    def test_dynamic_schedule_executes_in_grab_order(self):
+        result = run_program(
+            loop_program(
+                iterations=10, chunk=1, threads=2, schedule=Schedule.DYNAMIC
+            ),
+            machine=small_machine(2),
+            num_threads=2,
+        )
+        chunks = sorted(
+            (e for e in result.trace if e.kind == "chunk"),
+            key=lambda c: c.chunk_seq,
+        )
+        starts = [c.iter_start for c in chunks]
+        assert starts == sorted(starts)
+
+    def test_loop_then_tasks_then_loop(self):
+        """Loops and task phases can interleave at the root."""
+
+        def child():
+            yield Work(WorkRequest(cycles=500))
+
+        def main():
+            yield ParallelFor(
+                LoopSpec(iterations=4, body=lambda i: WorkRequest(cycles=100))
+            )
+            yield Spawn(child, loc=LOC)
+            yield TaskWait()
+            yield ParallelFor(
+                LoopSpec(iterations=4, body=lambda i: WorkRequest(cycles=100))
+            )
+
+        result = run_program(
+            Program("mixed", main), machine=small_machine(2), num_threads=2
+        )
+        assert result.stats.loops_executed == 2
+        assert result.stats.tasks_created == 2
+
+
+class TestNestedParallelismRejected:
+    def test_loop_inside_task_raises(self):
+        def child():
+            yield ParallelFor(
+                LoopSpec(iterations=4, body=lambda i: WorkRequest(cycles=10))
+            )
+
+        def main():
+            yield Spawn(child, loc=LOC)
+            yield TaskWait()
+
+        with pytest.raises(NestedParallelismError):
+            run_program(
+                Program("nested", main), machine=small_machine(2), num_threads=2
+            )
+
+    def test_loop_with_outstanding_tasks_raises(self):
+        def child():
+            yield Work(WorkRequest(cycles=1_000_000))
+
+        def main():
+            yield Spawn(child, loc=LOC)
+            yield ParallelFor(
+                LoopSpec(iterations=4, body=lambda i: WorkRequest(cycles=10))
+            )
+
+        with pytest.raises(NestedParallelismError):
+            run_program(
+                Program("inflight", main), machine=small_machine(2), num_threads=2
+            )

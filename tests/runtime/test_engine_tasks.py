@@ -1,0 +1,240 @@
+"""Engine tests: task execution semantics."""
+
+import pytest
+
+from helpers import LOC, binary_tree, leaf, small_machine, spawn_n_and_wait
+
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.runtime.flavors import GCC, ICC, MIR
+
+
+class TestBasics:
+    def test_empty_program_completes(self):
+        def main():
+            return
+            yield  # pragma: no cover
+
+        result = run_program(Program("empty", main), machine=small_machine())
+        assert result.makespan_cycles == 0
+        assert result.stats.tasks_created == 1  # the root
+
+    def test_single_work_segment(self):
+        def main():
+            yield Work(WorkRequest(cycles=1234))
+
+        result = run_program(Program("w", main), machine=small_machine())
+        assert result.makespan_cycles == 1234
+
+    def test_sequential_work_segments_add(self):
+        def main():
+            yield Work(WorkRequest(cycles=100))
+            yield Work(WorkRequest(cycles=200))
+
+        result = run_program(Program("w2", main), machine=small_machine())
+        assert result.makespan_cycles == 300
+
+    def test_spawn_returns_handle(self):
+        seen = {}
+
+        def child():
+            yield Work(WorkRequest(cycles=10))
+
+        def main():
+            handle = yield Spawn(child, loc=LOC)
+            seen["handle"] = handle
+            yield TaskWait()
+            seen["completed"] = handle.completed
+
+        run_program(Program("h", main), machine=small_machine(), num_threads=2)
+        assert seen["handle"].task.tid == 1
+        assert seen["completed"] is True
+
+    def test_results_flow_through_shared_state(self):
+        out = {}
+
+        def child():
+            yield Work(WorkRequest(cycles=10))
+            out["value"] = 42
+
+        def main():
+            yield Spawn(child, loc=LOC)
+            yield TaskWait()
+            out["after_wait"] = out.get("value")
+
+        run_program(Program("r", main), machine=small_machine(), num_threads=2)
+        assert out["after_wait"] == 42
+
+
+class TestParallelism:
+    def test_independent_tasks_overlap(self):
+        program = spawn_n_and_wait(4, cycles=10_000)
+        serial = run_program(program, machine=small_machine(4), num_threads=1)
+        parallel = run_program(program, machine=small_machine(4), num_threads=4)
+        assert parallel.makespan_cycles < serial.makespan_cycles / 2
+
+    def test_more_threads_never_hurt_much(self):
+        program = binary_tree(depth=5, leaf_cycles=5_000)
+        times = {}
+        for threads in (1, 2, 4):
+            times[threads] = run_program(
+                program, machine=small_machine(4), num_threads=threads
+            ).makespan_cycles
+        assert times[2] < times[1]
+        assert times[4] <= times[2] * 1.1
+
+    def test_work_conservation(self):
+        """Total fragment time equals the serial work regardless of the
+        thread count (no memory accesses -> no inflation)."""
+        program = binary_tree(depth=4, leaf_cycles=777)
+        from repro.core.builder import build_grain_graph
+
+        busies = []
+        for threads in (1, 3):
+            result = run_program(
+                program, machine=small_machine(4), num_threads=threads
+            )
+            graph = build_grain_graph(result.trace)
+            busies.append(sum(g.exec_time for g in graph.grains.values()))
+        assert busies[0] == busies[1]
+
+
+class TestTaskwaitSemantics:
+    def test_taskwait_waits_only_direct_children(self):
+        order = []
+
+        def grandchild():
+            yield Work(WorkRequest(cycles=50_000))
+            order.append("grandchild")
+
+        def child():
+            yield Spawn(grandchild, loc=LOC)
+            yield Work(WorkRequest(cycles=10))
+            order.append("child")
+            # no taskwait: grandchild is an orphan synced at the barrier
+
+        def main():
+            yield Spawn(child, loc=LOC)
+            yield TaskWait()
+            order.append("after_wait")
+
+        run_program(Program("tw", main), machine=small_machine(2), num_threads=1)
+        # With one worker, LIFO order runs child fully, then the taskwait
+        # completes before the long grandchild has to finish... the
+        # grandchild may still run before 'after_wait' on one thread, so
+        # assert only the guaranteed ordering:
+        assert order.index("child") < order.index("after_wait")
+        assert "grandchild" in order
+
+    def test_multiple_taskwaits(self):
+        def main():
+            yield Spawn(leaf(100), loc=LOC)
+            yield TaskWait()
+            yield Spawn(leaf(100), loc=LOC)
+            yield TaskWait()
+
+        result = run_program(
+            Program("tw2", main), machine=small_machine(2), num_threads=2
+        )
+        ends = [e for e in result.trace if e.kind == "taskwait_end"]
+        assert len(ends) == 2
+        assert all(len(e.synced_tids) == 1 for e in ends)
+
+    def test_taskwait_with_no_children_is_fast(self):
+        def main():
+            yield TaskWait()
+            yield Work(WorkRequest(cycles=10))
+
+        result = run_program(Program("tw0", main), machine=small_machine())
+        assert result.makespan_cycles < 2000
+
+
+class TestFireAndForget:
+    def test_orphans_sync_at_region_barrier(self):
+        def child():
+            yield Work(WorkRequest(cycles=5000))
+
+        def main():
+            yield Spawn(child, loc=LOC)
+            yield Work(WorkRequest(cycles=10))
+            # root body ends with the child outstanding
+
+        result = run_program(
+            Program("ff", main), machine=small_machine(2), num_threads=2
+        )
+        begins = [e for e in result.trace if e.kind == "taskwait_begin"]
+        assert any(e.implicit for e in begins)
+        # The makespan covers the orphan's execution.
+        assert result.makespan_cycles >= 5000
+
+    def test_deep_fire_and_forget_chain(self):
+        def chain(depth):
+            def body():
+                yield Work(WorkRequest(cycles=100))
+                if depth > 0:
+                    yield Spawn(chain(depth - 1), loc=LOC)
+
+            return body
+
+        def main():
+            yield Spawn(chain(20), loc=LOC)
+
+        result = run_program(
+            Program("chain", main), machine=small_machine(2), num_threads=2
+        )
+        assert result.stats.tasks_created == 22  # root + 21 chain tasks
+
+    def test_all_tasks_synced_somewhere(self):
+        def main():
+            for _ in range(5):
+                yield Spawn(leaf(100), loc=LOC)
+            # no explicit wait
+
+        result = run_program(
+            Program("ff5", main), machine=small_machine(4), num_threads=4
+        )
+        synced = [
+            tid
+            for e in result.trace
+            if e.kind == "taskwait_end"
+            for tid in e.synced_tids
+        ]
+        assert sorted(synced) == [1, 2, 3, 4, 5]
+
+
+class TestStats:
+    def test_task_counts(self):
+        result = run_program(
+            spawn_n_and_wait(7), machine=small_machine(2), num_threads=2
+        )
+        assert result.stats.tasks_created == 8  # root + 7
+        assert result.trace.num_tasks == 8
+
+    def test_engine_runs_once(self):
+        from repro.runtime.engine import Engine
+
+        machine = small_machine()
+        engine = Engine(machine, MIR, 1)
+        engine.run(spawn_n_and_wait(1).body)
+        with pytest.raises(RuntimeError):
+            engine.run(spawn_n_and_wait(1).body)
+
+    def test_thread_bounds_validated(self):
+        with pytest.raises(ValueError):
+            run_program(spawn_n_and_wait(1), machine=small_machine(2), num_threads=3)
+        with pytest.raises(ValueError):
+            run_program(spawn_n_and_wait(1), machine=small_machine(2), num_threads=0)
+
+    def test_used_machine_rejected(self):
+        machine = small_machine(2)
+        run_program(spawn_n_and_wait(1), machine=machine)
+        with pytest.raises(ValueError):
+            run_program(spawn_n_and_wait(1), machine=machine)
+
+    def test_non_action_yield_raises(self):
+        def main():
+            yield "not an action"
+
+        with pytest.raises(TypeError):
+            run_program(Program("bad", main), machine=small_machine())

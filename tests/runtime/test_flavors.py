@@ -1,0 +1,68 @@
+"""Tests for runtime flavors and internal-cutoff policies."""
+
+import pytest
+
+from repro.runtime.flavors import FLAVORS, GCC, ICC, MIR, flavor_by_name
+
+
+class TestPresets:
+    def test_three_flavors_registered(self):
+        assert set(FLAVORS) == {"MIR", "ICC", "GCC"}
+
+    def test_mir_is_cheapest_work_stealer(self):
+        assert MIR.scheduler == "workstealing"
+        assert MIR.task_create_cycles < ICC.task_create_cycles
+        assert MIR.task_create_cycles < GCC.task_create_cycles
+        assert MIR.inline_queue_threshold is None
+        assert MIR.throttle_per_thread is None
+
+    def test_gcc_uses_central_queue_with_throttle(self):
+        assert GCC.scheduler == "central"
+        assert GCC.throttle_per_thread == 64  # the paper's 64 x threads
+        assert GCC.queue_lock_hold_cycles > 0
+
+    def test_icc_has_tighter_internal_cutoff_than_gcc(self):
+        assert ICC.scheduler == "workstealing"
+        assert ICC.throttle_per_thread is not None
+        assert ICC.throttle_per_thread < GCC.throttle_per_thread
+
+    def test_lookup_by_name_case_insensitive(self):
+        assert flavor_by_name("mir") is MIR
+        assert flavor_by_name("GCC") is GCC
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            flavor_by_name("llvm")
+
+
+class TestInlinePolicy:
+    def test_mir_never_inlines(self):
+        assert not MIR.should_inline(10_000, 1_000_000, 48)
+
+    def test_icc_inlines_when_pool_saturates(self):
+        threshold = ICC.throttle_per_thread * 48
+        assert ICC.should_inline(0, threshold, 48)
+        assert not ICC.should_inline(0, threshold - 1, 48)
+
+    def test_gcc_throttle_scales_with_team(self):
+        assert GCC.should_inline(0, 64 * 4, 4)
+        assert not GCC.should_inline(0, 64 * 4, 48)
+
+    def test_queue_threshold_policy(self):
+        flavor = MIR.__class__(
+            name="X", scheduler="workstealing", inline_queue_threshold=8
+        )
+        assert flavor.should_inline(8, 0, 48)
+        assert not flavor.should_inline(7, 0, 48)
+
+
+class TestWithScheduler:
+    def test_scheduler_swap_renames(self):
+        central_mir = MIR.with_scheduler("central")
+        assert central_mir.scheduler == "central"
+        assert central_mir.name == "MIR+central"
+        assert central_mir.task_create_cycles == MIR.task_create_cycles
+
+    def test_original_unchanged(self):
+        MIR.with_scheduler("central")
+        assert MIR.scheduler == "workstealing"

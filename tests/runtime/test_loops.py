@@ -1,0 +1,184 @@
+"""Tests for loop specs and chunk dispatchers."""
+
+import pytest
+
+from repro.machine.cost import Access, WorkRequest
+from repro.runtime.loops import (
+    ChunkDispatcher,
+    DynamicDispatcher,
+    GuidedDispatcher,
+    LoopSpec,
+    Schedule,
+    StaticDispatcher,
+)
+
+
+def spec(n=20, schedule=Schedule.STATIC, chunk=None, body=None, threads=None):
+    return LoopSpec(
+        iterations=n,
+        body=body or (lambda i: WorkRequest(cycles=10)),
+        schedule=schedule,
+        chunk_size=chunk,
+        num_threads=threads,
+    )
+
+
+def drain(dispatcher, team):
+    """Collect every chunk per thread until the dispatcher runs dry."""
+    chunks = {t: [] for t in range(team)}
+    live = set(range(team))
+    while live:
+        for t in sorted(live):
+            chunk = dispatcher.next_chunk(t)
+            if chunk is None:
+                live.discard(t)
+            else:
+                chunks[t].append(chunk)
+    return chunks
+
+
+def covered(chunks):
+    iters = []
+    for per_thread in chunks.values():
+        for start, end in per_thread:
+            iters.extend(range(start, end))
+    return sorted(iters)
+
+
+class TestStatic:
+    def test_fig3b_five_chunks_of_four(self):
+        """Fig. 3b: 20 iterations, chunk 4, two threads."""
+        d = StaticDispatcher(spec(20, chunk=4), team_size=2)
+        chunks = drain(d, 2)
+        assert chunks[0] == [(0, 4), (8, 12), (16, 20)]
+        assert chunks[1] == [(4, 8), (12, 16)]
+
+    def test_no_chunk_size_gives_contiguous_blocks(self):
+        d = StaticDispatcher(spec(10), team_size=3)
+        chunks = drain(d, 3)
+        assert chunks[0] == [(0, 4)]
+        assert chunks[1] == [(4, 7)]
+        assert chunks[2] == [(7, 10)]
+
+    def test_full_coverage(self):
+        d = StaticDispatcher(spec(23, chunk=3), team_size=4)
+        assert covered(drain(d, 4)) == list(range(23))
+
+    def test_empty_loop(self):
+        d = StaticDispatcher(spec(0), team_size=2)
+        assert d.next_chunk(0) is None
+
+
+class TestDynamic:
+    def test_default_chunk_is_one(self):
+        d = DynamicDispatcher(spec(3, schedule=Schedule.DYNAMIC), team_size=2)
+        assert d.next_chunk(0) == (0, 1)
+        assert d.next_chunk(1) == (1, 2)
+        assert d.next_chunk(0) == (2, 3)
+        assert d.next_chunk(1) is None
+
+    def test_shared_counter_in_grab_order(self):
+        d = DynamicDispatcher(
+            spec(10, schedule=Schedule.DYNAMIC, chunk=4), team_size=2
+        )
+        assert d.next_chunk(1) == (0, 4)
+        assert d.next_chunk(0) == (4, 8)
+        assert d.next_chunk(1) == (8, 10)  # trailing partial chunk
+
+    def test_full_coverage(self):
+        d = DynamicDispatcher(
+            spec(17, schedule=Schedule.DYNAMIC, chunk=3), team_size=3
+        )
+        assert covered(drain(d, 3)) == list(range(17))
+
+
+class TestGuided:
+    def test_chunks_decrease(self):
+        d = GuidedDispatcher(spec(100, schedule=Schedule.GUIDED), team_size=2)
+        sizes = []
+        while True:
+            chunk = d.next_chunk(0)
+            if chunk is None:
+                break
+            sizes.append(chunk[1] - chunk[0])
+        assert sizes[0] > sizes[-1]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_respects_min_chunk(self):
+        d = GuidedDispatcher(
+            spec(100, schedule=Schedule.GUIDED, chunk=8), team_size=2
+        )
+        chunks = drain(d, 2)
+        sizes = [e - s for per in chunks.values() for s, e in per]
+        assert all(size >= 8 for size in sizes[:-1])
+
+    def test_full_coverage(self):
+        d = GuidedDispatcher(spec(137, schedule=Schedule.GUIDED), team_size=4)
+        assert covered(drain(d, 4)) == list(range(137))
+
+
+class TestFactoryAndValidation:
+    def test_factory_dispatch(self):
+        assert isinstance(
+            ChunkDispatcher.create(spec(5), 1), StaticDispatcher
+        )
+        assert isinstance(
+            ChunkDispatcher.create(spec(5, schedule=Schedule.DYNAMIC), 1),
+            DynamicDispatcher,
+        )
+        assert isinstance(
+            ChunkDispatcher.create(spec(5, schedule=Schedule.GUIDED), 1),
+            GuidedDispatcher,
+        )
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            spec(-1)
+
+    def test_zero_chunk_rejected(self):
+        with pytest.raises(ValueError):
+            spec(10, chunk=0)
+
+    def test_zero_team_rejected(self):
+        with pytest.raises(ValueError):
+            StaticDispatcher(spec(10), team_size=0)
+
+    def test_num_threads_validation(self):
+        with pytest.raises(ValueError):
+            spec(10, threads=0)
+
+
+class TestMergedRequest:
+    def test_cycles_sum(self):
+        s = spec(10, body=lambda i: WorkRequest(cycles=i))
+        merged = s.merged_request(2, 5)
+        assert merged.cycles == 2 + 3 + 4
+
+    def test_accesses_merge_by_region_and_pattern(self):
+        def body(i):
+            return WorkRequest(
+                cycles=1,
+                accesses=(
+                    Access(0, 64, pattern=0.5),
+                    Access(1, 32, pattern=1.0),
+                ),
+            )
+
+        merged = spec(10, body=body).merged_request(0, 4)
+        assert len(merged.accesses) == 2
+        by_region = {a.region_id: a for a in merged.accesses}
+        assert by_region[0].nbytes == 4 * 64
+        assert by_region[0].pattern == 0.5
+        assert by_region[1].nbytes == 4 * 32
+
+    def test_different_patterns_stay_separate(self):
+        def body(i):
+            pattern = 0.5 if i % 2 else 1.0
+            return WorkRequest(cycles=1, accesses=(Access(0, 64, pattern=pattern),))
+
+        merged = spec(10, body=body).merged_request(0, 4)
+        assert len(merged.accesses) == 2
+
+    def test_definition_key_defaults_to_location(self):
+        s = spec(5)
+        assert s.definition_key() == str(s.loc)

@@ -1,0 +1,98 @@
+"""Tests for the work-stealing and central-queue schedulers."""
+
+import pytest
+
+from repro.runtime.sched import (
+    CentralQueueScheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+from repro.runtime.sched.base import PopKind
+from repro.runtime.task import TaskInstance
+
+
+def task(tid):
+    return TaskInstance(tid=tid, path=(0, tid), parent=None, generator=iter(()))
+
+
+class TestWorkStealing:
+    def test_owner_pops_newest_first(self):
+        ws = WorkStealingScheduler(2)
+        a, b = task(1), task(2)
+        ws.push(a, worker=0)
+        ws.push(b, worker=0)
+        result = ws.pop(0)
+        assert result.task is b  # LIFO at the owner's end
+        assert result.kind is PopKind.LOCAL
+
+    def test_thief_steals_oldest(self):
+        ws = WorkStealingScheduler(2)
+        a, b = task(1), task(2)
+        ws.push(a, worker=0)
+        ws.push(b, worker=0)
+        result = ws.pop(1)
+        assert result.task is a  # FIFO at the thief's end
+        assert result.kind is PopKind.STEAL
+        assert result.victim == 0
+
+    def test_round_robin_victim_order(self):
+        ws = WorkStealingScheduler(4)
+        ws.push(task(1), worker=3)
+        result = ws.pop(1)  # checks 2, 3, 0
+        assert result.victim == 3
+
+    def test_empty_pop_returns_none(self):
+        assert WorkStealingScheduler(2).pop(0) is None
+
+    def test_queue_length_and_pending(self):
+        ws = WorkStealingScheduler(2)
+        ws.push(task(1), 0)
+        ws.push(task(2), 1)
+        assert ws.queue_length(0) == 1
+        assert ws.queue_length(1) == 1
+        assert ws.total_pending() == 2
+        ws.pop(0)
+        assert ws.total_pending() == 1
+
+    def test_kind_name(self):
+        assert WorkStealingScheduler(1).kind_name == "workstealing"
+
+
+class TestCentralQueue:
+    def test_fifo_order(self):
+        cq = CentralQueueScheduler(2)
+        a, b = task(1), task(2)
+        cq.push(a, 0)
+        cq.push(b, 1)
+        assert cq.pop(1).task is a
+        assert cq.pop(0).task is b
+
+    def test_pops_are_never_steals(self):
+        cq = CentralQueueScheduler(2)
+        cq.push(task(1), 0)
+        assert cq.pop(1).kind is PopKind.LOCAL
+
+    def test_shared_queue_length(self):
+        cq = CentralQueueScheduler(4)
+        cq.push(task(1), 0)
+        cq.push(task(2), 3)
+        for worker in range(4):
+            assert cq.queue_length(worker) == 2
+        assert cq.total_pending() == 2
+
+    def test_kind_name(self):
+        assert CentralQueueScheduler(1).kind_name == "central"
+
+
+class TestFactory:
+    def test_factory(self):
+        assert isinstance(make_scheduler("workstealing", 2), WorkStealingScheduler)
+        assert isinstance(make_scheduler("central", 2), CentralQueueScheduler)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("magic", 2)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkStealingScheduler(0)

@@ -1,0 +1,122 @@
+"""Tests for the minimum-cores bin packer (the Gecode stand-in)."""
+
+import pytest
+
+from repro.binpack import (
+    first_fit_decreasing,
+    minimum_cores,
+    pack_feasible,
+)
+
+
+class TestFFD:
+    def test_simple_fit(self):
+        result = first_fit_decreasing([5, 5, 5, 5], capacity=10)
+        assert result.num_bins == 2
+        assert result.max_load == 10
+
+    def test_assignment_is_valid(self):
+        items = [7, 3, 6, 2, 5, 4]
+        result = first_fit_decreasing(items, capacity=9)
+        loads = [0] * result.num_bins
+        for index, b in enumerate(result.assignment):
+            loads[b] += items[index]
+        assert list(result.loads) == loads
+        assert all(load <= 9 for load in loads)
+
+    def test_oversized_item_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([11], capacity=10)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            first_fit_decreasing([1], capacity=0)
+
+
+class TestExact:
+    def test_feasible_packing_found(self):
+        # FFD needs 3 bins for this classic instance; exact finds 2.
+        items = [4, 4, 4, 6, 6]
+        capacity = 12
+        ffd = first_fit_decreasing(items, capacity)
+        exact = pack_feasible(items, capacity, bins=2)
+        assert exact is not None
+        assert max(exact.loads) <= capacity
+
+    def test_infeasible_returns_none(self):
+        assert pack_feasible([6, 6, 6], capacity=10, bins=1) is None
+
+    def test_area_bound_shortcut(self):
+        assert pack_feasible([5] * 10, capacity=10, bins=4) is None
+
+    def test_assignment_order_restored(self):
+        items = [2, 9, 4]
+        result = pack_feasible(items, capacity=11, bins=2)
+        loads = [0, 0]
+        for index, b in enumerate(result.assignment):
+            loads[b] += items[index]
+        assert sorted(loads) == sorted(result.loads)
+
+
+class TestMinimumCores:
+    def test_freqmine_shape(self):
+        """A few huge grains plus lots of small ones: the minimum is the
+        area bound when the big grains pack alongside small fill."""
+        big = [100, 85, 70, 60, 50]
+        small = [2] * 200
+        result = minimum_cores(big + small, makespan=110)
+        area = -(-sum(big + small) // 110)
+        assert result.num_bins == area
+        assert result.max_load <= 110
+
+    def test_single_core_when_everything_fits(self):
+        result = minimum_cores([10, 20, 30], makespan=100)
+        assert result.num_bins == 1
+
+    def test_one_bin_per_item_when_items_equal_makespan(self):
+        result = minimum_cores([10, 10, 10], makespan=10)
+        assert result.num_bins == 3
+
+    def test_never_above_ffd(self):
+        items = [13, 11, 7, 7, 5, 3, 2, 2]
+        makespan = 16
+        ffd = first_fit_decreasing(items, makespan)
+        assert minimum_cores(items, makespan).num_bins <= ffd.num_bins
+
+    def test_empty_input(self):
+        assert minimum_cores([], makespan=10).num_bins == 0
+
+    def test_bad_makespan(self):
+        with pytest.raises(ValueError):
+            minimum_cores([1], makespan=0)
+
+
+class TestGraphIntegration:
+    def test_minimum_cores_for_skewed_loop(self):
+        from helpers import loop_program, run_and_graph, small_machine
+        from repro.binpack import minimum_cores_for_graph
+        from repro.runtime.loops import Schedule
+
+        def skewed(i):
+            return 120_000 if i == 5 else 1000
+
+        _, graph = run_and_graph(
+            loop_program(iterations=64, chunk=1, threads=8,
+                         schedule=Schedule.DYNAMIC, cycles_of=skewed),
+            machine=small_machine(8),
+            threads=8,
+        )
+        result = minimum_cores_for_graph(graph, loop_id=0)
+        # The big grain dominates the makespan; far fewer than 8 cores
+        # preserve it.
+        assert 1 <= result.num_bins < 8
+
+    def test_unknown_loop_rejected(self):
+        from helpers import binary_tree, run_and_graph, small_machine
+        from repro.binpack import minimum_cores_for_graph
+
+        _, graph = run_and_graph(
+            binary_tree(3), machine=small_machine(2), threads=2
+        )
+        with pytest.raises(ValueError):
+            minimum_cores_for_graph(graph, loop_id=0)

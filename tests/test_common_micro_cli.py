@@ -1,0 +1,126 @@
+"""Tests for shared value types, the micro apps, and the CLI."""
+
+import pytest
+
+from repro.common import SourceLocation, UNKNOWN_LOCATION
+from repro.apps import micro
+from repro.apps.common import DeterministicRandom, flops_cycles, linear_cycles, nlogn_cycles
+
+
+class TestSourceLocation:
+    def test_str_with_function(self):
+        loc = SourceLocation("sparselu.c", 246, "bmod")
+        assert str(loc) == "sparselu.c:246(bmod)"
+
+    def test_str_without_function(self):
+        assert str(SourceLocation("a.c", 10)) == "a.c:10"
+
+    def test_parse_roundtrip(self):
+        for loc in (
+            SourceLocation("sparselu.c", 246, "bmod"),
+            SourceLocation("fp_tree.cpp", 1437, "FP_tree::FP_growth_first"),
+            SourceLocation("a.c", 10),
+        ):
+            assert SourceLocation.parse(str(loc)) == loc
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            SourceLocation.parse("nonsense")
+
+    def test_ordering_and_hash(self):
+        a = SourceLocation("a.c", 1)
+        b = SourceLocation("a.c", 2)
+        assert a < b
+        assert len({a, b, SourceLocation("a.c", 1)}) == 2
+
+    def test_unknown_location(self):
+        assert UNKNOWN_LOCATION.line == 0
+
+
+class TestCostHelpers:
+    def test_flops_cycles_positive(self):
+        assert flops_cycles(0) == 1
+        assert flops_cycles(100, flops_per_cycle=2.0) == 50
+
+    def test_nlogn_monotone(self):
+        values = [nlogn_cycles(n) for n in (2, 16, 256, 4096)]
+        assert values == sorted(values)
+
+    def test_linear(self):
+        assert linear_cycles(100, per_element=2.0) == 200
+
+    def test_rng_shuffle_permutes(self):
+        rng = DeterministicRandom(1)
+        items = list(range(30))
+        shuffled = items[:]
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items
+
+    def test_randint_rejects_empty_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRandom(1).randint(5, 4)
+
+
+class TestMicroApps:
+    def test_serial_only_single_grain(self):
+        from helpers import run_and_graph, small_machine
+
+        _, graph = run_and_graph(
+            micro.serial_only(cycles=5000), machine=small_machine(2), threads=2
+        )
+        assert graph.num_grains == 1
+        assert graph.grains["t:0"].exec_time == 5000
+
+    def test_fire_and_forget_task_count(self):
+        from helpers import run_and_graph, small_machine
+
+        _, graph = run_and_graph(
+            micro.fire_and_forget(depth=4), machine=small_machine(2), threads=2
+        )
+        # 2^5 - 1 sweep tasks + root.
+        assert graph.num_grains == 32
+
+    def test_fig3a_labels(self):
+        from helpers import run_and_graph, small_machine
+
+        _, graph = run_and_graph(
+            micro.fig3a(), machine=small_machine(2), threads=2
+        )
+        labels = {g.label for g in graph.grains.values()}
+        assert {"foo", "bar", "baz"} <= labels
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "freqmine" in out
+        assert "kdtree-fixed" in out
+
+    def test_analyze_small(self, capsys, tmp_path):
+        from repro.cli import main
+
+        svg = tmp_path / "g.svg"
+        code = main(
+            ["analyze", "fig3b", "--threads", "4", "--no-reference",
+             "--svg", str(svg), "--view", "definition"]
+        )
+        assert code == 0
+        assert svg.exists()
+        out = capsys.readouterr().out
+        assert "load balance" in out
+
+    def test_unknown_program(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["analyze", "does-not-exist"])
+
+    def test_speedups(self, capsys):
+        from repro.cli import main
+
+        assert main(["speedups", "fig3a", "--threads", "4"]) == 0
+        assert "fig3a" in capsys.readouterr().out

@@ -1,0 +1,285 @@
+"""Property-based tests (hypothesis) on core data structures & invariants."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.common import DeterministicRandom
+from repro.binpack import first_fit_decreasing, minimum_cores, pack_feasible
+from repro.machine.caches import CacheConfig, CacheModel, LINE_SIZE
+from repro.machine.contention import ContentionModel
+from repro.machine.counters import CounterSet
+from repro.machine.cost import Access, WorkRequest
+from repro.machine.topology import MachineTopology
+from repro.machine.memory import MemoryMap, RoundRobin, FirstTouch
+from repro.runtime.loops import ChunkDispatcher, LoopSpec, Schedule
+
+
+# ---------------------------------------------------------------------------
+# Topology
+# ---------------------------------------------------------------------------
+topologies = st.builds(
+    MachineTopology,
+    sockets=st.integers(1, 6),
+    cores_per_socket=st.sampled_from([2, 4, 6, 12]),
+    nodes_per_socket=st.sampled_from([1, 2]),
+)
+
+
+@given(topologies, st.data())
+def test_distance_table_is_symmetric_metriclike(topo, data):
+    a = data.draw(st.integers(0, topo.num_nodes - 1))
+    b = data.draw(st.integers(0, topo.num_nodes - 1))
+    assert topo.node_distance(a, b) == topo.node_distance(b, a)
+    assert topo.node_distance(a, a) == 10
+    assert topo.node_distance(a, b) >= 10
+
+
+@given(topologies)
+def test_nodes_partition_cores(topo):
+    cores = [c for node in range(topo.num_nodes) for c in topo.cores_of_node(node)]
+    assert sorted(cores) == list(range(topo.num_cores))
+
+
+# ---------------------------------------------------------------------------
+# Chunk dispatchers: exact iteration-space coverage, no overlap
+# ---------------------------------------------------------------------------
+@given(
+    n=st.integers(0, 500),
+    chunk=st.one_of(st.none(), st.integers(1, 64)),
+    team=st.integers(1, 16),
+    schedule=st.sampled_from(list(Schedule)),
+)
+@settings(max_examples=200)
+def test_dispatchers_cover_iteration_space_exactly(n, chunk, team, schedule):
+    spec = LoopSpec(
+        iterations=n,
+        body=lambda i: WorkRequest(cycles=1),
+        schedule=schedule,
+        chunk_size=chunk,
+    )
+    dispatcher = ChunkDispatcher.create(spec, team)
+    seen = []
+    live = set(range(team))
+    while live:
+        for thread in sorted(live):
+            got = dispatcher.next_chunk(thread)
+            if got is None:
+                live.discard(thread)
+            else:
+                start, end = got
+                assert 0 <= start < end <= n
+                seen.extend(range(start, end))
+    assert sorted(seen) == list(range(n))
+    assert len(seen) == len(set(seen))  # no iteration dispatched twice
+
+
+# ---------------------------------------------------------------------------
+# Bin packing
+# ---------------------------------------------------------------------------
+@given(
+    items=st.lists(st.integers(1, 50), min_size=0, max_size=40),
+    capacity=st.integers(50, 120),
+)
+@settings(max_examples=150)
+def test_minimum_cores_is_valid_and_bounded(items, capacity):
+    result = minimum_cores(items, makespan=capacity)
+    # Validity: every bin within capacity, every item placed once.
+    assert all(load <= capacity for load in result.loads)
+    assert len(result.assignment) == len(items)
+    loads = [0] * max(1, result.num_bins)
+    for index, b in enumerate(result.assignment):
+        loads[b] += items[index]
+    assert sorted(l for l in loads if l) == sorted(l for l in result.loads if l)
+    # Bounds: area lower bound <= answer <= FFD.
+    if items:
+        area = -(-sum(items) // capacity)
+        ffd = first_fit_decreasing(items, capacity)
+        assert area <= result.num_bins <= ffd.num_bins
+
+
+@given(
+    items=st.lists(st.integers(1, 30), min_size=1, max_size=15),
+    capacity=st.integers(30, 60),
+)
+@settings(max_examples=100)
+def test_pack_feasible_agrees_with_area_bound(items, capacity):
+    bins = max(1, -(-sum(items) // capacity) - 1)  # below the area bound
+    if sum(items) > bins * capacity:
+        assert pack_feasible(items, capacity, bins) is None
+
+
+# ---------------------------------------------------------------------------
+# Counters
+# ---------------------------------------------------------------------------
+counter_sets = st.builds(
+    CounterSet,
+    cycles=st.integers(0, 10**9),
+    compute_cycles=st.integers(0, 10**9),
+    stall_cycles=st.integers(0, 10**9),
+    l1_misses=st.integers(0, 10**6),
+    llc_misses=st.integers(0, 10**6),
+    remote_lines=st.integers(0, 10**6),
+    accesses=st.integers(0, 10**6),
+)
+
+
+@given(counter_sets, counter_sets)
+def test_counter_addition_commutes_and_roundtrips(a, b):
+    assert a + b == b + a
+    assert CounterSet.from_dict((a + b).to_dict()) == a + b
+
+
+@given(counter_sets)
+def test_mhu_nonnegative(c):
+    assert c.memory_hierarchy_utilization >= 0.0
+    assert 0.0 <= c.miss_ratio <= 1.0 or c.accesses < c.l1_misses
+
+
+# ---------------------------------------------------------------------------
+# Contention
+# ---------------------------------------------------------------------------
+@given(
+    weights=st.lists(
+        st.lists(st.floats(0.0, 1.0, allow_nan=False), min_size=4, max_size=4),
+        min_size=0,
+        max_size=30,
+    )
+)
+def test_contention_register_withdraw_returns_to_idle(weights):
+    model = ContentionModel(num_nodes=4, alpha=0.1)
+    for w in weights:
+        model.register(w)
+    for w in weights:
+        model.withdraw(w)
+    for node in range(4):
+        assert model.multiplier(node) == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Caches
+# ---------------------------------------------------------------------------
+@given(
+    accesses=st.lists(
+        st.tuples(
+            st.integers(0, 1),  # core
+            st.integers(0, 3),  # region
+            st.integers(1, 4096),  # bytes
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_cache_accounting_conserves_lines(accesses):
+    model = CacheModel(
+        MachineTopology(sockets=1, cores_per_socket=2, nodes_per_socket=1),
+        CacheConfig(private_bytes=1024, llc_bytes=4096),
+    )
+    for core, region, nbytes in accesses:
+        result = model.access(core, region, nbytes)
+        lines = -(-nbytes // LINE_SIZE)
+        assert result.total_lines <= lines + 2  # rounding slack
+        assert result.private_hit_lines >= 0
+        assert result.memory_lines >= 0
+
+
+# ---------------------------------------------------------------------------
+# Memory placement
+# ---------------------------------------------------------------------------
+@given(size=st.integers(1, 10**8), nodes=st.integers(1, 8))
+def test_round_robin_fractions_sum_to_one(size, nodes):
+    mm = MemoryMap(num_nodes=nodes)
+    region = mm.allocate("r", size, RoundRobin())
+    fractions = mm.node_fractions(region.region_id)
+    assert math.isclose(sum(fractions), 1.0)
+    assert all(f >= 0 for f in fractions)
+
+
+# ---------------------------------------------------------------------------
+# Deterministic RNG
+# ---------------------------------------------------------------------------
+@given(seed=st.integers(0, 2**32 - 1))
+def test_lcg_is_reproducible_and_in_range(seed):
+    a, b = DeterministicRandom(seed), DeterministicRandom(seed)
+    values = [a.uniform() for _ in range(20)]
+    assert values == [b.uniform() for _ in range(20)]
+    assert all(0.0 <= v < 1.0 for v in values)
+
+
+@given(seed=st.integers(0, 2**16), lo=st.integers(-5, 5), span=st.integers(0, 10))
+def test_lcg_randint_bounds(seed, lo, span):
+    rng = DeterministicRandom(seed)
+    for _ in range(10):
+        v = rng.randint(lo, lo + span)
+        assert lo <= v <= lo + span
+
+
+# ---------------------------------------------------------------------------
+# End-to-end graph invariants over random task programs
+# ---------------------------------------------------------------------------
+@st.composite
+def program_shapes(draw):
+    """A random small fork-join shape: list of (children, waits?) levels."""
+    return draw(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.booleans()),
+            min_size=1,
+            max_size=4,
+        )
+    )
+
+
+@given(shape=program_shapes(), threads=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_random_programs_build_valid_graphs(shape, threads):
+    from repro.common import SourceLocation
+    from repro.core.builder import build_grain_graph
+    from repro.core.validate import validate_graph
+    from repro.machine import CacheConfig, CostParams, Machine, MachineConfig
+    from repro.machine.topology import small_smp
+    from repro.runtime.actions import Spawn, TaskWait, Work
+    from repro.runtime.api import Program, run_program
+
+    LOC = SourceLocation("rand.c", 1, "f")
+
+    def make_task(levels):
+        def body():
+            yield Work(WorkRequest(cycles=100))
+            if levels:
+                children, wait = levels[0]
+                for _ in range(children):
+                    yield Spawn(make_task(levels[1:]), loc=LOC)
+                if wait and children:
+                    yield TaskWait()
+            yield Work(WorkRequest(cycles=50))
+
+        return body
+
+    def main():
+        yield Spawn(make_task(shape), loc=LOC)
+        yield TaskWait()
+
+    machine = Machine(
+        MachineConfig(topology=small_smp(4), cache=CacheConfig(), cost=CostParams())
+    )
+    result = run_program(Program("rand", main), machine=machine, num_threads=threads)
+    graph = build_grain_graph(result.trace)
+    validate_graph(graph)
+    # Every grain's intervals are within the run and non-overlapping.
+    for grain in graph.grains.values():
+        spans = sorted(grain.intervals)
+        for (s1, e1, _), (s2, _, _) in zip(spans, spans[1:]):
+            assert s2 >= e1
+    # Reduction conserves total grain-node weight.
+    from repro.core.reductions import reduce_graph
+    from repro.core.nodes import NodeKind
+
+    reduced, _ = reduce_graph(graph)
+    validate_graph(reduced)
+    total = sum(n.duration for n in graph.grain_nodes())
+    total_reduced = sum(
+        n.duration
+        for n in reduced.nodes.values()
+        if n.kind in (NodeKind.FRAGMENT, NodeKind.CHUNK)
+    )
+    assert total == total_reduced

@@ -1,0 +1,93 @@
+"""Tests for the high-level workflow pipeline."""
+
+import pytest
+
+from helpers import binary_tree
+
+from repro.apps import micro
+from repro.machine import CacheConfig, CostParams, MachineConfig
+from repro.machine.topology import small_smp
+from repro.runtime.flavors import GCC, ICC, MIR
+from repro.workflow import (
+    format_speedup_table,
+    profile_program,
+    speedup_table,
+)
+
+SMALL = MachineConfig(topology=small_smp(4), cache=CacheConfig(), cost=CostParams())
+
+
+class TestProfileProgram:
+    def test_full_study(self):
+        study = profile_program(
+            binary_tree(4, leaf_cycles=1000),
+            num_threads=4,
+            machine_config=SMALL,
+        )
+        assert study.makespan_cycles > 0
+        assert study.graph.num_grains == 32
+        assert study.report.problems is not None
+        assert study.reference is not None
+        assert study.speedup > 1.0
+        assert study.timeline.num_cores == 4
+
+    def test_reference_enables_deviation(self):
+        study = profile_program(
+            binary_tree(3), num_threads=4, machine_config=SMALL
+        )
+        assert study.report.metrics.deviation is not None
+
+    def test_skip_reference(self):
+        study = profile_program(
+            binary_tree(3),
+            num_threads=4,
+            machine_config=SMALL,
+            reference_threads=None,
+        )
+        assert study.reference is None
+        assert study.speedup == 1.0
+
+    def test_loop_program_study(self):
+        study = profile_program(
+            micro.fig3b(), num_threads=2, machine_config=SMALL
+        )
+        assert study.graph.num_grains == 6  # 5 chunks + root
+
+    def test_graph_validated_by_default(self):
+        # validate=True is exercised by every call above; smoke the flag.
+        study = profile_program(
+            micro.fig3a(), num_threads=2, machine_config=SMALL, validate=False
+        )
+        assert study.graph.num_grains == 4
+
+
+class TestSpeedupTable:
+    def test_rows_per_program_and_flavor(self):
+        rows = speedup_table(
+            [binary_tree(4, leaf_cycles=5000)],
+            flavors=(MIR, GCC),
+            num_threads=4,
+            machine_config=SMALL,
+        )
+        assert len(rows) == 2
+        assert {r.flavor for r in rows} == {"MIR", "GCC"}
+        assert all(r.speedup > 0 for r in rows)
+
+    def test_baseline_is_shared_across_flavors(self):
+        rows = speedup_table(
+            [binary_tree(4, leaf_cycles=5000)],
+            flavors=(MIR, GCC, ICC),
+            num_threads=4,
+            machine_config=SMALL,
+        )
+        baselines = {r.single_core_cycles for r in rows}
+        assert len(baselines) == 1  # one ICC single-core baseline
+
+    def test_formatting(self):
+        rows = speedup_table(
+            [binary_tree(3)], flavors=(MIR,), num_threads=2,
+            machine_config=SMALL,
+        )
+        text = format_speedup_table(rows)
+        assert "binary_tree" in text
+        assert "MIR" in text
