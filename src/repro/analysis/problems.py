@@ -13,7 +13,6 @@ import enum
 import math
 from dataclasses import dataclass, field
 
-from ..core.nodes import GrainGraph
 from ..metrics.facade import MetricSet
 from ..metrics.scatter import topology_from_meta
 from .thresholds import Thresholds

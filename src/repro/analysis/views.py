@@ -18,7 +18,6 @@ from __future__ import annotations
 import colorsys
 from dataclasses import dataclass, field
 
-from ..core.nodes import GrainGraph
 from ..metrics.facade import MetricSet
 from .problems import ProblemKind, ProblemReport
 
@@ -138,7 +137,10 @@ def make_view(
                 view.highlighted.add(gid)
             else:
                 view.colors[gid] = DIM
-        view.legend = {"core 0": rainbow_color(0.0), f"core {num_cores - 1}": rainbow_color(1.0)}
+        view.legend = {
+            "core 0": rainbow_color(0.0),
+            f"core {num_cores - 1}": rainbow_color(1.0),
+        }
         return view
 
     problem_kind = _PROBLEM_OF_VIEW[kind]

@@ -26,7 +26,6 @@ cutoff fix.
 
 from __future__ import annotations
 
-import math
 
 from ..common import SourceLocation
 from ..machine.cost import Access, WorkRequest

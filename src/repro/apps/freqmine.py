@@ -30,7 +30,7 @@ from __future__ import annotations
 from ..common import SourceLocation
 from ..machine.cost import Access, WorkRequest
 from ..machine.memory import RoundRobin
-from ..runtime.actions import Alloc, ParallelFor, Work
+from ..runtime.actions import Alloc, ParallelFor
 from ..runtime.api import Program
 from ..runtime.loops import LoopSpec, Schedule
 
@@ -46,7 +46,9 @@ SETUP_ITERATIONS = 1554
 # isolated to a particular portion").
 _LARGE_POSITIONS = (37, 149, 263, 389, 449, 587, 683, 787, 887, 1013, 1117, 1231)
 # Size fractions of the largest grain; see module docstring calibration.
-_LARGE_FRACTIONS = (1.0, 0.82, 0.70, 0.60, 0.52, 0.45, 0.40, 0.36, 0.32, 0.29, 0.26, 0.23)
+_LARGE_FRACTIONS = (
+    1.0, 0.82, 0.70, 0.60, 0.52, 0.45, 0.40, 0.36, 0.32, 0.29, 0.26, 0.23,
+)
 
 LMAX_CYCLES = 3_000_000
 SMALL_CYCLES = 2_700

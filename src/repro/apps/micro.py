@@ -7,13 +7,16 @@
 - :func:`fire_and_forget` — a sweep-style tree without taskwaits,
   synchronizing at the region barrier.
 - :func:`serial_only` — a program with no parallel constructs at all.
+- :func:`racy` / :func:`racy_fixed` — the seeded data-race fixture for
+  ``repro.lint``'s happens-before checker: two sibling tasks write one
+  region with no ordering ``TaskWait`` (and the corrected variant).
 """
 
 from __future__ import annotations
 
 from ..common import SourceLocation
 from ..machine.cost import WorkRequest
-from ..runtime.actions import ParallelFor, Spawn, TaskWait, Work
+from ..runtime.actions import Alloc, Footprint, ParallelFor, Spawn, TaskWait, Work
 from ..runtime.api import Program
 from ..runtime.loops import LoopSpec, Schedule
 
@@ -22,6 +25,7 @@ LOC_BAR = SourceLocation("fig3.c", 4, "bar")
 LOC_BAZ = SourceLocation("fig3.c", 7, "baz")
 LOC_LOOP = SourceLocation("fig3.c", 20, "loop")
 LOC_SWEEP = SourceLocation("micro.c", 40, "sweep")
+LOC_RACY = SourceLocation("racy.c", 12, "update")
 
 
 def _leaf(cycles: int):
@@ -100,3 +104,51 @@ def serial_only(cycles: int = 10_000) -> Program:
         yield Work(WorkRequest(cycles=cycles))
 
     return Program("serial_only", main, input_summary=f"cycles={cycles}")
+
+
+def _writer(cycles: int, start: int, end: int):
+    def body():
+        yield Work(
+            WorkRequest(cycles=cycles),
+            writes=(Footprint("shared", start, end),),
+        )
+
+    return body
+
+
+def racy(size_bytes: int = 4096, cycles: int = 800) -> Program:
+    """Two sibling tasks write the whole of one region with no ordering
+    ``TaskWait`` between the spawns: a schedule-dependent outcome that
+    ``race.conflict`` must flag (write/write, and read/write against the
+    parent's post-wait read)."""
+
+    def main():
+        yield Alloc("shared", size_bytes)
+        yield Spawn(_writer(cycles, 0, size_bytes), loc=LOC_RACY, label="w0")
+        yield Spawn(_writer(cycles, 0, size_bytes), loc=LOC_RACY, label="w1")
+        yield TaskWait()
+        yield Work(
+            WorkRequest(cycles=100),
+            reads=(Footprint("shared", 0, size_bytes),),
+        )
+
+    return Program("racy", main, input_summary=f"bytes={size_bytes}")
+
+
+def racy_fixed(size_bytes: int = 4096, cycles: int = 800) -> Program:
+    """The corrected :func:`racy`: a ``TaskWait`` between the spawns
+    orders the writers, and disjoint halves would also have sufficed.
+    ``race.conflict`` must report nothing here."""
+
+    def main():
+        yield Alloc("shared", size_bytes)
+        yield Spawn(_writer(cycles, 0, size_bytes), loc=LOC_RACY, label="w0")
+        yield TaskWait()
+        yield Spawn(_writer(cycles, 0, size_bytes), loc=LOC_RACY, label="w1")
+        yield TaskWait()
+        yield Work(
+            WorkRequest(cycles=100),
+            reads=(Footprint("shared", 0, size_bytes),),
+        )
+
+    return Program("racy_fixed", main, input_summary=f"bytes={size_bytes}")

@@ -8,6 +8,7 @@ grain durations and a makespan bound.
 
 from .packing import (
     first_fit_decreasing,
+    lower_bound_l2,
     pack_feasible,
     minimum_cores,
     minimum_cores_for_graph,
@@ -16,6 +17,7 @@ from .packing import (
 
 __all__ = [
     "first_fit_decreasing",
+    "lower_bound_l2",
     "pack_feasible",
     "minimum_cores",
     "minimum_cores_for_graph",

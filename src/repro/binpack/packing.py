@@ -5,18 +5,53 @@ Two solvers layered the classic way:
 - :func:`first_fit_decreasing` — the 11/9 OPT + 1 approximation, used as
   an upper bound and as the branch-and-bound's incumbent,
 - :func:`pack_feasible` — exact feasibility for a fixed bin count by
-  depth-first search with symmetry breaking and memoized failure states,
+  depth-first search with symmetry breaking, exact-fit dominance, a
+  Martello-Toth L2 lower-bound precheck, and memoized failure states,
   which is what a straightforward Gecode model would do.
 
-:func:`minimum_cores` binary-searches/linear-scans bin counts between the
-area lower bound and the FFD solution.  Instances from the Freqmine use
-case (about 1300 items, a handful of huge ones) solve in milliseconds
-because FFD is already optimal or off by one.
+:func:`minimum_cores` linear-scans bin counts between the Martello-Toth
+lower bound and the FFD solution.  Instances from the Freqmine use case
+(about 1300 items, a handful of huge ones) solve in milliseconds because
+FFD is already optimal or off by one; adversarial instances (the
+property-test generators) are kept fast by the L2 precheck — which
+proves most infeasible counts without search — and by a bounded node
+budget with FFD fallback.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+
+def lower_bound_l2(items: list[int], capacity: int) -> int:
+    """The Martello-Toth L2 lower bound on the number of bins.
+
+    For a threshold ``k``, items larger than ``capacity - k`` each need a
+    private bin whose residual (< k) is useless to items >= k; items over
+    half the capacity cannot share with each other; the rest of the
+    >= k mass must fit into those bins' leftovers or new bins.  Maximized
+    over all thresholds; always at least the area bound ``ceil(sum/C)``.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    sizes = [s for s in items if s > 0]
+    best = 0
+    thresholds = {0} | {s for s in sizes if 2 * s <= capacity}
+    for k in thresholds:
+        huge = big = 0  # |J1|, |J2|
+        big_sum = small_sum = 0  # sum(J2), sum(J3)
+        for s in sizes:
+            if s > capacity - k:
+                huge += 1
+            elif 2 * s > capacity:
+                big += 1
+                big_sum += s
+            elif s >= k:
+                small_sum += s
+        spill = small_sum - (big * capacity - big_sum)
+        bound = huge + big + (-(-spill // capacity) if spill > 0 else 0)
+        best = max(best, bound)
+    return best
 
 
 @dataclass(frozen=True)
@@ -67,8 +102,21 @@ def pack_feasible(
 ) -> PackingResult | None:
     """Exact: can ``items`` fit into ``bins`` bins of ``capacity``?
 
-    Branch-and-bound over items in decreasing order; identical-load bins
-    are interchangeable, so an item is only tried in the first empty bin.
+    Branch-and-bound over items in decreasing order with three classic
+    prunings on top of the search:
+
+    - symmetry breaking: identical-load bins are interchangeable, so an
+      item is tried at most once per distinct load (and only in the
+      first empty bin);
+    - exact-fit dominance: if the current (largest remaining) item
+      exactly fills some bin's residual, committing it there is
+      dominant — any solution can be rearranged into one that does —
+      so no other placement is branched;
+    - memoized failure states: a failed ``(item index, sorted loads)``
+      state is never re-explored via a different assignment history.
+
+    Infeasibility of most instances is proved outright by the
+    Martello-Toth :func:`lower_bound_l2` precheck, without search.
     Returns a packing or ``None``; raises on hitting the node limit.
     """
     if bins <= 0:
@@ -79,9 +127,22 @@ def pack_feasible(
         return None
     if sum(sizes) > bins * capacity:
         return None
+    if lower_bound_l2(sizes, capacity) > bins:
+        return None
     loads = [0] * bins
     assignment = [-1] * len(sizes)
     nodes = 0
+    failed: set[tuple[int, tuple[int, ...]]] = set()
+    memo_limit = 200_000  # bound the memo, not correctness
+
+    def place(index: int, b: int) -> bool:
+        loads[b] += sizes[index]
+        assignment[index] = b
+        if dfs(index + 1):
+            return True
+        loads[b] -= sizes[index]
+        assignment[index] = -1
+        return False
 
     def dfs(index: int) -> bool:
         nonlocal nodes
@@ -90,21 +151,30 @@ def pack_feasible(
             raise RuntimeError("bin-packing node limit exceeded")
         if index == len(sizes):
             return True
+        state = (index, tuple(sorted(loads)))
+        if state in failed:
+            return False
         size = sizes[index]
-        tried: set[int] = set()
-        for b in range(bins):
-            if loads[b] + size > capacity or loads[b] in tried:
-                continue
-            tried.add(loads[b])
-            loads[b] += size
-            assignment[index] = b
-            if dfs(index + 1):
-                return True
-            loads[b] -= size
-            assignment[index] = -1
-            if loads[b] == 0:
-                break  # all further empty bins are symmetric
-        return False
+        exact = next(
+            (b for b in range(bins) if loads[b] + size == capacity), None
+        )
+        if exact is not None:
+            ok = place(index, exact)
+        else:
+            ok = False
+            tried: set[int] = set()
+            for b in range(bins):
+                if loads[b] + size > capacity or loads[b] in tried:
+                    continue
+                tried.add(loads[b])
+                if place(index, b):
+                    ok = True
+                    break
+                if loads[b] == 0:
+                    break  # all further empty bins are symmetric
+        if not ok and len(failed) < memo_limit:
+            failed.add(state)
+        return ok
 
     if not dfs(0):
         return None
@@ -120,27 +190,30 @@ def pack_feasible(
 
 
 def minimum_cores(
-    durations: list[int], makespan: int, exact_limit: int = 64
+    durations: list[int], makespan: int, exact_limit: int = 64,
+    node_limit: int = 50_000,
 ) -> PackingResult:
     """Fewest cores keeping every core's total within ``makespan``.
 
-    Scans from the area lower bound up to the FFD answer, using the exact
-    solver when the bin-count gap is small (``exact_limit`` bounds the
-    number of exact attempts; FFD is returned if exactness is abandoned).
+    Scans from the Martello-Toth lower bound up to the FFD answer, using
+    the exact solver when the bin-count gap is small (``exact_limit``
+    bounds the number of exact attempts, ``node_limit`` each attempt's
+    search; FFD is returned if exactness is abandoned, keeping the
+    answer within [area bound, FFD] in bounded time).
     """
     if makespan <= 0:
         raise ValueError("makespan bound must be positive")
     if not durations:
         return PackingResult(num_bins=0, capacity=makespan, assignment=(), loads=())
     ffd = first_fit_decreasing(durations, makespan)
-    lower = max(1, -(-sum(durations) // makespan))
+    lower = max(1, lower_bound_l2(durations, makespan))
     attempts = 0
     for bins in range(lower, ffd.num_bins):
         attempts += 1
         if attempts > exact_limit:
             break
         try:
-            result = pack_feasible(durations, makespan, bins)
+            result = pack_feasible(durations, makespan, bins, node_limit)
         except RuntimeError:
             break
         if result is not None:

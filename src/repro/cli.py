@@ -12,6 +12,13 @@ Subcommands::
 
     grain-graphs speedups PROGRAM [PROGRAM ...] [--threads 48]
         The Fig. 1 table for the named programs.
+
+    grain-graphs lint PROGRAM [--flavor MIR] [--threads 48] [--json]
+                 [--fail-on warning|error] [--verbose]
+        Run every registered diagnostic pass (structure, trace
+        invariants, happens-before races) over the program's trace and
+        grain graphs; exit non-zero if findings reach the --fail-on
+        severity.
 """
 
 from __future__ import annotations
@@ -23,7 +30,8 @@ from typing import Callable
 from .analysis.views import VIEW_KINDS, make_view
 from .apps import fft, freqmine, kdtree, micro, others, sort, sparselu, strassen
 from .core.reductions import reduce_graph
-from .runtime.api import Program
+from .lint import Severity, render_json, render_text, run_lint
+from .runtime.api import Program, run_program
 from .runtime.flavors import flavor_by_name
 from .workflow import format_speedup_table, profile_program, speedup_table
 
@@ -52,6 +60,8 @@ PROGRAMS: dict[str, Callable[[], Program]] = {
     "bodytrack": others.bodytrack,
     "fig3a": micro.fig3a,
     "fig3b": micro.fig3b,
+    "racy": micro.racy,
+    "racy-fixed": micro.racy_fixed,
 }
 
 
@@ -107,6 +117,22 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    program = _resolve(args.program)
+    result = run_program(
+        program,
+        flavor=flavor_by_name(args.flavor),
+        num_threads=args.threads,
+    )
+    report = run_lint(trace=result.trace, program=program.name)
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    threshold = Severity.from_label(args.fail_on)
+    return 1 if report.at_or_above(threshold) else 0
+
+
 def cmd_speedups(args) -> int:
     programs = [_resolve(name) for name in args.programs]
     rows = speedup_table(programs, num_threads=args.threads)
@@ -137,6 +163,21 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument("--view", default="parallel_benefit",
                          choices=VIEW_KINDS)
     analyze.set_defaults(fn=cmd_analyze)
+
+    lint = sub.add_parser(
+        "lint", help="run diagnostic passes over a program's trace and graphs"
+    )
+    lint.add_argument("program")
+    lint.add_argument("--flavor", default="MIR", help="MIR | ICC | GCC")
+    lint.add_argument("--threads", type=int, default=8)
+    lint.add_argument("--json", action="store_true",
+                      help="emit the machine-readable diagnostic report")
+    lint.add_argument("--fail-on", default="error",
+                      choices=["info", "warning", "error"],
+                      help="exit non-zero at or above this severity")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list every pass that ran")
+    lint.set_defaults(fn=cmd_lint)
 
     speedups = sub.add_parser("speedups", help="Fig. 1 style speedup table")
     speedups.add_argument("programs", nargs="+")

@@ -142,6 +142,8 @@ def build_grain_graph(trace: Trace) -> GrainGraph:
                     frag_seq=event.seq,
                     definition=create.definition,
                     loc=create.loc,
+                    reads=event.reads,
+                    writes=event.writes,
                 )
                 grain.intervals.append((event.start, event.end, event.core))
                 grain.counters += event.counters
@@ -301,6 +303,8 @@ def _build_loop(
                     iter_range=(event.iter_start, event.iter_end),
                     definition=begin.definition,
                     loc=begin.loc,
+                    reads=event.reads,
+                    writes=event.writes,
                 )
                 if chain_prev is None:  # pragma: no cover - defensive
                     raise AssertionError("chunk before any bookkeeping node")

@@ -16,7 +16,6 @@ from __future__ import annotations
 import statistics
 from dataclasses import dataclass, field
 
-from .grains import Grain
 from .nodes import GrainGraph
 
 

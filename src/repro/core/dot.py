@@ -37,7 +37,9 @@ def write_dot(graph: GrainGraph, path: str | Path, view=None) -> Path:
             f"label={_quote(label)}",
         ]
         if view is not None and node.grain_id:
-            attrs.append(f'style=filled, fillcolor={_quote(view.color_of(node.grain_id))}')
+            attrs.append(
+                f'style=filled, fillcolor={_quote(view.color_of(node.grain_id))}'
+            )
         lines.append(f"  n{nid} [{', '.join(attrs)}];")
     for edge in graph.edges:
         lines.append(

@@ -12,9 +12,8 @@ active view, and red borders on the critical path.
 
 from __future__ import annotations
 
-import math
 from pathlib import Path
-from xml.sax.saxutils import escape, quoteattr
+from xml.sax.saxutils import escape
 
 from .layout import Layout, layered_layout
 from .nodes import EdgeKind, GrainGraph, NodeKind

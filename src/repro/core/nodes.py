@@ -11,7 +11,7 @@ networkx for generic algorithms.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Optional
 
 from ..machine.counters import CounterSet
@@ -65,6 +65,11 @@ class GGNode:
     implicit: bool = False  # implicit end-of-region barrier join
     members: tuple[int, ...] = ()  # node ids grouped into this node
     duration_override: Optional[int] = None  # aggregate weight of a group
+    # Memory footprints of the grain node's work segments, as
+    # (region, byte_start, byte_end) triples — consumed by repro.lint's
+    # happens-before race detector.
+    reads: tuple[tuple[str, int, int], ...] = ()
+    writes: tuple[tuple[str, int, int], ...] = ()
 
     @property
     def duration(self) -> int:

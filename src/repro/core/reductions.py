@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..machine.counters import CounterSet
-from .nodes import EdgeKind, GGNode, GrainGraph, NodeKind
+from .nodes import EdgeKind, GrainGraph, NodeKind
 
 _KIND_PRIORITY = {EdgeKind.CREATION: 0, EdgeKind.JOIN: 1, EdgeKind.CONTINUATION: 2}
 
@@ -155,11 +155,21 @@ def _contract(graph: GrainGraph, partition: dict[int, tuple]) -> GrainGraph:
                 member_ids.extend(member.members or (mid,))
             node = out.new_node(
                 first.kind,
-                start=min(m for m in (graph.nodes[i].start for i in members) if m is not None),
-                end=max(m for m in (graph.nodes[i].end for i in members) if m is not None),
+                start=min(
+                    m for m in (graph.nodes[i].start for i in members)
+                    if m is not None
+                ),
+                end=max(
+                    m for m in (graph.nodes[i].end for i in members)
+                    if m is not None
+                ),
                 core=first.core,
                 counters=counters,
-                grain_id=first.grain_id if len({graph.nodes[i].grain_id for i in members}) == 1 else None,
+                grain_id=(
+                    first.grain_id
+                    if len({graph.nodes[i].grain_id for i in members}) == 1
+                    else None
+                ),
                 tid=first.tid,
                 loop_id=first.loop_id,
                 thread=first.thread,

@@ -17,11 +17,16 @@ Checked invariants:
    nodes always continue to a book-keeping node.
 7. Grain intervals never overlap for the same grain and match the graph's
    fragment nodes.
+
+This module is now a thin shim: the checks themselves live in
+``repro.lint.graph_passes`` as collecting passes (``structure.*`` rules),
+so one lint run can report *every* violation.  :func:`validate_graph`
+keeps the historical raise-on-first-error contract on top of them.
 """
 
 from __future__ import annotations
 
-from .nodes import EdgeKind, GGNode, GrainGraph, NodeKind
+from .nodes import GrainGraph
 
 
 class StructureError(ValueError):
@@ -37,157 +42,9 @@ def validate_graph(graph: GrainGraph, reduced: bool | None = None) -> None:
     book-keeping node).  When ``None``, it is inferred from the presence
     of grouped nodes.
     """
-    if reduced is None:
-        reduced = any(node.is_group for node in graph.nodes.values())
-    _check_acyclic(graph)
-    for node in graph.nodes.values():
-        if node.kind is NodeKind.FORK:
-            _check_fork(graph, node, reduced)
-        elif node.kind is NodeKind.JOIN:
-            _check_join(graph, node)
-        elif not reduced and node.kind is NodeKind.BOOKKEEPING:
-            _check_bookkeeping(graph, node)
-        elif not reduced and node.kind is NodeKind.CHUNK:
-            _check_chunk(graph, node)
-    for edge in graph.edges:
-        _check_edge(graph, edge)
-    _check_grains(graph)
+    # Imported lazily: repro.lint imports repro.core.nodes, so a module-
+    # level import here would be circular.
+    from ..lint.graph_passes import structure_diagnostics
 
-
-def _check_acyclic(graph: GrainGraph) -> None:
-    try:
-        graph.topological_order()
-    except ValueError as exc:
-        raise StructureError(str(exc)) from None
-
-
-def _check_fork(graph: GrainGraph, node: GGNode, reduced: bool = False) -> None:
-    creations = [
-        (dst, kind)
-        for dst, kind in graph.successors(node.node_id)
-        if kind is EdgeKind.CREATION
-    ]
-    if node.team_fork or (reduced and node.is_group):
-        if not creations:
-            raise StructureError(f"team fork {node.node_id} creates nothing")
-        return
-    if reduced:
-        if len(creations) != 1:
-            raise StructureError(
-                f"ungrouped fork {node.node_id} has {len(creations)} "
-                "creation edges"
-            )
-        return
-    if len(creations) != 1:
-        raise StructureError(
-            f"fork {node.node_id} has {len(creations)} creation edges "
-            "(must connect to a single child fragment)"
-        )
-    dst = graph.nodes[creations[0][0]]
-    if dst.kind is not NodeKind.FRAGMENT:
-        raise StructureError(
-            f"fork {node.node_id} creation edge targets {dst.kind.value}"
-        )
-    continuations = [
-        dst
-        for dst, kind in graph.successors(node.node_id)
-        if kind is EdgeKind.CONTINUATION
-    ]
-    if len(continuations) > 1:
-        raise StructureError(
-            f"fork {node.node_id} has {len(continuations)} continuations"
-        )
-
-
-def _check_join(graph: GrainGraph, node: GGNode) -> None:
-    incoming = graph.predecessors(node.node_id)
-    if not incoming:
-        raise StructureError(f"join {node.node_id} has no incoming edges")
-    has_grain_input = any(
-        graph.nodes[src].kind
-        in (NodeKind.FRAGMENT, NodeKind.BOOKKEEPING, NodeKind.CHUNK)
-        for src, _ in incoming
-    )
-    if not has_grain_input:
-        raise StructureError(
-            f"join {node.node_id}: at least one fragment/chain must connect"
-        )
-
-
-def _check_bookkeeping(graph: GrainGraph, node: GGNode) -> None:
-    for dst, kind in graph.successors(node.node_id):
-        succ = graph.nodes[dst]
-        if succ.kind not in (NodeKind.CHUNK, NodeKind.JOIN):
-            raise StructureError(
-                f"book-keeping {node.node_id} continues to {succ.kind.value}; "
-                "must be a chunk (iterations remain) or a join (done)"
-            )
-
-
-def _check_chunk(graph: GrainGraph, node: GGNode) -> None:
-    succs = graph.successors(node.node_id)
-    if len(succs) != 1:
-        raise StructureError(
-            f"chunk {node.node_id} has {len(succs)} successors (wants 1)"
-        )
-    succ = graph.nodes[succs[0][0]]
-    if succ.kind is not NodeKind.BOOKKEEPING:
-        raise StructureError(
-            f"chunk {node.node_id} must continue to a book-keeping node, "
-            f"found {succ.kind.value}"
-        )
-
-
-def _check_edge(graph: GrainGraph, edge) -> None:
-    src, dst = graph.nodes[edge.src], graph.nodes[edge.dst]
-    if edge.kind is EdgeKind.CREATION:
-        if src.kind is not NodeKind.FORK:
-            raise StructureError(f"creation edge from {src.kind.value}")
-        ok = dst.kind is NodeKind.FRAGMENT or (
-            src.team_fork and dst.kind in (NodeKind.BOOKKEEPING, NodeKind.JOIN)
-        )
-        if not ok:
-            raise StructureError(f"creation edge into {dst.kind.value}")
-    elif edge.kind is EdgeKind.JOIN:
-        if src.kind is not NodeKind.FRAGMENT or dst.kind is not NodeKind.JOIN:
-            raise StructureError(
-                f"join edge {src.kind.value} -> {dst.kind.value}"
-            )
-    elif edge.kind is EdgeKind.CONTINUATION:
-        # Same-context rule: matching task ids for task-context edges;
-        # loop-internal edges share the loop id.  Sanctioned seams:
-        # fragment -> team fork and loop join -> fragment (the loop is
-        # embedded in the enclosing implicit task's context).
-        if src.tid is not None and dst.tid is not None and src.tid != dst.tid:
-            raise StructureError(
-                f"continuation edge crosses task contexts "
-                f"{src.tid} -> {dst.tid}"
-            )
-        if (
-            src.loop_id is not None
-            and dst.loop_id is not None
-            and src.loop_id != dst.loop_id
-        ):
-            raise StructureError(
-                f"continuation edge crosses loop contexts "
-                f"{src.loop_id} -> {dst.loop_id}"
-            )
-
-
-def _check_grains(graph: GrainGraph) -> None:
-    node_grain_ids = {
-        node.grain_id for node in graph.grain_nodes() if node.grain_id
-    }
-    missing = node_grain_ids - set(graph.grains)
-    if missing:
-        raise StructureError(f"grain nodes without grain records: {missing}")
-    for gid, grain in graph.grains.items():
-        intervals = sorted(grain.intervals)
-        for (s1, e1, _), (s2, _, _) in zip(intervals, intervals[1:]):
-            if s2 < e1:
-                raise StructureError(
-                    f"grain {gid} has overlapping execution intervals"
-                )
-        for s, e, _ in intervals:
-            if e < s:
-                raise StructureError(f"grain {gid} has negative-length span")
+    for diagnostic in structure_diagnostics(graph, reduced=reduced):
+        raise StructureError(diagnostic.message)

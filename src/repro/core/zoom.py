@@ -13,11 +13,10 @@ Two navigation tools the paper describes:
 
 from __future__ import annotations
 
-from typing import Iterable
 
 from ..machine.counters import CounterSet
 from .grains import GrainKind
-from .ids import parse_task_gid, task_gid
+from .ids import parse_task_gid
 from .nodes import EdgeKind, GrainGraph, NodeKind
 
 

@@ -1,0 +1,50 @@
+"""``repro.lint`` — diagnostic passes over traces and grain graphs.
+
+A pluggable static-analysis framework in the DiscoPoP-explorer mold:
+*passes* run over the three artifact layers (event trace, grain graph,
+reduced graph) and emit structured :class:`Diagnostic` records instead of
+raising on the first error.  Ships with:
+
+- the seven Sec. 3.1 structural constraints (``structure.*``),
+- six trace/runtime-invariant audits (``trace.*``),
+- a TASKPROF-style happens-before data-race and determinism checker
+  (``race.conflict``) over the memory footprints recorded by
+  :class:`~repro.runtime.actions.Work` / ``Alloc``.
+
+Entry points: :func:`run_lint` (library), ``grain-graphs lint`` (CLI),
+``profile_program(lint=True)`` (workflow).
+"""
+
+from .diagnostics import Diagnostic, LintReport, Severity
+from .framework import (
+    GRAPH_LAYER,
+    TRACE_LAYER,
+    LintPass,
+    all_passes,
+    get_pass,
+    register,
+    run_lint,
+)
+
+# Importing the pass modules registers their passes.
+from . import graph_passes, races, trace_passes  # noqa: E402,F401
+from .graph_passes import STRUCTURE_RULES, structure_diagnostics
+from .reporters import format_summary, render_json, render_text
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "LintPass",
+    "GRAPH_LAYER",
+    "TRACE_LAYER",
+    "STRUCTURE_RULES",
+    "all_passes",
+    "get_pass",
+    "register",
+    "run_lint",
+    "structure_diagnostics",
+    "format_summary",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,145 @@
+"""Diagnostic records and the lint report container.
+
+A :class:`Diagnostic` is one finding of one lint pass: a stable rule id,
+a severity, a human message, and an anchor into the artifact it was found
+in (a graph node id, a trace event index, a grain id, and/or a source
+location).  Passes *collect* diagnostics instead of raising, so a single
+lint run audits the whole trace/graph rather than stopping at the first
+violation.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; comparisons follow the numeric order."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {label!r}; expected one of "
+                f"{[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one lint pass."""
+
+    rule_id: str
+    severity: Severity
+    message: str
+    artifact: str = "graph"  # "trace" | "graph" | "reduced"
+    node_id: Optional[int] = None
+    event_index: Optional[int] = None
+    grain_id: Optional[str] = None
+    loc: str = ""
+    fix_hint: str = ""
+
+    def anchor(self) -> str:
+        """Human-readable location of the finding inside its artifact."""
+        parts = []
+        if self.node_id is not None:
+            parts.append(f"node {self.node_id}")
+        if self.event_index is not None:
+            parts.append(f"event {self.event_index}")
+        if self.grain_id:
+            parts.append(f"grain {self.grain_id}")
+        if self.loc:
+            parts.append(self.loc)
+        return ", ".join(parts) if parts else self.artifact
+
+    def with_artifact(self, artifact: str) -> "Diagnostic":
+        return replace(self, artifact=artifact)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule_id": self.rule_id,
+            "severity": self.severity.label,
+            "message": self.message,
+            "artifact": self.artifact,
+            "node_id": self.node_id,
+            "event_index": self.event_index,
+            "grain_id": self.grain_id,
+            "loc": self.loc,
+            "fix_hint": self.fix_hint,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Diagnostic":
+        d = dict(d)
+        d["severity"] = Severity.from_label(d["severity"])
+        return cls(**d)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, plus which passes produced them.
+
+    ``passes_run`` lists ``(rule_id, artifact)`` pairs in execution order,
+    so "no findings" is distinguishable from "pass never ran".
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    passes_run: list[tuple[str, str]] = field(default_factory=list)
+    program: str = ""
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= Severity.ERROR]
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def at_or_above(self, threshold: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule_id == rule_id]
+
+    def to_dict(self) -> dict:
+        return {
+            "program": self.program,
+            "passes_run": [list(p) for p in self.passes_run],
+            "counts": {
+                severity.label: self.count(severity) for severity in Severity
+            },
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "LintReport":
+        report = cls(program=d.get("program", ""))
+        report.passes_run = [tuple(p) for p in d.get("passes_run", [])]
+        report.diagnostics = [
+            Diagnostic.from_dict(item) for item in d.get("diagnostics", [])
+        ]
+        return report

@@ -1,0 +1,153 @@
+"""The pluggable pass framework: registry, contexts, and the runner.
+
+A *pass* is a function examining one artifact layer and yielding
+:class:`~repro.lint.diagnostics.Diagnostic` records:
+
+- ``layer="trace"`` passes receive the event :class:`~repro.profiler.
+  trace.Trace` and audit runtime invariants (monotonic time, balanced
+  events, one grain per worker at a time, ...),
+- ``layer="graph"`` passes receive a :class:`~repro.core.nodes.
+  GrainGraph` plus a ``reduced`` flag and audit the Sec. 3.1 structural
+  constraints; unless registered with ``reduced_too=False`` they run
+  again on the reduced graph (whose rule set legitimately relaxes fork
+  arity and chunk chaining).
+
+Passes register themselves with :func:`register`; :func:`run_lint` runs
+every registered pass (or an explicit subset) over whichever artifacts
+the caller provides and returns a :class:`LintReport`.  DiscoPoP's
+explorer popularized this shape — many small analyses over one
+parallelism graph — and it is what lets the race detector, the structure
+checks, and future passes coexist without touching the runner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..core.nodes import GrainGraph
+from ..profiler.trace import Trace
+from .diagnostics import Diagnostic, LintReport
+
+TRACE_LAYER = "trace"
+GRAPH_LAYER = "graph"
+
+
+@dataclass(frozen=True)
+class LintPass:
+    """One registered diagnostic pass."""
+
+    rule_id: str
+    title: str
+    layer: str  # TRACE_LAYER | GRAPH_LAYER
+    fn: Callable
+    reduced_too: bool = True  # graph passes: also lint the reduced graph
+
+    def __post_init__(self) -> None:
+        if self.layer not in (TRACE_LAYER, GRAPH_LAYER):
+            raise ValueError(f"unknown lint layer {self.layer!r}")
+
+
+_REGISTRY: dict[str, LintPass] = {}
+
+
+def register(
+    rule_id: str, title: str, layer: str, reduced_too: bool = True
+) -> Callable:
+    """Decorator registering a pass function under ``rule_id``."""
+
+    def deco(fn: Callable) -> Callable:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate lint rule id {rule_id!r}")
+        _REGISTRY[rule_id] = LintPass(
+            rule_id=rule_id, title=title, layer=layer, fn=fn,
+            reduced_too=reduced_too,
+        )
+        return fn
+
+    return deco
+
+
+def all_passes() -> list[LintPass]:
+    """Registered passes in registration order."""
+    return list(_REGISTRY.values())
+
+
+def get_pass(rule_id: str) -> LintPass:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown lint pass {rule_id!r}; registered: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def graph_is_reduced(graph: GrainGraph) -> bool:
+    """The same inference ``validate_graph`` uses: grouped nodes mark a
+    reduced graph."""
+    return any(node.is_group for node in graph.nodes.values())
+
+
+def run_lint(
+    trace: Optional[Trace] = None,
+    graph: Optional[GrainGraph] = None,
+    reduced_graph: Optional[GrainGraph] = None,
+    passes: Optional[Sequence[LintPass | str]] = None,
+    build_missing: bool = True,
+    program: str = "",
+) -> LintReport:
+    """Run passes over the provided artifact layers.
+
+    With ``build_missing`` (default), the grain graph is built from the
+    trace and the reduced graph from the grain graph when not supplied,
+    so ``run_lint(trace=result.trace)`` audits all three layers.  Layers
+    that are absent simply skip their passes (recorded by omission from
+    ``report.passes_run``).
+    """
+    if graph is None and trace is not None and build_missing:
+        from ..core.builder import build_grain_graph
+
+        graph = build_grain_graph(trace)
+    if reduced_graph is None and graph is not None and build_missing:
+        if not graph_is_reduced(graph):
+            from ..core.reductions import reduce_graph
+
+            reduced_graph, _ = reduce_graph(graph)
+    selected: list[LintPass] = []
+    for item in passes if passes is not None else all_passes():
+        selected.append(get_pass(item) if isinstance(item, str) else item)
+    if not program and trace is not None and trace.meta is not None:
+        program = trace.meta.program
+    report = LintReport(program=program)
+    for lint_pass in selected:
+        if lint_pass.layer == TRACE_LAYER:
+            if trace is None:
+                continue
+            _run_one(report, lint_pass, "trace", lint_pass.fn(trace))
+        else:
+            if graph is not None:
+                _run_one(
+                    report,
+                    lint_pass,
+                    "graph",
+                    lint_pass.fn(graph, reduced=graph_is_reduced(graph)),
+                )
+            if reduced_graph is not None and lint_pass.reduced_too:
+                _run_one(
+                    report,
+                    lint_pass,
+                    "reduced",
+                    lint_pass.fn(reduced_graph, reduced=True),
+                )
+    return report
+
+
+def _run_one(
+    report: LintReport,
+    lint_pass: LintPass,
+    artifact: str,
+    found: Iterable[Diagnostic],
+) -> None:
+    report.passes_run.append((lint_pass.rule_id, artifact))
+    report.extend(d.with_artifact(artifact) for d in found)

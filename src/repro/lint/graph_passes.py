@@ -1,0 +1,325 @@
+"""Structural passes: the Sec. 3.1 grain-graph constraints.
+
+These are the seven invariants ``repro.core.validate`` historically
+enforced by raising on the first violation, ported to collecting passes
+(:func:`~repro.core.validate.validate_graph` is now a thin shim over
+:func:`structure_diagnostics`).  Message texts are kept identical to the
+original validator so downstream matching keeps working.
+
+1. ``structure.acyclic`` — the graph is a DAG.
+2. ``structure.fork-arity`` — fork creation/continuation arity and
+   creation-target kinds (team forks and grouped forks relax arity).
+3. ``structure.join-inputs`` — every join receives at least one
+   fragment/chain input.
+4. ``structure.chain-order`` — book-keeping nodes continue to a chunk or
+   a join; chunks continue to exactly one book-keeping node.
+5. ``structure.edge-endpoints`` — creation edges go fork -> fragment
+   (or fork -> book-keeping/join for team forks); join edges go
+   fragment -> join.
+6. ``structure.continuation-context`` — continuation edges stay within
+   one task/loop context.
+7. ``structure.grain-intervals`` — grain records exist for all grain
+   nodes; execution intervals are non-overlapping and non-negative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.nodes import EdgeKind, GGNode, GrainGraph, NodeKind
+from .diagnostics import Diagnostic, Severity
+from .framework import GRAPH_LAYER, register
+
+# Canonical order for first-error semantics in the validate_graph shim:
+# node-level checks precede edge checks, which precede grain checks,
+# mirroring the original validator's control flow.
+STRUCTURE_RULES = (
+    "structure.acyclic",
+    "structure.fork-arity",
+    "structure.join-inputs",
+    "structure.chain-order",
+    "structure.edge-endpoints",
+    "structure.continuation-context",
+    "structure.grain-intervals",
+)
+
+
+def _error(rule_id: str, message: str, **kwargs) -> Diagnostic:
+    return Diagnostic(
+        rule_id=rule_id, severity=Severity.ERROR, message=message, **kwargs
+    )
+
+
+@register("structure.acyclic", "graph is a DAG", GRAPH_LAYER)
+def check_acyclic(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
+    try:
+        graph.topological_order()
+    except ValueError as exc:
+        # Name one node stuck on a cycle so the finding has an anchor.
+        indeg = {nid: graph.in_degree(nid) for nid in graph.nodes}
+        stack = [nid for nid, d in indeg.items() if d == 0]
+        while stack:
+            nid = stack.pop()
+            for succ, _ in graph.successors(nid):
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    stack.append(succ)
+        cyclic = sorted(nid for nid, d in indeg.items() if d > 0)
+        yield _error(
+            "structure.acyclic",
+            str(exc),
+            node_id=cyclic[0] if cyclic else None,
+            fix_hint="a control-flow edge points backwards; check the "
+            "builder's continuation/join wiring",
+        )
+
+
+@register("structure.fork-arity", "fork node arity", GRAPH_LAYER)
+def check_fork_arity(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
+    for node in graph.nodes.values():
+        if node.kind is not NodeKind.FORK:
+            continue
+        yield from _check_fork(graph, node, reduced)
+
+
+def _check_fork(
+    graph: GrainGraph, node: GGNode, reduced: bool
+) -> Iterator[Diagnostic]:
+    creations = [
+        (dst, kind)
+        for dst, kind in graph.successors(node.node_id)
+        if kind is EdgeKind.CREATION
+    ]
+    anchor = dict(node_id=node.node_id, loc=node.loc)
+    if node.team_fork or (reduced and node.is_group):
+        if not creations:
+            yield _error(
+                "structure.fork-arity",
+                f"team fork {node.node_id} creates nothing",
+                **anchor,
+            )
+        return
+    if reduced:
+        if len(creations) != 1:
+            yield _error(
+                "structure.fork-arity",
+                f"ungrouped fork {node.node_id} has {len(creations)} "
+                "creation edges",
+                **anchor,
+            )
+        return
+    if len(creations) != 1:
+        yield _error(
+            "structure.fork-arity",
+            f"fork {node.node_id} has {len(creations)} creation edges "
+            "(must connect to a single child fragment)",
+            **anchor,
+        )
+        return
+    dst = graph.nodes[creations[0][0]]
+    if dst.kind is not NodeKind.FRAGMENT:
+        yield _error(
+            "structure.fork-arity",
+            f"fork {node.node_id} creation edge targets {dst.kind.value}",
+            **anchor,
+        )
+    continuations = [
+        dst
+        for dst, kind in graph.successors(node.node_id)
+        if kind is EdgeKind.CONTINUATION
+    ]
+    if len(continuations) > 1:
+        yield _error(
+            "structure.fork-arity",
+            f"fork {node.node_id} has {len(continuations)} continuations",
+            **anchor,
+        )
+
+
+@register("structure.join-inputs", "join node inputs", GRAPH_LAYER)
+def check_join_inputs(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
+    for node in graph.nodes.values():
+        if node.kind is not NodeKind.JOIN:
+            continue
+        incoming = graph.predecessors(node.node_id)
+        if not incoming:
+            yield _error(
+                "structure.join-inputs",
+                f"join {node.node_id} has no incoming edges",
+                node_id=node.node_id,
+            )
+            continue
+        has_grain_input = any(
+            graph.nodes[src].kind
+            in (NodeKind.FRAGMENT, NodeKind.BOOKKEEPING, NodeKind.CHUNK)
+            for src, _ in incoming
+        )
+        if not has_grain_input:
+            yield _error(
+                "structure.join-inputs",
+                f"join {node.node_id}: at least one fragment/chain must "
+                "connect",
+                node_id=node.node_id,
+            )
+
+
+@register("structure.chain-order", "book-keeping/chunk chaining", GRAPH_LAYER)
+def check_chain_order(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
+    if reduced:
+        # Reduced graphs group chunks as siblings of the grouped
+        # book-keeping node; per-node chaining legitimately dissolves.
+        return
+    for node in graph.nodes.values():
+        if node.kind is NodeKind.BOOKKEEPING:
+            for dst, _ in graph.successors(node.node_id):
+                succ = graph.nodes[dst]
+                if succ.kind not in (NodeKind.CHUNK, NodeKind.JOIN):
+                    yield _error(
+                        "structure.chain-order",
+                        f"book-keeping {node.node_id} continues to "
+                        f"{succ.kind.value}; must be a chunk (iterations "
+                        "remain) or a join (done)",
+                        node_id=node.node_id,
+                    )
+        elif node.kind is NodeKind.CHUNK:
+            succs = graph.successors(node.node_id)
+            if len(succs) != 1:
+                yield _error(
+                    "structure.chain-order",
+                    f"chunk {node.node_id} has {len(succs)} successors "
+                    "(wants 1)",
+                    node_id=node.node_id,
+                    grain_id=node.grain_id,
+                )
+                continue
+            succ = graph.nodes[succs[0][0]]
+            if succ.kind is not NodeKind.BOOKKEEPING:
+                yield _error(
+                    "structure.chain-order",
+                    f"chunk {node.node_id} must continue to a book-keeping "
+                    f"node, found {succ.kind.value}",
+                    node_id=node.node_id,
+                    grain_id=node.grain_id,
+                )
+
+
+@register("structure.edge-endpoints", "creation/join edge endpoints", GRAPH_LAYER)
+def check_edge_endpoints(
+    graph: GrainGraph, reduced: bool
+) -> Iterator[Diagnostic]:
+    for edge in graph.edges:
+        src, dst = graph.nodes[edge.src], graph.nodes[edge.dst]
+        if edge.kind is EdgeKind.CREATION:
+            if src.kind is not NodeKind.FORK:
+                yield _error(
+                    "structure.edge-endpoints",
+                    f"creation edge from {src.kind.value}",
+                    node_id=edge.src,
+                )
+            ok = dst.kind is NodeKind.FRAGMENT or (
+                src.team_fork
+                and dst.kind in (NodeKind.BOOKKEEPING, NodeKind.JOIN)
+            )
+            if not ok:
+                yield _error(
+                    "structure.edge-endpoints",
+                    f"creation edge into {dst.kind.value}",
+                    node_id=edge.dst,
+                )
+        elif edge.kind is EdgeKind.JOIN:
+            if (
+                src.kind is not NodeKind.FRAGMENT
+                or dst.kind is not NodeKind.JOIN
+            ):
+                yield _error(
+                    "structure.edge-endpoints",
+                    f"join edge {src.kind.value} -> {dst.kind.value}",
+                    node_id=edge.src,
+                )
+
+
+@register(
+    "structure.continuation-context", "continuation context", GRAPH_LAYER
+)
+def check_continuation_context(
+    graph: GrainGraph, reduced: bool
+) -> Iterator[Diagnostic]:
+    # Same-context rule: matching task ids for task-context edges;
+    # loop-internal edges share the loop id.  Sanctioned seams:
+    # fragment -> team fork and loop join -> fragment (the loop is
+    # embedded in the enclosing implicit task's context).
+    for edge in graph.edges:
+        if edge.kind is not EdgeKind.CONTINUATION:
+            continue
+        src, dst = graph.nodes[edge.src], graph.nodes[edge.dst]
+        if src.tid is not None and dst.tid is not None and src.tid != dst.tid:
+            yield _error(
+                "structure.continuation-context",
+                f"continuation edge crosses task contexts "
+                f"{src.tid} -> {dst.tid}",
+                node_id=edge.src,
+            )
+        if (
+            src.loop_id is not None
+            and dst.loop_id is not None
+            and src.loop_id != dst.loop_id
+        ):
+            yield _error(
+                "structure.continuation-context",
+                f"continuation edge crosses loop contexts "
+                f"{src.loop_id} -> {dst.loop_id}",
+                node_id=edge.src,
+            )
+
+
+@register("structure.grain-intervals", "grain interval sanity", GRAPH_LAYER)
+def check_grain_intervals(
+    graph: GrainGraph, reduced: bool
+) -> Iterator[Diagnostic]:
+    node_grain_ids = {
+        node.grain_id for node in graph.grain_nodes() if node.grain_id
+    }
+    missing = node_grain_ids - set(graph.grains)
+    if missing:
+        yield _error(
+            "structure.grain-intervals",
+            f"grain nodes without grain records: {missing}",
+            grain_id=sorted(missing)[0],
+        )
+    for gid, grain in graph.grains.items():
+        intervals = sorted(grain.intervals)
+        for (s1, e1, _), (s2, _, _) in zip(intervals, intervals[1:]):
+            if s2 < e1:
+                yield _error(
+                    "structure.grain-intervals",
+                    f"grain {gid} has overlapping execution intervals",
+                    grain_id=gid,
+                    loc=grain.loc,
+                )
+                break
+        for s, e, _ in intervals:
+            if e < s:
+                yield _error(
+                    "structure.grain-intervals",
+                    f"grain {gid} has negative-length span",
+                    grain_id=gid,
+                    loc=grain.loc,
+                )
+                break
+
+
+def structure_diagnostics(
+    graph: GrainGraph, reduced: bool | None = None
+) -> Iterator[Diagnostic]:
+    """All structural diagnostics in canonical rule order.
+
+    ``reduced=None`` infers the rule set from grouped-node presence, the
+    same way the original validator did.  This is the entry point the
+    :func:`~repro.core.validate.validate_graph` shim consumes.
+    """
+    if reduced is None:
+        reduced = any(node.is_group for node in graph.nodes.values())
+    from .framework import get_pass
+
+    for rule_id in STRUCTURE_RULES:
+        yield from get_pass(rule_id).fn(graph, reduced=reduced)

@@ -1,0 +1,150 @@
+"""Happens-before data-race and determinism checking (TASKPROF-style).
+
+The grain graph's creation/continuation/join edges encode the *logical*
+series-parallel structure of the program, independent of the schedule
+that happened to run.  Two grain nodes with no directed path either way
+are logically parallel: another schedule may execute them in the other
+order or simultaneously.  If such nodes carry conflicting memory
+footprints (same region, overlapping byte ranges, at least one write),
+the program's result is schedule-dependent — a data race, and a
+determinism violation the thread timeline can never show because *some*
+interleaving always executed.
+
+Chunks of one parallel for-loop are special-cased: the per-thread
+book-keeping chains in the graph encode the accidental chunk-to-thread
+assignment, so same-loop chunks are treated as pairwise logically
+parallel regardless of chain paths.
+
+This mechanically catches the missing-``TaskWait`` class of bugs: two
+sibling tasks writing one region, or a parent reading a region its
+un-synchronized child still writes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.nodes import GrainGraph
+from ..core.reachability import Reachability
+from .diagnostics import Diagnostic, Severity
+from .framework import GRAPH_LAYER, register
+
+# Upper bound on pairwise conflict checks; beyond it the pass reports
+# truncation (never silently) — real annotated programs stay far below.
+MAX_PAIR_CHECKS = 250_000
+
+_FIX_HINT = (
+    "order the accesses (TaskWait() between the spawns, or a loop "
+    "barrier) or make the footprints disjoint"
+)
+
+
+@register(
+    "race.conflict",
+    "happens-before data race / determinism audit",
+    GRAPH_LAYER,
+    reduced_too=False,  # grouped nodes lose per-fragment footprints
+)
+def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
+    if reduced:
+        return
+    # Collect footprint accesses per region: (start, end, write, node).
+    by_region: dict[str, list[tuple[int, int, bool, object]]] = {}
+    writes_in: set[str] = set()
+    for node in graph.grain_nodes():
+        for region, start, end in node.reads:
+            if end > start:
+                by_region.setdefault(region, []).append(
+                    (start, end, False, node)
+                )
+        for region, start, end in node.writes:
+            if end > start:
+                by_region.setdefault(region, []).append(
+                    (start, end, True, node)
+                )
+                writes_in.add(region)
+    candidate_regions = {
+        region: accesses
+        for region, accesses in by_region.items()
+        if region in writes_in and len(accesses) > 1
+    }
+    if not candidate_regions:
+        return
+    try:
+        graph.topological_order()
+    except ValueError:
+        return  # structure.acyclic reports this; reachability needs a DAG
+    sources = {
+        node.node_id
+        for accesses in candidate_regions.values()
+        for _, _, _, node in accesses
+    }
+    reach = Reachability(graph, sources)
+    flagged: set[tuple[str, str, str]] = set()
+    checks = 0
+    truncated = False
+    for region in sorted(candidate_regions):
+        accesses = sorted(
+            candidate_regions[region],
+            key=lambda item: (item[0], item[1], item[3].node_id),
+        )
+        for i, (s1, e1, w1, n1) in enumerate(accesses):
+            for s2, e2, w2, n2 in accesses[i + 1:]:
+                if s2 >= e1:
+                    break  # sorted by start: no later range overlaps
+                if not (w1 or w2):
+                    continue
+                if n1.grain_id == n2.grain_id:
+                    continue  # a grain's own fragments are chained
+                key = (region, *sorted((n1.grain_id or "", n2.grain_id or "")))
+                if key in flagged:
+                    continue
+                if checks >= MAX_PAIR_CHECKS:
+                    truncated = True
+                    break
+                checks += 1
+                if _logically_ordered(reach, n1, n2):
+                    continue
+                flagged.add(key)
+                kind = "write/write" if (w1 and w2) else "read/write"
+                writer = n1 if w1 else n2
+                yield Diagnostic(
+                    rule_id="race.conflict",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"logically-parallel grains {n1.grain_id!r} and "
+                        f"{n2.grain_id!r} have a {kind} conflict on region "
+                        f"{region!r} bytes [{max(s1, s2)}, {min(e1, e2)}); "
+                        "the outcome is schedule-dependent (data race)"
+                    ),
+                    node_id=writer.node_id,
+                    grain_id=writer.grain_id,
+                    loc=writer.loc,
+                    fix_hint=_FIX_HINT,
+                )
+            if truncated:
+                break
+        if truncated:
+            break
+    if truncated:
+        yield Diagnostic(
+            rule_id="race.conflict",
+            severity=Severity.WARNING,
+            message=(
+                f"race checking truncated after {MAX_PAIR_CHECKS} pair "
+                "checks; remaining conflicts were not examined"
+            ),
+            node_id=graph.root_node_id,
+        )
+
+
+def _logically_ordered(reach: Reachability, n1, n2) -> bool:
+    """Happens-before either way?  Same-loop chunks are never ordered:
+    their graph chains encode the accidental schedule, not the logic."""
+    if (
+        n1.loop_id is not None
+        and n1.loop_id == n2.loop_id
+        and n1.grain_id != n2.grain_id
+    ):
+        return False
+    return reach.ordered(n1.node_id, n2.node_id)

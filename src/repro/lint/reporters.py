@@ -1,0 +1,46 @@
+"""Render a :class:`~repro.lint.diagnostics.LintReport` for humans or tools."""
+
+from __future__ import annotations
+
+from .diagnostics import LintReport, Severity
+
+
+def format_summary(report: LintReport) -> str:
+    """One line: pass count and per-severity totals."""
+    artifacts = {artifact for _, artifact in report.passes_run}
+    counts = ", ".join(
+        f"{report.count(severity)} {severity.label}"
+        for severity in sorted(Severity, reverse=True)
+    )
+    scope = "/".join(
+        a for a in ("trace", "graph", "reduced") if a in artifacts
+    )
+    return (
+        f"lint: {len(report.passes_run)} passes over {scope or 'nothing'}"
+        f" -> {counts}"
+    )
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """The default CLI rendering: one line per finding plus a summary."""
+    lines = []
+    if report.program:
+        lines.append(f"lint report for {report.program}")
+    for diag in report.diagnostics:
+        lines.append(
+            f"{diag.severity.label.upper():7} {diag.rule_id} "
+            f"[{diag.artifact}: {diag.anchor()}] {diag.message}"
+        )
+        if diag.fix_hint:
+            lines.append(f"        hint: {diag.fix_hint}")
+    if verbose:
+        for rule_id, artifact in report.passes_run:
+            lines.append(f"ran     {rule_id} on {artifact}")
+    lines.append(format_summary(report))
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport, indent: int | None = 2) -> str:
+    """Machine-readable rendering; round-trips through ``json.loads`` and
+    :meth:`LintReport.from_dict`."""
+    return report.to_json(indent=indent)

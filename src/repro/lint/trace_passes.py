@@ -1,0 +1,304 @@
+"""Trace and runtime-invariant passes.
+
+These audit the simulator's own output — the OMPT-like event stream —
+for invariants any correct OpenMP runtime (and our discrete-event engine)
+must uphold.  They double as a regression net for engine changes: a
+scheduling bug that double-books a worker or tears a fragment interval
+surfaces here before it corrupts downstream metrics.
+
+- ``trace.monotonic-time`` — events are emitted in non-decreasing
+  virtual time (fragments/chunks/book-keeping anchor at their end).
+- ``trace.balanced-events`` — taskwait begin/end pair up per task, every
+  loop begin has an end, every created task completes.
+- ``trace.nonnegative-duration`` — no negative spans or creation costs.
+- ``trace.counter-sanity`` — counters are non-negative, stall and
+  compute cycles never exceed total cycles, and a span's measured cycles
+  never exceed its wall-clock extent.
+- ``trace.worker-overlap`` — no core executes two grain spans at once.
+- ``trace.grain-coverage`` — each task's fragments are contiguously
+  numbered, time-ordered without overlap, and lie within the task's
+  create/complete window on a valid core.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..profiler.events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    FragmentEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+)
+from ..profiler.trace import Trace
+from .diagnostics import Diagnostic, Severity
+from .framework import TRACE_LAYER, register
+
+# Events carrying an executed span (emitted at span end).
+_SPAN_EVENTS = (FragmentEvent, ChunkEvent, BookkeepingEvent)
+
+
+def _anchor_time(event) -> int:
+    return event.end if isinstance(event, _SPAN_EVENTS) else event.time
+
+
+def _describe(event) -> str:
+    if isinstance(event, FragmentEvent):
+        return f"fragment {event.tid}#{event.seq}"
+    if isinstance(event, ChunkEvent):
+        return f"chunk {event.loop_id}/{event.chunk_seq}"
+    if isinstance(event, BookkeepingEvent):
+        return f"bookkeeping loop {event.loop_id} thread {event.thread}"
+    return event.kind
+
+
+@register("trace.monotonic-time", "virtual time monotonicity", TRACE_LAYER)
+def check_monotonic_time(trace: Trace) -> Iterator[Diagnostic]:
+    last_time = None
+    last_index = -1
+    for index, event in enumerate(trace.events):
+        now = _anchor_time(event)
+        if last_time is not None and now < last_time:
+            yield Diagnostic(
+                rule_id="trace.monotonic-time",
+                severity=Severity.ERROR,
+                message=(
+                    f"{_describe(event)} emitted at t={now} after event "
+                    f"{last_index} at t={last_time}; the engine's event "
+                    "heap must process strictly by time"
+                ),
+                event_index=index,
+            )
+        last_time, last_index = now, index
+
+
+@register("trace.balanced-events", "begin/end event balance", TRACE_LAYER)
+def check_balanced_events(trace: Trace) -> Iterator[Diagnostic]:
+    wait_depth: dict[int, int] = {}
+    created: set[int] = set()
+    completed: set[int] = set()
+    open_loops: dict[int, int] = {}  # loop_id -> begin index
+    for index, event in enumerate(trace.events):
+        if isinstance(event, TaskCreateEvent):
+            created.add(event.tid)
+        elif isinstance(event, TaskCompleteEvent):
+            if event.tid in completed:
+                yield _balance_error(
+                    index, f"task {event.tid} completed twice"
+                )
+            completed.add(event.tid)
+        elif isinstance(event, TaskwaitBeginEvent):
+            wait_depth[event.tid] = wait_depth.get(event.tid, 0) + 1
+            if wait_depth[event.tid] > 1:
+                yield _balance_error(
+                    index,
+                    f"task {event.tid} begins a taskwait while one is open",
+                )
+        elif isinstance(event, TaskwaitEndEvent):
+            wait_depth[event.tid] = wait_depth.get(event.tid, 0) - 1
+            if wait_depth[event.tid] < 0:
+                yield _balance_error(
+                    index, f"taskwait end without begin for task {event.tid}"
+                )
+        elif isinstance(event, LoopBeginEvent):
+            open_loops[event.loop_id] = index
+        elif isinstance(event, LoopEndEvent):
+            if event.loop_id not in open_loops:
+                yield _balance_error(
+                    index, f"loop {event.loop_id} ends without beginning"
+                )
+            open_loops.pop(event.loop_id, None)
+    for tid, depth in sorted(wait_depth.items()):
+        if depth > 0:
+            yield _balance_error(
+                len(trace.events) - 1,
+                f"task {tid} has {depth} unterminated taskwait(s)",
+            )
+    for tid in sorted(created - completed):
+        yield _balance_error(
+            len(trace.events) - 1, f"task {tid} created but never completed"
+        )
+    for tid in sorted(completed - created):
+        yield _balance_error(
+            len(trace.events) - 1, f"task {tid} completed but never created"
+        )
+    for loop_id, index in sorted(open_loops.items()):
+        yield _balance_error(index, f"loop {loop_id} never ends")
+
+
+def _balance_error(index: int, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule_id="trace.balanced-events",
+        severity=Severity.ERROR,
+        message=message,
+        event_index=index,
+    )
+
+
+@register(
+    "trace.nonnegative-duration", "non-negative spans and costs", TRACE_LAYER
+)
+def check_nonnegative_duration(trace: Trace) -> Iterator[Diagnostic]:
+    for index, event in enumerate(trace.events):
+        if isinstance(event, _SPAN_EVENTS) and event.end < event.start:
+            yield Diagnostic(
+                rule_id="trace.nonnegative-duration",
+                severity=Severity.ERROR,
+                message=(
+                    f"{_describe(event)} spans [{event.start}, {event.end}) "
+                    "with negative length"
+                ),
+                event_index=index,
+            )
+        elif isinstance(event, TaskCreateEvent) and event.creation_cycles < 0:
+            yield Diagnostic(
+                rule_id="trace.nonnegative-duration",
+                severity=Severity.ERROR,
+                message=(
+                    f"task {event.tid} has negative creation cost "
+                    f"{event.creation_cycles}"
+                ),
+                event_index=index,
+            )
+
+
+@register("trace.counter-sanity", "hardware counter sanity", TRACE_LAYER)
+def check_counter_sanity(trace: Trace) -> Iterator[Diagnostic]:
+    for index, event in enumerate(trace.events):
+        if not isinstance(event, (FragmentEvent, ChunkEvent)):
+            continue
+        counters = event.counters
+        negatives = [
+            name for name, value in counters.to_dict().items() if value < 0
+        ]
+        if negatives:
+            yield _counter_error(
+                index,
+                f"{_describe(event)} has negative counters: "
+                f"{', '.join(negatives)}",
+            )
+        if counters.stall_cycles > counters.cycles:
+            yield _counter_error(
+                index,
+                f"{_describe(event)} stalls {counters.stall_cycles} cycles "
+                f"of a {counters.cycles}-cycle span",
+            )
+        if counters.compute_cycles > counters.cycles:
+            yield _counter_error(
+                index,
+                f"{_describe(event)} computes {counters.compute_cycles} "
+                f"cycles of a {counters.cycles}-cycle span",
+            )
+        if counters.cycles > event.end - event.start:
+            yield _counter_error(
+                index,
+                f"{_describe(event)} measured {counters.cycles} cycles in a "
+                f"span of {event.end - event.start}",
+            )
+
+
+def _counter_error(index: int, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule_id="trace.counter-sanity",
+        severity=Severity.ERROR,
+        message=message,
+        event_index=index,
+    )
+
+
+@register("trace.worker-overlap", "one grain per worker at a time", TRACE_LAYER)
+def check_worker_overlap(trace: Trace) -> Iterator[Diagnostic]:
+    spans: dict[int, list[tuple[int, int, int]]] = {}  # core -> (s, e, idx)
+    for index, event in enumerate(trace.events):
+        if isinstance(event, _SPAN_EVENTS) and event.end > event.start:
+            spans.setdefault(event.core, []).append(
+                (event.start, event.end, index)
+            )
+    for core in sorted(spans):
+        ordered = sorted(spans[core])
+        for (s1, e1, i1), (s2, e2, i2) in zip(ordered, ordered[1:]):
+            if s2 < e1:
+                yield Diagnostic(
+                    rule_id="trace.worker-overlap",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"core {core} executes "
+                        f"{_describe(trace.events[i1])} "
+                        f"[{s1}, {e1}) and {_describe(trace.events[i2])} "
+                        f"[{s2}, {e2}) simultaneously"
+                    ),
+                    event_index=i2,
+                )
+
+
+@register("trace.grain-coverage", "grain interval coverage", TRACE_LAYER)
+def check_grain_coverage(trace: Trace) -> Iterator[Diagnostic]:
+    num_threads = trace.meta.num_threads if trace.meta else None
+    frags: dict[int, list[tuple[int, FragmentEvent]]] = {}
+    creates: dict[int, TaskCreateEvent] = {}
+    completes: dict[int, TaskCompleteEvent] = {}
+    for index, event in enumerate(trace.events):
+        if isinstance(event, FragmentEvent):
+            frags.setdefault(event.tid, []).append((index, event))
+        elif isinstance(event, TaskCreateEvent):
+            creates[event.tid] = event
+        elif isinstance(event, TaskCompleteEvent):
+            completes[event.tid] = event
+        if (
+            isinstance(event, (FragmentEvent, ChunkEvent, BookkeepingEvent))
+            and num_threads is not None
+            and not 0 <= event.core < num_threads
+        ):
+            yield _coverage_error(
+                index,
+                f"{_describe(event)} ran on core {event.core}, outside the "
+                f"run's {num_threads} worker(s)",
+            )
+    for tid in sorted(creates):
+        if tid not in frags:
+            yield _coverage_error(
+                None, f"task {tid} completed without executing any fragment"
+            )
+    for tid, items in sorted(frags.items()):
+        seqs = [event.seq for _, event in items]
+        if seqs != list(range(len(seqs))):
+            yield _coverage_error(
+                items[0][0],
+                f"task {tid} fragment sequence {seqs} is not contiguous "
+                "from 0",
+            )
+        for (i1, f1), (i2, f2) in zip(items, items[1:]):
+            if f2.start < f1.end:
+                yield _coverage_error(
+                    i2,
+                    f"task {tid} fragments #{f1.seq} and #{f2.seq} overlap "
+                    f"([{f1.start}, {f1.end}) vs [{f2.start}, {f2.end}))",
+                )
+        create = creates.get(tid)
+        if create is not None and items[0][1].start < create.time:
+            yield _coverage_error(
+                items[0][0],
+                f"task {tid} starts executing at {items[0][1].start}, "
+                f"before its creation at {create.time}",
+            )
+        complete = completes.get(tid)
+        if complete is not None and items[-1][1].end > complete.time:
+            yield _coverage_error(
+                items[-1][0],
+                f"task {tid} still executing at {items[-1][1].end}, after "
+                f"its completion at {complete.time}",
+            )
+
+
+def _coverage_error(index: int | None, message: str) -> Diagnostic:
+    return Diagnostic(
+        rule_id="trace.grain-coverage",
+        severity=Severity.ERROR,
+        message=message,
+        event_index=index,
+    )

@@ -14,7 +14,7 @@ experiment knob.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator
 
 PAGE_SIZE = 4096

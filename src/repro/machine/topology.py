@@ -12,7 +12,7 @@ supported here.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 # Conventional ACPI SLIT values: local distance is 10, remote distances are

@@ -65,7 +65,9 @@ def critical_path(graph: GrainGraph) -> CriticalPath:
             best_src, best_val = None, -1
             for src, _ in incoming:
                 val = best[src]
-                if val > best_val or (val == best_val and (best_src is None or src < best_src)):
+                if val > best_val or (
+                    val == best_val and (best_src is None or src < best_src)
+                ):
                     best_src, best_val = src, val
             best[nid] = best_val + weight
             pred[nid] = best_src

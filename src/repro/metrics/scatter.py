@@ -18,7 +18,7 @@ distance-table entry.
 
 from __future__ import annotations
 
-import statistics
+from collections import Counter
 from dataclasses import dataclass
 
 from ..core.nodes import GrainGraph
@@ -78,12 +78,37 @@ def scatter(
         if len(cores) < 2:
             per_group[group] = 0.0
         else:
-            pairwise = [
-                dist(cores[i], cores[j])
-                for i in range(len(cores))
-                for j in range(i + 1, len(cores))
-            ]
-            per_group[group] = float(statistics.median(pairwise))
+            per_group[group] = _median_pairwise_distance(cores, dist)
         for gid in members:
             per_grain[gid] = per_group[group]
     return ScatterResult(per_grain=per_grain, per_group=per_group)
+
+
+def _median_pairwise_distance(cores: list[int], dist) -> float:
+    """Median over all C(n, 2) pairwise distances without materializing
+    them: distances depend only on the (few) distinct cores, so weight
+    each distinct core pair by its multiplicity and take the weighted
+    median.  Equals ``statistics.median`` of the expanded pair list —
+    which is quadratic in the sibling-group size and dominated analysis
+    of chunk-heavy programs like Freqmine."""
+    counts = Counter(cores)
+    distinct = sorted(counts)
+    weighted: list[tuple[float, int]] = []
+    for i, a in enumerate(distinct):
+        if counts[a] > 1:
+            weighted.append((dist(a, a), counts[a] * (counts[a] - 1) // 2))
+        for b in distinct[i + 1:]:
+            weighted.append((dist(a, b), counts[a] * counts[b]))
+    weighted.sort()
+    total = sum(weight for _, weight in weighted)
+    below = total // 2  # pairs strictly below the upper median
+    cumulative = 0
+    lower = None
+    for value, weight in weighted:
+        cumulative += weight
+        if total % 2 == 0 and lower is None and cumulative >= below:
+            lower = value
+        if cumulative > below:
+            upper = value
+            return float(upper if total % 2 else (lower + upper) / 2.0)
+    raise AssertionError("unreachable: weights exhausted before median")

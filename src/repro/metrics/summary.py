@@ -10,9 +10,8 @@ work share, and problem prevalence.  The 359.botsspar walkthrough sorts
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..core.grains import GrainKind
 from ..core.nodes import GrainGraph
 from .parallel_benefit import parallel_benefit
 

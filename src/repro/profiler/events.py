@@ -45,10 +45,26 @@ class TaskCreateEvent:
         return cls(**d)
 
 
+# A recorded memory footprint: (region name, byte start, byte end).
+FootprintTriple = tuple[str, int, int]
+
+
+def _footprints_to_lists(fps: tuple[FootprintTriple, ...]) -> list[list]:
+    return [[region, start, end] for region, start, end in fps]
+
+
+def _footprints_from_lists(raw) -> tuple[FootprintTriple, ...]:
+    return tuple((region, start, end) for region, start, end in raw or ())
+
+
 @dataclass(frozen=True)
 class FragmentEvent:
     """Execution of one task fragment: the span between two runtime events
-    within a task, on a single core, with its counter deltas."""
+    within a task, on a single core, with its counter deltas.
+
+    ``reads``/``writes`` are the memory-region footprints the fragment's
+    work segments declared — the payload the lint layer's happens-before
+    race detector consumes."""
 
     kind = "fragment"
     tid: int
@@ -57,6 +73,8 @@ class FragmentEvent:
     end: int
     core: int
     counters: CounterSet = field(default_factory=CounterSet)
+    reads: tuple[FootprintTriple, ...] = ()
+    writes: tuple[FootprintTriple, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +85,8 @@ class FragmentEvent:
             "end": self.end,
             "core": self.core,
             "counters": self.counters.to_dict(),
+            "reads": _footprints_to_lists(self.reads),
+            "writes": _footprints_to_lists(self.writes),
         }
 
     @classmethod
@@ -78,6 +98,8 @@ class FragmentEvent:
             end=d["end"],
             core=d["core"],
             counters=CounterSet.from_dict(d["counters"]),
+            reads=_footprints_from_lists(d.get("reads")),
+            writes=_footprints_from_lists(d.get("writes")),
         )
 
 
@@ -226,6 +248,8 @@ class ChunkEvent:
     end: int
     core: int
     counters: CounterSet = field(default_factory=CounterSet)
+    reads: tuple[FootprintTriple, ...] = ()
+    writes: tuple[FootprintTriple, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -239,6 +263,8 @@ class ChunkEvent:
             "end": self.end,
             "core": self.core,
             "counters": self.counters.to_dict(),
+            "reads": _footprints_to_lists(self.reads),
+            "writes": _footprints_to_lists(self.writes),
         }
 
     @classmethod
@@ -253,6 +279,8 @@ class ChunkEvent:
             end=d["end"],
             core=d["core"],
             counters=CounterSet.from_dict(d["counters"]),
+            reads=_footprints_from_lists(d.get("reads")),
+            writes=_footprints_from_lists(d.get("writes")),
         )
 
 

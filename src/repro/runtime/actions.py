@@ -24,7 +24,7 @@ Usage sketch::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator, Optional
 
 from ..common import SourceLocation, UNKNOWN_LOCATION
@@ -37,10 +37,68 @@ BodyFactory = Callable[[], Generator]
 
 
 @dataclass(frozen=True)
+class Footprint:
+    """Byte range ``[start, end)`` of a named region touched by a segment.
+
+    ``end=None`` means "to the end of the region" (resolved against the
+    allocation when known, else an open upper bound).  Footprints are pure
+    metadata for the lint layer's happens-before race detector; they do not
+    influence the cost model (use :class:`~repro.machine.cost.Access` for
+    that).
+    """
+
+    region: str
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("footprint start must be non-negative")
+        if self.end is not None and self.end < self.start:
+            raise ValueError("footprint end precedes start")
+
+
+# A footprint may be given as a bare region name (the whole region).
+FootprintSpec = Footprint | str
+
+
+def normalize_footprints(
+    specs: tuple[FootprintSpec, ...],
+    region_sizes: Optional[dict[str, int]] = None,
+) -> tuple[tuple[str, int, int], ...]:
+    """Resolve footprint specs to ``(region, start, end)`` triples.
+
+    Unbounded ends resolve to the region's allocated size when known,
+    otherwise to :data:`WHOLE_REGION` (a practically-infinite bound so
+    whole-region shorthands conflict with any range).
+    """
+    out = []
+    for spec in specs:
+        if isinstance(spec, str):
+            spec = Footprint(spec)
+        end = spec.end
+        if end is None:
+            end = (region_sizes or {}).get(spec.region, WHOLE_REGION)
+        out.append((spec.region, spec.start, end))
+    return tuple(out)
+
+
+WHOLE_REGION = 2**62  # sentinel upper bound for unbounded footprints
+
+
+@dataclass(frozen=True)
 class Work:
-    """Execute application computation described by ``request``."""
+    """Execute application computation described by ``request``.
+
+    ``reads``/``writes`` declare the memory-region footprints the segment
+    touches (region name, or :class:`Footprint` for a byte range); the
+    engine records them on the enclosing fragment so the lint layer can
+    check logically-parallel grains for conflicting accesses.
+    """
 
     request: WorkRequest
+    reads: tuple[FootprintSpec, ...] = ()
+    writes: tuple[FootprintSpec, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -85,11 +143,18 @@ class ParallelFor:
 @dataclass(frozen=True)
 class Alloc:
     """Allocate a memory region; ``yield Alloc(...)`` evaluates to the
-    :class:`~repro.machine.memory.MemoryRegion`."""
+    :class:`~repro.machine.memory.MemoryRegion`.
+
+    Allocation records a whole-region write footprint on the allocating
+    fragment (first-touch initialization), so later readers must be
+    ordered after the allocator; pass ``record_write=False`` for
+    reservation-only allocations.
+    """
 
     name: str
     size_bytes: int
     placement: Optional[Placement] = None
+    record_write: bool = True
 
 
 Action = Work | Spawn | TaskWait | ParallelFor | Alloc

@@ -19,10 +19,10 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Generator
 
-from ..machine import Machine, MachineConfig
+from ..machine import Machine
 from ..profiler.recorder import ProfilerConfig
 from .engine import Engine, RunResult
 from .flavors import MIR, RuntimeFlavor

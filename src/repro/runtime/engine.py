@@ -34,7 +34,7 @@ Execution model highlights (rationale in DESIGN.md):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..machine import Machine
@@ -51,7 +51,14 @@ from ..profiler.events import (
 )
 from ..profiler.recorder import Recorder, ProfilerConfig
 from ..profiler.trace import Trace, TraceMetadata
-from .actions import Alloc, ParallelFor, Spawn, TaskWait, Work
+from .actions import (
+    Alloc,
+    ParallelFor,
+    Spawn,
+    TaskWait,
+    Work,
+    normalize_footprints,
+)
 from .flavors import RuntimeFlavor
 from .loops import ChunkDispatcher, LoopSpec, Schedule
 from .sched import make_scheduler
@@ -172,6 +179,7 @@ class Engine:
         self._sleeping: set[int] = set(range(num_threads))
         self._root: Optional[TaskInstance] = None
         self._queue_lock_free_at = 0  # central-queue lock (convoy model)
+        self._region_sizes: dict[str, int] = {}  # footprint normalization
         self._makespan: Optional[int] = None
         self.stats = RunStats()
         self._ran = False
@@ -278,6 +286,8 @@ class Engine:
     def _begin_fragment(self, task: TaskInstance, time: int) -> None:
         task.frag_start = time
         task.frag_counters = CounterSet()
+        task.frag_reads = []
+        task.frag_writes = []
 
     def _end_fragment(self, worker: _Worker, task: TaskInstance, time: int) -> int:
         """Record the open fragment; returns profiling overhead cycles."""
@@ -290,9 +300,13 @@ class Engine:
             end=time,
             core=worker.wid,
             counters=task.frag_counters,
+            reads=tuple(task.frag_reads),
+            writes=tuple(task.frag_writes),
         )
         task.frag_start = None
         task.frag_counters = None
+        task.frag_reads = []
+        task.frag_writes = []
         self.stats.fragments += 1
         return self._emit(event)
 
@@ -339,6 +353,11 @@ class Engine:
                 region = self.machine.allocate(
                     action.name, action.size_bytes, action.placement
                 )
+                self._region_sizes[region.name] = region.size_bytes
+                if action.record_write:
+                    task.frag_writes.append(
+                        (region.name, 0, region.size_bytes)
+                    )
                 task.pending_value = region
                 continue
             raise TypeError(f"task yielded non-action {action!r}")
@@ -350,6 +369,14 @@ class Engine:
         outcome = self.machine.cost.charge(worker.wid, action.request)
         self.machine.contention.register(outcome.node_weights)
         task.frag_counters += outcome.counters
+        if action.reads:
+            task.frag_reads.extend(
+                normalize_footprints(action.reads, self._region_sizes)
+            )
+        if action.writes:
+            task.frag_writes.extend(
+                normalize_footprints(action.writes, self._region_sizes)
+            )
 
         def _done(t2: int, weights=outcome.node_weights):
             self.machine.contention.withdraw(weights)
@@ -638,6 +665,16 @@ class Engine:
                 return
             start_it, end_it = chunk
             request = spec.merged_request(start_it, end_it)
+            if spec.footprint is not None:
+                fp_reads, fp_writes = spec.footprint(start_it, end_it)
+                chunk_reads = normalize_footprints(
+                    tuple(fp_reads), self._region_sizes
+                )
+                chunk_writes = normalize_footprints(
+                    tuple(fp_writes), self._region_sizes
+                )
+            else:
+                chunk_reads = chunk_writes = ()
             outcome = self.machine.cost.charge(wid, request)
             self.machine.contention.register(outcome.node_weights)
             chunk_seq = le.chunk_seq
@@ -652,6 +689,7 @@ class Engine:
                         iter_start=start_it, iter_end=end_it,
                         start=t2 + overhead, end=t3, core=wid,
                         counters=outcome.counters,
+                        reads=chunk_reads, writes=chunk_writes,
                     )
                 )
                 self._loop_step(le, wid, thread, t3 + oh)

@@ -12,7 +12,7 @@ inside the runtime, so every chunk is observable by construction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..common import SourceLocation, UNKNOWN_LOCATION
@@ -43,6 +43,10 @@ class LoopSpec:
     loc: SourceLocation = UNKNOWN_LOCATION
     label: str = ""
     definition: str = ""
+    # Optional memory footprint of a chunk: ``footprint(start, end)``
+    # returns ``(reads, writes)`` footprint specs for iterations
+    # ``[start, end)``; recorded on the chunk event for the race linter.
+    footprint: Optional[Callable[[int, int], tuple[tuple, tuple]]] = None
 
     def __post_init__(self) -> None:
         if self.iterations < 0:

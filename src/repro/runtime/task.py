@@ -11,7 +11,7 @@ deviation* to join a 1-core run against a 48-core run.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
 from ..common import SourceLocation, UNKNOWN_LOCATION
@@ -64,6 +64,8 @@ class TaskInstance:
         "resume_reason",  # "taskwait" | "inline" when state is READY
         "frag_start",  # open fragment start time (None when no fragment)
         "frag_counters",  # open fragment CounterSet
+        "frag_reads",  # open fragment read footprints (region, start, end)
+        "frag_writes",  # open fragment write footprints
         # Synchronization accounting.  A task that ends with outstanding
         # children (fire-and-forget) re-parents them to its own
         # sync_parent; orphans ultimately sync at the root's implicit
@@ -111,6 +113,8 @@ class TaskInstance:
         self.resume_reason = ""
         self.frag_start: Optional[int] = None
         self.frag_counters = None
+        self.frag_reads: list[tuple[str, int, int]] = []
+        self.frag_writes: list[tuple[str, int, int]] = []
         self.sync_parent: Optional["TaskInstance"] = parent
         self.live_children: set["TaskInstance"] = set()
         self.to_sync: list[int] = []

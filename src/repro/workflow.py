@@ -13,7 +13,7 @@ two different programs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from .analysis.advisor import Advice, advise
@@ -23,6 +23,7 @@ from .analysis.timeline import ThreadTimeline, thread_timeline
 from .core.builder import build_grain_graph
 from .core.nodes import GrainGraph
 from .core.validate import validate_graph
+from .lint import LintReport, run_lint
 from .machine import Machine, MachineConfig
 from .metrics.parallelism import IntervalPreset
 from .profiler.recorder import ProfilerConfig
@@ -43,6 +44,7 @@ class Study:
     timeline: ThreadTimeline
     reference: Optional[RunResult] = None
     reference_graph: Optional[GrainGraph] = None
+    lint_report: Optional[LintReport] = None
 
     @property
     def makespan_cycles(self) -> int:
@@ -67,11 +69,14 @@ def profile_program(
     optimistic: bool = True,
     validate: bool = True,
     profiler: ProfilerConfig | None = None,
+    lint: bool = False,
 ) -> Study:
     """Run the full analysis pipeline on one program.
 
     ``reference_threads`` (default 1) triggers a second run used as the
-    work-deviation baseline; pass ``None`` to skip it.
+    work-deviation baseline; pass ``None`` to skip it.  ``lint=True``
+    additionally runs every registered ``repro.lint`` pass over the trace
+    and both graph layers, attaching the :class:`LintReport` to the study.
     """
     machine = Machine(machine_config) if machine_config else Machine.paper_testbed()
     result = run_program(
@@ -81,6 +86,11 @@ def profile_program(
     graph = build_grain_graph(result.trace)
     if validate:
         validate_graph(graph)
+    lint_report = None
+    if lint:
+        lint_report = run_lint(
+            trace=result.trace, graph=graph, program=program.name
+        )
     reference = None
     reference_graph = None
     if reference_threads is not None and reference_threads != num_threads:
@@ -105,6 +115,7 @@ def profile_program(
         timeline=thread_timeline(result.trace),
         reference=reference,
         reference_graph=reference_graph,
+        lint_report=lint_report,
     )
 
 

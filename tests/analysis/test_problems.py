@@ -1,6 +1,5 @@
 """Tests for thresholds and problem detection (Sec. 3.3)."""
 
-import pytest
 
 from helpers import LOC, binary_tree, leaf, run_and_graph, small_machine
 

@@ -38,7 +38,9 @@ class TestColors:
         assert categorical_color(0) == categorical_color(15)
 
     def test_all_colors_are_hex(self):
-        for c in (heat_color(0.5), rainbow_color(0.5), categorical_color(3), dim_color()):
+        for c in (
+            heat_color(0.5), rainbow_color(0.5), categorical_color(3), dim_color()
+        ):
             assert c.startswith("#") and len(c) == 7
 
 

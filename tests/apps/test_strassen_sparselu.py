@@ -1,6 +1,5 @@
 """Tests for the Strassen and 359.botsspar reproductions (Secs. 4.3.5, 4.3.2)."""
 
-import pytest
 
 from repro.apps import sparselu, strassen
 from repro.core.builder import build_grain_graph

@@ -1,13 +1,10 @@
 """Tests for grain-graph construction from task traces (Sec. 3.1)."""
 
-from helpers import LOC, binary_tree, run_and_graph, small_machine
+from helpers import binary_tree, run_and_graph, small_machine
 
 from repro.apps import micro
 from repro.core.nodes import EdgeKind, NodeKind
 from repro.core.validate import validate_graph
-from repro.machine.cost import WorkRequest
-from repro.runtime.actions import Spawn, TaskWait, Work
-from repro.runtime.api import Program
 
 
 class TestFig3aStructure:

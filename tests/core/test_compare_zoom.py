@@ -4,9 +4,8 @@ import pytest
 
 from helpers import binary_tree, run_and_graph, small_machine
 
-from repro.apps import micro, others
+from repro.apps import others
 from repro.core.compare import compare_graphs
-from repro.core.nodes import NodeKind
 from repro.core.validate import validate_graph
 from repro.core.zoom import collapse_subtree, zoom_subtree, zoom_time_window
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.grains import Grain, GrainKind
 from repro.core.nodes import EdgeKind, GrainGraph, NodeKind
-from repro.machine.counters import CounterSet
 
 
 def grain(intervals):

@@ -1,0 +1,75 @@
+"""Tests for bitset DAG reachability over grain graphs."""
+
+import pytest
+
+from helpers import run_and_graph, small_machine, spawn_n_and_wait
+
+from repro.core.reachability import Reachability
+
+
+def _graph():
+    _, graph = run_and_graph(
+        spawn_n_and_wait(3), machine=small_machine()
+    )
+    return graph
+
+
+def _fragments_by_grain(graph):
+    frags = {}
+    for node in graph.grain_nodes():
+        frags.setdefault(node.grain_id, []).append(node)
+    for nodes in frags.values():
+        nodes.sort(key=lambda n: n.start)
+    return frags
+
+
+class TestReachability:
+    def test_parent_reaches_children_not_vice_versa(self):
+        graph = _graph()
+        frags = _fragments_by_grain(graph)
+        root_first = frags["t:0"][0]
+        reach = Reachability(
+            graph, {n.node_id for n in graph.grain_nodes()}
+        )
+        for grain_id, nodes in frags.items():
+            if grain_id == "t:0":
+                continue
+            assert reach.reaches(root_first.node_id, nodes[0].node_id)
+            assert not reach.reaches(nodes[0].node_id, root_first.node_id)
+
+    def test_siblings_are_unordered(self):
+        graph = _graph()
+        frags = _fragments_by_grain(graph)
+        children = sorted(gid for gid in frags if gid != "t:0")
+        reach = Reachability(
+            graph, {n.node_id for n in graph.grain_nodes()}
+        )
+        a = frags[children[0]][0]
+        b = frags[children[1]][0]
+        assert not reach.ordered(a.node_id, b.node_id)
+
+    def test_taskwait_orders_final_fragment_after_children(self):
+        graph = _graph()
+        frags = _fragments_by_grain(graph)
+        root_last = frags["t:0"][-1]
+        reach = Reachability(
+            graph, {n.node_id for n in graph.grain_nodes()}
+        )
+        for grain_id, nodes in frags.items():
+            if grain_id == "t:0":
+                continue
+            assert reach.reaches(nodes[-1].node_id, root_last.node_id)
+
+    def test_non_source_query_raises(self):
+        graph = _graph()
+        some = next(iter(graph.grain_nodes()))
+        reach = Reachability(graph, {some.node_id})
+        with pytest.raises(KeyError):
+            reach.reaches(-1, some.node_id)
+
+    def test_every_node_reaches_itself(self):
+        graph = _graph()
+        sources = {n.node_id for n in graph.grain_nodes()}
+        reach = Reachability(graph, sources)
+        for node_id in sources:
+            assert reach.reaches(node_id, node_id)

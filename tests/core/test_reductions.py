@@ -77,8 +77,7 @@ class TestForkReduction:
 
     def test_forks_to_different_joins_stay_separate(self):
         """Tasks synced at different taskwaits keep distinct fork groups."""
-        from repro.machine.cost import WorkRequest
-        from repro.runtime.actions import Spawn, TaskWait, Work
+        from repro.runtime.actions import Spawn, TaskWait
         from repro.runtime.api import Program
         from helpers import LOC, leaf
 

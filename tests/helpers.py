@@ -5,9 +5,9 @@ from __future__ import annotations
 from repro.common import SourceLocation
 from repro.core.builder import build_grain_graph
 from repro.machine import Machine, MachineConfig, CacheConfig, CostParams
-from repro.machine.cost import Access, WorkRequest
-from repro.machine.topology import MachineTopology, small_smp
-from repro.runtime.actions import Alloc, ParallelFor, Spawn, TaskWait, Work
+from repro.machine.cost import WorkRequest
+from repro.machine.topology import small_smp
+from repro.runtime.actions import ParallelFor, Spawn, TaskWait, Work
 from repro.runtime.api import Program, run_program
 from repro.runtime.flavors import MIR
 from repro.runtime.loops import LoopSpec, Schedule

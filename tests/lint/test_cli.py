@@ -1,0 +1,47 @@
+"""Tests for the ``grain-graphs lint`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintReport
+
+
+class TestLintCommand:
+    def test_clean_program_exits_zero(self, capsys):
+        assert main(["lint", "fig3a", "--threads", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "lint report for fig3a" in out
+        assert "0 error" in out
+
+    def test_racy_program_exits_nonzero(self, capsys):
+        assert main(["lint", "racy", "--threads", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "race.conflict" in out
+        assert "hint:" in out
+
+    def test_fail_on_threshold_spares_errors_below(self):
+        # racy only emits ERROR diagnostics; with --fail-on error they
+        # fail the run, and a clean program passes even at --fail-on info.
+        assert main(["lint", "racy", "--fail-on", "error"]) == 1
+        assert main(["lint", "fig3b", "--fail-on", "info"]) == 0
+
+    def test_json_output_roundtrips(self, capsys):
+        assert main(["lint", "racy", "--threads", "2", "--json"]) == 1
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["program"] == "racy"
+        assert parsed["counts"]["error"] >= 1
+        report = LintReport.from_dict(parsed)
+        assert report.by_rule("race.conflict")
+        rules = {rule for rule, _ in report.passes_run}
+        assert len(rules) >= 10  # every registered pass ran
+
+    def test_verbose_lists_passes(self, capsys):
+        assert main(["lint", "fig3b", "--threads", "2", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "ran     trace.monotonic-time on trace" in out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "does-not-exist"])

@@ -1,0 +1,90 @@
+"""Tests for lint diagnostic records and the report container."""
+
+import json
+
+import pytest
+
+from repro.lint import Diagnostic, LintReport, Severity
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_labels_roundtrip(self):
+        for severity in Severity:
+            assert Severity.from_label(severity.label) is severity
+
+    def test_from_label_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Severity.from_label("fatal")
+
+
+class TestDiagnostic:
+    def test_dict_roundtrip(self):
+        diag = Diagnostic(
+            rule_id="race.conflict",
+            severity=Severity.ERROR,
+            message="conflict",
+            artifact="graph",
+            node_id=7,
+            grain_id="t:0/0",
+            loc="racy.c:12(update)",
+            fix_hint="add a TaskWait",
+        )
+        assert Diagnostic.from_dict(diag.to_dict()) == diag
+
+    def test_dict_severity_is_a_label(self):
+        diag = Diagnostic("r", Severity.WARNING, "m")
+        assert diag.to_dict()["severity"] == "warning"
+
+    def test_anchor_parts(self):
+        diag = Diagnostic(
+            "r", Severity.INFO, "m", node_id=3, grain_id="t:1/0",
+            loc="a.c:1",
+        )
+        assert diag.anchor() == "node 3, grain t:1/0, a.c:1"
+
+    def test_anchor_falls_back_to_artifact(self):
+        assert Diagnostic("r", Severity.INFO, "m").anchor() == "graph"
+
+    def test_with_artifact(self):
+        diag = Diagnostic("r", Severity.INFO, "m")
+        assert diag.with_artifact("reduced").artifact == "reduced"
+        assert diag.artifact == "graph"  # frozen original untouched
+
+
+class TestLintReport:
+    def _report(self):
+        report = LintReport(program="p")
+        report.extend(
+            [
+                Diagnostic("a.x", Severity.ERROR, "boom"),
+                Diagnostic("a.x", Severity.WARNING, "hmm"),
+                Diagnostic("b.y", Severity.INFO, "fyi"),
+            ]
+        )
+        report.passes_run = [("a.x", "graph"), ("b.y", "trace")]
+        return report
+
+    def test_counts_and_selectors(self):
+        report = self._report()
+        assert report.count(Severity.ERROR) == 1
+        assert len(report.errors) == 1
+        assert report.max_severity is Severity.ERROR
+        assert len(report.at_or_above(Severity.WARNING)) == 2
+        assert len(report.by_rule("a.x")) == 2
+
+    def test_empty_report(self):
+        report = LintReport()
+        assert report.max_severity is None
+        assert report.errors == []
+
+    def test_json_roundtrip(self):
+        report = self._report()
+        parsed = json.loads(report.to_json())
+        assert parsed["counts"] == {"info": 1, "warning": 1, "error": 1}
+        back = LintReport.from_dict(parsed)
+        assert back.diagnostics == report.diagnostics
+        assert back.passes_run == report.passes_run
+        assert back.program == "p"

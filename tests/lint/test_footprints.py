@@ -1,0 +1,154 @@
+"""Tests for memory-footprint recording through the runtime, the trace,
+and the grain graph — the data the race pass consumes."""
+
+from helpers import LOC, small_machine
+
+from repro.apps import micro
+from repro.core.builder import build_grain_graph
+from repro.machine.cost import WorkRequest
+from repro.profiler.events import ChunkEvent, FragmentEvent
+from repro.runtime.actions import (
+    Alloc,
+    Footprint,
+    ParallelFor,
+    Spawn,
+    TaskWait,
+    WHOLE_REGION,
+    Work,
+    normalize_footprints,
+)
+from repro.runtime.api import Program, run_program
+from repro.runtime.loops import LoopSpec, Schedule
+
+
+def _run(program, threads=2):
+    return run_program(
+        program, num_threads=threads, machine=small_machine()
+    )
+
+
+class TestNormalize:
+    def test_string_means_whole_region(self):
+        sizes = {"a": 128}
+        assert normalize_footprints(("a",), sizes) == (("a", 0, 128),)
+
+    def test_unknown_size_uses_sentinel(self):
+        assert normalize_footprints(("a",), {}) == (("a", 0, WHOLE_REGION),)
+
+    def test_explicit_range_kept(self):
+        got = normalize_footprints((Footprint("a", 8, 24),), {"a": 128})
+        assert got == (("a", 8, 24),)
+
+    def test_open_end_resolves_to_size(self):
+        got = normalize_footprints((Footprint("a", 8),), {"a": 128})
+        assert got == (("a", 8, 128),)
+
+
+class TestFragmentFootprints:
+    def test_work_footprints_reach_trace_and_graph(self):
+        def child():
+            yield Work(
+                WorkRequest(cycles=200),
+                reads=(Footprint("buf", 0, 64),),
+                writes=(Footprint("buf", 64, 128),),
+            )
+
+        def main():
+            yield Alloc("buf", 128, record_write=False)
+            yield Spawn(child, loc=LOC)
+            yield TaskWait()
+
+        result = _run(Program("fp", main))
+        frags = [
+            e for e in result.trace.events
+            if isinstance(e, FragmentEvent) and e.writes
+        ]
+        assert [e.writes for e in frags] == [(("buf", 64, 128),)]
+        assert frags[0].reads == (("buf", 0, 64),)
+        graph = build_grain_graph(result.trace)
+        annotated = [n for n in graph.grain_nodes() if n.writes]
+        assert len(annotated) == 1
+        assert annotated[0].writes == (("buf", 64, 128),)
+
+    def test_alloc_records_whole_region_write(self):
+        def main():
+            yield Alloc("buf", 256)
+
+        result = _run(Program("alloc", main))
+        frags = [
+            e for e in result.trace.events if isinstance(e, FragmentEvent)
+        ]
+        assert any(("buf", 0, 256) in e.writes for e in frags)
+
+    def test_footprints_split_per_fragment(self):
+        # The pre-spawn and post-spawn fragments carry their own writes.
+        def child():
+            yield Work(WorkRequest(cycles=50))
+
+        def main():
+            yield Work(WorkRequest(cycles=100), writes=("a",))
+            yield Spawn(child, loc=LOC)
+            yield Work(WorkRequest(cycles=100), writes=("b",))
+            yield TaskWait()
+
+        result = _run(Program("split", main))
+        root_frags = sorted(
+            (
+                e for e in result.trace.events
+                if isinstance(e, FragmentEvent) and e.tid == 0
+            ),
+            key=lambda e: e.seq,
+        )
+        regions = [tuple(w[0] for w in e.writes) for e in root_frags]
+        assert ("a",) in regions and ("b",) in regions
+
+
+class TestChunkFootprints:
+    def test_loop_footprint_lands_on_chunks(self):
+        def footprint(start, end):
+            return (
+                (Footprint("arr", start * 8, end * 8),),
+                (Footprint("out", start * 8, end * 8),),
+            )
+
+        def main():
+            yield Alloc("arr", 160, record_write=False)
+            yield Alloc("out", 160, record_write=False)
+            yield ParallelFor(
+                LoopSpec(
+                    iterations=20,
+                    chunk_size=5,
+                    body=lambda i: WorkRequest(cycles=100),
+                    schedule=Schedule.STATIC,
+                    footprint=footprint,
+                    loc=LOC,
+                )
+            )
+
+        result = _run(Program("loopfp", main))
+        chunks = [
+            e for e in result.trace.events if isinstance(e, ChunkEvent)
+        ]
+        assert chunks
+        for chunk in chunks:
+            (read,) = chunk.reads
+            (write,) = chunk.writes
+            assert read[0] == "arr" and write[0] == "out"
+            assert write[2] - write[1] == 5 * 8
+
+    def test_trace_json_roundtrip_preserves_footprints(self, tmp_path):
+        from repro.profiler.trace import Trace
+
+        result = _run(micro.racy())
+        path = tmp_path / "t.jsonl"
+        result.trace.dump_jsonl(path)
+        back = Trace.load_jsonl(path)
+        originals = [
+            e for e in result.trace.events
+            if isinstance(e, FragmentEvent) and (e.reads or e.writes)
+        ]
+        loaded = [
+            e for e in back.events
+            if isinstance(e, FragmentEvent) and (e.reads or e.writes)
+        ]
+        assert originals and originals == loaded

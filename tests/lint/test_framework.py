@@ -1,0 +1,106 @@
+"""Tests for the pass registry and the run_lint runner."""
+
+import pytest
+
+from helpers import small_machine, spawn_n_and_wait
+
+from repro.apps import micro
+from repro.core.builder import build_grain_graph
+from repro.core.reductions import reduce_graph
+from repro.lint import (
+    GRAPH_LAYER,
+    STRUCTURE_RULES,
+    TRACE_LAYER,
+    all_passes,
+    get_pass,
+    register,
+    run_lint,
+)
+from repro.lint.framework import LintPass, graph_is_reduced
+from repro.runtime.api import run_program
+
+
+def _run(program=None, threads=4):
+    program = program or spawn_n_and_wait(3)
+    return run_program(
+        program, num_threads=threads, machine=small_machine()
+    )
+
+
+class TestRegistry:
+    def test_at_least_ten_passes_registered(self):
+        assert len(all_passes()) >= 10
+
+    def test_expected_rules_present(self):
+        rules = {p.rule_id for p in all_passes()}
+        assert set(STRUCTURE_RULES) <= rules
+        assert "race.conflict" in rules
+        assert {
+            "trace.monotonic-time",
+            "trace.balanced-events",
+            "trace.nonnegative-duration",
+            "trace.counter-sanity",
+            "trace.worker-overlap",
+            "trace.grain-coverage",
+        } <= rules
+
+    def test_every_pass_has_layer_and_title(self):
+        for lint_pass in all_passes():
+            assert lint_pass.layer in (TRACE_LAYER, GRAPH_LAYER)
+            assert lint_pass.title
+
+    def test_duplicate_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+            register("race.conflict", "dup", GRAPH_LAYER)(lambda g, reduced: [])
+
+    def test_unknown_pass_lookup(self):
+        with pytest.raises(KeyError):
+            get_pass("no.such.rule")
+
+    def test_bad_layer_rejected(self):
+        with pytest.raises(ValueError):
+            LintPass("x.y", "t", "spacetime", lambda: [])
+
+
+class TestRunLint:
+    def test_builds_missing_layers_from_trace(self):
+        report = run_lint(trace=_run().trace)
+        artifacts = {artifact for _, artifact in report.passes_run}
+        assert artifacts == {"trace", "graph", "reduced"}
+        assert report.diagnostics == []
+
+    def test_clean_micro_programs(self):
+        for factory in (micro.fig3a, micro.fig3b, micro.fire_and_forget):
+            report = run_lint(trace=_run(factory()).trace)
+            assert report.diagnostics == [], factory.__name__
+
+    def test_program_name_from_trace_meta(self):
+        report = run_lint(trace=_run().trace)
+        assert report.program == "spawn_n"
+
+    def test_graph_only_skips_trace_passes(self):
+        graph = build_grain_graph(_run().trace)
+        report = run_lint(graph=graph)
+        layers = {get_pass(rule).layer for rule, _ in report.passes_run}
+        assert layers == {GRAPH_LAYER}
+
+    def test_pass_subset_by_name(self):
+        report = run_lint(trace=_run().trace, passes=["trace.monotonic-time"])
+        assert {rule for rule, _ in report.passes_run} == {
+            "trace.monotonic-time"
+        }
+
+    def test_race_pass_skips_reduced_graph(self):
+        report = run_lint(trace=_run().trace)
+        assert ("race.conflict", "graph") in report.passes_run
+        assert ("race.conflict", "reduced") not in report.passes_run
+
+    def test_reduced_graph_detected(self):
+        graph = build_grain_graph(_run(micro.fig3b()).trace)
+        reduced, _ = reduce_graph(graph)
+        assert not graph_is_reduced(graph)
+        assert graph_is_reduced(reduced)
+        # Passing an already-reduced graph must not re-reduce it.
+        report = run_lint(graph=reduced)
+        assert {artifact for _, artifact in report.passes_run} == {"graph"}
+        assert report.diagnostics == []

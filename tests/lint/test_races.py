@@ -1,0 +1,126 @@
+"""Tests for the happens-before data-race pass (``race.conflict``)."""
+
+from helpers import LOC, small_machine
+
+from repro.apps import fft, kdtree, micro, sort
+from repro.lint import Severity, run_lint
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Alloc, Footprint, Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+
+
+def _races(program, threads=4, machine=None):
+    result = run_program(
+        program, num_threads=threads, machine=machine or small_machine()
+    )
+    return run_lint(trace=result.trace).by_rule("race.conflict")
+
+
+def _writer(start, end, cycles=500):
+    def body():
+        yield Work(
+            WorkRequest(cycles=cycles),
+            writes=(Footprint("shared", start, end),),
+        )
+
+    return body
+
+
+class TestRacyMicroApp:
+    def test_racy_is_flagged(self):
+        found = _races(micro.racy())
+        assert found, "missing-TaskWait race not detected"
+        race = found[0]
+        assert race.severity is Severity.ERROR
+        assert "write/write" in race.message
+        assert "'shared'" in race.message
+        assert race.node_id is not None
+        assert race.grain_id
+        assert race.loc
+        assert race.fix_hint
+
+    def test_fixed_variant_is_clean(self):
+        assert _races(micro.racy_fixed()) == []
+
+    def test_racy_flagged_at_any_thread_count(self):
+        # The relation is logical: even a 1-thread run, where the grains
+        # cannot physically overlap, must still report the race.
+        assert _races(micro.racy(), threads=1)
+
+
+class TestFootprintSemantics:
+    def test_disjoint_writes_are_clean(self):
+        def main():
+            yield Alloc("shared", 4096)
+            yield Spawn(_writer(0, 2048), loc=LOC)
+            yield Spawn(_writer(2048, 4096), loc=LOC)
+            yield TaskWait()
+
+        assert _races(Program("disjoint", main)) == []
+
+    def test_parallel_reads_are_clean(self):
+        def reader():
+            yield Work(
+                WorkRequest(cycles=300),
+                reads=(Footprint("shared", 0, 4096),),
+            )
+
+        def main():
+            yield Alloc("shared", 4096)
+            yield Spawn(reader, loc=LOC)
+            yield Spawn(reader, loc=LOC)
+            yield TaskWait()
+
+        assert _races(Program("readers", main)) == []
+
+    def test_parent_read_vs_unwaited_child_write(self):
+        def main():
+            yield Alloc("shared", 4096, record_write=False)
+            yield Spawn(_writer(0, 4096), loc=LOC)
+            # No TaskWait: the parent's read races the child's write.
+            yield Work(
+                WorkRequest(cycles=100),
+                reads=(Footprint("shared", 0, 4096),),
+            )
+            yield TaskWait()
+
+        found = _races(Program("parent_read", main))
+        assert any("read/write" in d.message for d in found)
+
+    def test_region_name_footprint_covers_whole_region(self):
+        def writer():
+            yield Work(WorkRequest(cycles=300), writes=("shared",))
+
+        def main():
+            yield Alloc("shared", 4096)
+            yield Spawn(writer, loc=LOC)
+            yield Spawn(writer, loc=LOC)
+            yield TaskWait()
+
+        assert _races(Program("byname", main))
+
+    def test_taskwait_orders_second_wave(self):
+        # wave 1 || wave 1 would race; TaskWait separates wave 2.
+        def main():
+            yield Alloc("shared", 4096)
+            yield Spawn(_writer(0, 4096), loc=LOC)
+            yield TaskWait()
+            yield Spawn(_writer(0, 4096), loc=LOC)
+            yield TaskWait()
+
+        assert _races(Program("waves", main)) == []
+
+
+class TestRealAppsAreRaceFree:
+    """Acceptance: zero races on the annotated benchmark ports."""
+
+    def test_kdtree(self):
+        assert _races(kdtree.program(tree_size=60), threads=4) == []
+
+    def test_sort(self):
+        assert _races(
+            sort.program(elements=1 << 16), threads=4
+        ) == []
+
+    def test_fft(self):
+        assert _races(fft.program(samples=1 << 10), threads=4) == []

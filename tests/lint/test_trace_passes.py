@@ -1,0 +1,150 @@
+"""Corrupted-trace tests: each runtime-invariant pass must catch its own
+failure mode when the event stream is deliberately damaged."""
+
+from dataclasses import replace
+
+from helpers import loop_program, small_machine, spawn_n_and_wait
+
+from repro.lint import run_lint
+from repro.machine.counters import CounterSet
+from repro.profiler.events import FragmentEvent, TaskCompleteEvent
+from repro.profiler.trace import Trace
+from repro.runtime.api import run_program
+
+
+def _trace(program=None, threads=4):
+    program = program or spawn_n_and_wait(3)
+    return run_program(
+        program, num_threads=threads, machine=small_machine()
+    ).trace
+
+
+def _copy_with(events, meta) -> Trace:
+    trace = Trace(meta)
+    trace.extend(events)
+    return trace
+
+
+def _lint_one(trace, rule_id):
+    return run_lint(
+        trace=trace, passes=[rule_id], build_missing=False
+    ).by_rule(rule_id)
+
+
+def _first_fragment_index(trace):
+    return next(
+        i for i, e in enumerate(trace.events)
+        if isinstance(e, FragmentEvent) and e.end > e.start
+    )
+
+
+class TestCleanTraces:
+    def test_all_trace_passes_quiet_on_real_runs(self):
+        for program in (spawn_n_and_wait(4), loop_program()):
+            report = run_lint(
+                trace=_trace(program), build_missing=False
+            )
+            assert report.diagnostics == []
+
+
+class TestMonotonicTime:
+    def test_reordered_events_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        events[0], events[-1] = events[-1], events[0]
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.monotonic-time")
+        assert found
+        assert all(d.event_index is not None for d in found)
+
+
+class TestBalancedEvents:
+    def test_dropped_completion_flagged(self):
+        trace = _trace()
+        events = [
+            e for e in trace.events if not isinstance(e, TaskCompleteEvent)
+        ]
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.balanced-events")
+        assert any("never completed" in d.message for d in found)
+
+    def test_orphan_completion_flagged(self):
+        trace = _trace()
+        last = trace.events[-1]
+        end = last.end if hasattr(last, "end") else last.time
+        extra = TaskCompleteEvent(tid=999, time=end + 1, core=0)
+        found = _lint_one(
+            _copy_with(list(trace.events) + [extra], trace.meta),
+            "trace.balanced-events",
+        )
+        assert any("never created" in d.message for d in found)
+
+
+class TestNonnegativeDuration:
+    def test_negative_span_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        i = _first_fragment_index(trace)
+        frag = events[i]
+        events[i] = replace(frag, start=frag.end + 10)
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.nonnegative-duration")
+        assert any("negative length" in d.message for d in found)
+
+
+class TestCounterSanity:
+    def test_stall_exceeding_cycles_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        i = _first_fragment_index(trace)
+        frag = events[i]
+        bad = CounterSet(cycles=10, compute_cycles=5, stall_cycles=50)
+        events[i] = replace(frag, counters=bad)
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.counter-sanity")
+        assert any("stalls" in d.message for d in found)
+
+    def test_negative_counter_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        i = _first_fragment_index(trace)
+        frag = events[i]
+        span = frag.end - frag.start
+        bad = CounterSet(cycles=span, compute_cycles=span, l1_misses=-1)
+        events[i] = replace(frag, counters=bad)
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.counter-sanity")
+        assert any("negative counters" in d.message for d in found)
+
+
+class TestWorkerOverlap:
+    def test_double_booked_core_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        i = _first_fragment_index(trace)
+        frag = events[i]
+        clone = replace(frag, tid=9999, seq=0)
+        found = _lint_one(
+            _copy_with(events + [clone], trace.meta), "trace.worker-overlap"
+        )
+        assert any("simultaneously" in d.message for d in found)
+
+
+class TestGrainCoverage:
+    def test_noncontiguous_fragment_seq_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        i = _first_fragment_index(trace)
+        events[i] = replace(events[i], seq=57)
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.grain-coverage")
+        assert any("not contiguous" in d.message for d in found)
+
+    def test_core_outside_team_flagged(self):
+        trace = _trace()
+        events = list(trace.events)
+        i = _first_fragment_index(trace)
+        events[i] = replace(events[i], core=trace.meta.num_threads + 3)
+        found = _lint_one(_copy_with(events, trace.meta),
+                          "trace.grain-coverage")
+        assert any("outside" in d.message for d in found)

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.machine import Machine, MachineConfig, CacheConfig, CostParams
+from repro.machine import Machine, CostParams
 from repro.machine.caches import LINE_SIZE
 from repro.machine.cost import Access, WorkRequest
 from repro.machine.memory import FirstTouch, RoundRobin
-from repro.machine.topology import opteron6172, small_smp
 
 
 def paper_machine():

@@ -11,7 +11,7 @@ from repro.profiler.events import (
     TaskCreateEvent,
     event_from_dict,
 )
-from repro.profiler.trace import Trace, TraceMetadata
+from repro.profiler.trace import Trace
 from repro.runtime.api import run_program
 
 

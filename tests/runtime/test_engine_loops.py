@@ -8,7 +8,6 @@ from repro.machine.cost import WorkRequest
 from repro.runtime.actions import ParallelFor, Spawn, TaskWait, Work
 from repro.runtime.api import Program, run_program
 from repro.runtime.engine import NestedParallelismError
-from repro.runtime.flavors import MIR
 from repro.runtime.loops import LoopSpec, Schedule
 
 

@@ -7,7 +7,7 @@ from helpers import LOC, binary_tree, leaf, small_machine, spawn_n_and_wait
 from repro.machine.cost import WorkRequest
 from repro.runtime.actions import Spawn, TaskWait, Work
 from repro.runtime.api import Program, run_program
-from repro.runtime.flavors import GCC, ICC, MIR
+from repro.runtime.flavors import MIR
 
 
 class TestBasics:

@@ -4,9 +4,54 @@ import pytest
 
 from repro.binpack import (
     first_fit_decreasing,
+    lower_bound_l2,
     minimum_cores,
     pack_feasible,
 )
+
+
+class TestLowerBoundL2:
+    def test_at_least_area_bound(self):
+        items = [7, 7, 7, 5, 5, 3, 2]
+        capacity = 10
+        area = -(-sum(items) // capacity)
+        assert lower_bound_l2(items, capacity) >= area
+
+    def test_big_items_counted_individually(self):
+        # Three items over half capacity can never share bins; the area
+        # bound alone would allow 2.
+        assert lower_bound_l2([6, 6, 6], 10) == 3
+
+    def test_threshold_term(self):
+        # At threshold 4 the 7s' residual of 3 is useless to the 4s, so
+        # the three 4s need ceil(12/10) = 2 extra bins: 5 total, which
+        # is also the optimum (the plain area bound only gives 4).
+        assert lower_bound_l2([7, 7, 7, 4, 4, 4], 10) == 5
+
+    def test_never_exceeds_optimum(self):
+        # FFD is optimal on these; the bound must not overshoot it.
+        for items, capacity in [
+            ([4, 4, 4, 6, 6], 12),
+            ([5] * 10, 10),
+            ([1] * 40, 50),
+            ([50, 25, 25], 50),
+        ]:
+            bins = minimum_cores(items, capacity).num_bins
+            assert lower_bound_l2(items, capacity) <= bins
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            lower_bound_l2([1], 0)
+
+    def test_adversarial_infeasibility_is_fast(self):
+        # The seed's blowup: ~40 mid-size items, tight capacity.  The L2
+        # precheck must prove bins-1 infeasible without search.
+        items = [26, 27, 28, 29] * 10
+        capacity = 55
+        result = minimum_cores(items, makespan=capacity)
+        area = -(-sum(items) // capacity)
+        ffd = first_fit_decreasing(items, capacity)
+        assert area <= result.num_bins <= ffd.num_bins
 
 
 class TestFFD:

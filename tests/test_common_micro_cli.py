@@ -4,7 +4,12 @@ import pytest
 
 from repro.common import SourceLocation, UNKNOWN_LOCATION
 from repro.apps import micro
-from repro.apps.common import DeterministicRandom, flops_cycles, linear_cycles, nlogn_cycles
+from repro.apps.common import (
+    DeterministicRandom,
+    flops_cycles,
+    linear_cycles,
+    nlogn_cycles,
+)
 
 
 class TestSourceLocation:

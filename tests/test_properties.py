@@ -9,9 +9,9 @@ from repro.binpack import first_fit_decreasing, minimum_cores, pack_feasible
 from repro.machine.caches import CacheConfig, CacheModel, LINE_SIZE
 from repro.machine.contention import ContentionModel
 from repro.machine.counters import CounterSet
-from repro.machine.cost import Access, WorkRequest
+from repro.machine.cost import WorkRequest
 from repro.machine.topology import MachineTopology
-from repro.machine.memory import MemoryMap, RoundRobin, FirstTouch
+from repro.machine.memory import MemoryMap, RoundRobin
 from repro.runtime.loops import ChunkDispatcher, LoopSpec, Schedule
 
 

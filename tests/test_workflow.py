@@ -1,6 +1,5 @@
 """Tests for the high-level workflow pipeline."""
 
-import pytest
 
 from helpers import binary_tree
 
@@ -52,6 +51,23 @@ class TestProfileProgram:
             micro.fig3b(), num_threads=2, machine_config=SMALL
         )
         assert study.graph.num_grains == 6  # 5 chunks + root
+
+    def test_lint_report_attached_on_request(self):
+        study = profile_program(
+            micro.racy(), num_threads=2, machine_config=SMALL, lint=True
+        )
+        assert study.lint_report is not None
+        assert study.lint_report.by_rule("race.conflict")
+        clean = profile_program(
+            micro.fig3a(), num_threads=2, machine_config=SMALL, lint=True
+        )
+        assert clean.lint_report.diagnostics == []
+
+    def test_lint_off_by_default(self):
+        study = profile_program(
+            micro.fig3a(), num_threads=2, machine_config=SMALL
+        )
+        assert study.lint_report is None
 
     def test_graph_validated_by_default(self):
         # validate=True is exercised by every call above; smoke the flag.
