@@ -8,8 +8,17 @@ factors, crossovers), and writes the rendered rows to
 authors' 48-core AMD testbed; shapes are.
 
 Run with ``pytest benchmarks/ --benchmark-only``.
+
+The session installs a default :class:`repro.exec.RunCache` under
+``benchmarks/.exec-cache`` (override with ``GRAIN_CACHE_DIR``), so every
+``profile_program``/``speedup_table`` call in the experiment modules is
+cached and deduplicated: regenerating figures against unchanged code is
+a warm-cache rerun with zero engine invocations.  Cache keys embed the
+``src/repro`` source fingerprint, so editing the simulator invalidates
+the cache automatically.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -18,6 +27,23 @@ import pytest
 RESULTS_DIR = Path(__file__).parent / "results"
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "tests"))
+
+from repro.exec import RunCache, set_default_cache  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def exec_cache():
+    """Session-wide artifact cache shared by every experiment module."""
+    root = os.environ.get(
+        "GRAIN_CACHE_DIR", str(Path(__file__).parent / ".exec-cache")
+    )
+    cache = RunCache(root)
+    previous = set_default_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_default_cache(previous)
+        print(f"\n[repro.exec] cache {cache.root}: {cache.stats.format()}")
 
 
 @pytest.fixture

@@ -53,7 +53,12 @@ def fig3a(
         yield Spawn(foo, loc=LOC_FOO, label="foo")
         yield TaskWait()
 
-    return Program("fig3a", main, input_summary="foo/bar/baz")
+    return Program(
+        "fig3a", main,
+        input_summary=(
+            f"foo/bar/baz bar={bar_cycles} baz={baz_cycles} between={between}"
+        ),
+    )
 
 
 def fig3b(
@@ -75,7 +80,10 @@ def fig3b(
         )
 
     return Program(
-        "fig3b", main, input_summary=f"n={iterations} chunk={chunk} T={threads}"
+        "fig3b", main,
+        input_summary=(
+            f"n={iterations} chunk={chunk} T={threads} iter={iter_cycles}"
+        ),
     )
 
 
@@ -132,7 +140,9 @@ def racy(size_bytes: int = 4096, cycles: int = 800) -> Program:
             reads=(Footprint("shared", 0, size_bytes),),
         )
 
-    return Program("racy", main, input_summary=f"bytes={size_bytes}")
+    return Program(
+        "racy", main, input_summary=f"bytes={size_bytes} cycles={cycles}"
+    )
 
 
 def racy_fixed(size_bytes: int = 4096, cycles: int = 800) -> Program:
@@ -151,4 +161,7 @@ def racy_fixed(size_bytes: int = 4096, cycles: int = 800) -> Program:
             reads=(Footprint("shared", 0, size_bytes),),
         )
 
-    return Program("racy_fixed", main, input_summary=f"bytes={size_bytes}")
+    return Program(
+        "racy_fixed", main,
+        input_summary=f"bytes={size_bytes} cycles={cycles}",
+    )

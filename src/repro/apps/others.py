@@ -343,7 +343,9 @@ def imagick(rows: int = 960) -> Program:
 
     return Program(
         "367.imagick", main,
-        input_summary="-shear 31 -resize 1280x960 ... -edge 100",
+        # rows must appear here: the exec cache keys runs by
+        # (name, input_summary, ...), so the summary has to pin the input.
+        input_summary=f"-shear 31 -resize 1280x960 ... -edge 100 rows={rows}",
     )
 
 

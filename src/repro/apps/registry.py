@@ -1,0 +1,81 @@
+"""Name -> :class:`Program` registry for every benchmark program.
+
+The CLI, the study runner (:mod:`repro.exec`), and the test suites all
+resolve programs through this table.  Keeping it importable without the
+CLI matters for :mod:`repro.exec.runner`: process-pool workers rebuild
+programs from ``(registry name, kwargs)`` pairs, because program bodies
+are closures and cannot cross a process boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..runtime.api import Program
+from . import fft, freqmine, kdtree, micro, others, sort, sparselu, strassen
+
+PROGRAMS: dict[str, Callable[..., Program]] = {
+    "kdtree": kdtree.program,
+    "kdtree-fixed": kdtree.program_fixed,
+    "sort": sort.program,
+    "sort-roundrobin": sort.program_round_robin,
+    "sort-lowcutoff": sort.program_low_cutoff,
+    "botsspar": sparselu.program,
+    "botsspar-interchanged": sparselu.program_interchanged,
+    "fft": fft.program,
+    "fft-optimized": fft.program_optimized,
+    "strassen": strassen.program,
+    "strassen-fixed": strassen.program_fixed,
+    "freqmine": freqmine.program,
+    "freqmine-7core": freqmine.program_seven_cores,
+    "fib": others.fib,
+    "floorplan": others.floorplan,
+    "nqueens": others.nqueens,
+    "uts": others.uts,
+    "blackscholes": others.blackscholes,
+    "botsalgn": others.botsalgn,
+    "smithwa": others.smithwa,
+    "imagick": others.imagick,
+    "bodytrack": others.bodytrack,
+    "fig3a": micro.fig3a,
+    "fig3b": micro.fig3b,
+    "racy": micro.racy,
+    "racy-fixed": micro.racy_fixed,
+}
+
+
+# Shrunken inputs for the heavyweight entries, used by the regression
+# suites (and CI smoke matrices) that iterate over *every* program: the
+# properties under test — structural validity, determinism, round-trip
+# fidelity — are shape properties, not size properties.
+SMALL_INPUTS: dict[str, dict] = {
+    "fft": dict(samples=1 << 12),
+    "fft-optimized": dict(samples=1 << 12),
+    "fib": dict(n=22, cutoff=10),
+    "nqueens": dict(n=9),
+    "sort": dict(elements=1 << 17),
+    "sort-roundrobin": dict(elements=1 << 17),
+    "sort-lowcutoff": dict(elements=1 << 17),
+    "botsspar": dict(nb=10),
+    "botsspar-interchanged": dict(nb=10),
+    "uts": dict(expected_nodes=800),
+    "imagick": dict(rows=240),
+    "bodytrack": dict(particles=1000, rows=240),
+    "blackscholes": dict(options=8000),
+}
+
+
+def resolve_small(name: str) -> Program:
+    """Instantiate ``name`` with its :data:`SMALL_INPUTS` (if any)."""
+    return resolve(name, **SMALL_INPUTS.get(name, {}))
+
+
+def resolve(name: str, **kwargs) -> Program:
+    """Instantiate the registered program ``name`` with input ``kwargs``."""
+    try:
+        factory = PROGRAMS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown program {name!r}; known: {', '.join(sorted(PROGRAMS))}"
+        ) from None
+    return factory(**kwargs)

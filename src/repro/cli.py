@@ -19,55 +19,33 @@ Subcommands::
         invariants, happens-before races) over the program's trace and
         grain graphs; exit non-zero if findings reach the --fail-on
         severity.
+
+    grain-graphs study --matrix PROG[:FLAVOR[:THREADS]],... [--jobs N]
+                 [--cache DIR] [--cache-stats] [--no-reference]
+        Run a whole study matrix through the repro.exec layer: shared
+        single-core reference runs are deduplicated, cache misses fan
+        out across a process pool, and warm-cache reruns touch the
+        engine zero times.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable
+import time
 
 from .analysis.views import VIEW_KINDS, make_view
-from .apps import fft, freqmine, kdtree, micro, others, sort, sparselu, strassen
+from .apps.registry import PROGRAMS, resolve
 from .core.reductions import reduce_graph
 from .lint import Severity, render_json, render_text, run_lint
 from .runtime.api import Program, run_program
 from .runtime.flavors import flavor_by_name
 from .workflow import format_speedup_table, profile_program, speedup_table
 
-PROGRAMS: dict[str, Callable[[], Program]] = {
-    "kdtree": kdtree.program,
-    "kdtree-fixed": kdtree.program_fixed,
-    "sort": sort.program,
-    "sort-roundrobin": sort.program_round_robin,
-    "sort-lowcutoff": sort.program_low_cutoff,
-    "botsspar": sparselu.program,
-    "botsspar-interchanged": sparselu.program_interchanged,
-    "fft": fft.program,
-    "fft-optimized": fft.program_optimized,
-    "strassen": strassen.program,
-    "strassen-fixed": strassen.program_fixed,
-    "freqmine": freqmine.program,
-    "freqmine-7core": freqmine.program_seven_cores,
-    "fib": others.fib,
-    "floorplan": others.floorplan,
-    "nqueens": others.nqueens,
-    "uts": others.uts,
-    "blackscholes": others.blackscholes,
-    "botsalgn": others.botsalgn,
-    "smithwa": others.smithwa,
-    "imagick": others.imagick,
-    "bodytrack": others.bodytrack,
-    "fig3a": micro.fig3a,
-    "fig3b": micro.fig3b,
-    "racy": micro.racy,
-    "racy-fixed": micro.racy_fixed,
-}
-
 
 def _resolve(name: str) -> Program:
     try:
-        return PROGRAMS[name]()
+        return resolve(name)
     except KeyError:
         raise SystemExit(
             f"unknown program {name!r}; run `grain-graphs list`"
@@ -140,6 +118,66 @@ def cmd_speedups(args) -> int:
     return 0
 
 
+def cmd_study(args) -> int:
+    from .exec import MatrixPoint, RunCache, StudyRunner
+    from .runtime.engine import engine_invocations
+
+    try:
+        points = [
+            MatrixPoint.parse(
+                spec, default_flavor=args.flavor, default_threads=args.threads
+            )
+            for chunk in args.matrix
+            for spec in chunk.split(",")
+            if spec.strip()
+        ]
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from None
+    if not points:
+        raise SystemExit("empty study matrix")
+    unknown = sorted({p.program for p in points} - PROGRAMS.keys())
+    if unknown:
+        raise SystemExit(
+            f"unknown programs {', '.join(unknown)}; run `grain-graphs list`"
+        )
+    cache = RunCache(args.cache) if args.cache else None
+    runner = StudyRunner(
+        cache=cache,
+        jobs=args.jobs,
+        reference_threads=None if args.no_reference else 1,
+    )
+    invocations_before = engine_invocations()
+    started = time.perf_counter()
+    studies = runner.run_matrix(points)
+    elapsed = time.perf_counter() - started
+
+    header = (
+        f"{'program':28} {'flavor':7} {'threads':>7} "
+        f"{'makespan':>14} {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    for point, study in zip(points, studies):
+        print(
+            f"{point.program[:28]:28} {point.flavor:7} {point.threads:>7} "
+            f"{study.makespan_cycles:>14} {study.speedup:>8.2f}"
+        )
+    if args.cache_stats:
+        print()
+        print(f"matrix points: {len(points)}  "
+              f"simulated: {runner.simulated}  "
+              f"engine invocations (this process): "
+              f"{engine_invocations() - invocations_before}")
+        if cache is not None:
+            print(f"cache root: {cache.root}")
+            print(f"code fingerprint: {cache.fingerprint}")
+            print(f"cache {cache.stats.format()}")
+        else:
+            print("cache: disabled (pass --cache DIR to persist artifacts)")
+        print(f"wall-clock: {elapsed:.2f}s  jobs: {args.jobs}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="grain-graphs",
@@ -183,6 +221,29 @@ def main(argv: list[str] | None = None) -> int:
     speedups.add_argument("programs", nargs="+")
     speedups.add_argument("--threads", type=int, default=48)
     speedups.set_defaults(fn=cmd_speedups)
+
+    study = sub.add_parser(
+        "study",
+        help="run a cached, deduplicated study matrix (repro.exec)",
+    )
+    study.add_argument(
+        "--matrix", action="append", required=True, metavar="POINTS",
+        help="comma-separated PROGRAM[:FLAVOR[:THREADS]] points; "
+        "repeatable (e.g. --matrix sort:MIR:8,sort:GCC:8 --matrix fft)",
+    )
+    study.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width for cache misses")
+    study.add_argument("--cache", metavar="DIR",
+                       help="artifact cache directory (omit for cold runs)")
+    study.add_argument("--cache-stats", action="store_true",
+                       help="print hit/miss/store and simulation counters")
+    study.add_argument("--no-reference", action="store_true",
+                       help="skip the 1-core work-deviation reference runs")
+    study.add_argument("--flavor", default="MIR",
+                       help="default flavor for points that omit one")
+    study.add_argument("--threads", type=int, default=48,
+                       help="default thread count for points that omit one")
+    study.set_defaults(fn=cmd_study)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -1,0 +1,66 @@
+"""Study-execution layer: artifact cache + deduplicated parallel runs.
+
+Public surface::
+
+    RunCache(dir)                 content-addressed on-disk artifact cache
+    RunKey / CacheStats           cache keying and accounting
+    code_fingerprint()            the src/repro source digest in every key
+    TraceExecutor(cache=...)      in-process point runner (memo + cache)
+    StudyRunner(cache=..., jobs=N).run_matrix([...])
+    MatrixPoint.parse("sort:GCC:8")
+    set_default_cache(cache) / get_default_cache()
+
+The *default cache* is an opt-in process-wide :class:`RunCache` that
+``workflow.profile_program`` and ``workflow.speedup_table`` consult when
+no explicit cache is passed.  Nothing installs one by default — unit
+tests and ad-hoc scripts keep cold semantics — but the benchmark
+harness's ``conftest`` installs a session cache so every figure
+regeneration after the first is a warm-cache rerun.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .cache import CachedRun, CacheStats, RunCache, RunKey
+from .fingerprint import code_fingerprint
+from .runner import (
+    MatrixPoint,
+    StudyArtifact,
+    StudyRunner,
+    TraceExecutor,
+    result_from_cached,
+)
+
+_default_cache: Optional[RunCache] = None
+
+
+def set_default_cache(cache: Optional[RunCache]) -> Optional[RunCache]:
+    """Install (or clear, with ``None``) the process-wide default cache.
+
+    Returns the previous default so callers can restore it.
+    """
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+def get_default_cache() -> Optional[RunCache]:
+    return _default_cache
+
+
+__all__ = [
+    "CachedRun",
+    "CacheStats",
+    "MatrixPoint",
+    "RunCache",
+    "RunKey",
+    "StudyArtifact",
+    "StudyRunner",
+    "TraceExecutor",
+    "code_fingerprint",
+    "get_default_cache",
+    "result_from_cached",
+    "set_default_cache",
+]

@@ -1,0 +1,235 @@
+"""Content-addressed on-disk cache for simulated-run artifacts.
+
+Layout under the cache root::
+
+    traces/<digest>.jsonl      the profiler trace (source of truth)
+    meta/<digest>.json         the full key + engine RunStats sidecar
+    reports/<digest>-<p>.pkl   pickled analysis artifacts (graph, report,
+                               advice, timeline) for analysis params ``p``
+
+``<digest>`` is a SHA-256 over the canonical JSON of a :class:`RunKey`:
+program name + input summary + flavor + thread count + machine
+configuration + profiler configuration + the :func:`code_fingerprint` of
+``src/repro`` itself.  Two runs with the same digest are byte-identical
+(see ``tests/exec/test_golden_determinism.py``), which is what makes
+content addressing sound; the fingerprint component means editing the
+simulator invalidates everything it previously produced.
+
+The cache never stores a :class:`~repro.runtime.api.Program` — bodies are
+closures.  Callers re-supply the program when reassembling a
+:class:`~repro.workflow.Study` from cached parts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from ..machine.machine import MachineConfig
+from ..profiler.recorder import ProfilerConfig
+from ..profiler.trace import Trace
+from ..runtime.api import Program
+from ..runtime.engine import RunResult, RunStats
+from ..runtime.flavors import RuntimeFlavor
+from .fingerprint import code_fingerprint
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Everything that determines a simulated run's trace, as strings."""
+
+    program: str
+    input_summary: str
+    flavor: str
+    threads: int
+    machine: str
+    profiler: str
+    fingerprint: str
+
+    @classmethod
+    def for_run(
+        cls,
+        program: Program,
+        flavor: RuntimeFlavor,
+        threads: int,
+        machine_config: MachineConfig | None = None,
+        profiler: ProfilerConfig | None = None,
+        fingerprint: str | None = None,
+    ) -> "RunKey":
+        machine = (
+            repr(machine_config) if machine_config is not None else "paper_testbed"
+        )
+        return cls(
+            program=program.name,
+            input_summary=program.input_summary,
+            flavor=flavor.name,
+            threads=threads,
+            machine=machine,
+            profiler=repr(profiler) if profiler is not None else "",
+            fingerprint=fingerprint or code_fingerprint(),
+        )
+
+    def digest(self) -> str:
+        canonical = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters, kept per :class:`RunCache` instance."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    trace_stores: int = 0
+    report_hits: int = 0
+    report_misses: int = 0
+    report_stores: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        return (
+            f"traces: {self.trace_hits} hits, {self.trace_misses} misses, "
+            f"{self.trace_stores} stores | reports: {self.report_hits} hits, "
+            f"{self.report_misses} misses, {self.report_stores} stores"
+        )
+
+
+@dataclass
+class CachedRun:
+    """A trace plus the engine statistics recorded when it was simulated."""
+
+    trace: Trace
+    stats: RunStats
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write via a same-directory temp file + rename so that concurrent
+    pool workers never expose a half-written artifact."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class RunCache:
+    """The on-disk artifact store; safe for concurrent writers."""
+
+    def __init__(
+        self, root: str | Path, fingerprint: str | None = None
+    ) -> None:
+        self.root = Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.stats = CacheStats()
+        for sub in ("traces", "meta", "reports"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    def key_for(
+        self,
+        program: Program,
+        flavor: RuntimeFlavor,
+        threads: int,
+        machine_config: MachineConfig | None = None,
+        profiler: ProfilerConfig | None = None,
+    ) -> RunKey:
+        return RunKey.for_run(
+            program, flavor, threads,
+            machine_config=machine_config, profiler=profiler,
+            fingerprint=self.fingerprint,
+        )
+
+    def _trace_path(self, key: RunKey) -> Path:
+        return self.root / "traces" / f"{key.digest()}.jsonl"
+
+    def _meta_path(self, key: RunKey) -> Path:
+        return self.root / "meta" / f"{key.digest()}.json"
+
+    def _report_path(self, key: RunKey, params_digest: str) -> Path:
+        return self.root / "reports" / f"{key.digest()}-{params_digest}.pkl"
+
+    # ------------------------------------------------------------------
+    # Traces
+    # ------------------------------------------------------------------
+    def lookup(self, key: RunKey) -> Optional[CachedRun]:
+        """Counted probe: a hit loads the cached run, a miss returns None."""
+        run = self.load(key)
+        if run is None:
+            self.stats.trace_misses += 1
+        else:
+            self.stats.trace_hits += 1
+        return run
+
+    def load(self, key: RunKey) -> Optional[CachedRun]:
+        """Uncounted load, for re-reading artifacts known to exist (e.g.
+        after a pool worker stored them)."""
+        path = self._trace_path(key)
+        if not path.exists():
+            return None
+        trace = Trace.loads_jsonl(path.read_text())
+        stats = RunStats()
+        meta_path = self._meta_path(key)
+        if meta_path.exists():
+            sidecar = json.loads(meta_path.read_text())
+            recorded = sidecar.get("stats", {})
+            stats = RunStats(**{
+                f: recorded.get(f, 0) for f in RunStats().__dict__
+            })
+        return CachedRun(trace=trace, stats=stats)
+
+    def store(self, key: RunKey, result: RunResult) -> None:
+        _atomic_write(
+            self._trace_path(key), result.trace.dumps_jsonl().encode()
+        )
+        sidecar = {
+            "key": asdict(key),
+            "stats": asdict(result.stats),
+            "makespan_cycles": result.makespan_cycles,
+        }
+        _atomic_write(
+            self._meta_path(key),
+            (json.dumps(sidecar, indent=1) + "\n").encode(),
+        )
+        self.stats.trace_stores += 1
+
+    # ------------------------------------------------------------------
+    # Analysis artifacts (graphs + metric reports)
+    # ------------------------------------------------------------------
+    def get_report(self, key: RunKey, params_digest: str) -> Any:
+        path = self._report_path(key, params_digest)
+        if not path.exists():
+            self.stats.report_misses += 1
+            return None
+        try:
+            artifact = pickle.loads(path.read_bytes())
+        except Exception:
+            # Treat a stale/corrupt pickle as a miss; the caller recomputes.
+            self.stats.report_misses += 1
+            return None
+        self.stats.report_hits += 1
+        return artifact
+
+    def put_report(self, key: RunKey, params_digest: str, artifact: Any) -> None:
+        try:
+            data = pickle.dumps(artifact)
+        except Exception:
+            self.stats.extra["unpicklable_reports"] = (
+                self.stats.extra.get("unpicklable_reports", 0) + 1
+            )
+            return
+        _atomic_write(self._report_path(key, params_digest), data)
+        self.stats.report_stores += 1

@@ -1,0 +1,39 @@
+"""Code fingerprint: one hash over every source file of ``repro``.
+
+Cached run artifacts are only sound while the simulator that produced
+them is the simulator that would reproduce them, so every cache key
+embeds a digest of the package's own source tree.  Editing anything
+under ``src/repro/`` changes the fingerprint and silently invalidates
+every prior artifact — stale-cache bugs become cold-cache slowness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+
+_DEFAULT_ROOT = Path(__file__).resolve().parent.parent  # src/repro
+_cache: dict[Path, str] = {}
+
+
+def code_fingerprint(root: str | Path | None = None) -> str:
+    """Hex digest over the (sorted) ``*.py`` tree under ``root``.
+
+    Defaults to the installed ``repro`` package directory and memoizes
+    per root, since one process never sees its own sources change.
+    """
+    root = Path(root).resolve() if root is not None else _DEFAULT_ROOT
+    cached = _cache.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        digest.update(path.relative_to(root).as_posix().encode())
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    result = digest.hexdigest()[:20]
+    _cache[root] = result
+    return result

@@ -1,0 +1,392 @@
+"""Study execution: deduplicated, cached, optionally parallel runs.
+
+Two layers:
+
+:class:`TraceExecutor`
+    The in-process point runner.  ``run(program, flavor, threads)``
+    memoizes within the executor, consults the :class:`RunCache` (when
+    attached), and only then simulates.  ``workflow.speedup_table`` and
+    ``workflow.profile_program`` route every engine run through one of
+    these, which is what deduplicates the shared single-core reference
+    runs across flavors, figures, and — with an on-disk cache — whole
+    processes.
+
+:class:`StudyRunner`
+    The matrix runner.  ``run_matrix`` takes (program, flavor, threads)
+    points, expands them with their reference runs, deduplicates the
+    resulting simulation set, fans cache misses across a process pool
+    (``jobs > 1``), and reassembles full :class:`~repro.workflow.Study`
+    objects from the cached JSONL traces.  Pool workers receive
+    ``(registry name, kwargs)`` pairs — never :class:`Program` objects,
+    whose closure bodies cannot cross a process boundary — and write
+    traces straight into the cache, which doubles as the transport
+    channel back to the parent.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from tempfile import TemporaryDirectory
+from typing import Any, Optional, Sequence
+
+from ..machine import Machine, MachineConfig
+from ..profiler.recorder import ProfilerConfig
+from ..runtime.api import Program, run_program
+from ..runtime.engine import RunResult
+from ..runtime.flavors import MIR, RuntimeFlavor, flavor_by_name
+from .cache import CachedRun, RunCache, RunKey
+
+
+def result_from_cached(
+    cached: CachedRun, machine_config: MachineConfig | None = None
+) -> RunResult:
+    """Rebuild a :class:`RunResult` from a cached trace + stats sidecar.
+
+    The machine is reconstructed cold from configuration; only its
+    topology (for ``makespan_seconds`` etc.) is meaningful afterwards.
+    """
+    machine = Machine(machine_config) if machine_config else Machine.paper_testbed()
+    return RunResult(
+        trace=cached.trace,
+        makespan_cycles=cached.trace.meta.makespan_cycles,
+        stats=cached.stats,
+        flavor=cached.trace.meta.flavor,
+        num_threads=cached.trace.meta.num_threads,
+        machine=machine,
+    )
+
+
+class TraceExecutor:
+    """In-process point runner: memo -> cache -> simulate.
+
+    Memoization (and the cache) key on ``(program name, input summary,
+    flavor, threads)`` plus machine/profiler config — program inputs must
+    therefore be encoded in ``input_summary``, which every registered app
+    does.
+    """
+
+    def __init__(
+        self,
+        cache: RunCache | None = None,
+        machine_config: MachineConfig | None = None,
+        profiler: ProfilerConfig | None = None,
+    ) -> None:
+        self.cache = cache
+        self.machine_config = machine_config
+        self.profiler = profiler
+        self.simulated = 0
+        self._memo: dict[tuple, RunResult] = {}
+
+    def _machine(self) -> Machine:
+        if self.machine_config is not None:
+            return Machine(self.machine_config)
+        return Machine.paper_testbed()
+
+    def run(
+        self, program: Program, flavor: RuntimeFlavor = MIR, threads: int = 48
+    ) -> RunResult:
+        memo_key = (program.name, program.input_summary, flavor.name, threads)
+        hit = self._memo.get(memo_key)
+        if hit is not None:
+            return hit
+        key = None
+        if self.cache is not None:
+            key = self.cache.key_for(
+                program, flavor, threads,
+                machine_config=self.machine_config, profiler=self.profiler,
+            )
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                result = result_from_cached(cached, self.machine_config)
+                self._memo[memo_key] = result
+                return result
+        result = run_program(
+            program, flavor=flavor, num_threads=threads,
+            machine=self._machine(), profiler=self.profiler,
+        )
+        self.simulated += 1
+        if self.cache is not None and key is not None:
+            self.cache.store(key, result)
+        self._memo[memo_key] = result
+        return result
+
+
+# ---------------------------------------------------------------------------
+# Matrix running
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MatrixPoint:
+    """One study point: a registry program name at a flavor/thread count.
+
+    ``kwargs`` (a sorted tuple of pairs) parameterizes the registry
+    factory; it stays picklable so points can ship to pool workers.
+    """
+
+    program: str
+    flavor: str = "MIR"
+    threads: int = 48
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def parse(
+        cls, spec: str, default_flavor: str = "MIR", default_threads: int = 48
+    ) -> "MatrixPoint":
+        """Parse ``PROGRAM[:FLAVOR[:THREADS]]`` (e.g. ``sort:GCC:8``)."""
+        parts = spec.strip().split(":")
+        if not parts or not parts[0]:
+            raise ValueError(f"empty matrix point spec {spec!r}")
+        if len(parts) > 3:
+            raise ValueError(
+                f"bad matrix point {spec!r}: want PROGRAM[:FLAVOR[:THREADS]]"
+            )
+        flavor = parts[1].upper() if len(parts) > 1 and parts[1] else default_flavor
+        threads = int(parts[2]) if len(parts) > 2 else default_threads
+        return cls(program=parts[0], flavor=flavor, threads=threads)
+
+    @classmethod
+    def of(cls, program, flavor="MIR", threads=48, **kwargs) -> "MatrixPoint":
+        return cls(
+            program=program, flavor=flavor, threads=threads,
+            kwargs=tuple(sorted(kwargs.items())),
+        )
+
+    def resolve(self) -> Program:
+        from ..apps import registry
+
+        return registry.resolve(self.program, **dict(self.kwargs))
+
+
+@dataclass(frozen=True)
+class _SimSpec:
+    """One deduplicated engine run backing one or more matrix points."""
+
+    program: str
+    kwargs: tuple[tuple[str, Any], ...]
+    flavor: str
+    threads: int
+
+
+def _pool_simulate(payload: tuple) -> str:
+    """Pool worker: simulate one point and store its trace in the cache.
+
+    Runs in a separate process; returns the cache digest so the parent
+    can sanity-check the round trip.
+    """
+    (name, kwargs, flavor_name, threads, cache_root, fingerprint,
+     machine_config, profiler) = payload
+    from ..apps import registry
+
+    cache = RunCache(cache_root, fingerprint=fingerprint)
+    program = registry.resolve(name, **dict(kwargs))
+    flavor = flavor_by_name(flavor_name)
+    machine = Machine(machine_config) if machine_config else None
+    result = run_program(
+        program, flavor=flavor, num_threads=threads,
+        machine=machine, profiler=profiler,
+    )
+    key = cache.key_for(
+        program, flavor, threads,
+        machine_config=machine_config, profiler=profiler,
+    )
+    cache.store(key, result)
+    return key.digest()
+
+
+@dataclass
+class StudyRunner:
+    """Fan a study matrix across workers, never simulating a point twice.
+
+    ``jobs > 1`` requires registry-resolvable points; with no cache
+    attached, a temporary directory serves as the worker->parent trace
+    transport.  Analysis (graph build + metrics) always happens in the
+    parent, backed by the cache's pickled report artifacts.
+    """
+
+    cache: RunCache | None = None
+    jobs: int = 1
+    reference_threads: Optional[int] = 1
+    machine_config: MachineConfig | None = None
+    profiler: ProfilerConfig | None = None
+    validate: bool = True
+    lint: bool = False
+    simulated: int = field(default=0, init=False)
+
+    def _params_digest(self, with_reference: bool) -> str:
+        canonical = repr((
+            "study-v1", with_reference, self.validate, self.lint,
+        ))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+    def run_matrix(self, points: Sequence["MatrixPoint | str"]) -> list:
+        """Run every point; returns the matching list of ``Study`` objects."""
+        from ..workflow import build_study
+
+        points = [
+            MatrixPoint.parse(p) if isinstance(p, str) else p for p in points
+        ]
+        cache = self.cache
+        transport: TemporaryDirectory | None = None
+        if cache is None and self.jobs > 1:
+            transport = TemporaryDirectory(prefix="grain-exec-")
+            cache = RunCache(transport.name)
+        try:
+            return self._run_matrix(points, cache, build_study)
+        finally:
+            if transport is not None:
+                transport.cleanup()
+
+    # ------------------------------------------------------------------
+    def _spec_for(self, point: MatrixPoint, threads: int) -> _SimSpec:
+        return _SimSpec(point.program, point.kwargs, point.flavor, threads)
+
+    def _run_matrix(self, points, cache, build_study) -> list:
+        # 1. Deduplicate the simulation set (matrix points + references).
+        specs: dict[_SimSpec, Program] = {}
+        for point in points:
+            for threads in self._threads_for(point):
+                spec = self._spec_for(point, threads)
+                if spec not in specs:
+                    specs[spec] = point.resolve()
+
+        # 2. Partition into cache hits and points needing simulation.
+        results: dict[_SimSpec, RunResult] = {}
+        keys: dict[_SimSpec, RunKey] = {}
+        missing: list[_SimSpec] = []
+        for spec, program in specs.items():
+            flavor = flavor_by_name(spec.flavor)
+            if cache is None:
+                missing.append(spec)
+                continue
+            key = cache.key_for(
+                program, flavor, spec.threads,
+                machine_config=self.machine_config, profiler=self.profiler,
+            )
+            keys[spec] = key
+            cached = cache.lookup(key)
+            if cached is not None:
+                results[spec] = result_from_cached(cached, self.machine_config)
+            else:
+                missing.append(spec)
+
+        # 3. Simulate the misses — across the pool or inline.
+        self.simulated += len(missing)
+        if missing and self.jobs > 1:
+            payloads = [
+                (
+                    spec.program, spec.kwargs, spec.flavor, spec.threads,
+                    str(cache.root), cache.fingerprint,
+                    self.machine_config, self.profiler,
+                )
+                for spec in missing
+            ]
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                for spec, digest in zip(
+                    missing, pool.map(_pool_simulate, payloads)
+                ):
+                    assert digest == keys[spec].digest()
+                    cached = cache.load(keys[spec])
+                    if cached is None:  # pragma: no cover - worker bug guard
+                        raise RuntimeError(
+                            f"pool worker failed to store {spec}"
+                        )
+                    results[spec] = result_from_cached(
+                        cached, self.machine_config
+                    )
+        else:
+            for spec in missing:
+                result = run_program(
+                    specs[spec],
+                    flavor=flavor_by_name(spec.flavor),
+                    num_threads=spec.threads,
+                    machine=(
+                        Machine(self.machine_config)
+                        if self.machine_config else Machine.paper_testbed()
+                    ),
+                    profiler=self.profiler,
+                )
+                if cache is not None:
+                    cache.store(keys[spec], result)
+                results[spec] = result
+
+        # 4. Reassemble Study objects (analysis cached separately).
+        studies = []
+        for point in points:
+            main_spec = self._spec_for(point, point.threads)
+            ref_spec = self._reference_spec(point)
+            result = results[main_spec]
+            reference = results[ref_spec] if ref_spec else None
+            study = None
+            params = self._params_digest(reference is not None)
+            if cache is not None:
+                artifact = cache.get_report(keys[main_spec], params)
+                if artifact is not None:
+                    study = artifact.rebuild(
+                        program=specs[main_spec], result=result,
+                        reference=reference,
+                    )
+            if study is None:
+                study = build_study(
+                    specs[main_spec], result, reference=reference,
+                    validate=self.validate, lint=self.lint,
+                )
+                if cache is not None:
+                    cache.put_report(
+                        keys[main_spec], params, StudyArtifact.of(study)
+                    )
+            studies.append(study)
+        return studies
+
+    def _threads_for(self, point: MatrixPoint) -> list[int]:
+        threads = [point.threads]
+        ref = self._reference_spec(point)
+        if ref is not None:
+            threads.append(ref.threads)
+        return threads
+
+    def _reference_spec(self, point: MatrixPoint) -> Optional[_SimSpec]:
+        if (
+            self.reference_threads is None
+            or self.reference_threads == point.threads
+        ):
+            return None
+        return self._spec_for(point, self.reference_threads)
+
+
+@dataclass
+class StudyArtifact:
+    """The picklable analysis half of a Study (no Program, no RunResult)."""
+
+    graph: Any
+    report: Any
+    advice: Any
+    timeline: Any
+    reference_graph: Any
+    lint_report: Any
+
+    @classmethod
+    def of(cls, study) -> "StudyArtifact":
+        return cls(
+            graph=study.graph,
+            report=study.report,
+            advice=study.advice,
+            timeline=study.timeline,
+            reference_graph=study.reference_graph,
+            lint_report=study.lint_report,
+        )
+
+    def rebuild(self, program, result, reference):
+        from ..workflow import Study
+
+        return Study(
+            program=program,
+            result=result,
+            graph=self.graph,
+            report=self.report,
+            advice=self.advice,
+            timeline=self.timeline,
+            reference=reference,
+            reference_graph=self.reference_graph,
+            lint_report=self.lint_report,
+        )

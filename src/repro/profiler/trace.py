@@ -164,31 +164,46 @@ class Trace:
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
+    def dumps_jsonl(self) -> str:
+        """Serialize as JSONL text: metadata line, then one event per line.
+
+        The engine is deterministic, so two runs of the same program under
+        the same configuration must produce byte-identical output here —
+        the property the ``repro.exec`` cache and the golden-determinism
+        suite both rest on.
+        """
+        lines = [json.dumps({"kind": "meta", **self.meta.to_dict()})]
+        lines.extend(json.dumps(event.to_dict()) for event in self.events)
+        return "\n".join(lines) + "\n"
+
     def dump_jsonl(self, path: str | Path) -> None:
         """Write metadata (first line) then one event per line."""
-        path = Path(path)
-        with path.open("w") as fh:
-            fh.write(json.dumps({"kind": "meta", **self.meta.to_dict()}) + "\n")
-            for event in self.events:
-                fh.write(json.dumps(event.to_dict()) + "\n")
+        Path(path).write_text(self.dumps_jsonl())
+
+    @classmethod
+    def loads_jsonl(cls, text: str) -> "Trace":
+        """Parse JSONL text produced by :meth:`dumps_jsonl`."""
+        trace: Trace | None = None
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            d = json.loads(line)
+            if d.get("kind") == "meta":
+                d.pop("kind")
+                trace = cls(TraceMetadata.from_dict(d))
+            else:
+                if trace is None:
+                    trace = cls()
+                trace.append(event_from_dict(d))
+        if trace is None:
+            raise ValueError("empty trace text")
+        return trace
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "Trace":
         path = Path(path)
-        trace: Trace | None = None
-        with path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                d = json.loads(line)
-                if d.get("kind") == "meta":
-                    d.pop("kind")
-                    trace = cls(TraceMetadata.from_dict(d))
-                else:
-                    if trace is None:
-                        trace = cls()
-                    trace.append(event_from_dict(d))
-        if trace is None:
-            raise ValueError(f"empty trace file: {path}")
-        return trace
+        try:
+            return cls.loads_jsonl(path.read_text())
+        except ValueError:
+            raise ValueError(f"empty trace file: {path}") from None

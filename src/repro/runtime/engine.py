@@ -68,6 +68,20 @@ from .task import ROOT_PATH, TaskInstance, TaskState
 from ..machine.counters import CounterSet
 
 
+_invocations = 0
+
+
+def engine_invocations() -> int:
+    """Process-global count of :meth:`Engine.run` calls.
+
+    The study-execution layer (:mod:`repro.exec`) relies on never
+    simulating the same point twice; its regression tests read this
+    counter before and after an operation to prove a cache hit skipped
+    the engine entirely.
+    """
+    return _invocations
+
+
 class NestedParallelismError(RuntimeError):
     """Raised for constructs the profiler does not support (Sec. 4.1)."""
 
@@ -196,6 +210,8 @@ class Engine:
         if self._ran:
             raise RuntimeError("an Engine instance runs exactly one program")
         self._ran = True
+        global _invocations
+        _invocations += 1
         root = self._make_task(
             parent=None, generator=body_factory(), created_at=0, core=0,
             creation_cycles=0, loc="<root>", definition="<root>", label="root",

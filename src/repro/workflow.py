@@ -9,12 +9,19 @@ metric, detects problems, and derives advice.
 :func:`speedup_table` reproduces the Fig. 1 methodology: speedups of a
 program on each runtime system, before/after optimization being simply
 two different programs.
+
+Every engine run in this module flows through a
+:class:`repro.exec.TraceExecutor`, which deduplicates repeated points
+(notably the shared single-core reference run) and consults the
+process-wide default :class:`repro.exec.RunCache` when one is installed
+(see ``benchmarks/conftest.py``) — so re-generating experiments against
+unchanged code never re-simulates anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from .analysis.advisor import Advice, advise
 from .analysis.report import AnalysisReport, analyze
@@ -24,12 +31,15 @@ from .core.builder import build_grain_graph
 from .core.nodes import GrainGraph
 from .core.validate import validate_graph
 from .lint import LintReport, run_lint
-from .machine import Machine, MachineConfig
+from .machine import MachineConfig
 from .metrics.parallelism import IntervalPreset
 from .profiler.recorder import ProfilerConfig
-from .runtime.api import Program, run_program
+from .runtime.api import Program
 from .runtime.engine import RunResult
 from .runtime.flavors import GCC, ICC, MIR, RuntimeFlavor
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .exec import RunCache, TraceExecutor
 
 
 @dataclass
@@ -58,31 +68,23 @@ class Study:
         return self.reference.makespan_cycles / self.result.makespan_cycles
 
 
-def profile_program(
+def build_study(
     program: Program,
-    flavor: RuntimeFlavor = MIR,
-    num_threads: int = 48,
-    machine_config: MachineConfig | None = None,
-    reference_threads: int | None = 1,
+    result: RunResult,
+    reference: RunResult | None = None,
     thresholds: Thresholds | None = None,
     interval: int | IntervalPreset = IntervalPreset.MEDIAN_GRAIN_LENGTH,
     optimistic: bool = True,
     validate: bool = True,
-    profiler: ProfilerConfig | None = None,
     lint: bool = False,
 ) -> Study:
-    """Run the full analysis pipeline on one program.
+    """Assemble a :class:`Study` from already-executed run results.
 
-    ``reference_threads`` (default 1) triggers a second run used as the
-    work-deviation baseline; pass ``None`` to skip it.  ``lint=True``
-    additionally runs every registered ``repro.lint`` pass over the trace
-    and both graph layers, attaching the :class:`LintReport` to the study.
+    This is the analysis half of :func:`profile_program`, split out so
+    the study runner (:mod:`repro.exec`) can feed it runs rebuilt from
+    cached traces — a Study assembled from a cache hit is
+    indistinguishable from one assembled after a live simulation.
     """
-    machine = Machine(machine_config) if machine_config else Machine.paper_testbed()
-    result = run_program(
-        program, flavor=flavor, num_threads=num_threads,
-        machine=machine, profiler=profiler,
-    )
     graph = build_grain_graph(result.trace)
     if validate:
         validate_graph(graph)
@@ -91,14 +93,9 @@ def profile_program(
         lint_report = run_lint(
             trace=result.trace, graph=graph, program=program.name
         )
-    reference = None
-    reference_graph = None
-    if reference_threads is not None and reference_threads != num_threads:
-        reference = run_program(
-            program, flavor=flavor, num_threads=reference_threads,
-            machine=machine.fresh(), profiler=profiler,
-        )
-        reference_graph = build_grain_graph(reference.trace)
+    reference_graph = (
+        build_grain_graph(reference.trace) if reference is not None else None
+    )
     report = analyze(
         graph,
         reference=reference_graph,
@@ -116,6 +113,53 @@ def profile_program(
         reference=reference,
         reference_graph=reference_graph,
         lint_report=lint_report,
+    )
+
+
+def profile_program(
+    program: Program,
+    flavor: RuntimeFlavor = MIR,
+    num_threads: int = 48,
+    machine_config: MachineConfig | None = None,
+    reference_threads: int | None = 1,
+    thresholds: Thresholds | None = None,
+    interval: int | IntervalPreset = IntervalPreset.MEDIAN_GRAIN_LENGTH,
+    optimistic: bool = True,
+    validate: bool = True,
+    profiler: ProfilerConfig | None = None,
+    lint: bool = False,
+    cache: "RunCache | None" = None,
+) -> Study:
+    """Run the full analysis pipeline on one program.
+
+    ``reference_threads`` (default 1) triggers a second run used as the
+    work-deviation baseline; pass ``None`` to skip it.  ``lint=True``
+    additionally runs every registered ``repro.lint`` pass over the trace
+    and both graph layers, attaching the :class:`LintReport` to the study.
+    ``cache`` (default: the :func:`repro.exec.get_default_cache`, which
+    is ``None`` unless explicitly installed) reuses stored traces instead
+    of simulating.
+    """
+    from .exec import TraceExecutor, get_default_cache
+
+    executor = TraceExecutor(
+        cache=cache if cache is not None else get_default_cache(),
+        machine_config=machine_config,
+        profiler=profiler,
+    )
+    result = executor.run(program, flavor, num_threads)
+    reference = None
+    if reference_threads is not None and reference_threads != num_threads:
+        reference = executor.run(program, flavor, reference_threads)
+    return build_study(
+        program,
+        result,
+        reference=reference,
+        thresholds=thresholds,
+        interval=interval,
+        optimistic=optimistic,
+        validate=validate,
+        lint=lint,
     )
 
 
@@ -138,27 +182,32 @@ def speedup_table(
     num_threads: int = 48,
     machine_config: MachineConfig | None = None,
     baseline_flavor: RuntimeFlavor = ICC,
+    cache: "RunCache | None" = None,
+    executor: "TraceExecutor | None" = None,
 ) -> list[SpeedupRow]:
     """The Fig. 1 measurement, using the paper's own baseline: "speedup
     ... over single core execution with ICC" (Sec. 4.3.6).  At one thread
     ICC's internal cutoff executes tasks undeferred, so the baseline is a
     near-serial elision rather than a task-overhead-bloated 1-thread run
-    — which is exactly what makes task-flood programs score poorly."""
+    — which is exactly what makes task-flood programs score poorly.
+
+    Runs are deduplicated through a :class:`repro.exec.TraceExecutor`:
+    the single-core baseline is simulated once per program no matter how
+    many flavors are measured (and not at all when it coincides with a
+    requested matrix point, or when a cache already holds it).  Pass
+    ``executor`` to share deduplication with other measurements."""
+    from .exec import TraceExecutor, get_default_cache
+
+    if executor is None:
+        executor = TraceExecutor(
+            cache=cache if cache is not None else get_default_cache(),
+            machine_config=machine_config,
+        )
     rows: list[SpeedupRow] = []
     for program in programs:
-        base_machine = (
-            Machine(machine_config) if machine_config else Machine.paper_testbed()
-        )
-        baseline = run_program(
-            program, flavor=baseline_flavor, num_threads=1, machine=base_machine
-        )
+        baseline = executor.run(program, baseline_flavor, 1)
         for flavor in flavors:
-            machine = (
-                Machine(machine_config) if machine_config else Machine.paper_testbed()
-            )
-            multi = run_program(
-                program, flavor=flavor, num_threads=num_threads, machine=machine
-            )
+            multi = executor.run(program, flavor, num_threads)
             rows.append(
                 SpeedupRow(
                     program=program.name,

@@ -1,0 +1,200 @@
+"""Cache behavior: miss/hit, fingerprint invalidation, pool equivalence.
+
+The contracts under test:
+
+- a cold point misses, simulates, and stores; a warm point hits and
+  skips the engine entirely (checked against the process-global
+  ``engine_invocations`` counter);
+- changing the code fingerprint — what editing ``src/repro`` does —
+  invalidates every prior artifact;
+- a ``--jobs 4`` matrix run produces results identical to ``--jobs 1``,
+  trace-byte for trace-byte and metric for metric.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.registry import resolve, resolve_small
+from repro.exec import (
+    MatrixPoint,
+    RunCache,
+    RunKey,
+    StudyRunner,
+    TraceExecutor,
+    get_default_cache,
+    set_default_cache,
+)
+from repro.runtime.engine import engine_invocations
+from repro.runtime.flavors import MIR
+from tests.exec.test_roundtrip import metric_digest
+
+
+def test_cold_miss_then_warm_hit(tmp_path):
+    cache = RunCache(tmp_path)
+    program = resolve_small("fib")
+
+    executor = TraceExecutor(cache=cache)
+    cold = executor.run(program, MIR, 8)
+    assert cache.stats.trace_misses == 1
+    assert cache.stats.trace_stores == 1
+    assert executor.simulated == 1
+
+    warm_cache = RunCache(tmp_path)
+    warm_executor = TraceExecutor(cache=warm_cache)
+    before = engine_invocations()
+    warm = warm_executor.run(program, MIR, 8)
+    assert engine_invocations() == before  # zero engine invocations
+    assert warm_cache.stats.trace_hits == 1
+    assert warm_executor.simulated == 0
+    assert warm.makespan_cycles == cold.makespan_cycles
+    assert warm.trace.dumps_jsonl() == cold.trace.dumps_jsonl()
+    assert warm.stats == cold.stats  # engine RunStats survive the sidecar
+
+
+def test_executor_memoizes_within_instance(tmp_path):
+    executor = TraceExecutor()  # no cache: memo only
+    program = resolve_small("fig3a")
+    first = executor.run(program, MIR, 8)
+    assert executor.run(program, MIR, 8) is first
+    assert executor.simulated == 1
+
+
+def test_code_fingerprint_change_invalidates(tmp_path):
+    program = resolve_small("fig3a")
+    cache = RunCache(tmp_path, fingerprint="aaaa")
+    TraceExecutor(cache=cache).run(program, MIR, 8)
+    assert cache.stats.trace_misses == 1
+
+    same = RunCache(tmp_path, fingerprint="aaaa")
+    TraceExecutor(cache=same).run(program, MIR, 8)
+    assert (same.stats.trace_hits, same.stats.trace_misses) == (1, 0)
+
+    edited = RunCache(tmp_path, fingerprint="bbbb")
+    TraceExecutor(cache=edited).run(program, MIR, 8)
+    assert (edited.stats.trace_hits, edited.stats.trace_misses) == (0, 1)
+
+
+def test_run_key_digest_covers_every_field():
+    base = dict(
+        program="p", input_summary="i", flavor="MIR", threads=8,
+        machine="m", profiler="", fingerprint="f",
+    )
+    digests = {RunKey(**base).digest()}
+    for field_name, changed in [
+        ("program", "q"), ("input_summary", "j"), ("flavor", "GCC"),
+        ("threads", 9), ("machine", "n"), ("profiler", "x"),
+        ("fingerprint", "g"),
+    ]:
+        digests.add(RunKey(**{**base, field_name: changed}).digest())
+    assert len(digests) == 8, "every key field must affect the digest"
+
+
+def test_corrupt_report_artifact_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    program = resolve_small("fig3a")
+    key = cache.key_for(program, MIR, 8)
+    path = cache._report_path(key, "deadbeef")
+    path.write_bytes(b"not a pickle")
+    assert cache.get_report(key, "deadbeef") is None
+    assert cache.stats.report_misses == 1
+
+
+def test_sidecar_records_key_and_stats(tmp_path):
+    cache = RunCache(tmp_path)
+    program = resolve_small("fig3a")
+    executor = TraceExecutor(cache=cache)
+    result = executor.run(program, MIR, 8)
+    key = cache.key_for(program, MIR, 8)
+    sidecar = json.loads(cache._meta_path(key).read_text())
+    assert sidecar["key"]["program"] == program.name
+    assert sidecar["makespan_cycles"] == result.makespan_cycles
+    assert sidecar["stats"]["tasks_created"] == result.stats.tasks_created
+
+
+def test_default_cache_install_and_restore(tmp_path):
+    assert get_default_cache() is None
+    cache = RunCache(tmp_path)
+    previous = set_default_cache(cache)
+    try:
+        assert previous is None
+        assert get_default_cache() is cache
+    finally:
+        set_default_cache(previous)
+    assert get_default_cache() is None
+
+
+# ---------------------------------------------------------------------------
+# Matrix runner: pool equivalence and reference dedup
+# ---------------------------------------------------------------------------
+MATRIX = [
+    MatrixPoint.of("fig3a", "MIR", 8),
+    MatrixPoint.of("fig3a", "GCC", 8),
+    MatrixPoint.of("fig3b", "MIR", 2),
+    MatrixPoint.of("racy", "MIR", 2),
+    MatrixPoint.of("racy-fixed", "MIR", 2),
+    MatrixPoint.of("fib", "MIR", 4, n=16, cutoff=8),
+    MatrixPoint.of("fib", "ICC", 4, n=16, cutoff=8),
+    MatrixPoint.of("nqueens", "MIR", 4, n=6),
+]
+
+
+def test_jobs4_matrix_identical_to_jobs1(tmp_path):
+    serial_runner = StudyRunner(cache=RunCache(tmp_path / "serial"), jobs=1)
+    serial = serial_runner.run_matrix(MATRIX)
+
+    before = engine_invocations()
+    pool_runner = StudyRunner(cache=RunCache(tmp_path / "pool"), jobs=4)
+    parallel = pool_runner.run_matrix(MATRIX)
+    assert engine_invocations() == before, "pool work must leave the parent"
+    assert pool_runner.simulated == serial_runner.simulated
+
+    for a, b in zip(serial, parallel):
+        assert a.result.trace.dumps_jsonl() == b.result.trace.dumps_jsonl()
+        assert metric_digest(a) == metric_digest(b)
+
+
+def test_matrix_deduplicates_reference_runs(tmp_path):
+    runner = StudyRunner(cache=RunCache(tmp_path), jobs=1)
+    before = engine_invocations()
+    studies = runner.run_matrix(
+        [MatrixPoint.of("fig3a", "MIR", 8), MatrixPoint.of("fig3a", "MIR", 4)]
+    )
+    # 2 matrix points + ONE shared (fig3a, MIR, 1) reference = 3 runs.
+    assert engine_invocations() - before == 3
+    assert runner.simulated == 3
+    assert all(s.reference is not None for s in studies)
+    ref_a, ref_b = (s.reference.trace.dumps_jsonl() for s in studies)
+    assert ref_a == ref_b
+
+
+def test_matrix_warm_rerun_zero_invocations(tmp_path):
+    cache_dir = tmp_path / "cache"
+    points = [MatrixPoint.of("fig3a", "MIR", 8), MatrixPoint.of("racy", "MIR", 2)]
+    cold = StudyRunner(cache=RunCache(cache_dir), jobs=1).run_matrix(points)
+
+    warm_runner = StudyRunner(cache=RunCache(cache_dir), jobs=1)
+    before = engine_invocations()
+    warm = warm_runner.run_matrix(points)
+    assert engine_invocations() == before
+    assert warm_runner.simulated == 0
+    for a, b in zip(cold, warm):
+        assert metric_digest(a) == metric_digest(b)
+
+
+def test_matrix_point_parse():
+    assert MatrixPoint.parse("sort") == MatrixPoint("sort", "MIR", 48)
+    assert MatrixPoint.parse("sort:gcc") == MatrixPoint("sort", "GCC", 48)
+    assert MatrixPoint.parse("sort:GCC:8") == MatrixPoint("sort", "GCC", 8)
+    assert MatrixPoint.parse(
+        "sort", default_flavor="ICC", default_threads=4
+    ) == MatrixPoint("sort", "ICC", 4)
+    with pytest.raises(ValueError):
+        MatrixPoint.parse("")
+    with pytest.raises(ValueError):
+        MatrixPoint.parse("a:b:c:d")
+
+
+def test_matrix_point_resolves_kwargs():
+    point = MatrixPoint.of("fib", "MIR", 4, n=16, cutoff=8)
+    assert point.resolve().input_summary == resolve("fib", n=16, cutoff=8).input_summary

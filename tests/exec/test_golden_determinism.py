@@ -1,0 +1,48 @@
+"""Golden-determinism regression: identical config => identical bytes.
+
+The ``repro.exec`` cache is content-addressed by run configuration, so
+its soundness rests on the simulator being a pure function of that
+configuration: two runs of the same program under the same flavor,
+thread count, and machine must serialize to *byte-identical* JSONL.
+These tests pin that down for every registered CLI program (and across
+all three runtime flavors for a representative subset), failing loudly
+if anyone introduces unseeded randomness, wall-clock leakage, or
+set/dict-iteration-order dependence into the engine, scheduler, cost
+model, or apps.
+"""
+
+import pytest
+
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.machine import Machine
+from repro.runtime.api import run_program
+from repro.runtime.flavors import flavor_by_name
+
+THREADS = 8
+
+
+def _trace_bytes(name: str, flavor: str, threads: int = THREADS) -> str:
+    result = run_program(
+        resolve_small(name),
+        flavor=flavor_by_name(flavor),
+        num_threads=threads,
+        machine=Machine.paper_testbed(),
+    )
+    return result.trace.dumps_jsonl()
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_trace_bytes_identical_across_runs(name):
+    assert _trace_bytes(name, "MIR") == _trace_bytes(name, "MIR")
+
+
+@pytest.mark.parametrize("name", ["fib", "sort", "fig3b", "kdtree"])
+@pytest.mark.parametrize("flavor", ["MIR", "GCC", "ICC"])
+def test_trace_bytes_identical_across_runs_all_flavors(name, flavor):
+    assert _trace_bytes(name, flavor) == _trace_bytes(name, flavor)
+
+
+def test_distinct_configs_produce_distinct_traces():
+    """Sanity check that the comparison above is not vacuous."""
+    assert _trace_bytes("fib", "MIR", 8) != _trace_bytes("fib", "MIR", 4)
+    assert _trace_bytes("fib", "MIR") != _trace_bytes("fib", "GCC")

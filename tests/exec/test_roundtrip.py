@@ -1,0 +1,144 @@
+"""Trace JSONL round-trip fidelity and Study-from-cache equivalence.
+
+Two layers of guarantee back the artifact cache:
+
+1. ``Trace.dumps_jsonl`` -> ``Trace.loads_jsonl`` preserves every event
+   field — including the memory-footprint payloads (``reads``/``writes``
+   triples) that the race detector consumes — and the metadata line.
+2. A ``Study`` assembled from a cached trace is metric-for-metric equal
+   to the ``Study`` assembled right after the live simulation (property
+   test over sampled programs, flavors, and thread counts).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import micro
+from repro.apps.registry import resolve_small
+from repro.exec import CachedRun, RunCache, result_from_cached
+from repro.machine import Machine
+from repro.profiler.trace import Trace
+from repro.runtime.api import run_program
+from repro.runtime.flavors import flavor_by_name
+from repro.workflow import build_study
+
+
+def _run(program, flavor="MIR", threads=8):
+    return run_program(
+        program,
+        flavor=flavor_by_name(flavor),
+        num_threads=threads,
+        machine=Machine.paper_testbed(),
+    )
+
+
+def _roundtrip(trace: Trace) -> Trace:
+    return Trace.loads_jsonl(trace.dumps_jsonl())
+
+
+def metric_digest(study) -> dict:
+    """Everything a figure could read off a Study, in comparable form."""
+    metrics = study.report.metrics
+    return {
+        "makespan": study.makespan_cycles,
+        "speedup": study.speedup,
+        "critical_path": metrics.critical_path.length_cycles,
+        "load_balance": metrics.load_balance.value,
+        "parallelism_peak": metrics.parallelism.peak,
+        "parallelism_mean": metrics.parallelism.mean,
+        "benefit": metrics.benefit,
+        "per_grain": metrics.per_grain,
+        "problems": study.report.problems,
+        "summary": study.report.summary(),
+        "advice": [str(a) for a in study.advice],
+    }
+
+
+# ---------------------------------------------------------------------------
+# 1. Event-field fidelity
+# ---------------------------------------------------------------------------
+def test_task_events_roundtrip_exactly():
+    result = _run(resolve_small("fib"), threads=4)
+    loaded = _roundtrip(result.trace)
+    assert loaded.meta == result.trace.meta
+    assert len(loaded.events) == len(result.trace.events)
+    for original, reloaded in zip(result.trace.events, loaded.events):
+        assert type(original) is type(reloaded)
+        assert original == reloaded
+
+
+def test_loop_events_roundtrip_exactly():
+    result = _run(micro.fig3b(), threads=2)
+    loaded = _roundtrip(result.trace)
+    assert loaded.events == result.trace.events
+    # The loop path must actually be exercised for this to mean anything.
+    assert loaded.num_chunks > 0
+
+
+def test_memory_footprints_survive_roundtrip():
+    """The PR-1 reads/writes payloads must come back intact."""
+    result = _run(micro.racy(), threads=2)
+    loaded = _roundtrip(result.trace)
+    originals = [
+        e for frags in result.trace.fragments_by_task.values() for e in frags
+    ]
+    reloaded = [
+        e for frags in loaded.fragments_by_task.values() for e in frags
+    ]
+    assert originals == reloaded
+    footprints = [e for e in originals if e.reads or e.writes]
+    assert footprints, "racy must record memory footprints"
+    for event in footprints:
+        match = next(
+            e for e in reloaded if (e.tid, e.seq) == (event.tid, event.seq)
+        )
+        assert match.reads == event.reads
+        assert match.writes == event.writes
+
+
+def test_dump_load_jsonl_file(tmp_path):
+    result = _run(micro.fig3a(), threads=4)
+    path = tmp_path / "trace.jsonl"
+    result.trace.dump_jsonl(path)
+    assert Trace.load_jsonl(path).events == result.trace.events
+
+
+# ---------------------------------------------------------------------------
+# 2. Study-from-cache == cold Study (property test)
+# ---------------------------------------------------------------------------
+SAMPLED_PROGRAMS = ["fig3a", "fig3b", "racy", "racy-fixed", "fib", "nqueens"]
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    name=st.sampled_from(SAMPLED_PROGRAMS),
+    flavor=st.sampled_from(["MIR", "GCC", "ICC"]),
+    threads=st.sampled_from([1, 2, 8]),
+)
+def test_study_from_cached_trace_equals_cold_study(
+    tmp_path_factory, name, flavor, threads
+):
+    cache = RunCache(tmp_path_factory.mktemp("exec-cache"))
+    program = resolve_small(name)
+    result = _run(program, flavor, threads)
+    reference = _run(program, flavor, 1) if threads != 1 else None
+    cold = build_study(program, result, reference=reference)
+
+    key = cache.key_for(program, flavor_by_name(flavor), threads)
+    cache.store(key, result)
+    cached = cache.lookup(key)
+    assert cached is not None
+    assert cached.trace.dumps_jsonl() == result.trace.dumps_jsonl()
+    assert cached.stats == result.stats
+
+    rebuilt_reference = None
+    if reference is not None:
+        rebuilt_reference = result_from_cached(
+            CachedRun(_roundtrip(reference.trace), reference.stats)
+        )
+    rebuilt = build_study(
+        program,
+        result_from_cached(cached),
+        reference=rebuilt_reference,
+    )
+    assert metric_digest(rebuilt) == metric_digest(cold)

@@ -1,0 +1,68 @@
+"""Regression: ``speedup_table`` must not re-simulate shared runs.
+
+Before the ``repro.exec`` rewiring, the Fig. 1 harness re-ran the
+single-core ICC baseline even when it coincided with a requested matrix
+point, and repeated calls (one per figure variant) re-simulated
+everything from scratch.  These tests count actual engine invocations to
+pin the deduplication down.
+"""
+
+from repro.apps.registry import resolve
+from repro.exec import RunCache, TraceExecutor
+from repro.runtime.engine import engine_invocations
+from repro.runtime.flavors import GCC, ICC, MIR
+from repro.workflow import profile_program, speedup_table
+
+
+def _fib():
+    return resolve("fib", n=16, cutoff=8)
+
+
+def test_baseline_coinciding_with_matrix_point_runs_once():
+    before = engine_invocations()
+    rows = speedup_table([_fib()], flavors=(ICC,), num_threads=1)
+    # baseline = (fib, ICC, 1) = the single matrix point: one run, not two.
+    assert engine_invocations() - before == 1
+    assert rows[0].speedup == 1.0
+
+
+def test_one_baseline_shared_across_flavors():
+    before = engine_invocations()
+    rows = speedup_table([_fib()], flavors=(GCC, ICC, MIR), num_threads=8)
+    # 1 shared ICC single-core baseline + 3 multi-thread runs.
+    assert engine_invocations() - before == 4
+    assert len(rows) == 3
+    assert len({row.single_core_cycles for row in rows}) == 1
+
+
+def test_shared_executor_dedupes_across_calls():
+    executor = TraceExecutor()
+    before = engine_invocations()
+    first = speedup_table([_fib()], flavors=(MIR,), num_threads=8,
+                          executor=executor)
+    again = speedup_table([_fib()], flavors=(MIR,), num_threads=8,
+                          executor=executor)
+    assert engine_invocations() - before == 2  # baseline + MIR:8, once each
+    assert [r.speedup for r in first] == [r.speedup for r in again]
+
+
+def test_warm_cache_speedup_table_zero_invocations(tmp_path):
+    cold = speedup_table([_fib()], flavors=(GCC, MIR), num_threads=8,
+                         cache=RunCache(tmp_path))
+    before = engine_invocations()
+    warm = speedup_table([_fib()], flavors=(GCC, MIR), num_threads=8,
+                         cache=RunCache(tmp_path))
+    assert engine_invocations() == before
+    assert [(r.flavor, r.speedup) for r in warm] == [
+        (r.flavor, r.speedup) for r in cold
+    ]
+
+
+def test_profile_program_warm_cache_zero_invocations(tmp_path):
+    program = _fib()
+    cold = profile_program(program, num_threads=8, cache=RunCache(tmp_path))
+    before = engine_invocations()
+    warm = profile_program(program, num_threads=8, cache=RunCache(tmp_path))
+    assert engine_invocations() == before
+    assert warm.report.summary() == cold.report.summary()
+    assert warm.speedup == cold.speedup

@@ -8,31 +8,15 @@ are shape properties, not size properties.
 
 import pytest
 
-from repro.cli import PROGRAMS
+from repro.apps.registry import PROGRAMS, resolve_small
 from repro.core.reductions import reduce_graph
 from repro.core.validate import validate_graph
 from repro.workflow import profile_program
 
-SMALL_INPUTS = {
-    "fft": dict(samples=1 << 12),
-    "fft-optimized": dict(samples=1 << 12),
-    "fib": dict(n=22, cutoff=10),
-    "nqueens": dict(n=9),
-    "sort": dict(elements=1 << 17),
-    "sort-roundrobin": dict(elements=1 << 17),
-    "sort-lowcutoff": dict(elements=1 << 17),
-    "botsspar": dict(nb=10),
-    "botsspar-interchanged": dict(nb=10),
-    "uts": dict(expected_nodes=800),
-    "imagick": dict(rows=240),
-    "bodytrack": dict(particles=1000, rows=240),
-    "blackscholes": dict(options=8000),
-}
-
 
 @pytest.mark.parametrize("name", sorted(PROGRAMS))
 def test_profiled_graphs_validate_reduced_and_unreduced(name):
-    program = PROGRAMS[name](**SMALL_INPUTS.get(name, {}))
+    program = resolve_small(name)
     study = profile_program(
         program, num_threads=8, reference_threads=None
     )  # validate=True already checks the unreduced graph; be explicit:
