@@ -14,11 +14,19 @@ Subcommands::
         The Fig. 1 table for the named programs.
 
     grain-graphs lint PROGRAM [--flavor MIR] [--threads 48] [--json]
-                 [--fail-on warning|error] [--verbose]
+                 [--fail-on SEVERITY] [--verbose]
         Run every registered diagnostic pass (structure, trace
         invariants, happens-before races) over the program's trace and
         grain graphs; exit non-zero if findings reach the --fail-on
         severity.
+
+    grain-graphs check PROGRAM [PROGRAM ...] | --all  [--json]
+                 [--fail-on SEVERITY] [--verbose]
+        Statically analyze programs *without simulating them*: symbolic
+        expansion plus the program-layer lint passes (work/span bounds,
+        structural anti-patterns, the all-schedule race certificate).
+        Never invokes the engine — suitable as a fast CI gate ahead of
+        any simulation job.
 
     grain-graphs study --matrix PROG[:FLAVOR[:THREADS]],... [--jobs N]
                  [--cache DIR] [--cache-stats] [--no-reference]
@@ -109,6 +117,39 @@ def cmd_lint(args) -> int:
         print(render_text(report, verbose=args.verbose))
     threshold = Severity.from_label(args.fail_on)
     return 1 if report.at_or_above(threshold) else 0
+
+
+def cmd_check(args) -> int:
+    import json as _json
+
+    from .staticc import check_program
+
+    if args.all:
+        names = sorted(PROGRAMS)
+    elif args.programs:
+        names = args.programs
+    else:
+        raise SystemExit("check: name programs or pass --all")
+    threshold = Severity.from_label(args.fail_on)
+    failed = False
+    payloads = []
+    for name in names:
+        program = _resolve(name)
+        model, report = check_program(program)
+        if args.json:
+            payloads.append(report.to_dict())
+        else:
+            print(model.summary())
+            print(render_text(report, verbose=args.verbose))
+            print()
+        if report.at_or_above(threshold):
+            failed = True
+    if args.json:
+        if len(payloads) == 1:
+            print(_json.dumps(payloads[0], indent=2))
+        else:
+            print(_json.dumps(payloads, indent=2))
+    return 1 if failed else 0
 
 
 def cmd_speedups(args) -> int:
@@ -211,11 +252,27 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--json", action="store_true",
                       help="emit the machine-readable diagnostic report")
     lint.add_argument("--fail-on", default="error",
-                      choices=["info", "warning", "error"],
+                      choices=[s.label for s in Severity],
                       help="exit non-zero at or above this severity")
     lint.add_argument("--verbose", action="store_true",
                       help="also list every pass that ran")
     lint.set_defaults(fn=cmd_lint)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis only: expand symbolically, no simulation",
+    )
+    check.add_argument("programs", nargs="*", metavar="PROGRAM")
+    check.add_argument("--all", action="store_true",
+                       help="check every registered program")
+    check.add_argument("--json", action="store_true",
+                       help="emit the machine-readable diagnostic report")
+    check.add_argument("--fail-on", default="error",
+                       choices=[s.label for s in Severity],
+                       help="exit non-zero at or above this severity")
+    check.add_argument("--verbose", action="store_true",
+                       help="also list every pass that ran")
+    check.set_defaults(fn=cmd_check)
 
     speedups = sub.add_parser("speedups", help="Fig. 1 style speedup table")
     speedups.add_argument("programs", nargs="+")

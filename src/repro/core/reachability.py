@@ -13,13 +13,20 @@ different schedule — the relation TASKPROF-style race detection needs.
 nodes of interest: one bit per source, propagated over the topological
 order, so the cost is O((V + E) * S / 64) instead of quadratic — race
 detection only ever asks about the handful of footprint-carrying nodes.
+
+:func:`logically_ordered` layers the one necessary policy decision on
+top: chunks of the same parallel for-loop are *never* ordered, because
+their per-thread book-keeping chains encode the accidental
+chunk-to-thread assignment of one schedule, not program logic.  Both the
+dynamic happens-before race pass (``lint/races.py``) and the static
+all-schedule certifier (``staticc``) share this single implementation.
 """
 
 from __future__ import annotations
 
 from typing import Iterable
 
-from .nodes import GrainGraph
+from .nodes import GGNode, GrainGraph
 
 
 class Reachability:
@@ -55,3 +62,15 @@ class Reachability:
         """True iff ``a`` and ``b`` are ordered by happens-before either
         way (both must be sources)."""
         return self.reaches(a, b) or self.reaches(b, a)
+
+
+def logically_ordered(reach: Reachability, a: GGNode, b: GGNode) -> bool:
+    """Happens-before either way?  Same-loop chunks are never ordered:
+    their graph chains encode the accidental schedule, not the logic."""
+    if (
+        a.loop_id is not None
+        and a.loop_id == b.loop_id
+        and a.grain_id != b.grain_id
+    ):
+        return False
+    return reach.ordered(a.node_id, b.node_id)

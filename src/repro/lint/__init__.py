@@ -9,15 +9,19 @@ raising on the first error.  Ships with:
 - six trace/runtime-invariant audits (``trace.*``),
 - a TASKPROF-style happens-before data-race and determinism checker
   (``race.conflict``) over the memory footprints recorded by
-  :class:`~repro.runtime.actions.Work` / ``Alloc``.
+  :class:`~repro.runtime.actions.Work` / ``Alloc``,
+- the program-layer static passes (``static.*``) contributed by
+  :mod:`repro.staticc`: work/span bounds, structural anti-patterns, and
+  the all-schedule race certificate — no trace or simulation required.
 
-Entry points: :func:`run_lint` (library), ``grain-graphs lint`` (CLI),
-``profile_program(lint=True)`` (workflow).
+Entry points: :func:`run_lint` (library), ``grain-graphs lint`` /
+``grain-graphs check`` (CLI), ``profile_program(lint=True)`` (workflow).
 """
 
 from .diagnostics import Diagnostic, LintReport, Severity
 from .framework import (
     GRAPH_LAYER,
+    PROGRAM_LAYER,
     TRACE_LAYER,
     LintPass,
     all_passes,
@@ -26,10 +30,14 @@ from .framework import (
     run_lint,
 )
 
-# Importing the pass modules registers their passes.
+# Importing the pass modules registers their passes.  The static passes
+# live under repro.staticc and must come last: by then every lint
+# submodule they import is complete, which keeps the lint <-> staticc
+# import cycle safe in both entry orders.
 from . import graph_passes, races, trace_passes  # noqa: E402,F401
 from .graph_passes import STRUCTURE_RULES, structure_diagnostics
 from .reporters import format_summary, render_json, render_text
+from ..staticc import passes as _static_passes  # noqa: E402,F401
 
 __all__ = [
     "Diagnostic",
@@ -37,6 +45,7 @@ __all__ = [
     "Severity",
     "LintPass",
     "GRAPH_LAYER",
+    "PROGRAM_LAYER",
     "TRACE_LAYER",
     "STRUCTURE_RULES",
     "all_passes",

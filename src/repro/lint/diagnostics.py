@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import json
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 
 class Severity(enum.IntEnum):
@@ -68,7 +68,7 @@ class Diagnostic:
     def with_artifact(self, artifact: str) -> "Diagnostic":
         return replace(self, artifact=artifact)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "rule_id": self.rule_id,
             "severity": self.severity.label,
@@ -82,7 +82,7 @@ class Diagnostic:
         }
 
     @classmethod
-    def from_dict(cls, d: dict) -> "Diagnostic":
+    def from_dict(cls, d: dict[str, Any]) -> "Diagnostic":
         d = dict(d)
         d["severity"] = Severity.from_label(d["severity"])
         return cls(**d)
@@ -122,7 +122,7 @@ class LintReport:
     def by_rule(self, rule_id: str) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.rule_id == rule_id]
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {
             "program": self.program,
             "passes_run": [list(p) for p in self.passes_run],
@@ -136,9 +136,11 @@ class LintReport:
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
-    def from_dict(cls, d: dict) -> "LintReport":
+    def from_dict(cls, d: dict[str, Any]) -> "LintReport":
         report = cls(program=d.get("program", ""))
-        report.passes_run = [tuple(p) for p in d.get("passes_run", [])]
+        report.passes_run = [
+            (p[0], p[1]) for p in d.get("passes_run", [])
+        ]
         report.diagnostics = [
             Diagnostic.from_dict(item) for item in d.get("diagnostics", [])
         ]

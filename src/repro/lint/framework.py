@@ -10,27 +10,40 @@ A *pass* is a function examining one artifact layer and yielding
   GrainGraph` plus a ``reduced`` flag and audit the Sec. 3.1 structural
   constraints; unless registered with ``reduced_too=False`` they run
   again on the reduced graph (whose rule set legitimately relaxes fork
-  arity and chunk chaining).
+  arity and chunk chaining),
+- ``layer="program"`` passes receive a :class:`~repro.staticc.model.
+  StaticModel` — the symbolic series-parallel expansion of a program —
+  and diagnose it *before any simulation* (work/span bounds, structural
+  anti-patterns, the all-schedule race certificate).
 
 Passes register themselves with :func:`register`; :func:`run_lint` runs
 every registered pass (or an explicit subset) over whichever artifacts
 the caller provides and returns a :class:`LintReport`.  DiscoPoP's
 explorer popularized this shape — many small analyses over one
 parallelism graph — and it is what lets the race detector, the structure
-checks, and future passes coexist without touching the runner.
+checks, and the static program passes coexist without touching the
+runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from ..core.nodes import GrainGraph
 from ..profiler.trace import Trace
 from .diagnostics import Diagnostic, LintReport
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..staticc.model import StaticModel
+
 TRACE_LAYER = "trace"
 GRAPH_LAYER = "graph"
+PROGRAM_LAYER = "program"
+
+_LAYERS = (TRACE_LAYER, GRAPH_LAYER, PROGRAM_LAYER)
+
+PassFn = Callable[..., Iterable[Diagnostic]]
 
 
 @dataclass(frozen=True)
@@ -39,12 +52,12 @@ class LintPass:
 
     rule_id: str
     title: str
-    layer: str  # TRACE_LAYER | GRAPH_LAYER
-    fn: Callable
+    layer: str  # TRACE_LAYER | GRAPH_LAYER | PROGRAM_LAYER
+    fn: PassFn
     reduced_too: bool = True  # graph passes: also lint the reduced graph
 
     def __post_init__(self) -> None:
-        if self.layer not in (TRACE_LAYER, GRAPH_LAYER):
+        if self.layer not in _LAYERS:
             raise ValueError(f"unknown lint layer {self.layer!r}")
 
 
@@ -53,10 +66,10 @@ _REGISTRY: dict[str, LintPass] = {}
 
 def register(
     rule_id: str, title: str, layer: str, reduced_too: bool = True
-) -> Callable:
+) -> Callable[[PassFn], PassFn]:
     """Decorator registering a pass function under ``rule_id``."""
 
-    def deco(fn: Callable) -> Callable:
+    def deco(fn: PassFn) -> PassFn:
         if rule_id in _REGISTRY:
             raise ValueError(f"duplicate lint rule id {rule_id!r}")
         _REGISTRY[rule_id] = LintPass(
@@ -96,14 +109,17 @@ def run_lint(
     passes: Optional[Sequence[LintPass | str]] = None,
     build_missing: bool = True,
     program: str = "",
+    static_model: "Optional[StaticModel]" = None,
 ) -> LintReport:
     """Run passes over the provided artifact layers.
 
     With ``build_missing`` (default), the grain graph is built from the
     trace and the reduced graph from the grain graph when not supplied,
-    so ``run_lint(trace=result.trace)`` audits all three layers.  Layers
-    that are absent simply skip their passes (recorded by omission from
-    ``report.passes_run``).
+    so ``run_lint(trace=result.trace)`` audits all three dynamic layers.
+    ``static_model`` (a :class:`~repro.staticc.model.StaticModel`)
+    enables the ``program`` layer — no trace or simulation required.
+    Layers that are absent simply skip their passes (recorded by
+    omission from ``report.passes_run``).
     """
     if graph is None and trace is not None and build_missing:
         from ..core.builder import build_grain_graph
@@ -119,12 +135,18 @@ def run_lint(
         selected.append(get_pass(item) if isinstance(item, str) else item)
     if not program and trace is not None and trace.meta is not None:
         program = trace.meta.program
+    if not program and static_model is not None:
+        program = static_model.program
     report = LintReport(program=program)
     for lint_pass in selected:
         if lint_pass.layer == TRACE_LAYER:
             if trace is None:
                 continue
             _run_one(report, lint_pass, "trace", lint_pass.fn(trace))
+        elif lint_pass.layer == PROGRAM_LAYER:
+            if static_model is None:
+                continue
+            _run_one(report, lint_pass, "program", lint_pass.fn(static_model))
         else:
             if graph is not None:
                 _run_one(

@@ -13,23 +13,32 @@ interleaving always executed.
 Chunks of one parallel for-loop are special-cased: the per-thread
 book-keeping chains in the graph encode the accidental chunk-to-thread
 assignment, so same-loop chunks are treated as pairwise logically
-parallel regardless of chain paths.
+parallel regardless of chain paths (see
+:func:`repro.core.reachability.logically_ordered`, shared with the
+static certifier).
 
 This mechanically catches the missing-``TaskWait`` class of bugs: two
 sibling tasks writing one region, or a parent reading a region its
 un-synchronized child still writes.
+
+:func:`scan_conflicts` is the reusable core: it works on *any* grain
+graph whose grain nodes carry footprints — the dynamic graph built from
+a trace here, and the symbolic graph built by :mod:`repro.staticc`'s
+all-schedule race certifier (``static.race``), which therefore agrees
+with this pass by construction wherever the two graphs coincide.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterator
 
-from ..core.nodes import GrainGraph
-from ..core.reachability import Reachability
+from ..core.nodes import GGNode, GrainGraph
+from ..core.reachability import Reachability, logically_ordered
 from .diagnostics import Diagnostic, Severity
 from .framework import GRAPH_LAYER, register
 
-# Upper bound on pairwise conflict checks; beyond it the pass reports
+# Upper bound on pairwise conflict checks; beyond it the scan reports
 # truncation (never silently) — real annotated programs stay far below.
 MAX_PAIR_CHECKS = 250_000
 
@@ -39,17 +48,57 @@ _FIX_HINT = (
 )
 
 
-@register(
-    "race.conflict",
-    "happens-before data race / determinism audit",
-    GRAPH_LAYER,
-    reduced_too=False,  # grouped nodes lose per-fragment footprints
-)
-def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
-    if reduced:
-        return
+@dataclass(frozen=True)
+class Conflict:
+    """One pair of logically-parallel grains with overlapping footprints."""
+
+    region: str
+    kind: str  # "write/write" | "read/write"
+    overlap_start: int
+    overlap_end: int
+    first: GGNode
+    second: GGNode
+
+    @property
+    def writer(self) -> GGNode:
+        """The node anchoring the diagnostic (a writing side)."""
+        return self.first
+
+    @property
+    def grain_pair(self) -> tuple[str, str]:
+        """The sorted grain-id pair, the schedule-independent identity."""
+        pair = sorted((self.first.grain_id or "", self.second.grain_id or ""))
+        return (pair[0], pair[1])
+
+
+@dataclass(frozen=True)
+class ConflictScan:
+    """All conflicts of one graph, plus whether the scan was cut short."""
+
+    conflicts: tuple[Conflict, ...]
+    truncated: bool
+
+    def keys(self) -> set[tuple[str, str, str]]:
+        """``(region, gid_a, gid_b)`` identities, for cross-graph
+        comparison (the static-subsumes-dynamic guarantee)."""
+        return {
+            (c.region, c.grain_pair[0], c.grain_pair[1])
+            for c in self.conflicts
+        }
+
+
+def scan_conflicts(
+    graph: GrainGraph, max_pair_checks: int = MAX_PAIR_CHECKS
+) -> ConflictScan:
+    """Find conflicting footprints on logically-parallel grain nodes.
+
+    Works on any DAG of footprint-carrying grain nodes: the dynamic
+    grain graph and the static symbolic graph alike.  One conflict is
+    reported per (region, grain pair); ranges are scanned in sorted
+    order so the result is deterministic.
+    """
     # Collect footprint accesses per region: (start, end, write, node).
-    by_region: dict[str, list[tuple[int, int, bool, object]]] = {}
+    by_region: dict[str, list[tuple[int, int, bool, GGNode]]] = {}
     writes_in: set[str] = set()
     for node in graph.grain_nodes():
         for region, start, end in node.reads:
@@ -69,17 +118,19 @@ def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
         if region in writes_in and len(accesses) > 1
     }
     if not candidate_regions:
-        return
+        return ConflictScan(conflicts=(), truncated=False)
     try:
         graph.topological_order()
     except ValueError:
-        return  # structure.acyclic reports this; reachability needs a DAG
+        # structure.acyclic reports this; reachability needs a DAG.
+        return ConflictScan(conflicts=(), truncated=False)
     sources = {
         node.node_id
         for accesses in candidate_regions.values()
         for _, _, _, node in accesses
     }
     reach = Reachability(graph, sources)
+    conflicts: list[Conflict] = []
     flagged: set[tuple[str, str, str]] = set()
     checks = 0
     truncated = False
@@ -96,37 +147,75 @@ def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
                     continue
                 if n1.grain_id == n2.grain_id:
                     continue  # a grain's own fragments are chained
-                key = (region, *sorted((n1.grain_id or "", n2.grain_id or "")))
+                gid_a, gid_b = sorted((n1.grain_id or "", n2.grain_id or ""))
+                key = (region, gid_a, gid_b)
                 if key in flagged:
                     continue
-                if checks >= MAX_PAIR_CHECKS:
+                if checks >= max_pair_checks:
                     truncated = True
                     break
                 checks += 1
-                if _logically_ordered(reach, n1, n2):
+                if logically_ordered(reach, n1, n2):
                     continue
                 flagged.add(key)
                 kind = "write/write" if (w1 and w2) else "read/write"
-                writer = n1 if w1 else n2
-                yield Diagnostic(
-                    rule_id="race.conflict",
-                    severity=Severity.ERROR,
-                    message=(
-                        f"logically-parallel grains {n1.grain_id!r} and "
-                        f"{n2.grain_id!r} have a {kind} conflict on region "
-                        f"{region!r} bytes [{max(s1, s2)}, {min(e1, e2)}); "
-                        "the outcome is schedule-dependent (data race)"
-                    ),
-                    node_id=writer.node_id,
-                    grain_id=writer.grain_id,
-                    loc=writer.loc,
-                    fix_hint=_FIX_HINT,
+                conflicts.append(
+                    Conflict(
+                        region=region,
+                        kind=kind,
+                        overlap_start=max(s1, s2),
+                        overlap_end=min(e1, e2),
+                        first=n1 if w1 else n2,
+                        second=n2 if w1 else n1,
+                    )
                 )
             if truncated:
                 break
         if truncated:
             break
-    if truncated:
+    return ConflictScan(conflicts=tuple(conflicts), truncated=truncated)
+
+
+def conflict_diagnostic(
+    conflict: Conflict, rule_id: str, schedule_note: str
+) -> Diagnostic:
+    """Render one conflict as an ERROR diagnostic (shared with
+    ``static.race``, which differs only in rule id and wording)."""
+    writer = conflict.writer
+    return Diagnostic(
+        rule_id=rule_id,
+        severity=Severity.ERROR,
+        message=(
+            f"logically-parallel grains {conflict.first.grain_id!r} and "
+            f"{conflict.second.grain_id!r} have a {conflict.kind} conflict "
+            f"on region {conflict.region!r} bytes "
+            f"[{conflict.overlap_start}, {conflict.overlap_end}); "
+            f"{schedule_note}"
+        ),
+        node_id=writer.node_id,
+        grain_id=writer.grain_id,
+        loc=writer.loc,
+        fix_hint=_FIX_HINT,
+    )
+
+
+@register(
+    "race.conflict",
+    "happens-before data race / determinism audit",
+    GRAPH_LAYER,
+    reduced_too=False,  # grouped nodes lose per-fragment footprints
+)
+def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
+    if reduced:
+        return
+    scan = scan_conflicts(graph)
+    for conflict in scan.conflicts:
+        yield conflict_diagnostic(
+            conflict,
+            rule_id="race.conflict",
+            schedule_note="the outcome is schedule-dependent (data race)",
+        )
+    if scan.truncated:
         yield Diagnostic(
             rule_id="race.conflict",
             severity=Severity.WARNING,
@@ -136,15 +225,3 @@ def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
             ),
             node_id=graph.root_node_id,
         )
-
-
-def _logically_ordered(reach: Reachability, n1, n2) -> bool:
-    """Happens-before either way?  Same-loop chunks are never ordered:
-    their graph chains encode the accidental schedule, not the logic."""
-    if (
-        n1.loop_id is not None
-        and n1.loop_id == n2.loop_id
-        and n1.grain_id != n2.grain_id
-    ):
-        return False
-    return reach.ordered(n1.node_id, n2.node_id)

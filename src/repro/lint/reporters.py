@@ -13,7 +13,7 @@ def format_summary(report: LintReport) -> str:
         for severity in sorted(Severity, reverse=True)
     )
     scope = "/".join(
-        a for a in ("trace", "graph", "reduced") if a in artifacts
+        a for a in ("program", "trace", "graph", "reduced") if a in artifacts
     )
     return (
         f"lint: {len(report.passes_run)} passes over {scope or 'nothing'}"

@@ -20,12 +20,15 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator
+from typing import TYPE_CHECKING, Callable, Generator
 
 from ..machine import Machine
 from ..profiler.recorder import ProfilerConfig
 from .engine import Engine, RunResult
 from .flavors import MIR, RuntimeFlavor
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..staticc.model import StaticModel
 
 
 @dataclass(frozen=True)
@@ -40,6 +43,14 @@ class Program:
     name: str
     body: Callable[[], Generator]
     input_summary: str = ""
+
+    def expand(self) -> "StaticModel":
+        """Symbolically expand this program into its static
+        series-parallel model (:mod:`repro.staticc`) — structure,
+        work/span, footprints — without running the engine."""
+        from ..staticc.expansion import expand_program
+
+        return expand_program(self)
 
 
 def run_program(

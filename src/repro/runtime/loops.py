@@ -59,6 +59,45 @@ class LoopSpec:
     def definition_key(self) -> str:
         return self.definition or str(self.loc)
 
+    def iteration_request(self, i: int) -> WorkRequest:
+        """The declared work of iteration ``i`` (bounds-checked) — the
+        unit the static analyzer expands loops at: chunking is a
+        schedule artifact, the per-iteration structure is the logic."""
+        if not 0 <= i < self.iterations:
+            raise IndexError(
+                f"iteration {i} outside [0, {self.iterations})"
+            )
+        return self.body(i)
+
+    def iteration_footprints(self, i: int) -> tuple[tuple, tuple]:
+        """``(reads, writes)`` footprint specs of iteration ``i`` alone,
+        or empty tuples when the loop declares no footprint."""
+        if self.footprint is None:
+            return ((), ())
+        reads, writes = self.footprint(i, i + 1)
+        return tuple(reads), tuple(writes)
+
+    def chunk_count_upper(self, team_size: int) -> int:
+        """Upper bound on the number of dispatched chunks for this loop
+        under any schedule behavior with the given team."""
+        n = self.iterations
+        if n == 0:
+            return 0
+        if self.schedule is Schedule.STATIC:
+            if self.chunk_size is None:
+                return min(team_size, n)
+            return -(-n // self.chunk_size)
+        # Dynamic and guided grabs each cover at least (chunk_size or 1)
+        # iterations, except possibly the final partial grab.
+        return -(-n // (self.chunk_size or 1))
+
+    def static_chunk_plan(self, team_size: int) -> list[list[tuple[int, int]]]:
+        """The deterministic ``schedule(static)`` assignment: per-thread
+        chunk lists in ascending iteration order.  Exposed for the static
+        chunk-imbalance analysis; matches :class:`StaticDispatcher`."""
+        dispatcher = StaticDispatcher(self, team_size)
+        return [list(reversed(queue)) for queue in dispatcher._queues]
+
     def merged_request(self, start: int, end: int) -> WorkRequest:
         """Aggregate the work of iterations ``[start, end)`` into one
         request: cycles add up; accesses merge per (region, pattern)."""

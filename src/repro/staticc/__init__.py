@@ -1,0 +1,35 @@
+"""Ahead-of-simulation static analysis (``grain-graphs check``).
+
+``staticc`` — the *static checker* — expands a program's task and loop
+structure symbolically into a series-parallel grain graph, computes
+TASKPROF-style work/span bounds, and certifies data-race freedom over
+all schedules, all without ever invoking the discrete-event engine.
+See DESIGN.md ("The static layer") for the model and its limits.
+
+Importing this package registers the ``static.*`` program-layer lint
+passes (the import of :mod:`.passes` below must stay last: the lint
+framework and the static passes import each other's submodules, and
+this ordering is what keeps both entry orders cycle-safe).
+"""
+
+from .bounds import WorkSpanBounds, bracket, work_upper_bound
+from .check import check_program
+from .expansion import StaticExpansionError, expand_program
+from .model import StaticLoop, StaticModel, StaticTask
+from .validate import CrossValidation, cross_validate
+
+from . import passes  # noqa: E402,F401  (registration side-effect; keep last)
+
+__all__ = [
+    "CrossValidation",
+    "StaticExpansionError",
+    "StaticLoop",
+    "StaticModel",
+    "StaticTask",
+    "WorkSpanBounds",
+    "bracket",
+    "check_program",
+    "cross_validate",
+    "expand_program",
+    "work_upper_bound",
+]

@@ -1,0 +1,130 @@
+"""Sound work/span bounds bracketing any simulated execution.
+
+The static model's ``span_cycles`` (T∞) counts raw declared compute only,
+and the engine can only *add* to every path — creation overheads on fork
+nodes, dispatch/book-keeping, memory stalls, contention — never subtract.
+Static fragments break at exactly the dynamic fragment boundaries and
+every static edge has a dynamic counterpart, so
+
+    ``span_cycles  <=  measured critical path``
+
+holds node-by-node.  :func:`work_upper_bound` produces the matching
+*pessimistic* total: the dynamic critical path is at most the sum of all
+node durations (it is one path through them), and every dynamic node's
+duration is covered by one of the terms below.
+
+- compute: ``work_cycles`` covers every fragment/chunk's declared cycles;
+- stalls: every access line pays at most the worst-case line latency —
+  full-machine NUMA distance with maximal contention — divided by the
+  memory-level parallelism exactly as :meth:`CostModel.charge` does
+  (``+1`` absorbs that model's single truncating division);
+- forks: each of the ``spawns`` fork nodes costs at most
+  ``max(inline_create, task_create + queue_contention * (T - 1))``;
+- loops: at most ``chunk_count_upper(team) + team`` book-keeping nodes
+  (every chunk grab plus each thread's final empty grab), each at most
+  ``static_dispatch`` (static schedules) or ``team * dynamic_dispatch``
+  (dynamic/guided: convoy wait plus hold through the shared counter).
+
+Costs the engine keeps *between* nodes — taskwait entry, steal attempts,
+barriers, wake latency — are gaps on the timeline, not node durations,
+so the critical path never includes them and the bound need not either.
+The bound is monotone in ``num_threads`` and deliberately loose: its job
+is a sound bracket (``T∞ <= CP <= T1_upper``), not a prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.machine import MachineConfig
+from ..machine.topology import LOCAL_DISTANCE
+from ..runtime.flavors import RuntimeFlavor
+from ..runtime.loops import Schedule
+from .model import StaticModel
+
+
+@dataclass(frozen=True)
+class WorkSpanBounds:
+    """The bracket for one (program, flavor, machine, threads) point."""
+
+    program: str
+    num_threads: int
+    span_lower: int  # static T∞: no execution can beat this
+    work_upper: int  # pessimistic T1: no critical path can exceed this
+
+    def contains(self, measured_critical_path: int) -> bool:
+        return self.span_lower <= measured_critical_path <= self.work_upper
+
+
+def worst_line_latency(
+    config: MachineConfig, num_threads: int
+) -> float:
+    """Cycles one cache line can cost under the machine's cost model:
+    the worse of an LLC hit and a maximally-remote, maximally-contended
+    memory access (:meth:`ContentionModel.multiplier` caps the load at
+    the thread count)."""
+    matrix = config.topology.distance_matrix()
+    max_distance = max(max(row) for row in matrix)
+    contention = 1.0 + config.contention_alpha * max(0, num_threads - 1)
+    remote = (
+        config.cost.local_mem_cycles
+        * (max_distance / LOCAL_DISTANCE)
+        * contention
+    )
+    return max(float(config.cost.llc_hit_cycles), remote)
+
+
+def work_upper_bound(
+    model: StaticModel,
+    flavor: RuntimeFlavor,
+    num_threads: int,
+    machine_config: MachineConfig | None = None,
+) -> int:
+    """Pessimistic upper bound on the total of all node durations of any
+    run of ``model``'s program — hence on its critical path."""
+    if num_threads < 1:
+        raise ValueError("num_threads must be at least 1")
+    config = machine_config or MachineConfig.paper_testbed()
+    total = model.work_cycles
+
+    line_latency = worst_line_latency(config, num_threads)
+    stall = model.total_access_lines * line_latency / config.cost.mlp
+    total += int(stall) + 1  # charge() truncates once per segment
+
+    spawns = model.task_count - 1  # every task but the implicit root
+    fork_cost = max(
+        flavor.inline_create_cycles,
+        flavor.task_create_cycles
+        + flavor.queue_contention_cycles * (num_threads - 1),
+    )
+    total += spawns * fork_cost
+
+    for loop in model.loops:
+        team = min(num_threads, loop.spec.num_threads or num_threads)
+        ops = loop.spec.chunk_count_upper(team) + team
+        if loop.spec.schedule is Schedule.STATIC:
+            per_op = flavor.static_dispatch_cycles
+        else:
+            # Convoy through the shared counter: wait + hold <= team
+            # serialized holds.
+            per_op = team * flavor.dynamic_dispatch_cycles
+        total += ops * per_op
+
+    return total
+
+
+def bracket(
+    model: StaticModel,
+    flavor: RuntimeFlavor,
+    num_threads: int,
+    machine_config: MachineConfig | None = None,
+) -> WorkSpanBounds:
+    """The full static bracket for one execution configuration."""
+    return WorkSpanBounds(
+        program=model.program,
+        num_threads=num_threads,
+        span_lower=model.span_cycles,
+        work_upper=work_upper_bound(
+            model, flavor, num_threads, machine_config
+        ),
+    )

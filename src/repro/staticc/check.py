@@ -1,0 +1,29 @@
+"""The ``grain-graphs check`` entry point: expand, then lint, no engine.
+
+:func:`check_program` is deliberately tiny — symbolic expansion produces
+the :class:`~repro.staticc.model.StaticModel`, and the shared lint
+runner executes every registered program-layer pass over it.  Nothing
+here (or below here) touches :mod:`repro.runtime.engine`; the test suite
+pins that with the engine invocation counter.
+"""
+
+from __future__ import annotations
+
+from ..lint.diagnostics import LintReport
+from ..lint.framework import run_lint
+from ..machine.machine import MachineConfig
+from ..runtime.api import Program
+from .expansion import expand_program
+from .model import StaticModel
+
+
+def check_program(
+    program: Program,
+    machine_config: MachineConfig | None = None,
+) -> tuple[StaticModel, LintReport]:
+    """Statically analyze ``program``: symbolic expansion plus every
+    registered program-layer lint pass.  Returns the model (for bounds
+    queries and cross-validation) and the lint report."""
+    model = expand_program(program, machine_config)
+    report = run_lint(static_model=model, program=program.name)
+    return model, report

@@ -1,0 +1,384 @@
+"""Symbolic program expansion: Program -> StaticModel, no engine.
+
+The expander drives every task-body generator of a
+:class:`~repro.runtime.api.Program` in depth-first *serial elision*
+order (a spawned child runs to completion before its parent resumes —
+TASKPROF's sequential schedule of the DPST) and records the logical
+series-parallel structure as a :class:`~repro.core.nodes.GrainGraph`:
+
+- one FRAGMENT node per between-action segment of each task, carrying
+  the segment's declared compute cycles and memory footprints — the same
+  fragment boundaries the engine's profiler produces, so static and
+  dynamic graphs correspond node-for-node on the task side;
+- FORK/JOIN nodes for spawns, taskwaits, the root's implicit barrier,
+  and parallel for-loops;
+- one CHUNK node per loop *iteration*: chunking is a schedule decision,
+  so the logical structure is per-iteration (all iterations pairwise
+  parallel between the loop's fork and join).
+
+Task grain ids replicate the engine's path enumeration exactly
+(``t:0/1/...``), which is what lets the static race certifier subsume
+the dynamic ``race.conflict`` pass grain-for-grain.
+
+Synchronization follows OpenMP semantics as the engine implements them:
+``TaskWait`` consumes every not-yet-synced child spawned so far plus any
+fire-and-forget descendants adopted from completed children; leftovers
+propagate upward and ultimately join the root's implicit end-of-region
+barrier.  All of this is schedule-independent, hence derivable without
+simulating — the expander never touches
+:class:`~repro.runtime.engine.Engine` (pinned by the test suite via
+``engine_invocations()``).
+
+An iterative explicit stack replaces recursion so deeply-nested task
+trees (UTS, Sort) cannot hit the interpreter recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from ..core.ids import chunk_gid, task_gid
+from ..core.nodes import EdgeKind, GGNode, GrainGraph, NodeKind
+from ..machine.caches import LINE_SIZE
+from ..machine.machine import MachineConfig
+from ..machine.memory import MemoryMap
+from ..metrics.critical_path import critical_path
+from ..runtime.actions import (
+    Alloc,
+    ParallelFor,
+    Spawn,
+    TaskWait,
+    Work,
+    normalize_footprints,
+)
+from ..runtime.api import Program
+from ..runtime.task import ROOT_PATH
+from .model import StaticLoop, StaticModel, StaticTask
+
+
+class StaticExpansionError(RuntimeError):
+    """The program's structure cannot be expanded symbolically (the
+    discrete-event engine would reject it too)."""
+
+
+@dataclass
+class _SymbolicHandle:
+    """Stand-in for :class:`~repro.runtime.task.TaskHandle` delivered to
+    ``yield Spawn(...)``.  Under serial elision the child has completed
+    by the time the parent resumes, so ``completed`` is always True."""
+
+    gid: str
+    result: Any = None
+
+    @property
+    def completed(self) -> bool:
+        return True
+
+
+@dataclass
+class _Frame:
+    """One task being expanded (an entry on the explicit stack)."""
+
+    gen: Generator[Any, Any, None]
+    gid: str
+    path: tuple[int, ...]
+    depth: int
+    loc: str
+    definition: str
+    label: str
+    entry: GGNode
+    cur: GGNode
+    send: Any = None  # value the next generator.send() delivers
+    pending_send: Any = None  # parent's send once its child completes
+    cur_reads: list[tuple[str, int, int]] = field(default_factory=list)
+    cur_writes: list[tuple[str, int, int]] = field(default_factory=list)
+    own_cycles: int = 0
+    spawns: int = 0
+    taskwaits: int = 0
+    redundant_taskwaits: int = 0
+    children_spawned: int = 0
+    frag_seq: int = 1
+    # Completed-but-unsynced children (and adopted descendants):
+    # (exit node id, grain id) pairs awaiting the next sync point.
+    unsynced: list[tuple[int, str]] = field(default_factory=list)
+
+
+class _Expander:
+    """Single-use expansion state for one program."""
+
+    def __init__(self, program: Program, config: MachineConfig) -> None:
+        self.program = program
+        self.graph = GrainGraph()
+        self.memory = MemoryMap(config.topology.num_nodes)
+        self.region_sizes: dict[str, int] = {}
+        self.tasks: dict[str, StaticTask] = {}
+        self.loops: list[StaticLoop] = []
+        self.work_cycles = 0
+        self.total_access_lines = 0
+        self._next_loop_id = 0
+
+    # -- graph helpers -------------------------------------------------
+    def _new_fragment(self, frame_gid: str, loc: str, definition: str,
+                      label: str, frag_seq: int) -> GGNode:
+        return self.graph.new_node(
+            NodeKind.FRAGMENT,
+            grain_id=frame_gid,
+            frag_seq=frag_seq,
+            duration_override=0,
+            loc=loc,
+            definition=definition,
+            label=label,
+        )
+
+    def _close_fragment(self, frame: _Frame) -> GGNode:
+        """Seal the open fragment's footprints; returns the node."""
+        node = frame.cur
+        if frame.cur_reads:
+            node.reads = tuple(frame.cur_reads)
+            frame.cur_reads = []
+        if frame.cur_writes:
+            node.writes = tuple(frame.cur_writes)
+            frame.cur_writes = []
+        return node
+
+    def _open_fragment(self, frame: _Frame, after: GGNode) -> None:
+        node = self._new_fragment(
+            frame.gid, frame.loc, frame.definition, frame.label,
+            frame.frag_seq,
+        )
+        frame.frag_seq += 1
+        self.graph.add_edge(after.node_id, node.node_id, EdgeKind.CONTINUATION)
+        frame.cur = node
+
+    def _make_frame(self, gen: Generator[Any, Any, None],
+                    path: tuple[int, ...], depth: int, loc: str,
+                    definition: str, label: str,
+                    creator: Optional[GGNode]) -> _Frame:
+        gid = task_gid(path)
+        entry = self._new_fragment(gid, loc, definition, label, 0)
+        if creator is not None:
+            self.graph.add_edge(
+                creator.node_id, entry.node_id, EdgeKind.CREATION
+            )
+        return _Frame(
+            gen=gen, gid=gid, path=path, depth=depth, loc=loc,
+            definition=definition, label=label, entry=entry, cur=entry,
+        )
+
+    # -- action handlers -----------------------------------------------
+    def _do_work(self, frame: _Frame, action: Work) -> None:
+        request = action.request
+        frame.cur.duration_override = (
+            (frame.cur.duration_override or 0) + request.cycles
+        )
+        frame.own_cycles += request.cycles
+        self.work_cycles += request.cycles
+        self._count_lines(request)
+        if action.reads:
+            frame.cur_reads.extend(
+                normalize_footprints(action.reads, self.region_sizes)
+            )
+        if action.writes:
+            frame.cur_writes.extend(
+                normalize_footprints(action.writes, self.region_sizes)
+            )
+
+    def _count_lines(self, request: Any) -> None:
+        for access in request.accesses:
+            if access.nbytes > 0:
+                self.total_access_lines += -(-access.nbytes // LINE_SIZE)
+
+    def _do_alloc(self, frame: _Frame, action: Alloc) -> Any:
+        region = self.memory.allocate(
+            action.name, action.size_bytes, action.placement
+        )
+        self.region_sizes[region.name] = region.size_bytes
+        if action.record_write:
+            frame.cur_writes.append((region.name, 0, region.size_bytes))
+        return region
+
+    def _do_spawn(self, frame: _Frame, action: Spawn) -> _Frame:
+        prev = self._close_fragment(frame)
+        fork = self.graph.new_node(
+            NodeKind.FORK,
+            loc=str(action.loc),
+            definition=action.definition_key(),
+            label=action.label,
+        )
+        self.graph.add_edge(prev.node_id, fork.node_id, EdgeKind.CONTINUATION)
+        child_path = frame.path + (frame.children_spawned,)
+        frame.children_spawned += 1
+        frame.spawns += 1
+        child = self._make_frame(
+            action.body(), child_path, frame.depth + 1,
+            loc=str(action.loc), definition=action.definition_key(),
+            label=action.label, creator=fork,
+        )
+        self._open_fragment(frame, fork)
+        frame.pending_send = _SymbolicHandle(gid=child.gid)
+        return child
+
+    def _do_taskwait(self, frame: _Frame, implicit: bool = False) -> None:
+        prev = self._close_fragment(frame)
+        join = self.graph.new_node(NodeKind.JOIN, implicit=implicit)
+        self.graph.add_edge(prev.node_id, join.node_id, EdgeKind.CONTINUATION)
+        if not frame.unsynced:
+            frame.redundant_taskwaits += 1
+        for exit_node, _gid in frame.unsynced:
+            self.graph.add_edge(exit_node, join.node_id, EdgeKind.JOIN)
+        frame.unsynced.clear()
+        frame.taskwaits += 1
+        self._open_fragment(frame, join)
+
+    def _do_parallel_for(self, frame: _Frame, action: ParallelFor) -> None:
+        if frame.path != ROOT_PATH:
+            raise StaticExpansionError(
+                "parallel for-loops inside explicit tasks are nested "
+                "parallelism, which the engine rejects and the static "
+                "expander likewise does not model"
+            )
+        spec = action.loop
+        loop_id = self._next_loop_id
+        self._next_loop_id += 1
+        prev = self._close_fragment(frame)
+        fork = self.graph.new_node(
+            NodeKind.FORK,
+            team_fork=True,
+            loop_id=loop_id,
+            loc=str(spec.loc),
+            definition=spec.definition_key(),
+            label=spec.label,
+        )
+        self.graph.add_edge(prev.node_id, fork.node_id, EdgeKind.CONTINUATION)
+        join = self.graph.new_node(NodeKind.JOIN, loop_id=loop_id)
+        # Direct fork -> join edge keeps the join ordered for empty loops.
+        self.graph.add_edge(fork.node_id, join.node_id, EdgeKind.CONTINUATION)
+        iter_cycles: list[int] = []
+        for i in range(spec.iterations):
+            request = spec.iteration_request(i)
+            iter_cycles.append(request.cycles)
+            self.work_cycles += request.cycles
+            self._count_lines(request)
+            fp_reads, fp_writes = spec.iteration_footprints(i)
+            chunk = self.graph.new_node(
+                NodeKind.CHUNK,
+                grain_id=chunk_gid(0, loop_id, i, i + 1),
+                loop_id=loop_id,
+                iter_range=(i, i + 1),
+                duration_override=request.cycles,
+                loc=str(spec.loc),
+                definition=spec.definition_key(),
+                label=spec.label,
+                reads=normalize_footprints(
+                    tuple(fp_reads), self.region_sizes
+                ),
+                writes=normalize_footprints(
+                    tuple(fp_writes), self.region_sizes
+                ),
+            )
+            self.graph.add_edge(
+                fork.node_id, chunk.node_id, EdgeKind.CREATION
+            )
+            self.graph.add_edge(
+                chunk.node_id, join.node_id, EdgeKind.JOIN
+            )
+        self.loops.append(
+            StaticLoop(
+                loop_id=loop_id,
+                spec=spec,
+                iter_cycles=tuple(iter_cycles),
+                fork_node=fork.node_id,
+                join_node=join.node_id,
+            )
+        )
+        self._open_fragment(frame, join)
+
+    def _finish_task(self, frame: _Frame,
+                     parent: Optional[_Frame]) -> None:
+        if parent is None and frame.unsynced:
+            # End-of-parallel-region barrier: fire-and-forget descendants
+            # synchronize here, exactly as in the engine.
+            self._do_taskwait(frame, implicit=True)
+            frame.taskwaits -= 1  # not a program-authored taskwait
+        exit_node = self._close_fragment(frame)
+        self.tasks[frame.gid] = StaticTask(
+            gid=frame.gid,
+            path=frame.path,
+            depth=frame.depth,
+            loc=frame.loc,
+            definition=frame.definition,
+            label=frame.label,
+            own_cycles=frame.own_cycles,
+            spawns=frame.spawns,
+            taskwaits=frame.taskwaits,
+            redundant_taskwaits=frame.redundant_taskwaits,
+            unsynced_at_end=len(frame.unsynced),
+            entry_node=frame.entry.node_id,
+            exit_node=exit_node.node_id,
+        )
+        if parent is not None:
+            # Adopted fire-and-forget descendants, then the task itself,
+            # become the parent's to-sync obligations.
+            parent.unsynced.extend(frame.unsynced)
+            parent.unsynced.append((exit_node.node_id, frame.gid))
+
+    # -- the driver ----------------------------------------------------
+    def expand(self) -> StaticModel:
+        root = self._make_frame(
+            self.program.body(), ROOT_PATH, depth=0,
+            loc="", definition=f"<implicit:{self.program.name}>",
+            label=self.program.name, creator=None,
+        )
+        self.graph.root_node_id = root.entry.node_id
+        stack: list[_Frame] = [root]
+        while stack:
+            frame = stack[-1]
+            try:
+                send, frame.send = frame.send, None
+                action = frame.gen.send(send)
+            except StopIteration:
+                stack.pop()
+                parent = stack[-1] if stack else None
+                self._finish_task(frame, parent)
+                if parent is not None:
+                    parent.send = parent.pending_send
+                    parent.pending_send = None
+                continue
+            if isinstance(action, Work):
+                self._do_work(frame, action)
+            elif isinstance(action, Spawn):
+                stack.append(self._do_spawn(frame, action))
+            elif isinstance(action, TaskWait):
+                self._do_taskwait(frame)
+            elif isinstance(action, ParallelFor):
+                self._do_parallel_for(frame, action)
+            elif isinstance(action, Alloc):
+                frame.send = self._do_alloc(frame, action)
+            else:
+                raise TypeError(f"task yielded non-action {action!r}")
+        span = critical_path(self.graph)
+        return StaticModel(
+            program=self.program.name,
+            input_summary=self.program.input_summary,
+            graph=self.graph,
+            tasks=self.tasks,
+            loops=self.loops,
+            region_sizes=dict(self.region_sizes),
+            work_cycles=self.work_cycles,
+            span_cycles=span.length_cycles,
+            total_access_lines=self.total_access_lines,
+            span_node_ids=list(span.node_ids),
+        )
+
+
+def expand_program(
+    program: Program, machine_config: Optional[MachineConfig] = None
+) -> StaticModel:
+    """Symbolically expand ``program`` into a :class:`StaticModel`.
+
+    ``machine_config`` only supplies the NUMA node count for resolving
+    ``Alloc`` placements; no cost model and no engine is involved.
+    """
+    config = machine_config or MachineConfig.paper_testbed()
+    return _Expander(program, config).expand()

@@ -1,0 +1,123 @@
+"""The static program model: what symbolic expansion produces.
+
+A :class:`StaticModel` is the series-parallel structure of one
+:class:`~repro.runtime.api.Program` derived *without* the discrete-event
+engine: a logical grain graph (fragments, forks, joins, per-iteration
+chunks) whose node weights are the raw declared compute cycles, plus
+per-task and per-loop symbol tables.
+
+The graph reuses :class:`~repro.core.nodes.GrainGraph`, so the dynamic
+toolchain applies unchanged: :func:`~repro.metrics.critical_path.
+critical_path` computes the static span T∞, :class:`~repro.core.
+reachability.Reachability` answers all-schedule ordering queries, and
+the shared conflict scanner of ``lint/races.py`` certifies race freedom
+over *every* schedule (TASKPROF's DPST argument: the series-parallel
+relation is schedule-invariant).
+
+Because node weights deliberately exclude every machine and runtime
+cost, the work/span numbers are *optimistic lower bounds* on any
+execution; :mod:`repro.staticc.bounds` derives the matching pessimistic
+upper bound, giving the bracket
+``span_cycles <= measured critical path <= work_upper_bound``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.nodes import GrainGraph
+from ..runtime.loops import LoopSpec
+
+
+@dataclass(frozen=True)
+class StaticTask:
+    """One symbolically-expanded task instance.
+
+    ``gid`` uses the same path enumeration as the dynamic engine
+    (``t:0/1/...``), so static and dynamic grains of one program are
+    directly comparable.  ``own_cycles`` is the task's declared work
+    excluding descendants; ``unsynced_at_end`` counts children (plus
+    adopted fire-and-forget descendants) the task never waited for —
+    they synchronize at an ancestor's sync point or the region barrier.
+    """
+
+    gid: str
+    path: tuple[int, ...]
+    depth: int
+    loc: str
+    definition: str
+    label: str
+    own_cycles: int
+    spawns: int
+    taskwaits: int
+    redundant_taskwaits: int
+    unsynced_at_end: int
+    entry_node: int
+    exit_node: int
+
+
+@dataclass(frozen=True)
+class StaticLoop:
+    """One symbolically-expanded parallel for-loop."""
+
+    loop_id: int
+    spec: LoopSpec
+    iter_cycles: tuple[int, ...]  # declared cycles per iteration
+    fork_node: int
+    join_node: int
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.iter_cycles)
+
+    @property
+    def max_iter_cycles(self) -> int:
+        return max(self.iter_cycles) if self.iter_cycles else 0
+
+
+@dataclass
+class StaticModel:
+    """Everything symbolic expansion knows about one program."""
+
+    program: str
+    input_summary: str
+    graph: GrainGraph
+    tasks: dict[str, StaticTask]
+    loops: list[StaticLoop]
+    region_sizes: dict[str, int]
+    work_cycles: int  # T1: total declared compute cycles
+    span_cycles: int  # T∞: heaviest logical path (raw cycles)
+    total_access_lines: int  # sum of ceil(nbytes / LINE_SIZE) per access
+    span_node_ids: list[int] = field(default_factory=list)
+
+    @property
+    def task_count(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def max_task_depth(self) -> int:
+        return max((t.depth for t in self.tasks.values()), default=0)
+
+    @property
+    def parallelism(self) -> float:
+        """Static parallelism T1 / T∞ (1.0 for an empty program)."""
+        if self.span_cycles <= 0:
+            return 1.0
+        return self.work_cycles / self.span_cycles
+
+    def tasks_by_definition(self) -> dict[str, list[StaticTask]]:
+        """Task instances grouped by their task-construct definition,
+        excluding the implicit root task."""
+        groups: dict[str, list[StaticTask]] = {}
+        for task in self.tasks.values():
+            if not task.path[1:]:
+                continue  # the implicit root task has no construct
+            groups.setdefault(task.definition, []).append(task)
+        return groups
+
+    def summary(self) -> str:
+        return (
+            f"StaticModel({self.program}): {self.task_count} tasks, "
+            f"{len(self.loops)} loops, T1={self.work_cycles} "
+            f"T∞={self.span_cycles} parallelism={self.parallelism:.2f}"
+        )

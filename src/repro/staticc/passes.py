@@ -1,0 +1,318 @@
+"""Program-layer lint passes: diagnose a program *before* simulating it.
+
+Every pass here receives a :class:`~repro.staticc.model.StaticModel` —
+the symbolic series-parallel expansion of a program — and reasons about
+*all* possible schedules at once, which is exactly what the dynamic
+trace/graph passes cannot do.  The division of labor:
+
+- ``static.workspan`` reports the TASKPROF-style T1/T∞/parallelism
+  numbers and flags programs whose structure caps speedup;
+- ``static.task-flood``, ``static.granularity``,
+  ``static.chunk-imbalance``, and ``static.join-anomaly`` are the
+  structural anti-pattern detectors (the paper's Sec. 4 problem classes
+  — too many / too small grains, poor load balance, missing joins —
+  caught from the program text rather than from a profile);
+- ``static.race`` is the all-schedule race *certifier*: a clean result
+  proves race freedom for every schedule (the series-parallel relation
+  is schedule-invariant), strictly stronger than the dynamic
+  ``race.conflict`` pass, which can only audit the one schedule that
+  ran.  Both share one conflict scanner, so static findings are a
+  superset of dynamic ones by construction.
+
+``static.race`` is the only pass allowed to report at ERROR severity:
+``grain-graphs check --fail-on error`` must pass on every registered
+race-free program so it can gate CI ahead of simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..lint.diagnostics import Diagnostic, Severity
+from ..lint.framework import PROGRAM_LAYER, register
+from ..lint.races import MAX_PAIR_CHECKS, conflict_diagnostic, scan_conflicts
+from ..runtime.loops import Schedule
+from .model import StaticLoop, StaticModel
+
+# Structural thresholds.  The task-flood cutoff is 64 tasks per core on
+# the paper's 48-core testbed — far beyond any useful task granularity
+# and the point where per-task overheads rival the work (Sec. 4.3.2's
+# "huge number of fine-grained tasks" problem).
+TASK_FLOOD_LIMIT = 64 * 48
+
+# A task whose declared work is below the dearest flavor's creation cost
+# (GCC: 1400 cycles) loses more to overhead than it contributes.
+FINE_GRAIN_CYCLES = 1400
+
+# Reference team for loop analysis when the spec does not pin one: the
+# paper testbed's core count.
+DEFAULT_TEAM = 48
+
+# Static-schedule per-thread imbalance (max/mean of assigned cycles)
+# beyond which the loop is flagged.
+IMBALANCE_RATIO = 1.5
+
+# Dynamic/guided dispatch cost reference (MIR's shared-counter hold).
+DYNAMIC_DISPATCH_REF = 100
+
+
+@register(
+    "static.workspan",
+    "static work/span bounds and parallelism",
+    PROGRAM_LAYER,
+)
+def check_workspan(model: StaticModel) -> Iterator[Diagnostic]:
+    yield Diagnostic(
+        rule_id="static.workspan",
+        severity=Severity.INFO,
+        message=(
+            f"work T1={model.work_cycles} cycles, span T∞="
+            f"{model.span_cycles} cycles, parallelism "
+            f"{model.parallelism:.2f} ({model.task_count} tasks, "
+            f"{len(model.loops)} loops, max task depth "
+            f"{model.max_task_depth})"
+        ),
+        node_id=model.graph.root_node_id,
+    )
+    expresses_parallelism = model.task_count > 1 or model.loops
+    if expresses_parallelism and model.parallelism < 2.0:
+        yield Diagnostic(
+            rule_id="static.workspan",
+            severity=Severity.WARNING,
+            message=(
+                f"static parallelism is only {model.parallelism:.2f}: "
+                "the program's own structure caps speedup below 2x on "
+                "any machine (span is dominated by one serial chain)"
+            ),
+            node_id=model.graph.root_node_id,
+            fix_hint=(
+                "break the longest chain: spawn independent work before "
+                "waiting, or parallelize the dominant serial section"
+            ),
+        )
+
+
+@register(
+    "static.task-flood",
+    "symbolic task count vs. useful granularity cutoff",
+    PROGRAM_LAYER,
+)
+def check_task_flood(model: StaticModel) -> Iterator[Diagnostic]:
+    explicit = model.task_count - 1  # exclude the implicit root
+    if explicit <= TASK_FLOOD_LIMIT:
+        return
+    heaviest = max(
+        model.tasks_by_definition().items(),
+        key=lambda item: len(item[1]),
+    )
+    yield Diagnostic(
+        rule_id="static.task-flood",
+        severity=Severity.WARNING,
+        message=(
+            f"{explicit} explicit tasks expand from this input — beyond "
+            f"{TASK_FLOOD_LIMIT} (64 per core on the 48-core testbed) "
+            f"per-task overheads rival the work; densest construct "
+            f"{heaviest[0]!r} accounts for {len(heaviest[1])} instances"
+        ),
+        node_id=model.graph.root_node_id,
+        fix_hint=(
+            "add a depth or size cutoff that switches to serial "
+            "execution (if_clause=False) for small subproblems"
+        ),
+    )
+
+
+@register(
+    "static.granularity",
+    "task definitions finer than their creation cost",
+    PROGRAM_LAYER,
+)
+def check_granularity(model: StaticModel) -> Iterator[Diagnostic]:
+    for definition, tasks in sorted(model.tasks_by_definition().items()):
+        leaves = [t for t in tasks if t.spawns == 0]
+        if len(leaves) < 2:
+            continue  # one tiny task is noise, a family is a pattern
+        avg_own = sum(t.own_cycles for t in leaves) / len(leaves)
+        if avg_own >= FINE_GRAIN_CYCLES:
+            continue
+        sample = min(leaves, key=lambda t: t.own_cycles)
+        yield Diagnostic(
+            rule_id="static.granularity",
+            severity=Severity.WARNING,
+            message=(
+                f"task construct {definition!r} expands to "
+                f"{len(leaves)} leaf tasks averaging {avg_own:.0f} "
+                f"cycles of work each — below the {FINE_GRAIN_CYCLES}-"
+                "cycle task creation cost, so overhead exceeds the "
+                "work they carry"
+            ),
+            grain_id=sample.gid,
+            loc=sample.loc,
+            fix_hint=(
+                "aggregate iterations/subproblems per task, or guard "
+                "the spawn with an if_clause granularity cutoff"
+            ),
+        )
+
+
+def _static_thread_cycles(
+    loop: StaticLoop, team: int
+) -> list[int]:
+    """Per-thread assigned cycles under the deterministic static plan."""
+    totals = [0] * team
+    for thread, chunks in enumerate(loop.spec.static_chunk_plan(team)):
+        for start, end in chunks:
+            totals[thread] += sum(loop.iter_cycles[start:end])
+    return totals
+
+
+@register(
+    "static.chunk-imbalance",
+    "loop chunking that cannot balance its iteration work",
+    PROGRAM_LAYER,
+)
+def check_chunk_imbalance(model: StaticModel) -> Iterator[Diagnostic]:
+    for loop in model.loops:
+        spec = loop.spec
+        n = spec.iterations
+        if n < 2 or loop.total_cycles <= 0:
+            continue
+        team = min(DEFAULT_TEAM, spec.num_threads or DEFAULT_TEAM)
+        chunks = spec.chunk_count_upper(team)
+        anchor = model.graph.nodes[loop.fork_node]
+        if 0 < chunks < team:
+            yield Diagnostic(
+                rule_id="static.chunk-imbalance",
+                severity=Severity.WARNING,
+                message=(
+                    f"loop {spec.definition_key()!r} produces at most "
+                    f"{chunks} chunks for a team of {team}: "
+                    f"{team - chunks} threads are idle for the whole "
+                    "loop under every schedule"
+                ),
+                node_id=anchor.node_id,
+                loc=str(spec.loc),
+                fix_hint=(
+                    "shrink the chunk size (or drop it) so every "
+                    "thread gets work"
+                ),
+            )
+            continue
+        if spec.schedule is Schedule.STATIC:
+            totals = _static_thread_cycles(loop, team)
+            busy = [t for t in totals if t > 0]
+            if len(busy) < 2:
+                continue
+            mean = sum(totals) / len(totals)
+            ratio = max(totals) / mean if mean > 0 else 1.0
+            if ratio > IMBALANCE_RATIO:
+                yield Diagnostic(
+                    rule_id="static.chunk-imbalance",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"static schedule of loop "
+                        f"{spec.definition_key()!r} assigns the busiest "
+                        f"thread {ratio:.2f}x the mean work "
+                        f"(team of {team}); the imbalance is fixed at "
+                        "compile time and every run pays it"
+                    ),
+                    node_id=anchor.node_id,
+                    loc=str(spec.loc),
+                    fix_hint=(
+                        "use schedule(dynamic) or schedule(guided), or "
+                        "a static chunk size small enough to interleave "
+                        "the heavy iterations"
+                    ),
+                )
+        else:
+            per_grab = loop.total_cycles / chunks if chunks else 0.0
+            if 0 < per_grab < DYNAMIC_DISPATCH_REF:
+                yield Diagnostic(
+                    rule_id="static.chunk-imbalance",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"{spec.schedule.value} schedule of loop "
+                        f"{spec.definition_key()!r} averages "
+                        f"{per_grab:.0f} cycles of work per chunk grab "
+                        f"— below the ~{DYNAMIC_DISPATCH_REF}-cycle "
+                        "shared-counter dispatch cost, so the loop is "
+                        "book-keeping bound (the Freqmine FPGF pattern)"
+                    ),
+                    node_id=anchor.node_id,
+                    loc=str(spec.loc),
+                    fix_hint=(
+                        "raise the chunk size so each grab amortizes "
+                        "its dispatch"
+                    ),
+                )
+
+
+@register(
+    "static.join-anomaly",
+    "missing or redundant task joins",
+    PROGRAM_LAYER,
+)
+def check_join_anomalies(model: StaticModel) -> Iterator[Diagnostic]:
+    for gid in sorted(model.tasks):
+        task = model.tasks[gid]
+        is_root = not task.path[1:]
+        if task.unsynced_at_end > 0 and not is_root:
+            yield Diagnostic(
+                rule_id="static.join-anomaly",
+                severity=Severity.INFO,
+                message=(
+                    f"task {gid!r} ({task.definition!r}) ends with "
+                    f"{task.unsynced_at_end} unsynchronized descendant"
+                    f"{'s' if task.unsynced_at_end != 1 else ''} "
+                    "(fire-and-forget): they outlive their parent and "
+                    "only join at an ancestor's sync point or the "
+                    "region barrier"
+                ),
+                grain_id=gid,
+                loc=task.loc,
+                fix_hint=(
+                    "add TaskWait() before the task returns if its "
+                    "caller assumes the children's effects are visible"
+                ),
+            )
+        if task.redundant_taskwaits > 0:
+            yield Diagnostic(
+                rule_id="static.join-anomaly",
+                severity=Severity.INFO,
+                message=(
+                    f"task {gid!r} issues {task.redundant_taskwaits} "
+                    "TaskWait() with no outstanding children — a no-op "
+                    "barrier on every schedule"
+                ),
+                grain_id=gid,
+                loc=task.loc,
+                fix_hint="drop the redundant TaskWait()",
+            )
+
+
+@register(
+    "static.race",
+    "all-schedule data-race certification",
+    PROGRAM_LAYER,
+)
+def certify_races(model: StaticModel) -> Iterator[Diagnostic]:
+    scan = scan_conflicts(model.graph)
+    for conflict in scan.conflicts:
+        yield conflict_diagnostic(
+            conflict,
+            rule_id="static.race",
+            schedule_note=(
+                "certified over all schedules: the series-parallel "
+                "relation admits an interleaving for every order"
+            ),
+        )
+    if scan.truncated:
+        yield Diagnostic(
+            rule_id="static.race",
+            severity=Severity.WARNING,
+            message=(
+                f"race certification truncated after {MAX_PAIR_CHECKS} "
+                "pair checks; the certificate is incomplete"
+            ),
+            node_id=model.graph.root_node_id,
+        )

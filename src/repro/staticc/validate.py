@@ -1,0 +1,112 @@
+"""Cross-validation: the static bracket against measured executions.
+
+For every program the static analyzer claims
+
+    ``static T∞  <=  measured critical path  <=  static T1 upper bound``
+
+— the left inequality because the engine only ever *adds* time to the
+logical structure, the right because the critical path is one path
+through the run's nodes and the upper bound covers the sum of all of
+them (see :mod:`repro.staticc.bounds`).  This module actually runs the
+simulation and checks the claim, program by program; the test suite
+executes it over the whole registry so a modeling error in either the
+expander or the engine breaks loudly.
+
+Simulation imports are local to the functions: importing this module
+(or anything else under :mod:`repro.staticc`) must not pull in the
+engine, so ``grain-graphs check`` stays statically pure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from .bounds import bracket
+from .expansion import expand_program
+from .model import StaticModel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from ..machine import Machine
+    from ..runtime.api import Program
+    from ..runtime.flavors import RuntimeFlavor
+
+
+@dataclass(frozen=True)
+class CrossValidation:
+    """One program's static-vs-dynamic comparison."""
+
+    program: str
+    num_threads: int
+    span_lower: int  # static T∞
+    measured_critical_path: int  # from the simulated trace's grain graph
+    work_upper: int  # pessimistic static T1
+    static_task_count: int
+    dynamic_task_count: int
+
+    @property
+    def holds(self) -> bool:
+        return (
+            self.span_lower
+            <= self.measured_critical_path
+            <= self.work_upper
+        )
+
+    def describe(self) -> str:
+        verdict = "ok" if self.holds else "VIOLATED"
+        return (
+            f"{self.program} (T={self.num_threads}): "
+            f"{self.span_lower} <= {self.measured_critical_path} <= "
+            f"{self.work_upper} [{verdict}]"
+        )
+
+
+def cross_validate(
+    program: "Program",
+    flavor: Optional["RuntimeFlavor"] = None,
+    num_threads: int = 8,
+    machine: Optional["Machine"] = None,
+    model: Optional[StaticModel] = None,
+) -> CrossValidation:
+    """Expand ``program`` statically, simulate it, and compare.
+
+    Pass ``model`` to reuse an existing expansion (the simulation still
+    runs fresh).  The default configuration matches the paper testbed
+    with the MIR flavor.
+    """
+    from ..core.builder import build_grain_graph
+    from ..metrics.critical_path import critical_path
+    from ..runtime.api import run_program
+    from ..runtime.flavors import MIR
+
+    flavor = flavor or MIR
+    if model is None:
+        machine_config = machine.config if machine is not None else None
+        model = expand_program(program, machine_config)
+    result = run_program(
+        program, flavor=flavor, num_threads=num_threads, machine=machine
+    )
+    graph = build_grain_graph(result.trace)
+    measured = critical_path(graph).length_cycles
+    dynamic_tasks = len(
+        {
+            node.grain_id
+            for node in graph.grain_nodes()
+            if node.grain_id and node.grain_id.startswith("t:")
+        }
+    )
+    bounds = bracket(
+        model,
+        flavor,
+        num_threads,
+        machine.config if machine is not None else None,
+    )
+    return CrossValidation(
+        program=model.program,
+        num_threads=num_threads,
+        span_lower=bounds.span_lower,
+        measured_critical_path=measured,
+        work_upper=bounds.work_upper,
+        static_task_count=model.task_count,
+        dynamic_task_count=dynamic_tasks,
+    )

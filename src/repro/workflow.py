@@ -40,6 +40,7 @@ from .runtime.flavors import GCC, ICC, MIR, RuntimeFlavor
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from .exec import RunCache, TraceExecutor
+    from .staticc import CrossValidation, StaticModel
 
 
 @dataclass
@@ -55,6 +56,39 @@ class Study:
     reference: Optional[RunResult] = None
     reference_graph: Optional[GrainGraph] = None
     lint_report: Optional[LintReport] = None
+    static_model: "Optional[StaticModel]" = None
+    static_report: Optional[LintReport] = None
+
+    def cross_validation(self) -> "Optional[CrossValidation]":
+        """The static-vs-measured work/span bracket, when the study was
+        built with ``static_check=True``: asserts nothing, just reports
+        ``static T∞ <= measured critical path <= static T1 upper``."""
+        if self.static_model is None:
+            return None
+        from .metrics.critical_path import critical_path
+        from .runtime.flavors import flavor_by_name
+        from .staticc import CrossValidation, bracket
+
+        bounds = bracket(
+            self.static_model,
+            flavor_by_name(self.result.flavor),
+            self.result.num_threads,
+        )
+        return CrossValidation(
+            program=self.program.name,
+            num_threads=self.result.num_threads,
+            span_lower=bounds.span_lower,
+            measured_critical_path=critical_path(self.graph).length_cycles,
+            work_upper=bounds.work_upper,
+            static_task_count=self.static_model.task_count,
+            dynamic_task_count=len(
+                {
+                    node.grain_id
+                    for node in self.graph.grain_nodes()
+                    if node.grain_id and node.grain_id.startswith("t:")
+                }
+            ),
+        )
 
     @property
     def makespan_cycles(self) -> int:
@@ -77,6 +111,7 @@ def build_study(
     optimistic: bool = True,
     validate: bool = True,
     lint: bool = False,
+    static_check: bool = False,
 ) -> Study:
     """Assemble a :class:`Study` from already-executed run results.
 
@@ -84,6 +119,11 @@ def build_study(
     the study runner (:mod:`repro.exec`) can feed it runs rebuilt from
     cached traces — a Study assembled from a cache hit is
     indistinguishable from one assembled after a live simulation.
+
+    ``static_check=True`` additionally expands the program symbolically
+    (:mod:`repro.staticc`) and attaches the static model and its
+    program-layer lint report; :meth:`Study.cross_validation` then
+    compares the static work/span bracket against the measured run.
     """
     graph = build_grain_graph(result.trace)
     if validate:
@@ -93,6 +133,12 @@ def build_study(
         lint_report = run_lint(
             trace=result.trace, graph=graph, program=program.name
         )
+    static_model = None
+    static_report = None
+    if static_check:
+        from .staticc import check_program
+
+        static_model, static_report = check_program(program)
     reference_graph = (
         build_grain_graph(reference.trace) if reference is not None else None
     )
@@ -113,6 +159,8 @@ def build_study(
         reference=reference,
         reference_graph=reference_graph,
         lint_report=lint_report,
+        static_model=static_model,
+        static_report=static_report,
     )
 
 
@@ -128,6 +176,7 @@ def profile_program(
     validate: bool = True,
     profiler: ProfilerConfig | None = None,
     lint: bool = False,
+    static_check: bool = False,
     cache: "RunCache | None" = None,
 ) -> Study:
     """Run the full analysis pipeline on one program.
@@ -136,6 +185,8 @@ def profile_program(
     work-deviation baseline; pass ``None`` to skip it.  ``lint=True``
     additionally runs every registered ``repro.lint`` pass over the trace
     and both graph layers, attaching the :class:`LintReport` to the study.
+    ``static_check=True`` also attaches the ahead-of-simulation static
+    model and report (see :func:`build_study`).
     ``cache`` (default: the :func:`repro.exec.get_default_cache`, which
     is ``None`` unless explicitly installed) reuses stored traces instead
     of simulating.
@@ -160,6 +211,7 @@ def profile_program(
         optimistic=optimistic,
         validate=validate,
         lint=lint,
+        static_check=static_check,
     )
 
 

@@ -27,6 +27,24 @@ class TestLintCommand:
         assert main(["lint", "racy", "--fail-on", "error"]) == 1
         assert main(["lint", "fig3b", "--fail-on", "info"]) == 0
 
+    def test_every_severity_label_is_a_valid_threshold(self):
+        from repro.lint import Severity
+
+        for severity in Severity:
+            assert main(
+                ["lint", "fig3b", "--threads", "2",
+                 "--fail-on", severity.label]
+            ) == 0
+
+    def test_json_output_unaffected_by_fail_on(self, capsys):
+        assert main(["lint", "racy", "--threads", "2", "--json"]) == 1
+        with_default = capsys.readouterr().out
+        assert main(
+            ["lint", "racy", "--threads", "2", "--json",
+             "--fail-on", "info"]
+        ) == 1
+        assert capsys.readouterr().out == with_default
+
     def test_json_output_roundtrips(self, capsys):
         assert main(["lint", "racy", "--threads", "2", "--json"]) == 1
         parsed = json.loads(capsys.readouterr().out)

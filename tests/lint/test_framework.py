@@ -9,6 +9,7 @@ from repro.core.builder import build_grain_graph
 from repro.core.reductions import reduce_graph
 from repro.lint import (
     GRAPH_LAYER,
+    PROGRAM_LAYER,
     STRUCTURE_RULES,
     TRACE_LAYER,
     all_passes,
@@ -46,7 +47,9 @@ class TestRegistry:
 
     def test_every_pass_has_layer_and_title(self):
         for lint_pass in all_passes():
-            assert lint_pass.layer in (TRACE_LAYER, GRAPH_LAYER)
+            assert lint_pass.layer in (
+                TRACE_LAYER, GRAPH_LAYER, PROGRAM_LAYER
+            )
             assert lint_pass.title
 
     def test_duplicate_rule_id_rejected(self):

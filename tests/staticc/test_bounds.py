@@ -1,0 +1,68 @@
+"""The static bracket: T∞ <= measured critical path <= T1 upper bound.
+
+This is the analyzer's soundness contract, checked *empirically* against
+the simulator over the whole program registry — a modeling error on
+either side (expansion missing structure, or the bound missing an engine
+cost that lands on node durations) breaks here loudly.
+"""
+
+import pytest
+
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.machine.machine import MachineConfig
+from repro.runtime.flavors import GCC, ICC, MIR
+from repro.staticc import bracket, cross_validate, expand_program, work_upper_bound
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_bracket_holds_for_every_registered_program(name):
+    cv = cross_validate(resolve_small(name), num_threads=8)
+    assert cv.holds, cv.describe()
+    assert cv.span_lower >= 0
+    assert cv.static_task_count >= 1
+
+
+@pytest.mark.parametrize("flavor", [MIR, ICC, GCC], ids=lambda f: f.name)
+@pytest.mark.parametrize("threads", [1, 48])
+def test_bracket_holds_across_flavors_and_team_sizes(flavor, threads):
+    # The schedule-sensitive corners: fig3a (serial chain), fig3b
+    # (loop-only), floorplan (schedule-dependent pruning), uts
+    # (fire-and-forget tree).
+    for name in ["fig3a", "fig3b", "floorplan", "uts"]:
+        cv = cross_validate(
+            resolve_small(name), flavor=flavor, num_threads=threads
+        )
+        assert cv.holds, f"{flavor.name}: {cv.describe()}"
+
+
+def test_work_upper_is_monotone_in_threads():
+    model = expand_program(resolve_small("sort"))
+    uppers = [
+        work_upper_bound(model, MIR, threads)
+        for threads in (1, 2, 8, 16, 48)
+    ]
+    assert uppers == sorted(uppers)
+
+
+def test_bracket_object_reports_containment():
+    model = expand_program(resolve_small("fig3a"))
+    bounds = bracket(model, MIR, 8)
+    assert bounds.span_lower == model.span_cycles
+    assert bounds.contains(model.span_cycles)
+    assert bounds.contains(bounds.work_upper)
+    assert not bounds.contains(bounds.work_upper + 1)
+    assert not bounds.contains(model.span_cycles - 1)
+
+
+def test_explicit_machine_config_accepted():
+    model = expand_program(resolve_small("fig3b"))
+    upper = work_upper_bound(
+        model, MIR, 8, machine_config=MachineConfig.paper_testbed()
+    )
+    assert upper == work_upper_bound(model, MIR, 8)
+
+
+def test_bad_thread_count_rejected():
+    model = expand_program(resolve_small("fig3a"))
+    with pytest.raises(ValueError):
+        work_upper_bound(model, MIR, 0)

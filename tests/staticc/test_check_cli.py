@@ -1,0 +1,70 @@
+"""``grain-graphs check``: exit codes, JSON, and engine purity."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintReport, Severity
+from repro.runtime.engine import engine_invocations
+
+
+class TestCheckCommand:
+    def test_clean_program_exits_zero(self, capsys):
+        assert main(["check", "fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "StaticModel(fig3b)" in out
+        assert "static.workspan" in out
+
+    def test_racy_program_exits_nonzero(self, capsys):
+        assert main(["check", "racy"]) == 1
+        out = capsys.readouterr().out
+        assert "static.race" in out
+        assert "all schedules" in out
+
+    def test_never_invokes_engine(self):
+        before = engine_invocations()
+        main(["check", "--all"])
+        assert engine_invocations() == before
+
+    def test_all_includes_racy_hence_nonzero(self):
+        assert main(["check", "--all"]) == 1
+
+    def test_every_severity_label_is_a_valid_threshold(self):
+        for severity in Severity:
+            code = main(["check", "fig3b", "--fail-on", severity.label])
+            # fig3b's static report has INFO findings but no warnings
+            # or errors.
+            assert code == (1 if severity is Severity.INFO else 0)
+
+    def test_json_output_roundtrips_and_is_unaffected_by_fail_on(
+        self, capsys
+    ):
+        assert main(["check", "racy", "--json"]) == 1
+        with_default = capsys.readouterr().out
+        assert main(
+            ["check", "racy", "--json", "--fail-on", "info"]
+        ) == 1
+        with_info = capsys.readouterr().out
+        assert with_default == with_info  # output independent of gate
+        report = LintReport.from_dict(json.loads(with_default))
+        assert report.program == "racy"
+        assert report.errors
+
+    def test_json_multiple_programs_is_a_list(self, capsys):
+        assert main(["check", "fig3a", "fig3b", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert [p["program"] for p in parsed] == ["fig3a", "fig3b"]
+
+    def test_verbose_lists_passes(self, capsys):
+        assert main(["check", "fig3b", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "ran     static.workspan on program" in out
+
+    def test_no_programs_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check"])
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["check", "does-not-exist"])

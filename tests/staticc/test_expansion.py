@@ -1,0 +1,215 @@
+"""Symbolic expansion: purity, determinism, and structural pins.
+
+The three guarantees under test:
+
+1. *Purity*: expanding (and fully checking) every registered program
+   never touches the discrete-event engine — pinned with the process-wide
+   ``engine_invocations()`` counter.
+2. *Determinism*: expansion is a pure function of the program; two fresh
+   expansions produce byte-identical canonical structures (hypothesis
+   drives this over the registry and over random task trees).
+3. *Correspondence*: static task grain ids reproduce the engine's path
+   enumeration exactly, which the race-certifier comparisons rely on.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import LOC, small_machine
+
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.core.builder import build_grain_graph
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.runtime.engine import engine_invocations
+from repro.staticc import StaticExpansionError, check_program, expand_program
+
+
+def canonical(model):
+    """A comparable, schedule-free rendering of a static model."""
+    graph = model.graph
+    nodes = tuple(
+        (
+            nid,
+            node.kind.name,
+            node.grain_id,
+            node.duration_override,
+            tuple(node.reads),
+            tuple(node.writes),
+            node.loc,
+        )
+        for nid, node in sorted(graph.nodes.items())
+    )
+    edges = tuple(
+        sorted((e.src, e.dst, e.kind.name) for e in graph.edges)
+    )
+    tasks = tuple(sorted(model.tasks.items()))
+    return (
+        nodes, edges, tasks, model.work_cycles, model.span_cycles,
+        model.region_sizes, model.total_access_lines,
+    )
+
+
+class TestEnginePurity:
+    def test_checking_all_programs_never_invokes_engine(self):
+        before = engine_invocations()
+        for name in sorted(PROGRAMS):
+            check_program(resolve_small(name))
+        assert engine_invocations() == before
+
+    def test_program_expand_hook_is_pure(self):
+        before = engine_invocations()
+        model = resolve_small("fib").expand()
+        assert model.task_count > 1
+        assert engine_invocations() == before
+
+
+class TestDeterminism:
+    @settings(deadline=None, max_examples=12)
+    @given(name=st.sampled_from(sorted(PROGRAMS)))
+    def test_registry_expansion_is_deterministic(self, name):
+        first = expand_program(resolve_small(name))
+        second = expand_program(resolve_small(name))
+        assert canonical(first) == canonical(second)
+
+    # Random task trees: each node is (own work cycles, children,
+    # taskwait after spawning?).
+    trees = st.recursive(
+        st.tuples(st.integers(0, 2000)),
+        lambda kids: st.tuples(
+            st.integers(0, 2000),
+            st.lists(kids, max_size=3),
+            st.booleans(),
+        ),
+        max_leaves=12,
+    )
+
+    @staticmethod
+    def tree_program(tree) -> Program:
+        def body_of(node):
+            def body():
+                if len(node) == 1:
+                    (cycles,) = node
+                    children, wait = [], False
+                else:
+                    cycles, children, wait = node
+                if cycles:
+                    yield Work(WorkRequest(cycles=cycles))
+                for child in children:
+                    yield Spawn(body_of(child), loc=LOC)
+                if wait:
+                    yield TaskWait()
+
+            return body
+
+        return Program("random_tree", body_of(tree))
+
+    @settings(deadline=None, max_examples=40)
+    @given(tree=trees)
+    def test_random_tree_expansion_is_deterministic(self, tree):
+        first = expand_program(self.tree_program(tree))
+        second = expand_program(self.tree_program(tree))
+        assert canonical(first) == canonical(second)
+
+    @settings(deadline=None, max_examples=15)
+    @given(tree=trees, threads=st.integers(1, 4))
+    def test_static_task_gids_match_any_schedule(self, tree, threads):
+        model = expand_program(self.tree_program(tree))
+        result = run_program(
+            self.tree_program(tree),
+            num_threads=threads,
+            machine=small_machine(),
+        )
+        dynamic_gids = {
+            node.grain_id
+            for node in build_grain_graph(result.trace).grain_nodes()
+            if node.grain_id and node.grain_id.startswith("t:")
+        }
+        assert set(model.tasks) == dynamic_gids
+
+
+class TestRegressionPins:
+    """T1/T∞ for three canonical programs, computed independently.
+
+    fig3a (Fig. 3a of the paper): root does 3x1000 cycles interleaved
+    with three 1400-cycle spawns and a final taskwait; serial chain
+    root(3000) + the last-finishing child path gives T∞=4200 and
+    T1=3000+3*1400=7200.  fig3b: a 20-iteration loop of 250-cycle
+    iterations, all parallel: T1=5000, T∞=250.  fib(12, cutoff-free
+    small input): 2048 tasks totalling 486960 cycles with a 3982-cycle
+    spine.  These numbers change only if the apps or the expansion
+    semantics change — both intentional events.
+    """
+
+    def test_fig3a_pins(self):
+        model = expand_program(resolve_small("fig3a"))
+        assert (model.work_cycles, model.span_cycles) == (7200, 4200)
+        assert model.task_count == 4
+
+    def test_fig3b_pins(self):
+        model = expand_program(resolve_small("fig3b"))
+        assert (model.work_cycles, model.span_cycles) == (5000, 250)
+        assert len(model.loops) == 1
+        assert model.loops[0].iter_cycles == (250,) * 20
+
+    def test_fib_pins(self):
+        model = expand_program(resolve_small("fib"))
+        assert (model.work_cycles, model.span_cycles) == (486960, 3982)
+        assert model.task_count == 2048
+
+
+class TestExpansionSemantics:
+    def test_fire_and_forget_children_adopt_upward(self):
+        model = expand_program(resolve_small("floorplan"))
+        root = model.tasks["t:0"]
+        assert root.unsynced_at_end == 0  # the implicit barrier synced
+
+    def test_redundant_taskwait_counted(self):
+        def main():
+            yield Work(WorkRequest(cycles=10))
+            yield TaskWait()  # no children: a no-op barrier
+
+        model = expand_program(Program("redundant", main))
+        assert model.tasks["t:0"].redundant_taskwaits == 1
+
+    def test_nested_parallel_for_rejected(self):
+        from repro.runtime.actions import ParallelFor
+        from repro.runtime.loops import LoopSpec
+
+        def inner():
+            yield ParallelFor(
+                LoopSpec(
+                    iterations=4,
+                    body=lambda i: WorkRequest(cycles=10),
+                )
+            )
+
+        def main():
+            yield Spawn(inner, loc=LOC)
+            yield TaskWait()
+
+        with pytest.raises(StaticExpansionError):
+            expand_program(Program("nested", main))
+
+    def test_non_action_yield_rejected(self):
+        def main():
+            yield "not an action"
+
+        with pytest.raises(TypeError):
+            expand_program(Program("bogus", main))
+
+    def test_deep_recursion_does_not_overflow(self):
+        def chain(depth):
+            def body():
+                yield Work(WorkRequest(cycles=1))
+                if depth:
+                    yield Spawn(chain(depth - 1), loc=LOC)
+                    yield TaskWait()
+
+            return body
+
+        model = expand_program(Program("deep", chain(3000)))
+        assert model.task_count == 3001
+        assert model.span_cycles == 3001

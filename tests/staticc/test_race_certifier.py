@@ -1,0 +1,155 @@
+"""The all-schedule race certifier vs. the dynamic happens-before pass.
+
+``static.race`` must be strictly stronger than the dynamic
+``race.conflict``: it certifies over *every* schedule, so on any program
+its findings are a superset of what any single simulated schedule can
+reveal.  Both run the same conflict scanner over footprint-carrying
+grain graphs, and static task grain ids replicate the engine's path
+enumeration, so the comparison is exact, key for key.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import LOC, small_machine
+
+from repro.apps.registry import resolve_small
+from repro.core.builder import build_grain_graph
+from repro.lint.diagnostics import Severity
+from repro.lint.races import scan_conflicts
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Alloc, Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.staticc import check_program, expand_program
+
+
+def static_keys(program):
+    return scan_conflicts(expand_program(program).graph).keys()
+
+
+def dynamic_keys(program, threads=4):
+    result = run_program(
+        program, num_threads=threads, machine=small_machine()
+    )
+    return scan_conflicts(build_grain_graph(result.trace)).keys()
+
+
+class TestMicroApps:
+    def test_racy_is_flagged_at_error(self):
+        _, report = check_program(resolve_small("racy"))
+        findings = [
+            d for d in report.diagnostics if d.rule_id == "static.race"
+        ]
+        assert findings
+        assert all(d.severity is Severity.ERROR for d in findings)
+        assert "all schedules" in findings[0].message
+
+    def test_racy_fixed_is_certified_clean(self):
+        _, report = check_program(resolve_small("racy-fixed"))
+        assert not [
+            d for d in report.diagnostics if d.rule_id == "static.race"
+        ]
+        assert not report.errors
+
+    def test_static_findings_superset_of_dynamic(self):
+        for name in ["racy", "racy-fixed"]:
+            program = resolve_small(name)
+            dynamic = dynamic_keys(resolve_small(name))
+            assert static_keys(program) >= dynamic
+
+
+class TestHandcrafted:
+    @staticmethod
+    def missing_wait_program(wait: bool) -> Program:
+        """Parent writes a region a spawned child also writes; only a
+        TaskWait between them orders the accesses."""
+
+        def child(region_name):
+            def body():
+                yield Work(
+                    WorkRequest(cycles=100), writes=(region_name,)
+                )
+
+            return body
+
+        def main():
+            region = yield Alloc("buf", 4096)
+            yield Spawn(child(region.name), loc=LOC)
+            if wait:
+                yield TaskWait()
+            yield Work(WorkRequest(cycles=100), writes=(region.name,))
+            yield TaskWait()
+
+        return Program("missing_wait" if not wait else "has_wait", main)
+
+    def test_missing_taskwait_caught_statically(self):
+        keys = static_keys(self.missing_wait_program(wait=False))
+        assert keys == {("buf", "t:0", "t:0/0")}
+
+    def test_taskwait_certifies_order(self):
+        assert static_keys(self.missing_wait_program(wait=True)) == set()
+
+    # Sibling pairs with and without a separating TaskWait, random work.
+    @settings(deadline=None, max_examples=25)
+    @given(
+        wait_between=st.booleans(),
+        cycles=st.integers(1, 500),
+        threads=st.integers(1, 4),
+    )
+    def test_superset_property_on_random_siblings(
+        self, wait_between, cycles, threads
+    ):
+        def writer(name):
+            def body():
+                yield Work(WorkRequest(cycles=cycles), writes=(name,))
+
+            return body
+
+        def main():
+            region = yield Alloc("shared", 1024)
+            yield Spawn(writer(region.name), loc=LOC)
+            if wait_between:
+                yield TaskWait()
+            yield Spawn(writer(region.name), loc=LOC)
+            yield TaskWait()
+
+        program = Program("siblings", main)
+        static = static_keys(program)
+        dynamic = dynamic_keys(program, threads=threads)
+        assert static >= dynamic
+        # And exactly: unordered siblings race, ordered ones don't.
+        expected = (
+            set()
+            if wait_between
+            else {("shared", "t:0/0", "t:0/1")}
+        )
+        assert static == expected
+
+
+class TestSubsumesDynamicPass:
+    def test_same_conflict_identity_both_layers(self):
+        program = resolve_small("racy")
+        static = static_keys(program)
+        dynamic = dynamic_keys(resolve_small("racy"))
+        assert static == dynamic == {("shared", "t:0/0", "t:0/1")}
+
+    def test_loop_chunks_still_logically_parallel(self):
+        # Same-loop chunks must stay pairwise parallel in the static
+        # graph exactly as in the dynamic one (per-iteration nodes).
+        model = expand_program(resolve_small("fig3b"))
+        from repro.core.reachability import (
+            Reachability,
+            logically_ordered,
+        )
+
+        chunks = [
+            n
+            for n in model.graph.grain_nodes()
+            if n.grain_id and n.grain_id.startswith("c:")
+        ]
+        assert len(chunks) == 20
+        reach = Reachability(
+            model.graph, {c.node_id for c in chunks[:2]}
+        )
+        assert not logically_ordered(reach, chunks[0], chunks[1])
