@@ -16,6 +16,7 @@ from ..metrics.summary import (
     format_definition_table,
     per_definition_summary,
 )
+from ..obs import registry as _obs
 from .problems import ProblemKind, ProblemReport, detect_problems
 from .thresholds import Thresholds
 
@@ -89,14 +90,16 @@ def analyze(
     metrics = MetricSet.compute(
         graph, reference=reference, interval=interval, optimistic=optimistic
     )
-    problems = detect_problems(metrics, thresholds)
-    definitions = per_definition_summary(
-        graph,
-        benefit_threshold=thresholds.parallel_benefit,
-        mhu_threshold=thresholds.memory_hierarchy_utilization,
-        deviation=metrics.deviation.deviation if metrics.deviation else None,
-        deviation_threshold=thresholds.work_deviation,
-    )
+    with _obs.span("analysis.problems"):
+        problems = detect_problems(metrics, thresholds)
+    with _obs.span("analysis.definitions"):
+        definitions = per_definition_summary(
+            graph,
+            benefit_threshold=thresholds.parallel_benefit,
+            mhu_threshold=thresholds.memory_hierarchy_utilization,
+            deviation=metrics.deviation.deviation if metrics.deviation else None,
+            deviation_threshold=thresholds.work_deviation,
+        )
     return AnalysisReport(
         metrics=metrics,
         problems=problems,

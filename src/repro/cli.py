@@ -30,10 +30,24 @@ Subcommands::
 
     grain-graphs study --matrix PROG[:FLAVOR[:THREADS]],... [--jobs N]
                  [--cache DIR] [--cache-stats] [--no-reference]
+                 [--obs-json FILE] [--obs-prom FILE]
         Run a whole study matrix through the repro.exec layer: shared
         single-core reference runs are deduplicated, cache misses fan
         out across a process pool, and warm-cache reruns touch the
         engine zero times.
+
+    grain-graphs bench [--quick] [--jobs N] [--out DIR|FILE]
+                 [--against PREV.json] [--threshold 0.25] [--matrix ...]
+                 [--prom FILE]
+        The perf-trajectory harness: run the pinned bench matrix against
+        a cold cache, write BENCH_<iso-date>.json (per-stage wall-clock,
+        engine events/sec, cache traffic, peak RSS), and optionally
+        compare --against a previous trajectory file, exiting non-zero
+        when a stage regressed past the threshold.
+
+Errors from user input (unknown program/flavor, malformed matrix specs)
+print one line to stderr and exit with status 2, matching argparse's own
+usage-error convention.
 """
 
 from __future__ import annotations
@@ -41,23 +55,35 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from typing import NoReturn
 
 from .analysis.views import VIEW_KINDS, make_view
 from .apps.registry import PROGRAMS, resolve
 from .core.reductions import reduce_graph
 from .lint import Severity, render_json, render_text, run_lint
 from .runtime.api import Program, run_program
-from .runtime.flavors import flavor_by_name
+from .runtime.flavors import RuntimeFlavor, flavor_by_name
 from .workflow import format_speedup_table, profile_program, speedup_table
+
+
+def _fail(message: str) -> NoReturn:
+    """Uniform user-input error: one line on stderr, exit status 2."""
+    print(f"grain-graphs: error: {message}", file=sys.stderr)
+    raise SystemExit(2)
 
 
 def _resolve(name: str) -> Program:
     try:
         return resolve(name)
     except KeyError:
-        raise SystemExit(
-            f"unknown program {name!r}; run `grain-graphs list`"
-        ) from None
+        _fail(f"unknown program {name!r}; run `grain-graphs list`")
+
+
+def _flavor(name: str) -> RuntimeFlavor:
+    try:
+        return flavor_by_name(name)
+    except ValueError as exc:
+        _fail(str(exc))
 
 
 def cmd_list(_args) -> int:
@@ -71,7 +97,7 @@ def cmd_analyze(args) -> int:
     program = _resolve(args.program)
     study = profile_program(
         program,
-        flavor=flavor_by_name(args.flavor),
+        flavor=_flavor(args.flavor),
         num_threads=args.threads,
         reference_threads=None if args.no_reference else 1,
     )
@@ -100,6 +126,12 @@ def cmd_analyze(args) -> int:
                 title=f"{program.name} — {args.view} view",
             )
             print(f"wrote {path}")
+    if args.timings:
+        from .obs import render_table, snapshot
+
+        print()
+        print("pipeline self-telemetry (repro.obs):")
+        print(render_table(snapshot(), counters=False))
     return 0
 
 
@@ -107,7 +139,7 @@ def cmd_lint(args) -> int:
     program = _resolve(args.program)
     result = run_program(
         program,
-        flavor=flavor_by_name(args.flavor),
+        flavor=_flavor(args.flavor),
         num_threads=args.threads,
     )
     report = run_lint(trace=result.trace, program=program.name)
@@ -129,7 +161,7 @@ def cmd_check(args) -> int:
     elif args.programs:
         names = args.programs
     else:
-        raise SystemExit("check: name programs or pass --all")
+        _fail("check: name programs or pass --all")
     threshold = Severity.from_label(args.fail_on)
     failed = False
     payloads = []
@@ -173,14 +205,16 @@ def cmd_study(args) -> int:
             if spec.strip()
         ]
     except ValueError as exc:
-        raise SystemExit(str(exc)) from None
+        _fail(str(exc))
     if not points:
-        raise SystemExit("empty study matrix")
+        _fail("empty study matrix")
     unknown = sorted({p.program for p in points} - PROGRAMS.keys())
     if unknown:
-        raise SystemExit(
+        _fail(
             f"unknown programs {', '.join(unknown)}; run `grain-graphs list`"
         )
+    for point in points:
+        _flavor(point.flavor)  # reject unknown flavors before any run
     cache = RunCache(args.cache) if args.cache else None
     runner = StudyRunner(
         cache=cache,
@@ -216,6 +250,89 @@ def cmd_study(args) -> int:
         else:
             print("cache: disabled (pass --cache DIR to persist artifacts)")
         print(f"wall-clock: {elapsed:.2f}s  jobs: {args.jobs}")
+    if args.obs_json or args.obs_prom:
+        from .obs import snapshot, to_prometheus
+
+        snap = snapshot()
+        if args.obs_json:
+            with open(args.obs_json, "w") as fh:
+                fh.write(snap.to_json() + "\n")
+            print(f"wrote {args.obs_json}")
+        if args.obs_prom:
+            with open(args.obs_prom, "w") as fh:
+                fh.write(to_prometheus(snap))
+            print(f"wrote {args.obs_prom}")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from pathlib import Path
+
+    from .exec import MatrixPoint
+    from .obs import bench as obs_bench
+
+    points = None
+    if args.matrix:
+        try:
+            points = [
+                MatrixPoint.parse(
+                    spec, default_flavor="MIR", default_threads=args.threads
+                )
+                for chunk in args.matrix
+                for spec in chunk.split(",")
+                if spec.strip()
+            ]
+        except ValueError as exc:
+            _fail(str(exc))
+        unknown = sorted({p.program for p in points} - PROGRAMS.keys())
+        if unknown:
+            _fail(
+                f"unknown programs {', '.join(unknown)}; "
+                "run `grain-graphs list`"
+            )
+        for point in points:
+            _flavor(point.flavor)
+
+    report = obs_bench.run_bench(
+        points=points, quick=args.quick, jobs=args.jobs
+    )
+
+    out = Path(args.out)
+    path = out / report.filename() if out.is_dir() else out
+    report.write(path)
+    print(f"wrote {path}")
+    if args.prom:
+        Path(args.prom).write_text(obs_bench.report_prometheus(report))
+        print(f"wrote {args.prom}")
+
+    totals = report.totals
+    print(
+        f"bench: {int(totals['points'])} points, "
+        f"{int(totals['simulations'])} simulations, "
+        f"{totals['wall_seconds']:.2f}s wall, "
+        f"{totals['events_per_second']:,.0f} events/s engine throughput, "
+        f"peak RSS {totals['peak_rss_kib'] / 1024:.0f} MiB"
+    )
+    from .obs import render_table
+    from .obs.bench import bench_snapshot
+
+    print()
+    print(render_table(bench_snapshot(report), counters=False))
+
+    if args.against:
+        try:
+            previous = obs_bench.BenchReport.load(args.against)
+        except (OSError, ValueError) as exc:
+            _fail(f"cannot load --against baseline: {exc}")
+        comparison = obs_bench.compare(
+            report, previous,
+            threshold=args.threshold, min_seconds=args.min_seconds,
+        )
+        print()
+        print(f"against {args.against}:")
+        print(comparison.summary())
+        if not comparison.ok:
+            return 1
     return 0
 
 
@@ -241,6 +358,9 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument("--svg", help="write a reduced-graph SVG")
     analyze.add_argument("--view", default="parallel_benefit",
                          choices=VIEW_KINDS)
+    analyze.add_argument("--timings", action="store_true",
+                         help="print per-stage pipeline wall-clock "
+                         "(repro.obs spans) after the report")
     analyze.set_defaults(fn=cmd_analyze)
 
     lint = sub.add_parser(
@@ -300,7 +420,46 @@ def main(argv: list[str] | None = None) -> int:
                        help="default flavor for points that omit one")
     study.add_argument("--threads", type=int, default=48,
                        help="default thread count for points that omit one")
+    study.add_argument("--obs-json", metavar="FILE",
+                       help="write the observability snapshot (spans + "
+                       "counters) as canonical JSON")
+    study.add_argument("--obs-prom", metavar="FILE",
+                       help="write the observability snapshot in "
+                       "Prometheus text exposition format")
     study.set_defaults(fn=cmd_study)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned perf-trajectory matrix and write BENCH_*.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="4-thread variant of the pinned matrix "
+                       "(same program x flavor coverage, for CI)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="process-pool width for the study runner")
+    bench.add_argument("--out", default=".", metavar="DIR|FILE",
+                       help="output directory (default .) or exact path "
+                       "for the BENCH_<date>.json trajectory file")
+    bench.add_argument("--against", metavar="PREV.json",
+                       help="compare against a previous trajectory file; "
+                       "exit 1 if any stage regressed past --threshold")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       help="per-stage wall-clock regression threshold "
+                       "as a fraction (default 0.25 = 25%%)")
+    bench.add_argument("--min-seconds", type=float, default=0.05,
+                       help="ignore stages where both sides spent less "
+                       "than this many seconds (jitter floor)")
+    bench.add_argument("--matrix", action="append", metavar="POINTS",
+                       help="override the pinned matrix "
+                       "(PROGRAM[:FLAVOR[:THREADS]], comma-separated, "
+                       "repeatable) — overridden runs are not comparable "
+                       "to pinned-matrix trajectory files")
+    bench.add_argument("--threads", type=int, default=8,
+                       help="default thread count for --matrix points")
+    bench.add_argument("--prom", metavar="FILE",
+                       help="also write the report's span/counter data "
+                       "in Prometheus text format")
+    bench.set_defaults(fn=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -15,9 +15,24 @@ configuration + profiler configuration + the :func:`code_fingerprint` of
 content addressing sound; the fingerprint component means editing the
 simulator invalidates everything it previously produced.
 
+Key format: ``runkey/v2``.  The machine and profiler components are
+*canonical*: defaults are resolved first (``machine_config=None`` means
+the paper testbed, ``profiler=None`` means ``ProfilerConfig()``) and the
+resolved dataclass is serialized as sorted-key JSON.  v1 keyed these as
+``repr(...)``-or-sentinel, so ``machine_config=None`` and the equivalent
+explicit ``MachineConfig.paper_testbed()`` digested differently and the
+same simulation was cached (and simulated) twice.  The schema tag inside
+the digest bumps every v1 digest, so caches written before the fix
+invalidate wholesale — cold-cache slowness once, never a stale hit.
+
 The cache never stores a :class:`~repro.runtime.api.Program` — bodies are
 closures.  Callers re-supply the program when reassembling a
 :class:`~repro.workflow.Study` from cached parts.
+
+Cache traffic is observable: every counted probe/store mirrors into the
+:mod:`repro.obs` counter registry (``cache.trace_hits``, ...) and file
+IO is timed under the ``cache.trace_read`` / ``cache.trace_write`` /
+``cache.report_read`` / ``cache.report_write`` spans.
 """
 
 from __future__ import annotations
@@ -29,15 +44,37 @@ import pickle
 import tempfile
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 from ..machine.machine import MachineConfig
+from ..obs import registry as _obs
 from ..profiler.recorder import ProfilerConfig
 from ..profiler.trace import Trace
 from ..runtime.api import Program
 from ..runtime.engine import RunResult, RunStats
 from ..runtime.flavors import RuntimeFlavor
 from .fingerprint import code_fingerprint
+
+#: Bumped whenever the key composition changes; participates in the
+#: digest, so a bump silently invalidates every artifact of older keys.
+KEY_SCHEMA = "runkey/v2"
+
+
+def canonical_machine(machine_config: MachineConfig | None) -> str:
+    """The machine component of a key: defaults resolved, then canonical
+    JSON — so ``None`` and an explicit paper testbed digest identically."""
+    resolved = (
+        machine_config if machine_config is not None
+        else MachineConfig.paper_testbed()
+    )
+    return json.dumps(asdict(resolved), sort_keys=True, separators=(",", ":"))
+
+
+def canonical_profiler(profiler: ProfilerConfig | None) -> str:
+    """The profiler component of a key, defaults resolved (``None`` is
+    the default :class:`ProfilerConfig`)."""
+    resolved = profiler if profiler is not None else ProfilerConfig()
+    return json.dumps(asdict(resolved), sort_keys=True, separators=(",", ":"))
 
 
 @dataclass(frozen=True)
@@ -62,21 +99,19 @@ class RunKey:
         profiler: ProfilerConfig | None = None,
         fingerprint: str | None = None,
     ) -> "RunKey":
-        machine = (
-            repr(machine_config) if machine_config is not None else "paper_testbed"
-        )
         return cls(
             program=program.name,
             input_summary=program.input_summary,
             flavor=flavor.name,
             threads=threads,
-            machine=machine,
-            profiler=repr(profiler) if profiler is not None else "",
+            machine=canonical_machine(machine_config),
+            profiler=canonical_profiler(profiler),
             fingerprint=fingerprint or code_fingerprint(),
         )
 
     def digest(self) -> str:
-        canonical = json.dumps(asdict(self), sort_keys=True)
+        payload: dict[str, Any] = {"schema": KEY_SCHEMA, **asdict(self)}
+        canonical = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(canonical.encode()).hexdigest()[:32]
 
 
@@ -90,7 +125,7 @@ class CacheStats:
     report_hits: int = 0
     report_misses: int = 0
     report_stores: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, int] = field(default_factory=dict)
 
     def format(self) -> str:
         return (
@@ -98,6 +133,19 @@ class CacheStats:
             f"{self.trace_stores} stores | reports: {self.report_hits} hits, "
             f"{self.report_misses} misses, {self.report_stores} stores"
         )
+
+    def absorb(self, other: "CacheStats | Mapping[str, Any]") -> None:
+        """Fold another instance's counts in — how the study runner
+        aggregates the per-worker caches of a process pool back into the
+        parent's, so ``--jobs N`` reports the same totals as serial."""
+        if isinstance(other, CacheStats):
+            other = asdict(other)
+        for name, value in other.items():
+            if name == "extra":
+                for key, delta in dict(value).items():
+                    self.extra[key] = self.extra.get(key, 0) + delta
+            else:
+                setattr(self, name, getattr(self, name) + int(value))
 
 
 @dataclass
@@ -170,57 +218,67 @@ class RunCache:
         run = self.load(key)
         if run is None:
             self.stats.trace_misses += 1
+            _obs.count("cache.trace_misses")
         else:
             self.stats.trace_hits += 1
+            _obs.count("cache.trace_hits")
         return run
 
     def load(self, key: RunKey) -> Optional[CachedRun]:
         """Uncounted load, for re-reading artifacts known to exist (e.g.
         after a pool worker stored them)."""
-        path = self._trace_path(key)
-        if not path.exists():
-            return None
-        trace = Trace.loads_jsonl(path.read_text())
-        stats = RunStats()
-        meta_path = self._meta_path(key)
-        if meta_path.exists():
-            sidecar = json.loads(meta_path.read_text())
-            recorded = sidecar.get("stats", {})
-            stats = RunStats(**{
-                f: recorded.get(f, 0) for f in RunStats().__dict__
-            })
-        return CachedRun(trace=trace, stats=stats)
+        with _obs.span("cache.trace_read"):
+            path = self._trace_path(key)
+            if not path.exists():
+                return None
+            trace = Trace.loads_jsonl(path.read_text())
+            stats = RunStats()
+            meta_path = self._meta_path(key)
+            if meta_path.exists():
+                sidecar = json.loads(meta_path.read_text())
+                recorded = sidecar.get("stats", {})
+                stats = RunStats(**{
+                    f: recorded.get(f, 0) for f in RunStats().__dict__
+                })
+            return CachedRun(trace=trace, stats=stats)
 
     def store(self, key: RunKey, result: RunResult) -> None:
-        _atomic_write(
-            self._trace_path(key), result.trace.dumps_jsonl().encode()
-        )
-        sidecar = {
-            "key": asdict(key),
-            "stats": asdict(result.stats),
-            "makespan_cycles": result.makespan_cycles,
-        }
-        _atomic_write(
-            self._meta_path(key),
-            (json.dumps(sidecar, indent=1) + "\n").encode(),
-        )
+        with _obs.span("cache.trace_write"):
+            _atomic_write(
+                self._trace_path(key), result.trace.dumps_jsonl().encode()
+            )
+            sidecar = {
+                "key": asdict(key),
+                "stats": asdict(result.stats),
+                "makespan_cycles": result.makespan_cycles,
+            }
+            _atomic_write(
+                self._meta_path(key),
+                (json.dumps(sidecar, indent=1) + "\n").encode(),
+            )
         self.stats.trace_stores += 1
+        _obs.count("cache.trace_stores")
 
     # ------------------------------------------------------------------
     # Analysis artifacts (graphs + metric reports)
     # ------------------------------------------------------------------
     def get_report(self, key: RunKey, params_digest: str) -> Any:
-        path = self._report_path(key, params_digest)
-        if not path.exists():
-            self.stats.report_misses += 1
-            return None
-        try:
-            artifact = pickle.loads(path.read_bytes())
-        except Exception:
-            # Treat a stale/corrupt pickle as a miss; the caller recomputes.
-            self.stats.report_misses += 1
-            return None
+        with _obs.span("cache.report_read"):
+            path = self._report_path(key, params_digest)
+            if not path.exists():
+                self.stats.report_misses += 1
+                _obs.count("cache.report_misses")
+                return None
+            try:
+                artifact = pickle.loads(path.read_bytes())
+            except Exception:
+                # Treat a stale/corrupt pickle as a miss; the caller
+                # recomputes.
+                self.stats.report_misses += 1
+                _obs.count("cache.report_misses")
+                return None
         self.stats.report_hits += 1
+        _obs.count("cache.report_hits")
         return artifact
 
     def put_report(self, key: RunKey, params_digest: str, artifact: Any) -> None:
@@ -231,5 +289,7 @@ class RunCache:
                 self.stats.extra.get("unpicklable_reports", 0) + 1
             )
             return
-        _atomic_write(self._report_path(key, params_digest), data)
+        with _obs.span("cache.report_write"):
+            _atomic_write(self._report_path(key, params_digest), data)
         self.stats.report_stores += 1
+        _obs.count("cache.report_stores")

@@ -21,22 +21,33 @@ Two layers:
     whose closure bodies cannot cross a process boundary — and write
     traces straight into the cache, which doubles as the transport
     channel back to the parent.
+
+Telemetry: matrix execution is timed under ``exec.run_matrix`` and each
+engine run under ``exec.simulate``; every pool worker snapshots its own
+:mod:`repro.obs` registry and per-call :class:`CacheStats`, which the
+parent absorbs — counters (and cache hit/miss/store totals) for a
+``--jobs N`` run therefore match the serial equivalent exactly.
 """
 
 from __future__ import annotations
 
 import hashlib
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from tempfile import TemporaryDirectory
-from typing import Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from ..machine import Machine, MachineConfig
+from ..obs import registry as _obs
+from ..obs.export import ObsSnapshot
 from ..profiler.recorder import ProfilerConfig
 from ..runtime.api import Program, run_program
 from ..runtime.engine import RunResult
 from ..runtime.flavors import MIR, RuntimeFlavor, flavor_by_name
 from .cache import CachedRun, RunCache, RunKey
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..workflow import Study
 
 
 def result_from_cached(
@@ -77,7 +88,7 @@ class TraceExecutor:
         self.machine_config = machine_config
         self.profiler = profiler
         self.simulated = 0
-        self._memo: dict[tuple, RunResult] = {}
+        self._memo: dict[tuple[str, str, str, int], RunResult] = {}
 
     def _machine(self) -> Machine:
         if self.machine_config is not None:
@@ -102,11 +113,13 @@ class TraceExecutor:
                 result = result_from_cached(cached, self.machine_config)
                 self._memo[memo_key] = result
                 return result
-        result = run_program(
-            program, flavor=flavor, num_threads=threads,
-            machine=self._machine(), profiler=self.profiler,
-        )
+        with _obs.span("exec.simulate"):
+            result = run_program(
+                program, flavor=flavor, num_threads=threads,
+                machine=self._machine(), profiler=self.profiler,
+            )
         self.simulated += 1
+        _obs.count("exec.simulated")
         if self.cache is not None and key is not None:
             self.cache.store(key, result)
         self._memo[memo_key] = result
@@ -146,7 +159,13 @@ class MatrixPoint:
         return cls(program=parts[0], flavor=flavor, threads=threads)
 
     @classmethod
-    def of(cls, program, flavor="MIR", threads=48, **kwargs) -> "MatrixPoint":
+    def of(
+        cls,
+        program: str,
+        flavor: str = "MIR",
+        threads: int = 48,
+        **kwargs: Any,
+    ) -> "MatrixPoint":
         return cls(
             program=program, flavor=flavor, threads=threads,
             kwargs=tuple(sorted(kwargs.items())),
@@ -168,30 +187,47 @@ class _SimSpec:
     threads: int
 
 
-def _pool_simulate(payload: tuple) -> str:
+_PoolPayload = tuple[
+    str,
+    tuple[tuple[str, Any], ...],
+    str,
+    int,
+    str,
+    str,
+    Optional[MachineConfig],
+    Optional[ProfilerConfig],
+]
+
+
+def _pool_simulate(payload: _PoolPayload) -> tuple[str, dict[str, Any], str]:
     """Pool worker: simulate one point and store its trace in the cache.
 
-    Runs in a separate process; returns the cache digest so the parent
-    can sanity-check the round trip.
+    Runs in a separate process; returns the cache digest (so the parent
+    can sanity-check the round trip) plus this call's cache-stats dict
+    and observability snapshot, which the parent absorbs — worker-side
+    counters are never lost to the process boundary.
     """
     (name, kwargs, flavor_name, threads, cache_root, fingerprint,
      machine_config, profiler) = payload
     from ..apps import registry
 
+    _obs.get_registry().reset()  # exact per-call snapshot (see return)
     cache = RunCache(cache_root, fingerprint=fingerprint)
     program = registry.resolve(name, **dict(kwargs))
     flavor = flavor_by_name(flavor_name)
     machine = Machine(machine_config) if machine_config else None
-    result = run_program(
-        program, flavor=flavor, num_threads=threads,
-        machine=machine, profiler=profiler,
-    )
+    with _obs.span("exec.simulate"):
+        result = run_program(
+            program, flavor=flavor, num_threads=threads,
+            machine=machine, profiler=profiler,
+        )
+    _obs.count("exec.simulated")
     key = cache.key_for(
         program, flavor, threads,
         machine_config=machine_config, profiler=profiler,
     )
     cache.store(key, result)
-    return key.digest()
+    return key.digest(), asdict(cache.stats), _obs.snapshot().to_json()
 
 
 @dataclass
@@ -219,20 +255,21 @@ class StudyRunner:
         ))
         return hashlib.sha256(canonical.encode()).hexdigest()[:12]
 
-    def run_matrix(self, points: Sequence["MatrixPoint | str"]) -> list:
+    def run_matrix(self, points: Sequence["MatrixPoint | str"]) -> "list[Study]":
         """Run every point; returns the matching list of ``Study`` objects."""
         from ..workflow import build_study
 
-        points = [
+        parsed = [
             MatrixPoint.parse(p) if isinstance(p, str) else p for p in points
         ]
         cache = self.cache
-        transport: TemporaryDirectory | None = None
+        transport: TemporaryDirectory[str] | None = None
         if cache is None and self.jobs > 1:
             transport = TemporaryDirectory(prefix="grain-exec-")
             cache = RunCache(transport.name)
         try:
-            return self._run_matrix(points, cache, build_study)
+            with _obs.span("exec.run_matrix"):
+                return self._run_matrix(parsed, cache, build_study)
         finally:
             if transport is not None:
                 transport.cleanup()
@@ -241,7 +278,12 @@ class StudyRunner:
     def _spec_for(self, point: MatrixPoint, threads: int) -> _SimSpec:
         return _SimSpec(point.program, point.kwargs, point.flavor, threads)
 
-    def _run_matrix(self, points, cache, build_study) -> list:
+    def _run_matrix(
+        self,
+        points: list[MatrixPoint],
+        cache: RunCache | None,
+        build_study: "Callable[..., Study]",
+    ) -> "list[Study]":
         # 1. Deduplicate the simulation set (matrix points + references).
         specs: dict[_SimSpec, Program] = {}
         for point in points:
@@ -272,8 +314,8 @@ class StudyRunner:
 
         # 3. Simulate the misses — across the pool or inline.
         self.simulated += len(missing)
-        if missing and self.jobs > 1:
-            payloads = [
+        if missing and self.jobs > 1 and cache is not None:
+            payloads: list[_PoolPayload] = [
                 (
                     spec.program, spec.kwargs, spec.flavor, spec.threads,
                     str(cache.root), cache.fingerprint,
@@ -282,10 +324,14 @@ class StudyRunner:
                 for spec in missing
             ]
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                for spec, digest in zip(
+                for spec, (digest, worker_stats, worker_snap) in zip(
                     missing, pool.map(_pool_simulate, payloads)
                 ):
                     assert digest == keys[spec].digest()
+                    cache.stats.absorb(worker_stats)
+                    _obs.get_registry().absorb(
+                        ObsSnapshot.from_json(worker_snap)
+                    )
                     cached = cache.load(keys[spec])
                     if cached is None:  # pragma: no cover - worker bug guard
                         raise RuntimeError(
@@ -296,28 +342,30 @@ class StudyRunner:
                     )
         else:
             for spec in missing:
-                result = run_program(
-                    specs[spec],
-                    flavor=flavor_by_name(spec.flavor),
-                    num_threads=spec.threads,
-                    machine=(
-                        Machine(self.machine_config)
-                        if self.machine_config else Machine.paper_testbed()
-                    ),
-                    profiler=self.profiler,
-                )
+                with _obs.span("exec.simulate"):
+                    result = run_program(
+                        specs[spec],
+                        flavor=flavor_by_name(spec.flavor),
+                        num_threads=spec.threads,
+                        machine=(
+                            Machine(self.machine_config)
+                            if self.machine_config else Machine.paper_testbed()
+                        ),
+                        profiler=self.profiler,
+                    )
+                _obs.count("exec.simulated")
                 if cache is not None:
                     cache.store(keys[spec], result)
                 results[spec] = result
 
         # 4. Reassemble Study objects (analysis cached separately).
-        studies = []
+        studies: "list[Study]" = []
         for point in points:
             main_spec = self._spec_for(point, point.threads)
             ref_spec = self._reference_spec(point)
             result = results[main_spec]
             reference = results[ref_spec] if ref_spec else None
-            study = None
+            study: "Study | None" = None
             params = self._params_digest(reference is not None)
             if cache is not None:
                 artifact = cache.get_report(keys[main_spec], params)
@@ -366,7 +414,7 @@ class StudyArtifact:
     lint_report: Any
 
     @classmethod
-    def of(cls, study) -> "StudyArtifact":
+    def of(cls, study: "Study") -> "StudyArtifact":
         return cls(
             graph=study.graph,
             report=study.report,
@@ -376,7 +424,12 @@ class StudyArtifact:
             lint_report=study.lint_report,
         )
 
-    def rebuild(self, program, result, reference):
+    def rebuild(
+        self,
+        program: Program,
+        result: RunResult,
+        reference: RunResult | None,
+    ) -> "Study":
         from ..workflow import Study
 
         return Study(

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..core.nodes import GrainGraph
+from ..obs import registry as _obs
 from .critical_path import CriticalPath, critical_path
 from .load_balance import LoadBalance, load_balance
 from .memory import MemoryReport, memory_report
@@ -61,15 +62,25 @@ class MetricSet:
         interval: int | IntervalPreset = IntervalPreset.MEDIAN_GRAIN_LENGTH,
         optimistic: bool = True,
     ) -> "MetricSet":
-        cp = critical_path(graph)
-        lb = load_balance(graph)
-        profile = instantaneous_parallelism(
-            graph, interval=interval, optimistic=optimistic
-        )
-        mem = memory_report(graph)
-        sc = scatter(graph)
-        benefit = parallel_benefit_all(graph)
-        deviation = work_deviation(graph, reference) if reference else None
+        with _obs.span("metrics.critical_path"):
+            cp = critical_path(graph)
+        with _obs.span("metrics.load_balance"):
+            lb = load_balance(graph)
+        with _obs.span("metrics.parallelism"):
+            profile = instantaneous_parallelism(
+                graph, interval=interval, optimistic=optimistic
+            )
+        with _obs.span("metrics.memory"):
+            mem = memory_report(graph)
+        with _obs.span("metrics.scatter"):
+            sc = scatter(graph)
+        with _obs.span("metrics.parallel_benefit"):
+            benefit = parallel_benefit_all(graph)
+        if reference:
+            with _obs.span("metrics.work_deviation"):
+                deviation = work_deviation(graph, reference)
+        else:
+            deviation = None
         cp_grains = cp.grain_ids(graph)
         per_grain = {}
         for gid, grain in graph.grains.items():

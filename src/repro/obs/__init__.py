@@ -1,0 +1,102 @@
+"""``repro.obs`` — pipeline self-telemetry (spans, counters, bench).
+
+The paper's pitch is making performance *visible*; this package turns
+that lens on the pipeline itself.  Public surface::
+
+    span("stage") / count(name, d) / observe(name, s)
+        Record into the process-wide default registry (cheap; no-ops
+        when disabled via set_enabled(False) or GRAIN_OBS=0).
+    snapshot() -> ObsSnapshot
+        Immutable copy of every span and counter so far.
+    ObsSnapshot.to_json() / from_json()        canonical JSON round-trip
+    to_prometheus(snap) / render_table(snap)   exposition formats
+    ObsRegistry                                an isolated registry
+    absorb(snap) / reset() / set_enabled(flag) / get_registry()
+
+    run_bench(...) -> BenchReport              the perf-trajectory harness
+    compare(current, previous, threshold)      --against regression check
+    default_matrix(quick=...)                  the pinned bench matrix
+
+Instrumented stages (see DESIGN.md for the full list): ``engine.run``,
+``exec.simulate``, ``exec.run_matrix``, ``cache.trace_read/write``,
+``cache.report_read/write``, ``graph.build``, ``graph.validate``,
+``lint.run``, ``static.check``, ``analysis.analyze``,
+``analysis.timeline``, and one ``metrics.<family>`` span per metric.
+Counters unify the engine's ``RunStats`` (``engine.*``), the cache's
+``CacheStats`` (``cache.*``), and the study runner's simulation count
+(``exec.simulated``) into one structured snapshot.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .export import (
+    SNAPSHOT_SCHEMA,
+    ObsSnapshot,
+    SpanRecord,
+    render_table,
+    to_prometheus,
+)
+from .registry import (
+    ObsRegistry,
+    SpanStats,
+    absorb,
+    count,
+    get_registry,
+    observe,
+    reset,
+    set_enabled,
+    snapshot,
+    span,
+)
+
+# The bench harness pulls in repro.exec (and through it the runtime),
+# while the runtime itself imports this package for its span/counter
+# hooks — so bench names are re-exported lazily (PEP 562) to keep the
+# core registry import-cycle-free and cheap to load.
+_BENCH_EXPORTS = {
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "BenchReport",
+    "StageDelta",
+    "compare",
+    "default_matrix",
+    "report_prometheus",
+    "run_bench",
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _BENCH_EXPORTS:
+        from . import bench
+
+        return getattr(bench, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "BenchReport",
+    "ObsRegistry",
+    "ObsSnapshot",
+    "SNAPSHOT_SCHEMA",
+    "SpanRecord",
+    "SpanStats",
+    "StageDelta",
+    "absorb",
+    "compare",
+    "count",
+    "default_matrix",
+    "get_registry",
+    "observe",
+    "render_table",
+    "report_prometheus",
+    "reset",
+    "run_bench",
+    "set_enabled",
+    "snapshot",
+    "span",
+    "to_prometheus",
+]

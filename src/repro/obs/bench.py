@@ -1,0 +1,368 @@
+"""The perf-trajectory harness behind ``grain-graphs bench``.
+
+A bench run executes a *pinned* program × flavor × threads matrix
+through :class:`repro.exec.StudyRunner` against a cold, throwaway
+cache, with the process-wide observability registry reset at the
+start — so per-stage wall-clock, engine throughput, cache traffic, and
+peak RSS all describe exactly this matrix and nothing else.
+
+The result is a :class:`BenchReport`, serialized as
+``BENCH_<iso-date>.json`` (schema ``grain-bench/v1``; documented in
+README.md).  Reports are the repo's perf trajectory: every future
+hot-path PR is judged by comparing its report ``--against`` the
+previous one.  :func:`compare` computes per-stage deltas and flags
+regressions past a wall-clock threshold; deterministic counters
+(engine events, tasks, cache ops) are reported as drift but never
+gate, since they legitimately change whenever simulator behavior does.
+
+Wall-clock thresholds are per *stage*, guarded by an absolute floor
+(``min_seconds``) so a 3 ms stage jittering to 5 ms cannot fail a run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Any, Mapping, Sequence
+
+from ..exec.cache import RunCache
+from ..exec.runner import MatrixPoint, StudyRunner
+from . import registry as obs
+from .export import ObsSnapshot, to_prometheus
+
+BENCH_SCHEMA = "grain-bench/v1"
+
+# The pinned default matrix: 8 programs x 2 flavors at 8 threads, with
+# inputs small enough that a full bench stays interactive (seconds, not
+# minutes) yet large enough that stage timings dominate span overhead.
+_PINNED = (
+    ("fib", {"n": 18, "cutoff": 9}),
+    ("nqueens", {"n": 7}),
+    ("uts", {"expected_nodes": 800}),
+    ("fig3a", {}),
+    ("fig3b", {}),
+    ("racy-fixed", {}),
+    ("sort", {"elements": 1 << 15}),
+    ("fft", {"samples": 1 << 10}),
+)
+_FLAVORS = ("MIR", "GCC")
+
+
+def default_matrix(quick: bool = False) -> list[MatrixPoint]:
+    """The pinned bench matrix (``quick`` halves thread count only —
+    coverage stays at the full program x flavor grid so every trajectory
+    file is comparable in shape)."""
+    threads = 4 if quick else 8
+    return [
+        MatrixPoint.of(name, flavor, threads, **kwargs)
+        for name, kwargs in _PINNED
+        for flavor in _FLAVORS
+    ]
+
+
+@dataclass
+class BenchReport:
+    """One point on the perf trajectory, as written to BENCH_*.json."""
+
+    created: str
+    quick: bool
+    jobs: int
+    matrix: list[dict[str, object]]
+    host: dict[str, object]
+    totals: dict[str, int | float]
+    stages: dict[str, dict[str, float]]
+    counters: dict[str, float]
+    schema: str = BENCH_SCHEMA
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": self.schema,
+            "created": self.created,
+            "quick": self.quick,
+            "jobs": self.jobs,
+            "matrix": self.matrix,
+            "host": self.host,
+            "totals": self.totals,
+            "stages": self.stages,
+            "counters": self.counters,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BenchReport":
+        schema = payload.get("schema")
+        if schema != BENCH_SCHEMA:
+            raise ValueError(
+                f"unsupported bench schema {schema!r}; expected {BENCH_SCHEMA!r}"
+            )
+        return cls(
+            created=str(payload.get("created", "")),
+            quick=bool(payload.get("quick", False)),
+            jobs=int(payload.get("jobs", 1)),
+            matrix=list(payload.get("matrix", ())),
+            host=dict(payload.get("host", {})),
+            totals=dict(payload.get("totals", {})),
+            stages=dict(payload.get("stages", {})),
+            counters=dict(payload.get("counters", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "BenchReport":
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict):
+            raise ValueError(f"{path}: bench report must be a JSON object")
+        return cls.from_dict(payload)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    def filename(self) -> str:
+        """Canonical trajectory filename: ``BENCH_<iso-date>.json``."""
+        date = self.created.split("T")[0] if self.created else "undated"
+        return f"BENCH_{date}.json"
+
+
+def _peak_rss_kib() -> float:
+    """Peak resident set of this process and its (pool) children, KiB."""
+    self_kib = float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    child_kib = float(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+    return max(self_kib, child_kib)
+
+
+def run_bench(
+    points: Sequence[MatrixPoint] | None = None,
+    quick: bool = False,
+    jobs: int = 1,
+    created: str | None = None,
+) -> BenchReport:
+    """Execute the bench matrix cold and assemble its trajectory report.
+
+    Resets the process-wide observability registry first, so the
+    snapshot embedded in the report covers exactly this run.
+    """
+    if points is None:
+        points = default_matrix(quick=quick)
+    if created is None:
+        created = time.strftime("%Y-%m-%dT%H:%M:%S")
+    obs.reset()
+    started = time.perf_counter()
+    with TemporaryDirectory(prefix="grain-bench-") as cold_root:
+        cache = RunCache(cold_root)
+        runner = StudyRunner(cache=cache, jobs=jobs)
+        studies = runner.run_matrix(list(points))
+        cache_stats = cache.stats
+        wall = time.perf_counter() - started
+
+    snap = obs.snapshot()
+    engine_events = float(snap.counters.get("engine.events_emitted", 0))
+    engine_seconds = (
+        snap.spans["engine.run"].total_seconds
+        if "engine.run" in snap.spans
+        else 0.0
+    )
+    probes = cache_stats.trace_hits + cache_stats.trace_misses
+    totals: dict[str, int | float] = {
+        "wall_seconds": wall,
+        "points": len(studies),
+        "simulations": runner.simulated,
+        "engine_seconds": engine_seconds,
+        "engine_events": engine_events,
+        "events_per_second": (
+            engine_events / engine_seconds if engine_seconds else 0.0
+        ),
+        "cache_trace_hits": cache_stats.trace_hits,
+        "cache_trace_misses": cache_stats.trace_misses,
+        "cache_trace_stores": cache_stats.trace_stores,
+        "cache_hit_ratio": (
+            cache_stats.trace_hits / probes if probes else 0.0
+        ),
+        "peak_rss_kib": _peak_rss_kib(),
+    }
+    stages = {
+        name: {
+            "count": float(record.count),
+            "total_seconds": record.total_seconds,
+            "mean_seconds": record.mean_seconds,
+            "max_seconds": record.max_seconds,
+            "share": record.total_seconds / wall if wall else 0.0,
+        }
+        for name, record in snap.spans.items()
+    }
+    counters = {name: float(v) for name, v in snap.counters.items()}
+    return BenchReport(
+        created=created,
+        quick=quick,
+        jobs=jobs,
+        matrix=[
+            {
+                "program": p.program,
+                "flavor": p.flavor,
+                "threads": p.threads,
+                "kwargs": dict(p.kwargs),
+            }
+            for p in points
+        ],
+        host={
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        totals=totals,
+        stages=stages,
+        counters=counters,
+    )
+
+
+def bench_snapshot(report: BenchReport) -> ObsSnapshot:
+    """Rebuild an :class:`ObsSnapshot` view of a report (for Prometheus
+    export of an already-written trajectory file)."""
+    from .export import SpanRecord
+
+    spans = {
+        name: SpanRecord(
+            name=name,
+            count=int(fields.get("count", 0)),
+            total_seconds=float(fields.get("total_seconds", 0.0)),
+            min_seconds=0.0,
+            max_seconds=float(fields.get("max_seconds", 0.0)),
+        )
+        for name, fields in report.stages.items()
+    }
+    return ObsSnapshot(spans=spans, counters=dict(report.counters))
+
+
+def report_prometheus(report: BenchReport) -> str:
+    return to_prometheus(bench_snapshot(report))
+
+
+# ---------------------------------------------------------------------------
+# Trajectory comparison (--against)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StageDelta:
+    stage: str
+    previous_seconds: float
+    current_seconds: float
+    regression: bool
+
+    @property
+    def ratio(self) -> float:
+        if self.previous_seconds == 0.0:
+            return 1.0 if self.current_seconds == 0.0 else float("inf")
+        return self.current_seconds / self.previous_seconds
+
+
+@dataclass
+class BenchComparison:
+    threshold: float
+    min_seconds: float
+    wall_delta: StageDelta
+    stages: list[StageDelta] = field(default_factory=list)
+    counter_drift: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list[StageDelta]:
+        flagged = [d for d in self.stages if d.regression]
+        if self.wall_delta.regression:
+            flagged.insert(0, self.wall_delta)
+        return flagged
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def summary(self) -> str:
+        lines = [
+            f"{'stage':32} {'prev(s)':>10} {'cur(s)':>10} {'ratio':>7}",
+        ]
+        lines.append("-" * len(lines[0]))
+        rows = [self.wall_delta] + sorted(
+            self.stages, key=lambda d: -d.current_seconds
+        )
+        for d in rows:
+            marker = "  << REGRESSION" if d.regression else ""
+            ratio = f"{d.ratio:7.2f}" if d.ratio != float("inf") else "    inf"
+            lines.append(
+                f"{d.stage[:32]:32} {d.previous_seconds:>10.4f} "
+                f"{d.current_seconds:>10.4f} {ratio}{marker}"
+            )
+        if self.counter_drift:
+            lines.append("")
+            lines.append("counter drift (informational, never gates):")
+            for name in sorted(self.counter_drift):
+                prev, cur = self.counter_drift[name]
+                lines.append(f"  {name}: {prev:g} -> {cur:g}")
+        verdict = (
+            "OK: no stage regressed past "
+            f"{100 * self.threshold:.0f}% (floor {self.min_seconds}s)"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} stage(s) regressed past "
+            f"{100 * self.threshold:.0f}%"
+        )
+        lines.append("")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def compare(
+    current: BenchReport,
+    previous: BenchReport,
+    threshold: float = 0.25,
+    min_seconds: float = 0.05,
+) -> BenchComparison:
+    """Per-stage wall-clock deltas; a stage regresses when it slows by
+    more than ``threshold`` (fraction) *and* either side spends at least
+    ``min_seconds`` — tiny stages are all jitter."""
+
+    def flag(prev: float, cur: float) -> bool:
+        if max(prev, cur) < min_seconds:
+            return False
+        if prev == 0.0:
+            return cur >= min_seconds
+        return (cur - prev) / prev > threshold
+
+    wall_prev = float(previous.totals.get("wall_seconds", 0.0))
+    wall_cur = float(current.totals.get("wall_seconds", 0.0))
+    wall = StageDelta(
+        stage="(total wall-clock)",
+        previous_seconds=wall_prev,
+        current_seconds=wall_cur,
+        regression=flag(wall_prev, wall_cur),
+    )
+    stages = []
+    for name in sorted(set(previous.stages) | set(current.stages)):
+        prev = float(previous.stages.get(name, {}).get("total_seconds", 0.0))
+        cur = float(current.stages.get(name, {}).get("total_seconds", 0.0))
+        stages.append(
+            StageDelta(
+                stage=name,
+                previous_seconds=prev,
+                current_seconds=cur,
+                regression=flag(prev, cur),
+            )
+        )
+    drift = {
+        name: (
+            float(previous.counters.get(name, 0.0)),
+            float(current.counters.get(name, 0.0)),
+        )
+        for name in sorted(set(previous.counters) | set(current.counters))
+        if previous.counters.get(name, 0.0) != current.counters.get(name, 0.0)
+    }
+    return BenchComparison(
+        threshold=threshold,
+        min_seconds=min_seconds,
+        wall_delta=wall,
+        stages=stages,
+        counter_drift=drift,
+    )

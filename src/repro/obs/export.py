@@ -1,0 +1,228 @@
+"""Structured exports of an observability snapshot.
+
+Two machine-readable formats plus a human table:
+
+**Canonical JSON** — :meth:`ObsSnapshot.to_json` emits a byte-stable
+encoding (sorted keys, fixed separators, schema tag) so snapshots can
+be diffed, committed, and golden-tested; :meth:`ObsSnapshot.from_json`
+round-trips it exactly.
+
+**Prometheus text exposition format** — :func:`to_prometheus` renders
+the snapshot as ``grain_stage_seconds_total{stage="..."}`` /
+``grain_counter_total{name="..."}`` families with HELP/TYPE headers,
+suitable for a node-exporter textfile collector or a scrape endpoint.
+
+**Table** — :func:`render_table` is what ``grain-graphs analyze
+--timings`` and ``grain-graphs bench`` print.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+SNAPSHOT_SCHEMA = "grain-obs/v1"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One stage's folded timings inside an immutable snapshot."""
+
+    name: str
+    count: int
+    total_seconds: float
+    min_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """A point-in-time copy of a registry's spans and counters."""
+
+    spans: Mapping[str, SpanRecord]
+    counters: Mapping[str, int | float]
+
+    # ------------------------------------------------------------------
+    # Canonical JSON
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "spans": {
+                name: {
+                    "count": record.count,
+                    "total_seconds": record.total_seconds,
+                    "min_seconds": record.min_seconds,
+                    "max_seconds": record.max_seconds,
+                }
+                for name, record in self.spans.items()
+            },
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable canonical encoding (sorted keys, no whitespace)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ObsSnapshot":
+        schema = payload.get("schema", SNAPSHOT_SCHEMA)
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported snapshot schema {schema!r}; "
+                f"expected {SNAPSHOT_SCHEMA!r}"
+            )
+        raw_spans = payload.get("spans", {})
+        raw_counters = payload.get("counters", {})
+        if not isinstance(raw_spans, Mapping) or not isinstance(
+            raw_counters, Mapping
+        ):
+            raise ValueError("snapshot spans/counters must be mappings")
+        spans = {
+            str(name): SpanRecord(
+                name=str(name),
+                count=int(fields["count"]),
+                total_seconds=float(fields["total_seconds"]),
+                min_seconds=float(fields["min_seconds"]),
+                max_seconds=float(fields["max_seconds"]),
+            )
+            for name, fields in raw_spans.items()
+        }
+        counters: dict[str, int | float] = {
+            str(name): value for name, value in raw_counters.items()
+        }
+        return cls(spans=spans, counters=counters)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ObsSnapshot":
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("snapshot JSON must be an object")
+        return cls.from_dict(payload)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition format
+# ---------------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: int | float) -> str:
+    if isinstance(value, int) or value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(snap: ObsSnapshot, prefix: str = "grain") -> str:
+    """Render the snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    spans = sorted(snap.spans)
+
+    def family(
+        name: str, help_text: str, kind: str, samples: list[tuple[str, str]]
+    ) -> None:
+        if not samples:
+            return
+        lines.append(f"# HELP {prefix}_{name} {help_text}")
+        lines.append(f"# TYPE {prefix}_{name} {kind}")
+        for labels, value in samples:
+            lines.append(f"{prefix}_{name}{{{labels}}} {value}")
+
+    family(
+        "stage_seconds_total",
+        "Cumulative wall-clock seconds spent in each pipeline stage.",
+        "counter",
+        [
+            (
+                f'stage="{_escape_label(s)}"',
+                _format_value(snap.spans[s].total_seconds),
+            )
+            for s in spans
+        ],
+    )
+    family(
+        "stage_invocations_total",
+        "Number of timed entries into each pipeline stage.",
+        "counter",
+        [
+            (f'stage="{_escape_label(s)}"', _format_value(snap.spans[s].count))
+            for s in spans
+        ],
+    )
+    family(
+        "stage_seconds_min",
+        "Shortest single observation of each pipeline stage.",
+        "gauge",
+        [
+            (
+                f'stage="{_escape_label(s)}"',
+                _format_value(snap.spans[s].min_seconds),
+            )
+            for s in spans
+        ],
+    )
+    family(
+        "stage_seconds_max",
+        "Longest single observation of each pipeline stage.",
+        "gauge",
+        [
+            (
+                f'stage="{_escape_label(s)}"',
+                _format_value(snap.spans[s].max_seconds),
+            )
+            for s in spans
+        ],
+    )
+    family(
+        "counter_total",
+        "Unified pipeline counters (engine RunStats, cache stats, ...).",
+        "counter",
+        [
+            (
+                f'name="{_escape_label(c)}"',
+                _format_value(snap.counters[c]),
+            )
+            for c in sorted(snap.counters)
+        ],
+    )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# Human-readable table
+# ---------------------------------------------------------------------------
+def render_table(snap: ObsSnapshot, counters: bool = True) -> str:
+    """Fixed-width stage/counter table, longest stages first."""
+    lines: list[str] = []
+    if snap.spans:
+        header = (
+            f"{'stage':32} {'count':>7} {'total(s)':>10} "
+            f"{'mean(ms)':>10} {'max(ms)':>10}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for record in sorted(
+            snap.spans.values(), key=lambda r: -r.total_seconds
+        ):
+            lines.append(
+                f"{record.name[:32]:32} {record.count:>7} "
+                f"{record.total_seconds:>10.4f} "
+                f"{1e3 * record.mean_seconds:>10.3f} "
+                f"{1e3 * record.max_seconds:>10.3f}"
+            )
+    if counters and snap.counters:
+        if lines:
+            lines.append("")
+        lines.append(f"{'counter':40} {'value':>14}")
+        lines.append("-" * 55)
+        for name in sorted(snap.counters):
+            lines.append(f"{name[:40]:40} {_format_value(snap.counters[name]):>14}")
+    return "\n".join(lines)

@@ -66,6 +66,7 @@ from .sched.base import PopKind
 from .task import ROOT_PATH, TaskInstance, TaskState
 
 from ..machine.counters import CounterSet
+from ..obs import registry as _obs
 
 
 _invocations = 0
@@ -202,6 +203,19 @@ class Engine:
     # Public entry point
     # ------------------------------------------------------------------
     def run(
+        self,
+        body_factory: Callable,
+        program_name: str = "",
+        input_summary: str = "",
+    ) -> RunResult:
+        with _obs.span("engine.run"):
+            result = self._run(body_factory, program_name, input_summary)
+        _obs.count("engine.invocations")
+        for stat_name, value in vars(result.stats).items():
+            _obs.count(f"engine.{stat_name}", value)
+        return result
+
+    def _run(
         self,
         body_factory: Callable,
         program_name: str = "",

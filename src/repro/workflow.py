@@ -33,6 +33,7 @@ from .core.validate import validate_graph
 from .lint import LintReport, run_lint
 from .machine import MachineConfig
 from .metrics.parallelism import IntervalPreset
+from .obs import registry as _obs
 from .profiler.recorder import ProfilerConfig
 from .runtime.api import Program
 from .runtime.engine import RunResult
@@ -125,37 +126,46 @@ def build_study(
     program-layer lint report; :meth:`Study.cross_validation` then
     compares the static work/span bracket against the measured run.
     """
-    graph = build_grain_graph(result.trace)
+    with _obs.span("graph.build"):
+        graph = build_grain_graph(result.trace)
     if validate:
-        validate_graph(graph)
+        with _obs.span("graph.validate"):
+            validate_graph(graph)
     lint_report = None
     if lint:
-        lint_report = run_lint(
-            trace=result.trace, graph=graph, program=program.name
-        )
+        with _obs.span("lint.run"):
+            lint_report = run_lint(
+                trace=result.trace, graph=graph, program=program.name
+            )
     static_model = None
     static_report = None
     if static_check:
         from .staticc import check_program
 
-        static_model, static_report = check_program(program)
-    reference_graph = (
-        build_grain_graph(reference.trace) if reference is not None else None
-    )
-    report = analyze(
-        graph,
-        reference=reference_graph,
-        thresholds=thresholds,
-        interval=interval,
-        optimistic=optimistic,
-    )
+        with _obs.span("static.check"):
+            static_model, static_report = check_program(program)
+    if reference is not None:
+        with _obs.span("graph.build"):
+            reference_graph = build_grain_graph(reference.trace)
+    else:
+        reference_graph = None
+    with _obs.span("analysis.analyze"):
+        report = analyze(
+            graph,
+            reference=reference_graph,
+            thresholds=thresholds,
+            interval=interval,
+            optimistic=optimistic,
+        )
+    with _obs.span("analysis.timeline"):
+        timeline = thread_timeline(result.trace)
     return Study(
         program=program,
         result=result,
         graph=graph,
         report=report,
         advice=advise(report),
-        timeline=thread_timeline(result.trace),
+        timeline=timeline,
         reference=reference,
         reference_graph=reference_graph,
         lint_report=lint_report,

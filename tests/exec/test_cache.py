@@ -75,6 +75,60 @@ def test_code_fingerprint_change_invalidates(tmp_path):
     assert (edited.stats.trace_hits, edited.stats.trace_misses) == (0, 1)
 
 
+def test_digest_identical_for_none_and_explicit_defaults(tmp_path):
+    """The spurious-miss bugfix: ``machine_config=None`` and an explicit
+    paper-testbed config are the same simulation and must share one
+    digest — and therefore one cache entry and one engine invocation."""
+    from repro.machine import MachineConfig
+    from repro.profiler.recorder import ProfilerConfig
+
+    program = resolve_small("fib")
+    implicit = RunKey.for_run(program, MIR, 8, fingerprint="f")
+    explicit = RunKey.for_run(
+        program, MIR, 8,
+        machine_config=MachineConfig.paper_testbed(),
+        profiler=ProfilerConfig(),
+        fingerprint="f",
+    )
+    assert implicit == explicit
+    assert implicit.digest() == explicit.digest()
+
+    # end to end: the explicit-defaults run is a warm hit, not a re-run
+    TraceExecutor(cache=RunCache(tmp_path)).run(program, MIR, 8)
+    cache = RunCache(tmp_path)
+    executor = TraceExecutor(
+        cache=cache,
+        machine_config=MachineConfig.paper_testbed(),
+        profiler=ProfilerConfig(),
+    )
+    before = engine_invocations()
+    executor.run(program, MIR, 8)
+    assert engine_invocations() == before
+    assert (cache.stats.trace_hits, cache.stats.trace_misses) == (1, 0)
+
+
+def test_digest_distinguishes_non_default_machine_and_profiler():
+    from repro.machine import MachineConfig
+    from repro.profiler.recorder import ProfilerConfig
+
+    program = resolve_small("fib")
+    base = RunKey.for_run(program, MIR, 8, fingerprint="f")
+    testbed = MachineConfig.paper_testbed()
+    other_machine = RunKey.for_run(
+        program, MIR, 8, fingerprint="f",
+        machine_config=MachineConfig(
+            topology=testbed.topology, cache=testbed.cache,
+            cost=testbed.cost, contention_alpha=0.5,
+        ),
+    )
+    other_profiler = RunKey.for_run(
+        program, MIR, 8, fingerprint="f",
+        profiler=ProfilerConfig(overhead_cycles_per_event=7),
+    )
+    assert other_machine.digest() != base.digest()
+    assert other_profiler.digest() != base.digest()
+
+
 def test_run_key_digest_covers_every_field():
     base = dict(
         program="p", input_summary="i", flavor="MIR", threads=8,
@@ -152,6 +206,25 @@ def test_jobs4_matrix_identical_to_jobs1(tmp_path):
     for a, b in zip(serial, parallel):
         assert a.result.trace.dumps_jsonl() == b.result.trace.dumps_jsonl()
         assert metric_digest(a) == metric_digest(b)
+
+
+def test_jobs4_cache_stats_aggregate_to_serial_totals(tmp_path):
+    """Worker-process cache counters must be absorbed by the parent:
+    a ``--jobs 4`` run reports the same hit/miss/store totals as
+    ``--jobs 1``, not just the ones the parent process happened to see."""
+    from dataclasses import asdict
+
+    serial_cache = RunCache(tmp_path / "serial")
+    serial_runner = StudyRunner(cache=serial_cache, jobs=1)
+    serial_runner.run_matrix(MATRIX)
+
+    pool_cache = RunCache(tmp_path / "pool")
+    StudyRunner(cache=pool_cache, jobs=4).run_matrix(MATRIX)
+
+    assert asdict(pool_cache.stats) == asdict(serial_cache.stats)
+    # every cold point (matrix + dedup'd references) missed then stored
+    assert pool_cache.stats.trace_misses == serial_runner.simulated
+    assert pool_cache.stats.trace_stores == pool_cache.stats.trace_misses
 
 
 def test_matrix_deduplicates_reference_runs(tmp_path):

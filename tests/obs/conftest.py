@@ -1,0 +1,16 @@
+"""Every obs test starts from — and leaves behind — a clean default
+registry, since instrumented call sites record into process-global
+state."""
+
+import pytest
+
+from repro.obs import registry as obs_registry
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs_registry.reset()
+    previous = obs_registry.set_enabled(True)
+    yield
+    obs_registry.set_enabled(previous)
+    obs_registry.reset()

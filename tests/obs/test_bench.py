@@ -1,0 +1,216 @@
+"""The bench harness: pinned matrix shape, report schema and round
+trip, regression comparison semantics, and the CLI exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exec import MatrixPoint
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchReport,
+    compare,
+    default_matrix,
+    report_prometheus,
+    run_bench,
+)
+
+TINY = [MatrixPoint.of("fig3a", "MIR", 2), MatrixPoint.of("fig3b", "GCC", 2)]
+
+
+class TestDefaultMatrix:
+    def test_pinned_coverage_is_at_least_6_programs_x_2_flavors(self):
+        matrix = default_matrix()
+        programs = {p.program for p in matrix}
+        flavors = {p.flavor for p in matrix}
+        assert len(programs) >= 6
+        assert flavors == {"MIR", "GCC"}
+        assert len(matrix) == len(programs) * len(flavors)
+
+    def test_quick_changes_threads_not_coverage(self):
+        full = default_matrix(quick=False)
+        quick = default_matrix(quick=True)
+        assert [(p.program, p.flavor) for p in full] == [
+            (p.program, p.flavor) for p in quick
+        ]
+        assert all(p.threads == 8 for p in full)
+        assert all(p.threads == 4 for p in quick)
+
+    def test_every_pinned_point_resolves(self):
+        for point in default_matrix(quick=True):
+            resolved = point.resolve()  # raises if a pin goes stale
+            assert resolved.name.replace("_", "-") == \
+                point.program.replace("_", "-")
+
+
+@pytest.fixture(scope="module")
+def tiny_report():
+    # One real bench run shared by the schema/round-trip/compare tests.
+    return run_bench(points=TINY, created="2026-08-05T12:00:00")
+
+
+class TestRunBench:
+    def test_totals_and_stages(self, tiny_report):
+        totals = tiny_report.totals
+        assert totals["points"] == 2
+        # each point also gets a deduplicated 1-thread reference run
+        assert totals["simulations"] == 4
+        assert totals["cache_trace_misses"] == 4
+        assert totals["cache_trace_stores"] == 4
+        assert totals["engine_events"] > 0
+        assert totals["events_per_second"] > 0
+        assert totals["peak_rss_kib"] > 0
+        for stage in ("engine.run", "graph.build", "exec.simulate",
+                      "analysis.analyze", "cache.trace_write"):
+            assert stage in tiny_report.stages, stage
+            assert tiny_report.stages[stage]["total_seconds"] > 0.0
+
+    def test_counters_unify_engine_and_cache(self, tiny_report):
+        assert tiny_report.counters["engine.invocations"] == 4
+        assert tiny_report.counters["cache.trace_misses"] == 4
+        assert tiny_report.counters["exec.simulated"] == 4
+
+    def test_matrix_and_host_recorded(self, tiny_report):
+        assert tiny_report.matrix[0] == {
+            "program": "fig3a", "flavor": "MIR", "threads": 2, "kwargs": {},
+        }
+        assert tiny_report.host["python"]
+
+    def test_write_load_round_trip(self, tiny_report, tmp_path):
+        path = tiny_report.write(tmp_path / tiny_report.filename())
+        assert path.name == "BENCH_2026-08-05.json"
+        again = BenchReport.load(path)
+        assert again.to_dict() == tiny_report.to_dict()
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "grain-bench/v999"}))
+        with pytest.raises(ValueError, match="unsupported bench schema"):
+            BenchReport.load(path)
+
+    def test_prometheus_export(self, tiny_report):
+        text = report_prometheus(tiny_report)
+        assert 'grain_stage_seconds_total{stage="engine.run"}' in text
+        assert 'grain_counter_total{name="engine.invocations"} 4' in text
+
+
+def scaled(report: BenchReport, factor: float) -> BenchReport:
+    """A copy of ``report`` with every stage wall-clock scaled."""
+    payload = json.loads(report.to_json())
+    for fields in payload["stages"].values():
+        fields["total_seconds"] *= factor
+    payload["totals"]["wall_seconds"] *= factor
+    return BenchReport.from_dict(payload)
+
+
+class TestCompare:
+    def test_identical_reports_pass(self, tiny_report):
+        comparison = compare(tiny_report, tiny_report)
+        assert comparison.ok
+        assert "OK" in comparison.summary()
+        assert not comparison.counter_drift
+
+    def test_injected_regression_fails(self, tiny_report):
+        # current is 10x slower than previous -> every real stage flags
+        comparison = compare(
+            tiny_report, scaled(tiny_report, 0.1), min_seconds=1e-6
+        )
+        assert not comparison.ok
+        assert comparison.regressions
+        assert "<< REGRESSION" in comparison.summary()
+        assert "FAIL" in comparison.summary()
+
+    def test_improvement_never_flags(self, tiny_report):
+        comparison = compare(
+            tiny_report, scaled(tiny_report, 10.0), min_seconds=1e-6
+        )
+        assert comparison.ok
+
+    def test_min_seconds_floor_suppresses_jitter(self, tiny_report):
+        # the same 10x regression is forgiven when both sides are under
+        # the floor — stage totals here are far below 100s
+        comparison = compare(
+            tiny_report, scaled(tiny_report, 0.1), min_seconds=100.0
+        )
+        assert comparison.ok
+
+    def test_counter_drift_reported_but_never_gates(self, tiny_report):
+        payload = json.loads(tiny_report.to_json())
+        payload["counters"]["engine.events_emitted"] += 999
+        drifted = BenchReport.from_dict(payload)
+        comparison = compare(drifted, tiny_report, min_seconds=100.0)
+        assert comparison.ok  # counters never gate
+        assert "engine.events_emitted" in comparison.counter_drift
+        assert "counter drift" in comparison.summary()
+
+    def test_new_stage_regresses_only_past_floor(self, tiny_report):
+        payload = json.loads(tiny_report.to_json())
+        payload["stages"]["brand.new"] = {
+            "count": 1.0, "total_seconds": 5.0, "mean_seconds": 5.0,
+            "max_seconds": 5.0, "share": 0.5,
+        }
+        grown = BenchReport.from_dict(payload)
+        flagged = compare(grown, tiny_report, min_seconds=0.05)
+        assert any(
+            d.stage == "brand.new" and d.regression for d in flagged.stages
+        )
+        assert not flagged.ok
+
+
+class TestBenchCli:
+    def test_writes_trajectory_file_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "BENCH.json"
+        assert main(
+            ["bench", "--matrix", "fig3a:MIR:2", "--out", str(out)]
+        ) == 0
+        report = BenchReport.load(out)
+        assert report.totals["points"] == 1
+        assert "events/s engine throughput" in capsys.readouterr().out
+
+    def test_out_directory_gets_canonical_filename(self, tmp_path):
+        assert main(
+            ["bench", "--matrix", "fig3a:MIR:2", "--out", str(tmp_path)]
+        ) == 0
+        files = list(tmp_path.glob("BENCH_*.json"))
+        assert len(files) == 1
+
+    def test_against_regression_exits_nonzero(self, tmp_path, capsys):
+        current = tmp_path / "cur.json"
+        assert main(
+            ["bench", "--matrix", "fig3a:MIR:2", "--out", str(current)]
+        ) == 0
+        # fabricate a 10x-faster previous trajectory
+        baseline = scaled(BenchReport.load(current), 0.1)
+        prev = tmp_path / "prev.json"
+        baseline.write(prev)
+        code = main(
+            ["bench", "--matrix", "fig3a:MIR:2", "--out",
+             str(tmp_path / "cur2.json"), "--against", str(prev),
+             "--min-seconds", "1e-9"]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_against_matching_baseline_exits_zero(self, tmp_path):
+        current = tmp_path / "cur.json"
+        assert main(
+            ["bench", "--matrix", "fig3a:MIR:2", "--out", str(current)]
+        ) == 0
+        # generous floor: reruns of a millisecond matrix are all jitter
+        assert main(
+            ["bench", "--matrix", "fig3a:MIR:2", "--out",
+             str(tmp_path / "cur2.json"), "--against", str(current)]
+        ) == 0
+
+    def test_against_unreadable_baseline_exits_two(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["bench", "--matrix", "fig3a:MIR:2", "--out",
+                 str(tmp_path / "c.json"), "--against",
+                 str(tmp_path / "missing.json")]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot load --against baseline" in capsys.readouterr().err

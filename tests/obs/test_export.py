@@ -1,0 +1,155 @@
+"""Snapshot exports: canonical-JSON round trip, Prometheus text format
+validity (golden), and the human table."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    ObsSnapshot,
+    SpanRecord,
+    render_table,
+    to_prometheus,
+)
+from repro.obs.registry import ObsRegistry
+
+
+def fixed_snapshot() -> ObsSnapshot:
+    """A hand-built snapshot with exact values for golden assertions."""
+    return ObsSnapshot(
+        spans={
+            "engine.run": SpanRecord(
+                name="engine.run", count=2, total_seconds=1.5,
+                min_seconds=0.5, max_seconds=1.0,
+            ),
+            "graph.build": SpanRecord(
+                name="graph.build", count=4, total_seconds=0.25,
+                min_seconds=0.05, max_seconds=0.1,
+            ),
+        },
+        counters={"engine.invocations": 2, "cache.trace_hits": 3},
+    )
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_exact(self):
+        snap = fixed_snapshot()
+        again = ObsSnapshot.from_json(snap.to_json())
+        assert again.to_json() == snap.to_json()
+        assert again.spans == snap.spans
+        assert again.counters == snap.counters
+
+    def test_json_is_canonical(self):
+        text = fixed_snapshot().to_json()
+        payload = json.loads(text)
+        assert payload["schema"] == SNAPSHOT_SCHEMA
+        # byte-stable: sorted keys, no whitespace
+        assert text == json.dumps(
+            payload, sort_keys=True, separators=(",", ":")
+        )
+
+    def test_live_registry_round_trips(self):
+        reg = ObsRegistry()
+        with reg.span("stage"):
+            pass
+        reg.count("n", 3)
+        snap = reg.snapshot()
+        assert ObsSnapshot.from_json(snap.to_json()).to_json() == snap.to_json()
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported snapshot schema"):
+            ObsSnapshot.from_dict({"schema": "grain-obs/v999"})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ValueError):
+            ObsSnapshot.from_json("[1, 2]")
+
+
+PROM_SAMPLE = re.compile(
+    r'^[a-z_]+\{[a-z]+="[^"]*"\} -?\d+(\.\d+)?(e-?\d+)?$'
+)
+
+
+class TestPrometheus:
+    def test_golden_output(self):
+        text = to_prometheus(fixed_snapshot())
+        assert text == (
+            "# HELP grain_stage_seconds_total Cumulative wall-clock seconds "
+            "spent in each pipeline stage.\n"
+            "# TYPE grain_stage_seconds_total counter\n"
+            'grain_stage_seconds_total{stage="engine.run"} 1.5\n'
+            'grain_stage_seconds_total{stage="graph.build"} 0.25\n'
+            "# HELP grain_stage_invocations_total Number of timed entries "
+            "into each pipeline stage.\n"
+            "# TYPE grain_stage_invocations_total counter\n"
+            'grain_stage_invocations_total{stage="engine.run"} 2\n'
+            'grain_stage_invocations_total{stage="graph.build"} 4\n'
+            "# HELP grain_stage_seconds_min Shortest single observation of "
+            "each pipeline stage.\n"
+            "# TYPE grain_stage_seconds_min gauge\n"
+            'grain_stage_seconds_min{stage="engine.run"} 0.5\n'
+            'grain_stage_seconds_min{stage="graph.build"} 0.05\n'
+            "# HELP grain_stage_seconds_max Longest single observation of "
+            "each pipeline stage.\n"
+            "# TYPE grain_stage_seconds_max gauge\n"
+            'grain_stage_seconds_max{stage="engine.run"} 1\n'
+            'grain_stage_seconds_max{stage="graph.build"} 0.1\n'
+            "# HELP grain_counter_total Unified pipeline counters (engine "
+            "RunStats, cache stats, ...).\n"
+            "# TYPE grain_counter_total counter\n"
+            'grain_counter_total{name="cache.trace_hits"} 3\n'
+            'grain_counter_total{name="engine.invocations"} 2\n'
+        )
+
+    def test_every_sample_line_is_well_formed(self):
+        text = to_prometheus(fixed_snapshot())
+        families = set()
+        for line in text.strip().splitlines():
+            if line.startswith("# HELP "):
+                families.add(line.split()[2])
+            elif line.startswith("# TYPE "):
+                assert line.split()[2] in families, "TYPE must follow HELP"
+                assert line.split()[3] in ("counter", "gauge")
+            else:
+                assert PROM_SAMPLE.match(line), line
+                assert line.split("{")[0] in families
+
+    def test_label_escaping(self):
+        snap = ObsSnapshot(
+            spans={},
+            counters={'weird"name\\with\nnewline': 1},
+        )
+        text = to_prometheus(snap)
+        assert 'name="weird\\"name\\\\with\\nnewline"' in text
+
+    def test_integral_floats_render_as_ints(self):
+        snap = ObsSnapshot(spans={}, counters={"n": 3.0})
+        assert 'grain_counter_total{name="n"} 3\n' in to_prometheus(snap)
+
+    def test_empty_snapshot_renders_empty(self):
+        assert to_prometheus(ObsSnapshot(spans={}, counters={})) == ""
+
+    def test_custom_prefix(self):
+        text = to_prometheus(fixed_snapshot(), prefix="bench")
+        assert "bench_stage_seconds_total" in text
+        assert "grain_" not in text
+
+
+class TestRenderTable:
+    def test_longest_stage_first_and_counters_listed(self):
+        text = render_table(fixed_snapshot())
+        lines = text.splitlines()
+        assert lines[0].startswith("stage")
+        assert lines[2].startswith("engine.run")  # 1.5s before 0.25s
+        assert lines[3].startswith("graph.build")
+        assert any(line.startswith("engine.invocations") for line in lines)
+
+    def test_counters_can_be_suppressed(self):
+        text = render_table(fixed_snapshot(), counters=False)
+        assert "engine.invocations" not in text
+        assert "engine.run" in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_table(ObsSnapshot(spans={}, counters={})) == ""

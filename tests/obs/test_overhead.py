@@ -1,0 +1,47 @@
+"""Instrumentation cost: an enabled registry must stay within 5% of
+the disabled pipeline's wall-clock.
+
+Spans wrap whole pipeline stages (an engine run, a metric family), so
+per-entry cost — two ``perf_counter`` calls and a dict update — is
+amortized over milliseconds of real work.  The two modes are measured
+*interleaved* (disabled, enabled, disabled, enabled, ...) and compared
+best-of-rounds, so machine-load noise lands on both sides equally; the
+test exits early the moment the 5% bound is met.
+"""
+
+import time
+
+from repro.apps.registry import resolve_small
+from repro.obs import registry as obs
+from repro.workflow import profile_program
+
+ROUNDS = 8
+BOUND = 1.05
+
+
+def one_run(enabled: bool) -> float:
+    """Wall-clock of one full profile_program pipeline."""
+    previous = obs.set_enabled(enabled)
+    try:
+        obs.reset()
+        started = time.perf_counter()
+        profile_program(resolve_small("fib"), num_threads=4, lint=True)
+        return time.perf_counter() - started
+    finally:
+        obs.set_enabled(previous)
+
+
+def test_enabled_within_5_percent_of_disabled():
+    one_run(True)  # warm-up: imports, allocator, caches
+    best_disabled = float("inf")
+    best_enabled = float("inf")
+    for _ in range(ROUNDS):
+        best_disabled = min(best_disabled, one_run(enabled=False))
+        best_enabled = min(best_enabled, one_run(enabled=True))
+        if best_enabled <= best_disabled * BOUND:
+            return
+    raise AssertionError(
+        f"instrumented pipeline {best_enabled:.4f}s exceeds 5% bound over "
+        f"uninstrumented {best_disabled:.4f}s "
+        f"(ratio {best_enabled / best_disabled:.3f})"
+    )

@@ -1,0 +1,80 @@
+"""End-to-end instrumentation coverage: one fully-loaded pipeline run
+must hit every advertised stage, and counters must mirror engine
+RunStats and cache traffic exactly."""
+
+from dataclasses import asdict
+
+from repro.apps.registry import resolve_small
+from repro.exec import RunCache, TraceExecutor
+from repro.obs import registry as obs
+from repro.runtime.flavors import MIR
+from repro.workflow import profile_program
+
+# Every stage a lint+static profile_program run must time.
+PIPELINE_STAGES = {
+    "engine.run",
+    "exec.simulate",
+    "graph.build",
+    "graph.validate",
+    "lint.run",
+    "static.check",
+    "analysis.analyze",
+    "analysis.problems",
+    "analysis.definitions",
+    "analysis.timeline",
+    "metrics.critical_path",
+    "metrics.load_balance",
+    "metrics.parallelism",
+    "metrics.memory",
+    "metrics.scatter",
+    "metrics.parallel_benefit",
+    "metrics.work_deviation",
+}
+
+
+def test_full_pipeline_times_every_stage():
+    study = profile_program(
+        resolve_small("fig3a"), MIR, 4, lint=True, static_check=True
+    )
+    snap = obs.snapshot()
+    missing = PIPELINE_STAGES - set(snap.spans)
+    assert not missing, f"untimed stages: {sorted(missing)}"
+    # main run + 1-core reference
+    assert snap.spans["engine.run"].count == 2
+    assert snap.spans["graph.build"].count == 2
+    assert snap.spans["lint.run"].count == 1
+    assert study.lint_report is not None
+
+
+def test_engine_counters_mirror_run_stats():
+    program = resolve_small("fig3a")
+    executor = TraceExecutor()
+    result = executor.run(program, MIR, 4)
+    snap = obs.snapshot()
+    assert snap.counters["engine.invocations"] == 1
+    for stat_name, value in asdict(result.stats).items():
+        assert snap.counters[f"engine.{stat_name}"] == value, stat_name
+
+
+def test_cache_counters_mirror_cache_stats(tmp_path):
+    program = resolve_small("fig3a")
+    cache = RunCache(tmp_path)
+    TraceExecutor(cache=cache).run(program, MIR, 4)   # cold: miss + store
+    TraceExecutor(cache=RunCache(tmp_path)).run(program, MIR, 4)  # warm: hit
+    snap = obs.snapshot()
+    assert snap.counters["cache.trace_misses"] == 1
+    assert snap.counters["cache.trace_stores"] == 1
+    assert snap.counters["cache.trace_hits"] == 1
+    assert snap.spans["cache.trace_write"].count == 1
+    # the read span times every load attempt: the cold probe + the hit
+    assert snap.spans["cache.trace_read"].count == 2
+    # the warm run never touched the engine
+    assert snap.counters["engine.invocations"] == 1
+
+
+def test_disabled_registry_leaves_pipeline_dark():
+    obs.set_enabled(False)
+    profile_program(resolve_small("fig3a"), MIR, 4)
+    snap = obs.snapshot()
+    assert not snap.spans
+    assert not snap.counters

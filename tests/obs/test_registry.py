@@ -1,0 +1,178 @@
+"""Registry mechanics: spans fold, counters add, disabled is a no-op,
+absorb makes pool aggregation exact."""
+
+import math
+import threading
+
+from repro.obs.registry import ObsRegistry, SpanStats
+
+
+class TestSpanStats:
+    def test_add_folds_count_total_min_max(self):
+        stats = SpanStats("s")
+        stats.add(0.2)
+        stats.add(0.1)
+        stats.add(0.3)
+        assert stats.count == 3
+        assert stats.total_seconds == 0.2 + 0.1 + 0.3
+        assert stats.min_seconds == 0.1
+        assert stats.max_seconds == 0.3
+        assert stats.mean_seconds == stats.total_seconds / 3
+
+    def test_empty_mean_is_zero(self):
+        assert SpanStats("s").mean_seconds == 0.0
+
+    def test_fold_merges_two_stages(self):
+        a = SpanStats("s", count=2, total_seconds=1.0,
+                      min_seconds=0.4, max_seconds=0.6)
+        b = SpanStats("s", count=3, total_seconds=0.3,
+                      min_seconds=0.05, max_seconds=0.15)
+        a.fold(b)
+        assert a.count == 5
+        assert a.total_seconds == 1.3
+        assert a.min_seconds == 0.05
+        assert a.max_seconds == 0.6
+
+
+class TestObsRegistry:
+    def test_span_times_the_block(self):
+        reg = ObsRegistry()
+        with reg.span("stage"):
+            pass
+        snap = reg.snapshot()
+        assert snap.spans["stage"].count == 1
+        assert snap.spans["stage"].total_seconds >= 0.0
+        assert snap.spans["stage"].min_seconds <= snap.spans["stage"].max_seconds
+
+    def test_span_records_even_when_block_raises(self):
+        reg = ObsRegistry()
+        try:
+            with reg.span("stage"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert reg.snapshot().spans["stage"].count == 1
+
+    def test_observe_and_count(self):
+        reg = ObsRegistry()
+        reg.observe("stage", 0.25)
+        reg.observe("stage", 0.75)
+        reg.count("n")
+        reg.count("n", 4)
+        snap = reg.snapshot()
+        assert snap.spans["stage"].total_seconds == 1.0
+        assert snap.counters["n"] == 5
+
+    def test_disabled_registry_records_nothing(self):
+        reg = ObsRegistry(enabled=False)
+        with reg.span("stage"):
+            pass
+        reg.observe("stage", 1.0)
+        reg.count("n")
+        snap = reg.snapshot()
+        assert not snap.spans
+        assert not snap.counters
+
+    def test_snapshot_is_detached_from_later_mutation(self):
+        reg = ObsRegistry()
+        reg.observe("stage", 1.0)
+        snap = reg.snapshot()
+        reg.observe("stage", 1.0)
+        reg.count("n")
+        assert snap.spans["stage"].count == 1
+        assert "n" not in snap.counters
+
+    def test_reset_clears_but_keeps_enabled_flag(self):
+        reg = ObsRegistry(enabled=False)
+        reg.absorb(ObsRegistry().snapshot())
+        reg.reset()
+        assert not reg.enabled
+        reg.enabled = True
+        reg.count("n")
+        assert reg.snapshot().counters == {"n": 1}
+
+    def test_absorb_merges_worker_snapshot(self):
+        worker = ObsRegistry()
+        worker.observe("stage", 0.1)
+        worker.observe("stage", 0.5)
+        worker.count("n", 7)
+
+        parent = ObsRegistry()
+        parent.observe("stage", 0.3)
+        parent.count("n", 1)
+        parent.absorb(worker.snapshot())
+
+        snap = parent.snapshot()
+        assert snap.spans["stage"].count == 3
+        assert math.isclose(snap.spans["stage"].total_seconds, 0.9)
+        assert snap.spans["stage"].min_seconds == 0.1
+        assert snap.spans["stage"].max_seconds == 0.5
+        assert snap.counters["n"] == 8
+
+    def test_absorb_works_even_when_disabled(self):
+        # Aggregating a worker's measurements is bookkeeping, not a new
+        # measurement — it must survive a disabled parent.
+        worker = ObsRegistry()
+        worker.count("n", 3)
+        parent = ObsRegistry(enabled=False)
+        parent.absorb(worker.snapshot())
+        assert parent.snapshot().counters["n"] == 3
+
+    def test_absorb_empty_span_does_not_poison_min(self):
+        worker = ObsRegistry()
+        snap = worker.snapshot()  # no spans at all
+        parent = ObsRegistry()
+        parent.observe("stage", 0.2)
+        parent.absorb(snap)
+        assert parent.snapshot().spans["stage"].min_seconds == 0.2
+
+    def test_concurrent_counts_are_not_lost(self):
+        reg = ObsRegistry()
+
+        def hammer():
+            for _ in range(1000):
+                reg.count("n")
+                reg.observe("stage", 0.001)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap.counters["n"] == 4000
+        assert snap.spans["stage"].count == 4000
+
+
+class TestDefaultRegistry:
+    def test_module_level_helpers_hit_the_default_registry(self):
+        from repro.obs import registry as obs
+
+        with obs.span("stage"):
+            pass
+        obs.count("n", 2)
+        snap = obs.snapshot()
+        assert snap.spans["stage"].count == 1
+        assert snap.counters["n"] == 2
+        obs.reset()
+        assert not obs.snapshot().spans
+
+    def test_set_enabled_returns_previous(self):
+        from repro.obs import registry as obs
+
+        previous = obs.set_enabled(False)
+        try:
+            assert obs.set_enabled(True) is False
+        finally:
+            obs.set_enabled(previous)
+
+    def test_env_gate(self, monkeypatch):
+        from repro.obs.registry import _initially_enabled
+
+        for off in ("0", "off", "false"):
+            monkeypatch.setenv("GRAIN_OBS", off)
+            assert _initially_enabled() is False
+        monkeypatch.setenv("GRAIN_OBS", "1")
+        assert _initially_enabled() is True
+        monkeypatch.delenv("GRAIN_OBS")
+        assert _initially_enabled() is True

@@ -1,0 +1,83 @@
+"""User-input errors must exit 2 with one friendly line on stderr —
+never a raw traceback (the `--flavor NOPE` bugfix)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def expect_exit_2(argv, capsys, fragment):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("grain-graphs: error:"), err
+    assert fragment in err
+    assert "Traceback" not in err
+    return err
+
+
+class TestUnknownFlavor:
+    def test_analyze(self, capsys):
+        err = expect_exit_2(
+            ["analyze", "fib", "--flavor", "NOPE"], capsys, "NOPE"
+        )
+        assert err.count("\n") == 1  # exactly one line
+        assert "MIR" in err  # lists the valid choices
+
+    def test_lint(self, capsys):
+        expect_exit_2(["lint", "fib", "--flavor", "NOPE"], capsys, "NOPE")
+
+    def test_study_matrix_point(self, capsys):
+        expect_exit_2(
+            ["study", "--matrix", "fib:NOPE:4"], capsys, "NOPE"
+        )
+
+    def test_bench_matrix_point(self, capsys):
+        expect_exit_2(
+            ["bench", "--matrix", "fig3a:NOPE:2"], capsys, "NOPE"
+        )
+
+    def test_flavor_error_precedes_any_simulation(self, capsys):
+        from repro.runtime.engine import engine_invocations
+
+        before = engine_invocations()
+        expect_exit_2(
+            ["study", "--matrix", "fig3a:MIR:2,fig3a:NOPE:2"], capsys, "NOPE"
+        )
+        assert engine_invocations() == before
+
+
+class TestUnknownProgram:
+    def test_analyze(self, capsys):
+        expect_exit_2(["analyze", "nosuch"], capsys, "nosuch")
+
+    def test_lint(self, capsys):
+        expect_exit_2(["lint", "nosuch"], capsys, "nosuch")
+
+    def test_check(self, capsys):
+        expect_exit_2(["check", "nosuch"], capsys, "nosuch")
+
+    def test_speedups(self, capsys):
+        expect_exit_2(["speedups", "nosuch"], capsys, "nosuch")
+
+    def test_study(self, capsys):
+        expect_exit_2(
+            ["study", "--matrix", "nosuch:MIR:2"], capsys, "nosuch"
+        )
+
+    def test_bench(self, capsys):
+        expect_exit_2(
+            ["bench", "--matrix", "nosuch:MIR:2"], capsys, "nosuch"
+        )
+
+
+class TestMalformedStudyInput:
+    def test_bad_matrix_spec(self, capsys):
+        expect_exit_2(["study", "--matrix", "a:b:c:d"], capsys, "a:b:c:d")
+
+    def test_empty_matrix(self, capsys):
+        expect_exit_2(["study", "--matrix", ","], capsys, "empty")
+
+    def test_check_without_programs(self, capsys):
+        expect_exit_2(["check"], capsys, "--all")
