@@ -1,0 +1,59 @@
+"""Parallelization advisor: pattern detectors + causal what-if engine.
+
+The advisor is the optimization-recommendation layer on top of
+``repro.staticc``'s series-parallel model (ROADMAP item 3).  It has two
+halves:
+
+- :mod:`.patterns` — the ``pattern.*`` lint-pass family (PROGRAM_LAYER)
+  detecting reduction, do-all, pipeline, task-parallelism, and
+  geometric-decomposition opportunities from the static model's task
+  and loop structure, per-grain memory footprints, and the shared
+  conflict scanner of ``static.race``;
+- :mod:`.whatif` — the causal projection engine: "target R runs k×
+  faster" re-derives span, work, and the speedup bracket straight from
+  the work-span bounds, zero engine invocations.
+
+:func:`advise_program` ties both together into a ranked
+:class:`AdvisorReport`.  Importing this package registers the
+``pattern.*`` lint passes (the :mod:`.patterns` import carries the
+side effect, mirroring ``repro.staticc.passes``); ``repro.lint``
+imports it last for the same cycle-safety reasons.
+"""
+
+from .patterns import (
+    DETECTORS,
+    PATTERN_RULES,
+    PatternFinding,
+    PatternKind,
+    detect_patterns,
+    finding_diagnostic,
+)
+from .report import AdvisorReport, Recommendation, advise_program
+from .whatif import (
+    AdvisorError,
+    Projection,
+    WhatIfScenario,
+    known_targets,
+    parse_what_if,
+    project,
+    resolve_target,
+)
+
+__all__ = [
+    "AdvisorError",
+    "AdvisorReport",
+    "DETECTORS",
+    "PATTERN_RULES",
+    "PatternFinding",
+    "PatternKind",
+    "Projection",
+    "Recommendation",
+    "WhatIfScenario",
+    "advise_program",
+    "detect_patterns",
+    "finding_diagnostic",
+    "known_targets",
+    "parse_what_if",
+    "project",
+    "resolve_target",
+]

@@ -1,0 +1,905 @@
+"""Parallel-pattern detectors over the static model (DiscoPoP-style).
+
+Each detector examines the :class:`~repro.staticc.model.StaticModel` —
+the symbolic series-parallel expansion of a program, with per-grain
+memory footprints — and emits structured :class:`PatternFinding`
+records naming the source region, the blocking dependence (if any), and
+the pattern's projected benefit.  The same detectors back the
+``pattern.*`` lint-pass family (PROGRAM_LAYER, severity INFO across the
+board so ``grain-graphs check`` exit codes are unchanged) and the
+ranked recommendations of :func:`repro.advisor.advise_program`.
+
+The taxonomy follows the classic parallel-pattern catalogs that
+DiscoPoP's explorer detects from dependence graphs:
+
+- ``pattern.reduction`` — logically-parallel grains whose only conflict
+  is a write/write accumulation into one region with identical ranges:
+  privatize per-participant copies and combine at the join.  The
+  alternative correctness fix — ordering the writers — would *add* the
+  serialized sum to the span; the reported win is what reduction keeps.
+- ``pattern.do-all`` — per-loop cross-iteration conflict scan: a clean
+  scan certifies the loop as a do-all over every schedule; a dirty scan
+  names the blocking dependence.  Loops whose ``num_threads`` cap binds
+  get a quantified raise-the-cap benefit.
+- ``pattern.pipeline`` — consecutive serialized top-level stages linked
+  by read-after-write dependences: the dependence blocks task
+  parallelism, but streaming blocks through the stages approaches the
+  heaviest stage asymptotically.
+- ``pattern.task-parallelism`` — consecutive serialized top-level
+  stages with *disjoint* footprints: nothing but program order
+  serializes them, so running them concurrently turns the chain's sum
+  into its max.
+- ``pattern.geometric`` — loops whose iterations each write a disjoint
+  block of one region (a geometric decomposition): distributing blocks
+  across NUMA nodes converts worst-case remote lines into local ones,
+  shrinking the pessimistic work bound.
+
+Every detector runs under an ``advisor.pattern.<kind>`` obs span so the
+bench harness can track the advisor's cost stage by stage.  All
+thresholds and tie-breaks are deterministic: two runs over one model
+produce byte-identical findings.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..core.nodes import GGNode, GrainGraph, NodeKind
+from ..lint.diagnostics import Diagnostic, Severity
+from ..lint.framework import PROGRAM_LAYER, register
+from ..lint.races import scan_conflicts
+from ..machine.caches import LINE_SIZE
+from ..machine.machine import MachineConfig
+from ..obs import registry as _obs
+from ..staticc.bounds import worst_line_latency
+from ..staticc.model import StaticLoop, StaticModel, StaticTask
+
+# Reference team for benefit projection when a loop does not pin one:
+# the paper testbed's core count (matches repro.staticc.passes).
+DEFAULT_TEAM = 48
+
+# A serialized stage lighter than the dearest task-creation cost (GCC:
+# 1400 cycles) is not worth restructuring; matches FINE_GRAIN_CYCLES in
+# repro.staticc.passes.
+MIN_STAGE_CYCLES = 1400
+
+
+class PatternKind(enum.Enum):
+    """The detected parallelization-pattern taxonomy."""
+
+    REDUCTION = "reduction"
+    DO_ALL = "do-all"
+    PIPELINE = "pipeline"
+    TASK_PARALLELISM = "task-parallelism"
+    GEOMETRIC = "geometric"
+
+    @property
+    def rule_id(self) -> str:
+        return f"pattern.{self.value}"
+
+
+@dataclass(frozen=True)
+class PatternFinding:
+    """One detected pattern opportunity, structured for ranking.
+
+    ``affected_nodes`` are the static-graph nodes a what-if scenario
+    scales when ``speedup_factor > 1`` (the causal projection of
+    applying the pattern); ``win_cycles`` is the pattern-specific
+    projected wall-clock win used for ranking, computed from the
+    work-span math documented per detector.  ``blocking`` is empty when
+    nothing blocks the pattern.
+    """
+
+    pattern: PatternKind
+    target: str
+    loc: str = ""
+    anchor_node: Optional[int] = None
+    grain_id: Optional[str] = None
+    affected_nodes: tuple[int, ...] = ()
+    affected_cycles: int = 0
+    blocking: str = ""
+    benefit: str = ""
+    win_cycles: int = 0
+    speedup_factor: float = 1.0
+    detail: str = ""
+    fix_hint: str = ""
+
+    def message(self) -> str:
+        """The lint-diagnostic rendering: target, blocking dependence,
+        and projected benefit on one line."""
+        parts = [f"{self.pattern.value} pattern at {self.target}: "
+                 f"{self.detail}"]
+        if self.blocking:
+            parts.append(f"blocking dependence: {self.blocking}")
+        if self.benefit:
+            parts.append(f"projected benefit: {self.benefit}")
+        return "; ".join(parts)
+
+
+def finding_diagnostic(finding: PatternFinding) -> Diagnostic:
+    """Render one finding as an INFO diagnostic for the lint report."""
+    return Diagnostic(
+        rule_id=finding.pattern.rule_id,
+        severity=Severity.INFO,
+        message=finding.message(),
+        node_id=finding.anchor_node,
+        grain_id=finding.grain_id,
+        loc=finding.loc,
+        fix_hint=finding.fix_hint,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Footprint helpers
+# ---------------------------------------------------------------------------
+FootprintIndex = dict[str, list[tuple[int, int]]]
+
+
+def _merge_intervals(
+    intervals: Iterable[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            prev_start, prev_end = merged[-1]
+            merged[-1] = (prev_start, max(prev_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _footprint_index(
+    entries: Iterable[tuple[str, int, int]]
+) -> FootprintIndex:
+    """Per-region merged byte intervals for one footprint collection."""
+    by_region: dict[str, list[tuple[int, int]]] = {}
+    for region, start, end in entries:
+        by_region.setdefault(region, []).append((start, end))
+    return {
+        region: _merge_intervals(intervals)
+        for region, intervals in by_region.items()
+    }
+
+
+def _index_overlap(a: FootprintIndex, b: FootprintIndex) -> Optional[str]:
+    """The first (lexicographically smallest) region where the two
+    merged indices overlap by at least one byte, or None."""
+    for region in sorted(a.keys() & b.keys()):
+        left, right = a[region], b[region]
+        i = j = 0
+        while i < len(left) and j < len(right):
+            s1, e1 = left[i]
+            s2, e2 = right[j]
+            if max(s1, s2) < min(e1, e2):
+                return region
+            if e1 <= e2:
+                i += 1
+            else:
+                j += 1
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Top-level stage extraction (the serialized backbone of the root task)
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Stage:
+    """One serialized top-level item: a root fragment or a whole loop."""
+
+    kind: str  # "fragment" | "loop"
+    target: str
+    loc: str
+    order: int  # node id anchoring program order
+    anchor_node: int
+    grain_id: Optional[str]
+    weight: int  # span contribution of the stage (cycles)
+    nodes: tuple[int, ...]  # duration-carrying nodes a scenario scales
+    reads: FootprintIndex = field(default_factory=dict)
+    writes: FootprintIndex = field(default_factory=dict)
+
+    def disjoint(self, other: "_Stage") -> bool:
+        """No read/write or write/write overlap between the stages."""
+        return (
+            _index_overlap(self.writes, other.writes) is None
+            and _index_overlap(self.writes, other.reads) is None
+            and _index_overlap(self.reads, other.writes) is None
+        )
+
+    def feeds(self, other: "_Stage") -> Optional[str]:
+        """Region this stage writes and ``other`` reads (RAW), if any."""
+        return _index_overlap(self.writes, other.reads)
+
+
+def _root_task(model: StaticModel) -> StaticTask:
+    return next(t for t in model.tasks.values() if not t.path[1:])
+
+
+def _chunks_by_loop(graph: GrainGraph) -> dict[int, list[GGNode]]:
+    chunks: dict[int, list[GGNode]] = {}
+    for node in graph.nodes.values():
+        if node.kind is NodeKind.CHUNK and node.loop_id is not None:
+            chunks.setdefault(node.loop_id, []).append(node)
+    for members in chunks.values():
+        members.sort(key=lambda n: n.node_id)
+    return chunks
+
+
+def _root_stages(model: StaticModel) -> list[_Stage]:
+    """The root task's serialized stage sequence in program order:
+    non-empty fragments and whole loops, zero-weight glue dropped."""
+    root = _root_task(model)
+    chunks = _chunks_by_loop(model.graph)
+    stages: list[_Stage] = []
+    for node in model.graph.nodes.values():
+        if (
+            node.kind is NodeKind.FRAGMENT
+            and node.grain_id == root.gid
+            and node.duration > 0
+        ):
+            stages.append(
+                _Stage(
+                    kind="fragment",
+                    target=(
+                        node.loc
+                        or f"{model.program} fragment #{node.frag_seq}"
+                    ),
+                    loc=node.loc,
+                    order=node.node_id,
+                    anchor_node=node.node_id,
+                    grain_id=node.grain_id,
+                    weight=node.duration,
+                    nodes=(node.node_id,),
+                    reads=_footprint_index(node.reads),
+                    writes=_footprint_index(node.writes),
+                )
+            )
+    for loop in model.loops:
+        members = chunks.get(loop.loop_id, [])
+        if loop.max_iter_cycles <= 0:
+            continue
+        stages.append(
+            _Stage(
+                kind="loop",
+                target=loop.spec.definition_key(),
+                loc=str(loop.spec.loc),
+                order=loop.fork_node,
+                anchor_node=loop.fork_node,
+                grain_id=None,
+                weight=loop.max_iter_cycles,
+                nodes=tuple(n.node_id for n in members),
+                reads=_footprint_index(
+                    entry for n in members for entry in n.reads
+                ),
+                writes=_footprint_index(
+                    entry for n in members for entry in n.writes
+                ),
+            )
+        )
+    stages.sort(key=lambda s: s.order)
+    return stages
+
+
+# ---------------------------------------------------------------------------
+# pattern.reduction
+# ---------------------------------------------------------------------------
+def _grain_cycles(model: StaticModel, node: GGNode) -> int:
+    """Declared cycles of the grain a conflict node belongs to: the
+    whole task's own work for task grains, the chunk's for chunks."""
+    gid = node.grain_id or ""
+    task = model.tasks.get(gid)
+    if task is not None:
+        return task.own_cycles
+    return node.duration
+
+
+def detect_reduction(
+    model: StaticModel,
+    machine_config: Optional[MachineConfig] = None,
+    num_threads: int = DEFAULT_TEAM,
+) -> list[PatternFinding]:
+    """Accumulation-shaped conflicts: every conflict on a region is
+    write/write and all participants write the identical byte range.
+
+    The win is measured against the *ordering* fix (a ``TaskWait``
+    chain, as in the ``racy-fixed`` variant): serializing the
+    participants adds ``sum - max`` of their work to the span, which the
+    reduction pattern — privatize, then combine once at the join —
+    avoids entirely while fixing the same race.
+    """
+    with _obs.span("advisor.pattern.reduction"):
+        findings: list[PatternFinding] = []
+        scan = scan_conflicts(model.graph)
+        by_region: dict[str, list] = {}
+        for conflict in scan.conflicts:
+            by_region.setdefault(conflict.region, []).append(conflict)
+        for region in sorted(by_region):
+            conflicts = by_region[region]
+            if any(c.kind != "write/write" for c in conflicts):
+                continue
+            nodes: dict[int, GGNode] = {}
+            for c in conflicts:
+                nodes[c.first.node_id] = c.first
+                nodes[c.second.node_id] = c.second
+            ranges = {
+                tuple(
+                    sorted(
+                        (s, e)
+                        for r, s, e in node.writes
+                        if r == region
+                    )
+                )
+                for node in nodes.values()
+            }
+            if len(ranges) != 1:
+                continue  # partial overlaps are not an accumulation
+            by_grain: dict[str, int] = {}
+            for node in nodes.values():
+                gid = node.grain_id or ""
+                by_grain[gid] = max(
+                    by_grain.get(gid, 0), _grain_cycles(model, node)
+                )
+            if len(by_grain) < 2:
+                continue
+            cycles = sorted(by_grain.values())
+            win = sum(cycles) - cycles[-1]
+            anchor = min(nodes.values(), key=lambda n: n.node_id)
+            participants = ", ".join(sorted(by_grain))
+            findings.append(
+                PatternFinding(
+                    pattern=PatternKind.REDUCTION,
+                    target=f"region {region!r}",
+                    loc=anchor.loc,
+                    anchor_node=anchor.node_id,
+                    grain_id=anchor.grain_id,
+                    affected_nodes=tuple(sorted(nodes)),
+                    affected_cycles=sum(by_grain.values()),
+                    blocking=(
+                        f"write/write accumulation on region {region!r} "
+                        f"by grains {participants}"
+                    ),
+                    benefit=(
+                        f"keeps the {len(by_grain)} writers parallel: "
+                        f"ordering them instead would add {win} cycles "
+                        "to the span"
+                    ),
+                    win_cycles=win,
+                    speedup_factor=1.0,
+                    detail=(
+                        f"{len(by_grain)} logically-parallel grains all "
+                        f"write the same bytes of {region!r} — an "
+                        "accumulation, not independent output"
+                    ),
+                    fix_hint=(
+                        "privatize a per-participant copy of the region "
+                        "and combine the copies once after the join "
+                        "(OpenMP reduction clause semantics)"
+                    ),
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# pattern.do-all
+# ---------------------------------------------------------------------------
+def _cross_iteration_conflict(
+    chunks: list[GGNode],
+) -> Optional[tuple[str, str, str]]:
+    """First cross-iteration footprint conflict among one loop's chunk
+    nodes: ``(region, gid_a, gid_b)``, or None when the loop is clean.
+
+    Same-loop chunks are pairwise logically parallel (the shared policy
+    of :func:`repro.core.reachability.logically_ordered`), so any
+    overlapping access pair with at least one write conflicts — no
+    reachability query needed, which keeps this a sorted sweep.
+    """
+    by_region: dict[str, list[tuple[int, int, bool, str]]] = {}
+    for node in chunks:
+        gid = node.grain_id or ""
+        for region, start, end in node.reads:
+            if end > start:
+                by_region.setdefault(region, []).append(
+                    (start, end, False, gid)
+                )
+        for region, start, end in node.writes:
+            if end > start:
+                by_region.setdefault(region, []).append(
+                    (start, end, True, gid)
+                )
+    for region in sorted(by_region):
+        accesses = sorted(by_region[region])
+        # Furthest-reaching prior interval per category, tracked for two
+        # distinct grains so a same-grain best never masks a conflict.
+        best_any: list[tuple[int, str]] = []  # [(end, gid)] len <= 2
+        best_write: list[tuple[int, str]] = []
+
+        def _push(best: list[tuple[int, str]], end: int, gid: str) -> None:
+            for i, (e, g) in enumerate(best):
+                if g == gid:
+                    if end > e:
+                        best[i] = (end, gid)
+                    break
+            else:
+                best.append((end, gid))
+            best.sort(reverse=True)
+            del best[2:]
+
+        for start, end, is_write, gid in accesses:
+            for e, g in best_write:
+                if g != gid and e > start:
+                    return (region, *sorted((g, gid)))
+            if is_write:
+                for e, g in best_any:
+                    if g != gid and e > start:
+                        return (region, *sorted((g, gid)))
+            _push(best_any, end, gid)
+            if is_write:
+                _push(best_write, end, gid)
+    return None
+
+
+def _loop_estimate(loop: StaticLoop, team: int) -> int:
+    """Optimistic parallel cost of the loop on ``team`` threads."""
+    total = loop.total_cycles
+    return max(-(-total // team), loop.max_iter_cycles)
+
+
+def detect_do_all(
+    model: StaticModel,
+    machine_config: Optional[MachineConfig] = None,
+    num_threads: int = DEFAULT_TEAM,
+) -> list[PatternFinding]:
+    """Certify (or refute) every loop as a do-all, and quantify the win
+    of raising a binding ``num_threads`` cap."""
+    with _obs.span("advisor.pattern.do-all"):
+        findings: list[PatternFinding] = []
+        chunks = _chunks_by_loop(model.graph)
+        for loop in model.loops:
+            spec = loop.spec
+            if spec.iterations < 2 or loop.total_cycles <= 0:
+                continue
+            members = chunks.get(loop.loop_id, [])
+            conflict = _cross_iteration_conflict(members)
+            target = spec.definition_key()
+            anchor = loop.fork_node
+            nodes = tuple(n.node_id for n in members)
+            if conflict is not None:
+                region, gid_a, gid_b = conflict
+                findings.append(
+                    PatternFinding(
+                        pattern=PatternKind.DO_ALL,
+                        target=target,
+                        loc=str(spec.loc),
+                        anchor_node=anchor,
+                        affected_nodes=nodes,
+                        affected_cycles=loop.total_cycles,
+                        blocking=(
+                            f"cross-iteration conflict on region "
+                            f"{region!r} between {gid_a} and {gid_b}"
+                        ),
+                        benefit="",
+                        win_cycles=0,
+                        detail=(
+                            f"{spec.iterations} iterations are NOT an "
+                            "independent do-all: iterations share "
+                            f"writable bytes of {region!r}"
+                        ),
+                        fix_hint=(
+                            "make the iteration footprints disjoint, or "
+                            "restructure the shared update as a "
+                            "reduction"
+                        ),
+                    )
+                )
+                continue
+            declared = any(n.reads or n.writes for n in members)
+            cap = spec.num_threads
+            if cap is not None and cap < num_threads:
+                win = _loop_estimate(loop, cap) - _loop_estimate(
+                    loop, num_threads
+                )
+            else:
+                win = 0
+            vacuous = (
+                "" if declared
+                else " (vacuously: no footprints are declared)"
+            )
+            if win > 0:
+                benefit = (
+                    f"raising the team cap from {cap} to {num_threads} "
+                    f"saves ~{win} cycles on the loop's parallel cost"
+                )
+                fix_hint = (
+                    "the loop is conflict-free on every schedule; raise "
+                    "or drop its num_threads cap (verify the cap was "
+                    "not a load-balance workaround first)"
+                )
+            else:
+                benefit = (
+                    f"{loop.total_cycles} cycles of loop work already "
+                    f"run as {spec.iterations} independent iterations"
+                )
+                fix_hint = ""
+            findings.append(
+                PatternFinding(
+                    pattern=PatternKind.DO_ALL,
+                    target=target,
+                    loc=str(spec.loc),
+                    anchor_node=anchor,
+                    affected_nodes=nodes,
+                    affected_cycles=loop.total_cycles,
+                    blocking="",
+                    benefit=benefit,
+                    win_cycles=win,
+                    detail=(
+                        f"certified do-all over all schedules: no "
+                        f"cross-iteration conflict among "
+                        f"{spec.iterations} iterations{vacuous}"
+                    ),
+                    fix_hint=fix_hint,
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# pattern.pipeline and pattern.task-parallelism
+# ---------------------------------------------------------------------------
+def detect_pipeline(
+    model: StaticModel,
+    machine_config: Optional[MachineConfig] = None,
+    num_threads: int = DEFAULT_TEAM,
+) -> list[PatternFinding]:
+    """Chains of serialized heavy stages linked by read-after-write
+    dependences: the dependence blocks running them concurrently, but
+    streaming data blocks through the stages bounds the chain by its
+    heaviest stage (asymptotically, as block count grows)."""
+    with _obs.span("advisor.pattern.pipeline"):
+        findings: list[PatternFinding] = []
+        stages = _root_stages(model)
+        i = 0
+        while i < len(stages):
+            if stages[i].weight < MIN_STAGE_CYCLES:
+                i += 1
+                continue
+            chain = [stages[i]]
+            deps: list[str] = []
+            j = i + 1
+            while j < len(stages) and stages[j].weight >= MIN_STAGE_CYCLES:
+                region = chain[-1].feeds(stages[j])
+                if region is None:
+                    break
+                chain.append(stages[j])
+                deps.append(region)
+                j += 1
+            if len(chain) >= 2:
+                weights = [s.weight for s in chain]
+                win = sum(weights) - max(weights)
+                factor = sum(weights) / max(weights)
+                findings.append(
+                    PatternFinding(
+                        pattern=PatternKind.PIPELINE,
+                        target=" -> ".join(s.target for s in chain),
+                        loc=chain[0].loc,
+                        anchor_node=chain[0].anchor_node,
+                        grain_id=chain[0].grain_id,
+                        affected_nodes=tuple(
+                            nid for s in chain for nid in s.nodes
+                        ),
+                        affected_cycles=sum(weights),
+                        blocking=(
+                            "read-after-write dataflow through region(s) "
+                            + ", ".join(
+                                repr(r) for r in dict.fromkeys(deps)
+                            )
+                        ),
+                        benefit=(
+                            f"streaming blocks through the {len(chain)} "
+                            f"stages approaches the heaviest stage "
+                            f"({max(weights)} cycles): up to {win} "
+                            "cycles off the serialized chain"
+                        ),
+                        win_cycles=win,
+                        speedup_factor=factor,
+                        detail=(
+                            f"{len(chain)} serialized stages form a "
+                            "producer/consumer chain — dependences "
+                            "forbid task parallelism but admit a "
+                            "pipeline"
+                        ),
+                        fix_hint=(
+                            "split the flowing region into blocks and "
+                            "overlap stage s of block b with stage s+1 "
+                            "of block b-1 (asymptotic benefit grows "
+                            "with block count)"
+                        ),
+                    )
+                )
+                i = j
+            else:
+                i += 1
+        return findings
+
+
+def detect_task_parallelism(
+    model: StaticModel,
+    machine_config: Optional[MachineConfig] = None,
+    num_threads: int = DEFAULT_TEAM,
+) -> list[PatternFinding]:
+    """Runs of consecutive serialized heavy stages whose footprints are
+    pairwise disjoint: only program order serializes them, so spawning
+    them as sibling tasks turns the run's sum into its max."""
+    with _obs.span("advisor.pattern.task-parallelism"):
+        findings: list[PatternFinding] = []
+        stages = _root_stages(model)
+        i = 0
+        while i < len(stages):
+            if stages[i].weight < MIN_STAGE_CYCLES:
+                i += 1
+                continue
+            run = [stages[i]]
+            j = i + 1
+            while (
+                j < len(stages)
+                and stages[j].weight >= MIN_STAGE_CYCLES
+                and all(s.disjoint(stages[j]) for s in run)
+            ):
+                run.append(stages[j])
+                j += 1
+            if len(run) >= 2:
+                weights = [s.weight for s in run]
+                win = sum(weights) - max(weights)
+                factor = sum(weights) / max(weights)
+                undeclared = any(
+                    not s.reads and not s.writes for s in run
+                )
+                vacuous = (
+                    " (caveat: some stages declare no footprints, so "
+                    "their independence is asserted, not proven)"
+                    if undeclared
+                    else ""
+                )
+                findings.append(
+                    PatternFinding(
+                        pattern=PatternKind.TASK_PARALLELISM,
+                        target=" || ".join(s.target for s in run),
+                        loc=run[0].loc,
+                        anchor_node=run[0].anchor_node,
+                        grain_id=run[0].grain_id,
+                        affected_nodes=tuple(
+                            nid for s in run for nid in s.nodes
+                        ),
+                        affected_cycles=sum(weights),
+                        blocking="",
+                        benefit=(
+                            f"running the {len(run)} stages concurrently "
+                            f"cuts their serialized {sum(weights)} "
+                            f"cycles to {max(weights)}: {win} cycles "
+                            "off the span"
+                        ),
+                        win_cycles=win,
+                        speedup_factor=factor,
+                        detail=(
+                            f"{len(run)} consecutive serialized stages "
+                            "have pairwise-disjoint footprints — "
+                            "nothing but program order serializes "
+                            f"them{vacuous}"
+                        ),
+                        fix_hint=(
+                            "wrap each stage in its own task (or "
+                            "sections construct) and join once after "
+                            "the last"
+                        ),
+                    )
+                )
+                i = j
+            else:
+                i += 1
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# pattern.geometric
+# ---------------------------------------------------------------------------
+def detect_geometric(
+    model: StaticModel,
+    machine_config: Optional[MachineConfig] = None,
+    num_threads: int = DEFAULT_TEAM,
+) -> list[PatternFinding]:
+    """Loops whose iterations each write a disjoint block of one region:
+    a geometric decomposition whose blocks can be placed on the NUMA
+    node of the thread that computes them.
+
+    The win is on the pessimistic work bound, not the span: every line
+    the loop touches is charged the worst-case remote, contended
+    latency by :func:`repro.staticc.bounds.work_upper_bound`; placing
+    blocks locally caps those lines at the local latency instead.
+    """
+    with _obs.span("advisor.pattern.geometric"):
+        config = machine_config or MachineConfig.paper_testbed()
+        findings: list[PatternFinding] = []
+        chunks = _chunks_by_loop(model.graph)
+        for loop in model.loops:
+            spec = loop.spec
+            members = chunks.get(loop.loop_id, [])
+            if len(members) < 2:
+                continue
+            # Regions written by every iteration, with per-iteration
+            # intervals.
+            per_region: dict[str, list[tuple[int, int, str]]] = {}
+            writers: dict[str, set[str]] = {}
+            for node in members:
+                gid = node.grain_id or ""
+                for region, start, end in node.writes:
+                    if end > start:
+                        per_region.setdefault(region, []).append(
+                            (start, end, gid)
+                        )
+                        writers.setdefault(region, set()).add(gid)
+            block_region = None
+            for region in sorted(per_region):
+                if len(writers[region]) != len(members):
+                    continue
+                intervals = sorted(per_region[region])
+                disjoint = all(
+                    a[1] <= b[0]
+                    for a, b in zip(intervals, intervals[1:])
+                )
+                big_enough = all(
+                    e - s >= LINE_SIZE for s, e, _ in intervals
+                )
+                if disjoint and big_enough:
+                    block_region = region
+                    break
+            if block_region is None:
+                continue
+            # Count the lines the *cost model* charges (WorkRequest
+            # accesses), not the lint footprints: the win must stay
+            # within the stall term work_upper_bound actually pays.
+            lines = sum(
+                -(-access.nbytes // LINE_SIZE)
+                for i in range(spec.iterations)
+                for access in spec.iteration_request(i).accesses
+                if access.nbytes > 0
+            )
+            team = min(num_threads, spec.num_threads or num_threads)
+            worst = worst_line_latency(config, team)
+            local = float(config.cost.local_mem_cycles)
+            win = int(
+                lines * max(0.0, worst - local) / config.cost.mlp
+            )
+            block_bytes = sorted(
+                e - s for s, e, _ in per_region[block_region]
+            )
+            if win > 0:
+                benefit = (
+                    f"placing each block on its computing thread's "
+                    f"NUMA node caps the loop's {lines} cache lines at "
+                    f"local latency: up to {win} cycles off the "
+                    "pessimistic work bound"
+                )
+            else:
+                benefit = (
+                    "blocks can be placed on the NUMA node of the "
+                    "thread that computes them (the loop declares no "
+                    "cost-model accesses, so no stall win is charged)"
+                )
+            findings.append(
+                PatternFinding(
+                    pattern=PatternKind.GEOMETRIC,
+                    target=spec.definition_key(),
+                    loc=str(spec.loc),
+                    anchor_node=loop.fork_node,
+                    affected_nodes=tuple(n.node_id for n in members),
+                    affected_cycles=loop.total_cycles,
+                    blocking="",
+                    benefit=benefit,
+                    win_cycles=win,
+                    speedup_factor=1.0,
+                    detail=(
+                        f"each of the {len(members)} iterations writes "
+                        f"a disjoint {block_bytes[0]}-"
+                        f"{block_bytes[-1]} byte block of region "
+                        f"{block_region!r} — a geometric decomposition"
+                    ),
+                    fix_hint=(
+                        "distribute the region's pages block-wise "
+                        "across NUMA nodes (first-touch by the owning "
+                        "thread, or explicit round-robin placement) and "
+                        "align the loop's chunking to the blocks"
+                    ),
+                )
+            )
+        return findings
+
+
+# ---------------------------------------------------------------------------
+# Orchestration and lint registration
+# ---------------------------------------------------------------------------
+Detector = Callable[
+    [StaticModel, Optional[MachineConfig], int], list[PatternFinding]
+]
+
+# Registration order is report order; keep deterministic.
+DETECTORS: tuple[tuple[PatternKind, Detector], ...] = (
+    (PatternKind.REDUCTION, detect_reduction),
+    (PatternKind.DO_ALL, detect_do_all),
+    (PatternKind.PIPELINE, detect_pipeline),
+    (PatternKind.TASK_PARALLELISM, detect_task_parallelism),
+    (PatternKind.GEOMETRIC, detect_geometric),
+)
+
+PATTERN_RULES: tuple[str, ...] = tuple(
+    kind.rule_id for kind, _ in DETECTORS
+)
+
+
+def detect_patterns(
+    model: StaticModel,
+    machine_config: Optional[MachineConfig] = None,
+    num_threads: int = DEFAULT_TEAM,
+) -> list[PatternFinding]:
+    """Run every pattern detector over ``model`` in taxonomy order.
+
+    ``num_threads`` parameterizes the benefit math (team-cap wins,
+    locality wins); the lint passes use the paper testbed's default.
+    """
+    findings: list[PatternFinding] = []
+    with _obs.span("advisor.patterns"):
+        for _, detector in DETECTORS:
+            findings.extend(detector(model, machine_config, num_threads))
+    return findings
+
+
+@register(
+    "pattern.reduction",
+    "write/write accumulations fixable as reductions",
+    PROGRAM_LAYER,
+)
+def pass_reduction(model: StaticModel) -> Iterator[Diagnostic]:
+    for finding in detect_reduction(model):
+        yield finding_diagnostic(finding)
+
+
+@register(
+    "pattern.do-all",
+    "all-schedule do-all certification per loop",
+    PROGRAM_LAYER,
+)
+def pass_do_all(model: StaticModel) -> Iterator[Diagnostic]:
+    for finding in detect_do_all(model):
+        yield finding_diagnostic(finding)
+
+
+@register(
+    "pattern.pipeline",
+    "dataflow-linked serialized stages (pipeline candidates)",
+    PROGRAM_LAYER,
+)
+def pass_pipeline(model: StaticModel) -> Iterator[Diagnostic]:
+    for finding in detect_pipeline(model):
+        yield finding_diagnostic(finding)
+
+
+@register(
+    "pattern.task-parallelism",
+    "independent serialized stages (task-parallel candidates)",
+    PROGRAM_LAYER,
+)
+def pass_task_parallelism(model: StaticModel) -> Iterator[Diagnostic]:
+    for finding in detect_task_parallelism(model):
+        yield finding_diagnostic(finding)
+
+
+@register(
+    "pattern.geometric",
+    "block-decomposable loops (geometric decomposition)",
+    PROGRAM_LAYER,
+)
+def pass_geometric(model: StaticModel) -> Iterator[Diagnostic]:
+    for finding in detect_geometric(model):
+        yield finding_diagnostic(finding)

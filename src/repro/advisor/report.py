@@ -1,0 +1,245 @@
+"""Ranked optimization recommendations for one program.
+
+:func:`advise_program` is the advisor's library entry point (the CLI's
+``grain-graphs advise`` and :func:`repro.workflow.profile_program`'s
+``advise=True`` both call it): expand the program statically, run every
+pattern detector, project the causal what-if for each scaling-shaped
+finding plus any user-supplied ``TARGET=K`` scenarios, and rank the lot
+by projected wall-clock win.  Zero engine invocations throughout —
+everything derives from the static model — which the test suite pins
+with :func:`repro.runtime.engine.engine_invocations`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..machine.machine import MachineConfig
+from ..lint.diagnostics import LintReport, Severity
+from ..obs import registry as _obs
+from ..runtime.api import Program
+from ..runtime.flavors import RuntimeFlavor, flavor_by_name
+from ..staticc.bounds import WorkSpanBounds, bracket
+from ..staticc.expansion import expand_program
+from ..staticc.model import StaticModel
+from .patterns import (
+    PATTERN_RULES,
+    PatternFinding,
+    detect_patterns,
+    finding_diagnostic,
+)
+from .whatif import Projection, WhatIfScenario, project
+
+DEFAULT_THREADS = 48  # the paper testbed's core count
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked recommendation: a pattern finding plus (for scaling
+    patterns) the causal projection corroborating its win."""
+
+    rank: int
+    finding: PatternFinding
+    projection: Optional[Projection] = None
+
+    @property
+    def win_cycles(self) -> int:
+        return self.finding.win_cycles
+
+    def to_dict(self) -> dict[str, object]:
+        d: dict[str, object] = {
+            "rank": self.rank,
+            "pattern": self.finding.pattern.value,
+            "rule_id": self.finding.pattern.rule_id,
+            "target": self.finding.target,
+            "loc": self.finding.loc,
+            "blocking": self.finding.blocking,
+            "benefit": self.finding.benefit,
+            "detail": self.finding.detail,
+            "fix_hint": self.finding.fix_hint,
+            "win_cycles": self.win_cycles,
+            "affected_cycles": self.finding.affected_cycles,
+            "speedup_factor": self.finding.speedup_factor,
+        }
+        if self.projection is not None:
+            d["projection"] = self.projection.to_dict()
+        return d
+
+    def render(self) -> str:
+        lines = [
+            f"#{self.rank} [{self.finding.pattern.value}] "
+            f"{self.finding.target} — win {self.win_cycles} cycles"
+        ]
+        lines.append(f"    {self.finding.detail}")
+        if self.finding.blocking:
+            lines.append(f"    blocked by: {self.finding.blocking}")
+        if self.finding.benefit:
+            lines.append(f"    benefit: {self.finding.benefit}")
+        if self.projection is not None:
+            low, high = self.projection.speedup_bracket
+            lines.append(
+                f"    projected bracket: span {self.projection.span_lower}"
+                f" work<= {self.projection.work_upper}"
+                f" speedup {low:.2f}x-{high:.2f}x"
+            )
+        if self.finding.fix_hint:
+            lines.append(f"    fix: {self.finding.fix_hint}")
+        return "\n".join(lines)
+
+
+@dataclass
+class AdvisorReport:
+    """Everything one ``grain-graphs advise`` run produced."""
+
+    program: str
+    input_summary: str
+    flavor: str
+    num_threads: int
+    baseline: WorkSpanBounds
+    baseline_work_cycles: int
+    recommendations: list[Recommendation] = field(default_factory=list)
+    what_ifs: list[Projection] = field(default_factory=list)
+    lint: LintReport = field(default_factory=LintReport)
+
+    @property
+    def max_severity(self) -> Optional[Severity]:
+        return self.lint.max_severity
+
+    def at_or_above(self, threshold: Severity) -> list:
+        return self.lint.at_or_above(threshold)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "program": self.program,
+            "input": self.input_summary,
+            "flavor": self.flavor,
+            "num_threads": self.num_threads,
+            "baseline": {
+                "span_lower": self.baseline.span_lower,
+                "work_cycles": self.baseline_work_cycles,
+                "work_upper": self.baseline.work_upper,
+            },
+            "recommendations": [r.to_dict() for r in self.recommendations],
+            "what_ifs": [p.to_dict() for p in self.what_ifs],
+            "lint": self.lint.to_dict(),
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def render_text(self) -> str:
+        lines = [
+            f"advise {self.program} ({self.input_summary}) "
+            f"flavor={self.flavor} threads={self.num_threads}",
+            f"  baseline: span>={self.baseline.span_lower} "
+            f"work={self.baseline_work_cycles} "
+            f"work<={self.baseline.work_upper}",
+        ]
+        if self.recommendations:
+            lines.append(
+                f"  {len(self.recommendations)} recommendation(s), "
+                "ranked by projected win:"
+            )
+            for rec in self.recommendations:
+                lines.extend("  " + ln for ln in rec.render().splitlines())
+        else:
+            lines.append("  no pattern opportunities detected")
+        for proj in self.what_ifs:
+            low, high = proj.speedup_bracket
+            lines.append(
+                f"  what-if {proj.target}={proj.k:g}: "
+                f"span {proj.baseline.span_lower} -> {proj.span_lower}, "
+                f"work<= {proj.baseline.work_upper} -> {proj.work_upper}, "
+                f"speedup {low:.2f}x-{high:.2f}x "
+                f"(win {proj.win_cycles} cycles)"
+            )
+        return "\n".join(lines)
+
+
+def _pattern_lint(model: StaticModel,
+                  findings: Sequence[PatternFinding]) -> LintReport:
+    """A lint report restricted to the ``pattern.*`` family, identical
+    to what ``run_lint`` produces for those passes (detector order is
+    registration order)."""
+    report = LintReport(program=model.program)
+    for rule in PATTERN_RULES:
+        report.passes_run.append((rule, "program"))
+    report.extend(
+        finding_diagnostic(f).with_artifact("program") for f in findings
+    )
+    return report
+
+
+def advise_program(
+    program: Program,
+    flavor: Union[RuntimeFlavor, str] = "MIR",
+    num_threads: int = DEFAULT_THREADS,
+    machine_config: Optional[MachineConfig] = None,
+    what_ifs: Sequence[tuple[str, float]] = (),
+    model: Optional[StaticModel] = None,
+) -> AdvisorReport:
+    """Statically analyze ``program`` and rank its optimization
+    opportunities.
+
+    ``what_ifs`` is a sequence of ``(target, k)`` scenarios (the CLI's
+    ``--what-if TARGET=K``), projected after the detector-derived ones.
+    Pass an already-expanded ``model`` to skip re-expansion (the
+    workflow layer reuses its static-check model this way).
+    """
+    if isinstance(flavor, str):
+        flavor = flavor_by_name(flavor)
+    with _obs.span("advisor.run"):
+        if model is None:
+            with _obs.span("advisor.expand"):
+                model = expand_program(program, machine_config)
+        base = bracket(model, flavor, num_threads, machine_config)
+        findings = detect_patterns(model, machine_config, num_threads)
+        recommendations: list[Recommendation] = []
+        with _obs.span("advisor.rank"):
+            ranked = sorted(
+                findings,
+                key=lambda f: (
+                    -f.win_cycles,
+                    f.pattern.value,
+                    f.target,
+                ),
+            )
+            for rank, finding in enumerate(ranked, start=1):
+                projection = None
+                if finding.speedup_factor > 1.0 and finding.affected_nodes:
+                    projection = project(
+                        model,
+                        flavor,
+                        num_threads,
+                        WhatIfScenario(
+                            target=finding.target,
+                            k=finding.speedup_factor,
+                            node_ids=finding.affected_nodes,
+                        ),
+                        machine_config=machine_config,
+                    )
+                recommendations.append(
+                    Recommendation(
+                        rank=rank,
+                        finding=finding,
+                        projection=projection,
+                    )
+                )
+        projections = [
+            project(model, flavor, num_threads, target, k,
+                    machine_config=machine_config)
+            for target, k in what_ifs
+        ]
+        return AdvisorReport(
+            program=model.program,
+            input_summary=model.input_summary,
+            flavor=flavor.name,
+            num_threads=num_threads,
+            baseline=base,
+            baseline_work_cycles=model.work_cycles,
+            recommendations=recommendations,
+            what_ifs=projections,
+            lint=_pattern_lint(model, findings),
+        )

@@ -1,0 +1,384 @@
+"""Causal what-if projection over the static work-span bracket.
+
+Given "target R runs k× faster", re-derive the projected work, critical
+path, and speedup bracket *directly from the static model* — the
+TASKPROF-style causal-profiler question answered with zero engine
+invocations:
+
+- projected span: :func:`repro.metrics.critical_path.critical_path`
+  re-run over the unmodified static graph with a ``weights`` override
+  mapping each affected node to ``int(duration / k)`` — the longest
+  path re-routes automatically when the scaled region leaves the
+  critical path (the "virtual speedup" effect causal profilers measure
+  dynamically);
+- projected work: ``work_cycles`` minus the cycles the scaling saved;
+- projected pessimistic bound: projected work plus the *baseline*
+  :func:`repro.staticc.bounds.overhead_upper_bound` — speeding compute
+  up never adds stalls, forks, or dispatch operations, so reusing the
+  baseline overhead term keeps the bound sound.
+
+At ``k = 1`` every term reproduces the baseline :func:`bracket` exactly
+(the identity weights drive the same dynamic program with the same
+tie-breaks), which the cross-validation suite pins byte-for-byte over
+every registered program.  Scaled durations floor-divide, so each
+node's projected weight — and hence the projected span and work — is
+monotone non-increasing in ``k``.
+
+Limits: the projection inherits the series-parallel static model, so it
+cannot see scheduling effects (steals, idling, contention shifting) —
+the bracket narrows what any schedule can do, it does not predict one
+schedule.  See DESIGN.md, "The advisor layer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..core.nodes import GrainGraph
+from ..machine.machine import MachineConfig
+from ..metrics.critical_path import critical_path
+from ..obs import registry as _obs
+from ..runtime.flavors import RuntimeFlavor
+from ..staticc.bounds import (
+    WorkSpanBounds,
+    bracket,
+    overhead_upper_bound,
+)
+from ..staticc.model import StaticModel
+
+
+class AdvisorError(ValueError):
+    """A user-facing advisor input error (unknown target, bad spec)."""
+
+
+def parse_what_if(spec: str) -> tuple[str, float]:
+    """Parse a ``TARGET=K`` what-if spec into ``(target, k)``.
+
+    ``K`` must parse as a number >= 1 (k=1 is the identity scenario; the
+    causal question "what if it ran slower" is out of scope for a
+    *lower*-bounded span projection).
+    """
+    target, sep, factor = spec.partition("=")
+    target = target.strip()
+    factor = factor.strip()
+    if not sep or not target or not factor:
+        raise AdvisorError(
+            f"bad --what-if spec {spec!r}: expected TARGET=K "
+            "(for example 'solve=4' or 'matrix=2.5')"
+        )
+    try:
+        k = float(factor)
+    except ValueError:
+        raise AdvisorError(
+            f"bad --what-if factor {factor!r}: not a number"
+        ) from None
+    if not k >= 1.0:
+        raise AdvisorError(
+            f"bad --what-if factor {factor!r}: k must be >= 1"
+        )
+    return target, k
+
+
+@dataclass(frozen=True)
+class WhatIfScenario:
+    """A resolved scaling scenario: these nodes run ``k``× faster."""
+
+    target: str
+    k: float
+    node_ids: tuple[int, ...]
+    description: str = ""
+
+
+def _duration_nodes(graph: GrainGraph) -> dict[int, int]:
+    """Grain nodes (fragments/chunks) with their declared durations."""
+    return {
+        node.node_id: node.duration
+        for node in graph.nodes.values()
+        if node.is_grain_node and node.duration > 0
+    }
+
+
+def known_targets(model: StaticModel) -> list[str]:
+    """Every name :func:`resolve_target` accepts for ``model``, for the
+    friendly unknown-target error.  Only names that actually resolve are
+    listed: a grain id with no compute-carrying node (a spawn-only root,
+    say) or a region no computing grain touches would bounce right back
+    as unknown, so suggesting it would be a lie."""
+    duration_nodes = _duration_nodes(model.graph)
+    grains_with_work = {
+        node.grain_id
+        for nid, node in model.graph.nodes.items()
+        if nid in duration_nodes and node.grain_id
+    }
+    targets: dict[str, None] = {"*": None}
+    for task in model.tasks.values():
+        if task.gid in grains_with_work:
+            targets.setdefault(task.gid, None)
+            if task.definition:
+                targets.setdefault(task.definition, None)
+    for loop in model.loops:
+        targets.setdefault(loop.spec.definition_key(), None)
+    for region in sorted(model.region_sizes):
+        touched = any(
+            nid in duration_nodes
+            and any(
+                r == region for r, _, _ in (*node.reads, *node.writes)
+            )
+            for nid, node in model.graph.nodes.items()
+        )
+        if touched:
+            targets.setdefault(region, None)
+    return list(targets)
+
+
+def resolve_target(model: StaticModel, target: str) -> WhatIfScenario:
+    """Resolve a target name to the static-graph nodes it scales.
+
+    Accepted names, tried in order: ``*`` (every grain node), a grain id
+    (``t:0``, task gids, chunk gids), a task definition name (all
+    instances), a loop definition key, or a memory-region name (every
+    grain node touching the region).  ``k`` is filled by the caller.
+    """
+    duration_nodes = _duration_nodes(model.graph)
+    if target == "*":
+        return WhatIfScenario(
+            target=target,
+            k=1.0,
+            node_ids=tuple(sorted(duration_nodes)),
+            description="every compute-carrying grain",
+        )
+    # Grain id: fragments/chunks of exactly that grain.
+    by_grain = tuple(
+        sorted(
+            nid
+            for nid, node in model.graph.nodes.items()
+            if node.grain_id == target and nid in duration_nodes
+        )
+    )
+    if by_grain:
+        return WhatIfScenario(
+            target=target,
+            k=1.0,
+            node_ids=by_grain,
+            description=f"grain {target}",
+        )
+    # Task definition: every instance of the task.
+    gids = {
+        task.gid
+        for task in model.tasks.values()
+        if task.definition == target
+    }
+    if gids:
+        nodes = tuple(
+            sorted(
+                nid
+                for nid, node in model.graph.nodes.items()
+                if node.grain_id in gids and nid in duration_nodes
+            )
+        )
+        return WhatIfScenario(
+            target=target,
+            k=1.0,
+            node_ids=nodes,
+            description=f"{len(gids)} instance(s) of task {target!r}",
+        )
+    # Loop definition key: the loop's chunk nodes.
+    for loop in model.loops:
+        if loop.spec.definition_key() == target:
+            nodes = tuple(
+                sorted(
+                    nid
+                    for nid, node in model.graph.nodes.items()
+                    if node.loop_id == loop.loop_id
+                    and nid in duration_nodes
+                )
+            )
+            return WhatIfScenario(
+                target=target,
+                k=1.0,
+                node_ids=nodes,
+                description=f"loop {target}",
+            )
+    # Memory region: every grain node touching it.
+    if target in model.region_sizes:
+        nodes = tuple(
+            sorted(
+                nid
+                for nid, node in model.graph.nodes.items()
+                if nid in duration_nodes
+                and any(
+                    r == target for r, _, _ in (*node.reads, *node.writes)
+                )
+            )
+        )
+        if nodes:
+            return WhatIfScenario(
+                target=target,
+                k=1.0,
+                node_ids=nodes,
+                description=f"grains touching region {target!r}",
+            )
+    names = ", ".join(known_targets(model))
+    raise AdvisorError(
+        f"unknown what-if target {target!r} for program "
+        f"{model.program!r}; known targets: {names}"
+    )
+
+
+def _ratio(baseline: int, projected: int) -> float:
+    if projected <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / projected
+
+
+@dataclass(frozen=True)
+class Projection:
+    """The causal projection of one scenario against one baseline.
+
+    ``span_lower``/``work_cycles``/``work_upper`` are the projected
+    quantities; the baseline bracket rides along so speedups and wins
+    need no second expansion.
+    """
+
+    program: str
+    flavor: str
+    num_threads: int
+    target: str
+    k: float
+    scaled_nodes: int
+    baseline: WorkSpanBounds
+    baseline_work_cycles: int
+    span_lower: int
+    work_cycles: int
+    work_upper: int
+
+    @property
+    def bounds(self) -> WorkSpanBounds:
+        """The projected bracket, shaped like :func:`bracket`'s output
+        (this is what the k=1 byte-match pins against)."""
+        return WorkSpanBounds(
+            program=self.program,
+            num_threads=self.num_threads,
+            span_lower=self.span_lower,
+            work_upper=self.work_upper,
+        )
+
+    @property
+    def span_speedup(self) -> float:
+        """Optimistic end: how much shorter the structural limit got."""
+        return _ratio(self.baseline.span_lower, self.span_lower)
+
+    @property
+    def work_speedup(self) -> float:
+        """Amdahl total-work ratio (T1 baseline / T1 projected)."""
+        return _ratio(self.baseline_work_cycles, self.work_cycles)
+
+    @property
+    def upper_speedup(self) -> float:
+        """Pessimistic end: the work-upper-bound ratio."""
+        return _ratio(self.baseline.work_upper, self.work_upper)
+
+    @property
+    def speedup_bracket(self) -> tuple[float, float]:
+        """The projected whole-program speedup bracket: both bound ends
+        of the bracket shrink; the truth for any schedule sits between
+        the smaller and larger ratio."""
+        low, high = sorted((self.upper_speedup, self.span_speedup))
+        return (low, high)
+
+    def estimate(self, work: int, span: int) -> int:
+        """Brent-style makespan estimate on ``num_threads`` threads."""
+        return max(span, -(-work // self.num_threads))
+
+    @property
+    def baseline_estimate(self) -> int:
+        return self.estimate(self.baseline_work_cycles,
+                             self.baseline.span_lower)
+
+    @property
+    def projected_estimate(self) -> int:
+        return self.estimate(self.work_cycles, self.span_lower)
+
+    @property
+    def win_cycles(self) -> int:
+        """Projected wall-clock win of the scenario: the drop in the
+        Brent estimate ``max(span, work/T)``.  Used for ranking."""
+        return self.baseline_estimate - self.projected_estimate
+
+    def to_dict(self) -> dict[str, object]:
+        low, high = self.speedup_bracket
+        return {
+            "program": self.program,
+            "flavor": self.flavor,
+            "num_threads": self.num_threads,
+            "target": self.target,
+            "k": self.k,
+            "scaled_nodes": self.scaled_nodes,
+            "baseline": {
+                "span_lower": self.baseline.span_lower,
+                "work_cycles": self.baseline_work_cycles,
+                "work_upper": self.baseline.work_upper,
+            },
+            "projected": {
+                "span_lower": self.span_lower,
+                "work_cycles": self.work_cycles,
+                "work_upper": self.work_upper,
+            },
+            "speedup_bracket": [low, high],
+            "win_cycles": self.win_cycles,
+        }
+
+
+def project(
+    model: StaticModel,
+    flavor: RuntimeFlavor,
+    num_threads: int,
+    scenario: Union[WhatIfScenario, str],
+    k: Optional[float] = None,
+    machine_config: Optional[MachineConfig] = None,
+) -> Projection:
+    """Project the work-span bracket under a scaling scenario.
+
+    ``scenario`` is either a resolved :class:`WhatIfScenario` or a
+    target name (resolved here); ``k`` overrides the scenario's factor
+    when given.  Zero engine invocations: everything is recomputed from
+    the already-expanded static graph.
+    """
+    with _obs.span("advisor.whatif"):
+        if isinstance(scenario, str):
+            scenario = resolve_target(model, scenario)
+        factor = scenario.k if k is None else k
+        if not factor >= 1.0:
+            raise AdvisorError(
+                f"what-if factor must be >= 1, got {factor!r}"
+            )
+        base = bracket(model, flavor, num_threads, machine_config)
+        durations = _duration_nodes(model.graph)
+        weights: dict[int, int] = {}
+        saved = 0
+        for nid in scenario.node_ids:
+            duration = durations.get(nid, 0)
+            if duration <= 0:
+                continue
+            scaled = int(duration / factor)
+            weights[nid] = scaled
+            saved += duration - scaled
+        span = critical_path(model.graph, weights=weights).length_cycles
+        work = model.work_cycles - saved
+        work_upper = work + overhead_upper_bound(
+            model, flavor, num_threads, machine_config
+        )
+        return Projection(
+            program=model.program,
+            flavor=flavor.name,
+            num_threads=num_threads,
+            target=scenario.target,
+            k=factor,
+            scaled_nodes=len(weights),
+            baseline=base,
+            baseline_work_cycles=model.work_cycles,
+            span_lower=span,
+            work_cycles=work,
+            work_upper=work_upper,
+        )

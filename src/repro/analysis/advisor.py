@@ -12,10 +12,14 @@ so average programmers get the paper's guidance automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.grains import GrainKind
 from .problems import ProblemKind
 from .report import AnalysisReport
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from ..advisor.report import Recommendation
 
 
 @dataclass(frozen=True)
@@ -170,6 +174,32 @@ def advise(report: AnalysisReport) -> list[Advice]:
                     "fixes (loop interchange) or locality-aware scheduling "
                     "(FFT Fig. 8, 359.botsspar Sec. 4.3.2)"
                 ),
+            )
+        )
+    return out
+
+
+def advice_from_recommendations(
+    recommendations: "Sequence[Recommendation]",
+) -> list[Advice]:
+    """Bridge the static advisor's ranked recommendations into the
+    measured-study advice stream (``profile_program(advise=True)``):
+    each pattern finding becomes one :class:`Advice`, keeping the
+    advisor's win-ranked order after the report-derived recipes."""
+    out: list[Advice] = []
+    for rec in recommendations:
+        finding = rec.finding
+        detail = finding.detail
+        if finding.benefit:
+            detail += f"; {finding.benefit}"
+        if finding.fix_hint:
+            detail += f"; fix: {finding.fix_hint}"
+        out.append(
+            Advice(
+                title=f"{finding.pattern.value} pattern "
+                f"(win {rec.win_cycles} cycles)",
+                detail=detail,
+                definition=finding.target,
             )
         )
     return out

@@ -28,6 +28,15 @@ Subcommands::
         Never invokes the engine — suitable as a fast CI gate ahead of
         any simulation job.
 
+    grain-graphs advise PROGRAM [PROGRAM ...] | --all  [--json]
+                 [--what-if TARGET=K] [--fail-on SEVERITY]
+        The parallelization advisor: run the ``pattern.*`` detectors
+        (reduction, do-all, pipeline, task-parallelism, geometric
+        decomposition) over the static model and rank the findings by
+        projected wall-clock win; ``--what-if`` additionally projects
+        "TARGET runs K× faster" causally from the work-span bracket.
+        Like ``check``, never invokes the engine.
+
     grain-graphs study --matrix PROG[:FLAVOR[:THREADS]],... [--jobs N]
                  [--cache DIR] [--cache-stats] [--no-reference]
                  [--obs-json FILE] [--obs-prom FILE]
@@ -86,6 +95,30 @@ def _flavor(name: str) -> RuntimeFlavor:
         _fail(str(exc))
 
 
+def _fail_on_threshold(label: str) -> Severity:
+    """The shared ``--fail-on`` label parser for ``lint``/``check``/
+    ``advise``: friendly one-line exit-2 on unknown labels, parsed
+    before any (possibly expensive) analysis runs."""
+    try:
+        return Severity.from_label(label)
+    except ValueError as exc:
+        _fail(str(exc))
+
+
+def _fail_on_exit(reports, threshold: Severity) -> int:
+    """The shared exit-code mapping: 1 when any report has a finding at
+    or above the threshold, else 0."""
+    return 1 if any(r.at_or_above(threshold) for r in reports) else 0
+
+
+def _add_fail_on(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="exit non-zero at or above this severity "
+        f"({' | '.join(s.label for s in Severity)})",
+    )
+
+
 def cmd_list(_args) -> int:
     print("available programs (default inputs; see repro.apps for knobs):")
     for name in sorted(PROGRAMS):
@@ -100,6 +133,7 @@ def cmd_analyze(args) -> int:
         flavor=_flavor(args.flavor),
         num_threads=args.threads,
         reference_threads=None if args.no_reference else 1,
+        advise=args.advise,
     )
     print(study.report.summary())
     print()
@@ -136,6 +170,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_lint(args) -> int:
+    threshold = _fail_on_threshold(args.fail_on)
     program = _resolve(args.program)
     result = run_program(
         program,
@@ -147,8 +182,7 @@ def cmd_lint(args) -> int:
         print(render_json(report))
     else:
         print(render_text(report, verbose=args.verbose))
-    threshold = Severity.from_label(args.fail_on)
-    return 1 if report.at_or_above(threshold) else 0
+    return _fail_on_exit([report], threshold)
 
 
 def cmd_check(args) -> int:
@@ -162,26 +196,69 @@ def cmd_check(args) -> int:
         names = args.programs
     else:
         _fail("check: name programs or pass --all")
-    threshold = Severity.from_label(args.fail_on)
-    failed = False
+    threshold = _fail_on_threshold(args.fail_on)
+    reports = []
     payloads = []
     for name in names:
         program = _resolve(name)
         model, report = check_program(program)
+        reports.append(report)
         if args.json:
             payloads.append(report.to_dict())
         else:
             print(model.summary())
             print(render_text(report, verbose=args.verbose))
             print()
-        if report.at_or_above(threshold):
-            failed = True
     if args.json:
         if len(payloads) == 1:
             print(_json.dumps(payloads[0], indent=2))
         else:
             print(_json.dumps(payloads, indent=2))
-    return 1 if failed else 0
+    return _fail_on_exit(reports, threshold)
+
+
+def cmd_advise(args) -> int:
+    import json as _json
+
+    from .advisor import AdvisorError, advise_program, parse_what_if
+
+    if args.all:
+        names = sorted(PROGRAMS)
+    elif args.programs:
+        names = args.programs
+    else:
+        _fail("advise: name programs or pass --all")
+    threshold = _fail_on_threshold(args.fail_on)
+    flavor = _flavor(args.flavor)
+    try:
+        what_ifs = [parse_what_if(spec) for spec in (args.what_if or [])]
+    except AdvisorError as exc:
+        _fail(str(exc))
+    reports = []
+    payloads = []
+    for name in names:
+        program = _resolve(name)
+        try:
+            report = advise_program(
+                program,
+                flavor=flavor,
+                num_threads=args.threads,
+                what_ifs=what_ifs,
+            )
+        except AdvisorError as exc:
+            _fail(str(exc))
+        reports.append(report)
+        if args.json:
+            payloads.append(report.to_dict())
+        else:
+            print(report.render_text())
+            print()
+    if args.json:
+        if len(payloads) == 1:
+            print(_json.dumps(payloads[0], indent=2))
+        else:
+            print(_json.dumps(payloads, indent=2))
+    return _fail_on_exit(reports, threshold)
 
 
 def cmd_speedups(args) -> int:
@@ -354,6 +431,10 @@ def main(argv: list[str] | None = None) -> int:
     analyze.add_argument("--threads", type=int, default=48)
     analyze.add_argument("--no-reference", action="store_true",
                          help="skip the 1-core work-deviation run")
+    analyze.add_argument("--advise", action="store_true",
+                         help="also run the static parallelization "
+                         "advisor and fold its ranked recommendations "
+                         "into the advice list")
     analyze.add_argument("--graphml", help="write a yEd GraphML file")
     analyze.add_argument("--svg", help="write a reduced-graph SVG")
     analyze.add_argument("--view", default="parallel_benefit",
@@ -371,9 +452,7 @@ def main(argv: list[str] | None = None) -> int:
     lint.add_argument("--threads", type=int, default=8)
     lint.add_argument("--json", action="store_true",
                       help="emit the machine-readable diagnostic report")
-    lint.add_argument("--fail-on", default="error",
-                      choices=[s.label for s in Severity],
-                      help="exit non-zero at or above this severity")
+    _add_fail_on(lint)
     lint.add_argument("--verbose", action="store_true",
                       help="also list every pass that ran")
     lint.set_defaults(fn=cmd_lint)
@@ -387,12 +466,30 @@ def main(argv: list[str] | None = None) -> int:
                        help="check every registered program")
     check.add_argument("--json", action="store_true",
                        help="emit the machine-readable diagnostic report")
-    check.add_argument("--fail-on", default="error",
-                       choices=[s.label for s in Severity],
-                       help="exit non-zero at or above this severity")
+    _add_fail_on(check)
     check.add_argument("--verbose", action="store_true",
                        help="also list every pass that ran")
     check.set_defaults(fn=cmd_check)
+
+    advise = sub.add_parser(
+        "advise",
+        help="rank parallelization opportunities from the static model "
+        "(pattern detectors + causal what-if), no simulation",
+    )
+    advise.add_argument("programs", nargs="*", metavar="PROGRAM")
+    advise.add_argument("--all", action="store_true",
+                        help="advise every registered program")
+    advise.add_argument("--flavor", default="MIR", help="MIR | ICC | GCC")
+    advise.add_argument("--threads", type=int, default=48,
+                        help="thread count the benefit math projects at")
+    advise.add_argument("--what-if", action="append", metavar="TARGET=K",
+                        help="project 'TARGET runs K times faster' "
+                        "causally (grain id, task definition, loop "
+                        "definition key, region name, or '*'); repeatable")
+    advise.add_argument("--json", action="store_true",
+                        help="emit the machine-readable recommendations")
+    _add_fail_on(advise)
+    advise.set_defaults(fn=cmd_advise)
 
     speedups = sub.add_parser("speedups", help="Fig. 1 style speedup table")
     speedups.add_argument("programs", nargs="+")

@@ -12,7 +12,11 @@ raising on the first error.  Ships with:
   :class:`~repro.runtime.actions.Work` / ``Alloc``,
 - the program-layer static passes (``static.*``) contributed by
   :mod:`repro.staticc`: work/span bounds, structural anti-patterns, and
-  the all-schedule race certificate — no trace or simulation required.
+  the all-schedule race certificate — no trace or simulation required,
+- the parallelization-pattern detectors (``pattern.*``) contributed by
+  :mod:`repro.advisor`: reduction, do-all, pipeline, task-parallelism,
+  and geometric-decomposition opportunities, each an INFO finding with
+  the blocking dependence and projected benefit.
 
 Entry points: :func:`run_lint` (library), ``grain-graphs lint`` /
 ``grain-graphs check`` (CLI), ``profile_program(lint=True)`` (workflow).
@@ -38,6 +42,7 @@ from . import graph_passes, races, trace_passes  # noqa: E402,F401
 from .graph_passes import STRUCTURE_RULES, structure_diagnostics
 from .reporters import format_summary, render_json, render_text
 from ..staticc import passes as _static_passes  # noqa: E402,F401
+from ..advisor import patterns as _pattern_passes  # noqa: E402,F401
 
 __all__ = [
     "Diagnostic",

@@ -24,7 +24,7 @@ original validator so downstream matching keeps working.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..core.nodes import EdgeKind, GGNode, GrainGraph, NodeKind
 from .diagnostics import Diagnostic, Severity
@@ -44,7 +44,7 @@ STRUCTURE_RULES = (
 )
 
 
-def _error(rule_id: str, message: str, **kwargs) -> Diagnostic:
+def _error(rule_id: str, message: str, **kwargs: Any) -> Diagnostic:
     return Diagnostic(
         rule_id=rule_id, severity=Severity.ERROR, message=message, **kwargs
     )

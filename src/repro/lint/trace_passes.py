@@ -27,6 +27,7 @@ from typing import Iterator
 from ..profiler.events import (
     BookkeepingEvent,
     ChunkEvent,
+    Event,
     FragmentEvent,
     LoopBeginEvent,
     LoopEndEvent,
@@ -43,11 +44,11 @@ from .framework import TRACE_LAYER, register
 _SPAN_EVENTS = (FragmentEvent, ChunkEvent, BookkeepingEvent)
 
 
-def _anchor_time(event) -> int:
+def _anchor_time(event: Event) -> int:
     return event.end if isinstance(event, _SPAN_EVENTS) else event.time
 
 
-def _describe(event) -> str:
+def _describe(event: Event) -> str:
     if isinstance(event, FragmentEvent):
         return f"fragment {event.tid}#{event.seq}"
     if isinstance(event, ChunkEvent):

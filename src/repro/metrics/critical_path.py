@@ -11,6 +11,7 @@ is "an important filter for selecting first-optimization candidates"
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Optional
 
 from ..core.nodes import GrainGraph
 
@@ -41,7 +42,10 @@ class CriticalPath:
         }
 
 
-def critical_path(graph: GrainGraph) -> CriticalPath:
+def critical_path(
+    graph: GrainGraph,
+    weights: Optional[Mapping[int, int]] = None,
+) -> CriticalPath:
     """Longest (duration-weighted) path via topological dynamic program.
 
     Join nodes carry zero path weight: their span is *waiting*, which
@@ -49,6 +53,13 @@ def critical_path(graph: GrainGraph) -> CriticalPath:
     counting it would double-book time and let the path exceed the
     makespan.  Forks (creation cost), book-keeping, fragments and chunks
     carry their durations, hence the invariant ``length <= makespan``.
+
+    ``weights`` overrides the duration of the listed node ids (joins stay
+    zero regardless).  This is what the causal what-if engine
+    (:mod:`repro.advisor.whatif`) uses to re-span a static graph under a
+    "node runs k× faster" scenario without mutating it; an empty or
+    identity mapping reproduces the unmodified path exactly, since the
+    dynamic program and its tie-breaks are unchanged.
     """
     from ..core.nodes import NodeKind
 
@@ -57,7 +68,12 @@ def critical_path(graph: GrainGraph) -> CriticalPath:
     pred: dict[int, int | None] = {}
     for nid in order:
         node = graph.nodes[nid]
-        weight = 0 if node.kind is NodeKind.JOIN else node.duration
+        if node.kind is NodeKind.JOIN:
+            weight = 0
+        elif weights is not None and nid in weights:
+            weight = weights[nid]
+        else:
+            weight = node.duration
         incoming = graph.predecessors(nid)
         if incoming:
             # max over predecessors, ties broken by smallest node id for

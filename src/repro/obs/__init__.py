@@ -21,7 +21,10 @@ Instrumented stages (see DESIGN.md for the full list): ``engine.run``,
 ``exec.simulate``, ``exec.run_matrix``, ``cache.trace_read/write``,
 ``cache.report_read/write``, ``graph.build``, ``graph.validate``,
 ``lint.run``, ``static.check``, ``analysis.analyze``,
-``analysis.timeline``, and one ``metrics.<family>`` span per metric.
+``analysis.timeline``, one ``metrics.<family>`` span per metric, and
+the advisor stages ``advisor.run``, ``advisor.expand``,
+``advisor.patterns``, ``advisor.pattern.<kind>`` (one per detector),
+``advisor.whatif``, and ``advisor.rank``.
 Counters unify the engine's ``RunStats`` (``engine.*``), the cache's
 ``CacheStats`` (``cache.*``), and the study runner's simulation count
 (``exec.simulated``) into one structured snapshot.

@@ -12,7 +12,12 @@ framework and the static passes import each other's submodules, and
 this ordering is what keeps both entry orders cycle-safe).
 """
 
-from .bounds import WorkSpanBounds, bracket, work_upper_bound
+from .bounds import (
+    WorkSpanBounds,
+    bracket,
+    overhead_upper_bound,
+    work_upper_bound,
+)
 from .check import check_program
 from .expansion import StaticExpansionError, expand_program
 from .model import StaticLoop, StaticModel, StaticTask
@@ -31,5 +36,6 @@ __all__ = [
     "check_program",
     "cross_validate",
     "expand_program",
+    "overhead_upper_bound",
     "work_upper_bound",
 ]

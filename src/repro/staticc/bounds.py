@@ -74,18 +74,27 @@ def worst_line_latency(
     return max(float(config.cost.llc_hit_cycles), remote)
 
 
-def work_upper_bound(
+def overhead_upper_bound(
     model: StaticModel,
     flavor: RuntimeFlavor,
     num_threads: int,
     machine_config: MachineConfig | None = None,
 ) -> int:
-    """Pessimistic upper bound on the total of all node durations of any
-    run of ``model``'s program — hence on its critical path."""
+    """Everything :func:`work_upper_bound` charges *beyond* the declared
+    compute: worst-case stalls, fork costs, and loop book-keeping.
+
+    Split out so the what-if engine (:mod:`repro.advisor.whatif`) can
+    project ``work_upper`` for a scaled-compute scenario as
+    ``projected work_cycles + overhead_upper_bound(...)`` — the overhead
+    term is independent of how fast the compute runs (speeding a region
+    up never adds stalls, forks, or dispatch operations, so reusing the
+    baseline term keeps the bound sound), and at ``k=1`` the projection
+    reproduces :func:`bracket` exactly because it is the same sum.
+    """
     if num_threads < 1:
         raise ValueError("num_threads must be at least 1")
     config = machine_config or MachineConfig.paper_testbed()
-    total = model.work_cycles
+    total = 0
 
     line_latency = worst_line_latency(config, num_threads)
     stall = model.total_access_lines * line_latency / config.cost.mlp
@@ -111,6 +120,19 @@ def work_upper_bound(
         total += ops * per_op
 
     return total
+
+
+def work_upper_bound(
+    model: StaticModel,
+    flavor: RuntimeFlavor,
+    num_threads: int,
+    machine_config: MachineConfig | None = None,
+) -> int:
+    """Pessimistic upper bound on the total of all node durations of any
+    run of ``model``'s program — hence on its critical path."""
+    return model.work_cycles + overhead_upper_bound(
+        model, flavor, num_threads, machine_config
+    )
 
 
 def bracket(

@@ -40,6 +40,7 @@ from .runtime.engine import RunResult
 from .runtime.flavors import GCC, ICC, MIR, RuntimeFlavor
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from .advisor import AdvisorReport
     from .exec import RunCache, TraceExecutor
     from .staticc import CrossValidation, StaticModel
 
@@ -59,6 +60,7 @@ class Study:
     lint_report: Optional[LintReport] = None
     static_model: "Optional[StaticModel]" = None
     static_report: Optional[LintReport] = None
+    advisor_report: "Optional[AdvisorReport]" = None
 
     def cross_validation(self) -> "Optional[CrossValidation]":
         """The static-vs-measured work/span bracket, when the study was
@@ -113,6 +115,7 @@ def build_study(
     validate: bool = True,
     lint: bool = False,
     static_check: bool = False,
+    advise_static: bool = False,
 ) -> Study:
     """Assemble a :class:`Study` from already-executed run results.
 
@@ -125,6 +128,11 @@ def build_study(
     (:mod:`repro.staticc`) and attaches the static model and its
     program-layer lint report; :meth:`Study.cross_validation` then
     compares the static work/span bracket against the measured run.
+    ``advise_static=True`` runs the parallelization advisor
+    (:func:`repro.advisor.advise_program`) at the run's flavor and
+    thread count — reusing the ``static_check`` model when both are
+    requested — attaching the ranked :class:`AdvisorReport` and
+    appending its recommendations to :attr:`Study.advice`.
     """
     with _obs.span("graph.build"):
         graph = build_grain_graph(result.trace)
@@ -144,6 +152,16 @@ def build_study(
 
         with _obs.span("static.check"):
             static_model, static_report = check_program(program)
+    advisor_report = None
+    if advise_static:
+        from .advisor import advise_program
+
+        advisor_report = advise_program(
+            program,
+            flavor=result.flavor,
+            num_threads=result.num_threads,
+            model=static_model,
+        )
     if reference is not None:
         with _obs.span("graph.build"):
             reference_graph = build_grain_graph(reference.trace)
@@ -159,18 +177,26 @@ def build_study(
         )
     with _obs.span("analysis.timeline"):
         timeline = thread_timeline(result.trace)
+    advice = advise(report)
+    if advisor_report is not None:
+        from .analysis.advisor import advice_from_recommendations
+
+        advice.extend(
+            advice_from_recommendations(advisor_report.recommendations)
+        )
     return Study(
         program=program,
         result=result,
         graph=graph,
         report=report,
-        advice=advise(report),
+        advice=advice,
         timeline=timeline,
         reference=reference,
         reference_graph=reference_graph,
         lint_report=lint_report,
         static_model=static_model,
         static_report=static_report,
+        advisor_report=advisor_report,
     )
 
 
@@ -187,6 +213,7 @@ def profile_program(
     profiler: ProfilerConfig | None = None,
     lint: bool = False,
     static_check: bool = False,
+    advise: bool = False,
     cache: "RunCache | None" = None,
 ) -> Study:
     """Run the full analysis pipeline on one program.
@@ -196,7 +223,10 @@ def profile_program(
     additionally runs every registered ``repro.lint`` pass over the trace
     and both graph layers, attaching the :class:`LintReport` to the study.
     ``static_check=True`` also attaches the ahead-of-simulation static
-    model and report (see :func:`build_study`).
+    model and report (see :func:`build_study`).  ``advise=True`` attaches
+    the parallelization advisor's ranked recommendations
+    (:class:`repro.advisor.AdvisorReport`) and folds them into
+    :attr:`Study.advice`.
     ``cache`` (default: the :func:`repro.exec.get_default_cache`, which
     is ``None`` unless explicitly installed) reuses stored traces instead
     of simulating.
@@ -222,6 +252,7 @@ def profile_program(
         validate=validate,
         lint=lint,
         static_check=static_check,
+        advise_static=advise,
     )
 
 

@@ -1,0 +1,199 @@
+"""``grain-graphs advise``: exit codes, JSON, purity, and the shared
+``--fail-on`` plumbing it now shares with ``lint``/``check``."""
+
+import json
+
+import pytest
+
+from repro.advisor import AdvisorReport
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.cli import main
+from repro.lint import Severity
+from repro.runtime.engine import engine_invocations
+
+
+def expect_exit_2(argv, capsys, fragment):
+    with pytest.raises(SystemExit) as excinfo:
+        main(argv)
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("grain-graphs: error:"), err
+    assert fragment in err
+    assert "Traceback" not in err
+    return err
+
+
+class TestAdviseCommand:
+    def test_program_with_findings_exits_zero_by_default(self, capsys):
+        assert main(["advise", "fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "do-all" in out
+        assert "ranked by projected win" in out
+
+    def test_fail_on_info_gates_on_pattern_findings(self):
+        assert main(["advise", "fig3b", "--fail-on", "info"]) == 1
+
+    def test_all_programs_exit_zero_at_default_gate(self):
+        # pattern.* findings are INFO across the board; even `racy`
+        # advises green at the default --fail-on error.
+        assert main(["advise", "--all"]) == 0
+
+    def test_never_invokes_engine(self):
+        before = engine_invocations()
+        main(["advise", "--all", "--threads", "8"])
+        assert engine_invocations() == before
+
+    def test_what_if_appears_in_output(self, capsys):
+        assert main(
+            ["advise", "fig3a", "--what-if", "fig3.c:4(bar)=4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "what-if fig3.c:4(bar)=4" in out
+        assert "speedup" in out
+
+    def test_json_roundtrips(self, capsys):
+        assert main(
+            ["advise", "fig3b", "--json", "--what-if", "*=2"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "fig3b"
+        assert payload["recommendations"]
+        rec = payload["recommendations"][0]
+        assert rec["rank"] == 1
+        assert rec["rule_id"].startswith("pattern.")
+        [what_if] = payload["what_ifs"]
+        assert what_if["k"] == 2.0
+        assert (
+            what_if["projected"]["span_lower"]
+            <= what_if["baseline"]["span_lower"]
+        )
+
+    def test_json_multiple_programs_is_a_list(self, capsys):
+        assert main(["advise", "fig3a", "fig3b", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert [p["program"] for p in parsed] == ["fig3a", "fig3b"]
+
+    def test_json_k1_what_if_matches_baseline(self, capsys):
+        """The CLI-level identity pin: --what-if '*=1' projects the
+        baseline bracket unchanged."""
+        assert main(["advise", "sort", "--json", "--what-if", "*=1"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        [what_if] = payload["what_ifs"]
+        assert what_if["projected"] == what_if["baseline"]
+        assert what_if["win_cycles"] == 0
+
+    def test_ranking_is_by_descending_win(self, capsys):
+        assert main(["advise", "--all", "--json"]) == 0
+        for payload in json.loads(capsys.readouterr().out):
+            wins = [r["win_cycles"] for r in payload["recommendations"]]
+            assert wins == sorted(wins, reverse=True), payload["program"]
+
+
+class TestAdviseErrors:
+    def test_no_programs_rejected(self, capsys):
+        expect_exit_2(["advise"], capsys, "--all")
+
+    def test_unknown_program_rejected(self, capsys):
+        expect_exit_2(["advise", "nosuch"], capsys, "nosuch")
+
+    def test_unknown_flavor_rejected(self, capsys):
+        expect_exit_2(
+            ["advise", "fig3b", "--flavor", "NOPE"], capsys, "NOPE"
+        )
+
+    def test_malformed_what_if_rejected(self, capsys):
+        expect_exit_2(
+            ["advise", "fig3b", "--what-if", "oops"], capsys, "TARGET=K"
+        )
+
+    def test_what_if_factor_below_one_rejected(self, capsys):
+        expect_exit_2(
+            ["advise", "fig3b", "--what-if", "*=0.5"], capsys, ">= 1"
+        )
+
+    def test_unknown_what_if_target_lists_known(self, capsys):
+        err = expect_exit_2(
+            ["advise", "fig3a", "--what-if", "nosuch=2"], capsys, "nosuch"
+        )
+        assert "known targets" in err
+        assert "fig3.c:4(bar)" in err
+
+
+class TestSharedFailOnPlumbing:
+    """The dedup satellite: lint, check, and advise share one label
+    parser and one exit-code mapping."""
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["advise", "fig3b", "--fail-on", "bogus"],
+            ["check", "fig3b", "--fail-on", "bogus"],
+            ["lint", "fig3b", "--fail-on", "bogus"],
+        ],
+        ids=["advise", "check", "lint"],
+    )
+    def test_unknown_label_is_a_friendly_exit_2(self, argv, capsys):
+        err = expect_exit_2(argv, capsys, "bogus")
+        assert "info" in err  # lists the valid labels
+
+    def test_bad_label_precedes_any_analysis(self, capsys):
+        before = engine_invocations()
+        expect_exit_2(
+            ["lint", "fig3b", "--fail-on", "bogus"], capsys, "bogus"
+        )
+        assert engine_invocations() == before
+
+    def test_every_severity_label_accepted_by_advise(self):
+        for severity in Severity:
+            code = main(["advise", "fig3b", "--fail-on", severity.label])
+            assert code == (1 if severity is Severity.INFO else 0)
+
+
+class TestWorkflowIntegration:
+    def test_profile_program_advise_attaches_report(self):
+        from repro.workflow import profile_program
+
+        study = profile_program(
+            resolve_small("fig3b"), num_threads=2, advise=True
+        )
+        assert isinstance(study.advisor_report, AdvisorReport)
+        assert study.advisor_report.num_threads == 2
+        titles = [a.title for a in study.advice]
+        assert any("pattern" in t for t in titles)
+
+    def test_profile_program_default_skips_advisor(self):
+        from repro.workflow import profile_program
+
+        study = profile_program(resolve_small("fig3b"), num_threads=2)
+        assert study.advisor_report is None
+
+    def test_static_check_model_is_reused(self):
+        """With static_check and advise both on, the advisor reuses the
+        checked model instead of re-expanding (no advisor.expand span)."""
+        from repro.obs import registry as obs
+        from repro.workflow import profile_program
+
+        obs.reset()
+        previous = obs.set_enabled(True)
+        try:
+            profile_program(
+                resolve_small("fig3b"),
+                num_threads=2,
+                static_check=True,
+                advise=True,
+            )
+            names = set(obs.snapshot().spans)
+        finally:
+            obs.set_enabled(previous)
+            obs.reset()
+        assert "advisor.run" in names
+        assert "advisor.patterns" in names
+        assert "advisor.expand" not in names
+
+    def test_analyze_cli_advise_flag(self, capsys):
+        assert main(
+            ["analyze", "fig3b", "--threads", "2", "--advise",
+             "--no-reference"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ADVICE:" in out

@@ -1,0 +1,255 @@
+"""Pattern detectors: one synthetic program per pattern, plus the
+registry-wide determinism and engine-purity pins.
+
+Only ``micro.racy`` declares footprints among the registered apps, so
+pipeline/task-parallelism/geometric get purpose-built programs whose
+stage structure (``TaskWait``-separated root fragments, footprinted
+loops) exercises exactly one detector each — and the mutual-exclusivity
+argument (a RAW dependence implies non-disjointness) gets pinned both
+ways.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import advise_program, detect_patterns
+from repro.advisor.patterns import (
+    PATTERN_RULES,
+    PatternKind,
+    detect_do_all,
+    detect_geometric,
+    detect_pipeline,
+    detect_reduction,
+    detect_task_parallelism,
+)
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.common import SourceLocation
+from repro.lint.diagnostics import Severity
+from repro.machine.cost import Access, WorkRequest
+from repro.runtime.actions import Alloc, Footprint, ParallelFor, TaskWait, Work
+from repro.runtime.api import Program
+from repro.runtime.engine import engine_invocations
+from repro.runtime.loops import LoopSpec
+from repro.staticc import check_program, expand_program
+
+LOC = SourceLocation("synth.c", 1, "main")
+
+
+def pipeline_program() -> Program:
+    """Three heavy root stages chained a -> b -> c by RAW dataflow."""
+
+    def main():
+        yield Alloc("a", 1024)
+        yield Alloc("b", 1024)
+        yield Alloc("c", 1024)
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=5000), writes=("a",))
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=3000), reads=("a",), writes=("b",))
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=2000), reads=("b",), writes=("c",))
+
+    return Program("synth-pipeline", main)
+
+
+def independent_stages_program() -> Program:
+    """Two heavy root stages with declared, disjoint footprints."""
+
+    def main():
+        yield Alloc("a", 1024)
+        yield Alloc("b", 1024)
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=6000), reads=("a",), writes=("a",))
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=4000), reads=("b",), writes=("b",))
+
+    return Program("synth-independent", main)
+
+
+def undeclared_stages_program() -> Program:
+    """Two heavy root stages with no footprints at all: vacuously
+    disjoint, which the finding must caveat."""
+
+    def main():
+        yield Work(WorkRequest(cycles=3000))
+        yield TaskWait()
+        yield Work(WorkRequest(cycles=2000))
+
+    return Program("synth-undeclared", main)
+
+
+def geometric_program(iterations: int = 4) -> Program:
+    """Each iteration writes its own 256-byte block of one region."""
+
+    def main():
+        yield ParallelFor(
+            LoopSpec(
+                iterations=iterations,
+                chunk_size=1,
+                body=lambda i: WorkRequest(
+                    cycles=2000,
+                    accesses=(Access(region_id=0, nbytes=256),),
+                ),
+                footprint=lambda s, e: (
+                    (),
+                    (Footprint("grid", s * 256, e * 256),),
+                ),
+                loc=SourceLocation("synth.c", 10, "grid"),
+            )
+        )
+
+    return Program("synth-geometric", main)
+
+
+def blocked_loop_program() -> Program:
+    """Every iteration writes the same 8 bytes: not a do-all."""
+
+    def main():
+        yield ParallelFor(
+            LoopSpec(
+                iterations=4,
+                chunk_size=1,
+                body=lambda i: WorkRequest(cycles=2000),
+                footprint=lambda s, e: ((), (Footprint("acc", 0, 8),)),
+                loc=SourceLocation("synth.c", 20, "acc_loop"),
+            )
+        )
+
+    return Program("synth-blocked-loop", main)
+
+
+class TestPipeline:
+    def test_raw_chain_detected_with_win_and_blocking(self):
+        model = expand_program(pipeline_program())
+        findings = detect_pipeline(model)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.pattern is PatternKind.PIPELINE
+        assert f.win_cycles == 5000  # (5000+3000+2000) - max(5000)
+        assert f.speedup_factor == 10000 / 5000
+        assert "'a'" in f.blocking and "'b'" in f.blocking
+        assert len(f.affected_nodes) == 3
+
+    def test_raw_chain_is_not_task_parallel(self):
+        model = expand_program(pipeline_program())
+        assert detect_task_parallelism(model) == []
+
+
+class TestTaskParallelism:
+    def test_disjoint_stages_detected(self):
+        model = expand_program(independent_stages_program())
+        findings = detect_task_parallelism(model)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.pattern is PatternKind.TASK_PARALLELISM
+        assert f.win_cycles == 4000  # (6000+4000) - max(6000)
+        assert f.blocking == ""
+        assert "caveat" not in f.detail
+
+    def test_disjoint_stages_are_not_a_pipeline(self):
+        model = expand_program(independent_stages_program())
+        assert detect_pipeline(model) == []
+
+    def test_undeclared_footprints_caveated(self):
+        model = expand_program(undeclared_stages_program())
+        findings = detect_task_parallelism(model)
+        assert len(findings) == 1
+        assert "asserted, not proven" in findings[0].detail
+
+
+class TestGeometric:
+    def test_disjoint_block_writes_detected(self):
+        model = expand_program(geometric_program())
+        findings = detect_geometric(model)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.pattern is PatternKind.GEOMETRIC
+        assert "'grid'" in f.detail
+        assert f.win_cycles > 0  # cost-model accesses charge stalls
+
+    def test_geometric_loop_is_also_a_clean_do_all(self):
+        model = expand_program(geometric_program())
+        [f] = detect_do_all(model)
+        assert f.blocking == ""
+
+    def test_locality_win_stays_inside_the_work_bound(self):
+        """The NUMA win is charged against the pessimistic stall term,
+        so it can never exceed the work bound's overhead headroom."""
+        from repro.runtime.flavors import MIR
+        from repro.staticc import bracket
+
+        model = expand_program(geometric_program())
+        for threads in (2, 8, 48):
+            [f] = detect_geometric(model, None, threads)
+            bounds = bracket(model, MIR, threads)
+            headroom = bounds.work_upper - model.work_cycles
+            assert f.win_cycles <= headroom, threads
+
+    def test_shared_write_range_is_not_geometric(self):
+        model = expand_program(blocked_loop_program())
+        assert detect_geometric(model) == []
+
+
+class TestDoAll:
+    def test_cross_iteration_conflict_blocks_the_loop(self):
+        model = expand_program(blocked_loop_program())
+        [f] = detect_do_all(model)
+        assert f.win_cycles == 0
+        assert "'acc'" in f.blocking
+        assert "NOT" in f.detail
+
+    def test_binding_team_cap_quantified(self):
+        model = expand_program(resolve_small("fig3b"))
+        findings = detect_do_all(model, None, 8)
+        capped = [f for f in findings if "raising the team cap" in f.benefit]
+        assert capped and capped[0].win_cycles > 0
+
+
+class TestReduction:
+    def test_racy_accumulation_detected(self):
+        model = expand_program(resolve_small("racy"))
+        findings = detect_reduction(model)
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.pattern is PatternKind.REDUCTION
+        assert "write/write" in f.blocking
+        assert f.win_cycles > 0
+        assert "privatize" in f.fix_hint
+
+    def test_ordered_variant_has_no_reduction(self):
+        model = expand_program(resolve_small("racy-fixed"))
+        assert detect_reduction(model) == []
+
+
+class TestLintIntegration:
+    def test_pattern_passes_run_in_static_check(self):
+        _, report = check_program(resolve_small("fig3b"))
+        ran = {rule for rule, _ in report.passes_run}
+        assert set(PATTERN_RULES) <= ran
+        pattern_diags = [
+            d for d in report.diagnostics
+            if d.rule_id.startswith("pattern.")
+        ]
+        assert pattern_diags
+        assert all(d.severity is Severity.INFO for d in pattern_diags)
+
+    def test_check_exit_semantics_unchanged_by_patterns(self):
+        """pattern.* findings are INFO: a clean program still gates
+        green at --fail-on error/warning."""
+        _, report = check_program(resolve_small("fig3b"))
+        assert not report.at_or_above(Severity.WARNING)
+
+
+class TestDeterminismAndPurity:
+    @settings(deadline=None, max_examples=12)
+    @given(name=st.sampled_from(sorted(PROGRAMS)))
+    def test_detectors_deterministic_over_registry(self, name):
+        first = detect_patterns(expand_program(resolve_small(name)))
+        second = detect_patterns(expand_program(resolve_small(name)))
+        assert first == second
+
+    def test_advising_every_program_never_invokes_engine(self):
+        before = engine_invocations()
+        for name in sorted(PROGRAMS):
+            advise_program(resolve_small(name), num_threads=8)
+        assert engine_invocations() == before

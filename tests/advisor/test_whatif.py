@@ -1,0 +1,149 @@
+"""Causal what-if projection: the three pinned guarantees.
+
+1. *Identity*: at ``k=1`` the projection reproduces the baseline
+   :func:`repro.staticc.bracket` byte-for-byte on every registered
+   program — the identity weights drive the same critical-path dynamic
+   program with the same tie-breaks, so any drift is a real bug in one
+   of the two paths.
+2. *Monotonicity*: projected span, work, and pessimistic bound never
+   increase with ``k``; the projected win never decreases.
+3. *Purity*: projecting never touches the discrete-event engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.advisor import (
+    AdvisorError,
+    known_targets,
+    parse_what_if,
+    project,
+    resolve_target,
+)
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.runtime.engine import engine_invocations
+from repro.runtime.flavors import GCC, ICC, MIR
+from repro.staticc import bracket, expand_program
+
+
+class TestIdentityProjection:
+    def test_k1_reproduces_bracket_for_every_program(self):
+        """The acceptance pin: k=1 over '*' equals bracket() exactly."""
+        before = engine_invocations()
+        for name in sorted(PROGRAMS):
+            model = expand_program(resolve_small(name))
+            base = bracket(model, MIR, 8)
+            proj = project(model, MIR, 8, "*", k=1.0)
+            assert proj.bounds == base, name
+            assert proj.work_cycles == model.work_cycles, name
+            assert proj.win_cycles == 0, name
+            assert proj.speedup_bracket == (1.0, 1.0), name
+        assert engine_invocations() == before
+
+    @pytest.mark.parametrize("flavor", [MIR, ICC, GCC])
+    @pytest.mark.parametrize("threads", [1, 8, 48])
+    def test_k1_matches_across_flavors_and_teams(self, flavor, threads):
+        model = expand_program(resolve_small("sort"))
+        base = bracket(model, flavor, threads)
+        proj = project(model, flavor, threads, "*", k=1.0)
+        assert proj.bounds == base
+        assert proj.flavor == flavor.name
+
+    def test_k1_per_grain_target_is_also_identity(self):
+        model = expand_program(resolve_small("fig3a"))
+        base = bracket(model, MIR, 8)
+        proj = project(model, MIR, 8, "fig3.c:4(bar)", k=1.0)
+        assert proj.bounds == base
+
+
+class TestMonotonicity:
+    @settings(deadline=None, max_examples=20)
+    @given(
+        name=st.sampled_from(["fib", "fig3a", "fig3b", "sort"]),
+        k1=st.floats(1.0, 16.0),
+        k2=st.floats(1.0, 16.0),
+    )
+    def test_projections_monotone_in_k(self, name, k1, k2):
+        if k1 > k2:
+            k1, k2 = k2, k1
+        model = expand_program(resolve_small(name))
+        lo = project(model, MIR, 8, "*", k=k1)
+        hi = project(model, MIR, 8, "*", k=k2)
+        assert hi.span_lower <= lo.span_lower
+        assert hi.work_cycles <= lo.work_cycles
+        assert hi.work_upper <= lo.work_upper
+        assert hi.win_cycles >= lo.win_cycles
+        assert hi.span_speedup >= lo.span_speedup
+        assert hi.work_speedup >= lo.work_speedup
+
+    def test_critical_path_reroutes_instead_of_scaling_linearly(self):
+        """Scaling one task k× shifts the longest path to the *other*
+        branch — the projected span drops, but by less than k (the
+        causal-profiler effect the weights override exists for)."""
+        model = expand_program(resolve_small("fig3a"))
+        target = next(
+            t for t in known_targets(model) if "bar" in t
+        )
+        base = bracket(model, MIR, 2)
+        proj = project(model, MIR, 2, target, k=4.0)
+        assert proj.span_lower < base.span_lower
+        assert proj.span_lower > base.span_lower / 4.0
+
+
+class TestParseWhatIf:
+    def test_good_specs(self):
+        assert parse_what_if("solve=4") == ("solve", 4.0)
+        assert parse_what_if(" matrix = 2.5 ") == ("matrix", 2.5)
+
+    def test_nested_equals_splits_at_first(self):
+        with pytest.raises(AdvisorError):
+            parse_what_if("a=b=1")  # 'b=1' is not a number
+
+    @pytest.mark.parametrize(
+        "spec", ["", "solve", "=4", "solve=", "solve=fast"]
+    )
+    def test_malformed_specs_raise(self, spec):
+        with pytest.raises(AdvisorError):
+            parse_what_if(spec)
+
+    @pytest.mark.parametrize("spec", ["solve=0", "solve=0.5", "solve=-2"])
+    def test_k_below_one_rejected(self, spec):
+        with pytest.raises(AdvisorError, match=">= 1"):
+            parse_what_if(spec)
+
+
+class TestResolveTarget:
+    def test_star_covers_every_compute_grain(self):
+        model = expand_program(resolve_small("fib"))
+        scenario = resolve_target(model, "*")
+        assert scenario.node_ids
+        proj = project(model, MIR, 8, scenario, k=10.0)
+        assert proj.scaled_nodes == len(scenario.node_ids)
+
+    def test_task_definition_scales_all_instances(self):
+        model = expand_program(resolve_small("fib"))
+        definition = next(
+            t.definition
+            for t in model.tasks.values()
+            if t.definition and t.path[1:]
+        )
+        scenario = resolve_target(model, definition)
+        assert len(scenario.node_ids) > 1
+
+    def test_unknown_target_lists_known_names(self):
+        model = expand_program(resolve_small("fib"))
+        with pytest.raises(AdvisorError) as excinfo:
+            resolve_target(model, "nosuch")
+        message = str(excinfo.value)
+        assert "nosuch" in message
+        assert "*" in message
+        assert "fib.c:33(fib)" in message
+
+    def test_every_known_target_resolves_everywhere(self):
+        """The friendly error only suggests names that actually work."""
+        for name in sorted(PROGRAMS):
+            model = expand_program(resolve_small(name))
+            for target in known_targets(model):
+                scenario = resolve_target(model, target)
+                assert scenario.target == target, (name, target)
