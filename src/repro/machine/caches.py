@@ -99,6 +99,34 @@ class CacheModel:
         self._llc = [
             _WorkingSetCache(self.config.llc_bytes) for _ in range(topology.sockets)
         ]
+        # core -> socket, hoisted off the per-access path (the topology
+        # lookup revalidates the core id on every call).
+        self._socket_of_core = [
+            topology.socket_of_core(core) for core in range(topology.num_cores)
+        ]
+
+    def service_lines(
+        self, core: int, region_id: int, nbytes: int, pattern: float
+    ) -> tuple[int, int, int]:
+        """``(private_hit, llc_hit, memory)`` line counts for one access.
+
+        The allocation-free hot path behind :meth:`access`: the caller
+        (the cost model, via validated :class:`~repro.machine.cost.Access`
+        descriptors) guarantees ``nbytes > 0`` and ``pattern`` in (0, 1].
+        """
+        private_hit = self._private[core].lookup_and_fill(region_id, nbytes)
+        private_hit = int(private_hit * pattern)
+        remainder = nbytes - private_hit
+        llc_hit = self._llc[self._socket_of_core[core]].lookup_and_fill(
+            region_id, remainder
+        )
+        llc_hit = int(llc_hit * pattern)
+        mem = remainder - llc_hit
+        return (
+            -(-private_hit // LINE_SIZE) if private_hit else 0,
+            -(-llc_hit // LINE_SIZE) if llc_hit else 0,
+            -(-mem // LINE_SIZE) if mem else 0,
+        )
 
     def access(
         self, core: int, region_id: int, nbytes: int, pattern: float = 1.0
@@ -113,17 +141,9 @@ class CacheModel:
             return AccessResult()
         if not 0.0 < pattern <= 1.0:
             raise ValueError(f"pattern must be in (0, 1], got {pattern}")
-        socket = self.topology.socket_of_core(core)
-        private_hit = self._private[core].lookup_and_fill(region_id, nbytes)
-        private_hit = int(private_hit * pattern)
-        remainder = nbytes - private_hit
-        llc_hit = self._llc[socket].lookup_and_fill(region_id, remainder)
-        llc_hit = int(llc_hit * pattern)
-        mem = remainder - llc_hit
+        private, llc, mem = self.service_lines(core, region_id, nbytes, pattern)
         return AccessResult(
-            private_hit_lines=-(-private_hit // LINE_SIZE) if private_hit else 0,
-            llc_hit_lines=-(-llc_hit // LINE_SIZE) if llc_hit else 0,
-            memory_lines=-(-mem // LINE_SIZE) if mem else 0,
+            private_hit_lines=private, llc_hit_lines=llc, memory_lines=mem
         )
 
     def private_resident(self, core: int, region_id: int) -> int:

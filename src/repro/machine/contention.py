@@ -21,6 +21,7 @@ yield load 6 per node — exactly the relief the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 
 @dataclass
@@ -44,21 +45,22 @@ class ContentionModel:
             raise ValueError("alpha must be non-negative")
         self._load = [0.0] * self.num_nodes
 
-    def register(self, node_weights: list[float]) -> None:
+    def register(self, node_weights: Sequence[float]) -> None:
         """Add a starting segment's per-node traffic weights (sum <= 1)."""
+        load = self._load
         for node, weight in enumerate(node_weights):
             if weight:
-                self._load[node] += weight
+                load[node] += weight
 
-    def withdraw(self, node_weights: list[float]) -> None:
+    def withdraw(self, node_weights: Sequence[float]) -> None:
         """Remove a retiring segment's weights (must mirror register)."""
+        load = self._load
         for node, weight in enumerate(node_weights):
             if weight:
-                self._load[node] -= weight
-                if self._load[node] < -1e-6:
+                value = load[node] - weight
+                if value < -1e-6:
                     raise RuntimeError(f"negative load on node {node}")
-                if self._load[node] < 0.0:
-                    self._load[node] = 0.0
+                load[node] = value if value > 0.0 else 0.0
 
     def load(self, node: int) -> float:
         return self._load[node]

@@ -12,6 +12,18 @@ The model charges stall cycles for lines missing the private cache:
 
 The result feeds the PAPI-like :class:`~repro.machine.counters.CounterSet`
 recorded per grain.  All outputs are integers.
+
+``charge`` runs once per work segment — hundreds of thousands of times in
+a large simulation — so :class:`CostModel` precomputes every per-machine
+table at construction (core→node, the NUMA-distance-scaled base latency
+matrix) and caches each region's placement as a sparse
+``[(node, fraction), ...]`` list the first time it is charged (placements
+are resolved at allocation and constant afterwards).  The precomputation
+is careful to preserve the *exact* floating-point expression tree of the
+original per-access loop — ``local_mem_cycles * (distance / LOCAL)`` is
+folded, the contention multiplier still multiplies last, and the stall
+accumulator still adds terms in access-then-node order — because the
+integer durations derived from it feed byte-identical golden traces.
 """
 
 from __future__ import annotations
@@ -98,6 +110,36 @@ class CostModel:
         self.memory = memory
         self.contention = contention
         self.params = params or CostParams()
+        # Per-machine lookup tables, hoisted off the charge path.
+        self._num_nodes = topology.num_nodes
+        self._node_of_core: list[int] = [
+            topology.node_of_core(core) for core in range(topology.num_cores)
+        ]
+        # base_latency[my_node][node] folds the distance scaling exactly as
+        # the original expression tree did; only the (dynamic) contention
+        # multiplier remains to be applied per charge.
+        lm = self.params.local_mem_cycles
+        self._base_latency: list[list[float]] = [
+            [
+                lm * (topology.node_distance(a, b) / LOCAL_DISTANCE)
+                for b in range(self._num_nodes)
+            ]
+            for a in range(self._num_nodes)
+        ]
+        # region_id -> [(node, fraction), ...] with zero entries dropped,
+        # ascending node order (matching the dense enumerate it replaces).
+        self._sparse_fractions: dict[int, list[tuple[int, float]]] = {}
+
+    def _region_fractions(self, region_id: int) -> list[tuple[int, float]]:
+        sparse = self._sparse_fractions.get(region_id)
+        if sparse is None:
+            sparse = [
+                (node, fraction)
+                for node, fraction in enumerate(self.memory.node_fractions(region_id))
+                if fraction != 0.0
+            ]
+            self._sparse_fractions[region_id] = sparse
+        return sparse
 
     def node_weights(self, accesses: Sequence[Access]) -> list[float]:
         """Per-node fractions of this segment's memory traffic.
@@ -106,14 +148,13 @@ class CostModel:
         on page placement (not on cache outcomes) so that registration and
         withdrawal are symmetric.
         """
-        weights = [0.0] * self.topology.num_nodes
+        weights = [0.0] * self._num_nodes
         total = sum(a.nbytes for a in accesses)
         if total == 0:
             return weights
         for access in accesses:
-            fractions = self.memory.node_fractions(access.region_id)
             share = access.nbytes / total
-            for node, fraction in enumerate(fractions):
+            for node, fraction in self._region_fractions(access.region_id):
                 weights[node] += share * fraction
         return weights
 
@@ -124,40 +165,55 @@ class CostModel:
         the current contention load, but does not register demand — the
         engine does that with the returned ``node_weights``.
         """
-        params = self.params
-        my_node = self.topology.node_of_core(core)
-        counters = CounterSet(compute_cycles=work.cycles)
-        stall = 0.0
-        for access in work.accesses:
-            if access.nbytes == 0:
-                continue
-            lines = -(-access.nbytes // LINE_SIZE)
-            counters.accesses += lines
-            result = self.caches.access(
-                core, access.region_id, access.nbytes, access.pattern
+        cycles = work.cycles
+        accesses = work.accesses
+        if not accesses:
+            # Pure-compute fast path: no cache traffic, no stalls.
+            return CostOutcome(
+                duration=cycles,
+                counters=CounterSet(cycles, cycles, 0, 0, 0, 0, 0),
+                node_weights=[0.0] * self._num_nodes,
             )
-            counters.l1_misses += result.llc_hit_lines + result.memory_lines
-            counters.llc_misses += result.memory_lines
-            stall += result.llc_hit_lines * params.llc_hit_cycles
-            if result.memory_lines:
-                fractions = self.memory.node_fractions(access.region_id)
-                for node, fraction in enumerate(fractions):
-                    if fraction == 0.0:
-                        continue
-                    node_lines = result.memory_lines * fraction
-                    distance = self.topology.node_distance(my_node, node)
-                    latency = (
-                        params.local_mem_cycles
-                        * (distance / LOCAL_DISTANCE)
-                        * self.contention.multiplier(node)
-                    )
-                    stall += node_lines * latency
+        params = self.params
+        my_node = self._node_of_core[core]
+        base_latency = self._base_latency[my_node]
+        service = self.caches.service_lines
+        multiplier = self.contention.multiplier
+        llc_hit_cycles = params.llc_hit_cycles
+        access_lines = 0
+        l1_misses = 0
+        llc_misses = 0
+        remote_lines = 0
+        stall = 0.0
+        for access in accesses:
+            nbytes = access.nbytes
+            if nbytes == 0:
+                continue
+            access_lines += -(-nbytes // LINE_SIZE)
+            _, llc_hit_lines, memory_lines = service(
+                core, access.region_id, nbytes, access.pattern
+            )
+            l1_misses += llc_hit_lines + memory_lines
+            llc_misses += memory_lines
+            stall += llc_hit_lines * llc_hit_cycles
+            if memory_lines:
+                for node, fraction in self._region_fractions(access.region_id):
+                    node_lines = memory_lines * fraction
+                    stall += node_lines * (base_latency[node] * multiplier(node))
                     if node != my_node:
-                        counters.remote_lines += int(node_lines)
-        counters.stall_cycles = int(stall / params.mlp)
-        counters.cycles = work.cycles + counters.stall_cycles
+                        remote_lines += int(node_lines)
+        stall_cycles = int(stall / params.mlp)
+        counters = CounterSet(
+            cycles + stall_cycles,
+            cycles,
+            stall_cycles,
+            l1_misses,
+            llc_misses,
+            remote_lines,
+            access_lines,
+        )
         return CostOutcome(
             duration=counters.cycles,
             counters=counters,
-            node_weights=self.node_weights(work.accesses),
+            node_weights=self.node_weights(accesses),
         )

@@ -4,14 +4,30 @@ The MIR profiler reads hardware performance counters through PAPI at grain
 events to measure "grain execution time and memory behavior statistics such
 as L1 cache misses and memory stall cycles" (Sec. 4.2).  This module is the
 simulated counterpart: a small value type accumulated per fragment/chunk.
+
+This type sits on the engine's hottest path — one instance per work
+segment, one accumulator per fragment — so it is a ``__slots__`` class
+with an explicit field list rather than a dataclass: the previous
+``dataclasses.fields(self)`` reflection in ``__iadd__``/``to_dict`` was
+one of the largest single costs in a simulated run.  The field *order*
+is part of the serialization contract (``to_dict`` drives the JSONL
+trace bytes) and must not change.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+#: Field names in declaration (and serialization) order.
+COUNTER_FIELDS: tuple[str, ...] = (
+    "cycles",
+    "compute_cycles",
+    "stall_cycles",
+    "l1_misses",
+    "llc_misses",
+    "remote_lines",
+    "accesses",
+)
 
 
-@dataclass
 class CounterSet:
     """Counter deltas for one measured span.
 
@@ -22,37 +38,114 @@ class CounterSet:
     node.
     """
 
-    cycles: int = 0
-    compute_cycles: int = 0
-    stall_cycles: int = 0
-    l1_misses: int = 0
-    llc_misses: int = 0
-    remote_lines: int = 0
-    accesses: int = 0
+    __slots__ = COUNTER_FIELDS
+
+    def __init__(
+        self,
+        cycles: int = 0,
+        compute_cycles: int = 0,
+        stall_cycles: int = 0,
+        l1_misses: int = 0,
+        llc_misses: int = 0,
+        remote_lines: int = 0,
+        accesses: int = 0,
+    ) -> None:
+        self.cycles = cycles
+        self.compute_cycles = compute_cycles
+        self.stall_cycles = stall_cycles
+        self.l1_misses = l1_misses
+        self.llc_misses = llc_misses
+        self.remote_lines = remote_lines
+        self.accesses = accesses
 
     def __add__(self, other: "CounterSet") -> "CounterSet":
         return CounterSet(
-            **{
-                f.name: getattr(self, f.name) + getattr(other, f.name)
-                for f in fields(self)
-            }
+            self.cycles + other.cycles,
+            self.compute_cycles + other.compute_cycles,
+            self.stall_cycles + other.stall_cycles,
+            self.l1_misses + other.l1_misses,
+            self.llc_misses + other.llc_misses,
+            self.remote_lines + other.remote_lines,
+            self.accesses + other.accesses,
         )
 
     def __iadd__(self, other: "CounterSet") -> "CounterSet":
-        for f in fields(self):
-            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        self.cycles += other.cycles
+        self.compute_cycles += other.compute_cycles
+        self.stall_cycles += other.stall_cycles
+        self.l1_misses += other.l1_misses
+        self.llc_misses += other.llc_misses
+        self.remote_lines += other.remote_lines
+        self.accesses += other.accesses
         return self
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={getattr(self, name)}" for name in COUNTER_FIELDS
+        )
+        return f"CounterSet({inner})"
+
+    def as_tuple(self) -> tuple[int, int, int, int, int, int, int]:
+        """The counter values in field order (columnar-slab row form)."""
+        return (
+            self.cycles,
+            self.compute_cycles,
+            self.stall_cycles,
+            self.l1_misses,
+            self.llc_misses,
+            self.remote_lines,
+            self.accesses,
+        )
+
+    @classmethod
+    def from_values(
+        cls,
+        cycles: int,
+        compute_cycles: int,
+        stall_cycles: int,
+        l1_misses: int,
+        llc_misses: int,
+        remote_lines: int,
+        accesses: int,
+    ) -> "CounterSet":
+        """Positional constructor mirroring :meth:`as_tuple` order."""
+        return cls(
+            cycles,
+            compute_cycles,
+            stall_cycles,
+            l1_misses,
+            llc_misses,
+            remote_lines,
+            accesses,
+        )
+
     def copy(self) -> "CounterSet":
-        return CounterSet(**self.to_dict())
+        return CounterSet(*self.as_tuple())
 
     def to_dict(self) -> dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {
+            "cycles": self.cycles,
+            "compute_cycles": self.compute_cycles,
+            "stall_cycles": self.stall_cycles,
+            "l1_misses": self.l1_misses,
+            "llc_misses": self.llc_misses,
+            "remote_lines": self.remote_lines,
+            "accesses": self.accesses,
+        }
 
     @classmethod
     def from_dict(cls, data: dict[str, int]) -> "CounterSet":
-        known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in known})
+        return cls(
+            **{k: v for k, v in data.items() if k in COUNTER_FIELDS}
+        )
 
     @property
     def memory_hierarchy_utilization(self) -> float:

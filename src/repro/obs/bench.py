@@ -227,6 +227,7 @@ def bench_snapshot(report: BenchReport) -> ObsSnapshot:
     """Rebuild an :class:`ObsSnapshot` view of a report (for Prometheus
     export of an already-written trajectory file)."""
     from .export import SpanRecord
+    from .registry import derive_gauges
 
     spans = {
         name: SpanRecord(
@@ -238,7 +239,12 @@ def bench_snapshot(report: BenchReport) -> ObsSnapshot:
         )
         for name, fields in report.stages.items()
     }
-    return ObsSnapshot(spans=spans, counters=dict(report.counters))
+    counters = dict(report.counters)
+    return ObsSnapshot(
+        spans=spans,
+        counters=counters,
+        derived=derive_gauges(spans, counters),
+    )
 
 
 def report_prometheus(report: BenchReport) -> str:

@@ -19,7 +19,7 @@ suitable for a node-exporter textfile collector or a scrape endpoint.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping
 
 SNAPSHOT_SCHEMA = "grain-obs/v1"
@@ -42,10 +42,20 @@ class SpanRecord:
 
 @dataclass(frozen=True)
 class ObsSnapshot:
-    """A point-in-time copy of a registry's spans and counters."""
+    """A point-in-time copy of a registry's spans and counters.
+
+    ``derived`` holds gauges computed *from* the spans and counters at
+    snapshot time (e.g. ``engine.events_per_sec`` = events emitted per
+    cumulative ``engine.run`` second).  They are a pure function of the
+    other two sections, so :meth:`ObsRegistry.absorb
+    <repro.obs.registry.ObsRegistry.absorb>` deliberately ignores them —
+    the absorbing registry recomputes them at its own next snapshot,
+    which keeps worker aggregation double-count-free.
+    """
 
     spans: Mapping[str, SpanRecord]
     counters: Mapping[str, int | float]
+    derived: Mapping[str, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Canonical JSON
@@ -63,6 +73,7 @@ class ObsSnapshot:
                 for name, record in self.spans.items()
             },
             "counters": dict(self.counters),
+            "derived": dict(self.derived),
         }
 
     def to_json(self) -> str:
@@ -96,7 +107,11 @@ class ObsSnapshot:
         counters: dict[str, int | float] = {
             str(name): value for name, value in raw_counters.items()
         }
-        return cls(spans=spans, counters=counters)
+        raw_derived = payload.get("derived", {})
+        if not isinstance(raw_derived, Mapping):
+            raise ValueError("snapshot derived gauges must be a mapping")
+        derived = {str(name): float(value) for name, value in raw_derived.items()}
+        return cls(spans=spans, counters=counters, derived=derived)
 
     @classmethod
     def from_json(cls, text: str) -> "ObsSnapshot":
@@ -191,6 +206,19 @@ def to_prometheus(snap: ObsSnapshot, prefix: str = "grain") -> str:
                 _format_value(snap.counters[c]),
             )
             for c in sorted(snap.counters)
+        ],
+    )
+    family(
+        "derived_gauge",
+        "Gauges derived from spans and counters at snapshot time "
+        "(e.g. engine.events_per_sec).",
+        "gauge",
+        [
+            (
+                f'name="{_escape_label(d)}"',
+                _format_value(snap.derived[d]),
+            )
+            for d in sorted(snap.derived)
         ],
     )
     return "\n".join(lines) + "\n" if lines else ""

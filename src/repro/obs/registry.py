@@ -40,7 +40,27 @@ from contextlib import AbstractContextManager, contextmanager
 from typing import TYPE_CHECKING, Iterator
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
-    from .export import ObsSnapshot
+    from .export import ObsSnapshot, SpanRecord
+
+
+def derive_gauges(
+    spans: "dict[str, SpanRecord]", counters: dict[str, int | float]
+) -> dict[str, float]:
+    """Gauges computed from raw spans/counters at snapshot time.
+
+    ``engine.events_per_sec`` — trace events emitted per cumulative
+    second inside ``engine.run`` — is the headline throughput number the
+    columnar-engine work optimizes, surfaced here so every snapshot
+    consumer (JSON goldens, Prometheus scrapes, ``bench``) sees it
+    without recomputing.  Derived values are **not** absorbed from
+    worker snapshots; they are recomputed from the merged raw totals.
+    """
+    derived: dict[str, float] = {}
+    events = counters.get("engine.events_emitted")
+    run = spans.get("engine.run")
+    if events and run is not None and run.total_seconds > 0.0:
+        derived["engine.events_per_sec"] = events / run.total_seconds
+    return derived
 
 
 class SpanStats:
@@ -135,7 +155,8 @@ class ObsRegistry:
     # Reading
     # ------------------------------------------------------------------
     def snapshot(self) -> "ObsSnapshot":
-        """An immutable copy of the current spans and counters."""
+        """An immutable copy of the current spans and counters, plus
+        gauges derived from them (see :func:`derive_gauges`)."""
         from .export import ObsSnapshot, SpanRecord
 
         with self._lock:
@@ -150,7 +171,11 @@ class ObsRegistry:
                 for name, s in self._spans.items()
             }
             counters = dict(self._counters)
-        return ObsSnapshot(spans=spans, counters=counters)
+        return ObsSnapshot(
+            spans=spans,
+            counters=counters,
+            derived=derive_gauges(spans, counters),
+        )
 
     def absorb(self, snap: "ObsSnapshot") -> None:
         """Merge a snapshot (typically from a pool worker) into this

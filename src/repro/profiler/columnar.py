@@ -1,0 +1,822 @@
+"""Columnar event storage: numpy structured-array slabs per event kind.
+
+The engine emits tens of thousands of events per run; materializing each
+one as a frozen dataclass (and re-walking it with ``dataclasses.asdict``
+at serialization time) dominated simulation wall-clock.  This module
+stores events *columnarly* instead:
+
+- Per event kind, fixed-width scalar fields (ids, times, cores, the
+  seven counter values) live in **numpy structured-array slabs**: rows
+  accumulate in a small Python tail list (appending one tuple per event)
+  and spill into an immutable ``np.ndarray`` slab of ``SLAB_ROWS`` rows
+  when full, so memory stays compact and append cost stays O(1).
+- Variable-length payloads (task paths, footprint tuples, synced tid
+  tuples) live in per-kind Python side columns, parallel to the scalar
+  rows.
+- Strings (source locations, definitions, labels, schedule names) are
+  interned into one shared table and stored as integer ids — they
+  repeat per task construct, not per task instance.
+- Emission order across kinds is one extra ``int8`` column of kind ids;
+  a per-kind cursor walk reconstructs the global order.
+
+The row-oriented API is served on demand: :meth:`ColumnarEvents.to_events`
+materializes the exact legacy event dataclasses (used by the graph
+builder, lint passes and metrics — computed once, cached by the
+:class:`~repro.profiler.trace.Trace`), and :meth:`json_lines` emits the
+byte-identical ``json.dumps(event.to_dict())`` lines without building a
+single event object.  Equivalence with the legacy object path is
+enforced mechanically by ``tests/runtime/test_columnar_diff.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..machine.counters import CounterSet
+from .events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    Event,
+    FootprintTriple,
+    FragmentEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+)
+
+#: Rows per structured-array slab.  Small enough that the mutable tail
+#: list stays cache-friendly, large enough that slab conversion cost
+#: amortizes to ~nothing per event.
+SLAB_ROWS = 4096
+
+# Kind ids, in the order of profiler.events.EVENT_CLASSES.
+KIND_TASK_CREATE = 0
+KIND_FRAGMENT = 1
+KIND_TASKWAIT_BEGIN = 2
+KIND_TASKWAIT_END = 3
+KIND_TASK_COMPLETE = 4
+KIND_LOOP_BEGIN = 5
+KIND_BOOKKEEPING = 6
+KIND_CHUNK = 7
+KIND_LOOP_END = 8
+
+_NUM_KINDS = 9
+
+_I8 = "<i8"
+_COUNTER_COLS = [(f"c{i}", _I8) for i in range(7)]
+
+#: Scalar dtypes per kind.  Field order here *is* the storage contract
+#: the property tests pin; it deliberately mirrors the serialization
+#: order of the legacy events so row reconstruction is a plain unpack.
+KIND_DTYPES: tuple[np.dtype[Any], ...] = (
+    np.dtype(
+        [
+            ("tid", _I8),
+            ("parent_tid", _I8),  # -1 encodes None (the root task)
+            ("time", _I8),
+            ("core", _I8),
+            ("creation_cycles", _I8),
+            ("depth", _I8),
+            ("loc", _I8),  # interned string id
+            ("definition", _I8),
+            ("label", _I8),
+            ("inlined", "?"),
+        ]
+    ),
+    np.dtype(
+        [
+            ("tid", _I8),
+            ("seq", _I8),
+            ("start", _I8),
+            ("end", _I8),
+            ("core", _I8),
+            *_COUNTER_COLS,
+        ]
+    ),
+    np.dtype([("tid", _I8), ("time", _I8), ("core", _I8), ("implicit", "?")]),
+    np.dtype([("tid", _I8), ("time", _I8), ("core", _I8)]),
+    np.dtype([("tid", _I8), ("time", _I8), ("core", _I8)]),
+    np.dtype(
+        [
+            ("loop_id", _I8),
+            ("loop_seq", _I8),
+            ("starting_thread", _I8),
+            ("time", _I8),
+            ("iterations", _I8),
+            ("schedule", _I8),  # interned string id
+            ("chunk_size", _I8),  # -1 encodes None
+            ("team", _I8),
+            ("loc", _I8),
+            ("definition", _I8),
+            ("label", _I8),
+        ]
+    ),
+    np.dtype(
+        [
+            ("loop_id", _I8),
+            ("thread", _I8),
+            ("core", _I8),
+            ("start", _I8),
+            ("end", _I8),
+            ("got_chunk", "?"),
+        ]
+    ),
+    np.dtype(
+        [
+            ("loop_id", _I8),
+            ("chunk_seq", _I8),
+            ("thread", _I8),
+            ("iter_start", _I8),
+            ("iter_end", _I8),
+            ("start", _I8),
+            ("end", _I8),
+            ("core", _I8),
+            *_COUNTER_COLS,
+        ]
+    ),
+    np.dtype([("loop_id", _I8), ("time", _I8)]),
+)
+
+_ORDER_DTYPE = np.dtype("<i1")
+
+_EMPTY_COUNTERS = (0, 0, 0, 0, 0, 0, 0)
+
+
+class _ScalarBlock:
+    """Scalar columns of one event kind: numpy slabs + a mutable tail."""
+
+    __slots__ = ("dtype", "slab_rows", "tail", "slabs", "count")
+
+    def __init__(self, dtype: np.dtype[Any], slab_rows: int) -> None:
+        self.dtype = dtype
+        self.slab_rows = slab_rows
+        self.tail: list[tuple[Any, ...]] = []
+        self.slabs: list[np.ndarray[Any, Any]] = []
+        self.count = 0
+
+    def append(self, row: tuple[Any, ...]) -> None:
+        tail = self.tail
+        tail.append(row)
+        self.count += 1
+        if len(tail) >= self.slab_rows:
+            self.slabs.append(np.array(tail, dtype=self.dtype))
+            self.tail = []
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        """Every row as a Python tuple (bulk slab ``tolist`` + tail)."""
+        out: list[tuple[Any, ...]] = []
+        for slab in self.slabs:
+            out.extend(slab.tolist())
+        out.extend(self.tail)
+        return out
+
+    def column(self, name: str) -> np.ndarray[Any, Any]:
+        """One full column as a numpy array (slabs plus tail)."""
+        index = list(self.dtype.names or ()).index(name)
+        parts = [slab[name] for slab in self.slabs]
+        if self.tail:
+            parts.append(
+                np.array([row[index] for row in self.tail], dtype=self.dtype[name])
+            )
+        if not parts:
+            return np.empty(0, dtype=self.dtype[name])
+        return np.concatenate(parts)
+
+
+class _OrderBlock:
+    """The global emission-order column: one small int (kind id) per
+    event.  Same slab discipline as :class:`_ScalarBlock`, but rows are
+    bare ints — no per-event tuple allocation on the hot path."""
+
+    __slots__ = ("slab_rows", "tail", "slabs", "count")
+
+    def __init__(self, slab_rows: int) -> None:
+        self.slab_rows = slab_rows
+        self.tail: list[int] = []
+        self.slabs: list[np.ndarray[Any, Any]] = []
+        self.count = 0
+
+    def append(self, kind: int) -> None:
+        tail = self.tail
+        tail.append(kind)
+        self.count += 1
+        if len(tail) >= self.slab_rows:
+            self.slabs.append(np.array(tail, dtype=_ORDER_DTYPE))
+            self.tail = []
+
+    def rows(self) -> list[int]:
+        out: list[int] = []
+        for slab in self.slabs:
+            out.extend(slab.tolist())
+        out.extend(self.tail)
+        return out
+
+
+class ColumnarEvents:
+    """All events of one run, stored column-wise (see module docstring)."""
+
+    def __init__(self, slab_rows: int = SLAB_ROWS) -> None:
+        if slab_rows < 1:
+            raise ValueError("slab_rows must be at least 1")
+        self.slab_rows = slab_rows
+        self.blocks = tuple(
+            _ScalarBlock(dtype, slab_rows) for dtype in KIND_DTYPES
+        )
+        self._order = _OrderBlock(slab_rows)
+        # Variable-length side columns, parallel to the scalar rows.
+        self._paths: list[tuple[int, ...]] = []  # task_create
+        self._frag_reads: list[tuple[FootprintTriple, ...]] = []
+        self._frag_writes: list[tuple[FootprintTriple, ...]] = []
+        self._synced: list[tuple[int, ...]] = []  # taskwait_end
+        self._chunk_reads: list[tuple[FootprintTriple, ...]] = []
+        self._chunk_writes: list[tuple[FootprintTriple, ...]] = []
+        # Shared string intern table.
+        self._strings: list[str] = []
+        self._string_ids: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return self._order.count
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def intern(self, text: str) -> int:
+        sid = self._string_ids.get(text)
+        if sid is None:
+            sid = len(self._strings)
+            self._string_ids[text] = sid
+            self._strings.append(text)
+        return sid
+
+    # ------------------------------------------------------------------
+    # Typed appends (the engine-facing hot path)
+    # ------------------------------------------------------------------
+    def append_task_create(
+        self,
+        tid: int,
+        path: tuple[int, ...],
+        parent_tid: Optional[int],
+        time: int,
+        core: int,
+        creation_cycles: int,
+        depth: int,
+        loc: str,
+        definition: str,
+        label: str,
+        inlined: bool,
+    ) -> None:
+        self.blocks[KIND_TASK_CREATE].append(
+            (
+                tid,
+                -1 if parent_tid is None else parent_tid,
+                time,
+                core,
+                creation_cycles,
+                depth,
+                self.intern(loc),
+                self.intern(definition),
+                self.intern(label),
+                inlined,
+            )
+        )
+        self._paths.append(path)
+        self._order.append(KIND_TASK_CREATE)
+
+    def append_fragment(
+        self,
+        tid: int,
+        seq: int,
+        start: int,
+        end: int,
+        core: int,
+        counters: Optional[CounterSet],
+        reads: tuple[FootprintTriple, ...],
+        writes: tuple[FootprintTriple, ...],
+    ) -> None:
+        if counters is None:
+            row = (tid, seq, start, end, core) + _EMPTY_COUNTERS
+        else:
+            # One flat tuple, fields in COUNTER_FIELDS order (no
+            # as_tuple + concat: this is once per fragment).
+            row = (
+                tid,
+                seq,
+                start,
+                end,
+                core,
+                counters.cycles,
+                counters.compute_cycles,
+                counters.stall_cycles,
+                counters.l1_misses,
+                counters.llc_misses,
+                counters.remote_lines,
+                counters.accesses,
+            )
+        self.blocks[KIND_FRAGMENT].append(row)
+        self._frag_reads.append(reads)
+        self._frag_writes.append(writes)
+        self._order.append(KIND_FRAGMENT)
+
+    def append_taskwait_begin(
+        self, tid: int, time: int, core: int, implicit: bool
+    ) -> None:
+        self.blocks[KIND_TASKWAIT_BEGIN].append((tid, time, core, implicit))
+        self._order.append(KIND_TASKWAIT_BEGIN)
+
+    def append_taskwait_end(
+        self, tid: int, time: int, core: int, synced_tids: tuple[int, ...]
+    ) -> None:
+        self.blocks[KIND_TASKWAIT_END].append((tid, time, core))
+        self._synced.append(synced_tids)
+        self._order.append(KIND_TASKWAIT_END)
+
+    def append_task_complete(self, tid: int, time: int, core: int) -> None:
+        self.blocks[KIND_TASK_COMPLETE].append((tid, time, core))
+        self._order.append(KIND_TASK_COMPLETE)
+
+    def append_loop_begin(
+        self,
+        loop_id: int,
+        loop_seq: int,
+        starting_thread: int,
+        time: int,
+        iterations: int,
+        schedule: str,
+        chunk_size: Optional[int],
+        team: int,
+        loc: str,
+        definition: str,
+        label: str,
+    ) -> None:
+        self.blocks[KIND_LOOP_BEGIN].append(
+            (
+                loop_id,
+                loop_seq,
+                starting_thread,
+                time,
+                iterations,
+                self.intern(schedule),
+                -1 if chunk_size is None else chunk_size,
+                team,
+                self.intern(loc),
+                self.intern(definition),
+                self.intern(label),
+            )
+        )
+        self._order.append(KIND_LOOP_BEGIN)
+
+    def append_bookkeeping(
+        self,
+        loop_id: int,
+        thread: int,
+        core: int,
+        start: int,
+        end: int,
+        got_chunk: bool,
+    ) -> None:
+        self.blocks[KIND_BOOKKEEPING].append(
+            (loop_id, thread, core, start, end, got_chunk)
+        )
+        self._order.append(KIND_BOOKKEEPING)
+
+    def append_chunk(
+        self,
+        loop_id: int,
+        chunk_seq: int,
+        thread: int,
+        iter_start: int,
+        iter_end: int,
+        start: int,
+        end: int,
+        core: int,
+        counters: Optional[CounterSet],
+        reads: tuple[FootprintTriple, ...],
+        writes: tuple[FootprintTriple, ...],
+    ) -> None:
+        if counters is None:
+            row = (
+                loop_id, chunk_seq, thread, iter_start, iter_end,
+                start, end, core,
+            ) + _EMPTY_COUNTERS
+        else:
+            row = (
+                loop_id,
+                chunk_seq,
+                thread,
+                iter_start,
+                iter_end,
+                start,
+                end,
+                core,
+                counters.cycles,
+                counters.compute_cycles,
+                counters.stall_cycles,
+                counters.l1_misses,
+                counters.llc_misses,
+                counters.remote_lines,
+                counters.accesses,
+            )
+        self.blocks[KIND_CHUNK].append(row)
+        self._chunk_reads.append(reads)
+        self._chunk_writes.append(writes)
+        self._order.append(KIND_CHUNK)
+
+    def append_loop_end(self, loop_id: int, time: int) -> None:
+        self.blocks[KIND_LOOP_END].append((loop_id, time))
+        self._order.append(KIND_LOOP_END)
+
+    # ------------------------------------------------------------------
+    # Generic append (row -> columns), for tests and tooling
+    # ------------------------------------------------------------------
+    def append_event(self, event: Event) -> None:
+        """Columnarize one legacy event object (dispatch by type)."""
+        appender = _GENERIC_APPEND.get(type(event))
+        if appender is None:
+            raise TypeError(f"unknown event type {type(event).__name__}")
+        appender(self, event)
+
+    def extend(self, events: Sequence[Event]) -> None:
+        for event in events:
+            self.append_event(event)
+
+    # ------------------------------------------------------------------
+    # Inspection (property tests, memory accounting)
+    # ------------------------------------------------------------------
+    def kind_count(self, kind: int) -> int:
+        return self.blocks[kind].count
+
+    def kind_column(self, kind: int, name: str) -> np.ndarray[Any, Any]:
+        return self.blocks[kind].column(name)
+
+    def num_slabs(self) -> int:
+        return sum(len(block.slabs) for block in self.blocks) + len(
+            self._order.slabs
+        )
+
+    def strings(self) -> tuple[str, ...]:
+        return tuple(self._strings)
+
+    # ------------------------------------------------------------------
+    # Row materialization
+    # ------------------------------------------------------------------
+    def _walk(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(kind, per-kind row index)`` in emission order."""
+        cursors = [0] * _NUM_KINDS
+        for kind in self._order.rows():
+            index = cursors[kind]
+            cursors[kind] = index + 1
+            yield kind, index
+
+    def to_events(self) -> list[Event]:
+        """Materialize every event as its legacy dataclass, in order."""
+        rows = [block.rows() for block in self.blocks]
+        strings = self._strings
+        out: list[Event] = []
+        push = out.append
+        for kind, i in self._walk():
+            row = rows[kind][i]
+            if kind == KIND_TASK_CREATE:
+                parent = row[1]
+                push(
+                    TaskCreateEvent(
+                        tid=row[0],
+                        path=self._paths[i],
+                        parent_tid=None if parent < 0 else parent,
+                        time=row[2],
+                        core=row[3],
+                        creation_cycles=row[4],
+                        depth=row[5],
+                        loc=strings[row[6]],
+                        definition=strings[row[7]],
+                        label=strings[row[8]],
+                        inlined=row[9],
+                    )
+                )
+            elif kind == KIND_FRAGMENT:
+                push(
+                    FragmentEvent(
+                        tid=row[0],
+                        seq=row[1],
+                        start=row[2],
+                        end=row[3],
+                        core=row[4],
+                        counters=CounterSet.from_values(*row[5:12]),
+                        reads=self._frag_reads[i],
+                        writes=self._frag_writes[i],
+                    )
+                )
+            elif kind == KIND_TASKWAIT_BEGIN:
+                push(
+                    TaskwaitBeginEvent(
+                        tid=row[0], time=row[1], core=row[2], implicit=row[3]
+                    )
+                )
+            elif kind == KIND_TASKWAIT_END:
+                push(
+                    TaskwaitEndEvent(
+                        tid=row[0],
+                        time=row[1],
+                        core=row[2],
+                        synced_tids=self._synced[i],
+                    )
+                )
+            elif kind == KIND_TASK_COMPLETE:
+                push(TaskCompleteEvent(tid=row[0], time=row[1], core=row[2]))
+            elif kind == KIND_LOOP_BEGIN:
+                chunk_size = row[6]
+                push(
+                    LoopBeginEvent(
+                        loop_id=row[0],
+                        loop_seq=row[1],
+                        starting_thread=row[2],
+                        time=row[3],
+                        iterations=row[4],
+                        schedule=strings[row[5]],
+                        chunk_size=None if chunk_size < 0 else chunk_size,
+                        team=row[7],
+                        loc=strings[row[8]],
+                        definition=strings[row[9]],
+                        label=strings[row[10]],
+                    )
+                )
+            elif kind == KIND_BOOKKEEPING:
+                push(
+                    BookkeepingEvent(
+                        loop_id=row[0],
+                        thread=row[1],
+                        core=row[2],
+                        start=row[3],
+                        end=row[4],
+                        got_chunk=row[5],
+                    )
+                )
+            elif kind == KIND_CHUNK:
+                push(
+                    ChunkEvent(
+                        loop_id=row[0],
+                        chunk_seq=row[1],
+                        thread=row[2],
+                        iter_start=row[3],
+                        iter_end=row[4],
+                        start=row[5],
+                        end=row[6],
+                        core=row[7],
+                        counters=CounterSet.from_values(*row[8:15]),
+                        reads=self._chunk_reads[i],
+                        writes=self._chunk_writes[i],
+                    )
+                )
+            else:
+                push(LoopEndEvent(loop_id=row[0], time=row[1]))
+        return out
+
+    # ------------------------------------------------------------------
+    # Zero-object JSONL serialization
+    # ------------------------------------------------------------------
+    def json_lines(self) -> list[str]:
+        """Each event's ``json.dumps(event.to_dict())`` line, in order,
+        built directly from the columns (no event objects).  Key order
+        matches each legacy ``to_dict`` exactly — the differential
+        harness asserts byte equality against the object path."""
+        rows = [block.rows() for block in self.blocks]
+        strings = self._strings
+        dumps = json.dumps
+        out: list[str] = []
+        push = out.append
+        for kind, i in self._walk():
+            row = rows[kind][i]
+            if kind == KIND_TASK_CREATE:
+                parent = row[1]
+                push(
+                    dumps(
+                        {
+                            "tid": row[0],
+                            "path": list(self._paths[i]),
+                            "parent_tid": None if parent < 0 else parent,
+                            "time": row[2],
+                            "core": row[3],
+                            "creation_cycles": row[4],
+                            "depth": row[5],
+                            "loc": strings[row[6]],
+                            "definition": strings[row[7]],
+                            "label": strings[row[8]],
+                            "inlined": row[9],
+                            "kind": "task_create",
+                        }
+                    )
+                )
+            elif kind == KIND_FRAGMENT:
+                push(
+                    dumps(
+                        {
+                            "kind": "fragment",
+                            "tid": row[0],
+                            "seq": row[1],
+                            "start": row[2],
+                            "end": row[3],
+                            "core": row[4],
+                            "counters": _counters_dict(row, 5),
+                            "reads": [list(fp) for fp in self._frag_reads[i]],
+                            "writes": [list(fp) for fp in self._frag_writes[i]],
+                        }
+                    )
+                )
+            elif kind == KIND_TASKWAIT_BEGIN:
+                push(
+                    dumps(
+                        {
+                            "tid": row[0],
+                            "time": row[1],
+                            "core": row[2],
+                            "implicit": row[3],
+                            "kind": "taskwait_begin",
+                        }
+                    )
+                )
+            elif kind == KIND_TASKWAIT_END:
+                push(
+                    dumps(
+                        {
+                            "tid": row[0],
+                            "time": row[1],
+                            "core": row[2],
+                            "synced_tids": list(self._synced[i]),
+                            "kind": "taskwait_end",
+                        }
+                    )
+                )
+            elif kind == KIND_TASK_COMPLETE:
+                push(
+                    dumps(
+                        {
+                            "tid": row[0],
+                            "time": row[1],
+                            "core": row[2],
+                            "kind": "task_complete",
+                        }
+                    )
+                )
+            elif kind == KIND_LOOP_BEGIN:
+                chunk_size = row[6]
+                push(
+                    dumps(
+                        {
+                            "loop_id": row[0],
+                            "loop_seq": row[1],
+                            "starting_thread": row[2],
+                            "time": row[3],
+                            "iterations": row[4],
+                            "schedule": strings[row[5]],
+                            "chunk_size": None if chunk_size < 0 else chunk_size,
+                            "team": row[7],
+                            "loc": strings[row[8]],
+                            "definition": strings[row[9]],
+                            "label": strings[row[10]],
+                            "kind": "loop_begin",
+                        }
+                    )
+                )
+            elif kind == KIND_BOOKKEEPING:
+                push(
+                    dumps(
+                        {
+                            "loop_id": row[0],
+                            "thread": row[1],
+                            "core": row[2],
+                            "start": row[3],
+                            "end": row[4],
+                            "got_chunk": row[5],
+                            "kind": "bookkeeping",
+                        }
+                    )
+                )
+            elif kind == KIND_CHUNK:
+                push(
+                    dumps(
+                        {
+                            "kind": "chunk",
+                            "loop_id": row[0],
+                            "chunk_seq": row[1],
+                            "thread": row[2],
+                            "iter_start": row[3],
+                            "iter_end": row[4],
+                            "start": row[5],
+                            "end": row[6],
+                            "core": row[7],
+                            "counters": _counters_dict(row, 8),
+                            "reads": [list(fp) for fp in self._chunk_reads[i]],
+                            "writes": [list(fp) for fp in self._chunk_writes[i]],
+                        }
+                    )
+                )
+            else:
+                push(dumps({"loop_id": row[0], "time": row[1], "kind": "loop_end"}))
+        return out
+
+
+def _counters_dict(row: tuple[Any, ...], offset: int) -> dict[str, int]:
+    """The ``CounterSet.to_dict`` mapping read straight off a scalar row."""
+    return {
+        "cycles": row[offset],
+        "compute_cycles": row[offset + 1],
+        "stall_cycles": row[offset + 2],
+        "l1_misses": row[offset + 3],
+        "llc_misses": row[offset + 4],
+        "remote_lines": row[offset + 5],
+        "accesses": row[offset + 6],
+    }
+
+
+def _append_task_create(c: "ColumnarEvents", e: TaskCreateEvent) -> None:
+    c.append_task_create(
+        e.tid,
+        e.path,
+        e.parent_tid,
+        e.time,
+        e.core,
+        e.creation_cycles,
+        e.depth,
+        e.loc,
+        e.definition,
+        e.label,
+        e.inlined,
+    )
+
+
+def _append_fragment(c: "ColumnarEvents", e: FragmentEvent) -> None:
+    c.append_fragment(
+        e.tid, e.seq, e.start, e.end, e.core, e.counters, e.reads, e.writes
+    )
+
+
+def _append_taskwait_begin(c: "ColumnarEvents", e: TaskwaitBeginEvent) -> None:
+    c.append_taskwait_begin(e.tid, e.time, e.core, e.implicit)
+
+
+def _append_taskwait_end(c: "ColumnarEvents", e: TaskwaitEndEvent) -> None:
+    c.append_taskwait_end(e.tid, e.time, e.core, e.synced_tids)
+
+
+def _append_task_complete(c: "ColumnarEvents", e: TaskCompleteEvent) -> None:
+    c.append_task_complete(e.tid, e.time, e.core)
+
+
+def _append_loop_begin(c: "ColumnarEvents", e: LoopBeginEvent) -> None:
+    c.append_loop_begin(
+        e.loop_id,
+        e.loop_seq,
+        e.starting_thread,
+        e.time,
+        e.iterations,
+        e.schedule,
+        e.chunk_size,
+        e.team,
+        e.loc,
+        e.definition,
+        e.label,
+    )
+
+
+def _append_bookkeeping(c: "ColumnarEvents", e: BookkeepingEvent) -> None:
+    c.append_bookkeeping(
+        e.loop_id, e.thread, e.core, e.start, e.end, e.got_chunk
+    )
+
+
+def _append_chunk(c: "ColumnarEvents", e: ChunkEvent) -> None:
+    c.append_chunk(
+        e.loop_id,
+        e.chunk_seq,
+        e.thread,
+        e.iter_start,
+        e.iter_end,
+        e.start,
+        e.end,
+        e.core,
+        e.counters,
+        e.reads,
+        e.writes,
+    )
+
+
+def _append_loop_end(c: "ColumnarEvents", e: LoopEndEvent) -> None:
+    c.append_loop_end(e.loop_id, e.time)
+
+
+_GENERIC_APPEND: dict[type, Callable[["ColumnarEvents", Any], None]] = {
+    TaskCreateEvent: _append_task_create,
+    FragmentEvent: _append_fragment,
+    TaskwaitBeginEvent: _append_taskwait_begin,
+    TaskwaitEndEvent: _append_taskwait_end,
+    TaskCompleteEvent: _append_task_complete,
+    LoopBeginEvent: _append_loop_begin,
+    BookkeepingEvent: _append_bookkeeping,
+    ChunkEvent: _append_chunk,
+    LoopEndEvent: _append_loop_end,
+}

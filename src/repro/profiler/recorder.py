@@ -5,13 +5,36 @@ engine charges it to the notifying core at each event, letting us verify
 the paper's "< 2.5% overhead" claim for our substitute (see
 ``tests/profiler/test_overhead.py``).  It defaults to zero so profiled and
 unprofiled runs are cycle-identical unless the study asks otherwise.
+
+The engine calls the *typed* per-kind methods (``task_create``,
+``fragment``, ...), which write field values straight into the columnar
+store without constructing an event object.  With ``columnar=False`` the
+same methods build the legacy frozen event dataclasses instead — that is
+the reference path the differential harness compares against, byte for
+byte.  The generic :meth:`Recorder.emit` remains for tooling and tests
+that already hold an event object.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
-from .events import Event
+from ..machine.counters import CounterSet
+from .columnar import ColumnarEvents
+from .events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    Event,
+    FootprintTriple,
+    FragmentEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+)
 from .trace import Trace, TraceMetadata
 
 
@@ -19,6 +42,9 @@ from .trace import Trace, TraceMetadata
 class ProfilerConfig:
     enabled: bool = True
     overhead_cycles_per_event: int = 0
+    #: Store events column-wise (the fast path).  ``False`` selects the
+    #: legacy per-event-object path; both serialize byte-identically.
+    columnar: bool = True
 
 
 class Recorder:
@@ -26,17 +52,309 @@ class Recorder:
 
     def __init__(self, config: ProfilerConfig | None = None) -> None:
         self.config = config or ProfilerConfig()
-        self.trace = Trace()
-        self.events_recorded = 0
+        self._enabled = self.config.enabled
+        self._overhead = self.config.overhead_cycles_per_event
+        self._columnar: ColumnarEvents | None = (
+            ColumnarEvents() if self.config.columnar else None
+        )
+        self.trace = Trace(columnar=self._columnar)
+        self._row_count = 0
+
+    @property
+    def events_recorded(self) -> int:
+        """Total events recorded so far.  On the columnar path this is
+        the store's own row count — the typed emit methods do not touch a
+        separate counter per event."""
+        if self._columnar is not None:
+            return len(self._columnar)
+        return self._row_count
 
     def emit(self, event: Event) -> int:
-        """Record one event; returns the cycles of profiling overhead the
-        engine must charge to the emitting core."""
-        if not self.config.enabled:
+        """Record one already-built event; returns the cycles of profiling
+        overhead the engine must charge to the emitting core."""
+        if not self._enabled:
             return 0
-        self.trace.append(event)
-        self.events_recorded += 1
-        return self.config.overhead_cycles_per_event
+        if self._columnar is not None:
+            self._columnar.append_event(event)
+        else:
+            self.trace.append(event)
+            self._row_count += 1
+        return self._overhead
+
+    # ------------------------------------------------------------------
+    # Typed emit methods (the engine hot path; no event objects built
+    # on the columnar path)
+    # ------------------------------------------------------------------
+    def task_create(
+        self,
+        tid: int,
+        path: tuple[int, ...],
+        parent_tid: Optional[int],
+        time: int,
+        core: int,
+        creation_cycles: int,
+        depth: int,
+        loc: str,
+        definition: str,
+        label: str,
+        inlined: bool,
+    ) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_task_create(
+                tid,
+                path,
+                parent_tid,
+                time,
+                core,
+                creation_cycles,
+                depth,
+                loc,
+                definition,
+                label,
+                inlined,
+            )
+        else:
+            self.trace.append(
+                TaskCreateEvent(
+                    tid=tid,
+                    path=path,
+                    parent_tid=parent_tid,
+                    time=time,
+                    core=core,
+                    creation_cycles=creation_cycles,
+                    depth=depth,
+                    loc=loc,
+                    definition=definition,
+                    label=label,
+                    inlined=inlined,
+                )
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def fragment(
+        self,
+        tid: int,
+        seq: int,
+        start: int,
+        end: int,
+        core: int,
+        counters: Optional[CounterSet],
+        reads: tuple[FootprintTriple, ...],
+        writes: tuple[FootprintTriple, ...],
+    ) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_fragment(tid, seq, start, end, core, counters, reads, writes)
+        else:
+            self.trace.append(
+                FragmentEvent(
+                    tid=tid,
+                    seq=seq,
+                    start=start,
+                    end=end,
+                    core=core,
+                    counters=counters if counters is not None else CounterSet(),
+                    reads=reads,
+                    writes=writes,
+                )
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def taskwait_begin(self, tid: int, time: int, core: int, implicit: bool) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_taskwait_begin(tid, time, core, implicit)
+        else:
+            self.trace.append(
+                TaskwaitBeginEvent(tid=tid, time=time, core=core, implicit=implicit)
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def taskwait_end(
+        self, tid: int, time: int, core: int, synced_tids: tuple[int, ...]
+    ) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_taskwait_end(tid, time, core, synced_tids)
+        else:
+            self.trace.append(
+                TaskwaitEndEvent(
+                    tid=tid, time=time, core=core, synced_tids=synced_tids
+                )
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def task_complete(self, tid: int, time: int, core: int) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_task_complete(tid, time, core)
+        else:
+            self.trace.append(TaskCompleteEvent(tid=tid, time=time, core=core))
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def loop_begin(
+        self,
+        loop_id: int,
+        loop_seq: int,
+        starting_thread: int,
+        time: int,
+        iterations: int,
+        schedule: str,
+        chunk_size: Optional[int],
+        team: int,
+        loc: str,
+        definition: str,
+        label: str,
+    ) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_loop_begin(
+                loop_id,
+                loop_seq,
+                starting_thread,
+                time,
+                iterations,
+                schedule,
+                chunk_size,
+                team,
+                loc,
+                definition,
+                label,
+            )
+        else:
+            self.trace.append(
+                LoopBeginEvent(
+                    loop_id=loop_id,
+                    loop_seq=loop_seq,
+                    starting_thread=starting_thread,
+                    time=time,
+                    iterations=iterations,
+                    schedule=schedule,
+                    chunk_size=chunk_size,
+                    team=team,
+                    loc=loc,
+                    definition=definition,
+                    label=label,
+                )
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def bookkeeping(
+        self,
+        loop_id: int,
+        thread: int,
+        core: int,
+        start: int,
+        end: int,
+        got_chunk: bool,
+    ) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_bookkeeping(loop_id, thread, core, start, end, got_chunk)
+        else:
+            self.trace.append(
+                BookkeepingEvent(
+                    loop_id=loop_id,
+                    thread=thread,
+                    core=core,
+                    start=start,
+                    end=end,
+                    got_chunk=got_chunk,
+                )
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def chunk(
+        self,
+        loop_id: int,
+        chunk_seq: int,
+        thread: int,
+        iter_start: int,
+        iter_end: int,
+        start: int,
+        end: int,
+        core: int,
+        counters: Optional[CounterSet],
+        reads: tuple[FootprintTriple, ...],
+        writes: tuple[FootprintTriple, ...],
+    ) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_chunk(
+                loop_id,
+                chunk_seq,
+                thread,
+                iter_start,
+                iter_end,
+                start,
+                end,
+                core,
+                counters,
+                reads,
+                writes,
+            )
+        else:
+            self.trace.append(
+                ChunkEvent(
+                    loop_id=loop_id,
+                    chunk_seq=chunk_seq,
+                    thread=thread,
+                    iter_start=iter_start,
+                    iter_end=iter_end,
+                    start=start,
+                    end=end,
+                    core=core,
+                    counters=counters if counters is not None else CounterSet(),
+                    reads=reads,
+                    writes=writes,
+                )
+            )
+        if c is None:
+            self._row_count += 1
+        return self._overhead
+
+    def loop_end(self, loop_id: int, time: int) -> int:
+        if not self._enabled:
+            return 0
+        c = self._columnar
+        if c is not None:
+            c.append_loop_end(loop_id, time)
+        else:
+            self.trace.append(LoopEndEvent(loop_id=loop_id, time=time))
+        if c is None:
+            self._row_count += 1
+        return self._overhead
 
     def finalize(self, meta: TraceMetadata) -> Trace:
         self.trace.meta = meta

@@ -5,7 +5,10 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field, asdict
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from .columnar import ColumnarEvents
 
 from .events import (
     BookkeepingEvent,
@@ -49,16 +52,44 @@ class TraceMetadata:
 class Trace:
     """All events of one profiled run, in emission order.
 
+    A trace is backed either by a plain event list (manual construction,
+    :meth:`loads_jsonl`) or — for engine-produced traces — by a
+    :class:`~repro.profiler.columnar.ColumnarEvents` store.  The columnar
+    backing is zero-copy for serialization (``dumps_jsonl`` renders the
+    JSONL bytes straight from the columns) while the row-oriented API is
+    served by materializing the legacy event objects once, on first use
+    of ``.events`` or any index property.
+
     Index properties (``task_creates``, ``fragments_by_task``, ...) are
     built lazily and cached; appending events after reading an index is a
-    programming error and raises.
+    programming error and raises.  Columnar-backed traces are append-only
+    through their recorder: calling :meth:`append` on one raises.
     """
 
-    def __init__(self, meta: TraceMetadata | None = None) -> None:
+    def __init__(
+        self,
+        meta: TraceMetadata | None = None,
+        columnar: "ColumnarEvents | None" = None,
+    ) -> None:
         self.meta = meta or TraceMetadata()
-        self.events: list[Event] = []
+        self._columnar = columnar
+        self._events: list[Event] | None = [] if columnar is None else None
         self._frozen = False
         self._index: dict | None = None
+
+    @property
+    def columnar(self) -> "ColumnarEvents | None":
+        """The columnar backing store, if this trace has one."""
+        return self._columnar
+
+    @property
+    def events(self) -> list[Event]:
+        """The events as legacy row objects (materialized once, cached)."""
+        events = self._events
+        if events is None:
+            assert self._columnar is not None
+            events = self._events = self._columnar.to_events()
+        return events
 
     # ------------------------------------------------------------------
     # Building
@@ -66,14 +97,22 @@ class Trace:
     def append(self, event: Event) -> None:
         if self._frozen:
             raise RuntimeError("trace already indexed; cannot append")
-        self.events.append(event)
+        if self._columnar is not None:
+            raise RuntimeError(
+                "columnar-backed trace: events are appended through its recorder"
+            )
+        assert self._events is not None
+        self._events.append(event)
 
     def extend(self, events: Iterable[Event]) -> None:
         for event in events:
             self.append(event)
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is None:
+            assert self._columnar is not None
+            return len(self._columnar)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[Event]:
         return iter(self.events)
@@ -173,7 +212,13 @@ class Trace:
         suite both rest on.
         """
         lines = [json.dumps({"kind": "meta", **self.meta.to_dict()})]
-        lines.extend(json.dumps(event.to_dict()) for event in self.events)
+        if self._columnar is not None:
+            # Zero-object fast path: render straight from the columns.
+            # Produces byte-identical output to the event-object path
+            # below (asserted by the differential harness).
+            lines.extend(self._columnar.json_lines())
+        else:
+            lines.extend(json.dumps(event.to_dict()) for event in self.events)
         return "\n".join(lines) + "\n"
 
     def dump_jsonl(self, path: str | Path) -> None:

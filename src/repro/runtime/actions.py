@@ -25,7 +25,7 @@ Usage sketch::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional
 
 from ..common import SourceLocation, UNKNOWN_LOCATION
 from ..machine.cost import WorkRequest
@@ -33,7 +33,9 @@ from ..machine.memory import Placement
 from .loops import LoopSpec
 
 # A task body is a zero-argument callable returning a generator of actions.
-BodyFactory = Callable[[], Generator]
+# Yields actions, receives handles back (TaskHandle from Spawn, MemoryRegion
+# from Alloc) — hence the loose send/yield types.
+BodyFactory = Callable[[], Generator[Any, Any, Any]]
 
 
 @dataclass(frozen=True)
@@ -72,7 +74,7 @@ def normalize_footprints(
     otherwise to :data:`WHOLE_REGION` (a practically-infinite bound so
     whole-region shorthands conflict with any range).
     """
-    out = []
+    out: list[tuple[str, int, int]] = []
     for spec in specs:
         if isinstance(spec, str):
             spec = Footprint(spec)

@@ -29,26 +29,27 @@ Execution model highlights (rationale in DESIGN.md):
   tasks in flight — nested parallelism is unsupported exactly like the
   paper's profiler.  Team threads alternate book-keeping and chunk
   execution until the dispatcher runs dry, then join a barrier.
+
+Hot-path structure: events flow through the recorder's *typed* emit
+methods straight into the columnar store (no event objects), the action
+dispatch in ``_drive`` is a single class-keyed dict lookup instead of an
+``isinstance`` chain, per-flavor overhead constants are hoisted to
+instance attributes at construction, fragment counters alias the first
+work outcome's :class:`~repro.machine.counters.CounterSet` instead of
+copying into a fresh accumulator, and spawn-site source locations are
+stringified once per distinct location.  None of this changes a single
+emitted byte — ``tests/runtime/test_columnar_diff.py`` holds the engine
+to the golden digests pinned from the pre-refactor code.
 """
 
 from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Generator, Optional
 
+from ..common import SourceLocation
 from ..machine import Machine
-from ..profiler.events import (
-    BookkeepingEvent,
-    ChunkEvent,
-    LoopBeginEvent,
-    LoopEndEvent,
-    TaskCompleteEvent,
-    TaskCreateEvent,
-    TaskwaitBeginEvent,
-    TaskwaitEndEvent,
-    FragmentEvent,
-)
 from ..profiler.recorder import Recorder, ProfilerConfig
 from ..profiler.trace import Trace, TraceMetadata
 from .actions import (
@@ -65,7 +66,6 @@ from .sched import make_scheduler
 from .sched.base import PopKind
 from .task import ROOT_PATH, TaskInstance, TaskState
 
-from ..machine.counters import CounterSet
 from ..obs import registry as _obs
 
 
@@ -120,12 +120,15 @@ class RunResult:
 
 
 class _Worker:
-    __slots__ = ("wid", "sleeping", "current")
+    __slots__ = ("wid", "sleeping", "current", "find_cb")
 
     def __init__(self, wid: int) -> None:
         self.wid = wid
         self.sleeping = True
         self.current: Optional[TaskInstance] = None
+        # Prebound "go find work" heap callback (one closure per worker
+        # for the engine lifetime, not one per task completion).
+        self.find_cb: Callable[[int], None] = lambda _t: None
 
 
 class _LoopExec:
@@ -163,6 +166,9 @@ class _LoopExec:
         self.lock_free_at = 0
 
 
+BodyFactory = Callable[[], Generator[Any, Any, Any]]
+
+
 class Engine:
     """One engine instance executes one program run."""
 
@@ -198,13 +204,57 @@ class Engine:
         self._makespan: Optional[int] = None
         self.stats = RunStats()
         self._ran = False
+        # Flavor overhead constants, hoisted off the per-event paths.
+        # ``_queue_contention`` folds the per-contender multiply done at
+        # every enqueue/dequeue: ``queue_contention_cycles * (threads-1)``.
+        self._queue_contention = flavor.queue_contention_cycles * (num_threads - 1)
+        self._queue_lock_hold = flavor.queue_lock_hold_cycles
+        self._task_finish_cycles = flavor.task_finish_cycles
+        self._taskwait_cycles = flavor.taskwait_cycles
+        self._wake_latency = flavor.wake_latency_cycles
+        # str(SourceLocation) per distinct spawn site, not per spawn.
+        self._loc_strs: dict[SourceLocation, str] = {}
+        for worker in self.workers:
+            worker.find_cb = (
+                lambda t, w=worker: self._find_work(w, t)  # noqa: B008
+            )
+        # Deterministic wake order per pusher, precomputed: the ranking
+        # _wake_one used to evaluate through topology calls on every
+        # wake — (NUMA distance, core-id distance, id) — is a total
+        # order, so a rank table preserves the choice exactly.
+        topo = machine.topology
+        self._wake_rank: list[list[int]] = []
+        for pusher in range(num_threads):
+            order = sorted(
+                range(num_threads),
+                key=lambda wid: (
+                    topo.core_distance(pusher, wid),  # noqa: B023
+                    abs(wid - pusher),  # noqa: B023
+                    wid,
+                ),
+            )
+            rank = [0] * num_threads
+            for position, wid in enumerate(order):
+                rank[wid] = position
+            self._wake_rank.append(rank)
+        # Class-keyed action dispatch (flattened isinstance chain); every
+        # handler consumes the worker's turn, so _drive returns after one.
+        self._dispatch: dict[
+            type,
+            Callable[[_Worker, TaskInstance, int, Any], None],
+        ] = {
+            Work: self._do_work,
+            Spawn: self._do_spawn,
+            TaskWait: self._do_taskwait,
+            ParallelFor: self._do_parallel_for,
+        }
 
     # ------------------------------------------------------------------
     # Public entry point
     # ------------------------------------------------------------------
     def run(
         self,
-        body_factory: Callable,
+        body_factory: BodyFactory,
         program_name: str = "",
         input_summary: str = "",
     ) -> RunResult:
@@ -217,7 +267,7 @@ class Engine:
 
     def _run(
         self,
-        body_factory: Callable,
+        body_factory: BodyFactory,
         program_name: str = "",
         input_summary: str = "",
     ) -> RunResult:
@@ -232,12 +282,9 @@ class Engine:
             inlined=False,
         )
         self._root = root
-        self._emit(
-            TaskCreateEvent(
-                tid=root.tid, path=root.path, parent_tid=None, time=0, core=0,
-                creation_cycles=0, depth=0, loc=root.loc, definition=root.definition,
-                label=root.label, inlined=False,
-            )
+        self.recorder.task_create(
+            root.tid, root.path, None, 0, 0, 0, 0,
+            str(root.loc), root.definition, root.label, False,
         )
         self._sleeping.discard(0)
         self.workers[0].sleeping = False
@@ -286,21 +333,35 @@ class Engine:
         task flood the lock saturates and per-op cost grows with the
         number of contending workers — libgomp's collapse.
         """
-        hold = self.flavor.queue_lock_hold_cycles
+        hold = self._queue_lock_hold
         if hold == 0:
             return 0
         start = max(now, self._queue_lock_free_at)
         self._queue_lock_free_at = start + hold
         return (start - now) + hold
 
-    def _emit(self, event) -> int:
-        return self.recorder.emit(event)
+    def _loc_str(self, loc: SourceLocation) -> str:
+        text = self._loc_strs.get(loc)
+        if text is None:
+            text = str(loc)
+            self._loc_strs[loc] = text
+        return text
 
     # ------------------------------------------------------------------
     # Task lifecycle
     # ------------------------------------------------------------------
-    def _make_task(self, parent, generator, created_at, core, creation_cycles,
-                   loc, definition, label, inlined) -> TaskInstance:
+    def _make_task(
+        self,
+        parent: Optional[TaskInstance],
+        generator: Generator[Any, Any, Any],
+        created_at: int,
+        core: int,
+        creation_cycles: int,
+        loc: str,
+        definition: str,
+        label: str,
+        inlined: bool,
+    ) -> TaskInstance:
         tid = self._next_tid
         self._next_tid += 1
         path = ROOT_PATH if parent is None else parent.child_path()
@@ -314,31 +375,36 @@ class Engine:
         return task
 
     def _begin_fragment(self, task: TaskInstance, time: int) -> None:
+        # Footprint lists were reset by the previous _end_fragment (or
+        # are fresh from TaskInstance.__init__); counters stay None until
+        # the first work segment so its outcome's CounterSet can serve as
+        # the accumulator directly instead of being copied into one.
         task.frag_start = time
-        task.frag_counters = CounterSet()
-        task.frag_reads = []
-        task.frag_writes = []
 
     def _end_fragment(self, worker: _Worker, task: TaskInstance, time: int) -> int:
         """Record the open fragment; returns profiling overhead cycles."""
         if task.frag_start is None:
             return 0
-        event = FragmentEvent(
-            tid=task.tid,
-            seq=task.next_fragment_seq(),
-            start=task.frag_start,
-            end=time,
-            core=worker.wid,
-            counters=task.frag_counters,
-            reads=tuple(task.frag_reads),
-            writes=tuple(task.frag_writes),
+        seq = task.fragment_seq
+        task.fragment_seq = seq + 1
+        overhead = self.recorder.fragment(
+            task.tid,
+            seq,
+            task.frag_start,
+            time,
+            worker.wid,
+            task.frag_counters,
+            tuple(task.frag_reads),
+            tuple(task.frag_writes),
         )
         task.frag_start = None
         task.frag_counters = None
-        task.frag_reads = []
-        task.frag_writes = []
+        if task.frag_reads:
+            task.frag_reads = []
+        if task.frag_writes:
+            task.frag_writes = []
         self.stats.fragments += 1
-        return self._emit(event)
+        return overhead
 
     def _begin_task(self, worker: _Worker, task: TaskInstance, time: int) -> None:
         worker.current = task
@@ -347,12 +413,7 @@ class Engine:
         if task.state is TaskState.READY and task.resume_reason == "taskwait":
             synced = tuple(task.to_sync)
             task.to_sync.clear()
-            self._emit(
-                TaskwaitEndEvent(
-                    tid=task.tid, time=time, core=worker.wid,
-                    synced_tids=synced,
-                )
-            )
+            self.recorder.taskwait_end(task.tid, time, worker.wid, synced)
         task.state = TaskState.RUNNING
         task.resume_reason = ""
         self._begin_fragment(task, time)
@@ -360,26 +421,20 @@ class Engine:
 
     def _drive(self, worker: _Worker, task: TaskInstance, time: int) -> None:
         """Advance the task's generator until it blocks or yields time."""
+        dispatch = self._dispatch
+        generator = task.generator
         while True:
             try:
                 value, task.pending_value = task.pending_value, None
-                action = task.generator.send(value)
+                action = generator.send(value)
             except StopIteration:
                 self._task_done(worker, task, time)
                 return
-            if isinstance(action, Work):
-                self._do_work(worker, task, time, action)
+            handler = dispatch.get(action.__class__)
+            if handler is not None:
+                handler(worker, task, time, action)
                 return
-            if isinstance(action, Spawn):
-                self._do_spawn(worker, task, time, action)
-                return
-            if isinstance(action, TaskWait):
-                self._do_taskwait(worker, task, time)
-                return
-            if isinstance(action, ParallelFor):
-                self._do_parallel_for(worker, task, time, action)
-                return
-            if isinstance(action, Alloc):
+            if action.__class__ is Alloc:
                 region = self.machine.allocate(
                     action.name, action.size_bytes, action.placement
                 )
@@ -395,10 +450,19 @@ class Engine:
     # ------------------------------------------------------------------
     # Actions
     # ------------------------------------------------------------------
-    def _do_work(self, worker: _Worker, task: TaskInstance, time: int, action: Work):
+    def _do_work(
+        self, worker: _Worker, task: TaskInstance, time: int, action: Work
+    ) -> None:
         outcome = self.machine.cost.charge(worker.wid, action.request)
         self.machine.contention.register(outcome.node_weights)
-        task.frag_counters += outcome.counters
+        counters = task.frag_counters
+        if counters is None:
+            # First work of the fragment: adopt the freshly built outcome
+            # counters as the fragment accumulator (charge never retains
+            # them, so no aliasing hazard).
+            task.frag_counters = outcome.counters
+        else:
+            counters += outcome.counters
         if action.reads:
             task.frag_reads.extend(
                 normalize_footprints(action.reads, self._region_sizes)
@@ -408,41 +472,42 @@ class Engine:
                 normalize_footprints(action.writes, self._region_sizes)
             )
 
-        def _done(t2: int, weights=outcome.node_weights):
+        def _done(
+            t2: int, weights: list[float] = outcome.node_weights
+        ) -> None:
             self.machine.contention.withdraw(weights)
             self._drive(worker, task, t2)
 
         self._at(time + outcome.duration, _done)
 
-    def _do_spawn(self, worker: _Worker, task: TaskInstance, time: int, action: Spawn):
+    def _do_spawn(
+        self, worker: _Worker, task: TaskInstance, time: int, action: Spawn
+    ) -> None:
         overhead = self._end_fragment(worker, task, time)
-        inline = (not action.if_clause) or self.flavor.should_inline(
+        flavor = self.flavor
+        inline = (not action.if_clause) or flavor.should_inline(
             self.scheduler.queue_length(worker.wid),
             self.scheduler.total_pending(),
             self.num_threads,
         )
         if inline:
-            cost = self.flavor.inline_create_cycles
+            cost = flavor.inline_create_cycles
             self.stats.tasks_inlined += 1
         else:
-            cost = self.flavor.task_create_cycles
-            cost += self.flavor.queue_contention_cycles * (self.num_threads - 1)
+            cost = flavor.task_create_cycles + self._queue_contention
+        loc_str = self._loc_str(action.loc)
         child = self._make_task(
             parent=task, generator=action.body(), created_at=time,
-            core=worker.wid, creation_cycles=cost, loc=str(action.loc),
-            definition=action.definition_key(), label=action.label,
+            core=worker.wid, creation_cycles=cost, loc=loc_str,
+            definition=action.definition or loc_str, label=action.label,
             inlined=inline,
         )
         task.children_spawned += 1
         task.outstanding += 1
         task.live_children.add(child)
-        cost += self._emit(
-            TaskCreateEvent(
-                tid=child.tid, path=child.path, parent_tid=task.tid, time=time,
-                core=worker.wid, creation_cycles=cost, depth=child.depth,
-                loc=child.loc, definition=child.definition, label=child.label,
-                inlined=inline,
-            )
+        cost += self.recorder.task_create(
+            child.tid, child.path, task.tid, time, worker.wid, cost,
+            child.depth, loc_str, child.definition, child.label, inline,
         ) + overhead
         task.pending_value = child.handle
         if inline:
@@ -467,23 +532,18 @@ class Engine:
 
             self._at(time + cost, _enqueued)
 
-    def _do_taskwait(self, worker: _Worker, task: TaskInstance, time: int) -> None:
+    def _do_taskwait(
+        self, worker: _Worker, task: TaskInstance, time: int, action: TaskWait
+    ) -> None:
         overhead = self._end_fragment(worker, task, time)
-        overhead += self._emit(
-            TaskwaitBeginEvent(tid=task.tid, time=time, core=worker.wid)
-        )
-        cost = self.flavor.taskwait_cycles + overhead
+        overhead += self.recorder.taskwait_begin(task.tid, time, worker.wid, False)
+        cost = self._taskwait_cycles + overhead
 
         def _check(t2: int) -> None:
             if task.outstanding == 0:
                 synced = tuple(task.to_sync)
                 task.to_sync.clear()
-                self._emit(
-                    TaskwaitEndEvent(
-                        tid=task.tid, time=t2, core=worker.wid,
-                        synced_tids=synced,
-                    )
-                )
+                self.recorder.taskwait_end(task.tid, t2, worker.wid, synced)
                 self._begin_fragment(task, t2)
                 self._drive(worker, task, t2)
             else:
@@ -499,17 +559,15 @@ class Engine:
             # remaining descendant (fire-and-forget tasks sync here).
             task.in_implicit_barrier = True
             overhead = self._end_fragment(worker, task, time)
-            overhead += self._emit(
-                TaskwaitBeginEvent(
-                    tid=task.tid, time=time, core=worker.wid, implicit=True
-                )
+            overhead += self.recorder.taskwait_begin(
+                task.tid, time, worker.wid, True
             )
             task.state = TaskState.WAITING
             worker.current = None
-            self._find_work(worker, time + self.flavor.taskwait_cycles + overhead)
+            self._find_work(worker, time + self._taskwait_cycles + overhead)
             return
         self._end_fragment(worker, task, time)
-        self._emit(TaskCompleteEvent(tid=task.tid, time=time, core=worker.wid))
+        self.recorder.task_complete(task.tid, time, worker.wid)
         task.state = TaskState.COMPLETED
         sync_parent = task.sync_parent
         if task.outstanding > 0:
@@ -536,7 +594,7 @@ class Engine:
                 parent.resume_reason = "inline"
                 worker.current = None
                 self._at(
-                    time + self.flavor.task_finish_cycles,
+                    time + self._task_finish_cycles,
                     lambda t2: self._begin_task(worker, parent, t2),
                 )
                 return
@@ -550,10 +608,7 @@ class Engine:
         else:
             self._makespan = time
         worker.current = None
-        self._at(
-            time + self.flavor.task_finish_cycles,
-            lambda t2: self._find_work(worker, t2),
-        )
+        self._at(time + self._task_finish_cycles, worker.find_cb)
 
     # ------------------------------------------------------------------
     # Work finding / waking
@@ -570,8 +625,7 @@ class Engine:
             cost = lock + self.flavor.steal_cycles
             self.stats.steals += 1
         else:
-            cost = lock + self.flavor.dispatch_cycles
-            cost += self.flavor.queue_contention_cycles * (self.num_threads - 1)
+            cost = lock + self.flavor.dispatch_cycles + self._queue_contention
             self.stats.local_pops += 1
         if task.state is TaskState.READY:
             cost += self.flavor.resume_cycles
@@ -582,21 +636,10 @@ class Engine:
         then core-id distance, then id — fully deterministic)."""
         if not self._sleeping:
             return
-        topo = self.machine.topology
-        best = min(
-            self._sleeping,
-            key=lambda wid: (
-                topo.core_distance(pusher, wid),
-                abs(wid - pusher),
-                wid,
-            ),
-        )
+        best = min(self._sleeping, key=self._wake_rank[pusher].__getitem__)
         self._sleeping.discard(best)
         self.workers[best].sleeping = False
-        self._at(
-            time + self.flavor.wake_latency_cycles,
-            lambda t2: self._find_work(self.workers[best], t2),
-        )
+        self._at(time + self._wake_latency, self.workers[best].find_cb)
 
     # ------------------------------------------------------------------
     # Parallel for-loops
@@ -621,7 +664,7 @@ class Engine:
             # failed-steal transitions; with no tasks in flight they all
             # reach sleep within a bounded number of events, so retry.
             self._at(
-                time + self.flavor.wake_latency_cycles,
+                time + self._wake_latency,
                 lambda t2: self._do_parallel_for(worker, task, t2, action),
             )
             return
@@ -630,14 +673,10 @@ class Engine:
         self._next_loop_id += 1
         seq = self._loop_seq_by_thread.get(worker.wid, 0)
         self._loop_seq_by_thread[worker.wid] = seq + 1
-        self._emit(
-            LoopBeginEvent(
-                loop_id=loop_id, loop_seq=seq, starting_thread=worker.wid,
-                time=time, iterations=spec.iterations,
-                schedule=spec.schedule.value, chunk_size=spec.chunk_size,
-                team=team, loc=str(spec.loc),
-                definition=spec.definition_key(), label=spec.label,
-            )
+        self.recorder.loop_begin(
+            loop_id, seq, worker.wid, time, spec.iterations,
+            spec.schedule.value, spec.chunk_size, team, str(spec.loc),
+            spec.definition_key(), spec.label,
         )
         # Team = issuing worker + the lowest-id sleeping workers.
         others = sorted(self._sleeping)[: team - 1]
@@ -651,7 +690,7 @@ class Engine:
         worker.current = None
         self.stats.loops_executed += 1
         for thread, wid in enumerate(team_workers):
-            delay = 0 if wid == worker.wid else self.flavor.wake_latency_cycles
+            delay = 0 if wid == worker.wid else self._wake_latency
             self._at(
                 time + delay,
                 lambda t2, wid=wid, thread=thread: self._loop_step(
@@ -679,11 +718,8 @@ class Engine:
 
         def _dispatched(t2: int) -> None:
             chunk = le.dispatcher.next_chunk(thread)
-            overhead = self._emit(
-                BookkeepingEvent(
-                    loop_id=le.loop_id, thread=thread, core=wid,
-                    start=time, end=t2, got_chunk=chunk is not None,
-                )
+            overhead = self.recorder.bookkeeping(
+                le.loop_id, thread, wid, time, t2, chunk is not None
             )
             if chunk is None:
                 le.remaining -= 1
@@ -711,16 +747,14 @@ class Engine:
             le.chunk_seq += 1
             self.stats.chunks_executed += 1
 
-            def _chunk_done(t3: int, weights=outcome.node_weights) -> None:
+            def _chunk_done(
+                t3: int, weights: list[float] = outcome.node_weights
+            ) -> None:
                 self.machine.contention.withdraw(weights)
-                oh = self._emit(
-                    ChunkEvent(
-                        loop_id=le.loop_id, chunk_seq=chunk_seq, thread=thread,
-                        iter_start=start_it, iter_end=end_it,
-                        start=t2 + overhead, end=t3, core=wid,
-                        counters=outcome.counters,
-                        reads=chunk_reads, writes=chunk_writes,
-                    )
+                oh = self.recorder.chunk(
+                    le.loop_id, chunk_seq, thread, start_it, end_it,
+                    t2 + overhead, t3, wid, outcome.counters,
+                    chunk_reads, chunk_writes,
                 )
                 self._loop_step(le, wid, thread, t3 + oh)
 
@@ -729,7 +763,7 @@ class Engine:
         self._at(time + cost, _dispatched)
 
     def _loop_finish(self, le: _LoopExec, time: int) -> None:
-        self._emit(LoopEndEvent(loop_id=le.loop_id, time=time))
+        self.recorder.loop_end(le.loop_id, time)
         for wid in le.team_workers:
             if wid != le.issuing_worker:
                 self._find_work(self.workers[wid], time)

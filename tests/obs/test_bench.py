@@ -96,6 +96,20 @@ class TestRunBench:
         assert 'grain_stage_seconds_total{stage="engine.run"}' in text
         assert 'grain_counter_total{name="engine.invocations"} 4' in text
 
+    def test_prometheus_export_includes_derived_throughput(self, tiny_report):
+        # bench_snapshot rebuilds the snapshot from the written report, so
+        # the derived gauges must be recomputed — a scrape of a trajectory
+        # file reports the same headline throughput as the live registry.
+        text = report_prometheus(tiny_report)
+        assert 'grain_derived_gauge{name="engine.events_per_sec"}' in text
+        events = tiny_report.counters["engine.events_emitted"]
+        run_seconds = tiny_report.stages["engine.run"]["total_seconds"]
+        line = next(
+            ln for ln in text.splitlines()
+            if ln.startswith('grain_derived_gauge{name="engine.events_per_sec"}')
+        )
+        assert float(line.split()[-1]) == pytest.approx(events / run_seconds)
+
 
 def scaled(report: BenchReport, factor: float) -> BenchReport:
     """A copy of ``report`` with every stage wall-clock scaled."""

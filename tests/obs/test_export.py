@@ -30,6 +30,7 @@ def fixed_snapshot() -> ObsSnapshot:
             ),
         },
         counters={"engine.invocations": 2, "cache.trace_hits": 3},
+        derived={"engine.events_per_sec": 26222.5},
     )
 
 
@@ -40,6 +41,18 @@ class TestJsonRoundTrip:
         assert again.to_json() == snap.to_json()
         assert again.spans == snap.spans
         assert again.counters == snap.counters
+        assert again.derived == snap.derived
+
+    def test_derived_gauges_serialized_in_json(self):
+        payload = json.loads(fixed_snapshot().to_json())
+        assert payload["derived"] == {"engine.events_per_sec": 26222.5}
+
+    def test_missing_derived_section_defaults_empty(self):
+        # Snapshots serialized before the derived section existed.
+        snap = ObsSnapshot.from_dict(
+            {"schema": SNAPSHOT_SCHEMA, "spans": {}, "counters": {"n": 1}}
+        )
+        assert snap.derived == {}
 
     def test_json_is_canonical(self):
         text = fixed_snapshot().to_json()
@@ -101,6 +114,10 @@ class TestPrometheus:
             "# TYPE grain_counter_total counter\n"
             'grain_counter_total{name="cache.trace_hits"} 3\n'
             'grain_counter_total{name="engine.invocations"} 2\n'
+            "# HELP grain_derived_gauge Gauges derived from spans and "
+            "counters at snapshot time (e.g. engine.events_per_sec).\n"
+            "# TYPE grain_derived_gauge gauge\n"
+            'grain_derived_gauge{name="engine.events_per_sec"} 26222.5\n'
         )
 
     def test_every_sample_line_is_well_formed(self):

@@ -4,6 +4,8 @@ absorb makes pool aggregation exact."""
 import math
 import threading
 
+import pytest
+
 from repro.obs.registry import ObsRegistry, SpanStats
 
 
@@ -108,6 +110,39 @@ class TestObsRegistry:
         assert snap.spans["stage"].min_seconds == 0.1
         assert snap.spans["stage"].max_seconds == 0.5
         assert snap.counters["n"] == 8
+
+    def test_snapshot_derives_events_per_sec(self):
+        reg = ObsRegistry()
+        reg.observe("engine.run", 0.5)
+        reg.count("engine.events_emitted", 1000)
+        snap = reg.snapshot()
+        assert snap.derived["engine.events_per_sec"] == pytest.approx(2000.0)
+
+    def test_no_gauge_without_events_or_span(self):
+        reg = ObsRegistry()
+        reg.count("engine.events_emitted", 1000)  # no engine.run span
+        assert "engine.events_per_sec" not in reg.snapshot().derived
+        reg.reset()
+        reg.observe("engine.run", 0.5)  # no events counter
+        assert "engine.events_per_sec" not in reg.snapshot().derived
+
+    def test_absorb_recomputes_derived_without_double_count(self):
+        # Derived gauges are a pure function of spans+counters; absorbing
+        # a worker snapshot must not add its gauge values — the parent
+        # recomputes from merged raw totals.
+        worker = ObsRegistry()
+        worker.observe("engine.run", 1.0)
+        worker.count("engine.events_emitted", 100)
+        worker_snap = worker.snapshot()
+        assert worker_snap.derived["engine.events_per_sec"] == pytest.approx(100.0)
+
+        parent = ObsRegistry()
+        parent.observe("engine.run", 1.0)
+        parent.count("engine.events_emitted", 300)
+        parent.absorb(worker_snap)
+        snap = parent.snapshot()
+        # merged: 400 events over 2.0s — not 300/1 + 100/1.
+        assert snap.derived["engine.events_per_sec"] == pytest.approx(200.0)
 
     def test_absorb_works_even_when_disabled(self):
         # Aggregating a worker's measurements is bookkeeping, not a new

@@ -1,0 +1,208 @@
+"""Property tests for the columnar event store.
+
+Hypothesis drives :class:`~repro.profiler.columnar.ColumnarEvents`
+through randomized event sequences — with a tiny ``slab_rows`` so every
+run exercises tail-list growth, slab spills, *and* the mixed
+slab-plus-tail read path — and asserts the store is a faithful codec:
+
+* ``append_event`` then ``to_events`` reproduces the input exactly;
+* column dtypes are stable before and after spills;
+* a columnar-backed :class:`~repro.profiler.trace.Trace` serializes to
+  the same JSONL as a row-backed one, and ``loads_jsonl`` inverts
+  ``dumps_jsonl`` byte-for-byte.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.counters import CounterSet
+from repro.profiler.columnar import KIND_DTYPES, ColumnarEvents
+from repro.profiler.events import (
+    BookkeepingEvent,
+    ChunkEvent,
+    FragmentEvent,
+    LoopBeginEvent,
+    LoopEndEvent,
+    TaskCompleteEvent,
+    TaskCreateEvent,
+    TaskwaitBeginEvent,
+    TaskwaitEndEvent,
+)
+from repro.profiler.trace import Trace
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+ids = st.integers(min_value=0, max_value=2**31 - 1)
+times = st.integers(min_value=0, max_value=2**47)
+small = st.integers(min_value=0, max_value=255)
+names = st.text(string.ascii_lowercase + "_.:/<>0123456789", max_size=12)
+paths = st.lists(small, max_size=4).map(tuple)
+
+
+@st.composite
+def counter_sets(draw):
+    vals = draw(st.lists(small, min_size=7, max_size=7))
+    return CounterSet.from_values(*vals)
+
+
+footprints = st.lists(
+    st.tuples(names, times, times), max_size=3
+).map(tuple)
+
+
+task_creates = st.builds(
+    TaskCreateEvent,
+    tid=ids,
+    path=paths,
+    parent_tid=st.none() | ids,
+    time=times,
+    core=small,
+    creation_cycles=times,
+    depth=small,
+    loc=names,
+    definition=names,
+    label=names,
+    inlined=st.booleans(),
+)
+fragments = st.builds(
+    FragmentEvent,
+    tid=ids,
+    seq=small,
+    start=times,
+    end=times,
+    core=small,
+    counters=counter_sets(),
+    reads=footprints,
+    writes=footprints,
+)
+taskwait_begins = st.builds(
+    TaskwaitBeginEvent, tid=ids, time=times, core=small, implicit=st.booleans()
+)
+taskwait_ends = st.builds(
+    TaskwaitEndEvent,
+    tid=ids,
+    time=times,
+    core=small,
+    synced_tids=st.lists(ids, max_size=4).map(tuple),
+)
+task_completes = st.builds(TaskCompleteEvent, tid=ids, time=times, core=small)
+loop_begins = st.builds(
+    LoopBeginEvent,
+    loop_id=ids,
+    loop_seq=small,
+    starting_thread=small,
+    time=times,
+    iterations=times,
+    schedule=st.sampled_from(["static", "dynamic", "guided"]),
+    chunk_size=st.none() | st.integers(min_value=1, max_value=10_000),
+    team=small,
+    loc=names,
+    definition=names,
+    label=names,
+)
+bookkeepings = st.builds(
+    BookkeepingEvent,
+    loop_id=ids,
+    thread=small,
+    core=small,
+    start=times,
+    end=times,
+    got_chunk=st.booleans(),
+)
+chunks = st.builds(
+    ChunkEvent,
+    loop_id=ids,
+    chunk_seq=small,
+    thread=small,
+    iter_start=times,
+    iter_end=times,
+    start=times,
+    end=times,
+    core=small,
+    counters=counter_sets(),
+    reads=footprints,
+    writes=footprints,
+)
+loop_ends = st.builds(LoopEndEvent, loop_id=ids, time=times)
+
+events = st.one_of(
+    task_creates,
+    fragments,
+    taskwait_begins,
+    taskwait_ends,
+    task_completes,
+    loop_begins,
+    bookkeepings,
+    chunks,
+    loop_ends,
+)
+#: slab_rows=3 forces spills after a handful of same-kind appends, so
+#: generated sequences routinely hit slab + tail mixed reads.
+event_lists = st.lists(events, max_size=40)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@given(event_lists)
+@settings(max_examples=200, deadline=None)
+def test_append_to_events_round_trip(evs):
+    store = ColumnarEvents(slab_rows=3)
+    store.extend(evs)
+    assert len(store) == len(evs)
+    assert store.to_events() == list(evs)
+
+
+@given(event_lists)
+@settings(max_examples=100, deadline=None)
+def test_dtypes_stable_across_spills(evs):
+    store = ColumnarEvents(slab_rows=3)
+    fresh = ColumnarEvents(slab_rows=3)
+    store.extend(evs)
+    for kind, dtype in enumerate(KIND_DTYPES):
+        for name in dtype.names:
+            assert store.kind_column(kind, name).dtype == dtype[name]
+            assert fresh.kind_column(kind, name).dtype == dtype[name]
+
+
+@given(event_lists)
+@settings(max_examples=100, deadline=None)
+def test_columnar_trace_serializes_like_row_trace(evs):
+    store = ColumnarEvents(slab_rows=3)
+    store.extend(evs)
+    columnar_trace = Trace(columnar=store)
+
+    row_trace = Trace()
+    for event in evs:
+        row_trace.append(event)
+
+    text = columnar_trace.dumps_jsonl()
+    assert text == row_trace.dumps_jsonl()
+    assert Trace.loads_jsonl(text).dumps_jsonl() == text
+
+
+@given(st.lists(task_creates, min_size=7, max_size=25))
+@settings(max_examples=50, deadline=None)
+def test_slabs_spill_at_slab_rows(evs):
+    store = ColumnarEvents(slab_rows=4)
+    store.extend(evs)
+    # one kind only: the order block and the task_create block each spill
+    # every 4 rows; everything still reads back intact.
+    assert store.num_slabs() == 2 * (len(evs) // 4)
+    assert store.kind_count(0) == len(evs)
+    assert store.to_events() == list(evs)
+
+
+@given(st.lists(task_creates, max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_string_interning_is_shared_and_stable(evs):
+    store = ColumnarEvents(slab_rows=3)
+    store.extend(evs)
+    distinct = {s for e in evs for s in (e.loc, e.definition, e.label)}
+    assert set(store.strings()) <= distinct
+    # interning the same text twice yields the same id
+    for text in distinct:
+        assert store.intern(text) == store.intern(text)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the engine test suite, notably the
+columnar-vs-row differential harness (``test_columnar_diff.py``)."""
+
+import json
+import pathlib
+
+import pytest
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+
+
+@pytest.fixture(scope="session")
+def golden_digests() -> dict:
+    """Trace digests pinned from the pre-columnar engine: sha256 of
+    ``dumps_jsonl``, event count, makespan, and RunStats for every
+    program x flavor x thread-count cell.  Regenerate (only after an
+    *intentional* trace change) with::
+
+        PYTHONPATH=src python tests/runtime/data/regen_golden_digests.py
+    """
+    return json.loads((DATA_DIR / "golden_digests.json").read_text())

@@ -1,0 +1,55 @@
+"""Regenerate ``golden_digests.json`` — run from the repo root::
+
+    PYTHONPATH=src python tests/runtime/data/regen_golden_digests.py
+
+The digests pin the engine's observable output (trace bytes, event
+count, makespan, RunStats) for every program x {MIR, GCC} x {2, 8}
+threads.  ``test_columnar_diff.py`` holds BOTH event-storage paths to
+them, so regenerate only after an *intentional* trace-format or
+simulation-semantics change, and say so in the commit message.
+
+The digests are computed from the legacy row path (``columnar=False``)
+— the reference the columnar path must reproduce.
+"""
+
+import hashlib
+import json
+import pathlib
+import sys
+
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.profiler.recorder import ProfilerConfig
+from repro.runtime.api import run_program
+from repro.runtime.flavors import GCC, MIR
+
+OUT = pathlib.Path(__file__).parent / "golden_digests.json"
+FLAVORS = {"MIR": MIR, "GCC": GCC}
+THREAD_COUNTS = (2, 8)
+
+
+def main() -> int:
+    digests = {}
+    for name in sorted(PROGRAMS):
+        for flavor_name, flavor in sorted(FLAVORS.items()):
+            for threads in THREAD_COUNTS:
+                result = run_program(
+                    resolve_small(name),
+                    flavor=flavor,
+                    num_threads=threads,
+                    profiler=ProfilerConfig(columnar=False),
+                )
+                text = result.trace.dumps_jsonl()
+                digests[f"{name}|{flavor_name}|{threads}"] = {
+                    "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+                    "events": len(result.trace),
+                    "makespan_cycles": result.makespan_cycles,
+                    "stats": dict(sorted(vars(result.stats).items())),
+                }
+                print(f"{name}|{flavor_name}|{threads}", file=sys.stderr)
+    OUT.write_text(json.dumps(digests, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {len(digests)} digests to {OUT}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

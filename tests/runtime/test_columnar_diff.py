@@ -1,0 +1,216 @@
+"""Differential harness: columnar engine path == legacy row path.
+
+The engine's hot path stores events column-wise (numpy structured-array
+slabs, ``ProfilerConfig(columnar=True)``); the legacy path builds one
+frozen dataclass per event (``columnar=False``).  This suite proves the
+two are observationally identical over the full application registry:
+
+* **Golden digests** — every cell of program x {MIR, GCC} x {2, 8}
+  threads must reproduce the sha256 / event count / makespan / RunStats
+  pinned from the pre-columnar engine
+  (``tests/runtime/data/golden_digests.json``).  This anchors *both*
+  paths to history, not merely to each other.
+* **Row-vs-columnar differential** — byte-identical ``dumps_jsonl``,
+  identical materialized event lists, identical ``RunStats`` and obs
+  counter deltas, and a ``loads_jsonl`` round trip.
+* **Derived-artifact differential** — grain graphs built from either
+  trace yield identical metrics tables and lint findings.
+
+The default run covers a pinned 8-program subset chosen for feature
+diversity (tasks, loops, inlining, taskwait chains, races, memory-bound
+kernels).  The all-26-program sweep is ``-m slow`` and runs as its own
+CI job.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.core.builder import build_grain_graph
+from repro.lint.framework import run_lint
+from repro.metrics.facade import MetricSet
+from repro.obs import registry as obs_registry
+from repro.profiler.recorder import ProfilerConfig
+from repro.profiler.trace import Trace
+from repro.runtime.api import run_program
+from repro.runtime.flavors import GCC, MIR
+
+FLAVORS = {"MIR": MIR, "GCC": GCC}
+THREAD_COUNTS = (2, 8)
+
+#: Deterministic default subset: recursive tasking (fib, sort,
+#: strassen), irregular tasking (uts), loops + chunks (blackscholes,
+#: botsspar), data races (racy), and a memory-bound kernel (fft).
+PINNED_SUBSET = (
+    "fib",
+    "sort",
+    "strassen",
+    "uts",
+    "blackscholes",
+    "botsspar",
+    "racy",
+    "fft",
+)
+ALL_PROGRAMS = tuple(sorted(PROGRAMS))
+
+
+def _cells(programs):
+    return [
+        pytest.param(name, flavor, threads, id=f"{name}-{flavor}-t{threads}")
+        for name in programs
+        for flavor in sorted(FLAVORS)
+        for threads in THREAD_COUNTS
+    ]
+
+
+def _run(name: str, flavor: str, threads: int, columnar: bool):
+    return run_program(
+        resolve_small(name),
+        flavor=FLAVORS[flavor],
+        num_threads=threads,
+        profiler=ProfilerConfig(columnar=columnar),
+    )
+
+
+def _digest(result) -> dict:
+    text = result.trace.dumps_jsonl()
+    return {
+        "sha256": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+        "events": len(result.trace),
+        "makespan_cycles": result.makespan_cycles,
+        "stats": dict(sorted(vars(result.stats).items())),
+    }
+
+
+def _engine_counter_delta(run_fn) -> tuple[object, dict]:
+    """Run ``run_fn`` and return (result, engine.* obs counter deltas)."""
+    before = dict(obs_registry.snapshot().counters)
+    result = run_fn()
+    after = obs_registry.snapshot().counters
+    delta = {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if name.startswith("engine.") and value != before.get(name, 0)
+    }
+    return result, delta
+
+
+def _assert_equivalent(name: str, flavor: str, threads: int) -> None:
+    row, row_counters = _engine_counter_delta(
+        lambda: _run(name, flavor, threads, columnar=False)
+    )
+    col, col_counters = _engine_counter_delta(
+        lambda: _run(name, flavor, threads, columnar=True)
+    )
+
+    row_text = row.trace.dumps_jsonl()
+    col_text = col.trace.dumps_jsonl()
+    assert col_text == row_text, "columnar JSONL differs from row JSONL"
+    assert col.trace.events == row.trace.events
+    assert len(col.trace) == len(row.trace)
+    assert col.makespan_cycles == row.makespan_cycles
+    assert vars(col.stats) == vars(row.stats)
+    assert col_counters == row_counters
+
+    # Parsing the columnar serialization yields a row-backed trace that
+    # serializes back to the same bytes.
+    assert Trace.loads_jsonl(col_text).dumps_jsonl() == col_text
+
+
+def _assert_derived_artifacts_equal(name: str, flavor: str, threads: int):
+    row = _run(name, flavor, threads, columnar=False)
+    col = _run(name, flavor, threads, columnar=True)
+
+    row_graph = build_grain_graph(row.trace)
+    col_graph = build_grain_graph(col.trace)
+
+    row_metrics = MetricSet.compute(row_graph)
+    col_metrics = MetricSet.compute(col_graph)
+    assert col_metrics.per_grain == row_metrics.per_grain
+    assert col_metrics.benefit == row_metrics.benefit
+    assert col_metrics.load_balance == row_metrics.load_balance
+    assert (
+        col_metrics.critical_path.length_cycles
+        == row_metrics.critical_path.length_cycles
+    )
+
+    row_lint = run_lint(trace=row.trace, graph=row_graph)
+    col_lint = run_lint(trace=col.trace, graph=col_graph)
+    assert [d.to_dict() for d in col_lint.diagnostics] == [
+        d.to_dict() for d in row_lint.diagnostics
+    ]
+    assert col_lint.passes_run == row_lint.passes_run
+
+
+class TestGoldenDigests:
+    """Both storage paths reproduce the pre-columnar trace digests."""
+
+    @pytest.mark.parametrize("name,flavor,threads", _cells(PINNED_SUBSET))
+    def test_columnar_matches_golden(
+        self, golden_digests, name, flavor, threads
+    ):
+        key = f"{name}|{flavor}|{threads}"
+        assert _digest(_run(name, flavor, threads, True)) == golden_digests[key]
+
+    @pytest.mark.parametrize("name,flavor,threads", _cells(PINNED_SUBSET))
+    def test_row_path_matches_golden(
+        self, golden_digests, name, flavor, threads
+    ):
+        key = f"{name}|{flavor}|{threads}"
+        assert _digest(_run(name, flavor, threads, False)) == golden_digests[key]
+
+
+class TestRowColumnarDifferential:
+    @pytest.mark.parametrize("name,flavor,threads", _cells(PINNED_SUBSET))
+    def test_traces_and_stats_identical(self, name, flavor, threads):
+        _assert_equivalent(name, flavor, threads)
+
+    @pytest.mark.parametrize(
+        "name,flavor",
+        [
+            pytest.param(name, flavor, id=f"{name}-{flavor}")
+            for name in PINNED_SUBSET
+            for flavor in sorted(FLAVORS)
+        ],
+    )
+    def test_metrics_and_lint_identical(self, name, flavor):
+        _assert_derived_artifacts_equal(name, flavor, threads=8)
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    """All 26 programs; runs as a dedicated CI job (``-m slow``)."""
+
+    @pytest.mark.parametrize("name,flavor,threads", _cells(ALL_PROGRAMS))
+    def test_columnar_matches_golden(
+        self, golden_digests, name, flavor, threads
+    ):
+        key = f"{name}|{flavor}|{threads}"
+        assert _digest(_run(name, flavor, threads, True)) == golden_digests[key]
+
+    @pytest.mark.parametrize("name,flavor,threads", _cells(ALL_PROGRAMS))
+    def test_differential(self, name, flavor, threads):
+        _assert_equivalent(name, flavor, threads)
+
+    @pytest.mark.parametrize(
+        "name",
+        [pytest.param(name, id=name) for name in ALL_PROGRAMS],
+    )
+    def test_metrics_and_lint_identical(self, name):
+        _assert_derived_artifacts_equal(name, "MIR", threads=8)
+
+
+def test_every_registered_program_is_pinned(golden_digests):
+    """Adding a program without extending the golden file must fail."""
+    expected = {
+        f"{name}|{flavor}|{threads}"
+        for name in PROGRAMS
+        for flavor in FLAVORS
+        for threads in THREAD_COUNTS
+    }
+    assert set(golden_digests) == expected
+
+
+def test_pinned_subset_is_registered():
+    assert set(PINNED_SUBSET) <= set(PROGRAMS)
