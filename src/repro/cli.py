@@ -185,9 +185,33 @@ def cmd_lint(args) -> int:
     return _fail_on_exit([report], threshold)
 
 
+def _load_baseline_or_fail(path: str | None):
+    if not path:
+        return None
+    from .lint import load_baseline
+
+    try:
+        return load_baseline(path)
+    except ValueError as exc:
+        _fail(str(exc))
+
+
+def _write_sarif(path: str, runs: list) -> None:
+    import json as _json
+
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": runs,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_json.dumps(document, indent=2) + "\n")
+
+
 def cmd_check(args) -> int:
     import json as _json
 
+    from .lint import apply_baseline, render_sarif, write_baseline
     from .staticc import check_program
 
     if args.all:
@@ -197,18 +221,146 @@ def cmd_check(args) -> int:
     else:
         _fail("check: name programs or pass --all")
     threshold = _fail_on_threshold(args.fail_on)
+    baseline = _load_baseline_or_fail(args.baseline)
     reports = []
     payloads = []
+    sarif_runs = []
+    all_diags = []
     for name in names:
         program = _resolve(name)
         model, report = check_program(program)
+        all_diags.extend(report.diagnostics)
+        suppressed = 0
+        if baseline is not None:
+            report, suppressed = apply_baseline(report, baseline)
         reports.append(report)
+        if args.sarif:
+            sarif_runs.extend(_json.loads(render_sarif(report))["runs"])
         if args.json:
-            payloads.append(report.to_dict())
+            payload = report.to_dict()
+            if baseline is not None:
+                payload["suppressed"] = suppressed
+            payloads.append(payload)
         else:
             print(model.summary())
             print(render_text(report, verbose=args.verbose))
+            if suppressed:
+                print(f"({suppressed} baselined finding(s) suppressed)")
             print()
+    if args.sarif:
+        _write_sarif(args.sarif, sarif_runs)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, all_diags)
+        if not args.json:
+            print(f"baseline: {count} fingerprint(s) -> {args.write_baseline}")
+    if args.json:
+        if len(payloads) == 1:
+            print(_json.dumps(payloads[0], indent=2))
+        else:
+            print(_json.dumps(payloads, indent=2))
+    return _fail_on_exit(reports, threshold)
+
+
+def cmd_verify(args) -> int:
+    import json as _json
+
+    from .lint import (
+        apply_baseline,
+        fingerprint,
+        render_sarif,
+        write_baseline,
+    )
+    from .staticc import verify_program
+
+    if args.all:
+        names = sorted(PROGRAMS)
+    elif args.programs:
+        names = args.programs
+    else:
+        _fail("verify: name programs or pass --all")
+    threshold = _fail_on_threshold(args.fail_on)
+    flavor = _flavor(args.flavor)
+    if args.threads < 2:
+        _fail("verify: witness replay needs --threads >= 2")
+    baseline = _load_baseline_or_fail(args.baseline)
+    max_replays = None if args.max_replays <= 0 else args.max_replays
+    reports = []
+    payloads = []
+    sarif_runs = []
+    all_diags = []
+    for name in names:
+        program = _resolve(name)
+        model, vrep = verify_program(
+            program,
+            flavor=flavor,
+            num_threads=args.threads,
+            max_replays=max_replays,
+        )
+        static_report = vrep.static_report
+        findings = vrep.findings
+        all_diags.extend(static_report.diagnostics)
+        suppressed = 0
+        if baseline is not None:
+            static_report, suppressed = apply_baseline(
+                static_report, baseline
+            )
+            findings = tuple(
+                f
+                for f in findings
+                if fingerprint(f.diagnostic) not in baseline
+            )
+        reports.append(static_report)
+        verdicts = {fingerprint(f.diagnostic): f.verdict for f in findings}
+        counts = {
+            verdict: sum(1 for f in findings if f.verdict == verdict)
+            for verdict in ("CONFIRMED", "UNWITNESSED", "SKIPPED")
+        }
+        if args.sarif:
+            sarif_runs.extend(
+                _json.loads(render_sarif(static_report, verdicts))["runs"]
+            )
+        if args.json:
+            payload = {
+                "program": vrep.program,
+                "replays": vrep.replays,
+                "suppressed": suppressed,
+                "verdicts": counts,
+                "findings": [f.to_dict() for f in findings],
+                "static_report": static_report.to_dict(),
+            }
+            payloads.append(payload)
+        else:
+            print(f"verify report for {vrep.program}")
+            for f in findings:
+                d = f.diagnostic
+                print(
+                    f"{f.verdict:11} {d.rule_id} "
+                    f"[{d.artifact}: {d.anchor()}] {d.message}"
+                )
+                if f.witness is not None:
+                    w = f.witness
+                    print(
+                        f"            witness: {w.kind}, "
+                        f"{len(w.steps)} dispatch(es) on "
+                        f"{w.num_threads} workers"
+                    )
+                print(f"            {f.detail}")
+            summary = (
+                f"verify: {vrep.replays} replay(s) -> "
+                f"{counts['CONFIRMED']} CONFIRMED, "
+                f"{counts['UNWITNESSED']} UNWITNESSED, "
+                f"{counts['SKIPPED']} SKIPPED"
+            )
+            if suppressed:
+                summary += f"; {suppressed} baselined"
+            print(summary)
+            print()
+    if args.sarif:
+        _write_sarif(args.sarif, sarif_runs)
+    if args.write_baseline:
+        count = write_baseline(args.write_baseline, all_diags)
+        if not args.json:
+            print(f"baseline: {count} fingerprint(s) -> {args.write_baseline}")
     if args.json:
         if len(payloads) == 1:
             print(_json.dumps(payloads[0], indent=2))
@@ -469,7 +621,39 @@ def main(argv: list[str] | None = None) -> int:
     _add_fail_on(check)
     check.add_argument("--verbose", action="store_true",
                        help="also list every pass that ran")
+    check.add_argument("--sarif", metavar="FILE",
+                       help="also write a SARIF v2.1.0 report to FILE")
+    check.add_argument("--baseline", metavar="FILE",
+                       help="suppress findings fingerprinted in FILE")
+    check.add_argument("--write-baseline", metavar="FILE",
+                       help="record current finding fingerprints to FILE")
     check.set_defaults(fn=cmd_check)
+
+    verify = sub.add_parser(
+        "verify",
+        help="static check, then replay an engine witness per finding",
+    )
+    verify.add_argument("programs", nargs="*", metavar="PROGRAM")
+    verify.add_argument("--all", action="store_true",
+                        help="verify every registered program")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the machine-readable verify report")
+    verify.add_argument("--flavor", default="mir",
+                        help="runtime flavor for witness replay")
+    verify.add_argument("--threads", type=int, default=2, metavar="N",
+                        help="replay worker count (>= 2; default 2)")
+    verify.add_argument("--max-replays", type=int, default=25, metavar="N",
+                        help="engine-run budget per program; findings past "
+                        "it are SKIPPED (0 = unlimited; default 25)")
+    _add_fail_on(verify)
+    verify.add_argument("--sarif", metavar="FILE",
+                        help="also write a SARIF v2.1.0 report (with "
+                        "replay verdicts) to FILE")
+    verify.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings fingerprinted in FILE")
+    verify.add_argument("--write-baseline", metavar="FILE",
+                        help="record current finding fingerprints to FILE")
+    verify.set_defaults(fn=cmd_verify)
 
     advise = sub.add_parser(
         "advise",

@@ -39,8 +39,15 @@ from .framework import (
 # submodule they import is complete, which keeps the lint <-> staticc
 # import cycle safe in both entry orders.
 from . import graph_passes, races, trace_passes  # noqa: E402,F401
+from .baseline import (
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    sort_diagnostics,
+    write_baseline,
+)
 from .graph_passes import STRUCTURE_RULES, structure_diagnostics
-from .reporters import format_summary, render_json, render_text
+from .reporters import format_summary, render_json, render_sarif, render_text
 from ..staticc import passes as _static_passes  # noqa: E402,F401
 from ..advisor import patterns as _pattern_passes  # noqa: E402,F401
 
@@ -60,5 +67,11 @@ __all__ = [
     "structure_diagnostics",
     "format_summary",
     "render_json",
+    "render_sarif",
     "render_text",
+    "fingerprint",
+    "sort_diagnostics",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
 ]

@@ -1,0 +1,113 @@
+"""Stable finding fingerprints, canonical ordering, and baselines.
+
+A *fingerprint* is a content hash of one diagnostic's schedule- and
+refactor-stable identity: rule id, severity, artifact, grain id, source
+location, and message.  Deliberately excluded: ``node_id`` and
+``event_index``, which renumber whenever graph construction or event
+emission order changes, and anything derived from dict/set iteration.
+Two runs (or two machines) producing the same findings produce the same
+fingerprints, which enables:
+
+- **baselines** — ``check``/``verify`` ``--baseline FILE`` suppresses
+  previously-recorded findings so CI gates only on *new* ones;
+- **SARIF partialFingerprints** — code-scanning UIs track a finding
+  across commits by fingerprint, not by line number.
+
+:func:`sort_diagnostics` is the canonical finding order (severity
+descending, then the fingerprint fields lexicographically): a total
+order over stable fields only, so report/SARIF output never depends on
+iteration order of intermediate containers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .diagnostics import Diagnostic, LintReport
+
+BASELINE_SCHEMA = "grain-baseline/v1"
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable identity hash of one finding (16 hex chars)."""
+    payload = "\x1f".join(
+        (
+            diag.rule_id,
+            diag.severity.label,
+            diag.artifact,
+            diag.grain_id or "",
+            diag.loc or "",
+            diag.message,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def canonical_key(diag: Diagnostic) -> tuple[int, str, str, str, str, str]:
+    """Sort key over stable fields only (higher severity first)."""
+    return (
+        -int(diag.severity),
+        diag.rule_id,
+        diag.artifact,
+        diag.loc or "",
+        diag.grain_id or "",
+        diag.message,
+    )
+
+
+def sort_diagnostics(diags: Iterable[Diagnostic]) -> list[Diagnostic]:
+    """Deterministic finding order, independent of dict/set iteration."""
+    return sorted(diags, key=canonical_key)
+
+
+def write_baseline(path: str | Path, diags: Iterable[Diagnostic]) -> int:
+    """Record the findings' fingerprints; returns how many were written."""
+    prints = sorted({fingerprint(d) for d in diags})
+    Path(path).write_text(
+        json.dumps(
+            {"schema": BASELINE_SCHEMA, "fingerprints": prints}, indent=2
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    return len(prints)
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Load a baseline file's fingerprint set (friendly errors)."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValueError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or data.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"baseline {path} is not a {BASELINE_SCHEMA!r} document"
+        )
+    prints = data.get("fingerprints", [])
+    if not isinstance(prints, list) or not all(
+        isinstance(p, str) for p in prints
+    ):
+        raise ValueError(f"baseline {path} has a malformed fingerprint list")
+    return frozenset(prints)
+
+
+def apply_baseline(
+    report: LintReport, baseline: frozenset[str]
+) -> tuple[LintReport, int]:
+    """Drop findings whose fingerprint is baselined; returns the filtered
+    report plus the number suppressed."""
+    kept = tuple(
+        d for d in report.diagnostics if fingerprint(d) not in baseline
+    )
+    suppressed = len(report.diagnostics) - len(kept)
+    return (
+        LintReport(
+            diagnostics=kept,
+            passes_run=report.passes_run,
+            program=report.program,
+        ),
+        suppressed,
+    )

@@ -31,7 +31,7 @@ with this pass by construction wherever the two graphs coincide.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Callable, Iterator
 
 from ..core.nodes import GGNode, GrainGraph
 from ..core.reachability import Reachability, logically_ordered
@@ -73,10 +73,17 @@ class Conflict:
 
 @dataclass(frozen=True)
 class ConflictScan:
-    """All conflicts of one graph, plus whether the scan was cut short."""
+    """All conflicts of one graph, plus whether the scan was cut short.
+
+    ``pruner`` records which structural filter decided pair ordering:
+    ``"sp-tree"`` (MHP over the series-parallel tree, uncapped),
+    ``"reachability"`` (bitset fallback, subject to the pair cap), or
+    ``"none"`` (no candidate pairs / cyclic graph).
+    """
 
     conflicts: tuple[Conflict, ...]
     truncated: bool
+    pruner: str = "none"
 
     def keys(self) -> set[tuple[str, str, str]]:
         """``(region, gid_a, gid_b)`` identities, for cross-graph
@@ -88,7 +95,9 @@ class ConflictScan:
 
 
 def scan_conflicts(
-    graph: GrainGraph, max_pair_checks: int = MAX_PAIR_CHECKS
+    graph: GrainGraph,
+    max_pair_checks: int = MAX_PAIR_CHECKS,
+    force_reachability: bool = False,
 ) -> ConflictScan:
     """Find conflicting footprints on logically-parallel grain nodes.
 
@@ -96,6 +105,14 @@ def scan_conflicts(
     grain graph and the static symbolic graph alike.  One conflict is
     reported per (region, grain pair); ranges are scanned in sorted
     order so the result is deterministic.
+
+    Pair ordering is decided structurally by an SP-tree MHP query
+    (:class:`repro.staticc.mhp.SPTree`, O(depth) per pair, *uncapped*)
+    whenever the graph decomposes as series-parallel — every graph this
+    runtime produces does.  Graphs that fail to decompose fall back to
+    bitset reachability under the ``max_pair_checks`` cap, reporting
+    truncation explicitly.  ``force_reachability=True`` pins the
+    fallback path (the differential-testing reference).
     """
     # Collect footprint accesses per region: (start, end, write, node).
     by_region: dict[str, list[tuple[int, int, bool, GGNode]]] = {}
@@ -124,12 +141,35 @@ def scan_conflicts(
     except ValueError:
         # structure.acyclic reports this; reachability needs a DAG.
         return ConflictScan(conflicts=(), truncated=False)
-    sources = {
-        node.node_id
-        for accesses in candidate_regions.values()
-        for _, _, _, node in accesses
-    }
-    reach = Reachability(graph, sources)
+    # Lazy import: repro.staticc registers program-layer passes that
+    # import this module, so the dependency must stay call-time only.
+    from ..staticc.mhp import SPDecompositionError, SPTree
+
+    tree: SPTree | None = None
+    if not force_reachability:
+        try:
+            tree = SPTree(graph)
+        except SPDecompositionError:
+            tree = None  # non-SP shape: bitset fallback below
+    ordered: Callable[[GGNode, GGNode], bool]
+    if tree is not None:
+        pruner = "sp-tree"
+        ordered = tree.ordered
+        cap: int | None = None  # MHP pruning needs no pair cap
+    else:
+        pruner = "reachability"
+        sources = {
+            node.node_id
+            for accesses in candidate_regions.values()
+            for _, _, _, node in accesses
+        }
+        reach = Reachability(graph, sources)
+
+        def _via_reachability(n1: GGNode, n2: GGNode) -> bool:
+            return logically_ordered(reach, n1, n2)
+
+        ordered = _via_reachability
+        cap = max_pair_checks
     conflicts: list[Conflict] = []
     flagged: set[tuple[str, str, str]] = set()
     checks = 0
@@ -151,11 +191,11 @@ def scan_conflicts(
                 key = (region, gid_a, gid_b)
                 if key in flagged:
                     continue
-                if checks >= max_pair_checks:
+                if cap is not None and checks >= cap:
                     truncated = True
                     break
                 checks += 1
-                if logically_ordered(reach, n1, n2):
+                if ordered(n1, n2):
                     continue
                 flagged.add(key)
                 kind = "write/write" if (w1 and w2) else "read/write"
@@ -173,7 +213,33 @@ def scan_conflicts(
                 break
         if truncated:
             break
-    return ConflictScan(conflicts=tuple(conflicts), truncated=truncated)
+    return ConflictScan(
+        conflicts=tuple(conflicts), truncated=truncated, pruner=pruner
+    )
+
+
+def truncation_diagnostic(
+    what: str, node_id: int | None
+) -> Diagnostic:
+    """The explicit ``race.scan-truncated`` WARNING: a capped fallback
+    scan gave up before examining every candidate pair.  Unreachable on
+    SP-structured graphs (the MHP path has no cap) — shared by the
+    dynamic ``race.conflict`` and static ``static.race`` passes."""
+    return Diagnostic(
+        rule_id="race.scan-truncated",
+        severity=Severity.WARNING,
+        message=(
+            f"{what} truncated after {MAX_PAIR_CHECKS} pair checks; "
+            "remaining candidate pairs were NOT examined and real "
+            "conflicts may be missing"
+        ),
+        node_id=node_id,
+        fix_hint=(
+            "the graph did not decompose as series-parallel, forcing "
+            "the capped bitset fallback; raise max_pair_checks or "
+            "restore series-parallel structure"
+        ),
+    )
 
 
 def conflict_diagnostic(
@@ -216,12 +282,4 @@ def check_races(graph: GrainGraph, reduced: bool) -> Iterator[Diagnostic]:
             schedule_note="the outcome is schedule-dependent (data race)",
         )
     if scan.truncated:
-        yield Diagnostic(
-            rule_id="race.conflict",
-            severity=Severity.WARNING,
-            message=(
-                f"race checking truncated after {MAX_PAIR_CHECKS} pair "
-                "checks; remaining conflicts were not examined"
-            ),
-            node_id=graph.root_node_id,
-        )
+        yield truncation_diagnostic("race checking", graph.root_node_id)

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-from .diagnostics import LintReport, Severity
+import json
+from typing import Any, Mapping, Optional
+
+from .. import __version__
+from ..common import SourceLocation
+from .baseline import fingerprint, sort_diagnostics
+from .diagnostics import Diagnostic, LintReport, Severity
 
 
 def format_summary(report: LintReport) -> str:
@@ -44,3 +50,101 @@ def render_json(report: LintReport, indent: int | None = 2) -> str:
     """Machine-readable rendering; round-trips through ``json.loads`` and
     :meth:`LintReport.from_dict`."""
     return report.to_json(indent=indent)
+
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _sarif_location(diag: Diagnostic) -> Optional[dict[str, Any]]:
+    if not diag.loc:
+        return None
+    try:
+        loc = SourceLocation.parse(diag.loc)
+    except ValueError:
+        return None
+    physical: dict[str, Any] = {
+        "artifactLocation": {"uri": loc.file},
+        "region": {"startLine": max(loc.line, 1)},
+    }
+    entry: dict[str, Any] = {"physicalLocation": physical}
+    if loc.func:
+        entry["logicalLocations"] = [
+            {"name": loc.func, "kind": "function"}
+        ]
+    return entry
+
+
+def _sarif_result(
+    diag: Diagnostic,
+    rule_index: int,
+    verdicts: Optional[Mapping[str, str]],
+) -> dict[str, Any]:
+    print_ = fingerprint(diag)
+    properties: dict[str, Any] = {"artifact": diag.artifact}
+    if diag.grain_id:
+        properties["grainId"] = diag.grain_id
+    if diag.fix_hint:
+        properties["fixHint"] = diag.fix_hint
+    if verdicts is not None and print_ in verdicts:
+        properties["verdict"] = verdicts[print_]
+    result: dict[str, Any] = {
+        "ruleId": diag.rule_id,
+        "ruleIndex": rule_index,
+        "level": _SARIF_LEVELS[diag.severity],
+        "message": {"text": diag.message},
+        "partialFingerprints": {"grainGraphs/v1": print_},
+        "properties": properties,
+    }
+    location = _sarif_location(diag)
+    if location is not None:
+        result["locations"] = [location]
+    return result
+
+
+def render_sarif(
+    report: LintReport,
+    verdicts: Optional[Mapping[str, str]] = None,
+    indent: int | None = 2,
+) -> str:
+    """SARIF v2.1.0 rendering for code-scanning UIs.
+
+    Results appear in canonical order (:func:`~repro.lint.baseline.
+    sort_diagnostics`) and carry the stable content fingerprint as
+    ``partialFingerprints["grainGraphs/v1"]``, so scanners track a
+    finding across commits even when node ids or line offsets shift.
+    ``verdicts`` (fingerprint → ``CONFIRMED``/``UNWITNESSED``/
+    ``SKIPPED``) attaches ``grain-graphs verify`` replay verdicts as
+    result properties.
+    """
+    ordered = sort_diagnostics(report.diagnostics)
+    rule_ids = sorted({d.rule_id for d in ordered})
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    document = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "grain-graphs",
+                        "version": __version__,
+                        "informationUri": (
+                            "https://doi.org/10.1145/2851141.2851156"
+                        ),
+                        "rules": [{"id": r} for r in rule_ids],
+                    }
+                },
+                "properties": {"program": report.program},
+                "results": [
+                    _sarif_result(d, rule_index[d.rule_id], verdicts)
+                    for d in ordered
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=indent)

@@ -20,7 +20,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Generator
+from typing import TYPE_CHECKING, Callable, Generator, Sequence
 
 from ..machine import Machine
 from ..profiler.recorder import ProfilerConfig
@@ -59,12 +59,18 @@ def run_program(
     num_threads: int = 1,
     machine: Machine | None = None,
     profiler: ProfilerConfig | None = None,
+    replay_steps: Sequence[tuple[str, int]] | None = None,
 ) -> RunResult:
     """Execute ``program`` and return its run result with trace.
 
     A fresh machine (cold caches, empty memory map) is built per run unless
     one is supplied; supplying a used machine is rejected to prevent
     accidental state leakage between runs.
+
+    ``replay_steps`` switches the engine into deterministic forced-schedule
+    replay: a sequence of ``(task grain id, worker)`` dispatches executed
+    in order instead of the flavor's scheduling policy (see
+    :mod:`repro.runtime.sched.replay` and ``grain-graphs verify``).
     """
     if machine is None:
         machine = Machine.paper_testbed()
@@ -74,7 +80,7 @@ def run_program(
             "warm); pass machine.fresh() or None"
         )
     machine.used = True
-    engine = Engine(machine, flavor, num_threads, profiler)
+    engine = Engine(machine, flavor, num_threads, profiler, replay_steps)
     return engine.run(
         program.body, program_name=program.name, input_summary=program.input_summary
     )

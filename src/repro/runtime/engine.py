@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Optional, Sequence
 
 from ..common import SourceLocation
 from ..machine import Machine
@@ -64,6 +64,7 @@ from .flavors import RuntimeFlavor
 from .loops import ChunkDispatcher, LoopSpec, Schedule
 from .sched import make_scheduler
 from .sched.base import PopKind
+from .sched.replay import ReplayScheduler
 from .task import ROOT_PATH, TaskInstance, TaskState
 
 from ..obs import registry as _obs
@@ -178,6 +179,7 @@ class Engine:
         flavor: RuntimeFlavor,
         num_threads: int,
         profiler: ProfilerConfig | None = None,
+        replay_steps: Optional[Sequence[tuple[str, int]]] = None,
     ) -> None:
         if num_threads < 1:
             raise ValueError("num_threads must be at least 1")
@@ -189,7 +191,18 @@ class Engine:
         self.machine = machine
         self.flavor = flavor
         self.num_threads = num_threads
-        self.scheduler = make_scheduler(flavor.scheduler, num_threads)
+        # Forced-schedule replay (verifier witness playback): the policy
+        # scheduler is swapped for a ReplayScheduler, inline cutoffs are
+        # disabled, and wakes become wake-all so the pinned-to-a-worker
+        # witness head can never be stranded on a sleeping worker.  With
+        # replay_steps=None nothing below behaves differently — the
+        # golden-digest differential tests hold the normal path to that.
+        self._replay_sched: Optional[ReplayScheduler] = None
+        if replay_steps is None:
+            self.scheduler = make_scheduler(flavor.scheduler, num_threads)
+        else:
+            self._replay_sched = ReplayScheduler(replay_steps, num_threads)
+            self.scheduler = self._replay_sched
         self.recorder = Recorder(profiler)
         self.workers = [_Worker(w) for w in range(num_threads)]
         self._heap: list[tuple[int, int, Callable[[int], None]]] = []
@@ -485,10 +498,13 @@ class Engine:
     ) -> None:
         overhead = self._end_fragment(worker, task, time)
         flavor = self.flavor
-        inline = (not action.if_clause) or flavor.should_inline(
-            self.scheduler.queue_length(worker.wid),
-            self.scheduler.total_pending(),
-            self.num_threads,
+        inline = (not action.if_clause) or (
+            self._replay_sched is None
+            and flavor.should_inline(
+                self.scheduler.queue_length(worker.wid),
+                self.scheduler.total_pending(),
+                self.num_threads,
+            )
         )
         if inline:
             cost = flavor.inline_create_cycles
@@ -514,6 +530,11 @@ class Engine:
             task.state = TaskState.BLOCKED_INLINE
             child.inline_parent = task
             worker.current = None
+            if self._replay_sched is not None:
+                # An if(0) child never reaches the scheduler; retire its
+                # witness step so the queue cannot stall behind it.
+                self._replay_sched.notify_inline(child.path)
+                self._replay_wake_all(time)
             self._at(time + cost, lambda t2: self._begin_task(worker, child, t2))
         else:
 
@@ -630,10 +651,31 @@ class Engine:
         if task.state is TaskState.READY:
             cost += self.flavor.resume_cycles
         self._at(time + cost, lambda t2: self._begin_task(worker, task, t2))
+        if self._replay_sched is not None:
+            # Dispatching the head may expose the next head, which can be
+            # pinned to any worker: re-poll every sleeper.
+            self._replay_wake_all(time)
+
+    def _replay_wake_all(self, time: int) -> None:
+        """Replay-mode wake policy: every scheduler state change (push,
+        successful dispatch, inline retirement) re-polls all sleepers.
+        The witness head is pinned to one worker, so the nearest-single
+        wake could strand it; waking everyone keeps replay deadlock-free
+        whenever the witness itself is realizable (and if it is not, the
+        heap drains and DeadlockError reports it)."""
+        if not self._sleeping:
+            return
+        for wid in sorted(self._sleeping):
+            self.workers[wid].sleeping = False
+            self._at(time + self._wake_latency, self.workers[wid].find_cb)
+        self._sleeping.clear()
 
     def _wake_one(self, pusher: int, time: int) -> None:
         """Wake the sleeping worker nearest to ``pusher`` (NUMA distance,
         then core-id distance, then id — fully deterministic)."""
+        if self._replay_sched is not None:
+            self._replay_wake_all(time)
+            return
         if not self._sleeping:
             return
         best = min(self._sleeping, key=self._wake_rank[pusher].__getitem__)

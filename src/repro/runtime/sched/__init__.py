@@ -13,12 +13,14 @@ Two policies from the paper:
 from .base import Scheduler, PopResult
 from .workstealing import WorkStealingScheduler
 from .centralqueue import CentralQueueScheduler
+from .replay import ReplayScheduler
 
 __all__ = [
     "Scheduler",
     "PopResult",
     "WorkStealingScheduler",
     "CentralQueueScheduler",
+    "ReplayScheduler",
 ]
 
 

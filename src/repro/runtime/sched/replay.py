@@ -1,0 +1,107 @@
+"""Forced-schedule replay scheduler.
+
+Executes a *witness schedule* — a total order of task dispatches, each
+pinned to a worker — instead of a scheduling policy.  The verifier
+(:mod:`repro.staticc.verify`) synthesizes such schedules from static
+findings and replays them through the real engine, sanitizer-style: the
+dynamic trace either exhibits the predicted behavior (CONFIRMED) or the
+finding stays UNWITNESSED.
+
+Discipline:
+
+- **Resumptions first.**  Tasks re-enqueued after a taskwait (state
+  ``READY``) are not dispatches — the witness only constrains *first*
+  executions — so any worker picks them up immediately, FIFO.
+- **Witness head next.**  A spawned task whose grain id is the first
+  not-yet-dispatched witness step runs only on the step's worker; other
+  workers report no work and sleep until the engine's replay wake-all
+  re-polls them.
+- **FIFO fallback.**  Tasks outside the witness (including the empty
+  witness, used for chunk-conflict replays where only the loop schedule
+  matters) run in global FIFO order on whichever worker asks.
+
+Steps for tasks the engine *inlines* (``if(0)`` spawns never reach a
+scheduler) are retired via :meth:`ReplayScheduler.notify_inline` so the
+queue cannot stall behind them.  Determinism is inherited from the
+engine's single-threaded event heap plus these FIFO/total-order rules —
+replaying one witness twice yields byte-identical traces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from ...core.ids import task_gid
+from ..task import TaskInstance, TaskState
+from .base import PopKind, PopResult, Scheduler
+
+
+class ReplayScheduler(Scheduler):
+    def __init__(
+        self, steps: Sequence[tuple[str, int]], num_workers: int
+    ) -> None:
+        super().__init__(num_workers)
+        for gid, worker in steps:
+            if not 0 <= worker < num_workers:
+                raise ValueError(
+                    f"witness step {gid!r} targets worker {worker} "
+                    f"outside 0..{num_workers - 1}"
+                )
+        seen: set[str] = set()
+        for gid, _ in steps:
+            if gid in seen:
+                raise ValueError(f"witness dispatches {gid!r} twice")
+            seen.add(gid)
+        self._order: deque[tuple[str, int]] = deque(steps)
+        # Remaining not-yet-dispatched witness gids -> assigned worker.
+        self._expected: dict[str, int] = dict(self._order)
+        self._spawned: dict[str, TaskInstance] = {}
+        self._resumed: deque[TaskInstance] = deque()
+        self._fallback: deque[TaskInstance] = deque()
+
+    @property
+    def kind_name(self) -> str:
+        return "replay"
+
+    # -- engine hooks ---------------------------------------------------
+    def push(self, task: TaskInstance, worker: int) -> None:
+        if task.state is TaskState.READY:
+            # A taskwait resumption, not a dispatch: unconstrained.
+            self._resumed.append(task)
+            return
+        gid = task_gid(task.path)
+        if gid in self._expected:
+            self._spawned[gid] = task
+        else:
+            self._fallback.append(task)
+
+    def notify_inline(self, path: tuple[int, ...]) -> None:
+        """An ``if(0)`` child executed inline (never enqueued): retire
+        its witness step so the schedule cannot stall behind it."""
+        self._expected.pop(task_gid(path), None)
+
+    def pop(self, worker: int) -> Optional[PopResult]:
+        if self._resumed:
+            return PopResult(self._resumed.popleft(), PopKind.LOCAL)
+        # Drop retired heads (dispatched already, or executed inline).
+        order = self._order
+        while order and order[0][0] not in self._expected:
+            order.popleft()
+        if order:
+            gid, wid = order[0]
+            if wid == worker and gid in self._spawned:
+                order.popleft()
+                del self._expected[gid]
+                return PopResult(self._spawned.pop(gid), PopKind.LOCAL)
+            # The head belongs elsewhere (or is not spawned yet): this
+            # worker may still drain non-witness work.
+        if self._fallback:
+            return PopResult(self._fallback.popleft(), PopKind.LOCAL)
+        return None
+
+    def queue_length(self, worker: int) -> int:
+        return 0  # inline cutoffs are disabled under replay
+
+    def total_pending(self) -> int:
+        return len(self._spawned) + len(self._resumed) + len(self._fallback)

@@ -20,22 +20,39 @@ from .bounds import (
 )
 from .check import check_program
 from .expansion import StaticExpansionError, expand_program
+from .mhp import SPDecompositionError, SPTree
 from .model import StaticLoop, StaticModel, StaticTask
 from .validate import CrossValidation, cross_validate
+from .verify import VerifiedFinding, VerifyReport, verify_program
+from .witness import (
+    WitnessSchedule,
+    WitnessStep,
+    synthesize_join_witness,
+    synthesize_race_witness,
+)
 
 from . import passes  # noqa: E402,F401  (registration side-effect; keep last)
 
 __all__ = [
     "CrossValidation",
+    "SPDecompositionError",
+    "SPTree",
     "StaticExpansionError",
     "StaticLoop",
     "StaticModel",
     "StaticTask",
+    "VerifiedFinding",
+    "VerifyReport",
+    "WitnessSchedule",
+    "WitnessStep",
     "WorkSpanBounds",
     "bracket",
     "check_program",
     "cross_validate",
     "expand_program",
     "overhead_upper_bound",
+    "synthesize_join_witness",
+    "synthesize_race_witness",
+    "verify_program",
     "work_upper_bound",
 ]

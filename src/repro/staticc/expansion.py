@@ -316,6 +316,7 @@ class _Expander:
             unsynced_at_end=len(frame.unsynced),
             entry_node=frame.entry.node_id,
             exit_node=exit_node.node_id,
+            unsynced_gids=tuple(gid for _, gid in frame.unsynced),
         )
         if parent is not None:
             # Adopted fire-and-forget descendants, then the task itself,

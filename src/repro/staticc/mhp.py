@@ -1,0 +1,276 @@
+"""May-happen-in-parallel analysis over series-parallel grain graphs.
+
+A grain graph produced by the engine's profiler or by symbolic expansion
+is (for the programs this runtime can express) *series-parallel*: every
+task's context is a chain of fragments interleaved with spawns and
+taskwait joins, every parallel for-loop is a fork/join diamond of
+chunks, and fire-and-forget children synchronize at exactly the same
+ancestor join as their parent (adoption).  That structure admits the
+classic DPST/SP-tree MHP decision procedure (TASKPROF, and Raman et
+al.'s ESP-bags lineage): rebuild the series-parallel tree, then two
+leaves ``a`` (serially earlier) and ``b`` are logically parallel **iff**
+the child of ``LCA(a, b)`` on the path toward ``a`` is an *async* node.
+
+This replaces O(pairs) bitset-reachability queries in the shared
+conflict scanner of :mod:`repro.lint.races` with O(depth) LCA walks
+after an O(n) tree build — no ``MAX_PAIR_CHECKS`` truncation hazard.
+
+The tree builder doubles as a *verifier* of series-parallel shape: it
+walks each task context, tracks which completed-but-unsynced exits must
+be consumed at each taskwait join, and compares that expectation against
+the join's actual JOIN in-edges.  Any mismatch (or any structural
+surprise: multiple continuations, unvisited grain nodes, a cycle)
+raises :class:`SPDecompositionError`, and the scanner falls back to the
+bitset path — MHP answers are therefore never *assumed*, they are
+cross-checked against the DAG they summarize.
+
+Same-loop chunks are mutually async by construction here (each chunk is
+wrapped in its own async node under the loop container), which encodes
+the same policy as :func:`repro.core.reachability.logically_ordered`:
+chunk-to-thread assignment is a schedule accident, so same-loop chunks
+are pairwise logically parallel regardless of per-thread chain paths.
+"""
+
+from __future__ import annotations
+
+from ..core.nodes import EdgeKind, GGNode, GrainGraph, NodeKind
+
+__all__ = ["SPDecompositionError", "SPTree"]
+
+
+class SPDecompositionError(ValueError):
+    """The graph is not recognizably series-parallel; callers should
+    fall back to bitset reachability."""
+
+
+# SP-tree node kinds.  Only the async/non-async distinction matters for
+# the MHP query; containers (task contexts, segments, loop bodies) are
+# all "seq".
+_SEQ = 0
+_ASYNC = 1
+_LEAF = 2
+
+
+class _Ctx:
+    """Walk state for one task context (explicit-stack recursion)."""
+
+    __slots__ = ("cur", "task_node", "seg", "pending", "exit_leaf")
+
+    def __init__(self, entry: int, task_node: int, seg: int) -> None:
+        self.cur: int | None = entry  # next graph node in the chain
+        self.task_node = task_node  # SP-tree index of the task container
+        self.seg = seg  # SP-tree index of the open segment
+        # Graph node ids of completed-but-unsynced exits (own children
+        # plus adopted descendants) the next taskwait join must consume.
+        self.pending: list[int] = []
+        self.exit_leaf: int | None = None  # last fragment node id seen
+
+
+class SPTree:
+    """Series-parallel tree of a grain graph with O(depth) MHP queries.
+
+    Raises :class:`SPDecompositionError` when the graph does not
+    decompose (then use :class:`~repro.core.reachability.Reachability`).
+    """
+
+    def __init__(self, graph: GrainGraph) -> None:
+        self._kind: list[int] = []
+        self._parent: list[int] = []
+        self._depth: list[int] = []
+        # graph node id -> SP-tree leaf index, for every grain node.
+        self._leaf: dict[int, int] = {}
+        self._build(graph)
+
+    # -- construction ---------------------------------------------------
+    def _new(self, kind: int, parent: int) -> int:
+        idx = len(self._kind)
+        self._kind.append(kind)
+        self._parent.append(parent)
+        self._depth.append(0 if parent < 0 else self._depth[parent] + 1)
+        return idx
+
+    @staticmethod
+    def _only_continuation(graph: GrainGraph, nid: int) -> int | None:
+        nxt = [
+            dst
+            for dst, kind in graph.successors(nid)
+            if kind is EdgeKind.CONTINUATION
+        ]
+        if len(nxt) > 1:
+            raise SPDecompositionError(
+                f"node {nid} has {len(nxt)} continuation successors"
+            )
+        return nxt[0] if nxt else None
+
+    def _walk_loop(
+        self, graph: GrainGraph, fork_id: int, loop_id: int | None
+    ) -> tuple[int, list[int]]:
+        """Traverse one fork/join loop diamond; returns (join id, chunk
+        node ids in creation order)."""
+        join_id: int | None = None
+        chunks: list[int] = []
+        stack = [dst for dst, _ in graph.successors(fork_id)]
+        seen: set[int] = set()
+        while stack:
+            nid = stack.pop()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            node = graph.nodes[nid]
+            if node.kind is NodeKind.JOIN:
+                if node.loop_id != loop_id:
+                    raise SPDecompositionError(
+                        f"loop {loop_id}: reached foreign join {nid}"
+                    )
+                if join_id is not None and join_id != nid:
+                    raise SPDecompositionError(
+                        f"loop {loop_id}: multiple join nodes"
+                    )
+                join_id = nid
+                continue  # do not walk past the loop join
+            if node.kind is NodeKind.CHUNK:
+                chunks.append(nid)
+            elif node.kind is not NodeKind.BOOKKEEPING:
+                raise SPDecompositionError(
+                    f"loop {loop_id}: unexpected {node.kind.value} "
+                    f"node {nid} inside the diamond"
+                )
+            stack.extend(dst for dst, _ in graph.successors(nid))
+        if join_id is None:
+            raise SPDecompositionError(f"loop {loop_id} has no join node")
+        chunks.sort()  # node-id order == creation order
+        return join_id, chunks
+
+    def _build(self, graph: GrainGraph) -> None:
+        root_id = graph.root_node_id
+        if root_id is None or root_id not in graph.nodes:
+            raise SPDecompositionError("graph has no root node")
+        try:
+            graph.topological_order()
+        except ValueError as exc:  # cyclic: not a DAG at all
+            raise SPDecompositionError(str(exc)) from exc
+        root_task = self._new(_SEQ, -1)
+        root_seg = self._new(_SEQ, root_task)
+        stack: list[_Ctx] = [_Ctx(root_id, root_task, root_seg)]
+        while stack:
+            ctx = stack[-1]
+            nid = ctx.cur
+            if nid is None:
+                # Context exhausted: export unsynced exits to the parent.
+                stack.pop()
+                if ctx.exit_leaf is None:
+                    raise SPDecompositionError("task context has no fragments")
+                if stack:
+                    parent = stack[-1]
+                    parent.pending.extend(ctx.pending)
+                    parent.pending.append(ctx.exit_leaf)
+                elif ctx.pending:
+                    raise SPDecompositionError(
+                        "root context ends with unconsumed task exits"
+                    )
+                continue
+            node = graph.nodes[nid]
+            if node.kind is NodeKind.FRAGMENT:
+                if nid in self._leaf:
+                    raise SPDecompositionError(f"fragment {nid} revisited")
+                self._leaf[nid] = self._new(_LEAF, ctx.seg)
+                ctx.exit_leaf = nid
+                ctx.cur = self._only_continuation(graph, nid)
+            elif node.kind is NodeKind.FORK:
+                if node.team_fork:
+                    join_id, chunk_ids = self._walk_loop(
+                        graph, nid, node.loop_id
+                    )
+                    loop_node = self._new(_SEQ, ctx.seg)
+                    for cid in chunk_ids:
+                        if cid in self._leaf:
+                            raise SPDecompositionError(
+                                f"chunk {cid} revisited"
+                            )
+                        wrapper = self._new(_ASYNC, loop_node)
+                        self._leaf[cid] = self._new(_LEAF, wrapper)
+                    ctx.cur = self._only_continuation(graph, join_id)
+                else:
+                    entries = [
+                        dst
+                        for dst, kind in graph.successors(nid)
+                        if kind is EdgeKind.CREATION
+                    ]
+                    cont = self._only_continuation(graph, nid)
+                    if len(entries) != 1 or cont is None:
+                        raise SPDecompositionError(
+                            f"task fork {nid} has {len(entries)} children "
+                            f"and continuation {cont!r}"
+                        )
+                    wrapper = self._new(_ASYNC, ctx.seg)
+                    child_task = self._new(_SEQ, wrapper)
+                    child_seg = self._new(_SEQ, child_task)
+                    ctx.cur = cont
+                    # Child goes on top: its whole subtree is built (in
+                    # serial-elision order) before the parent resumes,
+                    # so SP-tree indices are a preorder == serial order.
+                    stack.append(_Ctx(entries[0], child_task, child_seg))
+            elif node.kind is NodeKind.JOIN:
+                if node.loop_id is not None:
+                    raise SPDecompositionError(
+                        f"loop join {nid} reached outside its diamond"
+                    )
+                joined = {
+                    src
+                    for src, kind in graph.predecessors(nid)
+                    if kind is EdgeKind.JOIN
+                }
+                if joined != set(ctx.pending):
+                    raise SPDecompositionError(
+                        f"taskwait join {nid} consumes {sorted(joined)} "
+                        f"but {sorted(set(ctx.pending))} are pending"
+                    )
+                ctx.pending.clear()
+                # Taskwait joins delimit segments: later items are
+                # serially after everything the join consumed.
+                ctx.seg = self._new(_SEQ, ctx.task_node)
+                ctx.cur = self._only_continuation(graph, nid)
+            else:
+                raise SPDecompositionError(
+                    f"{node.kind.value} node {nid} in a task context"
+                )
+        unvisited = sum(
+            1 for n in graph.grain_nodes() if n.node_id not in self._leaf
+        )
+        if unvisited:
+            raise SPDecompositionError(
+                f"{unvisited} grain nodes unreachable from the root context"
+            )
+
+    # -- queries --------------------------------------------------------
+    @property
+    def leaf_count(self) -> int:
+        return len(self._leaf)
+
+    def ordered_ids(self, nid_a: int, nid_b: int) -> bool:
+        """True iff the grain nodes ``nid_a``/``nid_b`` are logically
+        ordered (a directed path exists some way) under every schedule."""
+        ia = self._leaf[nid_a]
+        ib = self._leaf[nid_b]
+        if ia == ib:
+            return True
+        # Climb to the LCA, remembering the child on each side.
+        ca, cb = ia, ib
+        parent, depth = self._parent, self._depth
+        while depth[ca] > depth[cb]:
+            ia, ca = ca, parent[ca]
+        while depth[cb] > depth[ca]:
+            ib, cb = cb, parent[cb]
+        while ca != cb:
+            ia, ca = ca, parent[ca]
+            ib, cb = cb, parent[cb]
+        # ia/ib are now the LCA's children containing each leaf; the one
+        # holding the serially-earlier leaf has the smaller index
+        # (indices are assigned in serial-elision preorder).
+        earlier_child = ia if ia < ib else ib
+        return self._kind[earlier_child] != _ASYNC
+
+    def ordered(self, a: GGNode, b: GGNode) -> bool:
+        """Drop-in structural replacement for
+        :func:`repro.core.reachability.logically_ordered`."""
+        return self.ordered_ids(a.node_id, b.node_id)

@@ -54,6 +54,10 @@ class StaticTask:
     unsynced_at_end: int
     entry_node: int
     exit_node: int
+    # Grain ids of the unsynced children / adopted descendants counted by
+    # ``unsynced_at_end`` (same order the engine would adopt them) — the
+    # targets the witness synthesizer demonstrates escaping their parent.
+    unsynced_gids: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

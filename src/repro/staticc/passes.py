@@ -30,7 +30,11 @@ from typing import Iterator
 
 from ..lint.diagnostics import Diagnostic, Severity
 from ..lint.framework import PROGRAM_LAYER, register
-from ..lint.races import MAX_PAIR_CHECKS, conflict_diagnostic, scan_conflicts
+from ..lint.races import (
+    conflict_diagnostic,
+    scan_conflicts,
+    truncation_diagnostic,
+)
 from ..runtime.loops import Schedule
 from .model import StaticLoop, StaticModel
 
@@ -307,12 +311,6 @@ def certify_races(model: StaticModel) -> Iterator[Diagnostic]:
             ),
         )
     if scan.truncated:
-        yield Diagnostic(
-            rule_id="static.race",
-            severity=Severity.WARNING,
-            message=(
-                f"race certification truncated after {MAX_PAIR_CHECKS} "
-                "pair checks; the certificate is incomplete"
-            ),
-            node_id=model.graph.root_node_id,
+        yield truncation_diagnostic(
+            "race certification", model.graph.root_node_id
         )

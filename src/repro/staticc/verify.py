@@ -1,0 +1,405 @@
+"""The static verifier: replay every static finding, sanitizer-style.
+
+``grain-graphs check`` certifies properties over *all* schedules; this
+module closes the evidence loop for the findings that assert a schedule
+exists: for each ``static.race`` and ``static.join-anomaly`` finding it
+synthesizes a concrete witness schedule (:mod:`repro.staticc.witness`),
+replays it through the real engine in forced-schedule mode
+(:mod:`repro.runtime.sched.replay`), and classifies the finding:
+
+- **CONFIRMED** — the replayed trace exhibits the predicted behavior:
+  the dynamic ``race.conflict`` pass fires on the conflicting pair and
+  the pair demonstrably executed on distinct workers (race), or the
+  escaping child's completion is recorded after its parent's
+  (join anomaly).
+- **UNWITNESSED** — the replay ran but did not exhibit it (e.g. the
+  loop team merged the two conflicting iterations into one chunk), or
+  the witness was not executable (deadlock / nested-parallelism reject).
+  The static finding still stands — it is certified over all schedules —
+  but no constructive evidence was produced.
+- **SKIPPED** — nothing to replay: the finding asserts the *absence*
+  of behavior (a redundant no-op taskwait).
+
+The static phase never touches the engine (pinned by
+``engine_invocations()`` in the test suite); exactly one engine run
+happens per replayed finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..core.builder import build_grain_graph
+from ..core.ids import parse_chunk_gid, task_gid
+from ..core.nodes import GrainGraph, NodeKind
+from ..lint.diagnostics import Diagnostic, LintReport, Severity
+from ..lint.races import Conflict, conflict_diagnostic, scan_conflicts
+from ..machine.machine import MachineConfig
+from ..obs import registry as _obs
+from ..profiler.events import TaskCompleteEvent, TaskCreateEvent
+from ..runtime.api import Program, run_program
+from ..runtime.engine import DeadlockError, NestedParallelismError
+from ..runtime.flavors import MIR, RuntimeFlavor
+from .check import check_program
+from .model import StaticModel
+from .witness import (
+    WitnessSchedule,
+    synthesize_join_witness,
+    synthesize_race_witness,
+)
+
+CONFIRMED = "CONFIRMED"
+UNWITNESSED = "UNWITNESSED"
+SKIPPED = "SKIPPED"
+
+
+@dataclass(frozen=True)
+class VerifiedFinding:
+    """One static finding plus its replay verdict."""
+
+    diagnostic: Diagnostic
+    verdict: str  # CONFIRMED | UNWITNESSED | SKIPPED
+    detail: str
+    witness: Optional[WitnessSchedule] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "diagnostic": self.diagnostic.to_dict(),
+            "verdict": self.verdict,
+            "detail": self.detail,
+            "witness": (
+                self.witness.to_dict() if self.witness is not None else None
+            ),
+        }
+
+
+@dataclass
+class VerifyReport:
+    """Verdicts for every witnessable static finding of one program."""
+
+    program: str
+    static_report: LintReport
+    findings: tuple[VerifiedFinding, ...]
+    replays: int  # engine runs spent on witness playback
+
+    def count(self, verdict: str) -> int:
+        return sum(1 for f in self.findings if f.verdict == verdict)
+
+    @property
+    def confirmed(self) -> int:
+        return self.count(CONFIRMED)
+
+    @property
+    def unwitnessed(self) -> int:
+        return self.count(UNWITNESSED)
+
+    @property
+    def skipped(self) -> int:
+        return self.count(SKIPPED)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.program,
+            "replays": self.replays,
+            "verdicts": {
+                CONFIRMED: self.confirmed,
+                UNWITNESSED: self.unwitnessed,
+                SKIPPED: self.skipped,
+            },
+            "findings": [f.to_dict() for f in self.findings],
+            "static_report": self.static_report.to_dict(),
+        }
+
+
+def _grain_cores(graph: GrainGraph, gid: str) -> set[int]:
+    return {
+        node.core
+        for node in graph.grain_nodes()
+        if node.grain_id == gid and node.core is not None
+    }
+
+
+def _completion_times(trace: Any) -> dict[str, int]:
+    """Task gid -> completion timestamp, from the replayed trace."""
+    paths: dict[int, str] = {}
+    done: dict[str, int] = {}
+    for event in trace.events:
+        if isinstance(event, TaskCreateEvent):
+            paths[event.tid] = task_gid(event.path)
+        elif isinstance(event, TaskCompleteEvent):
+            gid = paths.get(event.tid)
+            if gid is not None:
+                done[gid] = event.time
+    return done
+
+
+def _judge_task_race(
+    graph: GrainGraph, region: str, pair: tuple[str, str]
+) -> tuple[str, str]:
+    dyn = scan_conflicts(graph)
+    g1, g2 = pair
+    if (region, g1, g2) not in dyn.keys():
+        return UNWITNESSED, (
+            f"dynamic race.conflict did not report ({region!r}, {g1!r}, "
+            f"{g2!r}) on the replayed trace"
+        )
+    cores1 = _grain_cores(graph, g1)
+    cores2 = _grain_cores(graph, g2)
+    if len(cores1 | cores2) < 2:
+        return UNWITNESSED, (
+            f"replay kept both grains on one worker (cores {cores1} / "
+            f"{cores2}); no cross-worker interleaving was demonstrated"
+        )
+    return CONFIRMED, (
+        f"dynamic race.conflict fired on the replayed witness: {g1!r} ran "
+        f"on cores {sorted(cores1)}, {g2!r} on cores {sorted(cores2)}"
+    )
+
+
+def _judge_chunk_race(
+    graph: GrainGraph, region: str, pair: tuple[str, str]
+) -> tuple[str, str]:
+    _, loop_a, ia, _ = parse_chunk_gid(pair[0])
+    _, loop_b, ib, _ = parse_chunk_gid(pair[1])
+    if loop_a != loop_b:
+        loops = (loop_a, loop_b)
+        # Cross-loop chunk pairs are ordered by the barrier; a static
+        # conflict between them cannot arise, but stay defensive.
+        return UNWITNESSED, f"pair spans two loops {loops}; not replayable"
+    same_chunk = False
+    for node in graph.grain_nodes():
+        if node.kind is not NodeKind.CHUNK or node.loop_id != loop_a:
+            continue
+        assert node.iter_range is not None
+        lo, hi = node.iter_range
+        if lo <= ia < hi and lo <= ib < hi:
+            same_chunk = True
+    dyn = scan_conflicts(graph)
+    for conflict in dyn.conflicts:
+        if conflict.region != region:
+            continue
+        nodes = (conflict.first, conflict.second)
+        if any(
+            n.kind is not NodeKind.CHUNK or n.loop_id != loop_a
+            for n in nodes
+        ):
+            continue
+        ranges = [n.iter_range for n in nodes]
+        hits = {
+            it: [
+                n
+                for n, rng in zip(nodes, ranges)
+                if rng is not None and rng[0] <= it < rng[1]
+            ]
+            for it in (ia, ib)
+        }
+        if not hits[ia] or not hits[ib]:
+            continue
+        cores = {n.core for n in nodes if n.core is not None}
+        if len(cores) < 2:
+            continue
+        return CONFIRMED, (
+            f"replayed loop {loop_a} executed iterations {ia} and {ib} in "
+            f"distinct conflicting chunks on cores {sorted(cores)} and "
+            "dynamic race.conflict fired on them"
+        )
+    if same_chunk:
+        return UNWITNESSED, (
+            f"the loop schedule merged iterations {ia} and {ib} into one "
+            "chunk, so this run serialized the conflict (the static "
+            "finding still holds for other chunkings)"
+        )
+    return UNWITNESSED, (
+        f"no conflicting dynamic chunk pair covering iterations {ia}/{ib} "
+        f"of loop {loop_a} appeared on distinct workers in the replay"
+    )
+
+
+def _race_schedule_note(conflict: Conflict) -> str:
+    return (
+        "certified over all schedules: the series-parallel relation "
+        "admits an interleaving for every order"
+    )
+
+
+def verify_program(
+    program: Program,
+    machine_config: Optional[MachineConfig] = None,
+    flavor: RuntimeFlavor = MIR,
+    num_threads: int = 2,
+    max_replays: Optional[int] = None,
+) -> tuple[StaticModel, VerifyReport]:
+    """Statically check ``program``, then replay a synthesized witness
+    through the engine for every witnessable finding.
+
+    Returns the static model plus the verdict report.  The static phase
+    is engine-free; each race / escaping-child finding costs exactly one
+    replay run at ``num_threads`` workers under ``flavor``.
+    ``max_replays`` bounds the engine-run budget: findings past the
+    bound are reported SKIPPED (budget exhausted) instead of replayed —
+    fire-and-forget recursions can carry hundreds of join anomalies.
+    """
+    with _obs.span("verify.static"):
+        model, static_report = check_program(program, machine_config)
+        scan = scan_conflicts(model.graph)
+    findings: list[VerifiedFinding] = []
+    replays = 0
+
+    def _over_budget() -> bool:
+        return max_replays is not None and replays >= max_replays
+
+    def _budget_finding(diag: Diagnostic) -> VerifiedFinding:
+        return VerifiedFinding(
+            diagnostic=diag,
+            verdict=SKIPPED,
+            detail=(
+                f"replay budget of {max_replays} engine runs exhausted; "
+                "raise --max-replays to replay this finding"
+            ),
+        )
+
+    def _replay(schedule: WitnessSchedule) -> Optional[GrainGraph]:
+        nonlocal replays, failure
+        replays += 1
+        _obs.count("verify.replays")
+        try:
+            with _obs.span("verify.replay"):
+                result = run_program(
+                    program,
+                    flavor=flavor,
+                    num_threads=schedule.num_threads,
+                    replay_steps=schedule.engine_steps(),
+                )
+        except (DeadlockError, NestedParallelismError) as exc:
+            failure = f"witness not executable: {exc}"
+            return None
+        with _obs.span("verify.judge"):
+            graph = build_grain_graph(result.trace)
+        _last_trace[0] = result.trace
+        return graph
+
+    _last_trace: list[Any] = [None]
+
+    race_diags = [
+        d
+        for d in static_report.diagnostics
+        if d.rule_id == "static.race" and d.severity is Severity.ERROR
+    ]
+    for index, conflict in enumerate(scan.conflicts):
+        region = conflict.region
+        pair = conflict.grain_pair
+        diag = (
+            race_diags[index]
+            if index < len(race_diags)
+            else conflict_diagnostic(
+                conflict, "static.race", _race_schedule_note(conflict)
+            )
+        )
+        if _over_budget():
+            findings.append(_budget_finding(diag))
+            continue
+        with _obs.span("verify.witness"):
+            schedule = synthesize_race_witness(
+                model, region, pair[0], pair[1], num_threads
+            )
+        failure = ""
+        graph = _replay(schedule)
+        if graph is None:
+            verdict, detail = UNWITNESSED, failure
+        elif schedule.kind == "chunk-race":
+            verdict, detail = _judge_chunk_race(
+                graph, region, schedule.pair or pair
+            )
+        else:
+            verdict, detail = _judge_task_race(
+                graph, region, schedule.pair or pair
+            )
+        findings.append(
+            VerifiedFinding(
+                diagnostic=diag,
+                verdict=verdict,
+                detail=detail,
+                witness=schedule,
+            )
+        )
+
+    unsynced_diags: dict[Optional[str], Diagnostic] = {}
+    redundant_diags: dict[Optional[str], Diagnostic] = {}
+    for d in static_report.diagnostics:
+        if d.rule_id != "static.join-anomaly":
+            continue
+        if "unsynchronized" in d.message:
+            unsynced_diags[d.grain_id] = d
+        elif "no outstanding children" in d.message:
+            redundant_diags[d.grain_id] = d
+
+    for gid in sorted(model.tasks):
+        task = model.tasks[gid]
+        is_root = not task.path[1:]
+        if task.unsynced_at_end > 0 and not is_root:
+            diag = unsynced_diags.get(gid)
+            if diag is None:
+                continue
+            if _over_budget():
+                findings.append(_budget_finding(diag))
+                continue
+            target = task.unsynced_gids[0]
+            with _obs.span("verify.witness"):
+                schedule = synthesize_join_witness(
+                    model, gid, target, num_threads
+                )
+            failure = ""
+            graph = _replay(schedule)
+            if graph is None:
+                verdict, detail = UNWITNESSED, failure
+            else:
+                done = _completion_times(_last_trace[0])
+                t_parent = done.get(gid)
+                t_child = done.get(target)
+                if t_parent is None or t_child is None:
+                    verdict, detail = UNWITNESSED, (
+                        f"replay trace lacks completion events for "
+                        f"{gid!r}/{target!r}"
+                    )
+                elif t_child > t_parent:
+                    verdict, detail = CONFIRMED, (
+                        f"replay completed parent {gid!r} at cycle "
+                        f"{t_parent} while unsynchronized child "
+                        f"{target!r} completed later, at cycle {t_child}"
+                    )
+                else:
+                    verdict, detail = UNWITNESSED, (
+                        f"child {target!r} completed at cycle {t_child}, "
+                        f"not after its parent ({t_parent})"
+                    )
+            findings.append(
+                VerifiedFinding(
+                    diagnostic=diag,
+                    verdict=verdict,
+                    detail=detail,
+                    witness=schedule,
+                )
+            )
+        if task.redundant_taskwaits > 0:
+            diag = redundant_diags.get(gid)
+            if diag is None:
+                continue
+            findings.append(
+                VerifiedFinding(
+                    diagnostic=diag,
+                    verdict=SKIPPED,
+                    detail=(
+                        "a redundant taskwait asserts the absence of "
+                        "work to wait for; there is no schedule to replay"
+                    ),
+                )
+            )
+    report = VerifyReport(
+        program=model.program,
+        static_report=static_report,
+        findings=tuple(findings),
+        replays=replays,
+    )
+    _obs.count("verify.programs")
+    return model, report

@@ -1,0 +1,272 @@
+"""Witness-schedule synthesis for static findings.
+
+A *witness schedule* is a concrete, engine-replayable total order of
+task dispatches — each pinned to a worker — that realizes the schedule
+freedom a static finding asserts: for ``static.race`` it brings the two
+conflicting grains temporally adjacent on distinct workers; for
+``static.join-anomaly`` it keeps the escaping child undispatched until
+after its parent has completed.  The forced-schedule replay mode
+(:mod:`repro.runtime.sched.replay`) then executes the schedule through
+the real engine, turning an abstract "some interleaving exists" into an
+actual trace (DESIGN.md §12).
+
+Realizability is by construction.  Every synthesized order is a linear
+extension of the dispatch-dependency relation: task ``U`` must be
+dispatched before ``T`` iff ``U``'s entry fragment reaches ``T``'s
+entry in the static graph (``U``'s spawn point is happens-before
+``T``'s).  That set is prefix-closed, and serial-elision preorder is
+one witness-compatible extension of it, so:
+
+- **race**: the dependency closures of both grains are laid out in
+  preorder (the earlier grain ``g1`` stays at its own preorder slot —
+  moving it later can deadlock when an intermediate task's spawn
+  requires ``g1``'s completion), then ``g2`` is dispatched immediately
+  after on the *other* worker, then everything else in preorder;
+- **join-anomaly**: the escaping child's whole subtree is deferred to
+  just before the first preorder-later task whose entry is
+  happens-after the child's exit (or last overall), so the parent
+  completes while the child has not even been dispatched;
+- **chunk conflicts**: chunk-to-thread assignment is the loop
+  dispatcher's decision, not the task scheduler's, so the witness is
+  the *empty* schedule — deterministic FIFO replay with a 2-thread
+  team — and confirmation rests on the replayed loop executing the two
+  iterations as distinct chunks on distinct workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.ids import is_chunk_gid, task_gid
+from ..core.reachability import Reachability
+from ..runtime.task import ROOT_PATH
+from .model import StaticModel
+
+ROOT_GID = task_gid(ROOT_PATH)
+
+
+@dataclass(frozen=True)
+class WitnessStep:
+    """Dispatch grain ``gid`` on worker ``worker`` (in schedule order)."""
+
+    gid: str
+    worker: int
+
+
+@dataclass(frozen=True)
+class WitnessSchedule:
+    """A concrete schedule demonstrating one static finding.
+
+    ``kind`` is ``"task-race"``, ``"chunk-race"``, or ``"join-anomaly"``;
+    ``rule_id`` names the static pass the witness belongs to.  ``steps``
+    covers every non-root task of the program (the root starts running
+    on worker 0 and is never scheduled) — empty for chunk witnesses,
+    where the deterministic FIFO replay plus the loop team carries the
+    demonstration.
+    """
+
+    program: str
+    rule_id: str
+    kind: str
+    num_threads: int
+    steps: tuple[WitnessStep, ...]
+    region: Optional[str] = None
+    pair: Optional[tuple[str, str]] = None
+    target: Optional[str] = None
+    parent: Optional[str] = None
+    note: str = ""
+
+    def engine_steps(self) -> tuple[tuple[str, int], ...]:
+        """The ``(gid, worker)`` form :class:`repro.runtime.engine.Engine`
+        consumes via ``replay_steps``."""
+        return tuple((step.gid, step.worker) for step in self.steps)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "program": self.program,
+            "rule_id": self.rule_id,
+            "kind": self.kind,
+            "num_threads": self.num_threads,
+            "steps": [[s.gid, s.worker] for s in self.steps],
+            "region": self.region,
+            "pair": list(self.pair) if self.pair is not None else None,
+            "target": self.target,
+            "parent": self.parent,
+            "note": self.note,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "WitnessSchedule":
+        pair = data.get("pair")
+        return cls(
+            program=data["program"],
+            rule_id=data["rule_id"],
+            kind=data["kind"],
+            num_threads=data["num_threads"],
+            steps=tuple(
+                WitnessStep(gid=gid, worker=worker)
+                for gid, worker in data["steps"]
+            ),
+            region=data.get("region"),
+            pair=(pair[0], pair[1]) if pair is not None else None,
+            target=data.get("target"),
+            parent=data.get("parent"),
+            note=data.get("note", ""),
+        )
+
+
+@dataclass
+class _Synth:
+    """Shared per-model synthesis state (one reachability build)."""
+
+    model: StaticModel
+    _reach: Optional[Reachability] = field(default=None, repr=False)
+
+    def _entry_reach(self) -> Reachability:
+        if self._reach is None:
+            self._reach = Reachability(
+                self.model.graph,
+                {t.entry_node for t in self.model.tasks.values()},
+            )
+        return self._reach
+
+    def dispatch_closure(self, gid: str) -> set[str]:
+        """Tasks (incl. the root) whose dispatch must precede ``gid``'s:
+        exactly those whose entry fragment is happens-before ``gid``'s
+        entry.  Prefix-closed by transitivity of reachability."""
+        reach = self._entry_reach()
+        target = self.model.tasks[gid].entry_node
+        return {
+            other
+            for other, task in self.model.tasks.items()
+            if other != gid and reach.reaches(task.entry_node, target)
+        }
+
+
+def _by_preorder(model: StaticModel, gids: set[str]) -> list[str]:
+    return sorted(gids, key=lambda gid: model.tasks[gid].path)
+
+
+def synthesize_race_witness(
+    model: StaticModel,
+    region: str,
+    gid_a: str,
+    gid_b: str,
+    num_threads: int = 2,
+) -> WitnessSchedule:
+    """Schedule bringing the conflicting pair onto distinct workers.
+
+    Chunk grains get the empty (FIFO + loop team) witness; task grains
+    get the full dependency-closure construction.
+    """
+    if num_threads < 2:
+        raise ValueError("a race witness needs at least two workers")
+    pair = (gid_a, gid_b)
+    if is_chunk_gid(gid_a) or is_chunk_gid(gid_b):
+        return WitnessSchedule(
+            program=model.program,
+            rule_id="static.race",
+            kind="chunk-race",
+            num_threads=num_threads,
+            steps=(),
+            region=region,
+            pair=pair,
+            note=(
+                "chunk-to-thread assignment belongs to the loop "
+                "dispatcher; replay runs the deterministic FIFO schedule "
+                f"with a {num_threads}-thread team and checks the two "
+                "iterations land in distinct chunks on distinct workers"
+            ),
+        )
+    tasks = model.tasks
+    for gid in pair:
+        if gid not in tasks:
+            raise KeyError(f"{gid!r} is not a task of {model.program!r}")
+    # g1 = serially (preorder) earlier side; it keeps its preorder slot.
+    g1, g2 = sorted(pair, key=lambda gid: tasks[gid].path)
+    synth = _Synth(model)
+    prefix = synth.dispatch_closure(g1) | synth.dispatch_closure(g2)
+    prefix.add(g1)
+    prefix.discard(g2)
+    prefix.discard(ROOT_GID)
+    rest = set(tasks) - prefix - {g2, ROOT_GID}
+    workers = {g1: 0, g2: 1}
+    order = _by_preorder(model, prefix)
+    order.append(g2)
+    order.extend(_by_preorder(model, rest))
+    steps = tuple(
+        WitnessStep(gid=gid, worker=workers.get(gid, 0)) for gid in order
+    )
+    return WitnessSchedule(
+        program=model.program,
+        rule_id="static.race",
+        kind="task-race",
+        num_threads=num_threads,
+        steps=steps,
+        region=region,
+        pair=(g1, g2),
+        note=(
+            f"dispatch the {len(prefix)}-task dependency closure in "
+            f"serial-elision preorder, then {g2!r} on worker 1 adjacent "
+            f"to {g1!r} on worker 0"
+        ),
+    )
+
+
+def synthesize_join_witness(
+    model: StaticModel,
+    parent_gid: str,
+    target_gid: str,
+    num_threads: int = 2,
+) -> WitnessSchedule:
+    """Schedule demonstrating ``target_gid`` outliving ``parent_gid``.
+
+    The target's subtree is deferred as late as the happens-before
+    relation allows: just before the first preorder-later task whose
+    entry requires the target's exit, or to the very end.
+    """
+    if num_threads < 2:
+        raise ValueError("a join-anomaly witness needs at least two workers")
+    tasks = model.tasks
+    parent = tasks[parent_gid]
+    target = tasks[target_gid]
+    subtree = {
+        gid
+        for gid, task in tasks.items()
+        if task.path[: len(target.path)] == target.path
+    }
+    exit_reach = Reachability(model.graph, {target.exit_node})
+    others = _by_preorder(model, set(tasks) - subtree - {ROOT_GID})
+    deferred = _by_preorder(model, subtree)
+    order: list[str] = []
+    inserted = False
+    for gid in others:
+        if (
+            not inserted
+            and tasks[gid].path > target.path
+            and exit_reach.reaches(target.exit_node, tasks[gid].entry_node)
+        ):
+            order.extend(deferred)
+            inserted = True
+        order.append(gid)
+    if not inserted:
+        order.extend(deferred)
+    steps = tuple(
+        WitnessStep(gid=gid, worker=1 if gid == target_gid else 0)
+        for gid in order
+    )
+    return WitnessSchedule(
+        program=model.program,
+        rule_id="static.join-anomaly",
+        kind="join-anomaly",
+        num_threads=num_threads,
+        steps=steps,
+        target=target_gid,
+        parent=parent_gid,
+        note=(
+            f"defer {target_gid!r} (worker 1) past the completion of its "
+            f"parent {parent.gid!r}; nothing orders the parent's exit "
+            "after the child, so the deferral is schedule-legal"
+        ),
+    )

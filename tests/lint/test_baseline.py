@@ -1,0 +1,175 @@
+"""Fingerprints, canonical ordering, baselines, and SARIF rendering."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    LintReport,
+    Severity,
+    apply_baseline,
+    fingerprint,
+    load_baseline,
+    render_sarif,
+    sort_diagnostics,
+    write_baseline,
+)
+
+
+def _diag(**overrides):
+    base = dict(
+        rule_id="static.race",
+        severity=Severity.ERROR,
+        message="grains 't:0/0' and 't:0/1' conflict on 'shared'",
+        artifact="program",
+        node_id=7,
+        grain_id="t:0/0",
+        loc="racy.c:12(update)",
+        fix_hint="order the accesses",
+    )
+    base.update(overrides)
+    return Diagnostic(**base)
+
+
+class TestFingerprint:
+    def test_stable_across_node_renumbering(self):
+        assert fingerprint(_diag(node_id=7)) == fingerprint(
+            _diag(node_id=99)
+        )
+        assert fingerprint(_diag(event_index=None)) == fingerprint(
+            _diag(event_index=1234)
+        )
+
+    def test_sensitive_to_identity_fields(self):
+        base = fingerprint(_diag())
+        assert fingerprint(_diag(message="other")) != base
+        assert fingerprint(_diag(rule_id="static.workspan")) != base
+        assert fingerprint(_diag(loc="racy.c:99(update)")) != base
+        assert fingerprint(_diag(grain_id="t:0/1")) != base
+
+    def test_shape(self):
+        print_ = fingerprint(_diag())
+        assert len(print_) == 16
+        int(print_, 16)  # hex
+
+
+class TestCanonicalOrder:
+    def test_severity_descends_first(self):
+        info = _diag(severity=Severity.INFO, rule_id="a.a")
+        error = _diag(severity=Severity.ERROR, rule_id="z.z")
+        assert sort_diagnostics([info, error]) == [error, info]
+
+    def test_total_order_is_input_independent(self):
+        diags = [
+            _diag(message=f"finding {i}", node_id=i) for i in range(6)
+        ]
+        assert sort_diagnostics(diags) == sort_diagnostics(
+            list(reversed(diags))
+        )
+
+
+class TestBaselineFile:
+    def test_write_load_round_trip(self, tmp_path):
+        path = tmp_path / "base.json"
+        diags = [_diag(), _diag(message="second finding")]
+        assert write_baseline(path, diags) == 2
+        loaded = load_baseline(path)
+        assert loaded == {fingerprint(d) for d in diags}
+
+    def test_load_rejects_missing_file(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "v0", "fingerprints": []}))
+        with pytest.raises(ValueError, match="grain-baseline/v1"):
+            load_baseline(path)
+
+    def test_load_rejects_malformed_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps(
+                {"schema": "grain-baseline/v1", "fingerprints": [1, 2]}
+            )
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(path)
+
+    def test_apply_suppresses_only_baselined(self):
+        old, new = _diag(), _diag(message="a new finding")
+        report = LintReport(
+            diagnostics=(old, new),
+            passes_run=(("static.race", "program"),),
+            program="racy",
+        )
+        filtered, suppressed = apply_baseline(
+            report, frozenset({fingerprint(old)})
+        )
+        assert suppressed == 1
+        assert filtered.diagnostics == (new,)
+        assert filtered.program == "racy"
+
+
+class TestSarif:
+    def _doc(self, diags, verdicts=None):
+        report = LintReport(
+            diagnostics=tuple(diags),
+            passes_run=(("static.race", "program"),),
+            program="racy",
+        )
+        return json.loads(render_sarif(report, verdicts))
+
+    def test_schema_and_version(self):
+        doc = self._doc([_diag()])
+        assert doc["version"] == "2.1.0"
+        assert "sarif-2.1.0" in doc["$schema"]
+
+    def test_levels_map_to_sarif(self):
+        doc = self._doc(
+            [
+                _diag(severity=Severity.ERROR),
+                _diag(severity=Severity.WARNING, message="warn"),
+                _diag(severity=Severity.INFO, message="info"),
+            ]
+        )
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+    def test_results_carry_stable_fingerprints(self):
+        diag = _diag()
+        doc = self._doc([diag])
+        (result,) = doc["runs"][0]["results"]
+        assert result["partialFingerprints"]["grainGraphs/v1"] == (
+            fingerprint(diag)
+        )
+
+    def test_location_parsed_from_loc(self):
+        doc = self._doc([_diag(loc="racy.c:12(update)")])
+        (result,) = doc["runs"][0]["results"]
+        (location,) = result["locations"]
+        physical = location["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "racy.c"
+        assert physical["region"]["startLine"] == 12
+        assert location["logicalLocations"][0]["name"] == "update"
+
+    def test_no_loc_no_locations(self):
+        doc = self._doc([_diag(loc="")])
+        (result,) = doc["runs"][0]["results"]
+        assert "locations" not in result
+
+    def test_rule_index_consistent(self):
+        doc = self._doc(
+            [_diag(), _diag(rule_id="static.workspan", message="ws")]
+        )
+        run = doc["runs"][0]
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+    def test_verdicts_attached_by_fingerprint(self):
+        diag = _diag()
+        doc = self._doc([diag], {fingerprint(diag): "CONFIRMED"})
+        (result,) = doc["runs"][0]["results"]
+        assert result["properties"]["verdict"] == "CONFIRMED"

@@ -1,0 +1,172 @@
+"""Forced-schedule replay: determinism, placement, and failure modes.
+
+The replay scheduler executes a witness schedule instead of a policy.
+The contract: same witness -> byte-identical JSONL trace; each witness
+task runs on exactly the pinned worker; schedules whose order can never
+be satisfied surface as ``DeadlockError`` rather than hanging.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from helpers import LOC, small_machine
+
+from repro.apps.registry import resolve_small
+from repro.core.builder import build_grain_graph
+from repro.lint.races import scan_conflicts
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import Spawn, TaskWait, Work
+from repro.runtime.api import Program, run_program
+from repro.runtime.engine import DeadlockError
+from repro.runtime.sched.replay import ReplayScheduler
+from repro.staticc import expand_program
+from repro.staticc.witness import synthesize_race_witness
+
+
+def _leaf(cycles=400):
+    def body():
+        yield Work(WorkRequest(cycles=cycles))
+
+    return body
+
+
+def _spawn_n(n, cycles=400):
+    def main():
+        for _ in range(n):
+            yield Spawn(_leaf(cycles), loc=LOC)
+        yield TaskWait()
+
+    return Program(f"spawn{n}", main)
+
+
+def _racy_steps():
+    model = expand_program(resolve_small("racy"))
+    (conflict,) = scan_conflicts(model.graph).conflicts
+    g1, g2 = conflict.grain_pair
+    return synthesize_race_witness(
+        model, conflict.region, g1, g2
+    ).engine_steps()
+
+
+class TestSchedulerUnit:
+    def test_rejects_out_of_range_worker(self):
+        with pytest.raises(ValueError):
+            ReplayScheduler([("t:0/0", 2)], num_workers=2)
+
+    def test_rejects_duplicate_dispatch(self):
+        with pytest.raises(ValueError):
+            ReplayScheduler([("t:0/0", 0), ("t:0/0", 1)], num_workers=2)
+
+    def test_empty_schedule_is_valid(self):
+        sched = ReplayScheduler([], num_workers=2)
+        assert sched.total_pending() == 0
+        assert sched.pop(0) is None
+
+    def test_kind_name(self):
+        assert ReplayScheduler([], 1).kind_name == "replay"
+
+
+class TestReplayDeterminism:
+    def test_same_witness_twice_is_byte_identical(self):
+        steps = _racy_steps()
+        first = run_program(
+            resolve_small("racy"), num_threads=2, replay_steps=steps
+        )
+        second = run_program(
+            resolve_small("racy"), num_threads=2, replay_steps=steps
+        )
+        assert (
+            first.trace.dumps_jsonl() == second.trace.dumps_jsonl()
+        )
+
+    @given(
+        n=st.integers(min_value=2, max_value=5),
+        seed=st.randoms(use_true_random=False),
+        workers=st.lists(
+            st.integers(min_value=0, max_value=1), min_size=5, max_size=5
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_any_leaf_permutation_replays_identically(
+        self, n, seed, workers
+    ):
+        # Leaves of one taskwait level only depend on the root, so any
+        # permutation with any worker pinning is a valid witness.
+        order = [f"t:0/{i}" for i in range(n)]
+        seed.shuffle(order)
+        steps = tuple(
+            (gid, workers[i]) for i, gid in enumerate(order)
+        )
+        runs = [
+            run_program(_spawn_n(n), num_threads=2, replay_steps=steps)
+            for _ in range(2)
+        ]
+        assert (
+            runs[0].trace.dumps_jsonl() == runs[1].trace.dumps_jsonl()
+        )
+        graph = build_grain_graph(runs[0].trace)
+        placed = {
+            node.grain_id: node.core
+            for node in graph.grain_nodes()
+            if node.grain_id != "t:0" and node.core is not None
+        }
+        for gid, worker in steps:
+            assert placed[gid] == worker
+
+
+class TestForcedPlacement:
+    def test_witness_workers_are_honored(self):
+        result = run_program(
+            resolve_small("racy"), num_threads=2,
+            replay_steps=_racy_steps(),
+        )
+        graph = build_grain_graph(result.trace)
+        cores = {
+            n.grain_id: n.core
+            for n in graph.grain_nodes()
+            if n.grain_id in ("t:0/0", "t:0/1")
+        }
+        assert cores == {"t:0/0": 0, "t:0/1": 1}
+
+    def test_reversed_witness_flips_placement(self):
+        reversed_steps = tuple(
+            (gid, 1 - worker) for gid, worker in _racy_steps()
+        )
+        result = run_program(
+            resolve_small("racy"), num_threads=2,
+            replay_steps=reversed_steps,
+        )
+        graph = build_grain_graph(result.trace)
+        cores = {
+            n.grain_id: n.core
+            for n in graph.grain_nodes()
+            if n.grain_id in ("t:0/0", "t:0/1")
+        }
+        assert cores == {"t:0/0": 1, "t:0/1": 0}
+
+    def test_normal_scheduling_unaffected(self):
+        # replay_steps=None must leave the policy path untouched.
+        plain = run_program(resolve_small("racy"), num_threads=2)
+        again = run_program(resolve_small("racy"), num_threads=2)
+        assert plain.trace.dumps_jsonl() == again.trace.dumps_jsonl()
+
+
+class TestUnsatisfiableSchedules:
+    def test_child_before_its_spawner_deadlocks(self):
+        def inner():
+            yield Work(WorkRequest(cycles=100))
+
+        def outer():
+            yield Spawn(inner, loc=LOC)
+            yield TaskWait()
+
+        def main():
+            yield Spawn(outer, loc=LOC)
+            yield TaskWait()
+
+        program = Program("nested", main)
+        # t:0/0/0 cannot be dispatched before t:0/0 has even run.
+        steps = (("t:0/0/0", 0), ("t:0/0", 0))
+        with pytest.raises(DeadlockError):
+            run_program(program, num_threads=2, replay_steps=steps)

@@ -1,0 +1,198 @@
+"""SP-tree MHP vs bitset reachability: exact agreement, engine-free.
+
+The conflict scanner's structural pruning moved from capped bitset
+reachability to an uncapped SP-tree MHP query.  These tests pin the
+swap's correctness differentially: on every registered program the two
+pruners must produce identical conflict sets, and the SP-tree's
+``ordered`` relation must agree with ``logically_ordered`` pair by
+pair — over the static symbolic graphs (never touching the engine) and
+over real dynamic traces.
+"""
+
+import pytest
+
+from helpers import small_machine
+
+from repro.apps.registry import PROGRAMS, resolve_small
+from repro.core.builder import build_grain_graph
+from repro.core.nodes import GrainGraph, NodeKind
+from repro.core.reachability import Reachability, logically_ordered
+from repro.lint.races import scan_conflicts
+from repro.runtime.api import run_program
+from repro.runtime.engine import engine_invocations
+from repro.staticc import SPDecompositionError, SPTree, expand_program
+
+FAST_PROGRAMS = ["fig3a", "fig3b", "fib", "racy", "racy-fixed", "strassen"]
+
+
+def _grain_pairs(graph: GrainGraph, limit: int = 4000):
+    """A deterministic sample of grain-node pairs (all if few enough)."""
+    nodes = sorted(graph.grain_nodes(), key=lambda n: n.node_id)
+    total = len(nodes) * (len(nodes) - 1) // 2
+    stride = max(1, total // limit)
+    count = 0
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            count += 1
+            if count % stride == 0:
+                yield a, b
+
+
+def _assert_pruners_agree(graph: GrainGraph):
+    tree = SPTree(graph)
+    reach = Reachability(
+        graph, {n.node_id for n in graph.grain_nodes()}
+    )
+    for a, b in _grain_pairs(graph):
+        assert tree.ordered(a, b) == logically_ordered(reach, a, b), (
+            f"SPTree disagrees with reachability on "
+            f"({a.node_id}, {b.node_id})"
+        )
+
+
+class TestSPTreeStructure:
+    def test_sibling_tasks_are_parallel(self):
+        graph = expand_program(resolve_small("fig3a")).graph
+        tree = SPTree(graph)
+        by_gid = {}
+        for node in graph.grain_nodes():
+            by_gid.setdefault(node.grain_id, []).append(node)
+        bar, baz = by_gid["t:0/0/0"][0], by_gid["t:0/0/1"][0]
+        assert not tree.ordered(bar, baz)
+        assert not tree.ordered(baz, bar)
+
+    def test_parent_prefix_ordered_before_child(self):
+        graph = expand_program(resolve_small("fig3a")).graph
+        tree = SPTree(graph)
+        by_gid = {}
+        for node in graph.grain_nodes():
+            by_gid.setdefault(node.grain_id, []).append(node)
+        foo_first = min(by_gid["t:0/0"], key=lambda n: n.frag_seq or 0)
+        bar = by_gid["t:0/0/0"][0]
+        assert tree.ordered(foo_first, bar)
+
+    def test_post_taskwait_fragment_ordered_after_children(self):
+        graph = expand_program(resolve_small("fig3a")).graph
+        tree = SPTree(graph)
+        by_gid = {}
+        for node in graph.grain_nodes():
+            by_gid.setdefault(node.grain_id, []).append(node)
+        foo_last = max(by_gid["t:0/0"], key=lambda n: n.frag_seq or 0)
+        for child_gid in ("t:0/0/0", "t:0/0/1"):
+            assert tree.ordered(by_gid[child_gid][0], foo_last)
+
+    def test_same_loop_chunks_are_parallel(self):
+        graph = expand_program(resolve_small("fig3b")).graph
+        tree = SPTree(graph)
+        chunks = [
+            n for n in graph.grain_nodes() if n.kind is NodeKind.CHUNK
+        ]
+        assert len(chunks) >= 2
+        assert not tree.ordered(chunks[0], chunks[1])
+        assert not tree.ordered(chunks[1], chunks[0])
+
+    def test_leaf_count_covers_all_grain_nodes(self):
+        graph = expand_program(resolve_small("fib")).graph
+        tree = SPTree(graph)
+        assert tree.leaf_count == len(list(graph.grain_nodes()))
+
+    def test_non_sp_graph_raises(self):
+        # Two continuation successors out of one fragment cannot be a
+        # series-parallel task walk.
+        from repro.core.nodes import EdgeKind
+
+        graph = GrainGraph()
+        nodes = [
+            graph.new_node(NodeKind.FRAGMENT, grain_id="t:0", frag_seq=i)
+            for i in range(3)
+        ]
+        graph.root_node_id = nodes[0].node_id
+        graph.add_edge(
+            nodes[0].node_id, nodes[1].node_id, EdgeKind.CONTINUATION
+        )
+        graph.add_edge(
+            nodes[0].node_id, nodes[2].node_id, EdgeKind.CONTINUATION
+        )
+        with pytest.raises(SPDecompositionError):
+            SPTree(graph)
+
+
+class TestStaticDifferential:
+    """MHP pruning == bitset pruning on static graphs, with no engine."""
+
+    def test_scan_equivalence_all_programs_no_engine(self):
+        before = engine_invocations()
+        for name in sorted(PROGRAMS):
+            graph = expand_program(resolve_small(name)).graph
+            mhp = scan_conflicts(graph)
+            ref = scan_conflicts(graph, force_reachability=True)
+            assert mhp.keys() == ref.keys(), name
+            # "none" = no candidate pairs at all (both scans early-out).
+            assert mhp.pruner in ("sp-tree", "none"), name
+            expected_ref = (
+                "reachability" if mhp.pruner == "sp-tree" else "none"
+            )
+            assert ref.pruner == expected_ref, name
+            assert not mhp.truncated, name
+        assert engine_invocations() == before
+
+    @pytest.mark.parametrize("name", FAST_PROGRAMS)
+    def test_pairwise_agreement(self, name):
+        graph = expand_program(resolve_small(name)).graph
+        _assert_pruners_agree(graph)
+
+    @pytest.mark.slow
+    def test_pairwise_agreement_all_programs(self):
+        for name in sorted(PROGRAMS):
+            _assert_pruners_agree(expand_program(resolve_small(name)).graph)
+
+
+class TestDynamicDifferential:
+    """The same agreement on engine-produced (dynamic) grain graphs."""
+
+    @pytest.mark.parametrize("name", ["fig3a", "fig3b", "racy", "fib"])
+    def test_pairwise_agreement_on_trace_graphs(self, name):
+        result = run_program(
+            resolve_small(name), num_threads=2, machine=small_machine()
+        )
+        _assert_pruners_agree(build_grain_graph(result.trace))
+
+    @pytest.mark.slow
+    def test_dynamic_agreement_all_programs(self):
+        for name in sorted(PROGRAMS):
+            for threads in (1, 4):
+                result = run_program(
+                    resolve_small(name),
+                    num_threads=threads,
+                    machine=small_machine(),
+                )
+                graph = build_grain_graph(result.trace)
+                _assert_pruners_agree(graph)
+                mhp = scan_conflicts(graph)
+                ref = scan_conflicts(graph, force_reachability=True)
+                assert mhp.keys() == ref.keys(), (name, threads)
+
+
+class TestTruncationWarning:
+    def test_capped_fallback_reports_truncation(self):
+        graph = expand_program(resolve_small("racy")).graph
+        scan = scan_conflicts(
+            graph, max_pair_checks=0, force_reachability=True
+        )
+        assert scan.truncated
+        assert scan.conflicts == ()
+
+    def test_mhp_path_has_no_cap(self):
+        graph = expand_program(resolve_small("racy")).graph
+        scan = scan_conflicts(graph, max_pair_checks=0)
+        assert not scan.truncated
+        assert scan.keys()
+
+    def test_truncation_diagnostic_rule(self):
+        from repro.lint.diagnostics import Severity
+        from repro.lint.races import truncation_diagnostic
+
+        diag = truncation_diagnostic("race checking", 7)
+        assert diag.rule_id == "race.scan-truncated"
+        assert diag.severity is Severity.WARNING
+        assert "NOT examined" in diag.message

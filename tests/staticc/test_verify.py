@@ -1,0 +1,155 @@
+"""The verifier: static findings replayed to CONFIRMED/UNWITNESSED/SKIPPED.
+
+The acceptance contract of ``grain-graphs verify``: the seeded racy
+micro-app is CONFIRMED via a real engine replay of its synthesized
+witness, the corrected variant verifies clean, join anomalies confirm
+by completion-time evidence, and redundant-taskwait findings (which
+assert the *absence* of behavior) are SKIPPED, never replayed.
+"""
+
+import pytest
+
+from helpers import LOC
+
+from repro.apps.micro import fire_and_forget
+from repro.apps.registry import resolve_small
+from repro.machine.cost import WorkRequest
+from repro.runtime.actions import (
+    Alloc,
+    Footprint,
+    ParallelFor,
+    Spawn,
+    TaskWait,
+    Work,
+)
+from repro.runtime.api import Program
+from repro.runtime.engine import engine_invocations
+from repro.runtime.loops import LoopSpec, Schedule
+from repro.staticc import verify_program
+
+
+def _chunk_racy() -> Program:
+    """Every iteration of a 2-thread static loop writes the same bytes."""
+
+    def main():
+        yield Alloc("acc", 64)
+        yield ParallelFor(
+            LoopSpec(
+                iterations=4,
+                chunk_size=1,
+                num_threads=2,
+                body=lambda i: WorkRequest(cycles=500),
+                schedule=Schedule.STATIC,
+                footprint=lambda s, e: ((), (Footprint("acc", 0, 64),)),
+                loc=LOC,
+            )
+        )
+
+    return Program("chunk_racy", main)
+
+
+def _redundant_wait() -> Program:
+    def main():
+        yield Work(WorkRequest(cycles=100))
+        yield TaskWait()
+
+    return Program("redundant_wait", main)
+
+
+class TestRaceVerdicts:
+    def test_racy_is_confirmed_by_replay(self):
+        _, report = verify_program(resolve_small("racy"))
+        assert report.replays == 1
+        (finding,) = [
+            f
+            for f in report.findings
+            if f.diagnostic.rule_id == "static.race"
+        ]
+        assert finding.verdict == "CONFIRMED"
+        assert finding.witness is not None
+        assert finding.witness.kind == "task-race"
+        assert "race.conflict fired" in finding.detail
+
+    def test_racy_fixed_verifies_clean(self):
+        _, report = verify_program(resolve_small("racy-fixed"))
+        assert report.findings == ()
+        assert report.replays == 0
+
+    def test_chunk_race_confirmed_via_loop_team(self):
+        _, report = verify_program(_chunk_racy())
+        race = [
+            f
+            for f in report.findings
+            if f.diagnostic.rule_id == "static.race"
+        ]
+        assert race
+        assert all(f.witness.kind == "chunk-race" for f in race)
+        assert all(f.witness.steps == () for f in race)
+        assert any(f.verdict == "CONFIRMED" for f in race)
+
+    def test_verify_uses_engine_only_for_replays(self):
+        before = engine_invocations()
+        _, report = verify_program(resolve_small("racy"))
+        assert engine_invocations() - before == report.replays == 1
+
+
+class TestJoinVerdicts:
+    def test_fire_and_forget_children_confirmed(self):
+        _, report = verify_program(fire_and_forget(depth=2))
+        joins = [
+            f
+            for f in report.findings
+            if f.diagnostic.rule_id == "static.join-anomaly"
+        ]
+        assert joins
+        assert all(f.verdict == "CONFIRMED" for f in joins)
+        assert all("completed later" in f.detail for f in joins)
+
+    def test_redundant_taskwait_is_skipped_not_replayed(self):
+        _, report = verify_program(_redundant_wait())
+        skipped = [f for f in report.findings if f.verdict == "SKIPPED"]
+        assert skipped
+        assert report.replays == 0
+        assert all(
+            "no outstanding children" in f.diagnostic.message
+            for f in skipped
+        )
+
+
+class TestBudget:
+    def test_max_replays_caps_engine_runs(self):
+        _, full = verify_program(fire_and_forget(depth=2))
+        total = len(
+            [
+                f
+                for f in full.findings
+                if f.diagnostic.rule_id == "static.join-anomaly"
+            ]
+        )
+        assert total > 1
+        _, capped = verify_program(fire_and_forget(depth=2), max_replays=1)
+        assert capped.replays == 1
+        assert capped.confirmed == 1
+        assert capped.skipped == total - 1
+        assert all(
+            "budget" in f.detail
+            for f in capped.findings
+            if f.verdict == "SKIPPED"
+        )
+
+
+class TestReport:
+    def test_counts_and_to_dict(self):
+        _, report = verify_program(resolve_small("racy"))
+        assert report.confirmed == 1
+        assert report.unwitnessed == 0
+        payload = report.to_dict()
+        assert payload["program"] == "racy"
+        assert payload["verdicts"]["CONFIRMED"] == 1
+        (finding,) = payload["findings"]
+        assert finding["witness"]["kind"] == "task-race"
+        assert finding["diagnostic"]["rule_id"] == "static.race"
+
+    def test_rejects_single_thread(self):
+        with pytest.raises(ValueError):
+            verify_program(resolve_small("racy"), num_threads=1)

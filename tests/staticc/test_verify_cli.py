@@ -1,0 +1,122 @@
+"""``grain-graphs verify``: exit codes, SARIF/baseline files, JSON."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.lint import fingerprint
+
+
+class TestVerifyCommand:
+    def test_racy_confirms_and_exits_nonzero(self, capsys):
+        assert main(["verify", "racy"]) == 1
+        out = capsys.readouterr().out
+        assert "CONFIRMED" in out
+        assert "static.race" in out
+        assert "witness: task-race" in out
+
+    def test_racy_fixed_exits_zero(self, capsys):
+        assert main(["verify", "racy-fixed"]) == 0
+        out = capsys.readouterr().out
+        assert "0 CONFIRMED" in out
+
+    def test_requires_program_or_all(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["verify"])
+        assert exc.value.code == 2
+
+    def test_rejects_single_thread(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", "racy", "--threads", "1"])
+        assert exc.value.code == 2
+
+    def test_json_payload_shape(self, capsys):
+        assert main(["verify", "racy", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "racy"
+        assert payload["replays"] == 1
+        assert payload["verdicts"]["CONFIRMED"] == 1
+        (finding,) = payload["findings"]
+        assert finding["verdict"] == "CONFIRMED"
+        assert finding["witness"]["steps"]
+
+    def test_sarif_file_carries_verdicts(self, tmp_path, capsys):
+        sarif = tmp_path / "out.sarif"
+        assert main(["verify", "racy", "--sarif", str(sarif)]) == 1
+        capsys.readouterr()
+        doc = json.loads(sarif.read_text())
+        assert doc["version"] == "2.1.0"
+        results = doc["runs"][0]["results"]
+        verdicts = [
+            r["properties"].get("verdict")
+            for r in results
+            if r["ruleId"] == "static.race"
+        ]
+        assert verdicts == ["CONFIRMED"]
+
+    def test_baseline_round_trip_suppresses(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["verify", "racy", "--write-baseline", str(base)]) == 1
+        capsys.readouterr()
+        assert main(["verify", "racy", "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_bad_baseline_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as exc:
+            main(["verify", "racy", "--baseline", str(bad)])
+        assert exc.value.code == 2
+
+    def test_max_replays_budget_reported(self, capsys):
+        assert main(["verify", "kdtree", "--max-replays", "2"]) in (0, 1)
+        out = capsys.readouterr().out
+        assert "2 replay(s)" in out
+        assert "SKIPPED" in out
+
+
+class TestCheckSarifBaseline:
+    def test_check_writes_sarif(self, tmp_path, capsys):
+        sarif = tmp_path / "check.sarif"
+        assert main(["check", "racy", "--sarif", str(sarif)]) == 1
+        capsys.readouterr()
+        doc = json.loads(sarif.read_text())
+        rules = {r["id"] for r in doc["runs"][0]["tool"]["driver"]["rules"]}
+        assert "static.race" in rules
+
+    def test_check_baseline_suppresses(self, tmp_path, capsys):
+        base = tmp_path / "base.json"
+        assert main(["check", "racy", "--write-baseline", str(base)]) == 1
+        capsys.readouterr()
+        assert main(["check", "racy", "--baseline", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "suppressed" in out
+
+    def test_check_multi_program_sarif_has_one_run_each(
+        self, tmp_path, capsys
+    ):
+        sarif = tmp_path / "multi.sarif"
+        main(["check", "fig3a", "fig3b", "--sarif", str(sarif)])
+        capsys.readouterr()
+        doc = json.loads(sarif.read_text())
+        programs = [
+            run["properties"]["program"] for run in doc["runs"]
+        ]
+        assert programs == ["fig3a", "fig3b"]
+
+    def test_fingerprints_match_library(self, tmp_path, capsys):
+        from repro.staticc import check_program
+        from repro.apps.registry import resolve_small
+
+        sarif = tmp_path / "fp.sarif"
+        main(["check", "racy", "--sarif", str(sarif)])
+        capsys.readouterr()
+        doc = json.loads(sarif.read_text())
+        in_sarif = {
+            r["partialFingerprints"]["grainGraphs/v1"]
+            for r in doc["runs"][0]["results"]
+        }
+        _, report = check_program(resolve_small("racy"))
+        assert in_sarif == {fingerprint(d) for d in report.diagnostics}

@@ -1,0 +1,160 @@
+"""Witness-schedule synthesis: linear-extension validity and round-trips.
+
+A witness schedule is only useful if the engine can actually execute
+it: every task's dispatch-dependency closure (tasks whose entry
+fragment is happens-before its own) must be dispatched earlier.  These
+tests check that property structurally for every synthesized schedule,
+plus the pair-placement and serialization contracts.
+"""
+
+import pytest
+
+from repro.apps.micro import fire_and_forget
+from repro.apps.registry import resolve_small
+from repro.core.reachability import Reachability
+from repro.lint.races import scan_conflicts
+from repro.staticc import expand_program
+from repro.staticc.witness import (
+    ROOT_GID,
+    WitnessSchedule,
+    _Synth,
+    synthesize_join_witness,
+    synthesize_race_witness,
+)
+
+
+def _racy_witness(num_threads=2):
+    model = expand_program(resolve_small("racy"))
+    (conflict,) = scan_conflicts(model.graph).conflicts
+    g1, g2 = conflict.grain_pair
+    return model, synthesize_race_witness(
+        model, conflict.region, g1, g2, num_threads
+    )
+
+
+def _assert_linear_extension(model, schedule):
+    """Every step's dispatch closure appears earlier in the schedule."""
+    synth = _Synth(model)
+    position = {step.gid: i for i, step in enumerate(schedule.steps)}
+    for step in schedule.steps:
+        for dep in synth.dispatch_closure(step.gid):
+            if dep == ROOT_GID:
+                continue  # the root is running before any dispatch
+            assert position[dep] < position[step.gid], (
+                f"{dep} must be dispatched before {step.gid}"
+            )
+
+
+class TestRaceWitness:
+    def test_covers_every_non_root_task_once(self):
+        model, schedule = _racy_witness()
+        gids = [s.gid for s in schedule.steps]
+        assert sorted(gids) == sorted(set(model.tasks) - {ROOT_GID})
+        assert len(gids) == len(set(gids))
+
+    def test_pair_on_distinct_workers(self):
+        _, schedule = _racy_witness()
+        workers = {s.gid: s.worker for s in schedule.steps}
+        g1, g2 = schedule.pair
+        assert workers[g1] == 0
+        assert workers[g2] == 1
+
+    def test_is_linear_extension(self):
+        model, schedule = _racy_witness()
+        _assert_linear_extension(model, schedule)
+
+    def test_deep_program_witness_is_linear_extension(self):
+        # strassen has nested spawns: closures are non-trivial there.
+        model = expand_program(resolve_small("strassen"))
+        tasks = sorted(model.tasks, key=lambda g: model.tasks[g].path)
+        leafy = [g for g in tasks if g != ROOT_GID]
+        schedule = synthesize_race_witness(
+            model, "synthetic", leafy[1], leafy[-1]
+        )
+        _assert_linear_extension(model, schedule)
+
+    def test_chunk_pair_degenerates_to_empty_schedule(self):
+        model = expand_program(resolve_small("fig3b"))
+        schedule = synthesize_race_witness(
+            model, "grid", "c:0:0:0-4", "c:0:0:4-8"
+        )
+        assert schedule.kind == "chunk-race"
+        assert schedule.steps == ()
+
+    def test_rejects_single_worker(self):
+        model = expand_program(resolve_small("racy"))
+        with pytest.raises(ValueError):
+            synthesize_race_witness(
+                model, "shared", "t:0/0", "t:0/1", num_threads=1
+            )
+
+    def test_rejects_unknown_task(self):
+        model = expand_program(resolve_small("racy"))
+        with pytest.raises(KeyError):
+            synthesize_race_witness(model, "shared", "t:0/0", "t:9/9")
+
+
+class TestJoinWitness:
+    def test_target_deferred_past_parent(self):
+        model = expand_program(fire_and_forget(depth=2))
+        parent = "t:0/0"
+        target = model.tasks[parent].unsynced_gids[0]
+        schedule = synthesize_join_witness(model, parent, target)
+        order = [s.gid for s in schedule.steps]
+        assert order.index(target) > order.index(parent)
+        workers = {s.gid: s.worker for s in schedule.steps}
+        assert workers[target] == 1
+
+    def test_subtree_moves_with_target(self):
+        model = expand_program(fire_and_forget(depth=3))
+        parent = "t:0/0"
+        target = model.tasks[parent].unsynced_gids[0]
+        schedule = synthesize_join_witness(model, parent, target)
+        order = [s.gid for s in schedule.steps]
+        t_pos = order.index(target)
+        prefix = tuple(model.tasks[target].path)
+        for gid in order:
+            if gid != target and tuple(
+                model.tasks[gid].path[: len(prefix)]
+            ) == prefix:
+                assert order.index(gid) > t_pos
+
+    def test_covers_every_non_root_task_once(self):
+        model = expand_program(fire_and_forget(depth=2))
+        parent = "t:0/0"
+        target = model.tasks[parent].unsynced_gids[0]
+        schedule = synthesize_join_witness(model, parent, target)
+        gids = [s.gid for s in schedule.steps]
+        assert sorted(gids) == sorted(set(model.tasks) - {ROOT_GID})
+
+    def test_deferral_respects_happens_before(self):
+        model = expand_program(fire_and_forget(depth=2))
+        parent = "t:0/0"
+        target = model.tasks[parent].unsynced_gids[0]
+        schedule = synthesize_join_witness(model, parent, target)
+        # No later-dispatched task may have an entry that happens-before
+        # requires the target's exit... i.e. any task whose entry the
+        # target's exit reaches must come after the target.
+        reach = Reachability(
+            model.graph, {model.tasks[target].exit_node}
+        )
+        order = [s.gid for s in schedule.steps]
+        t_pos = order.index(target)
+        for i, gid in enumerate(order):
+            if reach.reaches(
+                model.tasks[target].exit_node, model.tasks[gid].entry_node
+            ) and gid != target:
+                assert i > t_pos
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        _, schedule = _racy_witness()
+        assert WitnessSchedule.from_dict(schedule.to_dict()) == schedule
+
+    def test_engine_steps_shape(self):
+        _, schedule = _racy_witness()
+        steps = schedule.engine_steps()
+        assert all(
+            isinstance(g, str) and isinstance(w, int) for g, w in steps
+        )
