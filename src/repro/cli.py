@@ -45,6 +45,17 @@ Subcommands::
         out across a process pool, and warm-cache reruns touch the
         engine zero times.
 
+    grain-graphs serve [--host H] [--port P] [--cache DIR] [--jobs N]
+                 [--queue-capacity N] [--request-timeout S]
+        The multi-tenant analysis service: a long-running asyncio
+        HTTP+JSON server exposing submit-study / job status / JSONL
+        reports (poll or stream) / lint / check / advise, with request
+        coalescing on RunKey (concurrent tenants asking for the same
+        point share one simulation), the on-disk artifact cache as the
+        shared tier, a bounded job queue that sheds load with 429 +
+        Retry-After, Prometheus /metrics, and a /healthz probe.
+        --port 0 binds an ephemeral port (printed on the first line).
+
     grain-graphs bench [--quick] [--jobs N] [--out DIR|FILE]
                  [--against PREV.json] [--threshold 0.25] [--matrix ...]
                  [--prom FILE]
@@ -494,6 +505,30 @@ def cmd_study(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import ServeConfig, run_serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache,
+        jobs=args.jobs,
+        queue_capacity=args.queue_capacity,
+        request_timeout=args.request_timeout,
+    )
+    try:
+        config.validate()
+    except ValueError as exc:
+        _fail(str(exc))
+    try:
+        asyncio.run(run_serve(config))
+    except KeyboardInterrupt:
+        print("grain-graphs serve: shutting down", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args) -> int:
     from pathlib import Path
 
@@ -708,6 +743,29 @@ def main(argv: list[str] | None = None) -> int:
                        help="write the observability snapshot in "
                        "Prometheus text exposition format")
     study.set_defaults(fn=cmd_study)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HTTP analysis service (repro.serve)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8321,
+                       help="bind port; 0 picks an ephemeral one "
+                       "(default 8321)")
+    serve.add_argument("--cache", metavar="DIR",
+                       help="artifact cache directory shared with "
+                       "`grain-graphs study` (omit for in-memory only)")
+    serve.add_argument("--jobs", type=int, default=2,
+                       help="simulation worker pool width (default 2)")
+    serve.add_argument("--queue-capacity", type=int, default=64,
+                       metavar="N",
+                       help="max queued study points before submits "
+                       "are shed with 429 (default 64)")
+    serve.add_argument("--request-timeout", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="per-request handler timeout (default 300)")
+    serve.set_defaults(fn=cmd_serve)
 
     bench = sub.add_parser(
         "bench",

@@ -42,7 +42,7 @@ import json
 import os
 import pickle
 import tempfile
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
@@ -137,15 +137,24 @@ class CacheStats:
     def absorb(self, other: "CacheStats | Mapping[str, Any]") -> None:
         """Fold another instance's counts in — how the study runner
         aggregates the per-worker caches of a process pool back into the
-        parent's, so ``--jobs N`` reports the same totals as serial."""
+        parent's, so ``--jobs N`` reports the same totals as serial.
+
+        Counters this version does not know — a mixed-version pool
+        worker, or the serve tier absorbing stats from a newer client —
+        fold into ``extra`` instead of raising ``AttributeError``: the
+        count is preserved, never dropped or fatal.
+        """
         if isinstance(other, CacheStats):
             other = asdict(other)
+        known = {f.name for f in fields(self)} - {"extra"}
         for name, value in other.items():
             if name == "extra":
                 for key, delta in dict(value).items():
                     self.extra[key] = self.extra.get(key, 0) + delta
-            else:
+            elif name in known:
                 setattr(self, name, getattr(self, name) + int(value))
+            else:
+                self.extra[name] = self.extra.get(name, 0) + int(value)
 
 
 @dataclass
@@ -226,27 +235,36 @@ class RunCache:
 
     def load(self, key: RunKey) -> Optional[CachedRun]:
         """Uncounted load, for re-reading artifacts known to exist (e.g.
-        after a pool worker stored them)."""
+        after a pool worker stored them).
+
+        An artifact only exists once *both* files do.  :meth:`store`
+        writes the meta sidecar before the trace, so a concurrent reader
+        can observe meta-without-trace (a miss, re-simulated) but never
+        trace-without-meta; a trace whose sidecar is absent anyway — a
+        crashed writer, or a cache written before the ordering fix — is
+        treated as a miss rather than silently fabricating an all-zero
+        :class:`RunStats`.
+        """
         with _obs.span("cache.trace_read"):
             path = self._trace_path(key)
-            if not path.exists():
+            meta_path = self._meta_path(key)
+            if not path.exists() or not meta_path.exists():
                 return None
             trace = Trace.loads_jsonl(path.read_text())
-            stats = RunStats()
-            meta_path = self._meta_path(key)
-            if meta_path.exists():
-                sidecar = json.loads(meta_path.read_text())
-                recorded = sidecar.get("stats", {})
-                stats = RunStats(**{
-                    f: recorded.get(f, 0) for f in RunStats().__dict__
-                })
+            sidecar = json.loads(meta_path.read_text())
+            recorded = sidecar.get("stats", {})
+            stats = RunStats(**{
+                f: recorded.get(f, 0) for f in RunStats().__dict__
+            })
             return CachedRun(trace=trace, stats=stats)
 
     def store(self, key: RunKey, result: RunResult) -> None:
+        """Persist a run.  Ordering matters: the meta sidecar lands
+        before the trace, because :meth:`load` keys artifact existence
+        on the trace file — writing trace-first opened a window where a
+        concurrent ``load()`` saw the trace with no sidecar and invented
+        zeroed engine stats."""
         with _obs.span("cache.trace_write"):
-            _atomic_write(
-                self._trace_path(key), result.trace.dumps_jsonl().encode()
-            )
             sidecar = {
                 "key": asdict(key),
                 "stats": asdict(result.stats),
@@ -255,6 +273,9 @@ class RunCache:
             _atomic_write(
                 self._meta_path(key),
                 (json.dumps(sidecar, indent=1) + "\n").encode(),
+            )
+            _atomic_write(
+                self._trace_path(key), result.trace.dumps_jsonl().encode()
             )
         self.stats.trace_stores += 1
         _obs.count("cache.trace_stores")

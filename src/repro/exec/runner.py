@@ -146,16 +146,33 @@ class MatrixPoint:
     def parse(
         cls, spec: str, default_flavor: str = "MIR", default_threads: int = 48
     ) -> "MatrixPoint":
-        """Parse ``PROGRAM[:FLAVOR[:THREADS]]`` (e.g. ``sort:GCC:8``)."""
+        """Parse ``PROGRAM[:FLAVOR[:THREADS]]`` (e.g. ``sort:GCC:8``).
+
+        Empty trailing fields fall back to the defaults, so ``sort::8``
+        and ``sort:GCC:`` are both accepted.  Specs cannot spell program
+        ``kwargs`` — a parsed spec never round-trips a point built with
+        :meth:`MatrixPoint.of`; parameterized points must be constructed
+        programmatically.
+        """
         parts = spec.strip().split(":")
         if not parts or not parts[0]:
             raise ValueError(f"empty matrix point spec {spec!r}")
         if len(parts) > 3:
             raise ValueError(
                 f"bad matrix point {spec!r}: want PROGRAM[:FLAVOR[:THREADS]]"
+                " (program kwargs cannot be spelled in a spec; build such"
+                " points with MatrixPoint.of)"
             )
         flavor = parts[1].upper() if len(parts) > 1 and parts[1] else default_flavor
-        threads = int(parts[2]) if len(parts) > 2 else default_threads
+        threads = default_threads
+        if len(parts) > 2 and parts[2]:
+            try:
+                threads = int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"bad matrix point {spec!r}: THREADS must be an"
+                    f" integer, got {parts[2]!r}"
+                ) from None
         return cls(program=parts[0], flavor=flavor, threads=threads)
 
     @classmethod
@@ -313,7 +330,10 @@ class StudyRunner:
                 missing.append(spec)
 
         # 3. Simulate the misses — across the pool or inline.
-        self.simulated += len(missing)
+        # ``self.simulated`` counts *completed* simulations: it is
+        # bumped as each result lands, so a failing worker (or an
+        # engine error inline) never leaves the counter — and the
+        # ``exec.simulated`` obs story — overcounted.
         if missing and self.jobs > 1 and cache is not None:
             payloads: list[_PoolPayload] = [
                 (
@@ -328,6 +348,7 @@ class StudyRunner:
                     missing, pool.map(_pool_simulate, payloads)
                 ):
                     assert digest == keys[spec].digest()
+                    self.simulated += 1
                     cache.stats.absorb(worker_stats)
                     _obs.get_registry().absorb(
                         ObsSnapshot.from_json(worker_snap)
@@ -354,6 +375,7 @@ class StudyRunner:
                         profiler=self.profiler,
                     )
                 _obs.count("exec.simulated")
+                self.simulated += 1
                 if cache is not None:
                     cache.store(keys[spec], result)
                 results[spec] = result

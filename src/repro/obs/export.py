@@ -24,6 +24,10 @@ from typing import Mapping
 
 SNAPSHOT_SCHEMA = "grain-obs/v1"
 
+#: What a scrape endpoint (``grain-graphs serve`` mounts one at
+#: ``/metrics``) should declare for :func:`to_prometheus` output.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 @dataclass(frozen=True)
 class SpanRecord:

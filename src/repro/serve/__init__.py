@@ -1,0 +1,61 @@
+"""``grain-graphs serve``: the multi-tenant analysis service.
+
+A long-running stdlib-``asyncio`` HTTP+JSON server in front of the
+study pipeline — ROADMAP item 2's "millions of users" architecture.
+The pieces, bottom up:
+
+:mod:`repro.serve.protocol`
+    HTTP/1.1 over asyncio streams, JSON bodies, chunked streaming, and
+    the structured :class:`ServeError` envelope (the CLI's friendly
+    exit-2 one-liners, as JSON with real status codes).
+
+:mod:`repro.serve.coalesce`
+    Single-flight request coalescing keyed on ``RunKey.digest()`` — two
+    tenants asking for the same point await one in-flight simulation.
+
+:mod:`repro.serve.service`
+    The sync, thread-safe analysis core: memo -> disk cache -> engine
+    per point, plus lint/check/advise bodies.
+
+:mod:`repro.serve.jobs`
+    Bounded study queue + worker pool; sheds load with 429 +
+    ``Retry-After`` instead of accepting unbounded work; results
+    stream as JSONL lines per completed point.
+
+:mod:`repro.serve.app`
+    Routes, per-request timeouts, ``/metrics`` (Prometheus text from
+    :mod:`repro.obs`) and ``/healthz``, and the ``run_serve`` entry the
+    CLI calls.
+"""
+
+from __future__ import annotations
+
+from .app import (
+    App,
+    ServeConfig,
+    bound_port,
+    handle_connection,
+    run_serve,
+    start_server,
+)
+from .coalesce import Coalescer
+from .jobs import Job, JobManager
+from .protocol import Request, Response, ServeError
+from .service import AnalysisService, PointRun
+
+__all__ = [
+    "AnalysisService",
+    "App",
+    "Coalescer",
+    "Job",
+    "JobManager",
+    "PointRun",
+    "Request",
+    "Response",
+    "ServeConfig",
+    "ServeError",
+    "bound_port",
+    "handle_connection",
+    "run_serve",
+    "start_server",
+]

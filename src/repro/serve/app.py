@@ -1,0 +1,362 @@
+"""The ``grain-graphs serve`` application: routes, workers, lifecycle.
+
+Endpoint surface (all JSON unless noted)::
+
+    GET  /healthz                     liveness probe
+    GET  /metrics                     Prometheus text (repro.obs export)
+    GET  /v1/programs                 the program registry
+    POST /v1/studies                  {"points": [...]} -> 202 {job}
+    GET  /v1/jobs/<id>                job status
+    GET  /v1/jobs/<id>/report         completed JSONL lines (poll)
+    GET  /v1/jobs/<id>/report?follow=1  stream lines as points finish
+    POST /v1/lint                     {"program", "flavor", "threads"}
+    POST /v1/check                    {"program"}
+    POST /v1/advise                   {"program", ..., "what_ifs": []}
+
+Execution model: handlers run on the event loop; anything that
+simulates or analyzes is pushed into a bounded ``ThreadPoolExecutor``
+(``--jobs`` wide) through the :class:`~repro.serve.coalesce.Coalescer`,
+which keys on :meth:`RunKey.digest` so concurrent tenants asking for
+the same point share one engine invocation.  Study submissions go
+through the :class:`~repro.serve.jobs.JobManager`'s bounded queue,
+which sheds load with 429 + ``Retry-After`` instead of accepting
+unbounded work.  Every request body is bounded by the protocol layer
+and every handler by ``request_timeout`` (504 on expiry); errors out of
+handlers are structured JSON envelopes, never tracebacks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, AsyncIterator, Awaitable, Callable, Optional
+
+from ..exec.cache import RunCache
+from ..machine import MachineConfig
+from ..obs import registry as _obs
+from ..obs.export import PROMETHEUS_CONTENT_TYPE, to_prometheus
+from ..profiler.recorder import ProfilerConfig
+from .coalesce import Coalescer
+from .jobs import JobManager
+from .protocol import (
+    JSONL_CONTENT_TYPE,
+    ProtocolError,
+    Request,
+    Response,
+    ServeError,
+    error_response,
+    json_response,
+    read_request,
+    write_response,
+)
+from .service import AnalysisService, MatrixPoint, PointRun
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``grain-graphs serve`` accepts on the command line."""
+
+    host: str = "127.0.0.1"
+    port: int = 8321
+    cache_dir: Optional[str] = None
+    jobs: int = 2
+    queue_capacity: int = 64
+    request_timeout: float = 300.0
+
+    def validate(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("serve: --jobs must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("serve: --queue-capacity must be >= 1")
+        if self.request_timeout <= 0:
+            raise ValueError("serve: --request-timeout must be > 0")
+
+
+class App:
+    """One server instance: service + coalescer + jobs + routes."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        service: AnalysisService | None = None,
+        machine_config: MachineConfig | None = None,
+        profiler: ProfilerConfig | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        if service is None:
+            cache = (
+                RunCache(config.cache_dir) if config.cache_dir else None
+            )
+            service = AnalysisService(
+                cache=cache,
+                machine_config=machine_config,
+                profiler=profiler,
+            )
+        self.service = service
+        self.coalescer = Coalescer()
+        self.executor = ThreadPoolExecutor(
+            max_workers=config.jobs, thread_name_prefix="grain-serve"
+        )
+        self.jobs: Optional[JobManager] = None  # built on the loop
+
+    async def start(self) -> None:
+        """Finish construction on the running event loop."""
+        self.jobs = JobManager(
+            self.run_point_record,
+            capacity=self.config.queue_capacity,
+            workers=self.config.jobs,
+        )
+
+    async def stop(self) -> None:
+        if self.jobs is not None:
+            await self.jobs.stop()
+        self.executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Coalesced execution
+    # ------------------------------------------------------------------
+    async def run_point(self, point: MatrixPoint) -> PointRun:
+        """One point through coalescer -> thread pool -> service.
+
+        The coalescing key is the point's ``RunKey`` digest, computed
+        inline (cheap: resolution + hashing, no simulation); execution
+        happens on a worker thread.
+        """
+        loop = asyncio.get_running_loop()
+        key, _program = await loop.run_in_executor(
+            self.executor, self.service.key_for, point
+        )
+        return await self.coalescer.run(
+            key.digest(),
+            lambda: loop.run_in_executor(
+                self.executor, self.service.run_point, point
+            ),
+        )
+
+    async def run_point_record(self, point: MatrixPoint) -> dict[str, Any]:
+        run = await self.run_point(point)
+        return run.record()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def handle(self, request: Request) -> Response:
+        _obs.count("serve.requests")
+        route = (request.method, request.path)
+        if route == ("GET", "/healthz"):
+            return json_response({"status": "ok"})
+        if route == ("GET", "/metrics"):
+            return Response(
+                body=to_prometheus(_obs.snapshot()).encode(),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        if route == ("GET", "/v1/programs"):
+            return json_response({"programs": self.service.programs()})
+        if route == ("POST", "/v1/studies"):
+            return await self._submit_study(request)
+        if route == ("GET", "/v1/jobs"):
+            assert self.jobs is not None
+            return json_response(
+                {"jobs": [job.to_dict() for job in self.jobs.jobs()]}
+            )
+        if request.method == "GET" and request.path.startswith("/v1/jobs/"):
+            return await self._job_endpoint(request)
+        if route == ("POST", "/v1/lint"):
+            return await self._lint(request)
+        if route == ("POST", "/v1/check"):
+            return await self._check(request)
+        if route == ("POST", "/v1/advise"):
+            return await self._advise(request)
+        raise ServeError(404, f"no route for {request.method} {request.path}")
+
+    # ------------------------------------------------------------------
+    # Handlers
+    # ------------------------------------------------------------------
+    def _body_point(self, request: Request) -> MatrixPoint:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            raise ServeError(400, "request body must be a JSON object")
+        spec = {
+            k: payload[k]
+            for k in ("program", "flavor", "threads")
+            if k in payload
+        }
+        return self.service.parse_point(spec)
+
+    async def _submit_study(self, request: Request) -> Response:
+        assert self.jobs is not None
+        payload = request.json()
+        if not isinstance(payload, dict) or "points" not in payload:
+            raise ServeError(
+                400, 'submit a study as {"points": [spec, ...]}'
+            )
+        raw_points = payload["points"]
+        if not isinstance(raw_points, list):
+            raise ServeError(400, "'points' must be a list")
+        points = [self.service.parse_point(spec) for spec in raw_points]
+        job = self.jobs.submit(points)
+        return json_response(
+            {"job": job.to_dict()},
+            status=202,
+            headers={"Location": f"/v1/jobs/{job.id}"},
+        )
+
+    async def _job_endpoint(self, request: Request) -> Response:
+        assert self.jobs is not None
+        parts = request.path.removeprefix("/v1/jobs/").split("/")
+        job = self.jobs.get(parts[0])
+        if len(parts) == 1:
+            return json_response({"job": job.to_dict()})
+        if len(parts) == 2 and parts[1] == "report":
+            if request.query.get("follow") in ("1", "true", "yes"):
+                return Response(
+                    content_type=JSONL_CONTENT_TYPE,
+                    stream=self._follow_stream(job.id),
+                )
+            body = "".join(
+                line + "\n" for line in self.jobs.report_lines(job)
+            )
+            return Response(
+                body=body.encode(), content_type=JSONL_CONTENT_TYPE
+            )
+        raise ServeError(404, f"no route for GET {request.path}")
+
+    def _follow_stream(self, job_id: str) -> AsyncIterator[bytes]:
+        assert self.jobs is not None
+        jobs = self.jobs
+
+        async def stream() -> AsyncIterator[bytes]:
+            job = jobs.get(job_id)
+            async for line in jobs.follow(
+                job, timeout=self.config.request_timeout
+            ):
+                yield (line + "\n").encode()
+
+        return stream()
+
+    async def _lint(self, request: Request) -> Response:
+        point = self._body_point(request)
+        run = await self.run_point(point)
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self.executor, self.service.lint_payload, run
+        )
+        return json_response(payload)
+
+    async def _check(self, request: Request) -> Response:
+        point = self._body_point(request)
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self.executor, self.service.check_payload, point
+        )
+        return json_response(payload)
+
+    async def _advise(self, request: Request) -> Response:
+        point = self._body_point(request)
+        payload_in = request.json()
+        what_ifs = payload_in.get("what_ifs", [])
+        if not isinstance(what_ifs, list) or not all(
+            isinstance(w, str) for w in what_ifs
+        ):
+            raise ServeError(400, "'what_ifs' must be a list of strings")
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(
+            self.executor, self.service.advise_payload, point, what_ifs
+        )
+        return json_response(payload)
+
+
+# ---------------------------------------------------------------------------
+# Connection handling
+# ---------------------------------------------------------------------------
+async def handle_connection(
+    app: App,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve requests off one connection until close/EOF/protocol error."""
+    try:
+        while True:
+            try:
+                request = await read_request(reader)
+            except ProtocolError:
+                break  # hostile/garbled input: drop the connection
+            if request is None:
+                break
+            keep_alive = request.keep_alive
+            try:
+                response = await asyncio.wait_for(
+                    app.handle(request), app.config.request_timeout
+                )
+            except ServeError as exc:
+                response = error_response(exc)
+            except asyncio.TimeoutError:
+                response = error_response(
+                    ServeError(
+                        504,
+                        "request timed out after "
+                        f"{app.config.request_timeout:g}s",
+                    )
+                )
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # never leak a traceback on the wire
+                _obs.count("serve.internal_errors")
+                response = error_response(
+                    ServeError(500, f"internal error: {type(exc).__name__}")
+                )
+            try:
+                await write_response(writer, response, keep_alive)
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            if not keep_alive:
+                break
+    except (ConnectionError, asyncio.CancelledError):
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown
+            pass
+
+
+async def start_server(app: App) -> asyncio.Server:
+    """Start listening (after :meth:`App.start`); caller owns shutdown."""
+    await app.start()
+    return await asyncio.start_server(
+        partial(handle_connection, app), app.config.host, app.config.port
+    )
+
+
+def bound_port(server: asyncio.Server) -> int:
+    sockets = server.sockets
+    assert sockets
+    port = sockets[0].getsockname()[1]
+    return int(port)
+
+
+async def run_serve(config: ServeConfig) -> None:
+    """The blocking entry behind ``grain-graphs serve``."""
+    app = App(config)
+    server = await start_server(app)
+    cache_note = (
+        f"cache {config.cache_dir}" if config.cache_dir else "no disk cache"
+    )
+    print(
+        f"grain-graphs serve: listening on "
+        f"http://{config.host}:{bound_port(server)} "
+        f"({config.jobs} worker(s), queue capacity "
+        f"{config.queue_capacity}, {cache_note})",
+        flush=True,
+    )
+    try:
+        async with server:
+            await server.serve_forever()
+    finally:
+        await app.stop()

@@ -1,0 +1,81 @@
+"""Request coalescing: single-flight execution keyed on run digests.
+
+Two tenants asking the service for the same :class:`~repro.exec.RunKey`
+must cost one simulation, not two.  The on-disk cache already dedupes
+*sequential* repeats, but two requests in flight at once would both
+miss and both simulate — the classic cache-stampede window.  The
+:class:`Coalescer` closes it: the first arrival for a key becomes the
+leader and runs the work; every later arrival while it is in flight
+awaits the leader's future and shares its result (or its exception).
+
+Keys are :meth:`RunKey.digest` strings — the same identity the cache
+files use — so coalescing composes with the artifact tier: leader
+stores, joiners and every later request hit.
+
+Joiners await through :func:`asyncio.shield` so one cancelled waiter
+(a dropped connection) cannot cancel the shared computation out from
+under the others; a cancelled *leader* cancels the future, waking
+joiners with ``CancelledError``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, TypeVar
+
+from ..obs import registry as _obs
+
+T = TypeVar("T")
+
+
+class Coalescer:
+    """Single-flight map: at most one in-flight call per key.
+
+    Must only be touched from one event loop; the *work* it guards may
+    run anywhere (typically ``loop.run_in_executor`` into the worker
+    thread pool).
+    """
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future[object]] = {}
+        #: Requests that joined an in-flight leader instead of running.
+        self.coalesced = 0
+        #: Leader executions started.
+        self.led = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, call: Callable[[], Awaitable[T]]
+    ) -> T:
+        """Run ``call`` under ``key``, or join the in-flight one."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            _obs.count("serve.coalesced")
+            result = await asyncio.shield(existing)
+            return result  # type: ignore[return-value]
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[object] = loop.create_future()
+        self._inflight[key] = future
+        self.led += 1
+        try:
+            result = await call()
+        except asyncio.CancelledError:
+            if not future.done():
+                future.cancel()
+            raise
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Joiners (if any) retrieve it on wake; consume here so
+                # a joiner-less failure never logs "exception was never
+                # retrieved" at GC time.
+                future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)

@@ -1,0 +1,217 @@
+"""Study jobs: bounded queueing, worker pool, streamable results.
+
+``POST /v1/studies`` turns a matrix of points into a :class:`Job`; the
+:class:`JobManager` owns every job and the single bounded work queue
+behind them.  Admission is all-or-nothing: a study is only accepted if
+the queue has room for *every* point, otherwise the whole submit is
+shed with a 429 + ``Retry-After`` — the service never accepts work it
+has no capacity to finish, and never half-accepts a study.
+
+``--jobs N`` worker tasks drain the queue.  Each point executes through
+the runner callable the app wires in (coalescer -> thread pool ->
+:meth:`AnalysisService.run_point`), so identical points across jobs and
+tenants still cost one simulation.  A failing point records a
+structured error line and the job marches on — one bad point does not
+poison a thousand-point study.
+
+Results are JSONL lines in submission order.  ``report()`` returns the
+lines completed so far (poll mode); ``follow()`` is an async iterator
+that yields each line as soon as it is available (stream mode, rendered
+with chunked transfer-encoding by the protocol layer).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Optional
+
+from ..obs import registry as _obs
+from .protocol import ServeError
+from .service import MatrixPoint
+
+#: What the app wires in: point -> JSONL record (may raise ServeError).
+PointRunner = Callable[[MatrixPoint], Awaitable[dict[str, Any]]]
+
+
+@dataclass
+class Job:
+    """One submitted study and its (incrementally filled) results."""
+
+    id: str
+    points: list[MatrixPoint]
+    created: float
+    results: list[Optional[dict[str, Any]]] = field(default_factory=list)
+    completed: int = 0
+    failed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.results:
+            self.results = [None] * len(self.points)
+
+    @property
+    def done(self) -> bool:
+        return self.completed >= len(self.points)
+
+    @property
+    def state(self) -> str:
+        if self.done:
+            return "done"
+        return "running" if self.completed else "queued"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "points": len(self.points),
+            "completed": self.completed,
+            "failed": self.failed,
+        }
+
+
+class JobManager:
+    """Owns jobs, the bounded queue, and the drain workers.
+
+    Created (and only touched) on the server's event loop; the sync
+    work happens inside the runner callable.
+    """
+
+    def __init__(
+        self,
+        runner: PointRunner,
+        capacity: int = 64,
+        workers: int = 2,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        if workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self.capacity = capacity
+        self._runner = runner
+        self._queue: asyncio.Queue[tuple[Job, int]] = asyncio.Queue()
+        self._queued = 0  # points admitted but not yet finished
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._cond = asyncio.Condition()
+        self._workers = [
+            asyncio.create_task(self._drain(), name=f"grain-serve-w{i}")
+            for i in range(workers)
+        ]
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, points: list[MatrixPoint]) -> Job:
+        """Admit a study whole, or shed it with a structured 429."""
+        if not points:
+            raise ServeError(400, "empty study: submit at least one point")
+        if self._queued + len(points) > self.capacity:
+            _obs.count("serve.load_shed")
+            raise ServeError(
+                429,
+                f"study of {len(points)} point(s) exceeds remaining "
+                f"queue capacity ({self.capacity - self._queued} of "
+                f"{self.capacity}); retry later",
+                retry_after=1,
+            )
+        job = Job(
+            id=f"job-{next(self._ids):06d}",
+            points=list(points),
+            created=time.time(),
+        )
+        self._jobs[job.id] = job
+        self._queued += len(points)
+        for index in range(len(points)):
+            self._queue.put_nowait((job, index))
+        _obs.count("serve.jobs_submitted")
+        return job
+
+    def get(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ServeError(404, f"unknown job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    async def _drain(self) -> None:
+        while True:
+            job, index = await self._queue.get()
+            try:
+                record = await self._runner(job.points[index])
+            except asyncio.CancelledError:
+                raise
+            except ServeError as exc:
+                record = self._error_record(job.points[index], exc.message)
+            except Exception as exc:  # engine/analysis failure
+                record = self._error_record(
+                    job.points[index], f"{type(exc).__name__}: {exc}"
+                )
+            async with self._cond:
+                job.results[index] = record
+                job.completed += 1
+                if "error" in record:
+                    job.failed += 1
+                self._queued -= 1
+                self._cond.notify_all()
+            _obs.count("serve.points_completed")
+            self._queue.task_done()
+
+    @staticmethod
+    def _error_record(
+        point: MatrixPoint, message: str
+    ) -> dict[str, Any]:
+        return {
+            "program": point.program,
+            "flavor": point.flavor,
+            "threads": point.threads,
+            "error": message,
+        }
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report_lines(self, job: Job) -> list[str]:
+        """The JSONL lines completed so far, in submission order (a
+        later line may still be pending while an earlier one streams)."""
+        lines = []
+        for record in job.results:
+            if record is None:
+                break
+            lines.append(json.dumps(record, sort_keys=True))
+        return lines
+
+    async def follow(
+        self, job: Job, timeout: Optional[float] = None
+    ) -> AsyncIterator[str]:
+        """Yield each result line as soon as it exists, in order.
+
+        ``timeout`` bounds the wait for any *single* next line; on
+        expiry the stream ends early (the client re-follows or polls).
+        """
+        for index in range(len(job.points)):
+            async with self._cond:
+                try:
+                    await asyncio.wait_for(
+                        self._cond.wait_for(
+                            lambda: job.results[index] is not None
+                        ),
+                        timeout,
+                    )
+                except asyncio.TimeoutError:
+                    return
+            record = job.results[index]
+            assert record is not None
+            yield json.dumps(record, sort_keys=True)
+
+    async def stop(self) -> None:
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)

@@ -1,0 +1,238 @@
+"""Minimal HTTP/1.1 + JSON protocol layer for ``grain-graphs serve``.
+
+The service speaks plain HTTP over :mod:`asyncio` streams — no web
+framework, mirroring the repo-wide stdlib-only discipline.  This module
+owns the wire format and nothing else:
+
+:class:`Request`
+    One parsed request: method, path, query, headers, body.
+    :func:`read_request` builds it from a ``StreamReader`` with hard
+    limits on line length, header count, and body size, so a hostile or
+    confused client cannot balloon server memory.
+
+:class:`Response`
+    status + headers + either a complete body or an async byte-chunk
+    stream (rendered with chunked transfer-encoding — how
+    ``GET /v1/jobs/<id>/report?follow=1`` streams JSONL lines as points
+    complete).
+
+:class:`ServeError`
+    The structured-error channel.  Everything the CLI reports as a
+    friendly one-line exit-2 message (unknown program, unknown flavor,
+    malformed matrix spec) surfaces over HTTP as a JSON envelope::
+
+        {"error": {"status": 404, "message": "unknown program 'x' ..."}}
+
+    with ``retry_after`` additionally rendered as a ``Retry-After``
+    header — the 429 load-shedding path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Mapping, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+#: Reason phrases for every status the app emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADERS = 64
+MAX_BODY = 1024 * 1024
+
+JSON_CONTENT_TYPE = "application/json"
+JSONL_CONTENT_TYPE = "application/x-ndjson"
+
+
+class ProtocolError(Exception):
+    """A malformed or over-limit request; the connection is dropped."""
+
+
+class ServeError(Exception):
+    """A structured, user-facing service error.
+
+    Handlers raise these for anything that is the *client's* fault (or
+    a capacity decision): the server renders the JSON error envelope
+    with the given status instead of a traceback, exactly as the CLI
+    maps user-input problems to one-line exit-2 messages.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        retry_after: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.retry_after = retry_after
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str]
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body parsed as JSON; :class:`ServeError` 400 when it
+        isn't (empty body parses as ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise ServeError(400, f"request body is not valid JSON: {exc}")
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on clean EOF."""
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed between requests
+        raise ProtocolError("truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise ProtocolError("request line too long") from None
+    if len(line) > MAX_REQUEST_LINE:
+        raise ProtocolError("request line too long")
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(f"malformed request line {line!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query, keep_blank_values=True))
+
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            raw = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise ProtocolError("truncated headers") from None
+        if raw in (b"\r\n", b"\n"):
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise ProtocolError("too many headers")
+        text = raw.decode("latin-1").rstrip("\r\n")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length")
+    if length_text is not None:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise ProtocolError(
+                f"bad Content-Length {length_text!r}"
+            ) from None
+        if length < 0 or length > MAX_BODY:
+            raise ProtocolError(f"body of {length} bytes exceeds limit")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise ProtocolError("truncated body") from None
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+@dataclass
+class Response:
+    """What a handler returns; the connection loop serializes it."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = JSON_CONTENT_TYPE
+    headers: dict[str, str] = field(default_factory=dict)
+    #: When set, the response streams with chunked transfer-encoding
+    #: and ``body`` is ignored.
+    stream: Optional[AsyncIterator[bytes]] = None
+
+    def head(self, keep_alive: bool) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        lines.append(f"Content-Type: {self.content_type}")
+        if self.stream is None:
+            lines.append(f"Content-Length: {len(self.body)}")
+        else:
+            lines.append("Transfer-Encoding: chunked")
+        lines.append(
+            "Connection: " + ("keep-alive" if keep_alive else "close")
+        )
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    payload: Any,
+    status: int = 200,
+    headers: Mapping[str, str] | None = None,
+) -> Response:
+    return Response(
+        status=status,
+        body=(json.dumps(payload, indent=1) + "\n").encode(),
+        headers=dict(headers or {}),
+    )
+
+
+def error_response(error: ServeError) -> Response:
+    headers: dict[str, str] = {}
+    if error.retry_after is not None:
+        headers["Retry-After"] = str(error.retry_after)
+    return json_response(
+        {"error": {"status": error.status, "message": error.message}},
+        status=error.status,
+        headers=headers,
+    )
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    """Serialize ``response``; chunked when it carries a stream."""
+    writer.write(response.head(keep_alive))
+    if response.stream is None:
+        writer.write(response.body)
+        await writer.drain()
+        return
+    async for chunk in response.stream:
+        if not chunk:
+            continue
+        writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
+        await writer.drain()
+    writer.write(b"0\r\n\r\n")
+    await writer.drain()

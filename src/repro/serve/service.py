@@ -1,0 +1,253 @@
+"""The synchronous analysis core behind the serve endpoints.
+
+One :class:`AnalysisService` per server process wraps the same
+primitives the CLI uses — :func:`repro.runtime.api.run_program`, the
+:class:`~repro.exec.cache.RunCache` artifact tier, :func:`run_lint`,
+:func:`check_program`, :func:`advise_program` — behind methods that
+
+- translate every user-input failure (unknown program/flavor/spec,
+  bad what-if target) into a :class:`~repro.serve.protocol.ServeError`
+  carrying the same friendly one-liner the CLI prints before exit 2;
+- key every simulation by :class:`~repro.exec.cache.RunKey` digest, the
+  identity the async layer coalesces on; and
+- stay thread-safe: methods here run inside the server's worker thread
+  pool, with the :class:`~repro.serve.coalesce.Coalescer` guaranteeing
+  at most one in-flight execution per digest, so the only shared
+  mutable state is a lock-guarded memo of completed runs.
+
+The memo means a repeated point is free even with no disk cache
+attached; with one, artifacts additionally survive restarts and are
+shared with ``grain-graphs study`` runs pointed at the same directory.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass
+from typing import Any, Optional, Sequence
+
+from ..apps.registry import PROGRAMS
+from ..exec.cache import RunCache, RunKey
+from ..exec.fingerprint import code_fingerprint
+from ..exec.runner import MatrixPoint
+from ..lint import run_lint
+from ..machine import Machine, MachineConfig
+from ..obs import registry as _obs
+from ..profiler.recorder import ProfilerConfig
+from ..runtime.api import Program, run_program
+from ..runtime.engine import RunResult
+from ..runtime.flavors import RuntimeFlavor, flavor_by_name
+from .protocol import ServeError
+
+
+@dataclass
+class PointRun:
+    """One resolved, executed study point."""
+
+    point: MatrixPoint
+    digest: str
+    result: RunResult
+    #: ``"engine"`` (simulated now), ``"cache"`` (disk artifact), or
+    #: ``"memo"`` (already run by this server process).
+    source: str
+
+    def record(self) -> dict[str, Any]:
+        """The JSONL line reported for this point."""
+        return {
+            "program": self.point.program,
+            "flavor": self.point.flavor,
+            "threads": self.point.threads,
+            "digest": self.digest,
+            "makespan_cycles": self.result.makespan_cycles,
+            "source": self.source,
+            "stats": asdict(self.result.stats),
+        }
+
+
+class AnalysisService:
+    """Sync, thread-safe analysis facade for the serve layer."""
+
+    def __init__(
+        self,
+        cache: RunCache | None = None,
+        machine_config: MachineConfig | None = None,
+        profiler: ProfilerConfig | None = None,
+    ) -> None:
+        self.cache = cache
+        self.machine_config = machine_config
+        self.profiler = profiler
+        self._fingerprint = (
+            cache.fingerprint if cache is not None else code_fingerprint()
+        )
+        self._memo: dict[str, PointRun] = {}
+        self._memo_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Resolution (every failure is a structured, friendly ServeError)
+    # ------------------------------------------------------------------
+    def programs(self) -> list[str]:
+        return sorted(PROGRAMS)
+
+    def resolve_program(self, point: MatrixPoint) -> Program:
+        try:
+            return point.resolve()
+        except KeyError:
+            raise ServeError(
+                404,
+                f"unknown program {point.program!r}; GET /v1/programs "
+                "lists the registry",
+            ) from None
+        except TypeError as exc:
+            raise ServeError(
+                400, f"bad kwargs for program {point.program!r}: {exc}"
+            ) from None
+
+    def resolve_flavor(self, name: str) -> RuntimeFlavor:
+        try:
+            return flavor_by_name(name)
+        except ValueError as exc:
+            raise ServeError(400, str(exc)) from None
+
+    def parse_point(self, spec: Any) -> MatrixPoint:
+        """A submitted point: either a ``"PROG[:FLAVOR[:THREADS]]"``
+        spec string or a ``{"program": ..., "flavor": ..., "threads":
+        ...}`` object."""
+        try:
+            if isinstance(spec, str):
+                point = MatrixPoint.parse(spec)
+            elif isinstance(spec, dict):
+                unknown = set(spec) - {"program", "flavor", "threads"}
+                if unknown:
+                    raise ValueError(
+                        "unknown point field(s) "
+                        f"{', '.join(sorted(unknown))}; want program, "
+                        "flavor, threads"
+                    )
+                if "program" not in spec:
+                    raise ValueError("point object needs a 'program'")
+                point = MatrixPoint(
+                    program=str(spec["program"]),
+                    flavor=str(spec.get("flavor", "MIR")).upper(),
+                    threads=int(spec.get("threads", 48)),
+                )
+            else:
+                raise ValueError(
+                    f"bad point {spec!r}: want a spec string or object"
+                )
+        except ValueError as exc:
+            raise ServeError(400, str(exc)) from None
+        if point.threads < 1:
+            raise ServeError(
+                400, f"bad point {point.program!r}: threads must be >= 1"
+            )
+        return point
+
+    # ------------------------------------------------------------------
+    # Point execution (the coalesced unit)
+    # ------------------------------------------------------------------
+    def key_for(self, point: MatrixPoint) -> tuple[RunKey, Program]:
+        """Resolve the point and compute its cache identity (cheap —
+        no simulation)."""
+        program = self.resolve_program(point)
+        flavor = self.resolve_flavor(point.flavor)
+        key = RunKey.for_run(
+            program, flavor, point.threads,
+            machine_config=self.machine_config,
+            profiler=self.profiler,
+            fingerprint=self._fingerprint,
+        )
+        return key, program
+
+    def run_point(self, point: MatrixPoint) -> PointRun:
+        """Execute one point: memo -> disk cache -> engine.
+
+        Called from worker threads; the async layer's coalescer ensures
+        at most one thread is in here per digest at a time.
+        """
+        key, program = self.key_for(point)
+        digest = key.digest()
+        with self._memo_lock:
+            hit = self._memo.get(digest)
+        if hit is not None:
+            return PointRun(point, digest, hit.result, source="memo")
+        flavor = self.resolve_flavor(point.flavor)
+        source = "engine"
+        result: Optional[RunResult] = None
+        if self.cache is not None:
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                from ..exec.runner import result_from_cached
+
+                result = result_from_cached(cached, self.machine_config)
+                source = "cache"
+        if result is None:
+            machine = (
+                Machine(self.machine_config)
+                if self.machine_config else Machine.paper_testbed()
+            )
+            with _obs.span("exec.simulate"):
+                result = run_program(
+                    program, flavor=flavor, num_threads=point.threads,
+                    machine=machine, profiler=self.profiler,
+                )
+            _obs.count("exec.simulated")
+            if self.cache is not None:
+                self.cache.store(key, result)
+        run = PointRun(point, digest, result, source=source)
+        with self._memo_lock:
+            self._memo.setdefault(digest, run)
+        return run
+
+    # ------------------------------------------------------------------
+    # Analysis endpoints' sync bodies
+    # ------------------------------------------------------------------
+    def lint_payload(self, run: PointRun) -> dict[str, Any]:
+        with _obs.span("serve.lint"):
+            report = run_lint(
+                trace=run.result.trace, program=run.point.program
+            )
+        return {
+            "program": run.point.program,
+            "flavor": run.point.flavor,
+            "threads": run.point.threads,
+            "digest": run.digest,
+            "source": run.source,
+            "report": report.to_dict(),
+        }
+
+    def check_payload(self, point: MatrixPoint) -> dict[str, Any]:
+        from ..staticc import check_program
+
+        program = self.resolve_program(point)
+        with _obs.span("serve.check"):
+            model, report = check_program(
+                program, machine_config=self.machine_config
+            )
+        return {
+            "program": point.program,
+            "summary": model.summary(),
+            "report": report.to_dict(),
+        }
+
+    def advise_payload(
+        self, point: MatrixPoint, what_ifs: Sequence[str]
+    ) -> dict[str, Any]:
+        from ..advisor import AdvisorError, advise_program, parse_what_if
+
+        program = self.resolve_program(point)
+        flavor = self.resolve_flavor(point.flavor)
+        try:
+            scenarios = [parse_what_if(spec) for spec in what_ifs]
+            with _obs.span("serve.advise"):
+                report = advise_program(
+                    program,
+                    flavor=flavor,
+                    num_threads=point.threads,
+                    machine_config=self.machine_config,
+                    what_ifs=scenarios,
+                )
+        except AdvisorError as exc:
+            raise ServeError(400, str(exc)) from None
+        payload = report.to_dict()
+        assert isinstance(payload, dict)
+        return payload

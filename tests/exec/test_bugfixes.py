@@ -1,0 +1,191 @@
+"""Regression tests for the exec-layer bug batch.
+
+Four previously-shipped defects, each pinned here:
+
+1. ``RunCache.store`` wrote the trace before its meta sidecar, so a
+   concurrent reader could load a trace and fabricate all-zero
+   ``RunStats`` from the missing sidecar.
+2. ``CacheStats.absorb`` raised ``AttributeError`` on any counter name
+   it didn't know, so a mixed-version pool worker killed the whole run.
+3. ``MatrixPoint.parse("sort:GCC:")`` crashed with a raw
+   ``int('')`` ValueError instead of falling back to defaults.
+4. ``StudyRunner.run_matrix`` bumped ``simulated`` by ``len(missing)``
+   *before* simulating, so a failing worker left the counter (and the
+   ``exec.simulated`` obs story) overcounted.
+"""
+
+import pytest
+
+from repro.apps.registry import resolve_small
+from repro.exec import MatrixPoint, RunCache, StudyRunner, TraceExecutor
+from repro.exec.cache import CacheStats
+from repro.runtime.flavors import MIR
+
+
+def _store_one(cache, tmp_program, threads=2):
+    executor = TraceExecutor(cache=cache)
+    program = resolve_small(tmp_program)
+    result = executor.run(program, MIR, threads)
+    key = cache.key_for(program, MIR, threads)
+    return program, key, result
+
+
+class TestStoreOrdering:
+    def test_meta_sidecar_lands_before_the_trace(self, tmp_path, monkeypatch):
+        from repro.exec import cache as cache_mod
+
+        writes = []
+        real = cache_mod._atomic_write
+
+        def recording(path, data):
+            writes.append(path.parent.name)
+            real(path, data)
+
+        monkeypatch.setattr(cache_mod, "_atomic_write", recording)
+        cache = RunCache(tmp_path)
+        _store_one(cache, "fib")
+        assert writes == ["meta", "traces"]
+
+    def test_reader_interleaved_mid_store_sees_a_miss(
+        self, tmp_path, monkeypatch
+    ):
+        # Pause the store after its first file write and probe from a
+        # second cache handle: the half-written artifact must read as a
+        # miss (re-simulate), never as a trace with invented zero stats.
+        from repro.exec import cache as cache_mod
+
+        cache = RunCache(tmp_path)
+        reader = RunCache(tmp_path)
+        observed = []
+        real = cache_mod._atomic_write
+        state = {"key": None, "writes": 0}
+
+        def interleaving(path, data):
+            real(path, data)
+            state["writes"] += 1
+            if state["writes"] == 1:
+                observed.append(reader.lookup(state["key"]))
+
+        monkeypatch.setattr(cache_mod, "_atomic_write", interleaving)
+        program = resolve_small("fib")
+        state["key"] = cache.key_for(program, MIR, 2)
+        TraceExecutor(cache=cache).run(program, MIR, 2)
+        assert observed == [None]
+        assert reader.stats.trace_misses == 1
+        # Once both files are down the artifact is fully visible.
+        done = reader.lookup(state["key"])
+        assert done is not None
+        assert done.stats.events_emitted > 0
+
+    def test_trace_without_sidecar_is_a_miss_and_resimulates(self, tmp_path):
+        # A crashed writer (or a cache from before the ordering fix) can
+        # leave a bare trace file behind.
+        cache = RunCache(tmp_path)
+        program, key, _result = _store_one(cache, "fib")
+        (tmp_path / "meta" / f"{key.digest()}.json").unlink()
+
+        fresh = RunCache(tmp_path)
+        assert fresh.lookup(key) is None
+        assert fresh.stats.trace_misses == 1
+
+        executor = TraceExecutor(cache=fresh)
+        rerun = executor.run(program, MIR, 2)
+        assert executor.simulated == 1  # engine ran again
+        assert rerun.stats.events_emitted > 0  # real stats, not zeros
+
+
+class TestCacheStatsAbsorb:
+    def test_unknown_counter_folds_into_extra(self):
+        stats = CacheStats()
+        stats.absorb({"trace_hits": 2, "weird_new_counter": 5})
+        assert stats.trace_hits == 2
+        assert stats.extra == {"weird_new_counter": 5}
+        stats.absorb({"weird_new_counter": 3})
+        assert stats.extra == {"weird_new_counter": 8}
+
+    def test_absorbing_an_instance_merges_its_extra_too(self):
+        worker = CacheStats(trace_stores=1)
+        worker.extra["unpicklable_reports"] = 2
+        parent = CacheStats(trace_stores=4)
+        parent.extra["unpicklable_reports"] = 1
+        parent.absorb(worker)
+        assert parent.trace_stores == 5
+        assert parent.extra == {"unpicklable_reports": 3}
+
+    def test_known_counters_never_leak_into_extra(self):
+        stats = CacheStats()
+        stats.absorb(CacheStats(trace_hits=1, report_misses=2))
+        assert stats.trace_hits == 1
+        assert stats.report_misses == 2
+        assert stats.extra == {}
+
+
+class TestMatrixPointParse:
+    def test_empty_trailing_fields_fall_back_to_defaults(self):
+        assert MatrixPoint.parse("sort:GCC:") == MatrixPoint(
+            "sort", "GCC", 48
+        )
+        assert MatrixPoint.parse("sort::8") == MatrixPoint("sort", "MIR", 8)
+        assert MatrixPoint.parse("sort:") == MatrixPoint("sort", "MIR", 48)
+
+    def test_non_integer_threads_is_a_friendly_error(self):
+        with pytest.raises(ValueError, match="THREADS must be an integer"):
+            MatrixPoint.parse("sort:GCC:abc")
+
+    def test_too_many_fields_points_at_matrixpoint_of(self):
+        with pytest.raises(ValueError, match="MatrixPoint.of"):
+            MatrixPoint.parse("a:b:c:d")
+
+    def test_empty_spec_is_rejected(self):
+        with pytest.raises(ValueError, match="empty matrix point"):
+            MatrixPoint.parse("")
+        with pytest.raises(ValueError, match="empty matrix point"):
+            MatrixPoint.parse(":GCC:8")
+
+
+class TestSimulatedCountsCompletions:
+    def test_serial_engine_failure_counts_only_completed_runs(
+        self, monkeypatch
+    ):
+        from repro.exec import runner as runner_mod
+
+        real = runner_mod.run_program
+        calls = {"n": 0}
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 2:
+                raise RuntimeError("engine crashed mid-matrix")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_program", flaky)
+        runner = StudyRunner(jobs=1)
+        with pytest.raises(RuntimeError, match="engine crashed"):
+            runner.run_matrix(["fig3a:MIR:2"])  # + its 1-thread reference
+        assert runner.simulated == 1  # one landed, the crashed one didn't
+
+    def test_failing_pool_worker_leaves_counter_at_zero(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.exec import runner as runner_mod
+
+        class CrashingPool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, payloads):
+                raise RuntimeError("pool worker died")
+
+        monkeypatch.setattr(
+            runner_mod, "ProcessPoolExecutor", CrashingPool
+        )
+        runner = StudyRunner(cache=RunCache(tmp_path), jobs=2)
+        with pytest.raises(RuntimeError, match="pool worker died"):
+            runner.run_matrix(["fig3a:MIR:2"])
+        assert runner.simulated == 0  # nothing completed, nothing counted

@@ -178,6 +178,44 @@ class TestObsRegistry:
         assert snap.counters["n"] == 4000
         assert snap.spans["stage"].count == 4000
 
+    def test_snapshots_under_concurrent_writes_are_consistent(self):
+        # The serve layer scrapes /metrics while worker threads count
+        # and observe: every snapshot must be internally consistent
+        # (span count == counter written in lockstep) and the final
+        # totals exact.
+        reg = ObsRegistry()
+        stop = threading.Event()
+        snapshots = []
+
+        def hammer():
+            for _ in range(500):
+                reg.count("serve.requests")
+                reg.observe("exec.simulate", 0.001)
+
+        def scrape():
+            while not stop.is_set():
+                snapshots.append(reg.snapshot())
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        scraper.join()
+
+        final = reg.snapshot()
+        assert final.counters["serve.requests"] == 2000
+        assert final.spans["exec.simulate"].count == 2000
+        for snap in snapshots:
+            count = snap.counters.get("serve.requests", 0)
+            assert 0 <= count <= 2000
+            if "exec.simulate" in snap.spans:
+                span = snap.spans["exec.simulate"]
+                assert span.total_seconds >= span.max_seconds >= span.min_seconds
+
 
 class TestDefaultRegistry:
     def test_module_level_helpers_hit_the_default_registry(self):

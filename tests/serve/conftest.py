@@ -1,0 +1,133 @@
+"""Fixtures for the serve suite: a real server on a real socket.
+
+The server runs its own event loop on a background thread bound to an
+ephemeral port; tests drive it with blocking ``http.client`` requests
+from the test thread, exactly like an external tenant.  ``serve_server``
+accepts a custom :class:`ServeConfig` and/or :class:`AnalysisService`,
+which is how the concurrency tests inject gated (blocking) services to
+hold the worker pool busy deterministically.
+"""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import App, ServeConfig, bound_port, start_server
+
+
+class ServerHandle:
+    """A running server plus a tiny blocking HTTP client for it."""
+
+    def __init__(self, config=None, service=None):
+        self.config = config or ServeConfig(port=0)
+        self.config.port = 0  # tests always bind ephemerally
+        self.service = service
+        self.app = None
+        self.port = None
+        self._loop = None
+        self._stop = None
+        self._started = threading.Event()
+        self._stopped = False
+        self._failure = None
+        self._thread = threading.Thread(
+            target=self._run, name="serve-test", daemon=True
+        )
+        self._thread.start()
+        assert self._started.wait(30), "server failed to start"
+        if self._failure is not None:
+            raise self._failure
+
+    def _run(self):
+        try:
+            asyncio.run(self._main())
+        except Exception as exc:  # pragma: no cover - startup failure aid
+            self._failure = exc
+            self._started.set()
+
+    async def _main(self):
+        self.app = App(self.config, service=self.service)
+        server = await start_server(self.app)
+        self.port = bound_port(server)
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        self._started.set()
+        try:
+            await self._stop.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            await self.app.stop()
+
+    # ------------------------------------------------------------------
+    def stop(self):
+        if self._stopped:  # tests may stop early; teardown stops again
+            return
+        self._stopped = True
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(30)
+
+    # ------------------------------------------------------------------
+    def request(self, method, path, payload=None, timeout=60):
+        """One blocking request; returns (status, headers, body text)."""
+        conn = http.client.HTTPConnection("127.0.0.1", self.port, timeout=timeout)
+        try:
+            body = None
+            headers = {}
+            if payload is not None:
+                body = json.dumps(payload)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return (
+                response.status,
+                dict(response.getheaders()),
+                response.read().decode(),
+            )
+        finally:
+            conn.close()
+
+    def get(self, path, timeout=60):
+        return self.request("GET", path, timeout=timeout)
+
+    def post(self, path, payload, timeout=60):
+        return self.request("POST", path, payload=payload, timeout=timeout)
+
+    def get_json(self, path):
+        status, _headers, body = self.get(path)
+        return status, json.loads(body)
+
+    def post_json(self, path, payload):
+        status, _headers, body = self.post(path, payload)
+        return status, json.loads(body)
+
+    def wait_job(self, job_id, timeout=60):
+        """Poll until the job is done; returns its final status dict."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            status, payload = self.get_json(f"/v1/jobs/{job_id}")
+            assert status == 200, payload
+            if payload["job"]["state"] == "done":
+                return payload["job"]
+            assert time.monotonic() < deadline, f"job stuck: {payload}"
+            time.sleep(0.02)
+
+
+@pytest.fixture
+def serve_server():
+    """Factory fixture: start any number of servers, all torn down."""
+    handles = []
+
+    def start(config=None, service=None):
+        handle = ServerHandle(config=config, service=service)
+        handles.append(handle)
+        return handle
+
+    yield start
+    for handle in handles:
+        handle.stop()

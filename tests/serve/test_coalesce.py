@@ -1,0 +1,145 @@
+"""Single-flight semantics of the request coalescer."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescer:
+    def test_concurrent_same_key_runs_once(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = 0
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                started.set()
+                await release.wait()
+                return 42
+
+            tasks = [
+                asyncio.create_task(coalescer.run("k", work))
+                for _ in range(8)
+            ]
+            await started.wait()
+            # All eight are in flight on one key before the release.
+            assert coalescer.inflight() == 1
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return coalescer, calls, results
+
+        coalescer, calls, results = run(scenario())
+        assert calls == 1
+        assert results == [42] * 8
+        assert coalescer.coalesced == 7
+        assert coalescer.led == 1
+        assert coalescer.inflight() == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            coalescer = Coalescer()
+            calls = []
+
+            async def work(key):
+                calls.append(key)
+                return key
+
+            results = await asyncio.gather(
+                coalescer.run("a", lambda: work("a")),
+                coalescer.run("b", lambda: work("b")),
+            )
+            return coalescer, calls, results
+
+        coalescer, calls, results = run(scenario())
+        assert sorted(calls) == ["a", "b"]
+        assert results == ["a", "b"]
+        assert coalescer.coalesced == 0
+
+    def test_sequential_repeats_rerun(self):
+        """Coalescing is strictly in-flight; completed work is the
+        cache/memo tier's job, not the coalescer's."""
+
+        async def scenario():
+            coalescer = Coalescer()
+            calls = 0
+
+            async def work():
+                nonlocal calls
+                calls += 1
+                return calls
+
+            first = await coalescer.run("k", work)
+            second = await coalescer.run("k", work)
+            return first, second
+
+        assert run(scenario()) == (1, 2)
+
+    def test_leader_failure_propagates_to_every_joiner(self):
+        async def scenario():
+            coalescer = Coalescer()
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def work():
+                started.set()
+                await release.wait()
+                raise ValueError("engine exploded")
+
+            tasks = [
+                asyncio.create_task(coalescer.run("k", work))
+                for _ in range(4)
+            ]
+            await started.wait()
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return coalescer, results
+
+        coalescer, results = run(scenario())
+        assert all(isinstance(r, ValueError) for r in results)
+        assert coalescer.inflight() == 0  # failed key is not sticky
+
+    def test_failure_without_joiners_does_not_leak(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def work():
+                raise ValueError("lonely failure")
+
+            with pytest.raises(ValueError):
+                await coalescer.run("k", work)
+            return coalescer
+
+        coalescer = run(scenario())
+        assert coalescer.inflight() == 0
+
+    def test_cancelled_joiner_does_not_kill_the_flight(self):
+        async def scenario():
+            coalescer = Coalescer()
+            started = asyncio.Event()
+            release = asyncio.Event()
+
+            async def work():
+                started.set()
+                await release.wait()
+                return "ok"
+
+            leader = asyncio.create_task(coalescer.run("k", work))
+            await started.wait()
+            joiner = asyncio.create_task(coalescer.run("k", work))
+            await asyncio.sleep(0)  # let the joiner attach
+            joiner.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await joiner
+            release.set()
+            return await leader
+
+        assert run(scenario()) == "ok"

@@ -1,0 +1,151 @@
+"""The serve layer under contention: coalescing, load shedding, metrics.
+
+These are the PR's acceptance tests: N concurrent tenants asking for
+the same point must cost exactly one engine invocation, a full queue
+must shed with 429 + Retry-After instead of queueing unboundedly, and
+the ``/metrics`` endpoint must emit well-formed Prometheus text.
+"""
+
+import re
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.runtime.engine import engine_invocations
+from repro.serve import AnalysisService, ServeConfig
+
+SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*\{[a-z]+=\"[^\"]*\"\} (\S+)$"
+)
+
+
+class GatedService(AnalysisService):
+    """An AnalysisService whose simulations block on an event.
+
+    Lets a test pin the single worker thread inside ``run_point`` so
+    the job queue's occupancy is under deterministic control.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def run_point(self, point):
+        self.entered.set()
+        assert self.release.wait(60), "test never released the gate"
+        return super().run_point(point)
+
+
+class TestCoalescedExecution:
+    def test_eight_concurrent_tenants_one_engine_invocation(
+        self, serve_server
+    ):
+        server = serve_server(config=ServeConfig(port=0, jobs=4))
+        before = engine_invocations()
+
+        def tenant(_i):
+            status, payload = server.post_json(
+                "/v1/studies", {"points": ["fig3a:MIR:2"]}
+            )
+            assert status == 202
+            return server.wait_job(payload["job"]["id"])
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            finals = list(pool.map(tenant, range(8)))
+
+        assert all(f["completed"] == 1 and f["failed"] == 0 for f in finals)
+        # The whole point of coalescing + the memo tier: eight tenants,
+        # one simulation, in every interleaving.
+        assert engine_invocations() - before == 1
+
+    def test_concurrent_lint_requests_share_the_simulation(
+        self, serve_server
+    ):
+        server = serve_server(config=ServeConfig(port=0, jobs=4))
+        before = engine_invocations()
+
+        def tenant(_i):
+            status, payload = server.post_json(
+                "/v1/lint", {"program": "fig3b", "threads": 2}
+            )
+            assert status == 200
+            return payload["digest"]
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            digests = set(pool.map(tenant, range(6)))
+
+        assert len(digests) == 1
+        assert engine_invocations() - before == 1
+
+
+class TestLoadShedding:
+    def test_full_queue_sheds_with_429_and_recovers(self, serve_server):
+        service = GatedService()
+        server = serve_server(
+            config=ServeConfig(port=0, jobs=1, queue_capacity=2),
+            service=service,
+        )
+        # First point occupies the lone worker (held at the gate);
+        # second fills the remaining queue slot.
+        _status, first = server.post_json(
+            "/v1/studies", {"points": ["fig3a:MIR:2"]}
+        )
+        assert service.entered.wait(30)
+        _status, second = server.post_json(
+            "/v1/studies", {"points": ["fig3b:MIR:2"]}
+        )
+
+        status, headers, body = server.post(
+            "/v1/studies", {"points": ["fib:MIR:2"]}
+        )
+        assert status == 429
+        assert headers.get("Retry-After") == "1"
+        assert "queue" in body
+
+        # Admission is all-or-nothing: a multi-point study that doesn't
+        # fit is rejected whole, not truncated.
+        assert server.post_json(
+            "/v1/studies", {"points": ["fib:MIR:2", "fib:MIR:4"]}
+        )[0] == 429
+
+        service.release.set()
+        for payload in (first, second):
+            final = server.wait_job(payload["job"]["id"])
+            assert final["failed"] == 0
+        # Queue drained: the previously shed submission is now welcome.
+        status, payload = server.post_json(
+            "/v1/studies", {"points": ["fib:MIR:2"]}
+        )
+        assert status == 202
+        assert server.wait_job(payload["job"]["id"])["failed"] == 0
+
+
+class TestMetricsEndpoint:
+    def test_metrics_parse_as_prometheus_text(self, serve_server):
+        server = serve_server()
+        _status, payload = server.post_json(
+            "/v1/studies", {"points": ["fig3a:MIR:2"]}
+        )
+        server.wait_job(payload["job"]["id"])
+
+        status, headers, body = server.get("/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        assert "version=0.0.4" in headers["Content-Type"]
+
+        names = set()
+        for line in body.splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            match = SAMPLE.match(line)
+            assert match, f"unparseable sample line: {line!r}"
+            float(match.group(1))  # every sample value is numeric
+            names.add(line.split("{", 1)[0])
+
+        assert "grain_counter_total" in names
+        assert "grain_stage_seconds_total" in names
+        assert 'name="serve.requests"' in body
+        assert 'name="serve.points_completed"' in body

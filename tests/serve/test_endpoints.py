@@ -1,0 +1,212 @@
+"""Endpoint behavior over a real socket: happy paths and structured errors."""
+
+import json
+
+from repro.serve import ServeConfig
+
+MICRO = {"points": ["fig3a:MIR:2", "fig3b:MIR:2"]}
+
+
+class TestProbesAndListing:
+    def test_healthz(self, serve_server):
+        server = serve_server()
+        status, payload = server.get_json("/healthz")
+        assert (status, payload) == (200, {"status": "ok"})
+
+    def test_programs_lists_the_registry(self, serve_server):
+        from repro.apps.registry import PROGRAMS
+
+        server = serve_server()
+        status, payload = server.get_json("/v1/programs")
+        assert status == 200
+        assert payload["programs"] == sorted(PROGRAMS)
+
+    def test_unknown_route_is_a_structured_404(self, serve_server):
+        server = serve_server()
+        status, payload = server.get_json("/nope")
+        assert status == 404
+        assert "no route" in payload["error"]["message"]
+
+
+class TestStudies:
+    def test_submit_poll_report_flow(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json("/v1/studies", MICRO)
+        assert status == 202
+        job = payload["job"]
+        assert job["points"] == 2
+
+        final = server.wait_job(job["id"])
+        assert final["completed"] == 2
+        assert final["failed"] == 0
+
+        status, _headers, body = server.get(f"/v1/jobs/{job['id']}/report")
+        assert status == 200
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert [r["program"] for r in lines] == ["fig3a", "fig3b"]
+        assert all(r["makespan_cycles"] > 0 for r in lines)
+        assert all(r["digest"] for r in lines)
+
+    def test_report_streams_with_follow(self, serve_server):
+        server = serve_server()
+        _status, payload = server.post_json("/v1/studies", MICRO)
+        job_id = payload["job"]["id"]
+        status, headers, body = server.get(
+            f"/v1/jobs/{job_id}/report?follow=1"
+        )
+        assert status == 200
+        assert headers.get("Transfer-Encoding") == "chunked"
+        lines = [json.loads(line) for line in body.splitlines()]
+        assert [r["program"] for r in lines] == ["fig3a", "fig3b"]
+
+    def test_point_objects_are_accepted(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json(
+            "/v1/studies",
+            {"points": [{"program": "fig3a", "flavor": "mir", "threads": 2}]},
+        )
+        assert status == 202
+        final = server.wait_job(payload["job"]["id"])
+        assert final["failed"] == 0
+
+    def test_duplicate_points_share_one_simulation(self, serve_server):
+        from repro.runtime.engine import engine_invocations
+
+        server = serve_server()
+        before = engine_invocations()
+        _status, payload = server.post_json(
+            "/v1/studies", {"points": ["racy-fixed:MIR:2"] * 4}
+        )
+        final = server.wait_job(payload["job"]["id"])
+        assert final["completed"] == 4
+        # Coalesced or memoized, never re-run.  (Joiners share the
+        # leader's PointRun, so several report lines may say "engine" —
+        # the invocation counter is the ground truth.)
+        assert engine_invocations() - before == 1
+        _status, _headers, body = server.get(
+            f"/v1/jobs/{payload['job']['id']}/report"
+        )
+        records = [json.loads(line) for line in body.splitlines()]
+        assert len({r["digest"] for r in records}) == 1
+
+    def test_unknown_program_in_matrix_fails_only_that_point(
+        self, serve_server
+    ):
+        server = serve_server()
+        _status, payload = server.post_json(
+            "/v1/studies", {"points": ["fig3a:MIR:2", "nosuch:MIR:2"]}
+        )
+        final = server.wait_job(payload["job"]["id"])
+        assert final["completed"] == 2
+        assert final["failed"] == 1
+        _status, _headers, body = server.get(
+            f"/v1/jobs/{payload['job']['id']}/report"
+        )
+        records = [json.loads(line) for line in body.splitlines()]
+        assert "error" not in records[0]
+        assert "unknown program" in records[1]["error"]
+
+    def test_bad_spec_is_rejected_at_submit(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json(
+            "/v1/studies", {"points": ["fig3a:MIR:notanint"]}
+        )
+        assert status == 400
+        assert "THREADS must be an integer" in payload["error"]["message"]
+
+    def test_empty_and_malformed_submissions(self, serve_server):
+        server = serve_server()
+        assert server.post_json("/v1/studies", {"points": []})[0] == 400
+        assert server.post_json("/v1/studies", {"nope": 1})[0] == 400
+        assert server.post_json("/v1/studies", {"points": "fib"})[0] == 400
+
+    def test_unknown_job_is_404(self, serve_server):
+        server = serve_server()
+        status, payload = server.get_json("/v1/jobs/job-999999")
+        assert status == 404
+        assert "unknown job" in payload["error"]["message"]
+
+
+class TestAnalysisEndpoints:
+    def test_lint_returns_a_report(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json(
+            "/v1/lint", {"program": "fig3a", "threads": 2}
+        )
+        assert status == 200
+        assert payload["program"] == "fig3a"
+        assert "diagnostics" in payload["report"]
+
+    def test_check_is_static_only(self, serve_server):
+        from repro.runtime.engine import engine_invocations
+
+        server = serve_server()
+        before = engine_invocations()
+        status, payload = server.post_json("/v1/check", {"program": "racy"})
+        assert status == 200
+        assert engine_invocations() == before  # no simulation
+        rules = {d["rule_id"] for d in payload["report"]["diagnostics"]}
+        assert "static.race" in rules
+
+    def test_advise_with_what_if(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json(
+            "/v1/advise",
+            {"program": "fib", "threads": 4, "what_ifs": ["*=2"]},
+        )
+        assert status == 200
+        assert payload["program"] == "fib"
+        assert payload["what_ifs"]
+
+    def test_unknown_program_is_a_friendly_404(self, serve_server):
+        server = serve_server()
+        for path in ("/v1/lint", "/v1/check", "/v1/advise"):
+            status, payload = server.post_json(path, {"program": "nope"})
+            assert status == 404
+            assert "unknown program" in payload["error"]["message"]
+
+    def test_unknown_flavor_is_a_friendly_400(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json(
+            "/v1/lint", {"program": "fig3a", "flavor": "LLVM"}
+        )
+        assert status == 400
+        assert "unknown flavor" in payload["error"]["message"]
+
+    def test_bad_what_if_target_is_a_400(self, serve_server):
+        server = serve_server()
+        status, payload = server.post_json(
+            "/v1/advise", {"program": "fib", "what_ifs": ["oops"]}
+        )
+        assert status == 400
+
+
+class TestCacheTier:
+    def test_disk_cache_is_shared_across_server_instances(
+        self, serve_server, tmp_path
+    ):
+        from repro.runtime.engine import engine_invocations
+
+        config = ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        first = serve_server(config=config)
+        _status, payload = first.post_json(
+            "/v1/studies", {"points": ["fig3a:MIR:2"]}
+        )
+        first.wait_job(payload["job"]["id"])
+        first.stop()
+
+        second = serve_server(
+            config=ServeConfig(port=0, cache_dir=str(tmp_path / "cache"))
+        )
+        before = engine_invocations()
+        _status, payload = second.post_json(
+            "/v1/studies", {"points": ["fig3a:MIR:2"]}
+        )
+        second.wait_job(payload["job"]["id"])
+        assert engine_invocations() == before  # served from disk artifacts
+        _status, _headers, body = second.get(
+            f"/v1/jobs/{payload['job']['id']}/report"
+        )
+        record = json.loads(body.splitlines()[0])
+        assert record["source"] == "cache"
+        assert record["stats"]["events_emitted"] > 0  # sidecar survived

@@ -1,0 +1,129 @@
+"""Wire-format unit tests: request parsing, responses, error envelopes."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.protocol import (
+    ProtocolError,
+    Response,
+    ServeError,
+    error_response,
+    json_response,
+    read_request,
+)
+
+
+def parse(data: bytes):
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(inner())
+
+
+class TestReadRequest:
+    def test_minimal_get(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/healthz"
+        assert request.query == {}
+        assert request.headers["host"] == "x"
+        assert request.body == b""
+
+    def test_query_string_is_split_off_the_path(self):
+        request = parse(b"GET /v1/jobs/j/report?follow=1&x=a%20b HTTP/1.1\r\n\r\n")
+        assert request.path == "/v1/jobs/j/report"
+        assert request.query == {"follow": "1", "x": "a b"}
+
+    def test_body_via_content_length(self):
+        payload = json.dumps({"points": ["fib"]}).encode()
+        request = parse(
+            b"POST /v1/studies HTTP/1.1\r\n"
+            + f"Content-Length: {len(payload)}\r\n\r\n".encode()
+            + payload
+        )
+        assert request.json() == {"points": ["fib"]}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_header_names_lowercase_and_keep_alive_default(self):
+        request = parse(b"GET / HTTP/1.1\r\nX-Thing: V\r\n\r\n")
+        assert request.headers["x-thing"] == "V"
+        assert request.keep_alive
+
+    def test_connection_close_disables_keep_alive(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not request.keep_alive
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"GARBAGE\r\n\r\n",
+            b"GET /x SPDY/3\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET /x HTTP/1.1\r\nTrunca",
+        ],
+    )
+    def test_malformed_requests_raise(self, raw):
+        with pytest.raises(ProtocolError):
+            parse(raw)
+
+    def test_oversized_body_is_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse(
+                b"POST /x HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n"
+            )
+
+    def test_bad_json_body_is_a_structured_400(self):
+        request = parse(
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\n{oop"
+        )
+        with pytest.raises(ServeError) as excinfo:
+            request.json()
+        assert excinfo.value.status == 400
+
+    def test_empty_body_parses_as_empty_object(self):
+        request = parse(b"POST /x HTTP/1.1\r\n\r\n")
+        assert request.json() == {}
+
+
+class TestResponses:
+    def test_json_response_round_trips(self):
+        response = json_response({"a": 1}, status=202)
+        assert response.status == 202
+        assert json.loads(response.body) == {"a": 1}
+        head = response.head(keep_alive=True).decode()
+        assert head.startswith("HTTP/1.1 202 Accepted\r\n")
+        assert f"Content-Length: {len(response.body)}" in head
+        assert "Connection: keep-alive" in head
+
+    def test_streaming_head_uses_chunked_encoding(self):
+        async def gen():
+            yield b"x"
+
+        response = Response(stream=gen())
+        head = response.head(keep_alive=False).decode()
+        assert "Transfer-Encoding: chunked" in head
+        assert "Content-Length" not in head
+        assert "Connection: close" in head
+
+    def test_error_envelope_carries_status_and_message(self):
+        response = error_response(ServeError(404, "unknown program 'x'"))
+        payload = json.loads(response.body)
+        assert response.status == 404
+        assert payload["error"]["status"] == 404
+        assert "unknown program" in payload["error"]["message"]
+
+    def test_retry_after_renders_as_header(self):
+        response = error_response(
+            ServeError(429, "queue full", retry_after=7)
+        )
+        assert response.headers["Retry-After"] == "7"
+        assert "Retry-After: 7" in response.head(True).decode()
